@@ -1,0 +1,145 @@
+//! Single-source shortest paths by frontier-driven Bellman–Ford (BF in
+//! Table II: vertex-oriented, forward, all frontier classes).
+
+use crate::common::RunReport;
+use vebo_engine::shared::AtomicF64;
+use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_graph::VertexId;
+
+struct BfOp {
+    dist: Vec<AtomicF64>,
+}
+
+impl EdgeOp for BfOp {
+    fn update(&self, src: VertexId, dst: VertexId, w: f32) -> bool {
+        let cand = self.dist[src as usize].load() + w as f64;
+        if cand < self.dist[dst as usize].load() {
+            self.dist[dst as usize].store(cand);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn update_atomic(&self, src: VertexId, dst: VertexId, w: f32) -> bool {
+        let cand = self.dist[src as usize].load() + w as f64;
+        self.dist[dst as usize].fetch_min(cand)
+    }
+}
+
+/// Runs Bellman–Ford from `source` on a weighted graph; returns distances
+/// (`f64::INFINITY` for unreachable vertices). Rounds are capped at `n`
+/// (no negative weights exist in this workspace, so this never binds).
+pub fn bellman_ford(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<f64>, RunReport) {
+    let g = pg.graph();
+    assert!(g.has_weights(), "Bellman-Ford needs an edge-weighted graph");
+    let n = g.num_vertices();
+    let mut report = RunReport::default();
+    let op = BfOp { dist: (0..n).map(|_| AtomicF64::new(f64::INFINITY)).collect() };
+    op.dist[source as usize].store(0.0);
+
+    let mut frontier = Frontier::single(n, source);
+    let mut rounds = 0usize;
+    while !frontier.is_empty() && rounds < n {
+        let class = frontier.density_class(g);
+        let (next, em) = edge_map(pg, &frontier, &op, opts);
+        report.push_edge(class, em);
+        frontier = next;
+        rounds += 1;
+    }
+    (op.dist.into_iter().map(|a| a.load()).collect(), report)
+}
+
+/// Reference Dijkstra (tests; weights are positive).
+pub fn dijkstra_reference(g: &vebo_graph::Graph, source: VertexId) -> Vec<f64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    // Order by bit pattern of the distance; valid for non-negative floats.
+    let mut heap: BinaryHeap<(Reverse<u64>, VertexId)> = BinaryHeap::new();
+    heap.push((Reverse(0), source));
+    while let Some((Reverse(dbits), u)) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        if d > dist[u as usize] {
+            continue;
+        }
+        let ws = g.csr().weights_of(u);
+        for (k, &v) in g.out_neighbors(u).iter().enumerate() {
+            let cand = d + ws[k] as f64;
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                heap.push((Reverse(cand.to_bits()), v));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_engine::SystemProfile;
+    use vebo_graph::{Dataset, Graph};
+    use vebo_partition::EdgeOrder;
+
+    fn source_of(g: &Graph) -> VertexId {
+        g.vertices().max_by_key(|&v| g.out_degree(v)).unwrap()
+    }
+
+    #[test]
+    fn matches_dijkstra_on_all_profiles() {
+        let g = Dataset::YahooLike.build(0.03).with_hash_weights(16);
+        let src = source_of(&g);
+        let want = dijkstra_reference(&g, src);
+        for profile in [
+            SystemProfile::ligra_like(),
+            SystemProfile::polymer_like(),
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+        ] {
+            let pg = PreparedGraph::new(g.clone(), profile);
+            let (got, _) = bellman_ford(&pg, src, &EdgeMapOptions::default());
+            for v in 0..got.len() {
+                let (a, b) = (got[v], want[v]);
+                assert!(
+                    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                    "profile {:?} v {v}: {a} vs {b}",
+                    profile.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn line_graph_distances() {
+        let g = Graph::from_edges_weighted(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1.0, 2.0, 4.0]), true);
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (d, report) = bellman_ford(&pg, 0, &EdgeMapOptions::default());
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 7.0]);
+        // Three relaxation rounds plus the final empty-producing round.
+        assert_eq!(report.iterations, 4);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Graph::from_edges_weighted(3, &[(0, 1)], Some(&[1.0]), true);
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (d, _) = bellman_ford(&pg, 0, &EdgeMapOptions::default());
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn takes_shorter_of_two_routes() {
+        // 0 -> 1 -> 3 costs 2; 0 -> 2 -> 3 costs 5.
+        let g = Graph::from_edges_weighted(
+            4,
+            &[(0, 1), (1, 3), (0, 2), (2, 3)],
+            Some(&[1.0, 1.0, 2.0, 3.0]),
+            true,
+        );
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (d, _) = bellman_ford(&pg, 0, &EdgeMapOptions::default());
+        assert_eq!(d[3], 2.0);
+    }
+}

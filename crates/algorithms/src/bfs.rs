@@ -1,0 +1,179 @@
+//! Breadth-first search (BFS in Table II: vertex-oriented, backward
+//! direction reversal, medium/sparse frontiers).
+
+use crate::common::RunReport;
+use std::sync::atomic::{AtomicU32, Ordering};
+use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_graph::VertexId;
+
+/// Sentinel for "no parent yet".
+pub const UNVISITED: u32 = u32::MAX;
+
+struct BfsOp {
+    parent: Vec<AtomicU32>,
+}
+
+impl EdgeOp for BfsOp {
+    fn update(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        if self.parent[dst as usize].load(Ordering::Relaxed) == UNVISITED {
+            self.parent[dst as usize].store(src, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn update_atomic(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        self.parent[dst as usize]
+            .compare_exchange(UNVISITED, src, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn cond(&self, dst: VertexId) -> bool {
+        self.parent[dst as usize].load(Ordering::Relaxed) == UNVISITED
+    }
+}
+
+/// Runs BFS from `source`; returns the parent array (`UNVISITED` for
+/// unreachable vertices; the source is its own parent).
+pub fn bfs(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<u32>, RunReport) {
+    let g = pg.graph();
+    let n = g.num_vertices();
+    let mut report = RunReport::default();
+    let op = BfsOp { parent: (0..n).map(|_| AtomicU32::new(UNVISITED)).collect() };
+    op.parent[source as usize].store(source, Ordering::Relaxed);
+
+    let mut frontier = Frontier::single(n, source);
+    while !frontier.is_empty() {
+        let class = frontier.density_class(g);
+        let (next, em) = edge_map(pg, &frontier, &op, opts);
+        report.push_edge(class, em);
+        frontier = next;
+    }
+    (op.parent.into_iter().map(|a| a.into_inner()).collect(), report)
+}
+
+/// BFS levels derived from a parent array (tests / BC diagnostics).
+pub fn levels_from_parents(parents: &[u32], source: VertexId) -> Vec<u32> {
+    let n = parents.len();
+    let mut level = vec![u32::MAX; n];
+    level[source as usize] = 0;
+    // Repeated relaxation: fine for test-scale graphs.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            let p = parents[v];
+            if p != UNVISITED && v as u32 != source && level[p as usize] != u32::MAX {
+                let cand = level[p as usize] + 1;
+                if cand < level[v] {
+                    level[v] = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+    level
+}
+
+/// Reference sequential BFS distances (tests).
+pub fn bfs_reference(g: &vebo_graph::Graph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_engine::SystemProfile;
+    use vebo_graph::Dataset;
+    use vebo_partition::EdgeOrder;
+
+    fn source_of(g: &vebo_graph::Graph) -> VertexId {
+        g.vertices().max_by_key(|&v| g.out_degree(v)).unwrap()
+    }
+
+    #[test]
+    fn distances_match_reference_on_all_profiles() {
+        let g = Dataset::LiveJournalLike.build(0.03);
+        let src = source_of(&g);
+        let want = bfs_reference(&g, src);
+        for profile in [
+            SystemProfile::ligra_like(),
+            SystemProfile::polymer_like(),
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+        ] {
+            let pg = PreparedGraph::new(g.clone(), profile);
+            let (parents, _) = bfs(&pg, src, &EdgeMapOptions::default());
+            let levels = levels_from_parents(&parents, src);
+            assert_eq!(levels, want, "profile {:?}", profile.kind);
+        }
+    }
+
+    #[test]
+    fn parent_edges_exist_in_graph() {
+        let g = Dataset::YahooLike.build(0.03);
+        let src = source_of(&g);
+        let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let (parents, _) = bfs(&pg, src, &EdgeMapOptions::default());
+        for v in g.vertices() {
+            let p = parents[v as usize];
+            if p != UNVISITED && v != src {
+                assert!(g.csr().has_edge(p, v), "parent edge {p} -> {v} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unvisited() {
+        let g = vebo_graph::Graph::from_edges(4, &[(0, 1)], true);
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (parents, _) = bfs(&pg, 0, &EdgeMapOptions::default());
+        assert_eq!(parents[0], 0);
+        assert_eq!(parents[1], 0);
+        assert_eq!(parents[2], UNVISITED);
+        assert_eq!(parents[3], UNVISITED);
+    }
+
+    #[test]
+    fn forced_directions_agree() {
+        let g = Dataset::YahooLike.build(0.03);
+        let src = source_of(&g);
+        let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
+        let mut reaches = Vec::new();
+        for force in [Some(true), Some(false), None] {
+            let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+            let (parents, _) = bfs(&pg, src, &opts);
+            // Parent arrays may differ (tie-breaks), but the reachable
+            // set and levels must agree.
+            let levels = levels_from_parents(&parents, src);
+            reaches.push(levels);
+        }
+        assert_eq!(reaches[0], reaches[1]);
+        assert_eq!(reaches[0], reaches[2]);
+    }
+
+    #[test]
+    fn frontier_classes_include_sparse() {
+        // BFS frontiers start sparse (Table II lists m/s for BFS).
+        let g = Dataset::LiveJournalLike.build(0.05);
+        let src = source_of(&g);
+        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let (_, report) = bfs(&pg, src, &EdgeMapOptions::default());
+        assert!(report
+            .observed_classes()
+            .contains(&vebo_engine::DensityClass::Sparse));
+        assert!(report.iterations >= 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Connected components by label propagation (CC in Table II:
+//! edge-oriented, backward, dense/medium/sparse frontiers).
+//!
+//! Each vertex starts with its own id as label; edgemap propagates the
+//! minimum label along edges until no label changes. On symmetric graphs
+//! this converges to the weakly-connected components. (The paper's §V-B
+//! notes CC is the one algorithm that *benefits* from reordering on road
+//! networks, thanks to accelerated label propagation.)
+
+use crate::common::RunReport;
+use std::sync::atomic::{AtomicU32, Ordering};
+use vebo_engine::{edge_map, vertex_map_all, EdgeMapOptions, EdgeOp, PreparedGraph};
+use vebo_graph::VertexId;
+
+struct CcOp {
+    label: Vec<AtomicU32>,
+}
+
+impl CcOp {
+    /// Atomic min; true if lowered.
+    fn lower(&self, dst: VertexId, cand: u32) -> bool {
+        let cell = &self.label[dst as usize];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            if cand >= cur {
+                return false;
+            }
+            match cell.compare_exchange_weak(cur, cand, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl EdgeOp for CcOp {
+    fn update(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        let cand = self.label[src as usize].load(Ordering::Relaxed);
+        let cur = self.label[dst as usize].load(Ordering::Relaxed);
+        if cand < cur {
+            self.label[dst as usize].store(cand, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn update_atomic(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        let cand = self.label[src as usize].load(Ordering::Relaxed);
+        self.lower(dst, cand)
+    }
+}
+
+/// Runs label-propagation components; returns the final label array.
+pub fn cc(pg: &PreparedGraph, opts: &EdgeMapOptions) -> (Vec<u32>, RunReport) {
+    let g = pg.graph();
+    let n = g.num_vertices();
+    let mut report = RunReport::default();
+    let op = CcOp { label: (0..n as u32).map(AtomicU32::new).collect() };
+
+    // Start from all vertices; each round keeps only vertices whose label
+    // changed (they must re-broadcast).
+    let (mut frontier, vm) = vertex_map_all(pg, |_| true, opts.parallel);
+    report.push_vertex(vm);
+    while !frontier.is_empty() {
+        let class = frontier.density_class(g);
+        let (next, em) = edge_map(pg, &frontier, &op, opts);
+        report.push_edge(class, em);
+        frontier = next;
+    }
+    (op.label.into_iter().map(|a| a.into_inner()).collect(), report)
+}
+
+/// One round of synchronous propagation: reads only the labels frozen at
+/// the start of the round.
+struct CcSyncOp {
+    prev: Vec<u32>,
+    next: Vec<AtomicU32>,
+}
+
+impl CcSyncOp {
+    fn lower(&self, dst: VertexId, cand: u32) -> bool {
+        let cell = &self.next[dst as usize];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            if cand >= cur {
+                return false;
+            }
+            match cell.compare_exchange_weak(cur, cand, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+impl EdgeOp for CcSyncOp {
+    fn update(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        self.lower(dst, self.prev[src as usize])
+    }
+
+    fn update_atomic(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        self.lower(dst, self.prev[src as usize])
+    }
+}
+
+/// Synchronous label propagation: each round only propagates labels
+/// computed in the *previous* round (the Pregel/BSP semantics). The
+/// paper's §V-B explains why the default [`cc`] is faster: asynchronous
+/// propagation forwards labels within a round, and vertex reordering
+/// amplifies that acceleration. This variant exists to quantify the gap
+/// (see the `ablation` harness).
+pub fn cc_sync(pg: &PreparedGraph, opts: &EdgeMapOptions) -> (Vec<u32>, RunReport) {
+    let g = pg.graph();
+    let n = g.num_vertices();
+    let mut report = RunReport::default();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+
+    let (mut frontier, vm) = vertex_map_all(pg, |_| true, opts.parallel);
+    report.push_vertex(vm);
+    while !frontier.is_empty() {
+        let op = CcSyncOp {
+            prev: labels.clone(),
+            next: labels.iter().map(|&l| AtomicU32::new(l)).collect(),
+        };
+        let class = frontier.density_class(g);
+        let (next_frontier, em) = edge_map(pg, &frontier, &op, opts);
+        report.push_edge(class, em);
+        labels = op.next.into_iter().map(|a| a.into_inner()).collect();
+        frontier = next_frontier;
+    }
+    (labels, report)
+}
+
+/// Reference components via union-find (tests; symmetric graphs).
+pub fn cc_reference(g: &vebo_graph::Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for u in g.vertices() {
+        for &v in g.out_neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+    }
+    // Normalize labels to the minimum vertex id in each component.
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_engine::SystemProfile;
+    use vebo_graph::{Dataset, Graph};
+    use vebo_partition::EdgeOrder;
+
+    #[test]
+    fn matches_union_find_on_symmetric_graphs() {
+        for d in [Dataset::UsaRoadLike, Dataset::YahooLike] {
+            let g = d.build(0.03);
+            let want = cc_reference(&g);
+            let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+            let (got, _) = cc(&pg, &EdgeMapOptions::default());
+            assert_eq!(got, want, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn profiles_agree() {
+        let g = Dataset::YahooLike.build(0.03);
+        let mut results = Vec::new();
+        for profile in [
+            SystemProfile::ligra_like(),
+            SystemProfile::polymer_like(),
+            SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
+        ] {
+            let pg = PreparedGraph::new(g.clone(), profile);
+            let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+            results.push(labels);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn two_triangles_have_two_labels() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], false);
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+        assert_eq!(labels[0..3], [0, 0, 0]);
+        assert_eq!(labels[3..6], [3, 3, 3]);
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = Dataset::UsaRoadLike.build(0.02);
+        let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
+        let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+        for v in g.vertices() {
+            assert!(labels[v as usize] <= v);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0)], true);
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+        assert_eq!(labels[2], 2);
+    }
+
+    #[test]
+    fn sync_matches_async_labels() {
+        for d in [Dataset::UsaRoadLike, Dataset::YahooLike] {
+            let g = d.build(0.03);
+            let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+            let (a, _) = cc(&pg, &EdgeMapOptions::default());
+            let (s, _) = cc_sync(&pg, &EdgeMapOptions::default());
+            assert_eq!(a, s, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn sync_takes_diameter_rounds_on_a_path() {
+        // Sync propagation moves a label one hop per round: a 40-vertex
+        // path needs ~40 rounds. Async forwards labels within the round,
+        // so the ascending-id sweep finishes in a handful.
+        let n = 40;
+        let edges: Vec<(vebo_graph::VertexId, vebo_graph::VertexId)> =
+            (0..n - 1).map(|v| (v, v + 1)).collect();
+        let g = Graph::from_edges(n as usize, &edges, false);
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (labels_s, rep_s) = cc_sync(&pg, &EdgeMapOptions::default());
+        let (labels_a, rep_a) = cc(&pg, &EdgeMapOptions::default());
+        assert_eq!(labels_s, labels_a);
+        assert!(labels_s.iter().all(|&l| l == 0));
+        assert!(
+            rep_s.iterations >= n as usize - 1,
+            "sync rounds {} for path of {n}",
+            rep_s.iterations
+        );
+        assert!(
+            rep_a.iterations * 3 < rep_s.iterations,
+            "async {} vs sync {} rounds",
+            rep_a.iterations,
+            rep_s.iterations
+        );
+    }
+
+    #[test]
+    fn async_never_needs_more_rounds_than_sync() {
+        for d in [Dataset::UsaRoadLike, Dataset::OrkutLike] {
+            let g = d.build(0.05);
+            let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+            let (_, rep_a) = cc(&pg, &EdgeMapOptions::default());
+            let (_, rep_s) = cc_sync(&pg, &EdgeMapOptions::default());
+            assert!(
+                rep_a.iterations <= rep_s.iterations,
+                "{}: async {} sync {}",
+                d.name(),
+                rep_a.iterations,
+                rep_s.iterations
+            );
+        }
+    }
+}

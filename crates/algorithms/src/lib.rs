@@ -1,0 +1,35 @@
+//! # vebo-algorithms
+//!
+//! The eight graph analytics kernels of the paper's evaluation (Table II),
+//! implemented on top of `vebo-engine`'s edgemap/vertexmap primitives:
+//!
+//! | code | algorithm | direction | orientation |
+//! |---|---|---|---|
+//! | BC | betweenness centrality (Brandes) | B | V |
+//! | CC | connected components (label propagation) | B | E |
+//! | PR | PageRank, power method, 10 iterations | B | E |
+//! | BFS | breadth-first search | B | V |
+//! | PRD | PageRank with delta updates | F | E |
+//! | SPMV | sparse matrix-vector product, 1 iteration | F | E |
+//! | BF | Bellman–Ford SSSP | F | V |
+//! | BP | loopy belief propagation, 10 iterations | F | E |
+//!
+//! Every algorithm returns a [`common::RunReport`] with per-task timings,
+//! which the scheduling simulator converts into simulated 48-thread
+//! runtimes for the Table III harness.
+
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod bellman_ford;
+pub mod bfs;
+pub mod bp;
+pub mod cc;
+pub mod common;
+pub mod pagerank;
+pub mod pagerank_delta;
+pub mod runner;
+pub mod spmv;
+
+pub use common::{AlgorithmKind, RunReport};
+pub use runner::{default_source, needs_weights, run_algorithm};

@@ -1,0 +1,94 @@
+//! Uniform dispatch over the eight algorithms — what the experiment
+//! harnesses use to fill Table III's cells.
+
+use crate::bc::bc;
+use crate::bellman_ford::bellman_ford;
+use crate::bfs::bfs;
+use crate::bp::{bp, BpConfig};
+use crate::cc::cc;
+use crate::common::{AlgorithmKind, RunReport};
+use crate::pagerank::{pagerank, PageRankConfig};
+use crate::pagerank_delta::{pagerank_delta, PageRankDeltaConfig};
+use crate::spmv::spmv;
+use vebo_engine::{EdgeMapOptions, PreparedGraph};
+use vebo_graph::{Graph, VertexId};
+
+/// The traversal source used for source-rooted algorithms: the vertex
+/// with the highest out-degree (deterministic, always reaches a large
+/// fraction of a scale-free graph).
+pub fn default_source(g: &Graph) -> VertexId {
+    g.vertices().max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v))).unwrap_or(0)
+}
+
+/// Whether `kind` needs an edge-weighted graph.
+pub fn needs_weights(kind: AlgorithmKind) -> bool {
+    matches!(kind, AlgorithmKind::Spmv | AlgorithmKind::Bf | AlgorithmKind::Bp)
+}
+
+/// Runs one algorithm with the paper's standard configuration (PR/BP: 10
+/// iterations; PRD: eps 1e-2; BFS/BC/BF from the default source) and
+/// returns its measurement report.
+pub fn run_algorithm(kind: AlgorithmKind, pg: &PreparedGraph, opts: &EdgeMapOptions) -> RunReport {
+    let g = pg.graph();
+    if needs_weights(kind) {
+        assert!(g.has_weights(), "{} needs a weighted graph", kind.code());
+    }
+    let src = default_source(g);
+    match kind {
+        AlgorithmKind::Pr => pagerank(pg, &PageRankConfig::default(), opts).1,
+        AlgorithmKind::Prd => pagerank_delta(pg, &PageRankDeltaConfig::default(), opts).1,
+        AlgorithmKind::Bfs => bfs(pg, src, opts).1,
+        AlgorithmKind::Bc => bc(pg, src, opts).1,
+        AlgorithmKind::Cc => cc(pg, opts).1,
+        AlgorithmKind::Spmv => {
+            let x: Vec<f64> = (0..g.num_vertices()).map(|i| ((i % 17) as f64) / 17.0).collect();
+            spmv(pg, &x, opts).1
+        }
+        AlgorithmKind::Bf => bellman_ford(pg, src, opts).1,
+        AlgorithmKind::Bp => bp(pg, &BpConfig::default(), opts).1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_engine::SystemProfile;
+    use vebo_graph::Dataset;
+    use vebo_partition::EdgeOrder;
+
+    #[test]
+    fn all_algorithms_run_on_all_profiles() {
+        let base = Dataset::YahooLike.build(0.02);
+        for profile in [
+            SystemProfile::ligra_like(),
+            SystemProfile::polymer_like(),
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+        ] {
+            for kind in AlgorithmKind::ALL {
+                let g =
+                    if needs_weights(kind) { base.clone().with_hash_weights(16) } else { base.clone() };
+                let pg = PreparedGraph::new(g, profile);
+                let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+                assert!(report.iterations > 0, "{} on {:?}", kind.code(), profile.kind);
+                assert!(report.total_edges() > 0, "{} on {:?}", kind.code(), profile.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn default_source_is_max_out_degree() {
+        let g = Dataset::TwitterLike.build(0.02);
+        let s = default_source(&g);
+        let dmax = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        assert_eq!(g.out_degree(s), dmax);
+    }
+
+    #[test]
+    fn weight_requirements() {
+        assert!(needs_weights(AlgorithmKind::Spmv));
+        assert!(needs_weights(AlgorithmKind::Bf));
+        assert!(needs_weights(AlgorithmKind::Bp));
+        assert!(!needs_weights(AlgorithmKind::Pr));
+        assert!(!needs_weights(AlgorithmKind::Bfs));
+    }
+}

@@ -1,0 +1,121 @@
+//! Sparse matrix-vector multiplication (SPMV in Table II: one iteration,
+//! forward, edge-oriented, dense frontier).
+//!
+//! Computes `y = A x` where `A` is the weighted adjacency matrix
+//! (`A[dst][src] = w(src, dst)`).
+
+use crate::common::RunReport;
+use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
+use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_graph::VertexId;
+
+struct SpmvOp<'a> {
+    x: &'a [f64],
+    y: &'a [AtomicF64],
+}
+
+impl EdgeOp for SpmvOp<'_> {
+    fn update(&self, src: VertexId, dst: VertexId, w: f32) -> bool {
+        let cell = &self.y[dst as usize];
+        cell.store(cell.load() + w as f64 * self.x[src as usize]);
+        true
+    }
+
+    fn update_atomic(&self, src: VertexId, dst: VertexId, w: f32) -> bool {
+        self.y[dst as usize].fetch_add(w as f64 * self.x[src as usize]);
+        true
+    }
+}
+
+/// One SPMV round. The graph must carry weights
+/// (see [`vebo_graph::Graph::with_hash_weights`]).
+pub fn spmv(pg: &PreparedGraph, x: &[f64], opts: &EdgeMapOptions) -> (Vec<f64>, RunReport) {
+    let g = pg.graph();
+    let n = g.num_vertices();
+    assert_eq!(x.len(), n);
+    assert!(g.has_weights(), "SPMV needs an edge-weighted graph");
+    let mut report = RunReport::default();
+    let y = atomic_f64_vec(n, 0.0);
+    let frontier = Frontier::all(n);
+    let op = SpmvOp { x, y: &y };
+    let forced = EdgeMapOptions { force_dense: Some(true), ..*opts };
+    let class = frontier.density_class(g);
+    let (_, em) = edge_map(pg, &frontier, &op, &forced);
+    report.push_edge(class, em);
+    (snapshot_f64(&y), report)
+}
+
+/// Reference dense mat-vec with identical semantics (tests).
+pub fn spmv_reference(g: &vebo_graph::Graph, x: &[f64]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut y = vec![0.0; n];
+    for v in g.vertices() {
+        let srcs = g.in_neighbors(v);
+        let ws = g.csc().weights_of(v);
+        for (k, &u) in srcs.iter().enumerate() {
+            y[v as usize] += ws[k] as f64 * x[u as usize];
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_engine::SystemProfile;
+    use vebo_graph::Dataset;
+    use vebo_partition::EdgeOrder;
+
+    fn input(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 31 + 7) % 13) as f64 / 13.0).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_all_profiles() {
+        let g = Dataset::YahooLike.build(0.03).with_hash_weights(8);
+        let n = g.num_vertices();
+        let x = input(n);
+        let want = spmv_reference(&g, &x);
+        for profile in [
+            SystemProfile::ligra_like(),
+            SystemProfile::polymer_like(),
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+            SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
+        ] {
+            let pg = PreparedGraph::new(g.clone(), profile);
+            let (got, _) = spmv(&pg, &x, &EdgeMapOptions::default());
+            for v in 0..n {
+                assert!((got[v] - want[v]).abs() < 1e-9, "profile {:?} v {v}", profile.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vector_maps_to_zero() {
+        let g = Dataset::YahooLike.build(0.02).with_hash_weights(4);
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (y, _) = spmv(&pg, &vec![0.0; n], &EdgeMapOptions::default());
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn single_round_examines_every_edge() {
+        let g = Dataset::YahooLike.build(0.02).with_hash_weights(4);
+        let n = g.num_vertices();
+        let m = g.num_edges() as u64;
+        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let (_, report) = spmv(&pg, &input(n), &EdgeMapOptions::default());
+        assert_eq!(report.total_edges(), m);
+        assert_eq!(report.iterations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted")]
+    fn unweighted_graph_panics() {
+        let g = Dataset::YahooLike.build(0.02);
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let _ = spmv(&pg, &vec![1.0; n], &EdgeMapOptions::default());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests: every engine-based algorithm must agree with its
+//! sequential reference on arbitrary graphs.
+
+use proptest::prelude::*;
+use vebo_algorithms::bellman_ford::{bellman_ford, dijkstra_reference};
+use vebo_algorithms::bfs::{bfs, bfs_reference, levels_from_parents};
+use vebo_algorithms::cc::{cc, cc_reference};
+use vebo_algorithms::pagerank::{pagerank, pagerank_reference, PageRankConfig};
+use vebo_algorithms::spmv::{spmv, spmv_reference};
+use vebo_engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo_graph::graph::mix64;
+use vebo_graph::{Graph, VertexId};
+use vebo_partition::EdgeOrder;
+
+fn arb_graph(directed: bool) -> impl Strategy<Value = Graph> {
+    (2usize..50, 1usize..250, any::<u64>()).prop_map(move |(n, m, seed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = mix64(x);
+            x
+        };
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .collect();
+        Graph::from_edges(n, &edges, directed)
+    })
+}
+
+fn profile_of(pick: u8) -> SystemProfile {
+    match pick % 3 {
+        0 => SystemProfile::ligra_like(),
+        1 => SystemProfile::polymer_like(),
+        _ => SystemProfile::graphgrind_like(EdgeOrder::Csr),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pagerank_matches_reference(g in arb_graph(true), pick in any::<u8>()) {
+        let cfg = PageRankConfig { iterations: 4, ..Default::default() };
+        let want = pagerank_reference(&g, &cfg);
+        let pg = PreparedGraph::new(g.clone(), profile_of(pick));
+        let (got, _) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+        for v in 0..got.len() {
+            prop_assert!((got[v] - want[v]).abs() < 1e-9, "v {}: {} vs {}", v, got[v], want[v]);
+        }
+    }
+
+    #[test]
+    fn bfs_matches_reference(g in arb_graph(true), pick in any::<u8>(), src_pick in any::<u64>()) {
+        let src = (src_pick % g.num_vertices() as u64) as VertexId;
+        let want = bfs_reference(&g, src);
+        let pg = PreparedGraph::new(g.clone(), profile_of(pick));
+        let (parents, _) = bfs(&pg, src, &EdgeMapOptions::default());
+        let levels = levels_from_parents(&parents, src);
+        prop_assert_eq!(levels, want);
+    }
+
+    #[test]
+    fn cc_matches_union_find(g in arb_graph(false), pick in any::<u8>()) {
+        let want = cc_reference(&g);
+        let pg = PreparedGraph::new(g.clone(), profile_of(pick));
+        let (got, _) = cc(&pg, &EdgeMapOptions::default());
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra(g in arb_graph(true), pick in any::<u8>(), src_pick in any::<u64>()) {
+        let g = g.with_hash_weights(16);
+        let src = (src_pick % g.num_vertices() as u64) as VertexId;
+        let want = dijkstra_reference(&g, src);
+        let pg = PreparedGraph::new(g.clone(), profile_of(pick));
+        let (got, _) = bellman_ford(&pg, src, &EdgeMapOptions::default());
+        for v in 0..got.len() {
+            let (a, b) = (got[v], want[v]);
+            prop_assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                "v {}: {} vs {}", v, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_matvec(g in arb_graph(true), pick in any::<u8>()) {
+        let g = g.with_hash_weights(8);
+        let n = g.num_vertices();
+        let x: Vec<f64> = (0..n).map(|i| (mix64(i as u64) % 100) as f64 / 100.0).collect();
+        let want = spmv_reference(&g, &x);
+        let pg = PreparedGraph::new(g.clone(), profile_of(pick));
+        let (got, _) = spmv(&pg, &x, &EdgeMapOptions::default());
+        for v in 0..n {
+            prop_assert!((got[v] - want[v]).abs() < 1e-9);
+        }
+    }
+
+    /// Reordering invariance: BFS reachable-set size is preserved under
+    /// VEBO for any graph.
+    #[test]
+    fn bfs_reach_invariant_under_vebo(g in arb_graph(true), src_pick in any::<u64>()) {
+        use vebo_graph::VertexOrdering;
+        let src = (src_pick % g.num_vertices() as u64) as VertexId;
+        let want = bfs_reference(&g, src).iter().filter(|&&d| d != u32::MAX).count();
+        let perm = vebo_core::Vebo::new(8).compute(&g);
+        let h = perm.apply_graph(&g);
+        let got = bfs_reference(&h, perm.new_id(src)).iter().filter(|&&d| d != u32::MAX).count();
+        prop_assert_eq!(got, want);
+    }
+}

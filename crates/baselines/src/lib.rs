@@ -1,0 +1,31 @@
+//! # vebo-baselines
+//!
+//! The comparator vertex orderings of the paper's evaluation, rebuilt from
+//! scratch:
+//!
+//! * [`rcm`] — Reverse Cuthill–McKee, the sparse-matrix bandwidth-reduction
+//!   ordering (George & Liu), with a pseudo-peripheral start vertex;
+//! * [`gorder`] — Gorder (Wei et al., SIGMOD 2016), the greedy windowed
+//!   locality-maximizing ordering;
+//! * [`degree_sort`] — plain high-to-low in-degree sort (§V-G's
+//!   "high-to-low" order);
+//! * [`random`] — a uniformly random permutation (§V-C's stress test);
+//! * [`slashburn`] — SlashBurn (Lim et al., TKDE 2014), the hub-removal
+//!   compression ordering §VI cites.
+//!
+//! All of them implement [`vebo_graph::VertexOrdering`], so they can be
+//! swapped against `vebo_core::Vebo` anywhere in the pipeline.
+
+#![warn(missing_docs)]
+
+pub mod degree_sort;
+pub mod gorder;
+pub mod random;
+pub mod rcm;
+pub mod slashburn;
+
+pub use degree_sort::DegreeSort;
+pub use gorder::Gorder;
+pub use random::RandomOrder;
+pub use rcm::Rcm;
+pub use slashburn::SlashBurn;

@@ -1,0 +1,293 @@
+//! SlashBurn (Lim, Kang & Faloutsos, TKDE 2014) — the hub-removal ordering
+//! the paper's §VI cites as an alternative community notion ("exploits the
+//! hubs and their neighbours to define an alternative community different
+//! from the traditional community").
+//!
+//! Each round removes the `k` highest-degree *hubs* (they receive the next
+//! lowest new ids), splits the remainder into connected components, sends
+//! every non-giant component (the *spokes*) to the back of the id range,
+//! and recurses on the giant connected component. The result concentrates
+//! the non-zeros of the adjacency matrix into the top-left corner, which
+//! is why SlashBurn was proposed for graph compression.
+//!
+//! Like RCM and Gorder it optimizes a structural objective, not load
+//! balance, so in this reproduction it serves as one more comparator that
+//! VEBO should beat on balance-sensitive (static-scheduled) systems.
+
+use vebo_graph::{Graph, Permutation, VertexId, VertexOrdering};
+
+/// SlashBurn ordering with a hub-fraction parameter.
+#[derive(Clone, Copy, Debug)]
+pub struct SlashBurn {
+    /// Fraction of the *original* vertex count removed as hubs per round
+    /// (the paper's `k`, expressed relative to `n`). Clamped to at least
+    /// one vertex per round.
+    pub hub_fraction: f64,
+}
+
+impl Default for SlashBurn {
+    /// The 0.5% hub fraction the SlashBurn paper recommends.
+    fn default() -> SlashBurn {
+        SlashBurn { hub_fraction: 0.005 }
+    }
+}
+
+impl SlashBurn {
+    /// SlashBurn with an explicit hub fraction.
+    pub fn new(hub_fraction: f64) -> SlashBurn {
+        assert!(hub_fraction > 0.0 && hub_fraction <= 1.0, "hub fraction must be in (0, 1]");
+        SlashBurn { hub_fraction }
+    }
+
+    /// Number of hubs removed per round for a graph of `n` vertices.
+    pub fn hubs_per_round(&self, n: usize) -> usize {
+        ((self.hub_fraction * n as f64).ceil() as usize).clamp(1, n.max(1))
+    }
+}
+
+/// Degree of `v` counting only alive neighbours. For undirected graphs the
+/// two adjacency halves are identical, so only the out half is scanned.
+fn alive_degree(g: &Graph, v: VertexId, alive: &[bool]) -> usize {
+    let out = g.out_neighbors(v).iter().filter(|&&u| alive[u as usize]).count();
+    if g.is_directed() {
+        out + g.in_neighbors(v).iter().filter(|&&u| alive[u as usize]).count()
+    } else {
+        out
+    }
+}
+
+/// Undirected connected components over the alive subgraph. Returns
+/// `(component id per alive vertex, component sizes)`; dead vertices get
+/// `u32::MAX`.
+fn components(g: &Graph, alive: &[bool]) -> (Vec<u32>, Vec<usize>) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if !alive[s] || comp[s] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        sizes.push(0);
+        comp[s] = id;
+        stack.push(s as VertexId);
+        while let Some(v) = stack.pop() {
+            sizes[id as usize] += 1;
+            let mut visit = |u: VertexId| {
+                if alive[u as usize] && comp[u as usize] == u32::MAX {
+                    comp[u as usize] = id;
+                    stack.push(u);
+                }
+            };
+            for &u in g.out_neighbors(v) {
+                visit(u);
+            }
+            if g.is_directed() {
+                for &u in g.in_neighbors(v) {
+                    visit(u);
+                }
+            }
+        }
+    }
+    (comp, sizes)
+}
+
+impl VertexOrdering for SlashBurn {
+    fn name(&self) -> &str {
+        "SlashBurn"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Permutation::identity(0);
+        }
+        let k = self.hubs_per_round(n);
+        let mut new_id = vec![0 as VertexId; n];
+        let mut alive = vec![true; n];
+        // `front` grows forward past hubs, `back` shrinks backward past
+        // spokes; the loop ends when the giant component fits between.
+        let mut front = 0usize;
+        let mut back = n;
+        let mut gcc: Vec<VertexId> = (0..n as VertexId).collect();
+
+        while gcc.len() > k {
+            // 1. Slash: remove the k highest-degree alive vertices.
+            let mut by_degree: Vec<(usize, VertexId)> =
+                gcc.iter().map(|&v| (alive_degree(g, v, &alive), v)).collect();
+            // Highest degree first, ties by ascending id for determinism.
+            by_degree.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            if by_degree[0].0 == 0 {
+                break; // no edges left: the remainder is all spokes
+            }
+            for &(_, v) in by_degree.iter().take(k) {
+                alive[v as usize] = false;
+                new_id[v as usize] = front as VertexId;
+                front += 1;
+            }
+
+            // 2. Burn: non-giant components become spokes at the back.
+            let (comp, sizes) = components(g, &alive);
+            if sizes.is_empty() {
+                gcc.clear();
+                break;
+            }
+            let giant =
+                (0..sizes.len()).max_by_key(|&c| (sizes[c], usize::MAX - c)).unwrap() as u32;
+            // Spoke vertices ordered by (ascending component size,
+            // component id, vertex id): the smallest spokes end up with
+            // the highest new ids, mirroring the paper's layout.
+            let mut spokes: Vec<(usize, u32, VertexId)> = gcc
+                .iter()
+                .filter(|&&v| alive[v as usize] && comp[v as usize] != giant)
+                .map(|&v| (sizes[comp[v as usize] as usize], comp[v as usize], v))
+                .collect();
+            spokes.sort_unstable();
+            for &(_, _, v) in spokes.iter().rev() {
+                alive[v as usize] = false;
+                back -= 1;
+                new_id[v as usize] = back as VertexId;
+            }
+            gcc.retain(|&v| alive[v as usize]);
+        }
+
+        // 3. Whatever survives (the final small core, or isolated leftovers
+        // when the loop broke early) fills the middle, hubs first.
+        let mut rest: Vec<(usize, VertexId)> =
+            gcc.iter().filter(|&&v| alive[v as usize]).map(|&v| (alive_degree(g, v, &alive), v)).collect();
+        rest.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, v) in &rest {
+            new_id[v as usize] = front as VertexId;
+            front += 1;
+        }
+        debug_assert_eq!(front, back, "front/back must meet exactly");
+        Permutation::from_new_ids(new_id).expect("SlashBurn produced a non-bijection")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_graph::Dataset;
+
+    fn star_with_tail(leaves: usize) -> Graph {
+        // Hub 0 with `leaves` leaves, plus an isolated 2-chain at the end.
+        let n = leaves + 3;
+        let mut edges: Vec<(VertexId, VertexId)> =
+            (1..=leaves as VertexId).map(|u| (0, u)).collect();
+        edges.push((leaves as VertexId + 1, leaves as VertexId + 2));
+        Graph::from_edges(n, &edges, false)
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let g = Dataset::TwitterLike.build(0.05);
+        let p = SlashBurn::default().compute(&g);
+        assert_eq!(p.len(), g.num_vertices());
+        // from_new_ids already validates bijectivity; double-check inverse.
+        let inv = p.inverse();
+        for v in 0..100.min(g.num_vertices()) as VertexId {
+            assert_eq!(inv.new_id(p.new_id(v)), v);
+        }
+    }
+
+    #[test]
+    fn hub_of_star_gets_id_zero() {
+        let g = star_with_tail(50);
+        let p = SlashBurn::new(0.02).compute(&g); // k = 2 per round
+        assert_eq!(p.new_id(0), 0, "the star hub must be slashed first");
+    }
+
+    #[test]
+    fn spokes_go_to_the_back() {
+        let g = star_with_tail(50);
+        let p = SlashBurn::new(0.02).compute(&g);
+        let n = g.num_vertices() as VertexId;
+        // After removing the hub, the 50 leaves are singleton spokes and
+        // the 2-chain is a size-2 component: all must sit behind the hub
+        // ids, and the chain (largest spoke) in front of the singletons.
+        let chain_lo = p.new_id(51).min(p.new_id(52));
+        for leaf in 1..=50 {
+            assert!(p.new_id(leaf) > 0, "leaf {leaf} must not precede the hub");
+        }
+        assert!(chain_lo < n - 1, "chain must not be the very last");
+        // The 2-chain is a bigger component than any singleton leaf, so it
+        // receives lower back-ids than every singleton.
+        let max_leaf = (1..=50).map(|l| p.new_id(l)).max().unwrap();
+        assert!(p.new_id(51).max(p.new_id(52)) < max_leaf || max_leaf == n - 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = Dataset::OrkutLike.build(0.05);
+        let a = SlashBurn::default().compute(&g);
+        let b = SlashBurn::default().compute(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_k_still_valid() {
+        let g = Dataset::LiveJournalLike.build(0.05);
+        for frac in [0.001, 0.01, 0.1, 0.5] {
+            let p = SlashBurn::new(frac).compute(&g);
+            assert_eq!(p.len(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[], true);
+        let p = SlashBurn::default().compute(&g);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn edgeless_graph_orders_all_vertices() {
+        let g = Graph::from_edges(5, &[], true);
+        let p = SlashBurn::default().compute(&g);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn directed_graph_uses_both_degree_halves() {
+        // Vertex 2 has in-degree 3 but out-degree 0: it must still be
+        // recognized as the hub.
+        let g = Graph::from_edges(5, &[(0, 2), (1, 2), (3, 2), (0, 4)], true);
+        let p = SlashBurn::new(0.2).compute(&g); // k = 1
+        assert_eq!(p.new_id(2), 0);
+    }
+
+    #[test]
+    fn hubs_per_round_clamps() {
+        assert_eq!(SlashBurn::new(0.005).hubs_per_round(10), 1);
+        assert_eq!(SlashBurn::new(1.0).hubs_per_round(10), 10);
+        assert_eq!(SlashBurn::new(0.25).hubs_per_round(10), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "hub fraction")]
+    fn zero_fraction_rejected() {
+        SlashBurn::new(0.0);
+    }
+
+    #[test]
+    fn name_is_slashburn() {
+        assert_eq!(SlashBurn::default().name(), "SlashBurn");
+    }
+
+    #[test]
+    fn reordering_preserves_graph_structure() {
+        let g = Dataset::YahooLike.build(0.05);
+        let p = SlashBurn::default().compute(&g);
+        let h = p.apply_graph(&g);
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        // Degree multiset must be preserved under isomorphism.
+        let mut dg: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
+        let mut dh: Vec<usize> = h.vertices().map(|v| h.in_degree(v)).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        assert_eq!(dg, dh);
+    }
+}

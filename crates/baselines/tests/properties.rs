@@ -1,0 +1,100 @@
+//! Property-based tests over every baseline ordering: whatever the input
+//! graph, each must produce a valid permutation whose application is an
+//! isomorphism, deterministically.
+
+use proptest::prelude::*;
+use vebo_baselines::{DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
+use vebo_graph::graph::mix64;
+use vebo_graph::permute::OriginalOrder;
+use vebo_graph::{Graph, VertexId, VertexOrdering};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..70, 0usize..350, any::<u64>(), any::<bool>()).prop_map(|(n, m, seed, directed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = mix64(x);
+            x
+        };
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .collect();
+        Graph::from_edges(n, &edges, directed)
+    })
+}
+
+fn orderings() -> Vec<Box<dyn VertexOrdering>> {
+    vec![
+        Box::new(OriginalOrder),
+        Box::new(Rcm),
+        Box::new(Gorder::new()),
+        Box::new(DegreeSort),
+        Box::new(RandomOrder::new(42)),
+        Box::new(SlashBurn::default()),
+        Box::new(SlashBurn::new(0.1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every ordering emits a bijection over 0..n.
+    #[test]
+    fn orderings_are_bijections(g in arb_graph()) {
+        for o in orderings() {
+            let p = o.compute(&g);
+            prop_assert_eq!(p.len(), g.num_vertices(), "{} length", o.name());
+            let mut seen = vec![false; g.num_vertices()];
+            for v in g.vertices() {
+                let id = p.new_id(v) as usize;
+                prop_assert!(!seen[id], "{} duplicates id {}", o.name(), id);
+                seen[id] = true;
+            }
+        }
+    }
+
+    /// Applying any ordering preserves the degree multiset and edge count
+    /// (isomorphism witness).
+    #[test]
+    fn reordered_graph_is_isomorphic(g in arb_graph()) {
+        for o in orderings() {
+            let p = o.compute(&g);
+            let h = p.apply_graph(&g);
+            prop_assert_eq!(h.num_edges(), g.num_edges(), "{} edges", o.name());
+            let mut dg: Vec<(usize, usize)> =
+                g.vertices().map(|v| (g.in_degree(v), g.out_degree(v))).collect();
+            let mut dh: Vec<(usize, usize)> =
+                h.vertices().map(|v| (h.in_degree(v), h.out_degree(v))).collect();
+            dg.sort_unstable();
+            dh.sort_unstable();
+            prop_assert_eq!(dg, dh, "{} degree multiset", o.name());
+        }
+    }
+
+    /// Orderings are pure functions of the graph.
+    #[test]
+    fn orderings_are_deterministic(g in arb_graph()) {
+        for o in orderings() {
+            prop_assert_eq!(o.compute(&g), o.compute(&g), "{}", o.name());
+        }
+    }
+
+    /// Every arc of the original graph exists in the reordered graph
+    /// under the id map (full adjacency preservation, stronger than the
+    /// degree-multiset check).
+    #[test]
+    fn adjacency_preserved_under_relabeling(g in arb_graph()) {
+        for o in orderings() {
+            let p = o.compute(&g);
+            let h = p.apply_graph(&g);
+            for u in g.vertices() {
+                let hu = p.new_id(u);
+                let mut want: Vec<VertexId> =
+                    g.out_neighbors(u).iter().map(|&v| p.new_id(v)).collect();
+                want.sort_unstable();
+                let mut got: Vec<VertexId> = h.out_neighbors(hu).to_vec();
+                got.sort_unstable();
+                prop_assert_eq!(got, want, "{} adjacency of {}", o.name(), u);
+            }
+        }
+    }
+}

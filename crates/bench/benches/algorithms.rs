@@ -1,0 +1,28 @@
+//! Criterion bench: all eight algorithms end-to-end (the per-cell cost of
+//! Table III, at quick sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vebo_algorithms::{needs_weights, run_algorithm, AlgorithmKind};
+use vebo_engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo_graph::Dataset;
+use vebo_partition::EdgeOrder;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let base = Dataset::LiveJournalLike.build(0.1);
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for kind in AlgorithmKind::ALL {
+        let g = if needs_weights(kind) { base.clone().with_hash_weights(32) } else { base.clone() };
+        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        group.bench_function(kind.code(), |b| {
+            b.iter(|| black_box(run_algorithm(kind, &pg, &EdgeMapOptions::default()).total_edges()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: BSP cluster simulator throughput (extension E2).
+//!
+//! The §VII study sweeps 7 strategies x 3 datasets; this bench pins the
+//! cost of its building blocks — one all-active superstep, a full BFS
+//! run, and each strategy's realization — so harness runtimes stay
+//! predictable as the workspace evolves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vebo_distributed::bsp::superstep;
+use vebo_distributed::{hash_partition, run_bfs, run_pagerank, ClusterConfig, Strategy};
+use vebo_graph::{Dataset, VertexId};
+
+fn bench_bsp(c: &mut Criterion) {
+    let g = Dataset::LiveJournalLike.build(0.1);
+    let cfg = ClusterConfig { workers: 16, ..Default::default() };
+    let asg = hash_partition(g.num_vertices(), cfg.workers);
+    let active: Vec<VertexId> = g.vertices().collect();
+
+    let mut group = c.benchmark_group("bsp");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("superstep_all_active", |b| {
+        b.iter(|| black_box(superstep(&g, &asg, &cfg, &active)))
+    });
+    group.bench_function("pagerank_x5", |b| {
+        b.iter(|| black_box(run_pagerank(&g, &asg, &cfg, 5)))
+    });
+    group.bench_function("bfs", |b| b.iter(|| black_box(run_bfs(&g, &asg, &cfg, 0))));
+    for s in [Strategy::ChunkVebo, Strategy::Ldg, Strategy::MultilevelMc] {
+        group.bench_function(BenchmarkId::new("realize", s.name()), |b| {
+            b.iter(|| black_box(s.realize(&g, cfg.workers)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bsp);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: the four edgemap traversal kernels (the engine-level
+//! costs behind every Table III cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph, SystemProfile};
+use vebo_graph::{Dataset, VertexId};
+use vebo_partition::EdgeOrder;
+
+struct TouchOp {
+    seen: Vec<AtomicU32>,
+}
+
+impl EdgeOp for TouchOp {
+    fn update(&self, s: VertexId, d: VertexId, _w: f32) -> bool {
+        self.seen[d as usize].store(s, Ordering::Relaxed);
+        false
+    }
+    fn update_atomic(&self, s: VertexId, d: VertexId, w: f32) -> bool {
+        self.update(s, d, w)
+    }
+}
+
+fn bench_edgemap(c: &mut Criterion) {
+    let g = Dataset::LiveJournalLike.build(0.2);
+    let n = g.num_vertices();
+    let mut group = c.benchmark_group("edgemap");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let cases = [
+        ("dense_pull_ligra", SystemProfile::ligra_like(), Some(true)),
+        ("dense_pull_polymer", SystemProfile::polymer_like(), Some(true)),
+        ("dense_coo_csr", SystemProfile::graphgrind_like(EdgeOrder::Csr), Some(true)),
+        ("dense_coo_hilbert", SystemProfile::graphgrind_like(EdgeOrder::Hilbert), Some(true)),
+        ("sparse_push_ligra", SystemProfile::ligra_like(), Some(false)),
+        ("sparse_partitioned", SystemProfile::graphgrind_like(EdgeOrder::Csr), Some(false)),
+    ];
+    for (name, profile, force) in cases {
+        let pg = PreparedGraph::new(g.clone(), profile);
+        let frontier = if force == Some(false) {
+            Frontier::from_vertices(n, (0..200u32).map(|i| i * 13 % n as u32).collect())
+        } else {
+            Frontier::all(n)
+        };
+        let op = TouchOp { seen: (0..n).map(|_| AtomicU32::new(0)).collect() };
+        let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(edge_map(&pg, &frontier, &op, &opts).1.total_edges()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edgemap);
+criterion_main!(benches);

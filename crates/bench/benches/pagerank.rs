@@ -1,0 +1,38 @@
+//! Criterion bench: PageRank iterations under each ordering — the kernel
+//! behind Figures 1, 4 and 6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
+use vebo_bench::{ordered_with_starts, prepare_profile, OrderingKind};
+use vebo_engine::{EdgeMapOptions, SystemProfile};
+use vebo_graph::Dataset;
+use vebo_partition::EdgeOrder;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let g = Dataset::TwitterLike.build(0.2);
+    let cfg = PageRankConfig { iterations: 3, ..Default::default() };
+    let mut group = c.benchmark_group("pagerank");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let cases = [
+        (OrderingKind::Original, EdgeOrder::Hilbert, "orig_hilbert"),
+        (OrderingKind::Original, EdgeOrder::Csr, "orig_csr"),
+        (OrderingKind::Vebo, EdgeOrder::Csr, "vebo_csr"),
+        (OrderingKind::Vebo, EdgeOrder::Hilbert, "vebo_hilbert"),
+        (OrderingKind::HighToLow, EdgeOrder::Hilbert, "high_to_low_hilbert"),
+    ];
+    for (ordering, order, name) in cases {
+        let (h, starts, _) = ordered_with_starts(&g, ordering, 384);
+        let profile = SystemProfile::graphgrind_like(order);
+        let pg = prepare_profile(h, profile, starts.as_deref());
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(pagerank(&pg, &cfg, &EdgeMapOptions::default()).0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank);
+criterion_main!(benches);

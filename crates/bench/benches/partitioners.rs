@@ -1,0 +1,46 @@
+//! Criterion bench: distributed partitioner throughput (extension study).
+//!
+//! Extends Table VI's cost comparison to the §VI partitioning families:
+//! the streaming partitioners (LDG, Fennel) should sit near VEBO's
+//! `O(m)`; the multilevel partitioner is expected to cost an order of
+//! magnitude more (it solves the cut-minimization problem the paper
+//! deliberately avoids); hash is the floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vebo_baselines::SlashBurn;
+use vebo_core::Vebo;
+use vebo_distributed::{hash_partition, Fennel, GreedyVertexCut, HybridCut, Ldg};
+use vebo_graph::{Dataset, VertexOrdering};
+use vebo_partition::Multilevel;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = Dataset::LiveJournalLike.build(0.1);
+    let p = 16;
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("hash", |b| {
+        b.iter(|| black_box(hash_partition(g.num_vertices(), p)))
+    });
+    group.bench_function("vebo_order", |b| b.iter(|| black_box(Vebo::new(p).compute(&g))));
+    group.bench_function("ldg", |b| b.iter(|| black_box(Ldg::default().partition(&g, p))));
+    group.bench_function("fennel", |b| b.iter(|| black_box(Fennel::default().partition(&g, p))));
+    group.bench_function("multilevel", |b| {
+        b.iter(|| black_box(Multilevel::new().partition(&g, p)))
+    });
+    group.bench_function("greedy_vertex_cut", |b| {
+        b.iter(|| black_box(GreedyVertexCut.place(&g, p)))
+    });
+    group.bench_function("hybrid_cut", |b| {
+        b.iter(|| black_box(HybridCut::default().place(&g, p)))
+    });
+    group.bench_function("slashburn_order", |b| {
+        b.iter(|| black_box(SlashBurn::default().compute(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: Algorithm 1 partitioning and COO edge reordering
+//! (the middle of Table VI: Hilbert vs CSR edge order build cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vebo_graph::Dataset;
+use vebo_partition::partitioned::{PartitionedCoo, PartitionedSubCsr};
+use vebo_partition::{EdgeOrder, PartitionBounds};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let g = Dataset::TwitterLike.build(0.25);
+    let bounds = PartitionBounds::edge_balanced(&g, 384);
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("algorithm1_384", |b| {
+        b.iter(|| black_box(PartitionBounds::edge_balanced(&g, 384)))
+    });
+    group.bench_function("coo_csr_order", |b| {
+        b.iter(|| black_box(PartitionedCoo::build(&g, &bounds, EdgeOrder::Csr)))
+    });
+    group.bench_function("coo_hilbert_order", |b| {
+        b.iter(|| black_box(PartitionedCoo::build(&g, &bounds, EdgeOrder::Hilbert)))
+    });
+    group.bench_function("sub_csr", |b| {
+        b.iter(|| black_box(PartitionedSubCsr::build(&g, &bounds)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

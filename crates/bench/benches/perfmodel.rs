@@ -1,0 +1,43 @@
+//! Criterion bench: micro-architecture simulator throughput (the cost of
+//! regenerating Figure 4 / Table V).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vebo_graph::Dataset;
+use vebo_partition::numa::NumaTopology;
+use vebo_partition::PartitionBounds;
+use vebo_perfmodel::{
+    simulate_edgemap_pull, simulate_vertexmap, CacheConfig, CacheSim, NumaLayout, SimConfig,
+};
+
+fn bench_perfmodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perfmodel");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("cache_sim_1m_accesses", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(CacheConfig::default());
+            let mut x = 1u64;
+            for _ in 0..1_000_000 {
+                x = vebo_graph::graph::mix64(x);
+                sim.access(x % (1 << 26));
+            }
+            black_box(sim.misses())
+        })
+    });
+
+    let g = Dataset::LiveJournalLike.build(0.1);
+    let layout = NumaLayout::new(PartitionBounds::edge_balanced(&g, 384), NumaTopology::default());
+    let cfg = SimConfig::default();
+    group.bench_function("edgemap_pull_trace", |b| {
+        b.iter(|| black_box(simulate_edgemap_pull(&g, &layout, &cfg).len()))
+    });
+    group.bench_function("vertexmap_trace", |b| {
+        b.iter(|| black_box(simulate_vertexmap(&g, &layout, &cfg).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perfmodel);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Minimal CLI argument parsing shared by all harness binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale <f64>` — dataset scale factor (1.0 = default sizes);
+//! * `--quick` — shorthand for `--scale 0.1`;
+//! * `--dataset <name>` — restrict to one dataset;
+//! * `--partitions <n>` — override the partition count;
+//! * `--threads <n>` — simulated machine threads (default 48);
+//! * `--help` — usage.
+
+use vebo_graph::Dataset;
+
+/// Parsed harness options.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// `--scale`: dataset scale factor (1.0 = default sizes).
+    pub scale: f64,
+    /// Whether `--scale`/`--quick` was given (binaries with expensive
+    /// cross products pick a smaller default when it was not).
+    pub scale_explicit: bool,
+    /// `--dataset`: restrict to one dataset.
+    pub dataset: Option<Dataset>,
+    /// `--partitions`: partition count override.
+    pub partitions: Option<usize>,
+    /// `--threads`: simulated machine threads.
+    pub threads: usize,
+    /// `--extended`: include the extension orderings/strategies
+    /// (SlashBurn, METIS-like) where the binary supports them.
+    pub extended: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 1.0,
+            scale_explicit: false,
+            dataset: None,
+            partitions: None,
+            threads: 48,
+            extended: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, exiting with usage on `--help` or errors.
+    pub fn parse(binary: &str, description: &str) -> HarnessArgs {
+        Self::parse_from(binary, description, std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from(
+        binary: &str,
+        description: &str,
+        args: impl IntoIterator<Item = String>,
+    ) -> HarnessArgs {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
+                    out.scale = v.parse().unwrap_or_else(|_| usage_exit(binary, description));
+                    out.scale_explicit = true;
+                }
+                "--quick" => {
+                    out.scale = 0.1;
+                    out.scale_explicit = true;
+                }
+                "--dataset" => {
+                    let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
+                    match Dataset::from_name(&v) {
+                        Some(d) => out.dataset = Some(d),
+                        None => {
+                            eprintln!("unknown dataset '{v}'; known: {:?}",
+                                Dataset::ALL.map(|d| d.name()));
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--partitions" => {
+                    let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
+                    out.partitions = Some(v.parse().unwrap_or_else(|_| usage_exit(binary, description)));
+                }
+                "--threads" => {
+                    let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
+                    out.threads = v.parse().unwrap_or_else(|_| usage_exit(binary, description));
+                }
+                "--extended" => out.extended = true,
+                "--help" | "-h" => {
+                    println!("{}", usage(binary, description));
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument '{other}'");
+                    eprintln!("{}", usage(binary, description));
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// The scale to use, with a binary-specific default when the user
+    /// did not pass `--scale`/`--quick`.
+    pub fn scale_or(&self, default: f64) -> f64 {
+        if self.scale_explicit {
+            self.scale
+        } else {
+            default
+        }
+    }
+
+    /// Datasets selected by `--dataset`, or all of them.
+    pub fn datasets(&self) -> Vec<Dataset> {
+        match self.dataset {
+            Some(d) => vec![d],
+            None => Dataset::ALL.to_vec(),
+        }
+    }
+}
+
+fn usage(binary: &str, description: &str) -> String {
+    format!(
+        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --extended       include extension orderings where supported\n  --help           this text",
+        Dataset::ALL.map(|d| d.name())
+    )
+}
+
+fn usage_exit(binary: &str, description: &str) -> ! {
+    eprintln!("{}", usage(binary, description));
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse_from("t", "test", args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.threads, 48);
+        assert!(a.dataset.is_none());
+        assert_eq!(a.datasets().len(), 8);
+    }
+
+    #[test]
+    fn quick_sets_scale() {
+        assert_eq!(parse(&["--quick"]).scale, 0.1);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let a = parse(&["--scale", "0.5", "--dataset", "twitter", "--partitions", "64", "--threads", "16"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.dataset, Some(Dataset::TwitterLike));
+        assert_eq!(a.partitions, Some(64));
+        assert_eq!(a.threads, 16);
+        assert_eq!(a.datasets(), vec![Dataset::TwitterLike]);
+    }
+}

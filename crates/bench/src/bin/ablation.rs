@@ -1,0 +1,161 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out, plus
+//! the paper's §VII future-work question (replication cost of VEBO for
+//! distributed systems):
+//!
+//! 1. strict Algorithm 2 vs the locality-preserving blocked variant;
+//! 2. heap vs linear-scan argmin (the `O(n log P)` claim);
+//! 3. partition-count sweep (4 -> 384): balance and replication;
+//! 4. direction-switch threshold sensitivity (|E|/20).
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin ablation -- --quick
+//! ```
+
+use std::time::Instant;
+use vebo_algorithms::bfs::bfs;
+use vebo_algorithms::default_source;
+use vebo_bench::{HarnessArgs, Table};
+use vebo_core::{ArgMinStrategy, Vebo, VeboVariant};
+use vebo_engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo_graph::{Dataset, VertexOrdering};
+use vebo_partition::replication::replication;
+use vebo_partition::{EdgeOrder, PartitionBounds};
+
+fn main() {
+    let args = HarnessArgs::parse("ablation", "DESIGN.md §6 ablations + §VII replication study");
+    let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
+    let scale = args.scale_or(0.5);
+    let g = dataset.build(scale);
+    println!(
+        "== Ablations on {} ({} vertices, {} edges, scale {scale}) ==\n",
+        dataset.name(),
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // ---- 1. strict vs blocked variant ---------------------------------
+    println!("(1) strict Algorithm 2 vs blocked (locality-preserving) variant:");
+    let mut t = Table::new(&["variant", "time (ms)", "edge imb", "vert imb", "id-adjacency kept"]);
+    for (name, variant) in [("strict", VeboVariant::Strict), ("blocked", VeboVariant::Blocked)] {
+        let t0 = Instant::now();
+        let r = Vebo::new(384).with_variant(variant).compute_full(&g);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let ei = r.edge_counts.iter().max().unwrap() - r.edge_counts.iter().min().unwrap();
+        let vi = r.vertex_counts.iter().max().unwrap() - r.vertex_counts.iter().min().unwrap();
+        // How many consecutive original ids stay in the same partition —
+        // the locality §III-D's modification preserves.
+        let kept = (0..g.num_vertices() - 1)
+            .filter(|&v| r.assignment[v] == r.assignment[v + 1])
+            .count();
+        t.row(&[
+            name.into(),
+            format!("{ms:.2}"),
+            ei.to_string(),
+            vi.to_string(),
+            format!("{:.1}%", 100.0 * kept as f64 / (g.num_vertices() - 1) as f64),
+        ]);
+    }
+    t.print();
+
+    // ---- 2. heap vs linear-scan argmin --------------------------------
+    println!("\n(2) argmin implementation (O(log P) heap vs O(P) scan), P sweep:");
+    let mut t = Table::new(&["P", "heap (ms)", "linear (ms)"]);
+    for p in [4usize, 48, 384, 3072] {
+        let time = |strategy: ArgMinStrategy| {
+            let t0 = Instant::now();
+            let _ = Vebo::new(p).with_argmin(strategy).compute(&g);
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        t.row(&[
+            p.to_string(),
+            format!("{:.2}", time(ArgMinStrategy::Heap)),
+            format!("{:.2}", time(ArgMinStrategy::LinearScan)),
+        ]);
+    }
+    t.print();
+
+    // ---- 3. partition sweep: balance vs replication (§VII) ------------
+    println!("\n(3) partition-count sweep — load balance vs replication (future work §VII):");
+    let mut t = Table::new(&[
+        "P", "edge imb", "vert imb", "repl. factor (orig)", "repl. factor (VEBO)", "cut % (VEBO)",
+    ]);
+    for p in [4usize, 16, 48, 96, 384] {
+        let r = Vebo::new(p).compute_full(&g);
+        let h = r.permutation.apply_graph(&g);
+        let vebo_bounds = PartitionBounds::from_starts(r.starts.clone());
+        let orig_rep = replication(&g, &PartitionBounds::edge_balanced(&g, p));
+        let vebo_rep = replication(&h, &vebo_bounds);
+        let ei = r.edge_counts.iter().max().unwrap() - r.edge_counts.iter().min().unwrap();
+        let vi = r.vertex_counts.iter().max().unwrap() - r.vertex_counts.iter().min().unwrap();
+        t.row(&[
+            p.to_string(),
+            ei.to_string(),
+            vi.to_string(),
+            format!("{:.2}", orig_rep.replication_factor),
+            format!("{:.2}", vebo_rep.replication_factor),
+            format!("{:.1}%", 100.0 * vebo_rep.cut_fraction()),
+        ]);
+    }
+    t.print();
+    println!(
+        "   (The paper's future-work question: VEBO trades a modest replication\n\
+          increase for optimal balance; distributed systems would pay this as\n\
+          communication volume.)"
+    );
+
+    // ---- 4. direction threshold sensitivity ---------------------------
+    println!("\n(4) direction-switch threshold (dense when |F| + outdeg(F) > m / D):");
+    let mut t = Table::new(&["D", "BFS iters", "edges examined", "dense rounds"]);
+    let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+    let src = default_source(&g);
+    for den in [5usize, 20, 80, 320] {
+        let opts = EdgeMapOptions { threshold_den: den, ..Default::default() };
+        let (_, report) = bfs(&pg, src, &opts);
+        let dense = report.edge_maps.iter().filter(|r| r.traversal.is_dense()).count();
+        t.row(&[
+            den.to_string(),
+            report.iterations.to_string(),
+            report.total_edges().to_string(),
+            dense.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "   (Larger D = switch to dense earlier; the edge count examined moves\n\
+          between push (active out-edges) and pull (all in-edges) regimes —\n\
+          Ligra's D = 20 sits at the knee.)"
+    );
+
+    // ---- 5. synchronous vs asynchronous label propagation (§V-B) ------
+    println!("\n(5) CC: synchronous vs asynchronous propagation, by vertex order (§V-B):");
+    let road = Dataset::UsaRoadLike.build(scale);
+    let mut t = Table::new(&["graph", "order", "async rounds", "sync rounds", "async edges"]);
+    for (gname, base) in [("twitter-like", &g), ("usaroad-like", &road)] {
+        for (oname, graph) in [
+            ("original", base.clone()),
+            ("VEBO", {
+                let r = Vebo::new(384).compute_full(base);
+                r.permutation.apply_graph(base)
+            }),
+            ("random", vebo_baselines::RandomOrder::new(7).compute(base).apply_graph(base)),
+        ] {
+            let pg = PreparedGraph::new(graph, SystemProfile::ligra_like());
+            let opts = EdgeMapOptions::default();
+            let (_, rep_a) = vebo_algorithms::cc::cc(&pg, &opts);
+            let (_, rep_s) = vebo_algorithms::cc::cc_sync(&pg, &opts);
+            t.row(&[
+                gname.into(),
+                oname.into(),
+                rep_a.iterations.to_string(),
+                rep_s.iterations.to_string(),
+                rep_a.total_edges().to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "   (§V-B: asynchronous propagation forwards labels within a round;\n\
+          the paper credits reordering with amplifying this acceleration,\n\
+          which is why CC is the one algorithm VEBO helps on road networks.)"
+    );
+}

@@ -1,0 +1,104 @@
+//! Extension study: the paper's §VII future-work question.
+//!
+//! *"In future work, we will investigate whether distributed graph
+//! processing systems, which typically use static scheduling, also
+//! benefit from increased load balance even if this comes at the expense
+//! of a small increase in vertex replication, and thus an increase in the
+//! volume of data communication."*
+//!
+//! For each placement strategy this harness simulates PageRank (dense,
+//! edge-oriented) and BFS (sparse frontiers, vertex-oriented) on a BSP
+//! cluster with statically bound workers, then prints compute makespan,
+//! communication time and total time. The second table tests the §VII
+//! side-conjecture on PowerLyra-style partitioning: streaming the greedy
+//! vertex-cut with high-degree vertices first.
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin ext_distributed -- --quick
+//! ```
+
+use vebo_algorithms::default_source;
+use vebo_bench::{HarnessArgs, Table};
+use vebo_distributed::{evaluate, ClusterConfig, GreedyVertexCut, Strategy};
+use vebo_graph::degree::vertices_by_decreasing_in_degree;
+use vebo_graph::Dataset;
+
+fn main() {
+    let args = HarnessArgs::parse(
+        "ext_distributed",
+        "§VII study: VEBO load balance vs replication on a simulated BSP cluster",
+    );
+    let scale = args.scale_or(0.3);
+    let workers = args.partitions.unwrap_or(16);
+    let cfg = ClusterConfig { workers, ..Default::default() };
+    let pr_iters = 10;
+    let datasets = match args.dataset {
+        Some(d) => vec![d],
+        None => vec![Dataset::TwitterLike, Dataset::FriendsterLike, Dataset::UsaRoadLike],
+    };
+    println!(
+        "== §VII study: {} workers, PR x{pr_iters} + BFS, scale {scale} ==\n\
+         (cost model: edge 1.0, vertex 1.0, remote value {}, barrier {})\n",
+        workers, cfg.per_value_cost, cfg.superstep_latency
+    );
+
+    for dataset in datasets {
+        let g = dataset.build(scale);
+        let src = default_source(&g);
+        println!(
+            "--- {} ({} vertices, {} edges) ---",
+            dataset.name(),
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let mut t = Table::new(&[
+            "strategy", "repl.", "cut %", "edge imb",
+            "PR compute", "PR comm", "PR total", "BFS total", "BFS steps",
+        ]);
+        let mut baseline_pr = None;
+        for s in Strategy::ALL {
+            let row = evaluate(s, &g, &cfg, pr_iters, src);
+            let base = *baseline_pr.get_or_insert(row.pr_total);
+            t.row(&[
+                row.strategy.into(),
+                format!("{:.2}", row.replication_factor),
+                format!("{:.1}", 100.0 * row.cut_fraction),
+                format!("{:.3}", row.edge_imbalance),
+                format!("{:.0}", row.pr_compute),
+                format!("{:.0}", row.pr_comm),
+                format!("{:.0} ({:.2}x)", row.pr_total, base / row.pr_total),
+                format!("{:.0}", row.bfs_total),
+                row.bfs_supersteps.to_string(),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    // §VII side-conjecture: "it is easier to minimize the edge cut when
+    // the high-degree vertices are processed first". Stream the greedy
+    // vertex-cut in both orders. Replication factor alone can mislead —
+    // hub-first streaming can collapse a densely connected graph onto one
+    // machine (rf -> 1 but load imbalance -> P) — so both are printed.
+    println!("--- Greedy vertex-cut stream order ---");
+    let mut t = Table::new(&[
+        "dataset", "rf (id)", "imb (id)", "rf (deg desc)", "imb (deg desc)", "rf change %",
+    ]);
+    for dataset in args.datasets() {
+        let g = dataset.build(scale);
+        let machines = workers.min(64);
+        let natural = GreedyVertexCut.place(&g, machines);
+        let order = vertices_by_decreasing_in_degree(&g);
+        let sorted = GreedyVertexCut.place_with_source_order(&g, machines, &order);
+        let (rn, rs) = (natural.replication_factor(), sorted.replication_factor());
+        t.row(&[
+            dataset.name().into(),
+            format!("{rn:.3}"),
+            format!("{:.2}", natural.load_imbalance()),
+            format!("{rs:.3}"),
+            format!("{:.2}", sorted.load_imbalance()),
+            format!("{:+.1}", 100.0 * (rs - rn) / rn),
+        ]);
+    }
+    t.print();
+}

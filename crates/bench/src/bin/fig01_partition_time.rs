@@ -1,0 +1,95 @@
+//! Figure 1: per-partition processing time of one PageRank iteration as a
+//! function of the partition's edges, destination vertices, and source
+//! vertices — original order vs VEBO, 384 partitions, COO traversal.
+//!
+//! Prints distribution summaries and writes the full per-partition series
+//! to `results/fig01_<dataset>.csv` for plotting.
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin fig01_partition_time -- --quick
+//! ```
+
+use vebo_bench::pipeline::{ordered_with_starts, pr_partition_nanos};
+use vebo_bench::table::write_csv;
+use vebo_bench::{HarnessArgs, OrderingKind, Table};
+use vebo_core::balance::summarize;
+use vebo_graph::{Dataset, Graph};
+use vebo_partition::stats::per_partition;
+use vebo_partition::{EdgeOrder, PartitionBounds};
+
+/// Iterations aggregated per partition so the wall-clock signal rises
+/// above timer noise at reduced scale.
+const REPEATS: usize = 20;
+
+fn series(g: &Graph, p: usize, starts: Option<&[usize]>) -> Vec<Vec<String>> {
+    let bounds = match starts {
+        Some(s) => PartitionBounds::from_starts(s.to_vec()),
+        None => PartitionBounds::edge_balanced(g, p),
+    };
+    let stats = per_partition(g, &bounds);
+    let nanos = pr_partition_nanos(g, p, EdgeOrder::Hilbert, REPEATS, starts);
+    stats
+        .iter()
+        .zip(&nanos)
+        .enumerate()
+        .map(|(i, (s, t))| {
+            vec![
+                i.to_string(),
+                s.edges.to_string(),
+                s.destinations.to_string(),
+                s.unique_sources.to_string(),
+                t.to_string(),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse("fig01_partition_time", "Figure 1: per-partition time vs edges/dests/sources");
+    let p = args.partitions.unwrap_or(384);
+    let datasets = match args.dataset {
+        Some(d) => vec![d],
+        None => vec![Dataset::TwitterLike, Dataset::FriendsterLike],
+    };
+    println!("== Figure 1: per-partition PR time (min over {REPEATS} iterations, {p} partitions, Hilbert COO, scale {}) ==\n", args.scale);
+
+    let mut t = Table::new(&[
+        "Graph", "Order", "time min(us)", "time mean(us)", "time max(us)", "spread",
+        "edges s.d.", "dests s.d.",
+    ]);
+    for dataset in datasets {
+        let g = dataset.build(args.scale);
+        let (vebo_g, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
+        for (label, graph, st) in
+            [("Original", &g, None), ("VEBO", &vebo_g, starts.as_deref())]
+        {
+            let rows = series(graph, p, st);
+            let nanos: Vec<f64> = rows.iter().map(|r| r[4].parse::<f64>().unwrap()).collect();
+            let edges: Vec<f64> = rows.iter().map(|r| r[1].parse::<f64>().unwrap()).collect();
+            let dests: Vec<f64> = rows.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
+            let ts = summarize(&nanos);
+            let spread = if ts.min > 0.0 { ts.max / ts.min } else { f64::INFINITY };
+            t.row(&[
+                dataset.name().into(),
+                label.into(),
+                format!("{:.1}", ts.min / 1e3),
+                format!("{:.1}", ts.mean / 1e3),
+                format!("{:.1}", ts.max / 1e3),
+                format!("{spread:.2}x"),
+                format!("{:.0}", summarize(&edges).std_dev),
+                format!("{:.1}", summarize(&dests).std_dev),
+            ]);
+            let path = format!("results/fig01_{}_{}.csv", dataset.name(), label.to_lowercase());
+            write_csv(&path, &["partition", "edges", "destinations", "sources", "nanos"], rows)
+                .expect("write csv");
+            println!("wrote {path}");
+        }
+    }
+    println!();
+    t.print();
+    println!(
+        "\nPaper: both orders are edge-balanced, but the original order's partition\n\
+         times vary 6.9x (Twitter) / 2x (Friendster) because destination counts\n\
+         vary; VEBO cuts the spread to 1.6x / 1.4x by balancing both."
+    );
+}

@@ -1,0 +1,100 @@
+//! Figure 4: per-partition execution time and per-thread
+//! micro-architectural statistics (LLC local/remote MPKI, TLB MKI, branch
+//! MPKI) for PageRank, original order vs VEBO, GraphGrind profile.
+//!
+//! Writes per-partition times to `results/fig04_times_*.csv` and
+//! per-thread MPKI series to `results/fig04_mpki_*.csv`.
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin fig04_microarch -- --quick
+//! ```
+
+use vebo_bench::pipeline::{ordered_with_starts, pr_partition_nanos};
+use vebo_bench::table::write_csv;
+use vebo_bench::{HarnessArgs, OrderingKind, Table};
+use vebo_core::balance::summarize;
+use vebo_graph::Dataset;
+use vebo_partition::numa::NumaTopology;
+use vebo_partition::{EdgeOrder, PartitionBounds};
+use vebo_perfmodel::{mean, simulate_edgemap_pull, NumaLayout, SimConfig};
+
+fn main() {
+    let args = HarnessArgs::parse("fig04_microarch", "Figure 4: per-partition time + MPKI for PR");
+    let p = args.partitions.unwrap_or(384);
+    let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
+    println!(
+        "== Figure 4: PR on {} — per-partition time and per-thread MPKI (P = {p}, scale {}) ==\n",
+        dataset.name(),
+        args.scale
+    );
+
+    let g = dataset.build(args.scale);
+    let (vebo_g, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
+
+    // (a) per-partition execution time; original ships Hilbert order,
+    // VEBO uses CSR order (§V-G).
+    let mut ta = Table::new(&["Order", "min(us)", "mean(us)", "max(us)", "spread"]);
+    for (label, graph, order, st) in [
+        ("Original", &g, EdgeOrder::Hilbert, None),
+        ("VEBO", &vebo_g, EdgeOrder::Csr, starts.as_deref()),
+    ] {
+        let nanos: Vec<f64> = pr_partition_nanos(graph, p, order, 20, st)
+            .iter()
+            .map(|&n| n as f64)
+            .collect();
+        let s = summarize(&nanos);
+        let spread = if s.min > 0.0 { s.max / s.min } else { f64::INFINITY };
+        ta.row(&[
+            label.into(),
+            format!("{:.1}", s.min / 1e3),
+            format!("{:.1}", s.mean / 1e3),
+            format!("{:.1}", s.max / 1e3),
+            format!("{spread:.2}x"),
+        ]);
+        let rows = nanos.iter().enumerate().map(|(i, n)| vec![i.to_string(), format!("{n}")]);
+        let path = format!("results/fig04_times_{}.csv", label.to_lowercase());
+        write_csv(&path, &["partition", "nanos"], rows).expect("write csv");
+    }
+    println!("(a) per-partition execution time:");
+    ta.print();
+
+    // (b-e) per-thread MPKI via the micro-architecture simulators.
+    let mut tb = Table::new(&["Order", "LLC local", "LLC remote", "TLB MKI", "Branch MPKI"]);
+    for (label, graph, st) in
+        [("Original", &g, None), ("VEBO", &vebo_g, starts.as_deref())]
+    {
+        let bounds = match st {
+            Some(s) => PartitionBounds::from_starts(s.to_vec()),
+            None => PartitionBounds::edge_balanced(graph, p),
+        };
+        let layout = NumaLayout::new(bounds, NumaTopology::default());
+        let reports = simulate_edgemap_pull(graph, &layout, &SimConfig::default());
+        tb.row(&[
+            label.into(),
+            format!("{:.2}", mean(reports.iter().map(|r| r.local_mpki()))),
+            format!("{:.2}", mean(reports.iter().map(|r| r.remote_mpki()))),
+            format!("{:.2}", mean(reports.iter().map(|r| r.tlb_mki()))),
+            format!("{:.4}", mean(reports.iter().map(|r| r.branch_mpki()))),
+        ]);
+        let rows = reports.iter().enumerate().map(|(t, r)| {
+            vec![
+                t.to_string(),
+                format!("{:.4}", r.local_mpki()),
+                format!("{:.4}", r.remote_mpki()),
+                format!("{:.4}", r.tlb_mki()),
+                format!("{:.4}", r.branch_mpki()),
+            ]
+        });
+        let path = format!("results/fig04_mpki_{}.csv", label.to_lowercase());
+        write_csv(&path, &["thread", "local_mpki", "remote_mpki", "tlb_mki", "branch_mpki"], rows)
+            .expect("write csv");
+    }
+    println!("\n(b-e) per-thread architectural statistics (simulated):");
+    tb.print();
+    println!(
+        "\nPaper: VEBO cuts the per-partition time spread ~10x (6.9x -> 1.6x on\n\
+         Twitter) and cuts branch MPKI ~3x (0.11 -> 0.04) via degree-sorted runs;\n\
+         PR-on-Twitter cache MPKI is the noted counter-example where locality\n\
+         slightly degrades."
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 5: performance under random permutation (§V-C) — original ids,
+//! VEBO, a random permutation, and VEBO applied to the random permutation,
+//! for PRD/PR/CC/BFS on the Twitter-like and USAroad-like graphs
+//! (GraphGrind profile, speedup normalized to the original order).
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin fig05_random_perm -- --quick
+//! ```
+
+use vebo_algorithms::{run_algorithm, AlgorithmKind};
+use vebo_bench::pipeline::{ordered_with_starts, prepare_profile, simulated_seconds};
+use vebo_bench::{HarnessArgs, OrderingKind, Table};
+use vebo_engine::{EdgeMapOptions, SystemProfile};
+use vebo_graph::Dataset;
+use vebo_partition::EdgeOrder;
+
+fn main() {
+    let args = HarnessArgs::parse("fig05_random_perm", "Figure 5: random-permutation study");
+    let p = args.partitions.unwrap_or(384);
+    let scale = args.scale_or(0.5);
+    let datasets = match args.dataset {
+        Some(d) => vec![d],
+        None => vec![Dataset::TwitterLike, Dataset::UsaRoadLike],
+    };
+    let algorithms = [AlgorithmKind::Prd, AlgorithmKind::Pr, AlgorithmKind::Cc, AlgorithmKind::Bfs];
+    println!("== Figure 5: speedup vs original ids (GraphGrind profile, P = {p}, scale {scale}) ==\n");
+
+    let mut t = Table::new(&["Graph", "Algo", "Original", "VEBO", "Random", "Random+VEBO"]);
+    for dataset in datasets {
+        let g = dataset.build(scale);
+        for kind in algorithms {
+            let mut times = Vec::new();
+            for ordering in OrderingKind::FIG5 {
+                let (h, starts, _) = ordered_with_starts(&g, ordering, p);
+                let order = match ordering {
+                    OrderingKind::Vebo | OrderingKind::RandomPlusVebo => EdgeOrder::Csr,
+                    _ => EdgeOrder::Hilbert,
+                };
+                let profile = SystemProfile::graphgrind_like(order).with_partitions(p);
+                let pg = prepare_profile(h, profile, starts.as_deref());
+                let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+                times.push(simulated_seconds(&report, &profile));
+            }
+            let basis = times[0];
+            t.row(&[
+                dataset.name().into(),
+                kind.code().into(),
+                "1.00".into(),
+                format!("{:.2}", basis / times[1]),
+                format!("{:.2}", basis / times[2]),
+                format!("{:.2}", basis / times[3]),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper: the random permutation is slowest (destroys balance and\n\
+         collection locality); VEBO on the random permutation restores\n\
+         performance to near VEBO-on-original, with any residual gap being\n\
+         locality VEBO does not optimize. On USAroad, reordering hurts every\n\
+         algorithm except CC."
+    );
+}

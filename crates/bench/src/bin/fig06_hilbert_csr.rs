@@ -1,0 +1,75 @@
+//! Figure 6: processing speed as a function of in-degree (§V-G):
+//! (a) the high-to-low degree order under Hilbert edge order vs VEBO, and
+//! (b) the high-to-low order under Hilbert vs CSR edge order —
+//! one PageRank iteration, per-partition times.
+//!
+//! Writes the per-partition series to `results/fig06_*.csv`.
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin fig06_hilbert_csr -- --quick
+//! ```
+
+use vebo_bench::pipeline::{ordered_graph, ordered_with_starts, pr_partition_nanos};
+use vebo_bench::table::write_csv;
+use vebo_bench::{HarnessArgs, OrderingKind, Table};
+use vebo_core::balance::summarize;
+use vebo_graph::Dataset;
+use vebo_partition::EdgeOrder;
+
+fn quartile_row(label: &str, nanos: &[f64]) -> Vec<String> {
+    let q = nanos.len() / 4;
+    let quarter = |lo: usize, hi: usize| {
+        let s: f64 = nanos[lo..hi].iter().sum();
+        s / (hi - lo) as f64 / 1e3
+    };
+    let s = summarize(nanos);
+    vec![
+        label.to_string(),
+        format!("{:.1}", quarter(0, q.max(1))),
+        format!("{:.1}", quarter(q, (2 * q).max(q + 1))),
+        format!("{:.1}", quarter(2 * q, (3 * q).max(2 * q + 1))),
+        format!("{:.1}", quarter(3 * q, nanos.len())),
+        format!("{:.1}", s.mean / 1e3),
+    ]
+}
+
+fn main() {
+    let args = HarnessArgs::parse("fig06_hilbert_csr", "Figure 6: high-to-low order, Hilbert vs CSR");
+    let p = args.partitions.unwrap_or(384);
+    let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
+    println!(
+        "== Figure 6: PR (1 iteration) on {} — per-partition mean time by quartile of\n\
+         partition id (first quartile holds the highest-degree vertices), P = {p}, scale {} ==\n",
+        dataset.name(),
+        args.scale
+    );
+
+    let g = dataset.build(args.scale);
+    let (high_to_low, _) = ordered_graph(&g, OrderingKind::HighToLow, p);
+    let (vebo_g, vebo_starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
+
+    let cases: [(&str, &vebo_graph::Graph, EdgeOrder, Option<&[usize]>); 3] = [
+        ("High-to-low, Hilbert", &high_to_low, EdgeOrder::Hilbert, None),
+        ("High-to-low, CSR", &high_to_low, EdgeOrder::Csr, None),
+        ("VEBO, CSR", &vebo_g, EdgeOrder::Csr, vebo_starts.as_deref()),
+    ];
+    let mut t = Table::new(&["Case", "Q1 us", "Q2 us", "Q3 us", "Q4 us", "mean us"]);
+    for (label, graph, order, st) in cases {
+        let nanos: Vec<f64> = pr_partition_nanos(graph, p, order, 20, st)
+            .iter()
+            .map(|&n| n as f64)
+            .collect();
+        t.row(&quartile_row(label, &nanos));
+        let slug = label.to_lowercase().replace([' ', ','], "_").replace("__", "_");
+        let rows = nanos.iter().enumerate().map(|(i, n)| vec![i.to_string(), format!("{n}")]);
+        write_csv(&format!("results/fig06_{slug}.csv"), &["partition", "nanos"], rows)
+            .expect("write csv");
+    }
+    t.print();
+    println!(
+        "\nPaper (6a): under high-to-low order the *last* partitions (exclusively\n\
+         degree-1 vertices) run up to 3x slower than VEBO's mixed-degree\n\
+         partitions. (6b): for the high-degree partitions CSR order beats Hilbert\n\
+         order — which is why VEBO ships with CSR-ordered COO."
+    );
+}

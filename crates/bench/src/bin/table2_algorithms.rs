@@ -1,0 +1,40 @@
+//! Table II: algorithm characteristics — traversal direction, vertex/edge
+//! orientation, and the frontier density classes actually observed.
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin table2_algorithms -- --quick
+//! ```
+
+use vebo_algorithms::{needs_weights, run_algorithm, AlgorithmKind};
+use vebo_bench::{HarnessArgs, Table};
+use vebo_engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo_graph::Dataset;
+
+fn main() {
+    let args = HarnessArgs::parse("table2_algorithms", "Table II: algorithm characteristics");
+    let dataset = args.dataset.unwrap_or(Dataset::LiveJournalLike);
+    let scale = args.scale_or(0.5);
+    println!("== Table II: algorithm characteristics (measured on {}, scale {scale}) ==\n", dataset.name());
+
+    let base = dataset.build(scale);
+    let mut t = Table::new(&["Code", "B/F", "V/E", "Frontiers (measured)", "Iterations", "Edges examined"]);
+    for kind in AlgorithmKind::ALL {
+        let g = if needs_weights(kind) { base.clone().with_hash_weights(32) } else { base.clone() };
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+        let classes: Vec<&str> = report.observed_classes().iter().map(|c| c.code()).collect();
+        t.row(&[
+            kind.code().to_string(),
+            kind.direction().to_string(),
+            kind.orientation().to_string(),
+            classes.join("/"),
+            report.iterations.to_string(),
+            report.total_edges().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper (Table II): BC=B/V/m-s, CC=B/E/d-m-s, PR=B/E/d, BFS=B/V/m-s,\n\
+         PRD=F/E/d-m-s, SPMV=F/E/d, BF=F/V/d-m-s, BP=F/E/d."
+    );
+}

@@ -1,0 +1,126 @@
+//! Table III: simulated 48-thread runtime of the three systems under four
+//! vertex orderings, for all eight algorithms and datasets.
+//!
+//! Runtime = sum over edgemap/vertexmap operations of the operation's
+//! simulated makespan (measured per-task cost + the system's scheduling
+//! policy). Defaults to `--scale 0.25` because the full cross product is
+//! 768 runs; pass `--scale 1.0` for the full-size analogues.
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin table3_runtime -- --quick
+//! ```
+
+use vebo_algorithms::{needs_weights, run_algorithm, AlgorithmKind};
+use vebo_bench::pipeline::{ordered_with_starts, prepare_profile, simulated_seconds};
+use vebo_bench::{HarnessArgs, OrderingKind, Table};
+use vebo_engine::{EdgeMapOptions, SystemKind, SystemProfile};
+use vebo_graph::Graph;
+use vebo_partition::EdgeOrder;
+
+/// The three system profiles of §IV. VEBO pairs GraphGrind with CSR edge
+/// order (§V-G); the original order uses Hilbert, as shipped.
+fn profile_for(kind: SystemKind, ordering: OrderingKind) -> SystemProfile {
+    match kind {
+        SystemKind::LigraLike => SystemProfile::ligra_like(),
+        SystemKind::PolymerLike => SystemProfile::polymer_like(),
+        SystemKind::GraphGrindLike => {
+            let order = if ordering == OrderingKind::Vebo { EdgeOrder::Csr } else { EdgeOrder::Hilbert };
+            SystemProfile::graphgrind_like(order)
+        }
+    }
+}
+
+fn vebo_partitions(kind: SystemKind) -> usize {
+    match kind {
+        SystemKind::PolymerLike => 4, // one per NUMA socket, as in §IV
+        _ => 384,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse("table3_runtime", "Table III: runtimes of 3 systems x 4 orderings");
+    let scale = args.scale_or(0.25);
+    let orderings: &[OrderingKind] =
+        if args.extended { &OrderingKind::TABLE3_EXTENDED } else { &OrderingKind::TABLE3 };
+    let systems = [SystemKind::LigraLike, SystemKind::PolymerLike, SystemKind::GraphGrindLike];
+    println!("== Table III: simulated {}-thread runtime in seconds (scale {scale}) ==", args.threads);
+    let names: Vec<&str> = orderings.iter().map(|o| o.name()).collect();
+    println!("   (per system: {}; * marks the fastest)\n", names.join(" / "));
+
+    let mut header: Vec<String> = vec!["Graph".into(), "Algo".into()];
+    for s in systems {
+        for o in orderings {
+            header.push(format!("{}:{}", s.name(), o.name()));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+
+    // Geometric-mean speedup of VEBO over each system's original order.
+    let mut speedup_log: Vec<(SystemKind, f64)> = Vec::new();
+
+    for dataset in args.datasets() {
+        let base = dataset.build(scale);
+        // Reordered graphs, one per (ordering, partition-count) pair,
+        // keeping VEBO's exact boundaries for the partitioned systems.
+        type Entry = (OrderingKind, usize, Graph, Option<Vec<usize>>);
+        let mut graphs: Vec<Entry> = Vec::new();
+        for &ordering in orderings {
+            for p in [4usize, 384] {
+                let partition_dependent =
+                    matches!(ordering, OrderingKind::Vebo | OrderingKind::MetisLike);
+                if !partition_dependent && p == 4 {
+                    continue; // only VEBO/METIS-like depend on the partition count
+                }
+                let (h, starts, _) = ordered_with_starts(&base, ordering, p);
+                graphs.push((ordering, p, h, starts));
+            }
+        }
+        let lookup = |ordering: OrderingKind, p: usize| -> (&Graph, Option<&[usize]>) {
+            graphs
+                .iter()
+                .find(|(o, q, _, _)| {
+                    *o == ordering
+                        && (!matches!(o, OrderingKind::Vebo | OrderingKind::MetisLike) || *q == p)
+                })
+                .map(|(_, _, g, s)| (g, s.as_deref()))
+                .unwrap()
+        };
+
+        for kind in AlgorithmKind::ALL {
+            let mut cells: Vec<String> = vec![dataset.name().into(), kind.code().into()];
+            for system in systems {
+                let mut times = Vec::new();
+                for &ordering in orderings {
+                    let profile = profile_for(system, ordering).with_partitions(match system {
+                        SystemKind::PolymerLike => 4,
+                        _ => args.partitions.unwrap_or(384),
+                    });
+                    let (g, starts) = lookup(ordering, vebo_partitions(system));
+                    let g = if needs_weights(kind) { g.clone().with_hash_weights(32) } else { g.clone() };
+                    let pg = prepare_profile(g, profile, starts);
+                    let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+                    times.push(simulated_seconds(&report, &profile));
+                }
+                let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+                for (i, time) in times.iter().enumerate() {
+                    let mark = if *time == best { "*" } else { "" };
+                    cells.push(format!("{time:.4}{mark}"));
+                    if orderings[i] == OrderingKind::Vebo {
+                        speedup_log.push((system, times[0] / time));
+                    }
+                }
+            }
+            t.row(&cells);
+        }
+    }
+    t.print();
+
+    println!("\nGeometric-mean speedup of VEBO over the original ordering:");
+    for system in systems {
+        let logs: Vec<f64> =
+            speedup_log.iter().filter(|(s, _)| *s == system).map(|(_, r)| r.ln()).collect();
+        let gm = (logs.iter().sum::<f64>() / logs.len() as f64).exp();
+        println!("  {:<11} {gm:.2}x   (paper: Ligra 1.09x, Polymer 1.41x, GraphGrind 1.65x)", system.name());
+    }
+}

@@ -1,0 +1,99 @@
+//! Table IV: distribution of active edges over partitions for the sparse
+//! iterations of BFS (original order vs VEBO, 384 partitions).
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin table4_sparse_frontier -- --quick
+//! ```
+
+use vebo_algorithms::default_source;
+use vebo_bench::pipeline::ordered_graph;
+use vebo_bench::{HarnessArgs, OrderingKind, Table};
+use vebo_core::balance::summarize;
+use vebo_engine::{edge_map, EdgeMapOptions, Frontier, PreparedGraph, SystemProfile};
+use vebo_graph::{Dataset, Graph, VertexId};
+use vebo_partition::{EdgeOrder, PartitionBounds};
+
+/// Runs BFS, returning the input frontier (as a vertex list) of every
+/// iteration.
+fn bfs_frontiers(g: &Graph) -> Vec<Vec<VertexId>> {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    struct Op {
+        parent: Vec<AtomicU32>,
+    }
+    impl vebo_engine::EdgeOp for Op {
+        fn update(&self, s: VertexId, d: VertexId, _w: f32) -> bool {
+            if self.parent[d as usize].load(Ordering::Relaxed) == u32::MAX {
+                self.parent[d as usize].store(s, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        }
+        fn update_atomic(&self, s: VertexId, d: VertexId, _w: f32) -> bool {
+            self.parent[d as usize]
+                .compare_exchange(u32::MAX, s, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        }
+        fn cond(&self, d: VertexId) -> bool {
+            self.parent[d as usize].load(Ordering::Relaxed) == u32::MAX
+        }
+    }
+    let n = g.num_vertices();
+    let src = default_source(g);
+    let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+    let op = Op { parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect() };
+    op.parent[src as usize].store(src, Ordering::Relaxed);
+    let mut frontier = Frontier::single(n, src);
+    let mut out = Vec::new();
+    while !frontier.is_empty() {
+        out.push(frontier.to_sparse().iter_active().collect());
+        let (next, _) = edge_map(&pg, &frontier, &op, &EdgeMapOptions::default());
+        frontier = next;
+    }
+    out
+}
+
+fn main() {
+    let args = HarnessArgs::parse("table4_sparse_frontier", "Table IV: active edges per partition in BFS");
+    let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
+    let p = args.partitions.unwrap_or(384);
+    println!(
+        "== Table IV: active-edge distribution over {p} partitions, BFS on {} (scale {}) ==\n",
+        dataset.name(),
+        args.scale
+    );
+
+    let g = dataset.build(args.scale);
+    let (vebo_g, _) = ordered_graph(&g, OrderingKind::Vebo, p);
+
+    let mut t = Table::new(&["Iter", "ActiveEdges", "Ideal/Part", "Order", "Min", "Median", "S.D.", "Max"]);
+    for (label, graph) in [("Orig.", &g), ("VEBO", &vebo_g)] {
+        let bounds = PartitionBounds::edge_balanced(graph, p);
+        let frontiers = bfs_frontiers(graph);
+        for (iter, frontier) in frontiers.iter().enumerate() {
+            let counts = vebo_partition::stats::active_edges_per_partition(graph, &bounds, frontier);
+            let total: u64 = counts.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let vals: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+            let s = summarize(&vals);
+            t.row(&[
+                iter.to_string(),
+                total.to_string(),
+                format!("{:.1}", total as f64 / p as f64),
+                label.to_string(),
+                format!("{:.0}", s.min),
+                format!("{:.1}", s.median),
+                format!("{:.1}", s.std_dev),
+                format!("{:.0}", s.max),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper: VEBO raises the minimum (original has many partitions with zero\n\
+         active edges), raises the median toward the ideal, and cuts the standard\n\
+         deviation by up to 1.5x on the dominant iterations."
+    );
+}

@@ -1,0 +1,94 @@
+//! Table V: architectural events for vertexmap vs edgemap (local misses,
+//! remote misses, TLB misses — MPKI), original order vs VEBO.
+//!
+//! Hardware counters are replaced by the `vebo-perfmodel` simulators fed
+//! with the engine's exact access streams. PR is traced through the dense
+//! CSC pull; BF through the COO stream (its dominant dense iterations).
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin table5_vertex_edge_map -- --quick
+//! ```
+
+use vebo_bench::pipeline::ordered_with_starts;
+use vebo_bench::{HarnessArgs, OrderingKind, Table};
+use vebo_graph::{Dataset, Graph};
+use vebo_partition::numa::NumaTopology;
+use vebo_partition::partitioned::PartitionedCoo;
+use vebo_partition::{EdgeOrder, PartitionBounds};
+use vebo_perfmodel::{
+    mean, simulate_edgemap_coo, simulate_edgemap_pull, simulate_vertexmap, NumaLayout, SimConfig,
+};
+
+struct Mpki {
+    local: f64,
+    remote: f64,
+    tlb: f64,
+}
+
+fn summarize(reports: &[vebo_perfmodel::ThreadReport]) -> Mpki {
+    Mpki {
+        local: mean(reports.iter().map(|r| r.local_mpki())),
+        remote: mean(reports.iter().map(|r| r.remote_mpki())),
+        tlb: mean(reports.iter().map(|r| r.tlb_mki())),
+    }
+}
+
+fn trace(g: &Graph, p: usize, app: &str, starts: Option<&[usize]>) -> (Mpki, Mpki) {
+    let bounds = match starts {
+        Some(s) => PartitionBounds::from_starts(s.to_vec()),
+        None => PartitionBounds::edge_balanced(g, p),
+    };
+    let layout = NumaLayout::new(bounds.clone(), NumaTopology::default());
+    let cfg = SimConfig::default();
+    let vm = summarize(&simulate_vertexmap(g, &layout, &cfg));
+    let em = if app == "PR" {
+        summarize(&simulate_edgemap_pull(g, &layout, &cfg))
+    } else {
+        let coo = PartitionedCoo::build(g, &bounds, EdgeOrder::Csr);
+        summarize(&simulate_edgemap_coo(&coo, &layout, &cfg))
+    };
+    (vm, em)
+}
+
+fn main() {
+    let args = HarnessArgs::parse("table5_vertex_edge_map", "Table V: vertexmap vs edgemap MPKI");
+    let p = args.partitions.unwrap_or(384);
+    let datasets = match args.dataset {
+        Some(d) => vec![d],
+        None => vec![Dataset::TwitterLike, Dataset::FriendsterLike],
+    };
+    println!("== Table V: architectural events (simulated MPKI, P = {p}, scale {}) ==\n", args.scale);
+
+    let mut t = Table::new(&[
+        "Graph", "App", "Order", "VM local", "VM rmt", "VM TLB", "EM local", "EM rmt", "EM TLB",
+    ]);
+    for dataset in datasets {
+        let g = dataset.build(args.scale);
+        let (vebo_g, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
+        for app in ["PR", "BF"] {
+            for (label, graph, st) in
+                [("Ori.", &g, None), ("VEBO", &vebo_g, starts.as_deref())]
+            {
+                let (vm, em) = trace(graph, p, app, st);
+                t.row(&[
+                    dataset.name().into(),
+                    app.into(),
+                    label.into(),
+                    format!("{:.2}", vm.local),
+                    format!("{:.2}", vm.remote),
+                    format!("{:.3}", vm.tlb),
+                    format!("{:.2}", em.local),
+                    format!("{:.2}", em.remote),
+                    format!("{:.2}", em.tlb),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper: VEBO cuts vertexmap *remote* misses sharply (equal vertices per\n\
+         partition align the equally-spread vertexmap iterations with the NUMA\n\
+         placement) and generally improves edgemap locality, with PR on Twitter\n\
+         as the noted counter-example."
+    );
+}

@@ -1,0 +1,99 @@
+//! Table VI: preprocessing overhead — vertex reordering cost (RCM vs
+//! Gorder vs VEBO), edge reordering + partitioning cost (Hilbert vs CSR
+//! order), and the resulting BFS / PR runtimes (original vs VEBO).
+//!
+//! ```text
+//! cargo run --release -p vebo-bench --bin table6_overhead -- --quick
+//! ```
+
+use std::time::Instant;
+use vebo_algorithms::{run_algorithm, AlgorithmKind};
+use vebo_baselines::{Gorder, Rcm};
+use vebo_bench::pipeline::{ordered_with_starts, prepare_profile, simulated_seconds};
+use vebo_bench::{HarnessArgs, OrderingKind, Table};
+use vebo_core::Vebo;
+use vebo_engine::{EdgeMapOptions, SystemProfile};
+use vebo_graph::{Dataset, VertexOrdering};
+use vebo_partition::partitioned::PartitionedCoo;
+use vebo_partition::{EdgeOrder, PartitionBounds};
+
+fn main() {
+    let args = HarnessArgs::parse("table6_overhead", "Table VI: reordering and partitioning overhead");
+    let p = args.partitions.unwrap_or(384);
+    let scale = args.scale_or(0.5);
+    let datasets = match args.dataset {
+        Some(d) => vec![d],
+        None => vec![Dataset::TwitterLike, Dataset::FriendsterLike],
+    };
+    println!("== Table VI: preprocessing overhead in seconds (P = {p}, scale {scale}) ==\n");
+
+    let mut t = Table::new(&[
+        "Graph", "RCM", "Gorder", "VEBO", "Hilbert reorder", "CSR reorder", "BFS Orig", "BFS VEBO",
+        "PR Orig", "PR VEBO",
+    ]);
+    for dataset in datasets {
+        let g = dataset.build(scale);
+
+        // --- vertex reordering costs ---
+        let t0 = Instant::now();
+        let _ = Rcm.compute(&g);
+        let rcm_s = t0.elapsed().as_secs_f64();
+        // Faithful Gorder on small graphs; hub-capped above 30k vertices
+        // so the harness stays time-boxed (the faithful cost is what the
+        // paper's 7803s/8930s numbers reflect).
+        let faithful = g.num_vertices() <= 30_000;
+        let t0 = Instant::now();
+        if faithful {
+            let _ = Gorder::new().compute(&g);
+        } else {
+            let _ = Gorder::new().with_hub_cap(64).compute(&g);
+        }
+        let gorder_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let vebo_perm = Vebo::new(p).compute(&g);
+        let vebo_s = t0.elapsed().as_secs_f64();
+
+        // --- edge reordering + partitioning costs (on the VEBO graph) ---
+        let h = vebo_perm.apply_graph(&g);
+        let bounds = PartitionBounds::edge_balanced(&h, p);
+        let t0 = Instant::now();
+        let _ = PartitionedCoo::build(&h, &bounds, EdgeOrder::Hilbert);
+        let hil_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let _ = PartitionedCoo::build(&h, &bounds, EdgeOrder::Csr);
+        let csr_s = t0.elapsed().as_secs_f64();
+
+        // --- BFS and PR runtimes, original vs VEBO (GraphGrind profile) ---
+        let mut algo_secs = Vec::new();
+        for kind in [AlgorithmKind::Bfs, AlgorithmKind::Pr] {
+            for ordering in [OrderingKind::Original, OrderingKind::Vebo] {
+                let (graph, starts, _) = ordered_with_starts(&g, ordering, p);
+                let order =
+                    if ordering == OrderingKind::Vebo { EdgeOrder::Csr } else { EdgeOrder::Hilbert };
+                let profile = SystemProfile::graphgrind_like(order).with_partitions(p);
+                let pg = prepare_profile(graph, profile, starts.as_deref());
+                let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+                algo_secs.push(simulated_seconds(&report, &profile));
+            }
+        }
+
+        t.row(&[
+            dataset.name().into(),
+            format!("{rcm_s:.3}"),
+            format!("{gorder_s:.3}{}", if faithful { "" } else { " (capped)" }),
+            format!("{vebo_s:.3}"),
+            format!("{hil_s:.3}"),
+            format!("{csr_s:.3}"),
+            format!("{:.4}", algo_secs[0]),
+            format!("{:.4}", algo_secs[1]),
+            format!("{:.4}", algo_secs[2]),
+            format!("{:.4}", algo_secs[3]),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper: VEBO reorders up to 101x faster than RCM and 1524x faster than\n\
+         Gorder; CSR edge order builds ~2.4x faster than Hilbert order; the\n\
+         preprocessing cost is amortized by the PR speedup within one run."
+    );
+}

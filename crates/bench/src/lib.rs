@@ -1,0 +1,17 @@
+//! # vebo-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`) plus Criterion micro-benchmarks (`benches/`). This library
+//! holds the shared pieces: a tiny CLI parser, a column-aligned table
+//! printer, and the ordering/preparation/run pipeline every experiment
+//! reuses.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod pipeline;
+pub mod table;
+
+pub use args::HarnessArgs;
+pub use pipeline::{ordered_graph, ordered_with_starts, prepare_profile, simulated_seconds, OrderingKind};
+pub use table::Table;

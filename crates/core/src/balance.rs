@@ -1,0 +1,200 @@
+//! Load-balance metrics: the Δ (edge) and δ (vertex) imbalances of §III-A
+//! plus spread/deviation statistics used throughout the evaluation.
+
+use crate::vebo::VeboResult;
+use vebo_graph::Graph;
+
+/// Per-partitioning balance summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BalanceReport {
+    /// `w[p]`: in-edges per partition.
+    pub edge_counts: Vec<u64>,
+    /// `u[p]`: vertices per partition.
+    pub vertex_counts: Vec<usize>,
+    /// `Δ(n) = max w - min w`.
+    pub edge_imbalance: u64,
+    /// `δ(n) = max u - min u`.
+    pub vertex_imbalance: usize,
+}
+
+impl BalanceReport {
+    /// Builds from explicit per-partition counts.
+    pub fn from_counts(edge_counts: Vec<u64>, vertex_counts: Vec<usize>) -> BalanceReport {
+        assert_eq!(edge_counts.len(), vertex_counts.len());
+        assert!(!edge_counts.is_empty());
+        let edge_imbalance =
+            edge_counts.iter().max().unwrap() - edge_counts.iter().min().unwrap();
+        let vertex_imbalance =
+            vertex_counts.iter().max().unwrap() - vertex_counts.iter().min().unwrap();
+        BalanceReport { edge_counts, vertex_counts, edge_imbalance, vertex_imbalance }
+    }
+
+    /// Builds from a [`VeboResult`].
+    pub fn from_result(r: &VeboResult) -> BalanceReport {
+        Self::from_counts(r.edge_counts.clone(), r.vertex_counts.clone())
+    }
+
+    /// Builds from an arbitrary per-vertex partition assignment: counts
+    /// each vertex and its in-edges toward its assigned partition
+    /// (partitioning *by destination*, as everywhere in the paper).
+    pub fn from_assignment(g: &Graph, assignment: &[u32], num_partitions: usize) -> BalanceReport {
+        assert_eq!(assignment.len(), g.num_vertices());
+        let mut edges = vec![0u64; num_partitions];
+        let mut verts = vec![0usize; num_partitions];
+        for v in g.vertices() {
+            let p = assignment[v as usize] as usize;
+            verts[p] += 1;
+            edges[p] += g.in_degree(v) as u64;
+        }
+        Self::from_counts(edges, verts)
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.edge_counts.len()
+    }
+
+    /// Max/min ratio of edge counts (the "spread" the paper quotes, e.g.
+    /// 6.9x vs 1.6x for PR on Twitter). Returns `f64::INFINITY` when some
+    /// partition is empty.
+    pub fn edge_spread(&self) -> f64 {
+        let max = *self.edge_counts.iter().max().unwrap() as f64;
+        let min = *self.edge_counts.iter().min().unwrap() as f64;
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// Sample standard deviation of the edge counts.
+    pub fn edge_std_dev(&self) -> f64 {
+        std_dev(self.edge_counts.iter().map(|&e| e as f64))
+    }
+
+    /// Sample standard deviation of the vertex counts.
+    pub fn vertex_std_dev(&self) -> f64 {
+        std_dev(self.vertex_counts.iter().map(|&u| u as f64))
+    }
+
+    /// `true` when both optimality criteria of §III-A hold.
+    pub fn is_optimal(&self) -> bool {
+        self.edge_imbalance <= 1 && self.vertex_imbalance <= 1
+    }
+}
+
+/// Distribution summary (min / median / std-dev / max) in the format of
+/// Table IV.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistributionSummary {
+    /// Smallest value.
+    pub min: f64,
+    /// Median value.
+    pub median: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Summarizes an arbitrary sample (e.g. active edges per partition).
+pub fn summarize(values: &[f64]) -> DistributionSummary {
+    assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    DistributionSummary {
+        min: sorted[0],
+        median,
+        std_dev: std_dev(sorted.iter().copied()),
+        max: sorted[n - 1],
+        mean: sorted.iter().sum::<f64>() / n as f64,
+    }
+}
+
+fn std_dev(values: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = values.clone().count();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = values.clone().sum::<f64>() / n as f64;
+    let var = values.map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vebo::Vebo;
+    use vebo_graph::Dataset;
+
+    #[test]
+    fn from_counts_computes_imbalances() {
+        let r = BalanceReport::from_counts(vec![10, 12, 11], vec![5, 5, 6]);
+        assert_eq!(r.edge_imbalance, 2);
+        assert_eq!(r.vertex_imbalance, 1);
+        assert!(!r.is_optimal());
+    }
+
+    #[test]
+    fn optimal_when_both_within_one() {
+        let r = BalanceReport::from_counts(vec![10, 11], vec![5, 5]);
+        assert!(r.is_optimal());
+    }
+
+    #[test]
+    fn spread_handles_zero_partitions() {
+        let r = BalanceReport::from_counts(vec![0, 8], vec![1, 1]);
+        assert!(r.edge_spread().is_infinite());
+        let r2 = BalanceReport::from_counts(vec![4, 8], vec![1, 1]);
+        assert!((r2.edge_spread() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_assignment_counts_in_edges() {
+        let g = vebo_graph::Graph::from_edges(4, &[(0, 1), (2, 1), (3, 1), (1, 0)], true);
+        // partition 0 = {0, 1}, partition 1 = {2, 3}
+        let r = BalanceReport::from_assignment(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(r.edge_counts, vec![4, 0]); // all edges point into {0, 1}
+        assert_eq!(r.vertex_counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn from_result_equals_from_assignment() {
+        let g = Dataset::YahooLike.build(0.05);
+        let res = Vebo::new(24).compute_full(&g);
+        let a = BalanceReport::from_result(&res);
+        let b = BalanceReport::from_assignment(&g, &res.assignment, 24);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summarize_known_values() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+        // sample std dev of 1..4 = sqrt(5/3)
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_odd_length_median() {
+        let s = summarize(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        let s = summarize(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.std_dev, 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # vebo-core
+//!
+//! The VEBO (Vertex- and Edge-Balanced Ordering) algorithm from
+//! *"VEBO: A Vertex- and Edge-Balanced Ordering Heuristic to Load Balance
+//! Parallel Graph Processing"* (Sun, Vandierendonck, Nikolopoulos,
+//! PPoPP 2019).
+//!
+//! VEBO reorders the vertices of a graph so that the trivial
+//! locality-preserving chunk partitioner ("Algorithm 1" in the paper;
+//! implemented in `vebo-partition`) produces partitions whose edge counts
+//! differ by at most one *and* whose vertex counts differ by at most one —
+//! for any number of partitions `P`, in `O(n log P)` time, provided the
+//! graph's in-degree distribution is power-law (Theorems 1 and 2).
+//!
+//! ```
+//! use vebo_graph::{Dataset, VertexOrdering};
+//! use vebo_core::{balance::BalanceReport, Vebo};
+//!
+//! let g = Dataset::TwitterLike.build(0.05);
+//! // 16 partitions: |E| >= N (P - 1) holds comfortably at demo scale
+//! // (the paper's billion-edge graphs satisfy it at P = 384).
+//! let vebo = Vebo::new(16);
+//! let result = vebo.compute_full(&g);
+//! let report = BalanceReport::from_result(&result);
+//! assert!(report.edge_imbalance <= 1);
+//! assert!(report.vertex_imbalance <= 1);
+//!
+//! // Or use it as a plain vertex ordering:
+//! let perm = vebo.compute(&g);
+//! let reordered = perm.apply_graph(&g);
+//! assert_eq!(reordered.num_edges(), g.num_edges());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod heap;
+pub mod theory;
+pub mod vebo;
+
+pub use balance::BalanceReport;
+pub use heap::MinLoadHeap;
+pub use vebo::{ArgMinStrategy, Vebo, VeboResult, VeboVariant};

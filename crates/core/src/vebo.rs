@@ -1,0 +1,488 @@
+//! Algorithm 2 of the paper: the VEBO reordering algorithm.
+//!
+//! Three phases (§III-B):
+//!
+//! 1. vertices with non-zero in-degree are placed in order of decreasing
+//!    in-degree, each onto the partition with the fewest edges so far
+//!    (multiprocessor-scheduling style, Graham 1969);
+//! 2. zero-in-degree vertices are placed onto the partition with the
+//!    fewest *vertices*, repairing any vertex imbalance phase 1 left;
+//! 3. vertices receive new sequence numbers such that each partition is a
+//!    contiguous range of new ids.
+//!
+//! Two variants are provided:
+//!
+//! * [`VeboVariant::Strict`] — the literal Algorithm 2;
+//! * [`VeboVariant::Blocked`] (default) — the locality-preserving
+//!   modification of §III-D: per degree class, the algorithm only *counts*
+//!   how many vertices go to each partition, then assigns blocks of
+//!   consecutive original ids to the same partition. Edge and vertex counts
+//!   per partition are identical to the strict variant; only the mapping of
+//!   individual vertices within a degree class changes, preserving any
+//!   spatial locality of the input order.
+
+use crate::heap::{LinearArgMin, MinLoadHeap};
+use vebo_graph::degree::vertices_by_decreasing_in_degree;
+use vebo_graph::{Graph, Permutation, VertexId, VertexOrdering};
+
+/// Which variant of Algorithm 2 to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VeboVariant {
+    /// Literal Algorithm 2; scatters consecutive input ids across
+    /// partitions (the drawback noted in §III-D).
+    Strict,
+    /// Locality-preserving block assignment (§III-D); the paper uses this
+    /// for all experiments, and so do we.
+    #[default]
+    Blocked,
+}
+
+/// How the `arg min` in the placement loops is computed. `Heap` is the
+/// `O(log P)` structure the complexity claim relies on; `LinearScan` is the
+/// `O(P)` ablation alternative.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ArgMinStrategy {
+    /// `O(log P)` min-heap (the complexity the paper claims).
+    #[default]
+    Heap,
+    /// `O(P)` linear scan (ablation comparator).
+    LinearScan,
+}
+
+/// The VEBO ordering algorithm, parameterized by partition count.
+#[derive(Clone, Debug)]
+pub struct Vebo {
+    num_partitions: usize,
+    variant: VeboVariant,
+    argmin: ArgMinStrategy,
+}
+
+impl Vebo {
+    /// VEBO with the paper's default variant (blocked) and a heap argmin.
+    pub fn new(num_partitions: usize) -> Vebo {
+        Vebo { num_partitions, variant: VeboVariant::default(), argmin: ArgMinStrategy::default() }
+    }
+
+    /// Selects the strict or blocked variant.
+    pub fn with_variant(mut self, variant: VeboVariant) -> Vebo {
+        self.variant = variant;
+        self
+    }
+
+    /// Selects the argmin implementation (ablation knob).
+    pub fn with_argmin(mut self, argmin: ArgMinStrategy) -> Vebo {
+        self.argmin = argmin;
+        self
+    }
+
+    /// Number of partitions `P`.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Runs all three phases and returns the full result (permutation plus
+    /// per-partition counts and boundaries).
+    pub fn compute_full(&self, g: &Graph) -> VeboResult {
+        let p = self.num_partitions;
+        assert!(p >= 1, "need at least one partition");
+        let n = g.num_vertices();
+        let order = vertices_by_decreasing_in_degree(g);
+        let num_nonzero = order.iter().take_while(|&&v| g.in_degree(v) > 0).count();
+
+        let mut assignment = vec![0u32; n];
+        let mut vertex_counts = vec![0usize; p];
+        let mut edge_counts = vec![0u64; p];
+
+        // Phases 1 and 2: placement.
+        match self.variant {
+            VeboVariant::Strict => self.place_strict(
+                g,
+                &order,
+                num_nonzero,
+                &mut assignment,
+                &mut vertex_counts,
+                &mut edge_counts,
+            ),
+            VeboVariant::Blocked => self.place_blocked(
+                g,
+                &order,
+                num_nonzero,
+                &mut assignment,
+                &mut vertex_counts,
+                &mut edge_counts,
+            ),
+        }
+
+        // Phase 3: sequence numbers. Partition `q` receives the contiguous
+        // new-id range starting at the prefix sum of vertex counts; within
+        // a partition, vertices appear in placement order (decreasing
+        // degree, ascending original id within a degree class) — this is
+        // what makes the inner edge-loop branch predictable (§V-E).
+        let mut starts = Vec::with_capacity(p + 1);
+        let mut acc = 0usize;
+        for &u in &vertex_counts {
+            starts.push(acc);
+            acc += u;
+        }
+        starts.push(acc);
+        debug_assert_eq!(acc, n);
+
+        let mut cursor: Vec<usize> = starts[..p].to_vec();
+        let mut new_ids = vec![0 as VertexId; n];
+        for &v in &order {
+            let q = assignment[v as usize] as usize;
+            new_ids[v as usize] = cursor[q] as VertexId;
+            cursor[q] += 1;
+        }
+
+        let permutation = Permutation::from_new_ids(new_ids).expect("VEBO produces a bijection");
+        VeboResult { permutation, assignment, vertex_counts, edge_counts, starts }
+    }
+
+    /// Phases 1 and 2 of the literal Algorithm 2.
+    fn place_strict(
+        &self,
+        g: &Graph,
+        order: &[VertexId],
+        num_nonzero: usize,
+        assignment: &mut [u32],
+        vertex_counts: &mut [usize],
+        edge_counts: &mut [u64],
+    ) {
+        let p = self.num_partitions;
+        let mut argmin = ArgMin::new(self.argmin, p);
+        for &v in &order[..num_nonzero] {
+            let d = g.in_degree(v) as u64;
+            let q = argmin.assign_to_min(d);
+            assignment[v as usize] = q;
+            vertex_counts[q as usize] += 1;
+            edge_counts[q as usize] += d;
+        }
+        let loads: Vec<u64> = vertex_counts.iter().map(|&u| u as u64).collect();
+        let mut vheap = ArgMin::with_loads(self.argmin, &loads);
+        for &v in &order[num_nonzero..] {
+            let q = vheap.assign_to_min(1);
+            assignment[v as usize] = q;
+            vertex_counts[q as usize] += 1;
+        }
+    }
+
+    /// Phases 1 and 2 with the §III-D block modification: the heap decides
+    /// *how many* vertices of each degree class each partition receives;
+    /// blocks of consecutive original ids are then assigned per partition.
+    fn place_blocked(
+        &self,
+        g: &Graph,
+        order: &[VertexId],
+        num_nonzero: usize,
+        assignment: &mut [u32],
+        vertex_counts: &mut [usize],
+        edge_counts: &mut [u64],
+    ) {
+        let p = self.num_partitions;
+        let mut argmin = ArgMin::new(self.argmin, p);
+        let mut class_counts = vec![0usize; p];
+
+        // Phase 1 over runs of equal degree. `order` is id-stable within a
+        // class (counting sort), so each run is ascending in original id.
+        let mut t = 0usize;
+        while t < num_nonzero {
+            let d = g.in_degree(order[t]) as u64;
+            let mut end = t + 1;
+            while end < num_nonzero && g.in_degree(order[end]) as u64 == d {
+                end += 1;
+            }
+            class_counts[..].fill(0);
+            for _ in t..end {
+                class_counts[argmin.assign_to_min(d) as usize] += 1;
+            }
+            let mut cursor = t;
+            for (q, &c) in class_counts.iter().enumerate() {
+                for _ in 0..c {
+                    let v = order[cursor] as usize;
+                    assignment[v] = q as u32;
+                    cursor += 1;
+                }
+                vertex_counts[q] += c;
+                edge_counts[q] += c as u64 * d;
+            }
+            t = end;
+        }
+
+        // Phase 2: the zero-degree class, balanced on vertex counts.
+        if num_nonzero < order.len() {
+            let loads: Vec<u64> = vertex_counts.iter().map(|&u| u as u64).collect();
+            let mut vheap = ArgMin::with_loads(self.argmin, &loads);
+            class_counts[..].fill(0);
+            for _ in num_nonzero..order.len() {
+                class_counts[vheap.assign_to_min(1) as usize] += 1;
+            }
+            let mut cursor = num_nonzero;
+            for (q, &c) in class_counts.iter().enumerate() {
+                for _ in 0..c {
+                    let v = order[cursor] as usize;
+                    assignment[v] = q as u32;
+                    cursor += 1;
+                }
+                vertex_counts[q] += c;
+            }
+        }
+    }
+}
+
+impl VertexOrdering for Vebo {
+    fn name(&self) -> &str {
+        "VEBO"
+    }
+
+    fn compute(&self, g: &Graph) -> Permutation {
+        self.compute_full(g).permutation
+    }
+}
+
+/// Either argmin backend behind one interface.
+enum ArgMin {
+    Heap(MinLoadHeap),
+    Linear(LinearArgMin),
+}
+
+impl ArgMin {
+    fn new(strategy: ArgMinStrategy, p: usize) -> ArgMin {
+        match strategy {
+            ArgMinStrategy::Heap => ArgMin::Heap(MinLoadHeap::new(p)),
+            ArgMinStrategy::LinearScan => ArgMin::Linear(LinearArgMin::new(p)),
+        }
+    }
+
+    fn with_loads(strategy: ArgMinStrategy, loads: &[u64]) -> ArgMin {
+        match strategy {
+            ArgMinStrategy::Heap => ArgMin::Heap(MinLoadHeap::with_loads(loads)),
+            ArgMinStrategy::LinearScan => ArgMin::Linear(LinearArgMin::from_loads(loads.to_vec())),
+        }
+    }
+
+    #[inline]
+    fn assign_to_min(&mut self, amount: u64) -> u32 {
+        match self {
+            ArgMin::Heap(h) => h.assign_to_min(amount),
+            ArgMin::Linear(l) => l.assign_to_min(amount),
+        }
+    }
+}
+
+/// Output of [`Vebo::compute_full`].
+#[derive(Clone, Debug)]
+pub struct VeboResult {
+    /// `S[v]`: old id to new id.
+    pub permutation: Permutation,
+    /// `a[v]`: partition of each *old* vertex id.
+    pub assignment: Vec<u32>,
+    /// `u[p]`: vertices per partition.
+    pub vertex_counts: Vec<usize>,
+    /// `w[p]`: in-edges per partition.
+    pub edge_counts: Vec<u64>,
+    /// Partition boundaries in the *new* id space (length `P + 1`):
+    /// partition `p` holds new ids `starts[p]..starts[p + 1]`.
+    pub starts: Vec<usize>,
+}
+
+impl VeboResult {
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.vertex_counts.len()
+    }
+
+    /// Partition of a *new* vertex id (binary search over boundaries).
+    pub fn partition_of_new(&self, new_id: VertexId) -> u32 {
+        let i = self.starts.partition_point(|&s| s <= new_id as usize);
+        (i - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_graph::Dataset;
+
+    /// The 6-vertex example graph of Figure 3 (in-degrees 1,2,2,2,4,3).
+    fn fig3_graph() -> Graph {
+        Graph::from_edges(
+            6,
+            &[
+                (2, 0),
+                (5, 1), (3, 1),
+                (1, 2), (5, 2),
+                (4, 3), (5, 3),
+                (0, 4), (1, 4), (2, 4), (3, 4),
+                (4, 5), (2, 5), (1, 5),
+            ],
+            true,
+        )
+    }
+
+    #[test]
+    fn paper_figure3_strict() {
+        // Walked through in the paper: placement order 4,5,1,2,3,0;
+        // partition 0 gets {4,2,0} (7 edges), partition 1 gets {5,1,3}
+        // (7 edges); each partition has 3 destination vertices.
+        let g = fig3_graph();
+        let r = Vebo::new(2).with_variant(VeboVariant::Strict).compute_full(&g);
+        assert_eq!(r.edge_counts, vec![7, 7]);
+        assert_eq!(r.vertex_counts, vec![3, 3]);
+        assert_eq!(r.assignment, vec![0, 1, 0, 1, 0, 1]);
+        // Phase 3 sequence numbers: S = [2, 4, 1, 5, 0, 3].
+        assert_eq!(r.permutation.as_slice(), &[2, 4, 1, 5, 0, 3]);
+        assert_eq!(r.starts, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn blocked_matches_strict_counts_on_fig3() {
+        let g = fig3_graph();
+        let s = Vebo::new(2).with_variant(VeboVariant::Strict).compute_full(&g);
+        let b = Vebo::new(2).with_variant(VeboVariant::Blocked).compute_full(&g);
+        assert_eq!(s.edge_counts, b.edge_counts);
+        assert_eq!(s.vertex_counts, b.vertex_counts);
+    }
+
+    #[test]
+    fn result_partition_lookup() {
+        let g = fig3_graph();
+        let r = Vebo::new(2).compute_full(&g);
+        for v in g.vertices() {
+            let new = r.permutation.new_id(v);
+            assert_eq!(r.partition_of_new(new), r.assignment[v as usize]);
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijection_on_datasets() {
+        for d in [Dataset::TwitterLike, Dataset::UsaRoadLike] {
+            let g = d.build(0.05);
+            let r = Vebo::new(48).compute_full(&g);
+            assert_eq!(r.permutation.len(), g.num_vertices());
+            // from_new_ids already validates bijectivity; spot-check totals.
+            assert_eq!(r.vertex_counts.iter().sum::<usize>(), g.num_vertices());
+            assert_eq!(r.edge_counts.iter().sum::<u64>(), g.num_edges() as u64);
+        }
+    }
+
+    #[test]
+    fn power_law_balance_is_optimal() {
+        // The headline result (Table I): edge and vertex imbalance <= 1
+        // for power-law graphs. Theorem 1 requires |E| >= N (P - 1); the
+        // paper's full-size graphs meet it at P = 384 with 5x-1000x slack,
+        // so at test scale we pick P <= 384 with comparable (2x) slack.
+        // Directed Zipf datasets also have the zero-degree vertices
+        // Theorem 2 needs for delta(n) <= 1.
+        for d in [Dataset::TwitterLike, Dataset::FriendsterLike, Dataset::LiveJournalLike] {
+            let g = d.build(0.2);
+            let n_ranks = g.vertices().map(|v| g.in_degree(v)).max().unwrap() + 1;
+            let p = (g.num_edges() / (2 * n_ranks)).clamp(2, 384).min(n_ranks - 1);
+            let r = Vebo::new(p).compute_full(&g);
+            let emax = *r.edge_counts.iter().max().unwrap();
+            let emin = *r.edge_counts.iter().min().unwrap();
+            let vmax = *r.vertex_counts.iter().max().unwrap();
+            let vmin = *r.vertex_counts.iter().min().unwrap();
+            assert!(emax - emin <= 1, "{} (P={p}): edge imbalance {}", d.name(), emax - emin);
+            assert!(vmax - vmin <= 1, "{} (P={p}): vertex imbalance {}", d.name(), vmax - vmin);
+        }
+    }
+
+    #[test]
+    fn partitions_are_contiguous_in_new_id_space() {
+        let g = Dataset::LiveJournalLike.build(0.05);
+        let r = Vebo::new(16).compute_full(&g);
+        // Every new id in [starts[p], starts[p+1]) must belong to p.
+        for v in g.vertices() {
+            let new = r.permutation.new_id(v) as usize;
+            let p = r.assignment[v as usize] as usize;
+            assert!(r.starts[p] <= new && new < r.starts[p + 1]);
+        }
+    }
+
+    #[test]
+    fn reordered_graph_has_degree_sorted_runs_within_partition() {
+        // §V-E: "subsequent vertices have the same degree" — within a
+        // partition, in-degrees must be non-increasing in new-id order.
+        let g = Dataset::TwitterLike.build(0.05);
+        let r = Vebo::new(8).compute_full(&g);
+        let h = r.permutation.apply_graph(&g);
+        for p in 0..8 {
+            let range = r.starts[p]..r.starts[p + 1];
+            let degs: Vec<usize> = range.map(|i| h.in_degree(i as VertexId)).collect();
+            assert!(
+                degs.windows(2).all(|w| w[0] >= w[1]),
+                "partition {p} is not degree-sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_keeps_consecutive_ids_together() {
+        // Build a graph where vertices 0..100 all have degree 1 (one
+        // class); blocked must assign runs of consecutive ids, strict
+        // round-robins them.
+        let n = 100;
+        let edges: Vec<(VertexId, VertexId)> = (0..n).map(|v| (((v + 1) % n), v)).collect();
+        let g = Graph::from_edges(n as usize, &edges, true);
+        let blocked = Vebo::new(4).with_variant(VeboVariant::Blocked).compute_full(&g);
+        let strict = Vebo::new(4).with_variant(VeboVariant::Strict).compute_full(&g);
+        // Count adjacent-id pairs that stay in the same partition.
+        let coherence = |r: &VeboResult| {
+            (0..n as usize - 1)
+                .filter(|&v| r.assignment[v] == r.assignment[v + 1])
+                .count()
+        };
+        assert!(coherence(&blocked) > 90, "blocked coherence {}", coherence(&blocked));
+        assert!(coherence(&strict) < 10, "strict coherence {}", coherence(&strict));
+        // Counts are nonetheless identical.
+        assert_eq!(blocked.vertex_counts, strict.vertex_counts);
+        assert_eq!(blocked.edge_counts, strict.edge_counts);
+    }
+
+    #[test]
+    fn linear_scan_matches_heap() {
+        let g = Dataset::YahooLike.build(0.05);
+        let a = Vebo::new(48).with_argmin(ArgMinStrategy::Heap).compute_full(&g);
+        let b = Vebo::new(48).with_argmin(ArgMinStrategy::LinearScan).compute_full(&g);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.permutation.as_slice(), b.permutation.as_slice());
+    }
+
+    #[test]
+    fn single_partition_is_identityish() {
+        let g = fig3_graph();
+        let r = Vebo::new(1).compute_full(&g);
+        assert_eq!(r.vertex_counts, vec![6]);
+        assert_eq!(r.edge_counts, vec![14]);
+        assert_eq!(r.starts, vec![0, 6]);
+    }
+
+    #[test]
+    fn more_partitions_than_vertices() {
+        let g = fig3_graph();
+        let r = Vebo::new(10).compute_full(&g);
+        assert_eq!(r.vertex_counts.iter().sum::<usize>(), 6);
+        let vmax = *r.vertex_counts.iter().max().unwrap();
+        assert!(vmax <= 1);
+    }
+
+    #[test]
+    fn road_network_also_balances() {
+        // Table I: USAroad achieves delta(n) = 1 and Delta(n) = 1 despite
+        // not being scale-free (near-constant degree helps).
+        let g = Dataset::UsaRoadLike.build(0.2);
+        let r = Vebo::new(384).compute_full(&g);
+        let emax = *r.edge_counts.iter().max().unwrap();
+        let emin = *r.edge_counts.iter().min().unwrap();
+        let vmax = *r.vertex_counts.iter().max().unwrap();
+        let vmin = *r.vertex_counts.iter().min().unwrap();
+        assert!(emax - emin <= 2, "edge imbalance {}", emax - emin);
+        assert!(vmax - vmin <= 1, "vertex imbalance {}", vmax - vmin);
+    }
+
+    #[test]
+    fn ordering_trait_name() {
+        assert_eq!(Vebo::new(4).name(), "VEBO");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the VEBO algorithm.
+
+use proptest::prelude::*;
+use vebo_core::theory::trace_phase1;
+use vebo_core::{ArgMinStrategy, Vebo, VeboVariant};
+use vebo_graph::gen::powerlaw::{zipf_directed, ZipfGraphConfig};
+use vebo_graph::{Graph, VertexId};
+
+/// Arbitrary directed multigraph as an edge list over `n` vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..80, 0usize..400, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = vebo_graph::graph::mix64(x);
+            x
+        };
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .collect();
+        Graph::from_edges(n, &edges, true)
+    })
+}
+
+/// Zipf graphs satisfying (roughly) the theorem preconditions.
+fn arb_zipf_graph() -> impl Strategy<Value = (Graph, usize)> {
+    (500usize..4000, 8usize..64, 0u64..50, 2usize..16).prop_map(|(n, ranks, seed, p)| {
+        let g = zipf_directed(&ZipfGraphConfig {
+            num_vertices: n,
+            num_ranks: ranks,
+            s: 1.0,
+            out_skew: 1.0,
+            zero_out_fraction: 0.0,
+            shuffle_ids: false,
+            seed,
+        });
+        (g, p)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The permutation is always a bijection and partition counts always
+    /// sum to the graph totals — for arbitrary graphs, power-law or not.
+    #[test]
+    fn totals_conserved((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 1usize..20))) {
+        let r = Vebo::new(p).compute_full(&g);
+        prop_assert_eq!(r.vertex_counts.iter().sum::<usize>(), g.num_vertices());
+        prop_assert_eq!(r.edge_counts.iter().sum::<u64>(), g.num_edges() as u64);
+        prop_assert_eq!(r.permutation.len(), g.num_vertices());
+        // Boundaries are consistent with vertex counts.
+        for q in 0..p {
+            prop_assert_eq!(r.starts[q + 1] - r.starts[q], r.vertex_counts[q]);
+        }
+    }
+
+    /// Partitions are contiguous ranges of new ids.
+    #[test]
+    fn contiguity((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 1usize..20))) {
+        let r = Vebo::new(p).compute_full(&g);
+        for v in g.vertices() {
+            let new = r.permutation.new_id(v) as usize;
+            let q = r.assignment[v as usize] as usize;
+            prop_assert!(r.starts[q] <= new && new < r.starts[q + 1]);
+        }
+    }
+
+    /// Strict and blocked variants always agree on per-partition counts.
+    #[test]
+    fn blocked_equals_strict_counts((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 1usize..20))) {
+        let s = Vebo::new(p).with_variant(VeboVariant::Strict).compute_full(&g);
+        let b = Vebo::new(p).with_variant(VeboVariant::Blocked).compute_full(&g);
+        prop_assert_eq!(s.edge_counts, b.edge_counts);
+        prop_assert_eq!(s.vertex_counts, b.vertex_counts);
+    }
+
+    /// Heap and linear-scan argmin make identical decisions.
+    #[test]
+    fn argmin_strategies_agree((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 1usize..20))) {
+        let a = Vebo::new(p).with_argmin(ArgMinStrategy::Heap).compute_full(&g);
+        let b = Vebo::new(p).with_argmin(ArgMinStrategy::LinearScan).compute_full(&g);
+        prop_assert_eq!(a.assignment, b.assignment);
+    }
+
+    /// Lemma 1 is distribution-free: it holds for every graph.
+    #[test]
+    fn lemma1_universal((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 2usize..20))) {
+        for step in trace_phase1(&g, p) {
+            prop_assert!(step.satisfies_lemma1(), "{:?}", step);
+        }
+    }
+
+    /// Graham-style bound: the final edge imbalance never exceeds the
+    /// maximum degree (weak corollary of Lemma 1, for arbitrary graphs).
+    #[test]
+    fn imbalance_bounded_by_max_degree((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 2usize..20))) {
+        let r = Vebo::new(p).compute_full(&g);
+        let delta = r.edge_counts.iter().max().unwrap() - r.edge_counts.iter().min().unwrap();
+        let max_deg = g.vertices().map(|v| g.in_degree(v) as u64).max().unwrap_or(0);
+        prop_assert!(delta <= max_deg.max(1));
+    }
+
+    /// Theorem 1 on its intended domain: Zipf graphs meeting the
+    /// preconditions achieve edge imbalance <= 1.
+    #[test]
+    fn theorem1_on_zipf((g, p) in arb_zipf_graph()) {
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let n_ranks = max_in + 1;
+        prop_assume!(g.num_edges() >= n_ranks * (p - 1) && p < n_ranks);
+        let r = Vebo::new(p).compute_full(&g);
+        let delta = r.edge_counts.iter().max().unwrap() - r.edge_counts.iter().min().unwrap();
+        prop_assert!(delta <= 1, "Delta(n) = {delta}");
+    }
+
+    /// Theorem 2 on its intended domain: vertex imbalance <= 1 when the
+    /// graph has enough vertices relative to N * H_{N,s}.
+    #[test]
+    fn theorem2_on_zipf((g, p) in arb_zipf_graph()) {
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap_or(0);
+        let n_ranks = max_in + 1;
+        let h = vebo_graph::gen::zipf::generalized_harmonic(n_ranks, 1.0);
+        prop_assume!(g.num_vertices() as f64 >= n_ranks as f64 * h);
+        prop_assume!(g.num_edges() >= n_ranks * (p - 1) && p < n_ranks);
+        let r = Vebo::new(p).compute_full(&g);
+        let dv = r.vertex_counts.iter().max().unwrap() - r.vertex_counts.iter().min().unwrap();
+        prop_assert!(dv <= 1, "delta(n) = {dv}");
+    }
+
+    /// Reordering is an isomorphism: the permuted graph has the same
+    /// degree multiset and edge count.
+    #[test]
+    fn reorder_is_isomorphism(g in arb_graph()) {
+        let perm = Vebo::new(7).compute_full(&g).permutation;
+        let h = perm.apply_graph(&g);
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        let mut dg: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
+        let mut dh: Vec<usize> = h.vertices().map(|v| h.in_degree(v)).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        prop_assert_eq!(dg, dh);
+    }
+}

@@ -1,0 +1,61 @@
+//! Hash partitioning — the default placement of Pregel-style systems and
+//! the baseline every streaming partitioner in §VI measures itself
+//! against. Deterministic (SplitMix64 on the vertex id), embarrassingly
+//! balanced in vertices, oblivious to edges: it cuts almost the entire
+//! edge set of any graph with more than a few partitions.
+
+use vebo_graph::{mix64, VertexId};
+use vebo_partition::VertexAssignment;
+
+/// Assigns vertex `v` to partition `mix64(v) % p`.
+pub fn hash_partition(num_vertices: usize, num_partitions: usize) -> VertexAssignment {
+    assert!(num_partitions >= 1);
+    let part = (0..num_vertices as VertexId)
+        .map(|v| (mix64(v as u64) % num_partitions as u64) as u32)
+        .collect();
+    VertexAssignment::new(part, num_partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_graph::Dataset;
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(hash_partition(1000, 8), hash_partition(1000, 8));
+    }
+
+    #[test]
+    fn vertex_counts_are_near_uniform() {
+        let a = hash_partition(100_000, 16);
+        let counts = a.vertex_counts();
+        let avg = 100_000.0 / 16.0;
+        for &c in &counts {
+            assert!((c as f64 - avg).abs() < avg * 0.05, "count {c} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn cuts_nearly_everything_on_power_law() {
+        // With p partitions a random placement cuts ~ (1 - 1/p) of edges.
+        let g = Dataset::LiveJournalLike.build(0.05);
+        let a = hash_partition(g.num_vertices(), 16);
+        let q = a.quality(&g);
+        assert!(q.cut_fraction() > 0.85, "cut {}", q.cut_fraction());
+    }
+
+    #[test]
+    fn single_partition_cuts_nothing() {
+        let g = Dataset::YahooLike.build(0.05);
+        let a = hash_partition(g.num_vertices(), 1);
+        assert_eq!(a.quality(&g).cut_edges, 0);
+    }
+
+    #[test]
+    fn empty_vertex_set() {
+        let a = hash_partition(0, 4);
+        assert_eq!(a.num_vertices(), 0);
+        assert_eq!(a.num_partitions(), 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! # vebo-distributed
+//!
+//! The paper closes (§VII) with an open question: *"we will investigate
+//! whether distributed graph processing systems, which typically use
+//! static scheduling, also benefit from increased load balance even if
+//! this comes at the expense of a small increase in vertex replication,
+//! and thus an increase in the volume of data communication."* This crate
+//! builds the machinery to answer it:
+//!
+//! * the distributed partitioners the paper's §VI surveys, rebuilt from
+//!   scratch —
+//!   [`hash`] (the random baseline every system defaults to),
+//!   [`ldg`] (Linear Deterministic Greedy streaming, Stanton & Kliot,
+//!   KDD 2012),
+//!   [`fennel`] (Tsourakakis et al., WSDM 2014),
+//!   [`vertex_cut`] (PowerGraph's greedy vertex-cut edge placement,
+//!   Gonzalez et al., OSDI 2012), and
+//!   [`hybrid_cut`] (PowerLyra's degree-differentiated placement, Chen et
+//!   al., EuroSys 2015);
+//! * a deterministic **BSP cluster simulator** ([`bsp`]) that charges each
+//!   worker per-edge and per-vertex compute (the paper's §II work model)
+//!   plus per-value communication for every vertex whose value must reach
+//!   a remote worker, with a barrier per superstep — the static-scheduling
+//!   regime §VII asks about;
+//! * the §VII **study harness** ([`study`]) that runs PageRank and BFS
+//!   supersteps over every strategy and reports replication factor,
+//!   cut fraction, balance, compute makespan and total simulated time.
+//!
+//! Vertex *assignments* (who owns a vertex) use
+//! [`vebo_partition::VertexAssignment`]; the edge-placement partitioners
+//! (vertex cuts) use this crate's [`vertex_cut::EdgePlacement`], since
+//! their unit of placement is the edge and their headline metric is the
+//! replication factor.
+
+#![warn(missing_docs)]
+
+pub mod bsp;
+pub mod fennel;
+pub mod hash;
+pub mod hybrid_cut;
+pub mod ldg;
+pub mod study;
+pub mod vertex_cut;
+
+pub use bsp::{run_bfs, run_pagerank, BspRun, ClusterConfig, SuperstepReport};
+pub use fennel::Fennel;
+pub use hash::hash_partition;
+pub use hybrid_cut::HybridCut;
+pub use ldg::Ldg;
+pub use study::{evaluate, Strategy, StudyRow};
+pub use vertex_cut::{EdgePlacement, GreedyVertexCut};

@@ -1,0 +1,131 @@
+//! Property-based tests for the distributed partitioners and the BSP
+//! simulator: conservation laws and capacity bounds that must hold on
+//! arbitrary graphs.
+
+use proptest::prelude::*;
+use vebo_distributed::bsp::{superstep, ClusterConfig};
+use vebo_distributed::{hash_partition, Fennel, GreedyVertexCut, HybridCut, Ldg};
+use vebo_graph::{mix64, Graph, VertexId};
+use vebo_partition::{Multilevel, VertexAssignment};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..80, 0usize..400, any::<u64>(), any::<bool>()).prop_map(|(n, m, seed, directed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = mix64(x);
+            x
+        };
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .collect();
+        Graph::from_edges(n, &edges, directed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every vertex partitioner covers all vertices with valid partition
+    /// ids, and the streaming ones respect their capacity bounds.
+    #[test]
+    fn partitioners_cover_and_respect_capacity(g in arb_graph(), p in 1usize..12) {
+        let n = g.num_vertices();
+        let ldg = Ldg::default();
+        let fennel = Fennel::default();
+        let assignments: Vec<(&str, VertexAssignment)> = vec![
+            ("hash", hash_partition(n, p)),
+            ("ldg", ldg.partition(&g, p)),
+            ("fennel", fennel.partition(&g, p)),
+            ("multilevel", Multilevel::new().partition(&g, p)),
+        ];
+        for (name, a) in &assignments {
+            prop_assert_eq!(a.num_vertices(), n, "{} vertex coverage", name);
+            prop_assert_eq!(
+                a.vertex_counts().iter().sum::<usize>(), n,
+                "{} counts", name
+            );
+        }
+        let ldg_cap = ((n as f64 / p as f64).ceil() * (1.0 + ldg.slack)).ceil();
+        for &c in &assignments[1].1.vertex_counts() {
+            prop_assert!(c as f64 <= ldg_cap, "LDG capacity");
+        }
+        let fennel_cap = (fennel.nu * n as f64 / p as f64).ceil().max(1.0);
+        for &c in &assignments[2].1.vertex_counts() {
+            prop_assert!(c as f64 <= fennel_cap, "Fennel capacity");
+        }
+    }
+
+    /// Quality metrics are invariant under the contiguous relabeling (the
+    /// relabeled graph with contiguous bounds is isomorphic).
+    #[test]
+    fn quality_invariant_under_relabeling(g in arb_graph(), p in 1usize..8, seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let part: Vec<u32> = (0..n).map(|v| (mix64(seed ^ v as u64) % p as u64) as u32).collect();
+        let a = VertexAssignment::new(part, p);
+        let q = a.quality(&g);
+        let (perm, bounds) = a.relabeling();
+        let h = perm.apply_graph(&g);
+        let qb = VertexAssignment::from_bounds(&bounds).quality(&h);
+        prop_assert_eq!(q.cut_edges, qb.cut_edges);
+        prop_assert_eq!(q.comm_volume, qb.comm_volume);
+        prop_assert!((q.replication_factor - qb.replication_factor).abs() < 1e-12);
+        prop_assert_eq!(q.vertex_spread, qb.vertex_spread);
+    }
+
+    /// BSP superstep conservation: total compute equals the work model
+    /// applied to the active set; sends equal receives; messages equal
+    /// the assignment's comm volume when everything is active.
+    #[test]
+    fn superstep_conservation(g in arb_graph(), p in 1usize..10, seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let part: Vec<u32> = (0..n).map(|v| (mix64(seed ^ v as u64) % p as u64) as u32).collect();
+        let a = VertexAssignment::new(part, p);
+        let cfg = ClusterConfig { workers: p, ..Default::default() };
+        let active: Vec<VertexId> = g.vertices().collect();
+        let step = superstep(&g, &a, &cfg, &active);
+        let total: f64 = step.compute.iter().sum();
+        let expected = g.num_edges() as f64 * cfg.per_edge_cost
+            + n as f64 * cfg.per_vertex_cost;
+        prop_assert!((total - expected).abs() < 1e-6);
+        prop_assert_eq!(step.sent.iter().sum::<u64>(), step.received.iter().sum::<u64>());
+        prop_assert_eq!(step.messages(), a.quality(&g).comm_volume);
+    }
+
+    /// Edge placements: every arc lands on a machine, loads sum to the
+    /// arc count, and replica masks cover exactly the machines that hold
+    /// an incident arc.
+    #[test]
+    fn edge_placements_are_consistent(g in arb_graph(), machines in 1usize..16) {
+        for placement in [
+            GreedyVertexCut.place(&g, machines),
+            HybridCut::default().place(&g, machines),
+        ] {
+            prop_assert_eq!(placement.loads().iter().sum::<u64>(), g.num_edges() as u64);
+            // Recompute replica masks from arc machines and compare.
+            let mut expect = vec![0u64; g.num_vertices()];
+            let mut idx = 0usize;
+            for u in g.vertices() {
+                for &v in g.out_neighbors(u) {
+                    let m = placement.machine_of_arc(idx);
+                    expect[u as usize] |= 1 << m;
+                    expect[v as usize] |= 1 << m;
+                    idx += 1;
+                }
+            }
+            for v in g.vertices() {
+                prop_assert_eq!(placement.replicas_of(v), expect[v as usize], "vertex {}", v);
+            }
+            let rf = placement.replication_factor();
+            prop_assert!((1.0..=machines as f64).contains(&rf) || g.num_edges() == 0);
+        }
+    }
+
+    /// Multilevel respects its vertex-balance tolerance on unit weights.
+    #[test]
+    fn multilevel_balance_tolerance(g in arb_graph(), p in 2usize..8) {
+        let a = Multilevel::new().partition(&g, p);
+        let max = *a.vertex_counts().iter().max().unwrap();
+        let cap = (g.num_vertices() as f64 / p as f64) * 1.05 + 2.0;
+        prop_assert!(max as f64 <= cap.ceil() + 1.0, "max {} cap {}", max, cap);
+    }
+}

@@ -1,0 +1,519 @@
+//! `edge_map`: the central traversal primitive (Ligra's `EDGEMAP`), with
+//! direction optimization and per-task work measurement.
+//!
+//! Four traversal modes cover the three systems' layouts:
+//!
+//! * [`Traversal::DensePull`] — backward over the CSC, one destination at
+//!   a time with `cond` early exit (Ligra/Polymer dense);
+//! * [`Traversal::DenseCoo`] — stream each partition's COO chunk
+//!   (GraphGrind dense; edge order = CSR or Hilbert);
+//! * [`Traversal::SparsePush`] — forward over the out-edges of active
+//!   vertices with atomic updates (Ligra sparse);
+//! * [`Traversal::SparsePartitioned`] — per-partition sub-CSR scan of the
+//!   active list; destinations stay partition-local, so updates need no
+//!   atomics and per-partition work equals the "active edges per
+//!   partition" of Table IV (Polymer/GraphGrind sparse).
+//!
+//! Every call returns an [`EdgeMapReport`] with per-task durations and
+//! work counts; the scheduling simulator turns those into the simulated
+//! 48-thread makespan.
+
+use crate::frontier::Frontier;
+use crate::ops::EdgeOp;
+use crate::prepared::PreparedGraph;
+use crate::profile::DenseLayout;
+use crate::schedule::{simulate, MakespanReport};
+use crate::shared::AtomicBitset;
+use rayon::prelude::*;
+use std::time::Instant;
+use vebo_graph::VertexId;
+
+/// Which traversal `edge_map` chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Traversal {
+    /// Dense backward/pull over the CSC (Ligra/Polymer dense mode).
+    DensePull,
+    /// Dense streaming over per-partition COO chunks (GraphGrind).
+    DenseCoo,
+    /// Sparse forward/push over active sources with atomics.
+    SparsePush,
+    /// Sparse pull over per-partition sub-CSRs.
+    SparsePartitioned,
+}
+
+impl Traversal {
+    /// Whether this is a dense (backward) traversal — the "B" column of
+    /// Table II.
+    pub fn is_dense(self) -> bool {
+        matches!(self, Traversal::DensePull | Traversal::DenseCoo)
+    }
+}
+
+/// Per-task measurement: wall time, edges examined, and destination
+/// vertices covered. Both work terms matter: the paper's core observation
+/// is that partition processing time depends on edges *and* unique
+/// destinations (§II), so the deterministic work model charges both.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskStats {
+    /// Measured wall-clock nanoseconds of the task.
+    pub nanos: u64,
+    /// Edges traversed by the task.
+    pub edges: u64,
+    /// Destination vertices touched by the task.
+    pub vertices: u64,
+}
+
+/// Result of one `edge_map` invocation.
+#[derive(Clone, Debug)]
+pub struct EdgeMapReport {
+    /// Traversal mode the direction heuristic selected.
+    pub traversal: Traversal,
+    /// Per-task (per-partition) measurements.
+    pub tasks: Vec<TaskStats>,
+    /// Active vertices in the output frontier.
+    pub output_size: usize,
+}
+
+impl EdgeMapReport {
+    /// Simulated makespan using measured per-task nanoseconds.
+    pub fn makespan(&self, threads: usize, scheduling: crate::profile::Scheduling) -> MakespanReport {
+        let costs: Vec<f64> = self.tasks.iter().map(|t| t.nanos as f64).collect();
+        simulate(&costs, threads, scheduling)
+    }
+
+    /// Simulated makespan using the deterministic work model
+    /// `cost = edges + vertices` (the paper's joint cost drivers, §II).
+    pub fn makespan_by_work(&self, threads: usize, scheduling: crate::profile::Scheduling) -> MakespanReport {
+        let costs: Vec<f64> = self.tasks.iter().map(|t| (t.edges + t.vertices) as f64).collect();
+        simulate(&costs, threads, scheduling)
+    }
+
+    /// Total edges examined.
+    pub fn total_edges(&self) -> u64 {
+        self.tasks.iter().map(|t| t.edges).sum()
+    }
+
+    /// Total sequential time.
+    pub fn total_nanos(&self) -> u64 {
+        self.tasks.iter().map(|t| t.nanos).sum()
+    }
+}
+
+/// Tuning knobs for `edge_map`.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeMapOptions {
+    /// Ligra's density threshold denominator: dense when
+    /// `|F| + outdeg(F) > m / threshold_den`.
+    pub threshold_den: usize,
+    /// Force dense (`Some(true)`) or sparse (`Some(false)`) traversal.
+    pub force_dense: Option<bool>,
+    /// Execute tasks with rayon instead of the sequential measured loop.
+    pub parallel: bool,
+}
+
+impl Default for EdgeMapOptions {
+    fn default() -> Self {
+        EdgeMapOptions { threshold_den: 20, force_dense: None, parallel: false }
+    }
+}
+
+/// Applies `op` over every edge whose source is in `frontier`; returns the
+/// next frontier (destinations for which an update returned `true`) and
+/// the per-task measurement report.
+pub fn edge_map<O: EdgeOp>(
+    pg: &PreparedGraph,
+    frontier: &Frontier,
+    op: &O,
+    opts: &EdgeMapOptions,
+) -> (Frontier, EdgeMapReport) {
+    let g = pg.graph();
+    let n = g.num_vertices();
+    if frontier.is_empty() {
+        return (
+            Frontier::empty(n),
+            EdgeMapReport { traversal: Traversal::SparsePush, tasks: Vec::new(), output_size: 0 },
+        );
+    }
+    let dense = opts.force_dense.unwrap_or_else(|| frontier.is_dense_for(g, opts.threshold_den));
+    let next = AtomicBitset::new(n);
+    let (traversal, tasks) = if dense {
+        let f = frontier.to_dense();
+        match pg.profile().dense_layout {
+            DenseLayout::CscPull => (Traversal::DensePull, dense_pull(pg, &f, op, &next, opts.parallel)),
+            DenseLayout::Coo(_) => (Traversal::DenseCoo, dense_coo(pg, &f, op, &next, opts.parallel)),
+        }
+    } else {
+        let f = frontier.to_sparse();
+        let active: &[VertexId] = match &f {
+            Frontier::Sparse { vertices, .. } => vertices,
+            Frontier::Dense { .. } => unreachable!("to_sparse returned dense"),
+        };
+        if pg.profile().partitioned_sparse {
+            (Traversal::SparsePartitioned, sparse_partitioned(pg, active, op, &next, opts.parallel))
+        } else {
+            (Traversal::SparsePush, sparse_push(pg, active, op, &next, opts.parallel))
+        }
+    };
+    let out = Frontier::from_bitset(next);
+    let output_size = out.len();
+    // Representation switch on output size, as all three systems do.
+    let out = if output_size * opts.threshold_den < n { out.to_sparse() } else { out };
+    (out, EdgeMapReport { traversal, tasks, output_size })
+}
+
+/// Runs `num_tasks` tasks, timing each; `f(task) -> (edges, vertices)`.
+fn run_tasks<F>(num_tasks: usize, parallel: bool, f: F) -> Vec<TaskStats>
+where
+    F: Fn(usize) -> (u64, u64) + Sync,
+{
+    let timed = |t: usize| {
+        let t0 = Instant::now();
+        let (edges, vertices) = f(t);
+        TaskStats { nanos: t0.elapsed().as_nanos() as u64, edges, vertices }
+    };
+    if parallel {
+        (0..num_tasks).into_par_iter().map(timed).collect()
+    } else {
+        (0..num_tasks).map(timed).collect()
+    }
+}
+
+fn dense_pull<O: EdgeOp>(
+    pg: &PreparedGraph,
+    frontier: &Frontier,
+    op: &O,
+    next: &AtomicBitset,
+    parallel: bool,
+) -> Vec<TaskStats> {
+    let g = pg.graph();
+    let csc = g.csc();
+    let weights = csc.raw_weights();
+    let words = frontier.words();
+    let tasks = pg.tasks();
+    run_tasks(tasks.num_partitions(), parallel, |t| {
+        let mut edges = 0u64;
+        let vertices = tasks.range(t).len() as u64;
+        for v in tasks.range(t) {
+            let vid = v as VertexId;
+            if !op.cond(vid) {
+                continue;
+            }
+            let base = csc.edge_start(vid);
+            let mut activated = false;
+            for (k, &u) in csc.neighbors(vid).iter().enumerate() {
+                edges += 1;
+                if words[u as usize >> 6] >> (u as usize & 63) & 1 == 1 {
+                    let w = weights.map_or(1.0, |ws| ws[base + k]);
+                    if op.update(u, vid, w) {
+                        activated = true;
+                    }
+                    if !op.cond(vid) {
+                        break; // Ligra's early exit once cond turns false
+                    }
+                }
+            }
+            if activated {
+                next.set(v);
+            }
+        }
+        (edges, vertices)
+    })
+}
+
+fn dense_coo<O: EdgeOp>(
+    pg: &PreparedGraph,
+    frontier: &Frontier,
+    op: &O,
+    next: &AtomicBitset,
+    parallel: bool,
+) -> Vec<TaskStats> {
+    let coo = pg.coo().expect("profile declares a COO dense layout");
+    let words = frontier.words();
+    let tasks = pg.tasks();
+    run_tasks(coo.num_partitions(), parallel, |p| {
+        let (src, dst) = coo.partition_edges(p);
+        let vertices = tasks.range(p).len() as u64;
+        let ws = coo.has_weights().then(|| coo.partition_weights(p));
+        for e in 0..src.len() {
+            let (u, v) = (src[e], dst[e]);
+            if words[u as usize >> 6] >> (u as usize & 63) & 1 == 1 && op.cond(v) {
+                let w = ws.map_or(1.0, |ws| ws[e]);
+                if op.update(u, v, w) {
+                    next.set(v as usize);
+                }
+            }
+        }
+        (src.len() as u64, vertices)
+    })
+}
+
+fn sparse_push<O: EdgeOp>(
+    pg: &PreparedGraph,
+    active: &[VertexId],
+    op: &O,
+    next: &AtomicBitset,
+    parallel: bool,
+) -> Vec<TaskStats> {
+    let g = pg.graph();
+    let csr = g.csr();
+    let weights = csr.raw_weights();
+    let num_chunks = pg.num_tasks().min(active.len()).max(1);
+    run_tasks(num_chunks, parallel, |c| {
+        let lo = c * active.len() / num_chunks;
+        let hi = (c + 1) * active.len() / num_chunks;
+        let mut edges = 0u64;
+        let vertices = (hi - lo) as u64;
+        for &u in &active[lo..hi] {
+            let base = csr.edge_start(u);
+            for (k, &v) in csr.neighbors(u).iter().enumerate() {
+                edges += 1;
+                if op.cond(v) {
+                    let w = weights.map_or(1.0, |ws| ws[base + k]);
+                    if op.update_atomic(u, v, w) {
+                        next.set(v as usize);
+                    }
+                }
+            }
+        }
+        (edges, vertices)
+    })
+}
+
+fn sparse_partitioned<O: EdgeOp>(
+    pg: &PreparedGraph,
+    active: &[VertexId],
+    op: &O,
+    next: &AtomicBitset,
+    parallel: bool,
+) -> Vec<TaskStats> {
+    let sub = pg.sub_csr().expect("profile declares partitioned sparse layout");
+    run_tasks(sub.num_partitions(), parallel, |p| {
+        let part = sub.partition(p);
+        let mut edges = 0u64;
+        let mut vertices = 0u64;
+        if part.sources().is_empty() {
+            return (0, 0);
+        }
+        for &u in active {
+            // Destinations are partition-local, so the non-atomic update
+            // path is race-free even when partitions run in parallel.
+            if let Some(dsts) = part.edges_of(u) {
+                vertices += 1;
+                if pg.graph().has_weights() {
+                    let (dsts, ws) = part.weighted_edges_of(u).unwrap();
+                    for (k, &v) in dsts.iter().enumerate() {
+                        edges += 1;
+                        if op.cond(v) && op.update(u, v, ws[k]) {
+                            next.set(v as usize);
+                        }
+                    }
+                } else {
+                    for &v in dsts {
+                        edges += 1;
+                        if op.cond(v) && op.update(u, v, 1.0) {
+                            next.set(v as usize);
+                        }
+                    }
+                }
+            }
+        }
+        (edges, vertices)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SystemProfile;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use vebo_graph::{Dataset, Graph};
+    use vebo_partition::EdgeOrder;
+
+    /// BFS-style parent setter: activates each destination exactly once.
+    struct ParentOp {
+        parent: Vec<AtomicU32>,
+    }
+
+    impl ParentOp {
+        fn new(n: usize) -> ParentOp {
+            ParentOp { parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect() }
+        }
+    }
+
+    impl EdgeOp for ParentOp {
+        fn update(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+            if self.parent[dst as usize].load(Ordering::Relaxed) == u32::MAX {
+                self.parent[dst as usize].store(src, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        }
+        fn update_atomic(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+            self.parent[dst as usize]
+                .compare_exchange(u32::MAX, src, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        }
+        fn cond(&self, dst: VertexId) -> bool {
+            self.parent[dst as usize].load(Ordering::Relaxed) == u32::MAX
+        }
+    }
+
+    fn profiles() -> Vec<SystemProfile> {
+        vec![
+            SystemProfile::ligra_like(),
+            SystemProfile::polymer_like(),
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+            SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
+        ]
+    }
+
+    fn test_graph() -> Graph {
+        Dataset::LiveJournalLike.build(0.03)
+    }
+
+    #[test]
+    fn one_hop_frontier_matches_reference_on_all_profiles() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let root: VertexId = g.vertices().max_by_key(|&v| g.out_degree(v)).unwrap();
+        // Reference: out-neighbors of the root, deduped, excluding root.
+        let mut expect: Vec<VertexId> = g.out_neighbors(root).iter().copied().filter(|&v| v != root).collect();
+        expect.sort_unstable();
+        expect.dedup();
+
+        for profile in profiles() {
+            for force in [Some(true), Some(false), None] {
+                let pg = PreparedGraph::new(g.clone(), profile);
+                let op = ParentOp::new(n);
+                op.parent[root as usize].store(root, Ordering::Relaxed); // don't re-activate root
+                let f = Frontier::single(n, root);
+                let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+                let (out, report) = edge_map(&pg, &f, &op, &opts);
+                let mut got: Vec<VertexId> = out.iter_active().collect();
+                got.sort_unstable();
+                assert_eq!(got, expect, "profile {:?} force {force:?}", profile.kind);
+                assert_eq!(report.output_size, expect.len());
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_multi_vertex_frontier() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let seeds: Vec<VertexId> = (0..20).map(|i| i * 37 % n as u32).collect();
+        let mut reference: Option<Vec<VertexId>> = None;
+        for profile in profiles() {
+            for force in [Some(true), Some(false)] {
+                let pg = PreparedGraph::new(g.clone(), profile);
+                let op = ParentOp::new(n);
+                for &s in &seeds {
+                    op.parent[s as usize].store(s, Ordering::Relaxed);
+                }
+                let f = Frontier::from_vertices(n, seeds.clone());
+                let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+                let (out, _) = edge_map(&pg, &f, &op, &opts);
+                let mut got: Vec<VertexId> = out.iter_active().collect();
+                got.sort_unstable();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(r) => assert_eq!(&got, r, "profile {:?} force {force:?}", profile.kind),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rayon_parallel_matches_sequential() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let seeds: Vec<VertexId> = (0..50).map(|i| i * 13 % n as u32).collect();
+        let mut outputs = Vec::new();
+        for parallel in [false, true] {
+            let op = ParentOp::new(n);
+            for &s in &seeds {
+                op.parent[s as usize].store(s, Ordering::Relaxed);
+            }
+            let f = Frontier::from_vertices(n, seeds.clone());
+            let opts = EdgeMapOptions { parallel, ..Default::default() };
+            let (out, _) = edge_map(&pg, &f, &op, &opts);
+            let mut got: Vec<VertexId> = out.iter_active().collect();
+            got.sort_unstable();
+            outputs.push(got);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn report_edge_totals_are_sane() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let m = g.num_edges() as u64;
+        let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let op = ParentOp::new(n);
+        let f = Frontier::all(n);
+        let (_, report) = edge_map(&pg, &f, &op, &EdgeMapOptions { force_dense: Some(true), ..Default::default() });
+        // Dense COO scans every edge exactly once.
+        assert_eq!(report.traversal, Traversal::DenseCoo);
+        assert_eq!(report.total_edges(), m);
+        assert_eq!(report.tasks.len(), 384);
+    }
+
+    #[test]
+    fn sparse_partitioned_work_equals_active_edges() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let seeds: Vec<VertexId> = (0..10).map(|i| i * 101 % n as u32).collect();
+        let op = ParentOp::new(n);
+        let f = Frontier::from_vertices(n, seeds.clone());
+        let (_, report) =
+            edge_map(&pg, &f, &op, &EdgeMapOptions { force_dense: Some(false), ..Default::default() });
+        assert_eq!(report.traversal, Traversal::SparsePartitioned);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let expected: u64 = dedup.iter().map(|&u| g.out_degree(u) as u64).sum();
+        assert_eq!(report.total_edges(), expected);
+    }
+
+    #[test]
+    fn empty_frontier_short_circuits() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let op = ParentOp::new(n);
+        let (out, report) = edge_map(&pg, &Frontier::empty(n), &op, &EdgeMapOptions::default());
+        assert!(out.is_empty());
+        assert!(report.tasks.is_empty());
+    }
+
+    #[test]
+    fn direction_heuristic_picks_dense_for_full_frontier() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let op = ParentOp::new(n);
+        let (_, report) = edge_map(&pg, &Frontier::all(n), &op, &EdgeMapOptions::default());
+        assert!(report.traversal.is_dense());
+        let pg2 = PreparedGraph::new(test_graph(), SystemProfile::ligra_like());
+        let op2 = ParentOp::new(n);
+        let (_, report2) = edge_map(&pg2, &Frontier::single(n, 0), &op2, &EdgeMapOptions::default());
+        assert!(!report2.traversal.is_dense());
+    }
+
+    #[test]
+    fn makespan_reports_compute() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let op = ParentOp::new(n);
+        let (_, report) = edge_map(&pg, &Frontier::all(n), &op, &EdgeMapOptions::default());
+        let ms = report.makespan_by_work(48, crate::profile::Scheduling::Static);
+        assert!(ms.makespan > 0.0);
+        assert!(ms.imbalance() >= 1.0);
+        assert_eq!(ms.per_thread.len(), 48);
+    }
+}

@@ -1,0 +1,57 @@
+//! # vebo-engine
+//!
+//! A shared-memory graph processing engine in the Ligra mold, rebuilt from
+//! scratch for the VEBO reproduction. One engine, three **system
+//! profiles** capturing the load-balance-relevant design axes of the three
+//! frameworks the paper evaluates (Ligra, Polymer, GraphGrind — §IV):
+//! partition count, scheduling policy, and dense-iteration layout.
+//!
+//! The container this reproduction runs in has a single hardware thread,
+//! so parallel wall-clock cannot be observed directly; instead, every
+//! `edge_map`/`vertex_map` measures per-task work and a deterministic
+//! [`schedule`] simulator computes the 48-thread makespan under each
+//! profile's scheduling policy (static vs work-stealing). Rayon-parallel
+//! execution paths are provided and tested for equivalence.
+//!
+//! ```
+//! use vebo_engine::{edge_map, EdgeMapOptions, Frontier, PreparedGraph, SystemProfile};
+//! use vebo_engine::ops::EdgeOp;
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//!
+//! struct Hops(Vec<AtomicU32>);
+//! impl EdgeOp for Hops {
+//!     fn update(&self, _s: u32, d: u32, _w: f32) -> bool {
+//!         self.0[d as usize].store(1, Ordering::Relaxed);
+//!         true
+//!     }
+//!     fn update_atomic(&self, s: u32, d: u32, w: f32) -> bool { self.update(s, d, w) }
+//!     fn cond(&self, d: u32) -> bool { self.0[d as usize].load(Ordering::Relaxed) == 0 }
+//! }
+//!
+//! let g = vebo_graph::Dataset::YahooLike.build(0.05);
+//! let n = g.num_vertices();
+//! let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+//! let op = Hops((0..n).map(|_| AtomicU32::new(0)).collect());
+//! let start = Frontier::single(n, 0);
+//! let (next, report) = edge_map(&pg, &start, &op, &EdgeMapOptions::default());
+//! assert_eq!(next.len(), report.output_size);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod edge_map;
+pub mod frontier;
+pub mod ops;
+pub mod prepared;
+pub mod profile;
+pub mod schedule;
+pub mod shared;
+pub mod vertex_map;
+
+pub use edge_map::{edge_map, EdgeMapOptions, EdgeMapReport, TaskStats, Traversal};
+pub use frontier::{DensityClass, Frontier};
+pub use ops::EdgeOp;
+pub use prepared::{subdivide_for_threads, PreparedGraph};
+pub use profile::{DenseLayout, Scheduling, SystemKind, SystemProfile};
+pub use schedule::{simulate, MakespanReport};
+pub use vertex_map::{vertex_map, vertex_map_all, VertexMapReport};

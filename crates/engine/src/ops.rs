@@ -1,0 +1,61 @@
+//! The edgemap operator interface (the paper's `edgemap` function, §IV).
+
+use vebo_graph::VertexId;
+
+/// One graph-algorithm step applied over edges whose source is active.
+///
+/// Implementations must be cheap and `Sync`; all mutable state lives in
+/// atomics (see [`crate::shared`]).
+///
+/// # Contract
+///
+/// * [`EdgeOp::update`] is called from *pull-style* traversals where the
+///   engine guarantees at most one thread touches a given destination —
+///   plain (relaxed-atomic) reads/writes suffice.
+/// * [`EdgeOp::update_atomic`] is called from *push-style* traversals
+///   where multiple sources may hit the same destination concurrently; it
+///   must be linearizable and must return `true` **at most once** per
+///   destination per edgemap round (e.g. by CAS), since the return value
+///   adds the destination to the next frontier.
+/// * [`EdgeOp::cond`] gates destinations (Ligra's `cond`): pull traversal
+///   stops scanning a destination's in-edges once it turns false.
+pub trait EdgeOp: Sync {
+    /// Pull-mode update; returns whether `dst` joins the next frontier.
+    fn update(&self, src: VertexId, dst: VertexId, weight: f32) -> bool;
+
+    /// Push-mode update; must be atomic and single-activation.
+    fn update_atomic(&self, src: VertexId, dst: VertexId, weight: f32) -> bool;
+
+    /// Whether `dst` still wants updates.
+    fn cond(&self, _dst: VertexId) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountOp {
+        hits: AtomicU64,
+    }
+
+    impl EdgeOp for CountOp {
+        fn update(&self, _s: VertexId, _d: VertexId, _w: f32) -> bool {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        fn update_atomic(&self, s: VertexId, d: VertexId, w: f32) -> bool {
+            self.update(s, d, w)
+        }
+    }
+
+    #[test]
+    fn default_cond_is_true() {
+        let op = CountOp { hits: AtomicU64::new(0) };
+        assert!(op.cond(0));
+        assert!(op.update(0, 1, 1.0));
+        assert_eq!(op.hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Graph preparation per system profile: partition bounds, COO chunks,
+//! sub-CSRs — the "edge reordering + partitioning" stage whose cost
+//! Table VI reports.
+
+use crate::profile::{DenseLayout, SystemKind, SystemProfile};
+use std::time::{Duration, Instant};
+use vebo_graph::Graph;
+use vebo_partition::partitioned::PartitionedSubCsr;
+use vebo_partition::{PartitionBounds, PartitionedCoo};
+
+/// A graph made ready for traversal under one system profile.
+#[derive(Debug)]
+pub struct PreparedGraph {
+    graph: Graph,
+    profile: SystemProfile,
+    /// Task-granularity destination ranges: one per dense task.
+    tasks: PartitionBounds,
+    /// Per-task COO chunks (GraphGrind dense layout).
+    coo: Option<PartitionedCoo>,
+    /// Per-task sub-CSRs (Polymer/GraphGrind sparse layout).
+    sub_csr: Option<PartitionedSubCsr>,
+    /// Time spent building the partitioned layouts (Table VI).
+    prep_time: Duration,
+}
+
+impl PreparedGraph {
+    /// Partitions `graph` according to `profile` and materializes the
+    /// layouts that profile needs.
+    pub fn new(graph: Graph, profile: SystemProfile) -> PreparedGraph {
+        let t0 = Instant::now();
+        let tasks = match profile.kind {
+            SystemKind::LigraLike => {
+                // Cilk chunks the iteration range by vertex count; no
+                // graph-aware partitioning happens.
+                PartitionBounds::vertex_balanced(graph.num_vertices(), profile.num_partitions)
+            }
+            SystemKind::PolymerLike => polymer_task_bounds(&graph, &profile),
+            SystemKind::GraphGrindLike => {
+                PartitionBounds::edge_balanced(&graph, profile.num_partitions)
+            }
+        };
+        let coo = match profile.dense_layout {
+            DenseLayout::Coo(order) => Some(PartitionedCoo::build(&graph, &tasks, order)),
+            DenseLayout::CscPull => None,
+        };
+        let sub_csr = if profile.partitioned_sparse {
+            Some(PartitionedSubCsr::build(&graph, &tasks))
+        } else {
+            None
+        };
+        let prep_time = t0.elapsed();
+        PreparedGraph { graph, profile, tasks, coo, sub_csr, prep_time }
+    }
+
+    /// As [`PreparedGraph::new`] but with explicit destination ranges
+    /// (e.g. VEBO's exact phase-3 boundaries instead of Algorithm 1).
+    pub fn with_bounds(graph: Graph, profile: SystemProfile, tasks: PartitionBounds) -> PreparedGraph {
+        assert_eq!(tasks.num_vertices(), graph.num_vertices());
+        let t0 = Instant::now();
+        let coo = match profile.dense_layout {
+            DenseLayout::Coo(order) => Some(PartitionedCoo::build(&graph, &tasks, order)),
+            DenseLayout::CscPull => None,
+        };
+        let sub_csr = if profile.partitioned_sparse {
+            Some(PartitionedSubCsr::build(&graph, &tasks))
+        } else {
+            None
+        };
+        let prep_time = t0.elapsed();
+        PreparedGraph { graph, profile, tasks, coo, sub_csr, prep_time }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The profile this graph was prepared for.
+    pub fn profile(&self) -> &SystemProfile {
+        &self.profile
+    }
+
+    /// Dense-task destination ranges.
+    pub fn tasks(&self) -> &PartitionBounds {
+        &self.tasks
+    }
+
+    /// Number of dense tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.num_partitions()
+    }
+
+    /// The COO layout, if this profile uses one.
+    pub fn coo(&self) -> Option<&PartitionedCoo> {
+        self.coo.as_ref()
+    }
+
+    /// The sub-CSR layout, if this profile uses one.
+    pub fn sub_csr(&self) -> Option<&PartitionedSubCsr> {
+        self.sub_csr.as_ref()
+    }
+
+    /// Layout construction time (the partitioning column of Table VI).
+    pub fn prep_time(&self) -> Duration {
+        self.prep_time
+    }
+}
+
+/// Polymer's two-level split: edge-balanced partitioning by destination
+/// into one partition per socket, then vertex-balanced subdivision of each
+/// partition among the socket's threads. Thread-level imbalance inside a
+/// socket is exactly where VEBO's vertex balance pays off (§V-F).
+fn polymer_task_bounds(graph: &Graph, profile: &SystemProfile) -> PartitionBounds {
+    let top = PartitionBounds::edge_balanced(graph, profile.topology.num_sockets);
+    subdivide_for_threads(&top, &profile.topology)
+}
+
+/// Subdivides each socket-level partition into one vertex-balanced chunk
+/// per thread of that socket (Polymer's intra-socket static split). Public
+/// so harnesses can feed VEBO's *exact* phase-3 boundaries through the
+/// same subdivision.
+pub fn subdivide_for_threads(
+    top: &PartitionBounds,
+    topology: &vebo_partition::numa::NumaTopology,
+) -> PartitionBounds {
+    let per_socket = topology.threads_per_socket();
+    let n = top.num_vertices();
+    let mut starts = Vec::with_capacity(top.num_partitions() * per_socket + 1);
+    for (_, range) in top.iter() {
+        let len = range.len();
+        for k in 0..per_socket {
+            starts.push(range.start + k * len / per_socket);
+        }
+    }
+    starts.push(n);
+    PartitionBounds::from_starts(starts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_graph::Dataset;
+    use vebo_partition::EdgeOrder;
+
+    #[test]
+    fn ligra_prepares_vertex_chunks_without_layouts() {
+        let g = Dataset::YahooLike.build(0.05);
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        assert_eq!(pg.num_tasks(), 3072);
+        assert!(pg.coo().is_none());
+        assert!(pg.sub_csr().is_none());
+    }
+
+    #[test]
+    fn polymer_prepares_48_static_tasks() {
+        let g = Dataset::YahooLike.build(0.05);
+        let pg = PreparedGraph::new(g, SystemProfile::polymer_like());
+        assert_eq!(pg.num_tasks(), 48);
+        assert!(pg.coo().is_none());
+        assert!(pg.sub_csr().is_some());
+        assert_eq!(pg.sub_csr().unwrap().num_partitions(), 48);
+    }
+
+    #[test]
+    fn graphgrind_prepares_coo_and_subcsr() {
+        let g = Dataset::YahooLike.build(0.05);
+        let m = g.num_edges();
+        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Hilbert));
+        assert_eq!(pg.num_tasks(), 384);
+        assert_eq!(pg.coo().unwrap().num_edges(), m);
+        assert_eq!(pg.sub_csr().unwrap().num_edges(), m);
+        assert!(pg.prep_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn polymer_tasks_nest_in_socket_partitions() {
+        let g = Dataset::LiveJournalLike.build(0.05);
+        let top = PartitionBounds::edge_balanced(&g, 4);
+        let pg = PreparedGraph::new(g, SystemProfile::polymer_like());
+        // Every socket boundary must appear among the task boundaries.
+        for &s in top.starts() {
+            assert!(pg.tasks().starts().contains(&s), "boundary {s} lost");
+        }
+    }
+
+    #[test]
+    fn with_bounds_uses_explicit_ranges() {
+        let g = Dataset::YahooLike.build(0.05);
+        let n = g.num_vertices();
+        let bounds = PartitionBounds::vertex_balanced(n, 10);
+        let pg = PreparedGraph::with_bounds(g, SystemProfile::graphgrind_like(EdgeOrder::Csr), bounds);
+        assert_eq!(pg.num_tasks(), 10);
+    }
+}

@@ -1,0 +1,171 @@
+//! System profiles: the load-balance-relevant design axes of the three
+//! frameworks the paper evaluates (§IV), captured as engine configuration.
+//!
+//! | axis | Ligra | Polymer | GraphGrind |
+//! |---|---|---|---|
+//! | partitions | none (implicit Cilk chunks) | 4 (one per socket) | 384 |
+//! | scheduling | dynamic (work stealing) | static | static (8 parts/thread) |
+//! | dense layout | CSC pull | CSC pull | COO (Hilbert or CSR order) |
+//! | sparse layout | global CSR push | partitioned sub-CSR | partitioned sub-CSR |
+
+use vebo_partition::numa::NumaTopology;
+use vebo_partition::EdgeOrder;
+
+/// Which framework a profile models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Ligra: dynamic scheduling, no explicit partitioning.
+    LigraLike,
+    /// Polymer: static scheduling, one partition per NUMA socket.
+    PolymerLike,
+    /// GraphGrind: static socket binding, 384 partitions, COO dense mode.
+    GraphGrindLike,
+}
+
+impl SystemKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::LigraLike => "Ligra",
+            SystemKind::PolymerLike => "Polymer",
+            SystemKind::GraphGrindLike => "GraphGrind",
+        }
+    }
+}
+
+/// Scheduling policy of the simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Work-stealing: tasks go to the least-loaded thread greedily
+    /// (models Cilk's dynamic behaviour).
+    Dynamic,
+    /// Contiguous static blocks: task `t` runs on thread
+    /// `t * threads / tasks` (models Polymer/GraphGrind binding).
+    Static,
+}
+
+/// Dense-iteration memory layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DenseLayout {
+    /// Pull over the CSC, one destination at a time (Ligra/Polymer).
+    CscPull,
+    /// Stream the partition's COO edges in the given order (GraphGrind).
+    Coo(EdgeOrder),
+}
+
+/// Full engine configuration for one simulated system.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemProfile {
+    /// Which framework this profile models.
+    pub kind: SystemKind,
+    /// Task granularity: partitions for Polymer/GraphGrind; implicit
+    /// loop-chunk count for Ligra.
+    pub num_partitions: usize,
+    /// Scheduling policy of the simulated parallel loops.
+    pub scheduling: Scheduling,
+    /// Data layout used for dense edgemap traversal.
+    pub dense_layout: DenseLayout,
+    /// Whether sparse traversal uses per-partition sub-CSRs (Polymer /
+    /// GraphGrind) or a global push (Ligra).
+    pub partitioned_sparse: bool,
+    /// Simulated machine topology (paper: 4 sockets x 12 threads).
+    pub topology: NumaTopology,
+}
+
+impl SystemProfile {
+    /// Ligra-like: no explicit partitioning, dynamic scheduling, CSC pull.
+    /// `num_partitions` models Cilk's recursive loop chunking — fine
+    /// grained (64 chunks per thread) so work stealing can compensate for
+    /// imbalance, which is why the paper measures Ligra as the least
+    /// ordering-sensitive system.
+    pub fn ligra_like() -> SystemProfile {
+        let topology = NumaTopology::default();
+        SystemProfile {
+            kind: SystemKind::LigraLike,
+            num_partitions: topology.num_threads * 64,
+            scheduling: Scheduling::Dynamic,
+            dense_layout: DenseLayout::CscPull,
+            partitioned_sparse: false,
+            topology,
+        }
+    }
+
+    /// Polymer-like: one partition per NUMA socket, static scheduling,
+    /// CSC pull. (The engine subdivides each partition among the socket's
+    /// threads; see `PreparedGraph::task_bounds`.)
+    pub fn polymer_like() -> SystemProfile {
+        let topology = NumaTopology::default();
+        SystemProfile {
+            kind: SystemKind::PolymerLike,
+            num_partitions: topology.num_sockets,
+            scheduling: Scheduling::Static,
+            dense_layout: DenseLayout::CscPull,
+            partitioned_sparse: true,
+            topology,
+        }
+    }
+
+    /// GraphGrind-like: 384 partitions, static contiguous thread binding,
+    /// COO dense traversal in the given edge order (the paper's default is
+    /// Hilbert; VEBO switches it to CSR order, §V-G).
+    pub fn graphgrind_like(edge_order: EdgeOrder) -> SystemProfile {
+        let topology = NumaTopology::default();
+        SystemProfile {
+            kind: SystemKind::GraphGrindLike,
+            num_partitions: 384,
+            scheduling: Scheduling::Static,
+            dense_layout: DenseLayout::Coo(edge_order),
+            partitioned_sparse: true,
+            topology,
+        }
+    }
+
+    /// Overrides the partition count (e.g. for partition-count sweeps).
+    pub fn with_partitions(mut self, p: usize) -> SystemProfile {
+        assert!(p >= 1);
+        self.num_partitions = p;
+        self
+    }
+
+    /// Overrides the simulated topology.
+    pub fn with_topology(mut self, topology: NumaTopology) -> SystemProfile {
+        self.topology = topology;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_configuration() {
+        let l = SystemProfile::ligra_like();
+        assert_eq!(l.scheduling, Scheduling::Dynamic);
+        assert!(!l.partitioned_sparse);
+        assert_eq!(l.num_partitions, 3072); // 48 threads x 64 chunks
+
+        let p = SystemProfile::polymer_like();
+        assert_eq!(p.num_partitions, 4);
+        assert_eq!(p.scheduling, Scheduling::Static);
+        assert_eq!(p.dense_layout, DenseLayout::CscPull);
+
+        let g = SystemProfile::graphgrind_like(EdgeOrder::Hilbert);
+        assert_eq!(g.num_partitions, 384);
+        assert_eq!(g.dense_layout, DenseLayout::Coo(EdgeOrder::Hilbert));
+        assert_eq!(g.scheduling, Scheduling::Static);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SystemKind::LigraLike.name(), "Ligra");
+        assert_eq!(SystemKind::PolymerLike.name(), "Polymer");
+        assert_eq!(SystemKind::GraphGrindLike.name(), "GraphGrind");
+    }
+
+    #[test]
+    fn overrides() {
+        let p = SystemProfile::graphgrind_like(EdgeOrder::Csr).with_partitions(64);
+        assert_eq!(p.num_partitions, 64);
+    }
+}

@@ -1,0 +1,175 @@
+//! `vertex_map`: apply a function to every active vertex (Ligra's
+//! `VERTEXMAP`), returning the subset for which it returned `true`.
+//!
+//! GraphGrind "spreads the iterations of the vertexmap loop equally across
+//! all threads" (§V-F) while the data stays distributed by partition —
+//! the engine reproduces that: dense vertexmap tasks are the partition
+//! ranges, sparse vertexmap tasks are chunks of the active list.
+
+use crate::edge_map::TaskStats;
+use crate::frontier::Frontier;
+use crate::prepared::PreparedGraph;
+use crate::shared::AtomicBitset;
+use rayon::prelude::*;
+use std::time::Instant;
+use vebo_graph::VertexId;
+
+/// Result of one `vertex_map`: per-task stats (work = vertices scanned).
+#[derive(Clone, Debug)]
+pub struct VertexMapReport {
+    /// Per-task (per-thread-chunk) measurements.
+    pub tasks: Vec<TaskStats>,
+}
+
+impl VertexMapReport {
+    /// Total vertices scanned.
+    pub fn total_vertices(&self) -> u64 {
+        self.tasks.iter().map(|t| t.vertices).sum()
+    }
+
+    /// Total sequential time.
+    pub fn total_nanos(&self) -> u64 {
+        self.tasks.iter().map(|t| t.nanos).sum()
+    }
+}
+
+/// Applies `f` to each active vertex; the output frontier contains the
+/// vertices for which `f` returned `true`.
+pub fn vertex_map<F>(
+    pg: &PreparedGraph,
+    frontier: &Frontier,
+    f: F,
+    parallel: bool,
+) -> (Frontier, VertexMapReport)
+where
+    F: Fn(VertexId) -> bool + Sync,
+{
+    let n = pg.graph().num_vertices();
+    let next = AtomicBitset::new(n);
+    let tasks = match frontier {
+        Frontier::Dense { .. } => {
+            let dense = frontier.to_dense();
+            let words = dense.words().to_vec();
+            let bounds = pg.tasks();
+            run(bounds.num_partitions(), parallel, |t| {
+                let mut scanned = 0u64;
+                for v in bounds.range(t) {
+                    if words[v >> 6] >> (v & 63) & 1 == 1 {
+                        scanned += 1;
+                        if f(v as VertexId) {
+                            next.set(v);
+                        }
+                    }
+                }
+                scanned
+            })
+        }
+        Frontier::Sparse { vertices, .. } => {
+            let chunks = pg.num_tasks().min(vertices.len()).max(1);
+            run(chunks, parallel, |c| {
+                let lo = c * vertices.len() / chunks;
+                let hi = (c + 1) * vertices.len() / chunks;
+                for &v in &vertices[lo..hi] {
+                    if f(v) {
+                        next.set(v as usize);
+                    }
+                }
+                (hi - lo) as u64
+            })
+        }
+    };
+    let out = Frontier::from_bitset(next);
+    let out = if out.len() * 20 < n { out.to_sparse() } else { out };
+    (out, VertexMapReport { tasks })
+}
+
+/// `vertex_map` over all vertices (dense initialization passes).
+pub fn vertex_map_all<F>(pg: &PreparedGraph, f: F, parallel: bool) -> (Frontier, VertexMapReport)
+where
+    F: Fn(VertexId) -> bool + Sync,
+{
+    let all = Frontier::all(pg.graph().num_vertices());
+    vertex_map(pg, &all, f, parallel)
+}
+
+fn run<F>(num_tasks: usize, parallel: bool, f: F) -> Vec<TaskStats>
+where
+    F: Fn(usize) -> u64 + Sync,
+{
+    let timed = |t: usize| {
+        let t0 = Instant::now();
+        let work = f(t);
+        TaskStats { nanos: t0.elapsed().as_nanos() as u64, edges: 0, vertices: work }
+    };
+    if parallel {
+        (0..num_tasks).into_par_iter().map(timed).collect()
+    } else {
+        (0..num_tasks).map(timed).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SystemProfile;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use vebo_graph::Dataset;
+
+    #[test]
+    fn filters_by_predicate() {
+        let g = Dataset::YahooLike.build(0.05);
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (out, rep) = vertex_map_all(&pg, |v| v % 3 == 0, false);
+        let expect = n.div_ceil(3);
+        assert_eq!(out.len(), expect);
+        assert_eq!(rep.total_vertices(), n as u64);
+        for v in out.iter_active() {
+            assert_eq!(v % 3, 0);
+        }
+    }
+
+    #[test]
+    fn sparse_frontier_only_touches_active() {
+        let g = Dataset::YahooLike.build(0.05);
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g, SystemProfile::polymer_like());
+        let touched = AtomicU64::new(0);
+        let f = Frontier::from_vertices(n, vec![1, 5, 9]);
+        let (out, rep) = vertex_map(
+            &pg,
+            &f,
+            |v| {
+                touched.fetch_add(1, Ordering::Relaxed);
+                v != 5
+            },
+            false,
+        );
+        assert_eq!(touched.load(Ordering::Relaxed), 3);
+        assert_eq!(rep.total_vertices(), 3);
+        let got: Vec<_> = out.iter_active().collect();
+        assert_eq!(got, vec![1, 9]);
+    }
+
+    #[test]
+    fn dense_frontier_respects_membership() {
+        let g = Dataset::YahooLike.build(0.05);
+        let n = g.num_vertices();
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let f = Frontier::from_vertices(n, vec![2, 4, 6]).to_dense();
+        let (out, _) = vertex_map(&pg, &f, |_| true, false);
+        let got: Vec<_> = out.iter_active().collect();
+        assert_eq!(got, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = Dataset::YahooLike.build(0.05);
+        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(vebo_partition::EdgeOrder::Csr));
+        let (a, _) = vertex_map_all(&pg, |v| v % 7 == 1, false);
+        let (b, _) = vertex_map_all(&pg, |v| v % 7 == 1, true);
+        let va: Vec<_> = a.iter_active().collect();
+        let vb: Vec<_> = b.iter_active().collect();
+        assert_eq!(va, vb);
+    }
+}

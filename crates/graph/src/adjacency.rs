@@ -1,0 +1,366 @@
+//! Compressed sparse row/column adjacency storage.
+//!
+//! [`Adjacency`] is direction-agnostic: a `Graph` uses one instance indexed
+//! by source (CSR, out-edges) and one indexed by destination (CSC,
+//! in-edges). Offsets are `usize` (one entry per vertex plus a sentinel) and
+//! neighbor ids are [`VertexId`] to keep the hot arrays compact.
+
+use crate::types::{GraphError, VertexId};
+
+/// A compressed adjacency structure: `neighbors(v)` is the slice
+/// `targets[offsets[v]..offsets[v+1]]`.
+///
+/// Neighbor lists are sorted ascending by construction, which makes
+/// membership tests `O(log d)` and gives deterministic iteration order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Adjacency {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Option<Vec<f32>>,
+}
+
+impl Adjacency {
+    /// Builds an adjacency structure from `(index_vertex, neighbor)` pairs
+    /// using a counting sort: `O(n + m)` time, no comparison sort involved.
+    ///
+    /// Within each vertex the neighbor list is sorted ascending.
+    pub fn from_pairs(num_vertices: usize, pairs: &[(VertexId, VertexId)]) -> Self {
+        Self::from_pairs_weighted(num_vertices, pairs, None)
+    }
+
+    /// As [`Adjacency::from_pairs`] but carrying a per-edge weight parallel
+    /// to `pairs`.
+    pub fn from_pairs_weighted(
+        num_vertices: usize,
+        pairs: &[(VertexId, VertexId)],
+        weights: Option<&[f32]>,
+    ) -> Self {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), pairs.len(), "one weight per edge required");
+        }
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for &(v, _) in pairs {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; pairs.len()];
+        let mut out_weights = weights.map(|_| vec![0f32; pairs.len()]);
+        for (e, &(v, t)) in pairs.iter().enumerate() {
+            let slot = cursor[v as usize];
+            targets[slot] = t;
+            if let (Some(ow), Some(w)) = (out_weights.as_mut(), weights) {
+                ow[slot] = w[e];
+            }
+            cursor[v as usize] += 1;
+        }
+        let mut adj = Adjacency { offsets, targets, weights: out_weights };
+        adj.sort_neighbor_lists();
+        adj
+    }
+
+    /// Builds directly from raw CSR arrays. Validates the invariants.
+    pub fn from_raw(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Option<Vec<f32>>,
+    ) -> Result<Self, GraphError> {
+        if offsets.is_empty() {
+            return Err(GraphError::OffsetsEdgeMismatch { last_offset: 0, num_edges: targets.len() });
+        }
+        for i in 1..offsets.len() {
+            if offsets[i] < offsets[i - 1] {
+                return Err(GraphError::NonMonotonicOffsets { index: i });
+            }
+        }
+        if *offsets.last().unwrap() != targets.len() {
+            return Err(GraphError::OffsetsEdgeMismatch {
+                last_offset: *offsets.last().unwrap(),
+                num_edges: targets.len(),
+            });
+        }
+        let n = offsets.len() - 1;
+        if let Some(&bad) = targets.iter().find(|&&t| (t as usize) >= n) {
+            return Err(GraphError::VertexOutOfRange { vertex: bad as u64, num_vertices: n });
+        }
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), targets.len(), "one weight per edge required");
+        }
+        Ok(Adjacency { offsets, targets, weights })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbor slice of `v` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Start of `v`'s neighbor range in the flat `targets` array.
+    #[inline]
+    pub fn edge_start(&self, v: VertexId) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// Weight slice of `v`, parallel to [`Adjacency::neighbors`].
+    /// Panics if the adjacency is unweighted.
+    #[inline]
+    pub fn weights_of(&self, v: VertexId) -> &[f32] {
+        let w = self.weights.as_ref().expect("adjacency has no weights");
+        &w[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Whether per-edge weights are present.
+    #[inline]
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The raw offsets array (length `n + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat neighbor array (length `m`).
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// The flat weight array, if present.
+    #[inline]
+    pub fn raw_weights(&self) -> Option<&[f32]> {
+        self.weights.as_deref()
+    }
+
+    /// `true` if `v` has an arc to `t` (binary search; lists are sorted).
+    pub fn has_edge(&self, v: VertexId, t: VertexId) -> bool {
+        self.neighbors(v).binary_search(&t).is_ok()
+    }
+
+    /// Returns the transposed adjacency (in-edges become out-edges), again
+    /// via counting sort in `O(n + m)`.
+    pub fn transpose(&self) -> Adjacency {
+        let n = self.num_vertices();
+        let mut offsets = vec![0usize; n + 1];
+        for &t in &self.targets {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0f32; self.targets.len()]);
+        for v in 0..n as VertexId {
+            let base = self.offsets[v as usize];
+            for (k, &t) in self.neighbors(v).iter().enumerate() {
+                let slot = cursor[t as usize];
+                targets[slot] = v;
+                if let (Some(wo), Some(wi)) = (weights.as_mut(), self.weights.as_ref()) {
+                    wo[slot] = wi[base + k];
+                }
+                cursor[t as usize] += 1;
+            }
+        }
+        // Sources are visited in ascending order, so each transposed
+        // neighbor list is already sorted: no extra sort needed.
+        Adjacency { offsets, targets, weights }
+    }
+
+    /// Attaches weights computed per edge as `f(index_vertex, neighbor)`.
+    pub fn with_weights(mut self, f: impl Fn(VertexId, VertexId) -> f32) -> Adjacency {
+        let mut w = vec![0f32; self.targets.len()];
+        for v in 0..self.num_vertices() as VertexId {
+            let base = self.offsets[v as usize];
+            for (k, &t) in self.neighbors(v).iter().enumerate() {
+                w[base + k] = f(v, t);
+            }
+        }
+        self.weights = Some(w);
+        self
+    }
+
+    /// Iterates all arcs as `(index_vertex, neighbor)` in CSR order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    fn sort_neighbor_lists(&mut self) {
+        let n = self.num_vertices();
+        match &mut self.weights {
+            None => {
+                for v in 0..n {
+                    self.targets[self.offsets[v]..self.offsets[v + 1]].sort_unstable();
+                }
+            }
+            Some(w) => {
+                // Keep weights parallel to targets while sorting.
+                for v in 0..n {
+                    let range = self.offsets[v]..self.offsets[v + 1];
+                    let mut zip: Vec<(VertexId, f32)> = self.targets[range.clone()]
+                        .iter()
+                        .copied()
+                        .zip(w[range.clone()].iter().copied())
+                        .collect();
+                    zip.sort_unstable_by_key(|&(t, _)| t);
+                    for (k, (t, wt)) in zip.into_iter().enumerate() {
+                        self.targets[range.start + k] = t;
+                        w[range.start + k] = wt;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Adjacency {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        Adjacency::from_pairs(4, &[(0, 2), (0, 1), (1, 2), (3, 0)])
+    }
+
+    #[test]
+    fn from_pairs_builds_sorted_csr() {
+        let a = small();
+        assert_eq!(a.num_vertices(), 4);
+        assert_eq!(a.num_edges(), 4);
+        assert_eq!(a.neighbors(0), &[1, 2]);
+        assert_eq!(a.neighbors(1), &[2]);
+        assert_eq!(a.neighbors(2), &[] as &[VertexId]);
+        assert_eq!(a.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn degree_matches_neighbor_len() {
+        let a = small();
+        for v in 0..4 {
+            assert_eq!(a.degree(v), a.neighbors(v).len());
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_all_edges() {
+        let a = small();
+        let t = a.transpose();
+        assert_eq!(t.neighbors(0), &[3]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.neighbors(3), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let a = small();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transposed_lists_are_sorted() {
+        let a = Adjacency::from_pairs(5, &[(4, 2), (0, 2), (3, 2), (1, 2), (2, 2)]);
+        let t = a.transpose();
+        assert_eq!(t.neighbors(2), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn has_edge_uses_sorted_lookup() {
+        let a = small();
+        assert!(a.has_edge(0, 1));
+        assert!(a.has_edge(0, 2));
+        assert!(!a.has_edge(0, 3));
+        assert!(!a.has_edge(2, 0));
+    }
+
+    #[test]
+    fn weights_follow_targets_through_sort() {
+        let a = Adjacency::from_pairs_weighted(
+            3,
+            &[(0, 2), (0, 1)],
+            Some(&[20.0, 10.0]),
+        );
+        assert_eq!(a.neighbors(0), &[1, 2]);
+        assert_eq!(a.weights_of(0), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn weights_follow_targets_through_transpose() {
+        let a = Adjacency::from_pairs_weighted(
+            3,
+            &[(0, 2), (1, 2)],
+            Some(&[5.0, 7.0]),
+        );
+        let t = a.transpose();
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.weights_of(2), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn with_weights_applies_function() {
+        let a = small().with_weights(|u, v| (u + v) as f32);
+        assert_eq!(a.weights_of(0), &[1.0, 2.0]);
+        assert_eq!(a.weights_of(3), &[3.0]);
+    }
+
+    #[test]
+    fn from_raw_validates_monotonicity() {
+        let r = Adjacency::from_raw(vec![0, 2, 1], vec![0, 1], None);
+        assert!(matches!(r, Err(GraphError::NonMonotonicOffsets { index: 2 })));
+    }
+
+    #[test]
+    fn from_raw_validates_edge_count() {
+        let r = Adjacency::from_raw(vec![0, 1, 3], vec![0, 1], None);
+        assert!(matches!(r, Err(GraphError::OffsetsEdgeMismatch { .. })));
+    }
+
+    #[test]
+    fn from_raw_validates_target_range() {
+        let r = Adjacency::from_raw(vec![0, 1, 2], vec![0, 7], None);
+        assert!(matches!(r, Err(GraphError::VertexOutOfRange { vertex: 7, .. })));
+    }
+
+    #[test]
+    fn iter_edges_covers_every_arc_in_order() {
+        let a = small();
+        let edges: Vec<_> = a.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let a = Adjacency::from_pairs(0, &[]);
+        assert_eq!(a.num_vertices(), 0);
+        assert_eq!(a.num_edges(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        let a = Adjacency::from_pairs(2, &[(0, 1), (0, 1)]);
+        assert_eq!(a.neighbors(0), &[1, 1]);
+        assert_eq!(a.num_edges(), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Coordinate (COO) edge-list representation.
+//!
+//! GraphGrind processes dense frontiers from a COO whose edge order is a
+//! tuning knob: CSR order (sorted by source, then destination) or Hilbert
+//! space-filling-curve order (§V-G of the paper). The reordering itself
+//! lives in `vebo-partition::edge_order`; this module is the plain storage.
+
+use crate::graph::Graph;
+use crate::types::VertexId;
+
+/// Struct-of-arrays edge list: edge `e` is `(src[e], dst[e])`.
+///
+/// SoA (rather than `Vec<(u32, u32)>`) keeps each stream contiguous, which
+/// matters for the COO traversal loops that read millions of edges linearly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Coo {
+    src: Vec<VertexId>,
+    dst: Vec<VertexId>,
+    num_vertices: usize,
+}
+
+impl Coo {
+    /// Creates a COO from parallel source/destination arrays.
+    pub fn new(num_vertices: usize, src: Vec<VertexId>, dst: Vec<VertexId>) -> Coo {
+        assert_eq!(src.len(), dst.len(), "src/dst arrays must be parallel");
+        debug_assert!(src.iter().all(|&u| (u as usize) < num_vertices));
+        debug_assert!(dst.iter().all(|&v| (v as usize) < num_vertices));
+        Coo { src, dst, num_vertices }
+    }
+
+    /// Extracts the full edge list of a graph in CSR order
+    /// (ascending source, then ascending destination).
+    pub fn from_graph(g: &Graph) -> Coo {
+        let m = g.num_edges();
+        let mut src = Vec::with_capacity(m);
+        let mut dst = Vec::with_capacity(m);
+        for u in g.vertices() {
+            for &v in g.out_neighbors(u) {
+                src.push(u);
+                dst.push(v);
+            }
+        }
+        Coo { src, dst, num_vertices: g.num_vertices() }
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Source array.
+    #[inline]
+    pub fn src(&self) -> &[VertexId] {
+        &self.src
+    }
+
+    /// Destination array.
+    #[inline]
+    pub fn dst(&self) -> &[VertexId] {
+        &self.dst
+    }
+
+    /// Edge `e` as a pair.
+    #[inline]
+    pub fn edge(&self, e: usize) -> (VertexId, VertexId) {
+        (self.src[e], self.dst[e])
+    }
+
+    /// Iterates `(src, dst)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.src.iter().copied().zip(self.dst.iter().copied())
+    }
+
+    /// Reorders edges in place according to `perm`, where `perm[k]` is the
+    /// index (in the current storage) of the edge that should end up at
+    /// position `k`.
+    pub fn reorder_edges(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.num_edges());
+        let src: Vec<VertexId> = perm.iter().map(|&e| self.src[e]).collect();
+        let dst: Vec<VertexId> = perm.iter().map(|&e| self.dst[e]).collect();
+        self.src = src;
+        self.dst = dst;
+    }
+
+    /// Returns a sorted multiset of the edges, useful for order-insensitive
+    /// equality in tests.
+    pub fn canonical_edges(&self) -> Vec<(VertexId, VertexId)> {
+        let mut v: Vec<_> = self.iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)], true)
+    }
+
+    #[test]
+    fn from_graph_is_csr_order() {
+        let coo = Coo::from_graph(&g());
+        let edges: Vec<_> = coo.iter().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn edge_accessor_matches_iter() {
+        let coo = Coo::from_graph(&g());
+        for (e, pair) in coo.iter().enumerate() {
+            assert_eq!(coo.edge(e), pair);
+        }
+    }
+
+    #[test]
+    fn reorder_edges_permutes_pairs_together() {
+        let mut coo = Coo::from_graph(&g());
+        coo.reorder_edges(&[3, 2, 1, 0]);
+        let edges: Vec<_> = coo.iter().collect();
+        assert_eq!(edges, vec![(3, 0), (2, 3), (0, 2), (0, 1)]);
+    }
+
+    #[test]
+    fn reorder_preserves_edge_multiset() {
+        let mut coo = Coo::from_graph(&g());
+        let before = coo.canonical_edges();
+        coo.reorder_edges(&[1, 3, 0, 2]);
+        assert_eq!(coo.canonical_edges(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_arrays_panic() {
+        Coo::new(3, vec![0, 1], vec![2]);
+    }
+}

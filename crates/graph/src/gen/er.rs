@@ -1,0 +1,57 @@
+//! Erdős–Rényi `G(n, m)` generator, mainly for tests and sanity baselines.
+
+use crate::graph::Graph;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples `num_edges` uniformly random arcs (no self-loops; parallel arcs
+/// possible) and builds a graph.
+pub fn gnm(num_vertices: usize, num_edges: usize, directed: bool, seed: u64) -> Graph {
+    assert!(num_vertices >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let u = rng.random_range(0..num_vertices) as VertexId;
+        let v = rng.random_range(0..num_vertices) as VertexId;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(num_vertices, &edges, directed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_requested_size() {
+        let g = gnm(100, 500, true, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn gnm_undirected_symmetrizes() {
+        let g = gnm(50, 100, false, 2);
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let a = gnm(64, 256, true, 9);
+        let b = gnm(64, 256, true, 9);
+        assert_eq!(a.csr().targets(), b.csr().targets());
+    }
+
+    #[test]
+    fn gnm_no_self_loops() {
+        let g = gnm(30, 200, true, 3);
+        for v in g.vertices() {
+            assert!(!g.out_neighbors(v).contains(&v));
+        }
+    }
+}

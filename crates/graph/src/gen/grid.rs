@@ -1,0 +1,136 @@
+//! Road-network-style 2D mesh generator (the USAroad analogue).
+//!
+//! Road networks have near-constant degree (USAroad's maximum is 9) and
+//! strong spatial locality in their vertex ids. A 2D lattice with row-major
+//! ids, optional diagonal shortcuts, and a small random-deletion rate
+//! reproduces both properties.
+
+use crate::graph::Graph;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Grid configuration. The graph has `width * height` vertices.
+#[derive(Clone, Debug)]
+pub struct GridConfig {
+    /// Grid width in vertices.
+    pub width: usize,
+    /// Grid height in vertices.
+    pub height: usize,
+    /// Probability of adding each diagonal edge (raises max degree to 8).
+    pub diagonal_prob: f64,
+    /// Probability of deleting each lattice edge (models missing roads).
+    pub deletion_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig { width: 64, height: 64, diagonal_prob: 0.1, deletion_prob: 0.05, seed: 42 }
+    }
+}
+
+/// Generates the undirected mesh. Vertex ids are row-major
+/// (`id = y * width + x`), preserving the spatial locality the paper notes
+/// for road networks (§V-B).
+pub fn grid_graph(cfg: &GridConfig) -> Graph {
+    assert!(cfg.width >= 2 && cfg.height >= 2);
+    let n = cfg.width * cfg.height;
+    let id = |x: usize, y: usize| (y * cfg.width + x) as VertexId;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * 2);
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            if x + 1 < cfg.width && rng.random::<f64>() >= cfg.deletion_prob {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < cfg.height && rng.random::<f64>() >= cfg.deletion_prob {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+            if x + 1 < cfg.width && y + 1 < cfg.height && rng.random::<f64>() < cfg.diagonal_prob {
+                edges.push((id(x, y), id(x + 1, y + 1)));
+            }
+            if x >= 1 && y + 1 < cfg.height && rng.random::<f64>() < cfg.diagonal_prob {
+                edges.push((id(x, y), id(x - 1, y + 1)));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::characterize;
+
+    #[test]
+    fn grid_has_bounded_degree() {
+        let g = grid_graph(&GridConfig { width: 20, height: 20, ..Default::default() });
+        let c = characterize(&g);
+        assert_eq!(c.vertices, 400);
+        assert!(c.max_in_degree <= 8, "max degree {}", c.max_in_degree);
+    }
+
+    #[test]
+    fn pure_lattice_degrees() {
+        let g = grid_graph(&GridConfig {
+            width: 3,
+            height: 3,
+            diagonal_prob: 0.0,
+            deletion_prob: 0.0,
+            seed: 1,
+        });
+        // Corner vertices have degree 2, edge vertices 3, center 4.
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(1), 3);
+        assert_eq!(g.out_degree(4), 4);
+        assert_eq!(g.num_edges(), 24); // 12 undirected edges
+    }
+
+    #[test]
+    fn grid_is_symmetric() {
+        let g = grid_graph(&GridConfig { width: 8, height: 8, ..Default::default() });
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn ids_have_spatial_locality() {
+        // Without diagonals/deletions, every neighbor differs by 1 or width.
+        let w = 10;
+        let g = grid_graph(&GridConfig {
+            width: w,
+            height: 10,
+            diagonal_prob: 0.0,
+            deletion_prob: 0.0,
+            seed: 2,
+        });
+        for v in g.vertices() {
+            for &t in g.out_neighbors(v) {
+                let d = (v as i64 - t as i64).unsigned_abs() as usize;
+                assert!(d == 1 || d == w, "neighbor distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_reduces_edges() {
+        let full = grid_graph(&GridConfig {
+            width: 30,
+            height: 30,
+            diagonal_prob: 0.0,
+            deletion_prob: 0.0,
+            seed: 3,
+        });
+        let thinned = grid_graph(&GridConfig {
+            width: 30,
+            height: 30,
+            diagonal_prob: 0.0,
+            deletion_prob: 0.3,
+            seed: 3,
+        });
+        assert!(thinned.num_edges() < full.num_edges());
+    }
+}

@@ -1,0 +1,71 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on large public graphs (Twitter, Friendster, …) that
+//! are not redistributable at reproduction scale; these generators produce
+//! scaled-down analogues with matching degree-distribution *shape*:
+//!
+//! * [`zipf`] — the exact Zipf in-degree model of §III-A, used both to build
+//!   directed power-law graphs and to check the preconditions of
+//!   Theorems 1 and 2;
+//! * [`powerlaw`] — directed graphs with Zipf in-degrees and undirected
+//!   Chung–Lu power-law graphs;
+//! * [`rmat`] — recursive-matrix (R-MAT / Graph500) generator for the
+//!   RMAT27 analogue;
+//! * [`grid`] — 2D road-network-style meshes with near-constant degree
+//!   (USAroad analogue);
+//! * [`er`] — Erdős–Rényi G(n, m) graphs for tests.
+
+pub mod er;
+pub mod grid;
+pub mod powerlaw;
+pub mod rmat;
+pub mod zipf;
+
+pub use er::gnm;
+pub use grid::{grid_graph, GridConfig};
+pub use powerlaw::{chung_lu_undirected, zipf_directed, ChungLuConfig, ZipfGraphConfig};
+pub use rmat::{rmat_edges, rmat_graph, RmatConfig};
+pub use zipf::ZipfDegreeModel;
+
+use crate::permute::Permutation;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns a uniformly random permutation of `0..n`, seeded for
+/// reproducibility. Generators apply this to decorrelate vertex id from
+/// degree (real-world crawls are not degree-sorted).
+pub fn random_permutation(n: usize, seed: u64) -> Permutation {
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    Permutation::from_new_ids(ids).expect("shuffle of 0..n is a bijection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_permutation_is_bijection() {
+        let p = random_permutation(100, 7);
+        let mut seen = [false; 100];
+        for v in 0..100 {
+            seen[p.new_id(v) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn random_permutation_is_seeded() {
+        assert_eq!(random_permutation(50, 1).as_slice(), random_permutation(50, 1).as_slice());
+        assert_ne!(random_permutation(50, 1).as_slice(), random_permutation(50, 2).as_slice());
+    }
+
+    #[test]
+    fn random_permutation_actually_shuffles() {
+        let p = random_permutation(1000, 3);
+        assert!(!p.is_identity());
+    }
+}

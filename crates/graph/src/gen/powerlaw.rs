@@ -1,0 +1,364 @@
+//! Power-law graph generators: directed Zipf in-degree graphs and
+//! undirected Chung–Lu graphs.
+
+use crate::gen::random_permutation;
+use crate::gen::zipf::ZipfDegreeModel;
+use crate::graph::Graph;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for a directed graph with Zipf-distributed in-degrees —
+/// the graph family the paper's Theorems 1 and 2 are proved for.
+#[derive(Clone, Debug)]
+pub struct ZipfGraphConfig {
+    /// Number of vertices `n`.
+    pub num_vertices: usize,
+    /// Number of degree ranks `N` (max in-degree is `N - 1`).
+    pub num_ranks: usize,
+    /// Zipf exponent `s`.
+    pub s: f64,
+    /// Skew of the out-degree side: sources are drawn as
+    /// `floor(n * u^out_skew)` over eligible ranks. `1.0` = uniform;
+    /// larger values concentrate out-edges on few vertices.
+    pub out_skew: f64,
+    /// Fraction of vertices excluded as sources (they end with out-degree
+    /// 0, mirroring the "% vertices with zero out-degree" column of
+    /// Table I).
+    pub zero_out_fraction: f64,
+    /// Shuffle vertex ids so degree is uncorrelated with id (real crawls
+    /// are not degree-sorted).
+    pub shuffle_ids: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfGraphConfig {
+    fn default() -> Self {
+        ZipfGraphConfig {
+            num_vertices: 10_000,
+            num_ranks: 256,
+            s: 1.4,
+            out_skew: 2.0,
+            zero_out_fraction: 0.05,
+            shuffle_ids: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a directed graph whose in-degree sequence is drawn from the
+/// paper's Zipf model; each in-edge's source is sampled independently with
+/// configurable skew. Self-loops are redirected to the next vertex, and
+/// parallel in-edges are allowed (as in real crawls).
+pub fn zipf_directed(cfg: &ZipfGraphConfig) -> Graph {
+    let n = cfg.num_vertices;
+    assert!(n >= 2, "need at least two vertices");
+    assert!((0.0..1.0).contains(&cfg.zero_out_fraction));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let model = ZipfDegreeModel::new(n, cfg.num_ranks, cfg.s);
+    let in_degrees = model.sample_degree_sequence(&mut rng);
+    let num_sources = ((n as f64) * (1.0 - cfg.zero_out_fraction)).ceil().max(1.0) as usize;
+
+    let m: usize = in_degrees.iter().map(|&d| d as usize).sum();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m);
+    for (v, &d) in in_degrees.iter().enumerate() {
+        let v = v as VertexId;
+        for _ in 0..d {
+            let u: f64 = rng.random();
+            let mut src = ((num_sources as f64) * u.powf(cfg.out_skew)) as usize;
+            if src >= num_sources {
+                src = num_sources - 1;
+            }
+            let mut src = src as VertexId;
+            if src == v {
+                src = (src + 1) % n as VertexId; // avoid self-loops
+            }
+            edges.push((src, v));
+        }
+    }
+
+    let g = Graph::from_edges(n, &edges, true);
+    if cfg.shuffle_ids {
+        random_permutation(n, cfg.seed ^ 0xD1CE).apply_graph(&g)
+    } else {
+        g
+    }
+}
+
+/// Configuration for the undirected Chung–Lu power-law generator.
+#[derive(Clone, Debug)]
+pub struct ChungLuConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges to sample (each becomes two arcs).
+    pub num_edges: usize,
+    /// Power-law exponent alpha of the expected-degree sequence
+    /// (`w_v ~ (v + 1)^(-1 / (alpha - 1))`). The paper's "Powerlaw" dataset
+    /// uses alpha = 2.
+    pub alpha: f64,
+    /// Shuffle vertex ids after generation.
+    pub shuffle_ids: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChungLuConfig {
+    fn default() -> Self {
+        ChungLuConfig {
+            num_vertices: 10_000,
+            num_edges: 30_000,
+            alpha: 2.0,
+            shuffle_ids: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates an undirected Chung–Lu graph: both endpoints of each edge are
+/// drawn with probability proportional to a power-law weight sequence,
+/// giving a power-law degree distribution with exponent ~alpha.
+pub fn chung_lu_undirected(cfg: &ChungLuConfig) -> Graph {
+    let n = cfg.num_vertices;
+    assert!(n >= 2 && cfg.alpha > 1.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let gamma = 1.0 / (cfg.alpha - 1.0);
+    // Cumulative weights for inverse-CDF endpoint sampling.
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0.0f64;
+    for v in 0..n {
+        acc += ((v + 1) as f64).powf(-gamma);
+        cum.push(acc);
+    }
+    let total = acc;
+    let sample_vertex = |rng: &mut StdRng| -> VertexId {
+        let u: f64 = rng.random::<f64>() * total;
+        cum.partition_point(|&c| c < u).min(n - 1) as VertexId
+    };
+
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(cfg.num_edges);
+    while edges.len() < cfg.num_edges {
+        let a = sample_vertex(&mut rng);
+        let b = sample_vertex(&mut rng);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+
+    let g = Graph::from_edges(n, &edges, false);
+    if cfg.shuffle_ids {
+        random_permutation(n, cfg.seed ^ 0xD1CE).apply_graph(&g)
+    } else {
+        g
+    }
+}
+
+/// Configuration for the undirected configuration-model generator with
+/// Zipf-distributed degrees.
+#[derive(Clone, Debug)]
+pub struct ZipfUndirectedConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of degree ranks `N`; degrees are drawn from `1..=N` with
+    /// `P(d) ~ d^{-s}` (minimum degree 1, so degree-1 vertices are
+    /// abundant — the property Theorem 1's proof relies on).
+    pub num_ranks: usize,
+    /// Zipf exponent over degrees.
+    pub s: f64,
+    /// Shuffle vertex ids after generation.
+    pub shuffle_ids: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfUndirectedConfig {
+    fn default() -> Self {
+        ZipfUndirectedConfig { num_vertices: 10_000, num_ranks: 512, s: 1.5, shuffle_ids: true, seed: 42 }
+    }
+}
+
+/// Generates an undirected power-law graph via the configuration model:
+/// each vertex draws a degree `d in 1..=N` with `P(d) ~ d^{-s}`, stubs are
+/// shuffled and paired, then self-loops and duplicate pairs are dropped
+/// (slightly trimming realized degrees, as in real cleaned datasets).
+pub fn zipf_undirected(cfg: &ZipfUndirectedConfig) -> Graph {
+    let n = cfg.num_vertices;
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // P(degree = k) ~ k^{-s} for k = 1..=N: reuse the Zipf model and shift
+    // its degree-(k-1) convention up by one.
+    let model = ZipfDegreeModel::new(n, cfg.num_ranks, cfg.s);
+    let mut stubs: Vec<VertexId> = Vec::new();
+    for v in 0..n as VertexId {
+        let d = model.sample_degree(&mut rng) as usize + 1;
+        stubs.extend(std::iter::repeat_n(v, d));
+    }
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    use rand::seq::SliceRandom;
+    stubs.shuffle(&mut rng);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(stubs.len() / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            edges.push((pair[0], pair[1]));
+        }
+    }
+    let g = Graph::from_edges(n, &edges, false);
+    if cfg.shuffle_ids {
+        random_permutation(n, cfg.seed ^ 0xD1CE).apply_graph(&g)
+    } else {
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::characterize;
+
+    #[test]
+    fn zipf_directed_has_requested_shape() {
+        let cfg = ZipfGraphConfig {
+            num_vertices: 5000,
+            num_ranks: 64,
+            s: 1.2,
+            seed: 1,
+            ..Default::default()
+        };
+        let g = zipf_directed(&cfg);
+        let c = characterize(&g);
+        assert_eq!(c.vertices, 5000);
+        assert!(c.max_in_degree <= 63 + 1, "parallel edges may add at most noise");
+        assert!(c.zero_in_degree > 0, "Zipf rank 1 (degree 0) is most frequent");
+        // Expected edges within 15% of the model's expectation.
+        let model = ZipfDegreeModel::new(5000, 64, 1.2);
+        let e = model.expected_edges();
+        assert!((c.edges as f64 - e).abs() / e < 0.15, "m = {} vs E = {e}", c.edges);
+    }
+
+    #[test]
+    fn zipf_directed_is_deterministic_per_seed() {
+        let cfg = ZipfGraphConfig { num_vertices: 500, seed: 9, ..Default::default() };
+        let g1 = zipf_directed(&cfg);
+        let g2 = zipf_directed(&cfg);
+        assert_eq!(g1.csr().targets(), g2.csr().targets());
+        assert_eq!(g1.csr().offsets(), g2.csr().offsets());
+    }
+
+    #[test]
+    fn zipf_directed_zero_out_fraction_respected() {
+        let cfg = ZipfGraphConfig {
+            num_vertices: 2000,
+            zero_out_fraction: 0.5,
+            shuffle_ids: true,
+            seed: 3,
+            ..Default::default()
+        };
+        let g = zipf_directed(&cfg);
+        let c = characterize(&g);
+        // At least the excluded half has zero out-degree (skew makes more).
+        assert!(c.pct_zero_out() >= 50.0 - 1.0, "pct = {}", c.pct_zero_out());
+    }
+
+    #[test]
+    fn zipf_directed_has_no_self_loops() {
+        let cfg = ZipfGraphConfig { num_vertices: 300, shuffle_ids: false, seed: 2, ..Default::default() };
+        let g = zipf_directed(&cfg);
+        for v in g.vertices() {
+            assert!(!g.out_neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_undirected_has_degree_one_vertices() {
+        let g = zipf_undirected(&ZipfUndirectedConfig {
+            num_vertices: 4000,
+            num_ranks: 256,
+            s: 1.5,
+            shuffle_ids: false,
+            seed: 11,
+        });
+        let deg1 = g.vertices().filter(|&v| g.in_degree(v) == 1).count();
+        // Degree 1 is the modal degree under P(d) ~ d^{-1.5}.
+        assert!(deg1 > g.num_vertices() / 10, "only {deg1} degree-1 vertices");
+    }
+
+    #[test]
+    fn zipf_undirected_is_symmetric_and_loop_free() {
+        let g = zipf_undirected(&ZipfUndirectedConfig { num_vertices: 1000, seed: 12, ..Default::default() });
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), g.in_neighbors(v));
+            assert!(!g.out_neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_undirected_mean_degree_tracks_model() {
+        let cfg = ZipfUndirectedConfig {
+            num_vertices: 20_000,
+            num_ranks: 128,
+            s: 1.5,
+            shuffle_ids: false,
+            seed: 13,
+        };
+        let g = zipf_undirected(&cfg);
+        let model = ZipfDegreeModel::new(cfg.num_vertices, cfg.num_ranks, cfg.s);
+        let want = model.expected_degree() + 1.0; // degrees shifted up by one
+        let got = g.num_edges() as f64 / g.num_vertices() as f64;
+        // Dedup/self-loop removal trims a little, so allow 15% shortfall.
+        assert!(got > 0.85 * want && got < 1.05 * want, "mean {got} vs model {want}");
+    }
+
+    #[test]
+    fn chung_lu_is_power_law_shaped() {
+        let cfg = ChungLuConfig {
+            num_vertices: 5000,
+            num_edges: 20_000,
+            alpha: 2.0,
+            seed: 4,
+            ..Default::default()
+        };
+        let g = chung_lu_undirected(&cfg);
+        // Symmetrization dedupes repeated samples of the same pair, so the
+        // arc count is at most 2 * num_edges and well above half of it.
+        assert!(g.num_edges() <= 40_000 && g.num_edges() > 20_000, "m = {}", g.num_edges());
+        let c = characterize(&g);
+        // Heavy tail: max degree far above the mean.
+        let mean = c.edges as f64 / c.vertices as f64;
+        assert!(c.max_in_degree as f64 > 5.0 * mean, "max {} mean {mean}", c.max_in_degree);
+    }
+
+    #[test]
+    fn chung_lu_is_symmetric() {
+        let cfg = ChungLuConfig { num_vertices: 300, num_edges: 900, seed: 5, ..Default::default() };
+        let g = chung_lu_undirected(&cfg);
+        for v in g.vertices() {
+            assert_eq!(g.out_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn shuffle_decorrelates_degree_from_id() {
+        let base = ZipfGraphConfig {
+            num_vertices: 4000,
+            shuffle_ids: false,
+            out_skew: 3.0,
+            seed: 6,
+            ..Default::default()
+        };
+        let unshuffled = zipf_directed(&base);
+        let shuffled = zipf_directed(&ZipfGraphConfig { shuffle_ids: true, ..base });
+        // Without shuffling, out-degrees concentrate on low ids; measure the
+        // share of out-edges in the first 10% of ids.
+        let share = |g: &Graph| {
+            let cut = g.num_vertices() / 10;
+            let head: usize = (0..cut as VertexId).map(|v| g.out_degree(v)).sum();
+            head as f64 / g.num_edges() as f64
+        };
+        // With out_skew = 3, P(src in first 10% of ids) = (0.1/0.95)^(1/3)
+        // ~= 0.47; after shuffling it drops to ~0.1.
+        assert!(share(&unshuffled) > 0.4, "unshuffled share {}", share(&unshuffled));
+        assert!(share(&shuffled) < 0.3, "shuffled share {}", share(&shuffled));
+    }
+}

@@ -1,0 +1,194 @@
+//! The Zipf in-degree model of §III-A of the paper.
+//!
+//! The paper models in-degrees as a Zipf distribution with `N` ranks and
+//! exponent `s`: `p_k = k^{-s} / H_{N,s}` for `k = 1..=N`, where a vertex at
+//! rank `k` has in-degree `k - 1`. Rank 1 (degree 0) is the most frequent.
+//! Theorems 1 and 2 give optimality conditions in terms of `N`, `s`, `n`,
+//! `|E|` and `P` — this module provides the distribution, its moments, and
+//! the precondition checks.
+
+use rand::{Rng, RngExt};
+
+/// Generalized harmonic number `H_{N,s} = sum_{i=1}^{N} i^{-s}`.
+pub fn generalized_harmonic(n_ranks: usize, s: f64) -> f64 {
+    (1..=n_ranks).map(|i| (i as f64).powf(-s)).sum()
+}
+
+/// The Zipf in-degree distribution with `num_ranks = N` and exponent `s`,
+/// over a graph with `num_vertices = n` vertices.
+#[derive(Clone, Debug)]
+pub struct ZipfDegreeModel {
+    num_vertices: usize,
+    num_ranks: usize,
+    s: f64,
+    /// `cdf[k-1]` = P(rank <= k); `cdf[N-1] == 1`.
+    cdf: Vec<f64>,
+    harmonic: f64,
+}
+
+impl ZipfDegreeModel {
+    /// Builds the model. `num_ranks` is `N` = 1 + maximum in-degree;
+    /// `s >= 0` is the skew exponent (the paper's power-law exponent alpha
+    /// relates as `alpha = 1 + 1/s`).
+    pub fn new(num_vertices: usize, num_ranks: usize, s: f64) -> ZipfDegreeModel {
+        assert!(num_ranks >= 1, "need at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let harmonic = generalized_harmonic(num_ranks, s);
+        let mut cdf = Vec::with_capacity(num_ranks);
+        let mut acc = 0.0;
+        for k in 1..=num_ranks {
+            acc += (k as f64).powf(-s) / harmonic;
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().unwrap() = 1.0;
+        ZipfDegreeModel { num_vertices, num_ranks, s, cdf, harmonic }
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of ranks `N` (one more than the highest degree).
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// The exponent `s`.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// `H_{N,s}`.
+    pub fn harmonic(&self) -> f64 {
+        self.harmonic
+    }
+
+    /// P(in-degree == `d`) for `d = k - 1`.
+    pub fn degree_probability(&self, d: usize) -> f64 {
+        let k = d + 1;
+        if k > self.num_ranks {
+            return 0.0;
+        }
+        (k as f64).powf(-self.s) / self.harmonic
+    }
+
+    /// Expected in-degree `E[k - 1]`.
+    pub fn expected_degree(&self) -> f64 {
+        (1..=self.num_ranks)
+            .map(|k| (k as f64 - 1.0) * (k as f64).powf(-self.s))
+            .sum::<f64>()
+            / self.harmonic
+    }
+
+    /// Expected number of edges `n * E[deg]`.
+    pub fn expected_edges(&self) -> f64 {
+        self.num_vertices as f64 * self.expected_degree()
+    }
+
+    /// Samples one in-degree (inverse-CDF with binary search, `O(log N)`).
+    pub fn sample_degree<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.random();
+        // partition_point returns the first rank whose cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.num_ranks - 1) as u32
+    }
+
+    /// Samples an in-degree for every vertex.
+    pub fn sample_degree_sequence<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        (0..self.num_vertices).map(|_| self.sample_degree(rng)).collect()
+    }
+
+    /// Theorem 1 precondition: `|E| >= N (P - 1)` and `P < N`, using the
+    /// expected edge count.
+    pub fn theorem1_holds(&self, num_partitions: usize) -> bool {
+        let e = self.expected_edges();
+        e >= (self.num_ranks * (num_partitions.saturating_sub(1))) as f64
+            && num_partitions < self.num_ranks
+    }
+
+    /// Theorem 2 precondition: `n >= N * H_{N,s}`.
+    pub fn theorem2_holds(&self) -> bool {
+        self.num_vertices as f64 >= self.num_ranks as f64 * self.harmonic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harmonic_matches_known_values() {
+        assert!((generalized_harmonic(1, 1.0) - 1.0).abs() < 1e-12);
+        assert!((generalized_harmonic(2, 1.0) - 1.5).abs() < 1e-12);
+        assert!((generalized_harmonic(4, 2.0) - (1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0)).abs() < 1e-12);
+        // s = 0 degenerates to a uniform distribution over ranks.
+        assert!((generalized_harmonic(10, 0.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = ZipfDegreeModel::new(1000, 50, 1.3);
+        let total: f64 = (0..50).map(|d| m.degree_probability(d)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(m.degree_probability(50), 0.0);
+    }
+
+    #[test]
+    fn zero_degree_is_most_frequent() {
+        let m = ZipfDegreeModel::new(1000, 100, 1.0);
+        for d in 1..100 {
+            assert!(m.degree_probability(0) >= m.degree_probability(d));
+        }
+    }
+
+    #[test]
+    fn expected_degree_matches_empirical_mean() {
+        let m = ZipfDegreeModel::new(200_000, 64, 1.2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let degs = m.sample_degree_sequence(&mut rng);
+        let mean = degs.iter().map(|&d| d as f64).sum::<f64>() / degs.len() as f64;
+        let expected = m.expected_degree();
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sampled_degrees_stay_in_range() {
+        let m = ZipfDegreeModel::new(10_000, 16, 0.9);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(m.sample_degree(&mut rng) < 16);
+        }
+    }
+
+    #[test]
+    fn theorem_preconditions_behave() {
+        // Large expected edge count, small P: both theorems hold.
+        let m = ZipfDegreeModel::new(100_000, 64, 1.0);
+        assert!(m.theorem1_holds(8));
+        assert!(m.theorem2_holds());
+        // P >= N violates Theorem 1's P < N requirement.
+        assert!(!m.theorem1_holds(64));
+        // Tiny n violates Theorem 2's n >= N * H.
+        let tiny = ZipfDegreeModel::new(10, 64, 1.0);
+        assert!(!tiny.theorem2_holds());
+    }
+
+    #[test]
+    fn s_equals_one_requirement_from_paper() {
+        // §III-D: "if s = 1, then the requirement is n >= 2N" —
+        // approximately, since H_{N,1} grows as ln N; check the paper's
+        // example magnitude for small N where H ~ 2.
+        let m = ZipfDegreeModel::new(8, 4, 1.0);
+        // H_{4,1} = 1 + 1/2 + 1/3 + 1/4 = 2.0833; n = 8 < 4 * 2.0833
+        assert!(!m.theorem2_holds());
+        let m2 = ZipfDegreeModel::new(9, 4, 1.0);
+        assert!(m2.theorem2_holds());
+    }
+}

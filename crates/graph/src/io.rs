@@ -1,0 +1,222 @@
+//! Graph I/O: plain edge lists and the Ligra `AdjacencyGraph` text format.
+//!
+//! The Ligra format (used by all three frameworks in the paper's artifact)
+//! is:
+//!
+//! ```text
+//! AdjacencyGraph
+//! <n>
+//! <m>
+//! <offset 0> ... <offset n-1>
+//! <edge 0> ... <edge m-1>
+//! ```
+
+use crate::adjacency::Adjacency;
+use crate::graph::Graph;
+use crate::types::{GraphError, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes a graph as a whitespace edge list (`src dst` per line, `#`
+/// comments allowed when reading back).
+pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# vertices {} edges {} directed {}", g.num_vertices(), g.num_edges(), g.is_directed())?;
+    for u in g.vertices() {
+        for &v in g.out_neighbors(u) {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a whitespace edge list. `num_vertices` is inferred as
+/// `max endpoint + 1` unless a larger value is supplied.
+pub fn read_edge_list<R: Read>(r: R, directed: bool, min_vertices: Option<usize>) -> Result<Graph, GraphError> {
+    let r = BufReader::new(r);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_v: u64 = 0;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u64, GraphError> {
+            tok.ok_or(GraphError::Parse { line: lineno + 1, message: "missing endpoint".into() })?
+                .parse::<u64>()
+                .map_err(|e| GraphError::Parse { line: lineno + 1, message: e.to_string() })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        if u > VertexId::MAX as u64 || v > VertexId::MAX as u64 {
+            return Err(GraphError::VertexOutOfRange { vertex: u.max(v), num_vertices: VertexId::MAX as usize });
+        }
+        max_v = max_v.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId));
+    }
+    let n = (max_v as usize + 1).max(min_vertices.unwrap_or(0)).max(if edges.is_empty() { 0 } else { 1 });
+    Ok(Graph::from_edges(n, &edges, directed))
+}
+
+/// Writes the Ligra `AdjacencyGraph` format.
+pub fn write_adjacency_graph<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "AdjacencyGraph")?;
+    writeln!(w, "{}", g.num_vertices())?;
+    writeln!(w, "{}", g.num_edges())?;
+    for v in g.vertices() {
+        writeln!(w, "{}", g.csr().edge_start(v))?;
+    }
+    for &t in g.csr().targets() {
+        writeln!(w, "{t}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the Ligra `AdjacencyGraph` format.
+pub fn read_adjacency_graph<R: Read>(r: R, directed: bool) -> Result<Graph, GraphError> {
+    let r = BufReader::new(r);
+    let mut tokens = Vec::new();
+    let mut header_seen = false;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            if t != "AdjacencyGraph" {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected 'AdjacencyGraph' header, got '{t}'"),
+                });
+            }
+            header_seen = true;
+            continue;
+        }
+        for tok in t.split_whitespace() {
+            let v: usize = tok
+                .parse()
+                .map_err(|e: std::num::ParseIntError| GraphError::Parse { line: lineno + 1, message: e.to_string() })?;
+            tokens.push(v);
+        }
+    }
+    if tokens.len() < 2 {
+        return Err(GraphError::Parse { line: 0, message: "truncated file".into() });
+    }
+    let n = tokens[0];
+    let m = tokens[1];
+    if tokens.len() != 2 + n + m {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("expected {} tokens, found {}", 2 + n + m, tokens.len()),
+        });
+    }
+    let mut offsets: Vec<usize> = tokens[2..2 + n].to_vec();
+    offsets.push(m);
+    let targets: Vec<VertexId> = tokens[2 + n..]
+        .iter()
+        .map(|&t| {
+            if t >= n {
+                Err(GraphError::VertexOutOfRange { vertex: t as u64, num_vertices: n })
+            } else {
+                Ok(t as VertexId)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let out = Adjacency::from_raw(offsets, targets, None)?;
+    let into = out.transpose();
+    Graph::from_parts(out, into, directed)
+}
+
+/// Convenience wrapper: writes an edge list to a file path.
+pub fn save_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Convenience wrapper: reads an edge list from a file path.
+pub fn load_edge_list(path: impl AsRef<Path>, directed: bool) -> Result<Graph, GraphError> {
+    read_edge_list(std::fs::File::open(path)?, directed, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (3, 4), (4, 0)], true)
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..], true, None).unwrap();
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert_eq!(g.csr().targets(), h.csr().targets());
+        assert_eq!(g.csr().offsets(), h.csr().offsets());
+    }
+
+    #[test]
+    fn edge_list_skips_comments() {
+        let text = "# hello\n% pct comment\n0 1\n\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), true, None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_reports_parse_errors_with_line() {
+        let text = "0 1\nbroken\n";
+        let err = read_edge_list(text.as_bytes(), true, None).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_min_vertices_pads() {
+        let g = read_edge_list("0 1\n".as_bytes(), true, Some(10)).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn adjacency_graph_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_adjacency_graph(&g, &mut buf).unwrap();
+        let h = read_adjacency_graph(&buf[..], true).unwrap();
+        assert_eq!(g.csr().offsets(), h.csr().offsets());
+        assert_eq!(g.csr().targets(), h.csr().targets());
+    }
+
+    #[test]
+    fn adjacency_graph_rejects_wrong_header() {
+        let err = read_adjacency_graph("WeightedThing\n1\n0\n0\n".as_bytes(), true).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn adjacency_graph_rejects_token_mismatch() {
+        let err = read_adjacency_graph("AdjacencyGraph\n2\n1\n0\n".as_bytes(), true).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("vebo_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+        save_edge_list(&g, &path).unwrap();
+        let h = load_edge_list(&path, true).unwrap();
+        assert_eq!(g.csr().targets(), h.csr().targets());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,75 @@
+//! Structural validation of graphs — used by tests and after permutation /
+//! partitioning steps to catch representation bugs early.
+
+use crate::graph::Graph;
+use crate::types::GraphError;
+
+/// Checks all representation invariants of a [`Graph`]:
+/// offsets monotone and terminating at `m`, targets in range, CSC equal to
+/// the transpose of the CSR, sorted neighbor lists, and (for undirected
+/// graphs) symmetry.
+pub fn check(g: &Graph) -> Result<(), GraphError> {
+    let n = g.num_vertices();
+    for adj in [g.csr(), g.csc()] {
+        let off = adj.offsets();
+        if off.len() != n + 1 {
+            return Err(GraphError::OffsetsEdgeMismatch { last_offset: off.len(), num_edges: n + 1 });
+        }
+        for i in 1..off.len() {
+            if off[i] < off[i - 1] {
+                return Err(GraphError::NonMonotonicOffsets { index: i });
+            }
+        }
+        if *off.last().unwrap() != adj.num_edges() {
+            return Err(GraphError::OffsetsEdgeMismatch {
+                last_offset: *off.last().unwrap(),
+                num_edges: adj.num_edges(),
+            });
+        }
+        for &t in adj.targets() {
+            if t as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: t as u64, num_vertices: n });
+            }
+        }
+        for v in 0..n as u32 {
+            let nb = adj.neighbors(v);
+            if !nb.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(GraphError::InvalidPermutation { reason: "unsorted neighbor list" });
+            }
+        }
+    }
+    if g.csr().transpose() != *g.csc() {
+        return Err(GraphError::InvalidPermutation { reason: "CSC is not the transpose of CSR" });
+    }
+    if !g.is_directed() && g.csr() != g.csc() {
+        return Err(GraphError::InvalidPermutation { reason: "undirected graph is not symmetric" });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+
+    #[test]
+    fn valid_graphs_pass() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (3, 0)], true);
+        assert!(check(&g).is_ok());
+    }
+
+    #[test]
+    fn all_datasets_validate() {
+        for d in Dataset::ALL {
+            let g = d.build(0.05);
+            assert!(check(&g).is_ok(), "{} failed validation", d.name());
+        }
+    }
+
+    #[test]
+    fn undirected_datasets_are_symmetric() {
+        let g = Dataset::OrkutLike.build(0.05);
+        assert!(!g.is_directed());
+        assert!(check(&g).is_ok());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use vebo_graph::graph::mix64;
+use vebo_graph::{io, Adjacency, Graph, Permutation, VertexId};
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..60, 0usize..300, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = mix64(x);
+            x
+        };
+        let edges = (0..m)
+            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .collect();
+        (n, edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transpose is an involution on arbitrary adjacency structures.
+    #[test]
+    fn transpose_involution((n, edges) in arb_edges()) {
+        let a = Adjacency::from_pairs(n, &edges);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// CSR offsets are consistent with degrees for any input.
+    #[test]
+    fn offsets_match_degrees((n, edges) in arb_edges()) {
+        let a = Adjacency::from_pairs(n, &edges);
+        for v in 0..n as VertexId {
+            prop_assert_eq!(a.degree(v), a.neighbors(v).len());
+        }
+        prop_assert_eq!(a.num_edges(), edges.len());
+    }
+
+    /// Graph in/out views agree on the edge multiset.
+    #[test]
+    fn csr_csc_same_multiset((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges, true);
+        let mut fwd: Vec<(VertexId, VertexId)> = g
+            .vertices()
+            .flat_map(|u| g.out_neighbors(u).iter().map(move |&v| (u, v)))
+            .collect();
+        let mut bwd: Vec<(VertexId, VertexId)> = g
+            .vertices()
+            .flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v)))
+            .collect();
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Applying a permutation then its inverse restores the graph.
+    #[test]
+    fn permutation_roundtrip((n, edges) in arb_edges(), seed in any::<u64>()) {
+        let g = Graph::from_edges(n, &edges, true);
+        let perm = vebo_graph::gen::random_permutation(n, seed);
+        let there = perm.apply_graph(&g);
+        let back = perm.inverse().apply_graph(&there);
+        prop_assert_eq!(back.csr().offsets(), g.csr().offsets());
+        prop_assert_eq!(back.csr().targets(), g.csr().targets());
+    }
+
+    /// Composition of permutations equals sequential application.
+    #[test]
+    fn permutation_composition((n, edges) in arb_edges(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let g = Graph::from_edges(n, &edges, true);
+        let p = vebo_graph::gen::random_permutation(n, s1);
+        let q = vebo_graph::gen::random_permutation(n, s2);
+        let combined = p.then(&q).apply_graph(&g);
+        let sequential = q.apply_graph(&p.apply_graph(&g));
+        prop_assert_eq!(combined.csr().targets(), sequential.csr().targets());
+        prop_assert_eq!(combined.csr().offsets(), sequential.csr().offsets());
+    }
+
+    /// Edge-list I/O roundtrips any graph.
+    #[test]
+    fn edge_list_roundtrip((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges, true);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let h = io::read_edge_list(&buf[..], true, Some(n)).unwrap();
+        prop_assert_eq!(g.csr().offsets(), h.csr().offsets());
+        prop_assert_eq!(g.csr().targets(), h.csr().targets());
+    }
+
+    /// Adjacency-graph I/O roundtrips any graph.
+    #[test]
+    fn adjacency_graph_roundtrip((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges, true);
+        let mut buf = Vec::new();
+        io::write_adjacency_graph(&g, &mut buf).unwrap();
+        let h = io::read_adjacency_graph(&buf[..], true).unwrap();
+        prop_assert_eq!(g.csr().offsets(), h.csr().offsets());
+        prop_assert_eq!(g.csr().targets(), h.csr().targets());
+    }
+
+    /// Undirected construction is always symmetric and loop-stable.
+    #[test]
+    fn undirected_symmetry((n, edges) in arb_edges()) {
+        let g = Graph::from_edges(n, &edges, false);
+        for v in g.vertices() {
+            prop_assert_eq!(g.out_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    /// `Permutation::from_order` and `from_new_ids` are inverse views.
+    #[test]
+    fn order_and_ids_are_inverse_views(n in 1usize..80, seed in any::<u64>()) {
+        let p = vebo_graph::gen::random_permutation(n, seed);
+        let inv = p.inverse();
+        let order: Vec<VertexId> = (0..n as VertexId).map(|r| inv.new_id(r)).collect();
+        let q = Permutation::from_order(&order).unwrap();
+        prop_assert_eq!(p.as_slice(), q.as_slice());
+    }
+}

@@ -1,0 +1,318 @@
+//! General (non-contiguous) vertex-to-partition assignments.
+//!
+//! Algorithm 1 and VEBO produce *contiguous* partitions ([`PartitionBounds`]),
+//! which is what shared-memory systems want (§VI: "the best performing
+//! systems ensure that each partition contains vertices with consecutive
+//! vertex IDs"). Distributed partitioners — hash, LDG, Fennel, METIS-style
+//! multilevel — assign arbitrary vertices to parts instead. This module is
+//! the common currency between the two worlds: an arbitrary assignment,
+//! quality metrics over it, and the *relabeling* permutation that turns an
+//! arbitrary assignment into a contiguous one (the "additional vertex
+//! relabeling" §VI says METIS needs before a shared-memory system can use
+//! it).
+
+use crate::by_destination::PartitionBounds;
+use vebo_graph::{Graph, Permutation, VertexId};
+
+/// A mapping `vertex -> partition` with no contiguity requirement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexAssignment {
+    part: Vec<u32>,
+    num_partitions: usize,
+}
+
+/// Quality metrics of a [`VertexAssignment`] on a given graph, the
+/// quantities distributed partitioners optimize (§VI).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssignmentQuality {
+    /// Arcs whose endpoints live in different partitions.
+    pub cut_edges: u64,
+    /// Total arcs.
+    pub total_edges: u64,
+    /// Total communication volume: over all vertices, the number of
+    /// *distinct remote* partitions holding at least one out-neighbour
+    /// (the messages a vertex's value must be shipped to per superstep).
+    pub comm_volume: u64,
+    /// Average partitions touched per vertex with out-edges (PowerGraph's
+    /// replication factor; 1.0 = no replication).
+    pub replication_factor: f64,
+    /// max − min vertices per partition.
+    pub vertex_spread: usize,
+    /// max − min in-edges per partition.
+    pub edge_spread: u64,
+    /// max/avg vertices per partition (1.0 = perfect).
+    pub vertex_imbalance: f64,
+    /// max/avg in-edges per partition (1.0 = perfect).
+    pub edge_imbalance: f64,
+}
+
+impl AssignmentQuality {
+    /// Fraction of arcs cut.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.total_edges as f64
+        }
+    }
+}
+
+impl VertexAssignment {
+    /// Wraps an explicit assignment. Every entry must be `< num_partitions`.
+    pub fn new(part: Vec<u32>, num_partitions: usize) -> VertexAssignment {
+        assert!(num_partitions >= 1);
+        assert!(
+            part.iter().all(|&p| (p as usize) < num_partitions),
+            "assignment references a partition >= {num_partitions}"
+        );
+        VertexAssignment { part, num_partitions }
+    }
+
+    /// The assignment induced by contiguous bounds.
+    pub fn from_bounds(bounds: &PartitionBounds) -> VertexAssignment {
+        let mut part = vec![0u32; bounds.num_vertices()];
+        for (p, range) in bounds.iter() {
+            for v in range {
+                part[v] = p as u32;
+            }
+        }
+        VertexAssignment { part, num_partitions: bounds.num_partitions() }
+    }
+
+    /// Number of partitions (some may be empty).
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.part.len()
+    }
+
+    /// Partition of vertex `v`.
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> u32 {
+        self.part[v as usize]
+    }
+
+    /// The raw `vertex -> partition` slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.part
+    }
+
+    /// Vertices per partition.
+    pub fn vertex_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_partitions];
+        for &p in &self.part {
+            counts[p as usize] += 1;
+        }
+        counts
+    }
+
+    /// In-edges per partition (edges belong to their destination's
+    /// partition, matching Algorithm 1's partitioning by destination).
+    pub fn edge_counts(&self, g: &Graph) -> Vec<u64> {
+        assert_eq!(g.num_vertices(), self.part.len());
+        let mut counts = vec![0u64; self.num_partitions];
+        for v in g.vertices() {
+            counts[self.part[v as usize] as usize] += g.in_degree(v) as u64;
+        }
+        counts
+    }
+
+    /// The permutation that relabels vertices so partition 0's vertices
+    /// come first, then partition 1's, … — stable (by old id) within each
+    /// partition — together with the resulting contiguous bounds. This is
+    /// the step that makes a METIS-style partition consumable by the
+    /// shared-memory systems of the paper.
+    pub fn relabeling(&self) -> (Permutation, PartitionBounds) {
+        let counts = self.vertex_counts();
+        let mut next = Vec::with_capacity(self.num_partitions + 1);
+        next.push(0usize);
+        for (i, &c) in counts.iter().enumerate() {
+            next.push(next[i] + c);
+        }
+        let starts = next.clone();
+        let mut new_id = vec![0 as VertexId; self.part.len()];
+        for (v, &p) in self.part.iter().enumerate() {
+            new_id[v] = next[p as usize] as VertexId;
+            next[p as usize] += 1;
+        }
+        let perm = Permutation::from_new_ids(new_id).expect("relabeling is a bijection");
+        (perm, PartitionBounds::from_starts(starts))
+    }
+
+    /// Computes all quality metrics in `O(n + m)` (stamp array for the
+    /// distinct-partition counts).
+    pub fn quality(&self, g: &Graph) -> AssignmentQuality {
+        assert_eq!(g.num_vertices(), self.part.len());
+        let mut cut_edges = 0u64;
+        let mut comm_volume = 0u64;
+        let mut replicas = 0u64;
+        let mut sources = 0u64;
+        let mut stamp: Vec<u32> = vec![u32::MAX; self.num_partitions];
+        for u in g.vertices() {
+            let pu = self.part[u as usize];
+            let nbrs = g.out_neighbors(u);
+            if nbrs.is_empty() {
+                continue;
+            }
+            sources += 1;
+            let mut remote = 0u64;
+            // Stamp with the source vertex id: each partition counted once
+            // per source, no per-source reset needed.
+            for &v in nbrs {
+                let pv = self.part[v as usize];
+                if pv != pu {
+                    cut_edges += 1;
+                }
+                if stamp[pv as usize] != u {
+                    stamp[pv as usize] = u;
+                    if pv != pu {
+                        remote += 1;
+                    }
+                }
+            }
+            // A vertex is replicated into its home partition plus every
+            // remote partition it sends to.
+            replicas += remote + 1;
+            comm_volume += remote;
+        }
+        let vcounts = self.vertex_counts();
+        let ecounts = self.edge_counts(g);
+        let (vmax, vmin) = (*vcounts.iter().max().unwrap(), *vcounts.iter().min().unwrap());
+        let (emax, emin) = (*ecounts.iter().max().unwrap(), *ecounts.iter().min().unwrap());
+        let vavg = self.part.len() as f64 / self.num_partitions as f64;
+        let eavg = g.num_edges() as f64 / self.num_partitions as f64;
+        AssignmentQuality {
+            cut_edges,
+            total_edges: g.num_edges() as u64,
+            comm_volume,
+            replication_factor: replicas as f64 / sources.max(1) as f64,
+            vertex_spread: vmax - vmin,
+            edge_spread: emax - emin,
+            vertex_imbalance: if vavg > 0.0 { vmax as f64 / vavg } else { 1.0 },
+            edge_imbalance: if eavg > 0.0 { emax as f64 / eavg } else { 1.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_graph::Dataset;
+
+    #[test]
+    fn from_bounds_round_trips() {
+        let g = Dataset::LiveJournalLike.build(0.05);
+        let b = PartitionBounds::edge_balanced(&g, 16);
+        let a = VertexAssignment::from_bounds(&b);
+        assert_eq!(a.num_partitions(), 16);
+        for (p, r) in b.iter() {
+            for v in r {
+                assert_eq!(a.partition_of(v as VertexId), p as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn relabeling_of_contiguous_assignment_is_identity() {
+        let g = Dataset::YahooLike.build(0.05);
+        let b = PartitionBounds::edge_balanced(&g, 8);
+        let a = VertexAssignment::from_bounds(&b);
+        let (perm, bounds) = a.relabeling();
+        assert!(perm.is_identity());
+        assert_eq!(bounds, b);
+    }
+
+    #[test]
+    fn relabeling_makes_partitions_contiguous() {
+        // Interleaved assignment 0,1,0,1,...
+        let part: Vec<u32> = (0..10).map(|v| v % 2).collect();
+        let a = VertexAssignment::new(part, 2);
+        let (perm, bounds) = a.relabeling();
+        assert_eq!(bounds.range(0), 0..5);
+        assert_eq!(bounds.range(1), 5..10);
+        // Even old ids -> 0..5 stable, odd -> 5..10 stable.
+        assert_eq!(perm.new_id(0), 0);
+        assert_eq!(perm.new_id(2), 1);
+        assert_eq!(perm.new_id(1), 5);
+        assert_eq!(perm.new_id(9), 9);
+    }
+
+    #[test]
+    fn quality_on_two_triangles() {
+        // Two triangles joined by one edge; the natural split cuts 1 arc
+        // each way.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+            false,
+        );
+        let a = VertexAssignment::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let q = a.quality(&g);
+        assert_eq!(q.cut_edges, 2); // 2->3 and 3->2 (symmetrized)
+        assert_eq!(q.comm_volume, 2); // vertex 2 ships to p1, vertex 3 to p0
+        assert_eq!(q.vertex_spread, 0);
+        assert!((q.cut_fraction() - 2.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_factor_matches_star() {
+        // Hub 0 with out-edges into both partitions: replicated twice.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], true);
+        let a = VertexAssignment::new(vec![0, 0, 1, 1], 2);
+        let q = a.quality(&g);
+        // Only vertex 0 has out-edges: 1 home + 1 remote partition.
+        assert!((q.replication_factor - 2.0).abs() < 1e-12);
+        assert_eq!(q.comm_volume, 1);
+        assert_eq!(q.cut_edges, 2);
+    }
+
+    #[test]
+    fn single_partition_is_free() {
+        let g = Dataset::OrkutLike.build(0.05);
+        let a = VertexAssignment::new(vec![0; g.num_vertices()], 1);
+        let q = a.quality(&g);
+        assert_eq!(q.cut_edges, 0);
+        assert_eq!(q.comm_volume, 0);
+        assert!((q.replication_factor - 1.0).abs() < 1e-12);
+        assert!((q.edge_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_counts_sum_to_total() {
+        let g = Dataset::TwitterLike.build(0.05);
+        let part: Vec<u32> = g.vertices().map(|v| v % 7).collect();
+        let a = VertexAssignment::new(part, 7);
+        assert_eq!(a.edge_counts(&g).iter().sum::<u64>(), g.num_edges() as u64);
+        assert_eq!(a.vertex_counts().iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn relabeled_graph_preserves_quality() {
+        // Relabeling is an isomorphism: the contiguous version must have
+        // the same cut metrics as the original assignment.
+        let g = Dataset::LiveJournalLike.build(0.05);
+        let part: Vec<u32> = g.vertices().map(|v| (v as u64 * 2654435761 % 5) as u32).collect();
+        let a = VertexAssignment::new(part, 5);
+        let q = a.quality(&g);
+        let (perm, bounds) = a.relabeling();
+        let h = perm.apply_graph(&g);
+        let b = VertexAssignment::from_bounds(&bounds);
+        let qb = b.quality(&h);
+        assert_eq!(q.cut_edges, qb.cut_edges);
+        assert_eq!(q.comm_volume, qb.comm_volume);
+        assert_eq!(q.vertex_spread, qb.vertex_spread);
+        assert_eq!(q.edge_spread, qb.edge_spread);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition >=")]
+    fn out_of_range_partition_rejected() {
+        VertexAssignment::new(vec![0, 3], 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! # vebo-partition
+//!
+//! Graph partitioning for shared-memory graph processing, as used in the
+//! VEBO paper:
+//!
+//! * [`by_destination`] — "Algorithm 1": locality-preserving edge-balanced
+//!   partitioning of the destination vertices into contiguous chunks;
+//! * [`stats`] — per-partition edge/vertex/source statistics (Figures 1
+//!   and 4, Table IV);
+//! * [`hilbert`] — Hilbert space-filling curve indexing of the adjacency
+//!   matrix (§V-G);
+//! * [`edge_order`] — COO edge orderings (CSR order vs Hilbert order);
+//! * [`partitioned`] — materialized per-partition layouts: COO chunks for
+//!   dense traversal and compact per-partition sub-CSRs for sparse
+//!   traversal;
+//! * [`numa`] — partition-to-socket mapping for the simulated NUMA
+//!   machine;
+//! * [`assignment`] — general (non-contiguous) vertex assignments with
+//!   cut/replication/balance metrics and the contiguous relabeling §VI
+//!   says METIS-style partitions need on shared memory;
+//! * [`multilevel`] — a METIS-like multilevel k-way partitioner (heavy-
+//!   edge matching, greedy-growing bisection, boundary refinement).
+
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod by_destination;
+pub mod edge_order;
+pub mod hilbert;
+pub mod multilevel;
+pub mod numa;
+pub mod partitioned;
+pub mod replication;
+pub mod stats;
+
+pub use assignment::{AssignmentQuality, VertexAssignment};
+pub use by_destination::PartitionBounds;
+pub use edge_order::EdgeOrder;
+pub use multilevel::{BalanceMode, MetisLikeOrder, Multilevel, MultilevelConfig};
+pub use partitioned::{PartitionedCoo, SubCsr};

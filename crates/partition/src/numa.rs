@@ -1,0 +1,121 @@
+//! Partition-to-socket mapping for the simulated NUMA machine.
+//!
+//! Polymer binds one partition per socket; GraphGrind binds contiguous
+//! blocks of partitions to sockets (384 partitions / 4 sockets = 96 each,
+//! processed by the socket's 12 threads). The paper's machine is a
+//! 4-socket, 48-thread Xeon; we reproduce that topology in the scheduling
+//! and cache simulators.
+
+/// A simulated NUMA topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NumaTopology {
+    /// Number of sockets (paper: 4).
+    pub num_sockets: usize,
+    /// Total hardware threads (paper: 48).
+    pub num_threads: usize,
+}
+
+impl Default for NumaTopology {
+    fn default() -> Self {
+        NumaTopology { num_sockets: 4, num_threads: 48 }
+    }
+}
+
+impl NumaTopology {
+    /// Threads per socket.
+    pub fn threads_per_socket(&self) -> usize {
+        self.num_threads / self.num_sockets
+    }
+
+    /// Socket owning partition `p` out of `num_partitions` (contiguous
+    /// blocks, GraphGrind-style binding).
+    pub fn socket_of_partition(&self, p: usize, num_partitions: usize) -> usize {
+        assert!(p < num_partitions);
+        p * self.num_sockets / num_partitions
+    }
+
+    /// Socket of thread `t` (threads are grouped by socket).
+    pub fn socket_of_thread(&self, t: usize) -> usize {
+        assert!(t < self.num_threads);
+        t * self.num_sockets / self.num_threads
+    }
+
+    /// The partitions statically assigned to thread `t` under
+    /// GraphGrind-style contiguous assignment ("Thread t executes
+    /// partitions 8t to 8t + 7" in Figure 4's caption, for 384/48).
+    pub fn partitions_of_thread(&self, t: usize, num_partitions: usize) -> std::ops::Range<usize> {
+        assert!(t < self.num_threads);
+        let lo = t * num_partitions / self.num_threads;
+        let hi = (t + 1) * num_partitions / self.num_threads;
+        lo..hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_machine() {
+        let t = NumaTopology::default();
+        assert_eq!(t.num_sockets, 4);
+        assert_eq!(t.num_threads, 48);
+        assert_eq!(t.threads_per_socket(), 12);
+    }
+
+    #[test]
+    fn figure4_thread_partition_mapping() {
+        // "Thread t executes partitions 8t to 8t+7" (384 partitions).
+        let t = NumaTopology::default();
+        for th in 0..48 {
+            assert_eq!(t.partitions_of_thread(th, 384), 8 * th..8 * th + 8);
+        }
+    }
+
+    #[test]
+    fn sockets_get_contiguous_partition_blocks() {
+        let t = NumaTopology::default();
+        let mut prev = 0;
+        for p in 0..384 {
+            let s = t.socket_of_partition(p, 384);
+            assert!(s >= prev, "socket ids must be non-decreasing");
+            prev = s;
+        }
+        assert_eq!(t.socket_of_partition(0, 384), 0);
+        assert_eq!(t.socket_of_partition(383, 384), 3);
+        // Equal share per socket.
+        let per: Vec<usize> =
+            (0..4).map(|s| (0..384).filter(|&p| t.socket_of_partition(p, 384) == s).count()).collect();
+        assert_eq!(per, vec![96, 96, 96, 96]);
+    }
+
+    #[test]
+    fn polymer_style_one_partition_per_socket() {
+        let t = NumaTopology::default();
+        for p in 0..4 {
+            assert_eq!(t.socket_of_partition(p, 4), p);
+        }
+    }
+
+    #[test]
+    fn thread_socket_grouping() {
+        let t = NumaTopology::default();
+        assert_eq!(t.socket_of_thread(0), 0);
+        assert_eq!(t.socket_of_thread(11), 0);
+        assert_eq!(t.socket_of_thread(12), 1);
+        assert_eq!(t.socket_of_thread(47), 3);
+    }
+
+    #[test]
+    fn partitions_of_threads_cover_disjointly() {
+        let t = NumaTopology::default();
+        let mut covered = [false; 100];
+        for th in 0..48 {
+            for p in t.partitions_of_thread(th, 100) {
+                assert!(!covered[p], "partition {p} double-assigned");
+                covered[p] = true;
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,395 @@
+//! Materialized per-partition graph layouts.
+//!
+//! Partitioning by destination (Algorithm 1) assigns every in-edge of a
+//! destination chunk to one partition. Two layouts serve the two frontier
+//! regimes of the processing systems:
+//!
+//! * [`PartitionedCoo`] — flat `(src, dst)` edge streams per partition,
+//!   ordered by [`EdgeOrder`]; used by GraphGrind-style dense traversal.
+//! * [`PartitionedSubCsr`] — one compact CSR *over sources* per partition
+//!   (only sources with at least one edge into the partition appear);
+//!   used by sparse traversal, where each partition scans the out-edges of
+//!   the active vertices that fall inside it. The per-partition work is
+//!   then exactly the "active edges per partition" of Table IV.
+
+use crate::by_destination::PartitionBounds;
+use crate::edge_order::EdgeOrder;
+use crate::hilbert::{order_for, xy_to_d};
+use vebo_graph::{Graph, VertexId};
+
+/// Per-partition COO edge streams (struct-of-arrays, flat storage).
+#[derive(Clone, Debug)]
+pub struct PartitionedCoo {
+    edge_starts: Vec<usize>,
+    src: Vec<VertexId>,
+    dst: Vec<VertexId>,
+    weights: Option<Vec<f32>>,
+    order: EdgeOrder,
+}
+
+impl PartitionedCoo {
+    /// Collects each partition's in-edges and sorts them in the requested
+    /// order. `O(m log m)` dominated by the per-partition sorts.
+    pub fn build(g: &Graph, bounds: &PartitionBounds, order: EdgeOrder) -> PartitionedCoo {
+        assert_eq!(bounds.num_vertices(), g.num_vertices());
+        let p = bounds.num_partitions();
+        let m = g.num_edges();
+        let has_weights = g.has_weights();
+        let mut edge_starts = Vec::with_capacity(p + 1);
+        let mut src = Vec::with_capacity(m);
+        let mut dst = Vec::with_capacity(m);
+        let mut weights = if has_weights { Some(Vec::with_capacity(m)) } else { None };
+        let bits = order_for(g.num_vertices());
+
+        for (_, range) in bounds.iter() {
+            edge_starts.push(src.len());
+            let part_start = src.len();
+            for v in range {
+                let v = v as VertexId;
+                let srcs = g.in_neighbors(v);
+                src.extend_from_slice(srcs);
+                dst.extend(std::iter::repeat_n(v, srcs.len()));
+                if let Some(w) = weights.as_mut() {
+                    w.extend_from_slice(g.csc().weights_of(v));
+                }
+            }
+            // Order within the partition. The CSC walk above yields
+            // (dst, src)-sorted edges; re-sort per requested order.
+            let len = src.len() - part_start;
+            let mut perm: Vec<u32> = (0..len as u32).collect();
+            match order {
+                EdgeOrder::Csr => {
+                    perm.sort_unstable_by_key(|&e| {
+                        let e = part_start + e as usize;
+                        (src[e], dst[e])
+                    });
+                }
+                EdgeOrder::Hilbert => {
+                    let keys: Vec<u64> = (0..len)
+                        .map(|e| {
+                            let e = part_start + e;
+                            xy_to_d(bits, src[e] as u64, dst[e] as u64)
+                        })
+                        .collect();
+                    perm.sort_unstable_by_key(|&e| keys[e as usize]);
+                }
+            }
+            apply_perm(&mut src[part_start..], &perm);
+            apply_perm(&mut dst[part_start..], &perm);
+            if let Some(w) = weights.as_mut() {
+                apply_perm(&mut w[part_start..], &perm);
+            }
+        }
+        edge_starts.push(src.len());
+        debug_assert_eq!(src.len(), m);
+        PartitionedCoo { edge_starts, src, dst, weights, order }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.edge_starts.len() - 1
+    }
+
+    /// Total edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// The edge order used.
+    pub fn order(&self) -> EdgeOrder {
+        self.order
+    }
+
+    /// Edge count of partition `p`.
+    #[inline]
+    pub fn partition_len(&self, p: usize) -> usize {
+        self.edge_starts[p + 1] - self.edge_starts[p]
+    }
+
+    /// `(src, dst)` streams of partition `p`.
+    #[inline]
+    pub fn partition_edges(&self, p: usize) -> (&[VertexId], &[VertexId]) {
+        let r = self.edge_starts[p]..self.edge_starts[p + 1];
+        (&self.src[r.clone()], &self.dst[r])
+    }
+
+    /// Weight stream of partition `p` (panics if unweighted).
+    #[inline]
+    pub fn partition_weights(&self, p: usize) -> &[f32] {
+        let w = self.weights.as_ref().expect("graph has no weights");
+        &w[self.edge_starts[p]..self.edge_starts[p + 1]]
+    }
+
+    /// Whether weights are present.
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
+    }
+}
+
+fn apply_perm<T: Copy>(data: &mut [T], perm: &[u32]) {
+    let snapshot: Vec<T> = data.to_vec();
+    for (k, &e) in perm.iter().enumerate() {
+        data[k] = snapshot[e as usize];
+    }
+}
+
+/// A compact CSR over the *sources* that have at least one edge into one
+/// partition.
+#[derive(Clone, Debug)]
+pub struct SubCsr {
+    sources: Vec<VertexId>,
+    offsets: Vec<usize>,
+    dsts: Vec<VertexId>,
+    weights: Option<Vec<f32>>,
+}
+
+impl SubCsr {
+    /// Sources present in this partition (sorted ascending).
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// Total edges in this partition.
+    pub fn num_edges(&self) -> usize {
+        self.dsts.len()
+    }
+
+    /// Destinations of `u`'s edges into this partition, or `None` if `u`
+    /// has none. `O(log |sources|)`.
+    pub fn edges_of(&self, u: VertexId) -> Option<&[VertexId]> {
+        let i = self.sources.binary_search(&u).ok()?;
+        Some(&self.dsts[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// Destinations and weights of `u`'s edges into this partition.
+    pub fn weighted_edges_of(&self, u: VertexId) -> Option<(&[VertexId], &[f32])> {
+        let i = self.sources.binary_search(&u).ok()?;
+        let r = self.offsets[i]..self.offsets[i + 1];
+        let w = self.weights.as_ref().expect("graph has no weights");
+        Some((&self.dsts[r.clone()], &w[r]))
+    }
+
+    /// Iterates `(source, destinations)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> + '_ {
+        self.sources
+            .iter()
+            .enumerate()
+            .map(move |(i, &u)| (u, &self.dsts[self.offsets[i]..self.offsets[i + 1]]))
+    }
+}
+
+/// All partitions' sub-CSRs.
+#[derive(Clone, Debug)]
+pub struct PartitionedSubCsr {
+    parts: Vec<SubCsr>,
+}
+
+impl PartitionedSubCsr {
+    /// Builds one sub-CSR per partition from the destination-partitioned
+    /// edge set. `O(m log m)` total.
+    pub fn build(g: &Graph, bounds: &PartitionBounds) -> PartitionedSubCsr {
+        assert_eq!(bounds.num_vertices(), g.num_vertices());
+        let has_weights = g.has_weights();
+        let mut parts = Vec::with_capacity(bounds.num_partitions());
+        for (_, range) in bounds.iter() {
+            // Gather (src, dst[, w]) for this partition, sort by (src, dst).
+            let cap: usize = range.clone().map(|v| g.in_degree(v as VertexId)).sum();
+            let mut tuples: Vec<(VertexId, VertexId, f32)> = Vec::with_capacity(cap);
+            for v in range {
+                let v = v as VertexId;
+                let srcs = g.in_neighbors(v);
+                if has_weights {
+                    for (k, &u) in srcs.iter().enumerate() {
+                        tuples.push((u, v, g.csc().weights_of(v)[k]));
+                    }
+                } else {
+                    for &u in srcs {
+                        tuples.push((u, v, 0.0));
+                    }
+                }
+            }
+            tuples.sort_unstable_by_key(|&(u, v, _)| (u, v));
+            let mut sources = Vec::new();
+            let mut offsets = vec![0usize];
+            let mut dsts = Vec::with_capacity(tuples.len());
+            let mut weights = if has_weights { Some(Vec::with_capacity(tuples.len())) } else { None };
+            for (u, v, w) in tuples {
+                if sources.last() != Some(&u) {
+                    sources.push(u);
+                    offsets.push(dsts.len());
+                }
+                dsts.push(v);
+                if let Some(ws) = weights.as_mut() {
+                    ws.push(w);
+                }
+                *offsets.last_mut().unwrap() = dsts.len();
+            }
+            parts.push(SubCsr { sources, offsets, dsts, weights });
+        }
+        PartitionedSubCsr { parts }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The sub-CSR of partition `p`.
+    pub fn partition(&self, p: usize) -> &SubCsr {
+        &self.parts[p]
+    }
+
+    /// Total edges across partitions (must equal the graph's edge count).
+    pub fn num_edges(&self) -> usize {
+        self.parts.iter().map(|s| s.num_edges()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use vebo_graph::Dataset;
+
+    fn setup() -> (Graph, PartitionBounds) {
+        let g = Dataset::LiveJournalLike.build(0.05);
+        let b = PartitionBounds::edge_balanced(&g, 16);
+        (g, b)
+    }
+
+    #[test]
+    fn coo_covers_every_edge_exactly_once() {
+        let (g, b) = setup();
+        let coo = PartitionedCoo::build(&g, &b, EdgeOrder::Csr);
+        assert_eq!(coo.num_edges(), g.num_edges());
+        let mut collected: Vec<(VertexId, VertexId)> = Vec::new();
+        for p in 0..coo.num_partitions() {
+            let (src, dst) = coo.partition_edges(p);
+            collected.extend(src.iter().copied().zip(dst.iter().copied()));
+        }
+        collected.sort_unstable();
+        let mut expected: Vec<(VertexId, VertexId)> = g
+            .vertices()
+            .flat_map(|u| g.out_neighbors(u).iter().map(move |&v| (u, v)))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn coo_destinations_stay_in_partition() {
+        let (g, b) = setup();
+        let coo = PartitionedCoo::build(&g, &b, EdgeOrder::Hilbert);
+        for (p, range) in b.iter() {
+            let (_, dst) = coo.partition_edges(p);
+            for &v in dst {
+                assert!(range.contains(&(v as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn coo_csr_order_is_sorted_by_src() {
+        let (g, b) = setup();
+        let coo = PartitionedCoo::build(&g, &b, EdgeOrder::Csr);
+        for p in 0..coo.num_partitions() {
+            let (src, _) = coo.partition_edges(p);
+            assert!(src.windows(2).all(|w| w[0] <= w[1]), "partition {p} unsorted");
+        }
+    }
+
+    #[test]
+    fn coo_weights_travel_with_edges() {
+        let g = Dataset::YahooLike.build(0.05).with_hash_weights(16);
+        let b = PartitionBounds::edge_balanced(&g, 8);
+        let coo = PartitionedCoo::build(&g, &b, EdgeOrder::Csr);
+        assert!(coo.has_weights());
+        for p in 0..coo.num_partitions() {
+            let (src, dst) = coo.partition_edges(p);
+            let w = coo.partition_weights(p);
+            for i in 0..src.len().min(50) {
+                // Every weight must match the graph's weight for that edge.
+                let pos = g.in_neighbors(dst[i]).iter().position(|&s| s == src[i]).unwrap();
+                assert_eq!(w[i], g.csc().weights_of(dst[i])[pos]);
+            }
+        }
+    }
+
+    #[test]
+    fn subcsr_covers_every_edge_exactly_once() {
+        let (g, b) = setup();
+        let sub = PartitionedSubCsr::build(&g, &b);
+        assert_eq!(sub.num_edges(), g.num_edges());
+        let mut collected: Vec<(VertexId, VertexId)> = Vec::new();
+        for p in 0..sub.num_partitions() {
+            for (u, dsts) in sub.partition(p).iter() {
+                collected.extend(dsts.iter().map(|&v| (u, v)));
+            }
+        }
+        collected.sort_unstable();
+        let mut expected: Vec<(VertexId, VertexId)> = g
+            .vertices()
+            .flat_map(|u| g.out_neighbors(u).iter().map(move |&v| (u, v)))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn subcsr_lookup_matches_filtered_out_neighbors() {
+        let (g, b) = setup();
+        let sub = PartitionedSubCsr::build(&g, &b);
+        for u in g.vertices().take(200) {
+            for (p, range) in b.iter() {
+                let expected: Vec<VertexId> = g
+                    .out_neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| range.contains(&(v as usize)))
+                    .collect();
+                match sub.partition(p).edges_of(u) {
+                    Some(dsts) => {
+                        let got: BTreeSet<VertexId> = dsts.iter().copied().collect();
+                        let want: BTreeSet<VertexId> = expected.iter().copied().collect();
+                        assert_eq!(got, want, "u = {u}, p = {p}");
+                    }
+                    None => assert!(expected.is_empty(), "u = {u}, p = {p} missing edges"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subcsr_sources_are_sorted_and_nonempty() {
+        let (g, b) = setup();
+        let sub = PartitionedSubCsr::build(&g, &b);
+        for p in 0..sub.num_partitions() {
+            let s = sub.partition(p);
+            assert!(s.sources().windows(2).all(|w| w[0] < w[1]));
+            for (i, _) in s.sources().iter().enumerate() {
+                assert!(s.offsets[i + 1] > s.offsets[i], "empty source entry");
+            }
+        }
+    }
+
+    #[test]
+    fn subcsr_weighted_lookup() {
+        let g = Dataset::YahooLike.build(0.05).with_hash_weights(8);
+        let b = PartitionBounds::edge_balanced(&g, 4);
+        let sub = PartitionedSubCsr::build(&g, &b);
+        let mut checked = 0;
+        for u in g.vertices() {
+            if let Some((dsts, ws)) = sub.partition(0).weighted_edges_of(u) {
+                for (k, &v) in dsts.iter().enumerate() {
+                    let pos = g.out_neighbors(u).iter().position(|&x| x == v).unwrap();
+                    assert_eq!(ws[k], g.csr().weights_of(u)[pos]);
+                    checked += 1;
+                }
+            }
+            if checked > 100 {
+                break;
+            }
+        }
+        assert!(checked > 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-partition statistics: the quantities plotted in Figures 1 and 4 and
+//! tabulated in Table IV.
+
+use crate::by_destination::PartitionBounds;
+use vebo_graph::{Graph, VertexId};
+
+/// Static (frontier-independent) statistics of one partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// In-edges whose destination lies in the partition (Fig. 1a/1b x-axis).
+    pub edges: u64,
+    /// Destination vertices, i.e. the partition's vertex count
+    /// (Fig. 1c/1d x-axis).
+    pub destinations: usize,
+    /// Distinct source vertices feeding the partition (Fig. 1e/1f x-axis).
+    pub unique_sources: usize,
+}
+
+/// Computes [`PartitionStats`] for every partition. `O(n + m)` using a
+/// stamp array for source dedup.
+pub fn per_partition(g: &Graph, bounds: &PartitionBounds) -> Vec<PartitionStats> {
+    assert_eq!(bounds.num_vertices(), g.num_vertices());
+    let mut stats = Vec::with_capacity(bounds.num_partitions());
+    let mut stamp = vec![u32::MAX; g.num_vertices()];
+    for (p, range) in bounds.iter() {
+        let mut edges = 0u64;
+        let mut unique_sources = 0usize;
+        let destinations = range.len();
+        for v in range {
+            let v = v as VertexId;
+            for &u in g.in_neighbors(v) {
+                edges += 1;
+                if stamp[u as usize] != p as u32 {
+                    stamp[u as usize] = p as u32;
+                    unique_sources += 1;
+                }
+            }
+        }
+        stats.push(PartitionStats { edges, destinations, unique_sources });
+    }
+    stats
+}
+
+/// Counts *active* edges per partition for a given set of active sources —
+/// the quantity Table IV tabulates per BFS iteration. An edge is active if
+/// its source is active; it counts toward the partition of its destination.
+pub fn active_edges_per_partition(
+    g: &Graph,
+    bounds: &PartitionBounds,
+    active: &[VertexId],
+) -> Vec<u64> {
+    let mut counts = vec![0u64; bounds.num_partitions()];
+    for &u in active {
+        for &v in g.out_neighbors(u) {
+            counts[bounds.partition_of(v)] += 1;
+        }
+    }
+    counts
+}
+
+/// Counts *active destinations* per partition: distinct destinations of
+/// active edges, per partition (the companion statistic the paper says
+/// "shows similar trends").
+pub fn active_destinations_per_partition(
+    g: &Graph,
+    bounds: &PartitionBounds,
+    active: &[VertexId],
+) -> Vec<u64> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut counts = vec![0u64; bounds.num_partitions()];
+    for &u in active {
+        for &v in g.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                counts[bounds.partition_of(v)] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_core::Vebo;
+    use vebo_graph::{Dataset, Graph};
+
+    #[test]
+    fn stats_totals_match_graph() {
+        let g = Dataset::TwitterLike.build(0.05);
+        let b = PartitionBounds::edge_balanced(&g, 24);
+        let stats = per_partition(&g, &b);
+        assert_eq!(stats.iter().map(|s| s.edges).sum::<u64>(), g.num_edges() as u64);
+        assert_eq!(stats.iter().map(|s| s.destinations).sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn unique_sources_on_known_graph() {
+        // 0,1 -> 2 and 0 -> 3; partition {2,3} sees sources {0,1}.
+        let g = Graph::from_edges(4, &[(0, 2), (1, 2), (0, 3)], true);
+        let b = PartitionBounds::from_starts(vec![0, 2, 4]);
+        let stats = per_partition(&g, &b);
+        assert_eq!(stats[0].edges, 0);
+        assert_eq!(stats[1].edges, 3);
+        assert_eq!(stats[1].unique_sources, 2);
+        assert_eq!(stats[1].destinations, 2);
+    }
+
+    #[test]
+    fn vebo_balances_edges_and_destinations_but_not_sources() {
+        // Fig. 1: after VEBO, edges and destinations are balanced; unique
+        // sources still vary (the paper chooses not to balance them).
+        let g = Dataset::TwitterLike.build(0.1);
+        let r = Vebo::new(16).compute_full(&g);
+        let h = r.permutation.apply_graph(&g);
+        let b = PartitionBounds::from_starts(r.starts.clone());
+        let stats = per_partition(&h, &b);
+        let emax = stats.iter().map(|s| s.edges).max().unwrap();
+        let emin = stats.iter().map(|s| s.edges).min().unwrap();
+        let dmax = stats.iter().map(|s| s.destinations).max().unwrap();
+        let dmin = stats.iter().map(|s| s.destinations).min().unwrap();
+        assert!(emax - emin <= 1);
+        assert!(dmax - dmin <= 1);
+    }
+
+    #[test]
+    fn active_edges_count_by_destination_partition() {
+        let g = Graph::from_edges(4, &[(0, 2), (0, 3), (1, 0)], true);
+        let b = PartitionBounds::from_starts(vec![0, 2, 4]);
+        // only vertex 0 active: its 2 out-edges both land in partition 1.
+        assert_eq!(active_edges_per_partition(&g, &b, &[0]), vec![0, 2]);
+        // vertices 0 and 1 active: edge 1->0 lands in partition 0.
+        assert_eq!(active_edges_per_partition(&g, &b, &[0, 1]), vec![1, 2]);
+    }
+
+    #[test]
+    fn active_destinations_deduplicate() {
+        let g = Graph::from_edges(3, &[(0, 2), (1, 2)], true);
+        let b = PartitionBounds::from_starts(vec![0, 3]);
+        assert_eq!(active_destinations_per_partition(&g, &b, &[0, 1]), vec![1]);
+    }
+
+    #[test]
+    fn empty_frontier_has_zero_active_edges() {
+        let g = Dataset::YahooLike.build(0.05);
+        let b = PartitionBounds::edge_balanced(&g, 8);
+        let counts = active_edges_per_partition(&g, &b, &[]);
+        assert!(counts.iter().all(|&c| c == 0));
+    }
+}

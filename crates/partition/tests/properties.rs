@@ -1,0 +1,125 @@
+//! Property-based tests for partitioning invariants.
+
+use proptest::prelude::*;
+use vebo_graph::graph::mix64;
+use vebo_graph::{Graph, VertexId};
+use vebo_partition::hilbert::{d_to_xy, xy_to_d};
+use vebo_partition::partitioned::{PartitionedCoo, PartitionedSubCsr};
+use vebo_partition::{EdgeOrder, PartitionBounds};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..80, 0usize..400, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = mix64(x);
+            x
+        };
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .collect();
+        Graph::from_edges(n, &edges, true)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hilbert curve index mapping is a bijection (roundtrip form).
+    #[test]
+    fn hilbert_roundtrip(order in 1u32..12, x in 0u64..4096, y in 0u64..4096) {
+        let side = 1u64 << order;
+        let (x, y) = (x % side, y % side);
+        let d = xy_to_d(order, x, y);
+        prop_assert!(d < side * side);
+        prop_assert_eq!(d_to_xy(order, d), (x, y));
+    }
+
+    /// Algorithm 1 partitions cover all vertices disjointly and conserve
+    /// edges, for any graph and partition count.
+    #[test]
+    fn algorithm1_covers((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 1usize..40))) {
+        let b = PartitionBounds::edge_balanced(&g, p);
+        prop_assert_eq!(b.num_partitions(), p);
+        prop_assert_eq!(b.num_vertices(), g.num_vertices());
+        let mut covered = 0usize;
+        let mut edges = 0u64;
+        for (_, r) in b.iter() {
+            covered += r.len();
+            edges += r.map(|v| g.in_degree(v as VertexId) as u64).sum::<u64>();
+        }
+        prop_assert_eq!(covered, g.num_vertices());
+        prop_assert_eq!(edges, g.num_edges() as u64);
+    }
+
+    /// `partition_of` agrees with the ranges.
+    #[test]
+    fn partition_of_consistent((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 1usize..20))) {
+        let b = PartitionBounds::edge_balanced(&g, p);
+        for (q, r) in b.iter() {
+            for v in r {
+                prop_assert_eq!(b.partition_of(v as VertexId), q);
+            }
+        }
+    }
+
+    /// The partitioned COO covers every edge exactly once, destinations
+    /// stay in their partition, in both edge orders.
+    #[test]
+    fn coo_conserves_edges((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 1usize..20))) {
+        for order in [EdgeOrder::Csr, EdgeOrder::Hilbert] {
+            let b = PartitionBounds::edge_balanced(&g, p);
+            let coo = PartitionedCoo::build(&g, &b, order);
+            prop_assert_eq!(coo.num_edges(), g.num_edges());
+            let mut collected: Vec<(VertexId, VertexId)> = Vec::new();
+            for q in 0..coo.num_partitions() {
+                let (src, dst) = coo.partition_edges(q);
+                for (&s, &d) in src.iter().zip(dst) {
+                    prop_assert!(b.range(q).contains(&(d as usize)));
+                    collected.push((s, d));
+                }
+            }
+            collected.sort_unstable();
+            let mut expected: Vec<(VertexId, VertexId)> = g
+                .vertices()
+                .flat_map(|u| g.out_neighbors(u).iter().map(move |&v| (u, v)))
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(collected, expected);
+        }
+    }
+
+    /// The per-partition sub-CSRs conserve the edge multiset.
+    #[test]
+    fn subcsr_conserves_edges((g, p) in arb_graph().prop_flat_map(|g| (Just(g), 1usize..20))) {
+        let b = PartitionBounds::edge_balanced(&g, p);
+        let sub = PartitionedSubCsr::build(&g, &b);
+        prop_assert_eq!(sub.num_edges(), g.num_edges());
+        let mut collected: Vec<(VertexId, VertexId)> = Vec::new();
+        for q in 0..sub.num_partitions() {
+            for (u, dsts) in sub.partition(q).iter() {
+                for &v in dsts {
+                    prop_assert!(b.range(q).contains(&(v as usize)));
+                    collected.push((u, v));
+                }
+            }
+        }
+        collected.sort_unstable();
+        let mut expected: Vec<(VertexId, VertexId)> = g
+            .vertices()
+            .flat_map(|u| g.out_neighbors(u).iter().map(move |&v| (u, v)))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// Vertex-balanced bounds differ by at most one vertex.
+    #[test]
+    fn vertex_balanced_tight(n in 1usize..1000, p in 1usize..64) {
+        let b = PartitionBounds::vertex_balanced(n, p);
+        let sizes: Vec<usize> = b.iter().map(|(_, r)| r.len()).collect();
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulated NUMA memory layout: which socket "homes" each byte.
+//!
+//! Polymer and GraphGrind allocate per-vertex arrays distributed by graph
+//! partition (partition `p`'s slice lives on `p`'s socket); edge arrays
+//! live with their partition. A miss whose home socket differs from the
+//! accessing thread's socket counts as a *remote* miss (Figure 4c,
+//! Table V).
+
+use vebo_partition::numa::NumaTopology;
+use vebo_partition::PartitionBounds;
+use vebo_graph::VertexId;
+
+/// Base addresses of the simulated arrays (1 TiB apart: they never alias
+/// in the cache simulators' tag space).
+pub const DST_VALUES_BASE: u64 = 0x0100_0000_0000;
+/// Base address of the source-value array.
+pub const SRC_VALUES_BASE: u64 = 0x0200_0000_0000;
+/// Base address of the edge array.
+pub const EDGE_ARRAY_BASE: u64 = 0x0300_0000_0000;
+
+/// Bytes per per-vertex value (one `f64`).
+pub const VALUE_BYTES: u64 = 8;
+/// Bytes per edge entry (one `u32` neighbor id).
+pub const EDGE_BYTES: u64 = 4;
+
+/// The address/home model shared by the trace generators.
+#[derive(Clone, Debug)]
+pub struct NumaLayout {
+    bounds: PartitionBounds,
+    topology: NumaTopology,
+}
+
+impl NumaLayout {
+    /// Builds a layout from partition bounds and machine topology.
+    pub fn new(bounds: PartitionBounds, topology: NumaTopology) -> NumaLayout {
+        NumaLayout { bounds, topology }
+    }
+
+    /// The partition bounds.
+    pub fn bounds(&self) -> &PartitionBounds {
+        &self.bounds
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.topology
+    }
+
+    /// Address of destination-side value `v` (rank accumulator etc.).
+    #[inline]
+    pub fn dst_value_addr(&self, v: VertexId) -> u64 {
+        DST_VALUES_BASE + v as u64 * VALUE_BYTES
+    }
+
+    /// Address of source-side value `u` (contribution array etc.).
+    #[inline]
+    pub fn src_value_addr(&self, u: VertexId) -> u64 {
+        SRC_VALUES_BASE + u as u64 * VALUE_BYTES
+    }
+
+    /// Address of the `k`-th entry of the flat edge array.
+    #[inline]
+    pub fn edge_addr(&self, k: u64) -> u64 {
+        EDGE_ARRAY_BASE + k * EDGE_BYTES
+    }
+
+    /// Home socket of a per-vertex value: the socket owning the vertex's
+    /// partition (arrays are distributed by partition).
+    #[inline]
+    pub fn home_of_vertex(&self, v: VertexId) -> usize {
+        let p = self.bounds.partition_of(v);
+        self.topology.socket_of_partition(p, self.bounds.num_partitions())
+    }
+
+    /// Home socket of partition `p`'s edge storage.
+    #[inline]
+    pub fn home_of_partition(&self, p: usize) -> usize {
+        self.topology.socket_of_partition(p, self.bounds.num_partitions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_do_not_alias() {
+        let b = PartitionBounds::vertex_balanced(1000, 8);
+        let l = NumaLayout::new(b, NumaTopology::default());
+        assert!(l.dst_value_addr(999) < SRC_VALUES_BASE);
+        assert!(l.src_value_addr(999) < EDGE_ARRAY_BASE);
+    }
+
+    #[test]
+    fn vertex_homes_follow_partitions() {
+        let b = PartitionBounds::vertex_balanced(400, 4);
+        let l = NumaLayout::new(b, NumaTopology::default());
+        assert_eq!(l.home_of_vertex(0), 0);
+        assert_eq!(l.home_of_vertex(150), 1);
+        assert_eq!(l.home_of_vertex(399), 3);
+    }
+
+    #[test]
+    fn partition_homes_are_contiguous_blocks() {
+        let b = PartitionBounds::vertex_balanced(3840, 384);
+        let l = NumaLayout::new(b, NumaTopology::default());
+        assert_eq!(l.home_of_partition(0), 0);
+        assert_eq!(l.home_of_partition(95), 0);
+        assert_eq!(l.home_of_partition(96), 1);
+        assert_eq!(l.home_of_partition(383), 3);
+    }
+
+    #[test]
+    fn addresses_are_dense_per_vertex() {
+        let b = PartitionBounds::vertex_balanced(16, 2);
+        let l = NumaLayout::new(b, NumaTopology::default());
+        assert_eq!(l.dst_value_addr(1) - l.dst_value_addr(0), VALUE_BYTES);
+        assert_eq!(l.edge_addr(1) - l.edge_addr(0), EDGE_BYTES);
+    }
+}

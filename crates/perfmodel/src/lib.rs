@@ -1,0 +1,40 @@
+//! # vebo-perfmodel
+//!
+//! Micro-architecture simulators standing in for the hardware performance
+//! counters the paper reads with `perf` on its 4-socket Xeon (Figure 4,
+//! Table V):
+//!
+//! * [`cache`] — set-associative LRU last-level cache;
+//! * [`tlb`] — fully-associative LRU TLB;
+//! * [`branch`] — trip-count predictor for the inner edge-loop branch
+//!   (the mechanism behind VEBO's branch-MPKI reduction, §V-E);
+//! * [`prefetch`] — stream prefetcher in front of the cache (the
+//!   mechanism behind §V-G's CSR-beats-Hilbert finding on high-degree
+//!   partitions);
+//! * [`layout`] — simulated NUMA memory layout (arrays distributed by
+//!   graph partition), classifying misses as local or remote;
+//! * [`trace`] — replays the engine's traversal orders through the
+//!   simulators to produce per-thread MPKI reports;
+//! * [`report`] — MPKI bookkeeping.
+//!
+//! The simulators see the *exact* access streams the engine's traversals
+//! generate, so ordering effects (VEBO vs original vs Gorder; Hilbert vs
+//! CSR edge order) show up in the statistics just as they do in the
+//! paper's hardware measurements.
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod layout;
+pub mod prefetch;
+pub mod report;
+pub mod tlb;
+pub mod trace;
+
+pub use cache::{CacheConfig, CacheSim};
+pub use layout::NumaLayout;
+pub use prefetch::{PrefetchConfig, PrefetchingCache, StreamPrefetcher};
+pub use report::{mean, ThreadReport};
+pub use tlb::{TlbConfig, TlbSim};
+pub use trace::{simulate_edgemap_coo, simulate_edgemap_pull, simulate_vertexmap, SimConfig};

@@ -1,0 +1,116 @@
+//! Per-thread micro-architectural report, in the units the paper plots
+//! (misses per thousand instructions).
+
+/// Counters for one simulated thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ThreadReport {
+    /// Modeled instruction count.
+    pub instructions: u64,
+    /// Memory accesses issued to the cache model.
+    pub cache_accesses: u64,
+    /// Cache misses whose home socket matches the thread's socket.
+    pub local_misses: u64,
+    /// Cache misses homed on another socket.
+    pub remote_misses: u64,
+    /// TLB misses.
+    pub tlb_misses: u64,
+    /// Branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// Branches executed.
+    pub branches: u64,
+}
+
+impl ThreadReport {
+    fn per_ki(&self, count: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            count as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Local LLC misses per thousand instructions (Fig. 4b).
+    pub fn local_mpki(&self) -> f64 {
+        self.per_ki(self.local_misses)
+    }
+
+    /// Remote LLC misses per thousand instructions (Fig. 4c).
+    pub fn remote_mpki(&self) -> f64 {
+        self.per_ki(self.remote_misses)
+    }
+
+    /// TLB misses per thousand instructions (Fig. 4d).
+    pub fn tlb_mki(&self) -> f64 {
+        self.per_ki(self.tlb_misses)
+    }
+
+    /// Branch mispredictions per thousand instructions (Fig. 4e).
+    pub fn branch_mpki(&self) -> f64 {
+        self.per_ki(self.branch_mispredicts)
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &ThreadReport) {
+        self.instructions += other.instructions;
+        self.cache_accesses += other.cache_accesses;
+        self.local_misses += other.local_misses;
+        self.remote_misses += other.remote_misses;
+        self.tlb_misses += other.tlb_misses;
+        self.branch_mispredicts += other.branch_mispredicts;
+        self.branches += other.branches;
+    }
+}
+
+/// Averages a set of per-thread MPKI values (the "Average Values" lines
+/// in Figure 4's captions).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_math() {
+        let r = ThreadReport {
+            instructions: 10_000,
+            cache_accesses: 5_000,
+            local_misses: 50,
+            remote_misses: 20,
+            tlb_misses: 10,
+            branch_mispredicts: 5,
+            branches: 2_000,
+        };
+        assert!((r.local_mpki() - 5.0).abs() < 1e-12);
+        assert!((r.remote_mpki() - 2.0).abs() < 1e-12);
+        assert!((r.tlb_mki() - 1.0).abs() < 1e-12);
+        assert!((r.branch_mpki() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_instructions_is_zero_mpki() {
+        let r = ThreadReport::default();
+        assert_eq!(r.local_mpki(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ThreadReport { instructions: 10, local_misses: 1, ..Default::default() };
+        let b = ThreadReport { instructions: 5, local_misses: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.local_misses, 3);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean([]), 0.0);
+    }
+}

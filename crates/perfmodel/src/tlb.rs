@@ -1,0 +1,122 @@
+//! Fully-associative LRU TLB simulator (Figure 4d, Table V "TLB" columns).
+
+/// TLB geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct TlbConfig {
+    /// Page size in bytes (4 KiB default).
+    pub page_bytes: usize,
+    /// Number of entries (typical L2 DTLB scale).
+    pub entries: usize,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig { page_bytes: 4096, entries: 64 }
+    }
+}
+
+/// Fully-associative LRU TLB.
+#[derive(Clone, Debug)]
+pub struct TlbSim {
+    page_shift: u32,
+    /// `(page, stamp)` pairs; linear scan is fine at 64 entries.
+    slots: Vec<(u64, u64)>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl TlbSim {
+    /// Builds the simulator.
+    pub fn new(cfg: TlbConfig) -> TlbSim {
+        assert!(cfg.page_bytes.is_power_of_two() && cfg.entries >= 1);
+        TlbSim {
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            slots: Vec::with_capacity(cfg.entries),
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Simulates one access; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.clock += 1;
+        let page = addr >> self.page_shift;
+        if let Some(slot) = self.slots.iter_mut().find(|(p, _)| *p == page) {
+            slot.1 = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        if self.slots.len() < self.slots.capacity() {
+            self.slots.push((page, self.clock));
+        } else {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(i, _)| i)
+                .unwrap();
+            self.slots[victim] = (page, self.clock);
+        }
+        false
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = TlbSim::new(TlbConfig::default());
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1FFF));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = TlbSim::new(TlbConfig { page_bytes: 4096, entries: 2 });
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // touch page 0
+        t.access(0x2000); // page 2 evicts page 1
+        assert!(t.access(0x0000));
+        assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    fn strided_scan_within_64_pages_hits_after_warmup() {
+        let mut t = TlbSim::new(TlbConfig::default());
+        for _ in 0..3 {
+            for p in 0..64u64 {
+                t.access(p * 4096);
+            }
+        }
+        assert_eq!(t.misses(), 64);
+    }
+
+    #[test]
+    fn random_large_footprint_thrashes() {
+        let mut t = TlbSim::new(TlbConfig::default());
+        let mut x = 7u64;
+        for _ in 0..10_000 {
+            x = vebo_graph::graph::mix64(x);
+            t.access((x % (1 << 20)) * 4096);
+        }
+        assert!(t.misses() as f64 / t.accesses() as f64 > 0.9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Distributed PageRank: the paper's §VII future-work question, answered
+//! on the BSP cluster simulator.
+//!
+//! Compares VEBO-ordered chunk partitioning against the original order
+//! and a cut-minimizing multilevel partition on a 16-worker cluster,
+//! reporting compute makespan, communication time and total simulated
+//! time. On power-law graphs VEBO's balance wins; on the road network the
+//! cut-optimizer wins — the same split the paper found on shared memory
+//! (§V-A vs §V-B).
+//!
+//! ```text
+//! cargo run --release --example distributed_pagerank
+//! ```
+
+use vebo::distributed::{evaluate, ClusterConfig, Strategy};
+use vebo::graph::Dataset;
+use vebo_algorithms::default_source;
+
+fn main() {
+    let cfg = ClusterConfig { workers: 16, ..Default::default() };
+    let iters = 10;
+    println!("PageRank x{iters} on a simulated {}-worker BSP cluster\n", cfg.workers);
+
+    for dataset in [Dataset::TwitterLike, Dataset::UsaRoadLike] {
+        let g = dataset.build(0.3);
+        let src = default_source(&g);
+        println!(
+            "{} ({} vertices, {} edges):",
+            dataset.name(),
+            g.num_vertices(),
+            g.num_edges()
+        );
+        println!(
+            "  {:<16} {:>7} {:>10} {:>10} {:>12} {:>9}",
+            "strategy", "repl.", "compute", "comm", "total", "speedup"
+        );
+        let mut base = None;
+        for s in [Strategy::ChunkOriginal, Strategy::ChunkVebo, Strategy::Multilevel] {
+            let row = evaluate(s, &g, &cfg, iters, src);
+            let b = *base.get_or_insert(row.pr_total);
+            println!(
+                "  {:<16} {:>7.2} {:>10.0} {:>10.0} {:>12.0} {:>8.2}x",
+                row.strategy, row.replication_factor, row.pr_compute, row.pr_comm, row.pr_total,
+                b / row.pr_total,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: VEBO lifts the compute-balance win of the paper's shared-memory\n\
+         systems onto the cluster when the graph is scale-free; the road network\n\
+         still prefers cut minimization, exactly as §V-B observed."
+    );
+}

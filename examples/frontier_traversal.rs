@@ -1,0 +1,82 @@
+//! Frontier traversal lab: watches a BFS frontier evolve through the
+//! engine's direction optimization — sparse push, dense pull, and back —
+//! and prints the per-iteration statistics behind Tables II and IV.
+//!
+//! ```text
+//! cargo run --release --example frontier_traversal
+//! ```
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use vebo::engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph, SystemProfile};
+use vebo::graph::Dataset;
+use vebo::partition::EdgeOrder;
+use vebo_algorithms::default_source;
+
+struct BfsOp {
+    parent: Vec<AtomicU32>,
+}
+
+impl EdgeOp for BfsOp {
+    fn update(&self, s: u32, d: u32, _w: f32) -> bool {
+        if self.parent[d as usize].load(Ordering::Relaxed) == u32::MAX {
+            self.parent[d as usize].store(s, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+    fn update_atomic(&self, s: u32, d: u32, _w: f32) -> bool {
+        self.parent[d as usize]
+            .compare_exchange(u32::MAX, s, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+    fn cond(&self, d: u32) -> bool {
+        self.parent[d as usize].load(Ordering::Relaxed) == u32::MAX
+    }
+}
+
+fn main() {
+    let g = Dataset::LiveJournalLike.build(0.3);
+    let n = g.num_vertices();
+    let src = default_source(&g);
+    println!(
+        "BFS from vertex {src} on livejournal-like ({} vertices, {} edges)\n",
+        n,
+        g.num_edges()
+    );
+    println!(
+        "{:>4}  {:>9} {:>12} {:>7}  {:<18} {:>12}",
+        "iter", "frontier", "active edges", "class", "traversal", "edges seen"
+    );
+
+    let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+    let op = BfsOp { parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect() };
+    op.parent[src as usize].store(src, Ordering::Relaxed);
+
+    let mut frontier = Frontier::single(n, src);
+    let mut iter = 0;
+    while !frontier.is_empty() {
+        let class = frontier.density_class(&g);
+        let active_edges = frontier.active_out_degree(&g);
+        let (next, report) = edge_map(&pg, &frontier, &op, &EdgeMapOptions::default());
+        println!(
+            "{:>4}  {:>9} {:>12} {:>7}  {:<18} {:>12}",
+            iter,
+            frontier.len(),
+            active_edges,
+            class.code(),
+            format!("{:?}", report.traversal),
+            report.total_edges(),
+        );
+        frontier = next;
+        iter += 1;
+    }
+
+    let reached = op.parent.iter().filter(|p| p.load(Ordering::Relaxed) != u32::MAX).count();
+    println!("\nreached {reached} of {n} vertices in {iter} iterations");
+    println!(
+        "Note the direction switches: sparse (partitioned push) while the frontier\n\
+         is small, dense (COO streaming) at the wavefront peak — Beamer's\n\
+         direction-optimization as implemented by all three systems in the paper."
+    );
+}

@@ -1,0 +1,75 @@
+//! Ordering explorer: compares every vertex ordering in the workspace on
+//! balance, locality, and reordering cost — the trade-off space the paper
+//! navigates.
+//!
+//! ```text
+//! cargo run --release --example ordering_explorer
+//! ```
+
+use std::time::Instant;
+use vebo::baselines::{DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
+use vebo::core::{balance::BalanceReport, Vebo};
+use vebo::graph::{Dataset, Graph, Permutation, VertexOrdering};
+use vebo::partition::{MetisLikeOrder, PartitionBounds};
+use vebo_baselines::gorder::locality_objective;
+use vebo_baselines::rcm::bandwidth;
+
+const P: usize = 48;
+
+type OrderingFn = Box<dyn Fn(&Graph) -> Permutation>;
+
+fn evaluate(name: &str, g: &Graph, perm: Permutation, elapsed_s: f64) {
+    let h = perm.apply_graph(g);
+    let bounds = PartitionBounds::edge_balanced(&h, P);
+    let mut edges = Vec::new();
+    let mut verts = Vec::new();
+    for (_, r) in bounds.iter() {
+        edges.push(r.clone().map(|v| h.in_degree(v as u32) as u64).sum::<u64>());
+        verts.push(r.len());
+    }
+    let report = BalanceReport::from_counts(edges, verts);
+    println!(
+        "{:<11} {:>9.3}s  edge-imb {:>6}  vert-imb {:>6}  bandwidth {:>8}  locality {:>8}",
+        name,
+        elapsed_s,
+        report.edge_imbalance,
+        report.vertex_imbalance,
+        bandwidth(g, &perm),
+        locality_objective(g, &perm, 5),
+    );
+}
+
+fn main() {
+    let g = Dataset::LiveJournalLike.build(0.15);
+    println!(
+        "orderings on livejournal-like ({} vertices, {} edges), Algorithm 1 at P = {P}:\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!(
+        "{:<11} {:>10}  {:<15} {:<15} {:<18} Gorder objective",
+        "ordering", "time", "(max-min edges)", "(max-min verts)", "matrix bandwidth"
+    );
+
+    let orderings: Vec<(&str, OrderingFn)> = vec![
+        ("Original", Box::new(|g: &Graph| Permutation::identity(g.num_vertices()))),
+        ("VEBO", Box::new(|g: &Graph| Vebo::new(P).compute(g))),
+        ("RCM", Box::new(|g: &Graph| Rcm.compute(g))),
+        ("Gorder", Box::new(|g: &Graph| Gorder::new().compute(g))),
+        ("HighToLow", Box::new(|g: &Graph| DegreeSort.compute(g))),
+        ("Random", Box::new(|g: &Graph| RandomOrder::new(1).compute(g))),
+        ("SlashBurn", Box::new(|g: &Graph| SlashBurn::default().compute(g))),
+        ("METIS-like", Box::new(|g: &Graph| MetisLikeOrder::new(P).compute(g))),
+    ];
+    for (name, f) in orderings {
+        let t0 = Instant::now();
+        let perm = f(&g);
+        evaluate(name, &g, perm, t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "\nReading: VEBO wins balance at negligible cost; Gorder wins its own\n\
+         locality objective but pays orders of magnitude more time; RCM minimizes\n\
+         bandwidth. No ordering wins everything — the paper's point is that for\n\
+         statically scheduled graph processing, balance is the axis that pays."
+    );
+}

@@ -1,0 +1,270 @@
+//! The standalone reordering tool described in the paper's artifact
+//! appendix:
+//!
+//! ```text
+//! ./VEBO -r 100 -p 384 original vebo
+//! ```
+//!
+//! Reads a graph file (Ligra `AdjacencyGraph` or whitespace edge list,
+//! auto-detected), applies a vertex ordering, and writes the reordered —
+//! isomorphic — graph. Also prints the balance report for the requested
+//! partition count.
+//!
+//! ```text
+//! cargo run --release --bin vebo-reorder -- -p 384 input.adj output.adj
+//! cargo run --release --bin vebo-reorder -- --order rcm input.el output.el
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+use vebo::baselines::{DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
+use vebo::core::{balance::BalanceReport, Vebo};
+use vebo::graph::{io, Graph, VertexOrdering};
+use vebo::partition::MetisLikeOrder;
+
+struct Options {
+    partitions: usize,
+    track_vertex: Option<u32>,
+    order: String,
+    directed: bool,
+    input: String,
+    output: String,
+}
+
+fn usage() -> &'static str {
+    "vebo-reorder [options] <input> <output>\n\
+     \n\
+     Reorders a graph file with VEBO (or a baseline ordering).\n\
+     Formats: Ligra AdjacencyGraph or whitespace edge list (auto-detected;\n\
+     output format follows the input format).\n\
+     \n\
+     Options:\n\
+       -p <n>          number of partitions (default 384)\n\
+       -r <vertex>     report the new id of this vertex (artifact's -r)\n\
+       --order <name>  vebo | rcm | gorder | hightolow | random |\n\
+                       slashburn | metis (default vebo)\n\
+       --undirected    treat the input as undirected\n\
+       -h, --help      this text"
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options {
+        partitions: 384,
+        track_vertex: None,
+        order: "vebo".into(),
+        directed: true,
+        input: String::new(),
+        output: String::new(),
+    };
+    let mut positional = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-p" => {
+                opts.partitions = it
+                    .next()
+                    .ok_or("missing value for -p")?
+                    .parse()
+                    .map_err(|e| format!("bad -p value: {e}"))?;
+            }
+            "-r" => {
+                opts.track_vertex = Some(
+                    it.next()
+                        .ok_or("missing value for -r")?
+                        .parse()
+                        .map_err(|e| format!("bad -r value: {e}"))?,
+                );
+            }
+            "--order" => {
+                opts.order = it.next().ok_or("missing value for --order")?.to_lowercase();
+            }
+            "--undirected" => opts.directed = false,
+            "-h" | "--help" => return Err(String::new()),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("expected exactly two positional arguments: <input> <output>".into());
+    }
+    opts.input = positional.remove(0);
+    opts.output = positional.remove(0);
+    Ok(opts)
+}
+
+fn load(path: &str, directed: bool) -> Result<(Graph, bool), String> {
+    let mut text = String::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let is_adjacency = text.trim_start().starts_with("AdjacencyGraph");
+    let g = if is_adjacency {
+        io::read_adjacency_graph(text.as_bytes(), directed)
+    } else {
+        io::read_edge_list(text.as_bytes(), directed, None)
+    }
+    .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    Ok((g, is_adjacency))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let (g, is_adjacency) = match load(&opts.input, opts.directed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {}: {} vertices, {} edges ({})",
+        opts.input,
+        g.num_vertices(),
+        g.num_edges(),
+        if is_adjacency { "AdjacencyGraph" } else { "edge list" }
+    );
+
+    let t0 = std::time::Instant::now();
+    let perm = match opts.order.as_str() {
+        "vebo" => {
+            let result = Vebo::new(opts.partitions).compute_full(&g);
+            let report = BalanceReport::from_result(&result);
+            eprintln!(
+                "VEBO @ P={}: edge imbalance {} | vertex imbalance {}",
+                opts.partitions, report.edge_imbalance, report.vertex_imbalance
+            );
+            result.permutation
+        }
+        "rcm" => Rcm.compute(&g),
+        "gorder" => Gorder::new().compute(&g),
+        "hightolow" => DegreeSort.compute(&g),
+        "random" => RandomOrder::default().compute(&g),
+        "slashburn" => SlashBurn::default().compute(&g),
+        "metis" => MetisLikeOrder::new(opts.partitions).compute(&g),
+        other => {
+            eprintln!("error: unknown ordering '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("reordering time: {:.3}s", t0.elapsed().as_secs_f64());
+
+    if let Some(v) = opts.track_vertex {
+        if (v as usize) < g.num_vertices() {
+            eprintln!("vertex {v} -> new id {}", perm.new_id(v));
+        } else {
+            eprintln!("warning: tracked vertex {v} out of range");
+        }
+    }
+
+    let reordered = perm.apply_graph(&g);
+    let write = |file: std::fs::File| {
+        if is_adjacency {
+            io::write_adjacency_graph(&reordered, file)
+        } else {
+            io::write_edge_list(&reordered, file)
+        }
+    };
+    match std::fs::File::create(&opts.output).map_err(|e| e.to_string()).and_then(|f| write(f).map_err(|e| e.to_string())) {
+        Ok(()) => {
+            eprintln!("wrote {}", opts.output);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error writing {}: {e}", opts.output);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Options, String> {
+        parse_args(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_artifact_invocation() {
+        // The appendix's `./VEBO -r 100 -p 384 original vebo`.
+        let o = args(&["-r", "100", "-p", "384", "original", "vebo"]).unwrap();
+        assert_eq!(o.partitions, 384);
+        assert_eq!(o.track_vertex, Some(100));
+        assert_eq!(o.order, "vebo");
+        assert_eq!(o.input, "original");
+        assert_eq!(o.output, "vebo");
+        assert!(o.directed);
+    }
+
+    #[test]
+    fn parses_order_and_undirected() {
+        let o = args(&["--order", "SlashBurn", "--undirected", "a", "b"]).unwrap();
+        assert_eq!(o.order, "slashburn");
+        assert!(!o.directed);
+    }
+
+    #[test]
+    fn rejects_missing_positionals() {
+        assert!(args(&["-p", "8", "only-one"]).is_err());
+        assert!(args(&["-p"]).is_err());
+        assert!(args(&["--wat", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn round_trips_an_edge_list_through_every_order() {
+        let dir = std::env::temp_dir().join("vebo-reorder-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.el");
+        // A small star plus a chain, as an edge list.
+        let mut text = String::new();
+        for u in 1..20 {
+            text.push_str(&format!("{u} 0\n"));
+        }
+        text.push_str("20 21\n21 22\n");
+        std::fs::write(&input, &text).unwrap();
+        let (g, is_adj) = load(input.to_str().unwrap(), true).unwrap();
+        assert!(!is_adj);
+        assert_eq!(g.num_vertices(), 23);
+        assert_eq!(g.num_edges(), 21);
+        for order in ["vebo", "rcm", "gorder", "hightolow", "random", "slashburn", "metis"] {
+            let perm: vebo::graph::Permutation = match order {
+                "vebo" => Vebo::new(4).compute_full(&g).permutation,
+                "rcm" => Rcm.compute(&g),
+                "gorder" => Gorder::new().compute(&g),
+                "hightolow" => DegreeSort.compute(&g),
+                "random" => RandomOrder::default().compute(&g),
+                "slashburn" => SlashBurn::default().compute(&g),
+                _ => MetisLikeOrder::new(4).compute(&g),
+            };
+            let h = perm.apply_graph(&g);
+            let out = dir.join(format!("out-{order}.el"));
+            io::save_edge_list(&h, &out).unwrap();
+            let (back, _) = load(out.to_str().unwrap(), true).unwrap();
+            assert_eq!(back.num_edges(), g.num_edges(), "{order}");
+            assert_eq!(back.num_vertices(), g.num_vertices(), "{order}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("vebo-reorder-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.el");
+        std::fs::write(&path, "not numbers at all\n").unwrap();
+        assert!(load(path.to_str().unwrap(), true).is_err());
+        assert!(load("/nonexistent/nope.el", true).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

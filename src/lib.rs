@@ -1,0 +1,32 @@
+//! # vebo
+//!
+//! Facade crate for the VEBO workspace — a from-scratch Rust reproduction
+//! of *"VEBO: A Vertex- and Edge-Balanced Ordering Heuristic to Load
+//! Balance Parallel Graph Processing"* (Sun, Vandierendonck, Nikolopoulos,
+//! PPoPP 2019).
+//!
+//! Re-exports the public APIs of every subsystem crate:
+//!
+//! * [`graph`] — graph representations, generators, datasets, I/O;
+//! * [`core`] — the VEBO algorithm, balance metrics, theorem verifiers;
+//! * [`baselines`] — RCM, Gorder, degree sort, random orderings;
+//! * [`partition`] — Algorithm 1, Hilbert/CSR edge orders, layouts;
+//! * [`engine`] — the graph processing engine and its three system
+//!   profiles (Ligra-, Polymer-, GraphGrind-like);
+//! * [`algorithms`] — PR, PRD, BFS, BC, CC, SPMV, BF, BP;
+//! * [`perfmodel`] — cache/TLB/branch simulators;
+//! * [`distributed`] — streaming/multilevel distributed partitioners and
+//!   the BSP cluster simulator for the paper's §VII future-work study.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+#![warn(missing_docs)]
+
+pub use vebo_algorithms as algorithms;
+pub use vebo_baselines as baselines;
+pub use vebo_core as core;
+pub use vebo_distributed as distributed;
+pub use vebo_engine as engine;
+pub use vebo_graph as graph;
+pub use vebo_partition as partition;
+pub use vebo_perfmodel as perfmodel;

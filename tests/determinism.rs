@@ -1,0 +1,64 @@
+//! Determinism: the whole pipeline is reproducible run-to-run (datasets,
+//! orderings, partitioning, algorithm results, simulator statistics).
+
+use vebo::core::Vebo;
+use vebo::engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo::graph::Dataset;
+use vebo::partition::numa::NumaTopology;
+use vebo::partition::{EdgeOrder, PartitionBounds};
+use vebo::perfmodel::{simulate_edgemap_pull, NumaLayout, SimConfig};
+use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
+
+#[test]
+fn datasets_are_reproducible() {
+    for d in Dataset::ALL {
+        let a = d.build(0.05);
+        let b = d.build(0.05);
+        assert_eq!(a.csr().offsets(), b.csr().offsets(), "{}", d.name());
+        assert_eq!(a.csr().targets(), b.csr().targets(), "{}", d.name());
+    }
+}
+
+#[test]
+fn vebo_is_deterministic() {
+    let g = Dataset::Rmat27Like.build(0.05);
+    let a = Vebo::new(384).compute_full(&g);
+    let b = Vebo::new(384).compute_full(&g);
+    assert_eq!(a.permutation.as_slice(), b.permutation.as_slice());
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.edge_counts, b.edge_counts);
+}
+
+#[test]
+fn pagerank_bits_are_reproducible() {
+    // Sequential (measured) execution applies updates in a fixed order,
+    // so even floating-point results are bit-identical.
+    let g = Dataset::YahooLike.build(0.05);
+    let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Hilbert));
+    let cfg = PageRankConfig::default();
+    let (a, _) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+    let (b, _) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+    assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+}
+
+#[test]
+fn perfmodel_statistics_are_deterministic() {
+    let g = Dataset::TwitterLike.build(0.05);
+    let layout = NumaLayout::new(PartitionBounds::edge_balanced(&g, 48), NumaTopology::default());
+    let a = simulate_edgemap_pull(&g, &layout, &SimConfig::default());
+    let b = simulate_edgemap_pull(&g, &layout, &SimConfig::default());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn work_model_makespans_are_deterministic() {
+    use vebo::engine::Scheduling;
+    use vebo_algorithms::{run_algorithm, AlgorithmKind};
+    let g = Dataset::LiveJournalLike.build(0.05);
+    let run = || {
+        let pg = PreparedGraph::new(g.clone(), SystemProfile::polymer_like());
+        let report = run_algorithm(AlgorithmKind::Bfs, &pg, &EdgeMapOptions::default());
+        report.simulated_work(48, Scheduling::Static)
+    };
+    assert_eq!(run(), run());
+}

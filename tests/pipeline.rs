@@ -1,0 +1,117 @@
+//! End-to-end integration tests: dataset -> ordering -> partitioning ->
+//! engine -> algorithm, across crates.
+
+use vebo::core::Vebo;
+use vebo::engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo::graph::{Dataset, VertexOrdering};
+use vebo::partition::EdgeOrder;
+use vebo_algorithms::bfs::{bfs, bfs_reference, levels_from_parents};
+use vebo_algorithms::cc::{cc, cc_reference};
+use vebo_algorithms::pagerank::{pagerank, pagerank_reference, PageRankConfig};
+use vebo_algorithms::{default_source, needs_weights, run_algorithm, AlgorithmKind};
+use vebo_baselines::{Gorder, RandomOrder, Rcm};
+use vebo_bench::{ordered_with_starts, prepare_profile, OrderingKind};
+
+/// Algorithm results must be invariant under any vertex reordering
+/// (permuted appropriately) — the reordered graph is isomorphic.
+#[test]
+fn pagerank_invariant_under_every_ordering() {
+    let g = Dataset::YahooLike.build(0.05);
+    let cfg = PageRankConfig { iterations: 5, ..Default::default() };
+    let want = pagerank_reference(&g, &cfg);
+    let orderings: Vec<Box<dyn VertexOrdering>> = vec![
+        Box::new(Vebo::new(48)),
+        Box::new(Rcm),
+        Box::new(Gorder::new().with_hub_cap(32)),
+        Box::new(RandomOrder::new(3)),
+    ];
+    for ord in orderings {
+        let perm = ord.compute(&g);
+        let h = perm.apply_graph(&g);
+        let pg = PreparedGraph::new(h, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let (ranks, _) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+        for v in g.vertices() {
+            let diff = (ranks[perm.new_id(v) as usize] - want[v as usize]).abs();
+            assert!(diff < 1e-9, "{}: vertex {v} differs by {diff}", ord.name());
+        }
+    }
+}
+
+#[test]
+fn bfs_levels_invariant_under_vebo() {
+    let g = Dataset::LiveJournalLike.build(0.05);
+    let src = default_source(&g);
+    let want = bfs_reference(&g, src);
+    let perm = Vebo::new(384).compute(&g);
+    let h = perm.apply_graph(&g);
+    let pg = PreparedGraph::new(h, SystemProfile::polymer_like());
+    let (parents, _) = bfs(&pg, perm.new_id(src), &EdgeMapOptions::default());
+    let levels = levels_from_parents(&parents, perm.new_id(src));
+    for v in g.vertices() {
+        assert_eq!(levels[perm.new_id(v) as usize], want[v as usize], "vertex {v}");
+    }
+}
+
+#[test]
+fn cc_labels_refine_identically_across_orderings() {
+    // Component *partitions* (which vertices share a component) are
+    // ordering-invariant even though label values change.
+    let g = Dataset::UsaRoadLike.build(0.05);
+    let want = cc_reference(&g);
+    let perm = Vebo::new(48).compute(&g);
+    let h = perm.apply_graph(&g);
+    let pg = PreparedGraph::new(h, SystemProfile::ligra_like());
+    let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+    for u in g.vertices() {
+        for v in (u + 1..g.num_vertices() as u32).step_by(97) {
+            let same_ref = want[u as usize] == want[v as usize];
+            let same_got =
+                labels[perm.new_id(u) as usize] == labels[perm.new_id(v) as usize];
+            assert_eq!(same_ref, same_got, "pair ({u}, {v})");
+        }
+    }
+}
+
+/// The full Table III pipeline runs for every (algorithm, system) pair
+/// with exact VEBO boundaries.
+#[test]
+fn every_algorithm_runs_with_exact_vebo_bounds() {
+    let base = Dataset::TwitterLike.build(0.05);
+    for system in [
+        SystemProfile::ligra_like(),
+        SystemProfile::polymer_like(),
+        SystemProfile::graphgrind_like(EdgeOrder::Csr),
+    ] {
+        let p = if system.kind == vebo::engine::SystemKind::PolymerLike { 4 } else { 384 };
+        let (h, starts, _) = ordered_with_starts(&base, OrderingKind::Vebo, p);
+        for kind in AlgorithmKind::ALL {
+            let g = if needs_weights(kind) { h.clone().with_hash_weights(16) } else { h.clone() };
+            let pg = prepare_profile(g, system, starts.as_deref());
+            let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+            assert!(report.total_edges() > 0, "{} on {:?}", kind.code(), system.kind);
+        }
+    }
+}
+
+/// VEBO's exact boundaries give (near-)perfectly edge-balanced GraphGrind
+/// tasks, while the original order does not.
+#[test]
+fn vebo_bounds_balance_graphgrind_tasks() {
+    // P = 48 keeps the Theorem 1 preconditions satisfied at this scale
+    // (P < N and |E| >= N (P - 1)); the paper's P = 384 requires the
+    // full-size graphs.
+    let g = Dataset::TwitterLike.build(0.1);
+    let (h, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, 48);
+    let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr).with_partitions(48);
+    let pg = prepare_profile(h, profile, starts.as_deref());
+    let coo = pg.coo().unwrap();
+    let lens: Vec<usize> = (0..coo.num_partitions()).map(|p| coo.partition_len(p)).collect();
+    let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+    assert!(max - min <= 1, "VEBO task edges spread {min}..{max}");
+
+    let pg0 = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr).with_partitions(48));
+    let coo0 = pg0.coo().unwrap();
+    let lens0: Vec<usize> = (0..coo0.num_partitions()).map(|p| coo0.partition_len(p)).collect();
+    let (min0, max0) = (lens0.iter().min().unwrap(), lens0.iter().max().unwrap());
+    assert!(max0 - min0 > 1, "original order should not be perfectly balanced");
+}
