@@ -83,7 +83,10 @@ pub fn bc(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<f
             break;
         }
         let class = frontier.density_class(g);
-        let op = PathsOp { sigma: &sigma, visited: &visited };
+        let op = PathsOp {
+            sigma: &sigma,
+            visited: &visited,
+        };
         let (next, em) = edge_map(pg, frontier, &op, opts);
         report.push_edge(class, em);
         // Mark the new frontier visited and record its level.
@@ -109,7 +112,12 @@ pub fn bc(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<f
     let tg = PreparedGraph::new(g.transposed(), *pg.profile());
     for lev in (0..level_frontiers.len().saturating_sub(1)).rev() {
         let frontier = &level_frontiers[lev + 1];
-        let op = DepOp { sigma: &sigma, dep: &dep, level: &level, current_level: lev as u32 };
+        let op = DepOp {
+            sigma: &sigma,
+            dep: &dep,
+            level: &level,
+            current_level: lev as u32,
+        };
         let class = frontier.density_class(tg.graph());
         let (_, em) = edge_map(&tg, frontier, &op, opts);
         report.push_edge(class, em);
@@ -206,7 +214,10 @@ mod tests {
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
         let mut results = Vec::new();
         for force in [Some(true), Some(false)] {
-            let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+            let opts = EdgeMapOptions {
+                force_dense: force,
+                ..Default::default()
+            };
             let (dep, _) = bc(&pg, src, &opts);
             results.push(dep);
         }

@@ -30,12 +30,18 @@ impl EdgeOp for BfOp {
 /// Runs Bellman–Ford from `source` on a weighted graph; returns distances
 /// (`f64::INFINITY` for unreachable vertices). Rounds are capped at `n`
 /// (no negative weights exist in this workspace, so this never binds).
-pub fn bellman_ford(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<f64>, RunReport) {
+pub fn bellman_ford(
+    pg: &PreparedGraph,
+    source: VertexId,
+    opts: &EdgeMapOptions,
+) -> (Vec<f64>, RunReport) {
     let g = pg.graph();
     assert!(g.has_weights(), "Bellman-Ford needs an edge-weighted graph");
     let n = g.num_vertices();
     let mut report = RunReport::default();
-    let op = BfOp { dist: (0..n).map(|_| AtomicF64::new(f64::INFINITY)).collect() };
+    let op = BfOp {
+        dist: (0..n).map(|_| AtomicF64::new(f64::INFINITY)).collect(),
+    };
     op.dist[source as usize].store(0.0);
 
     let mut frontier = Frontier::single(n, source);
@@ -113,7 +119,8 @@ mod tests {
 
     #[test]
     fn line_graph_distances() {
-        let g = Graph::from_edges_weighted(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1.0, 2.0, 4.0]), true);
+        let g =
+            Graph::from_edges_weighted(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1.0, 2.0, 4.0]), true);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
         let (d, report) = bellman_ford(&pg, 0, &EdgeMapOptions::default());
         assert_eq!(d, vec![0.0, 1.0, 3.0, 7.0]);

@@ -40,7 +40,9 @@ pub fn bfs(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<
     let g = pg.graph();
     let n = g.num_vertices();
     let mut report = RunReport::default();
-    let op = BfsOp { parent: (0..n).map(|_| AtomicU32::new(UNVISITED)).collect() };
+    let op = BfsOp {
+        parent: (0..n).map(|_| AtomicU32::new(UNVISITED)).collect(),
+    };
     op.parent[source as usize].store(source, Ordering::Relaxed);
 
     let mut frontier = Frontier::single(n, source);
@@ -50,7 +52,10 @@ pub fn bfs(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<
         report.push_edge(class, em);
         frontier = next;
     }
-    (op.parent.into_iter().map(|a| a.into_inner()).collect(), report)
+    (
+        op.parent.into_iter().map(|a| a.into_inner()).collect(),
+        report,
+    )
 }
 
 /// BFS levels derived from a parent array (tests / BC diagnostics).
@@ -153,7 +158,10 @@ mod tests {
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
         let mut reaches = Vec::new();
         for force in [Some(true), Some(false), None] {
-            let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+            let opts = EdgeMapOptions {
+                force_dense: force,
+                ..Default::default()
+            };
             let (parents, _) = bfs(&pg, src, &opts);
             // Parent arrays may differ (tie-breaks), but the reachable
             // set and levels must agree.

@@ -28,7 +28,10 @@ pub struct BpConfig {
 
 impl Default for BpConfig {
     fn default() -> Self {
-        BpConfig { iterations: 10, max_coupling: 0.5 }
+        BpConfig {
+            iterations: 10,
+            max_coupling: 0.5,
+        }
     }
 }
 
@@ -45,7 +48,8 @@ impl EdgeOp for BpOp<'_> {
         true
     }
     fn update_atomic(&self, src: VertexId, dst: VertexId, w: f32) -> bool {
-        self.acc[dst as usize].fetch_add(self.scale * w as f64 * self.influence[src as usize].load());
+        self.acc[dst as usize]
+            .fetch_add(self.scale * w as f64 * self.influence[src as usize].load());
         true
     }
 }
@@ -61,8 +65,9 @@ pub fn bp(pg: &PreparedGraph, cfg: &BpConfig, opts: &EdgeMapOptions) -> (Vec<f64
         return (Vec::new(), report);
     }
     // Deterministic priors in [-1, 1].
-    let prior: Vec<f64> =
-        (0..n).map(|v| (mix64(v as u64 ^ 0xB0) % 2001) as f64 / 1000.0 - 1.0).collect();
+    let prior: Vec<f64> = (0..n)
+        .map(|v| (mix64(v as u64 ^ 0xB0) % 2001) as f64 / 1000.0 - 1.0)
+        .collect();
     let belief = atomic_f64_vec(n, 0.0);
     for (v, &p) in prior.iter().enumerate() {
         belief[v].store(p);
@@ -88,8 +93,15 @@ pub fn bp(pg: &PreparedGraph, cfg: &BpConfig, opts: &EdgeMapOptions) -> (Vec<f64
         );
         report.push_vertex(vm);
 
-        let op = BpOp { influence: &influence, acc: &acc, scale };
-        let forced = EdgeMapOptions { force_dense: Some(true), ..*opts };
+        let op = BpOp {
+            influence: &influence,
+            acc: &acc,
+            scale,
+        };
+        let forced = EdgeMapOptions {
+            force_dense: Some(true),
+            ..*opts
+        };
         let class = frontier.density_class(g);
         let (_, em) = edge_map(pg, &frontier, &op, &forced);
         report.push_edge(class, em);
@@ -163,7 +175,10 @@ mod tests {
         let g = graph();
         let m = g.num_edges() as u64;
         let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
-        let cfg = BpConfig { iterations: 4, ..Default::default() };
+        let cfg = BpConfig {
+            iterations: 4,
+            ..Default::default()
+        };
         let (_, report) = bp(&pg, &cfg, &EdgeMapOptions::default());
         assert_eq!(report.iterations, 4);
         assert_eq!(report.total_edges(), 4 * m);

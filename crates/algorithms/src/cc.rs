@@ -56,7 +56,9 @@ pub fn cc(pg: &PreparedGraph, opts: &EdgeMapOptions) -> (Vec<u32>, RunReport) {
     let g = pg.graph();
     let n = g.num_vertices();
     let mut report = RunReport::default();
-    let op = CcOp { label: (0..n as u32).map(AtomicU32::new).collect() };
+    let op = CcOp {
+        label: (0..n as u32).map(AtomicU32::new).collect(),
+    };
 
     // Start from all vertices; each round keeps only vertices whose label
     // changed (they must re-broadcast).
@@ -68,7 +70,10 @@ pub fn cc(pg: &PreparedGraph, opts: &EdgeMapOptions) -> (Vec<u32>, RunReport) {
         report.push_edge(class, em);
         frontier = next;
     }
-    (op.label.into_iter().map(|a| a.into_inner()).collect(), report)
+    (
+        op.label.into_iter().map(|a| a.into_inner()).collect(),
+        report,
+    )
 }
 
 /// One round of synchronous propagation: reads only the labels frozen at

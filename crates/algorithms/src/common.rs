@@ -34,14 +34,22 @@ impl RunReport {
     /// Total sequential time across all operations (nanoseconds).
     pub fn sequential_nanos(&self) -> u64 {
         self.edge_maps.iter().map(|r| r.total_nanos()).sum::<u64>()
-            + self.vertex_maps.iter().map(|r| r.total_nanos()).sum::<u64>()
+            + self
+                .vertex_maps
+                .iter()
+                .map(|r| r.total_nanos())
+                .sum::<u64>()
     }
 
     /// Simulated parallel runtime on `threads` workers under `scheduling`:
     /// the sum over operations of each operation's makespan (operations
     /// are separated by barriers in all three systems).
     pub fn simulated_nanos(&self, threads: usize, scheduling: Scheduling) -> f64 {
-        let em: f64 = self.edge_maps.iter().map(|r| r.makespan(threads, scheduling).makespan).sum();
+        let em: f64 = self
+            .edge_maps
+            .iter()
+            .map(|r| r.makespan(threads, scheduling).makespan)
+            .sum();
         let vm: f64 = self
             .vertex_maps
             .iter()
@@ -57,8 +65,11 @@ impl RunReport {
     /// (task cost = edges + destination vertices, the paper's joint cost
     /// drivers); noise-free, used by tests.
     pub fn simulated_work(&self, threads: usize, scheduling: Scheduling) -> f64 {
-        let em: f64 =
-            self.edge_maps.iter().map(|r| r.makespan_by_work(threads, scheduling).makespan).sum();
+        let em: f64 = self
+            .edge_maps
+            .iter()
+            .map(|r| r.makespan_by_work(threads, scheduling).makespan)
+            .sum();
         let vm: f64 = self
             .vertex_maps
             .iter()
@@ -98,7 +109,11 @@ impl RunReport {
         }
         let makespan = self.simulated_nanos(threads, scheduling);
         let total_work = per_thread.iter().sum();
-        MakespanReport { per_thread, makespan, total_work }
+        MakespanReport {
+            per_thread,
+            makespan,
+            total_work,
+        }
     }
 }
 
@@ -152,7 +167,10 @@ impl AlgorithmKind {
 
     /// Parses a Table II code.
     pub fn from_code(code: &str) -> Option<AlgorithmKind> {
-        Self::ALL.iter().copied().find(|k| k.code().eq_ignore_ascii_case(code))
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|k| k.code().eq_ignore_ascii_case(code))
     }
 
     /// Traversal direction per Table II: `'B'` (backward/pull-leaning) or

@@ -17,7 +17,10 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, iterations: 10 }
+        PageRankConfig {
+            damping: 0.85,
+            iterations: 10,
+        }
     }
 }
 
@@ -45,7 +48,11 @@ impl EdgeOp for PrOp<'_> {
 
 /// Runs PageRank; returns the rank vector (indexed by vertex id) and the
 /// measurement report.
-pub fn pagerank(pg: &PreparedGraph, cfg: &PageRankConfig, opts: &EdgeMapOptions) -> (Vec<f64>, RunReport) {
+pub fn pagerank(
+    pg: &PreparedGraph,
+    cfg: &PageRankConfig,
+    opts: &EdgeMapOptions,
+) -> (Vec<f64>, RunReport) {
     let g = pg.graph();
     let n = g.num_vertices();
     let mut report = RunReport::default();
@@ -64,7 +71,11 @@ pub fn pagerank(pg: &PreparedGraph, cfg: &PageRankConfig, opts: &EdgeMapOptions)
             pg,
             |v| {
                 let d = g.out_degree(v);
-                let c = if d > 0 { rank[v as usize].load() / d as f64 } else { 0.0 };
+                let c = if d > 0 {
+                    rank[v as usize].load() / d as f64
+                } else {
+                    0.0
+                };
                 contrib[v as usize].store(c);
                 acc[v as usize].store(0.0);
                 true
@@ -73,8 +84,14 @@ pub fn pagerank(pg: &PreparedGraph, cfg: &PageRankConfig, opts: &EdgeMapOptions)
         );
         report.push_vertex(vm);
 
-        let op = PrOp { contrib: &contrib, acc: &acc };
-        let forced = EdgeMapOptions { force_dense: Some(true), ..*opts };
+        let op = PrOp {
+            contrib: &contrib,
+            acc: &acc,
+        };
+        let forced = EdgeMapOptions {
+            force_dense: Some(true),
+            ..*opts
+        };
         let class = frontier.density_class(g);
         let (_, em) = edge_map(pg, &frontier, &op, &forced);
         report.push_edge(class, em);
@@ -129,7 +146,10 @@ mod tests {
     #[test]
     fn matches_reference_on_all_profiles() {
         let g = Dataset::YahooLike.build(0.03);
-        let cfg = PageRankConfig { iterations: 5, ..Default::default() };
+        let cfg = PageRankConfig {
+            iterations: 5,
+            ..Default::default()
+        };
         let want = pagerank_reference(&g, &cfg);
         for profile in [
             SystemProfile::ligra_like(),
@@ -148,7 +168,10 @@ mod tests {
     fn rank_is_invariant_under_reordering() {
         // PageRank of vertex v in G equals PageRank of S[v] in S(G).
         let g = Dataset::LiveJournalLike.build(0.02);
-        let cfg = PageRankConfig { iterations: 4, ..Default::default() };
+        let cfg = PageRankConfig {
+            iterations: 4,
+            ..Default::default()
+        };
         use vebo_graph::VertexOrdering;
         let perm = vebo_core::Vebo::new(16).compute(&g);
         let h = perm.apply_graph(&g);
@@ -188,7 +211,10 @@ mod tests {
         let g = Dataset::YahooLike.build(0.03);
         let m = g.num_edges() as u64;
         let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
-        let cfg = PageRankConfig { iterations: 3, ..Default::default() };
+        let cfg = PageRankConfig {
+            iterations: 3,
+            ..Default::default()
+        };
         let (_, report) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
         assert_eq!(report.total_edges(), 3 * m);
         // PR frontiers are always dense (Table II row "PR ... d").

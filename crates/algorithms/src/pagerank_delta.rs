@@ -27,7 +27,11 @@ pub struct PageRankDeltaConfig {
 
 impl Default for PageRankDeltaConfig {
     fn default() -> Self {
-        PageRankDeltaConfig { damping: 0.85, eps: 1e-2, max_iterations: 100 }
+        PageRankDeltaConfig {
+            damping: 0.85,
+            eps: 1e-2,
+            max_iterations: 100,
+        }
     }
 }
 
@@ -85,7 +89,11 @@ pub fn pagerank_delta_full(
     let n = g.num_vertices();
     let mut report = RunReport::default();
     if n == 0 {
-        return PageRankDeltaRun { ranks: Vec::new(), last_active_round: Vec::new(), report };
+        return PageRankDeltaRun {
+            ranks: Vec::new(),
+            last_active_round: Vec::new(),
+            report,
+        };
     }
     let inv_n = 1.0 / n as f64;
     let base = (1.0 - cfg.damping) * inv_n;
@@ -107,7 +115,11 @@ pub fn pagerank_delta_full(
             |v| {
                 let i = v as usize;
                 let d = g.out_degree(v);
-                let c = if d > 0 && frontier.contains(v) { delta[i].load() / d as f64 } else { 0.0 };
+                let c = if d > 0 && frontier.contains(v) {
+                    delta[i].load() / d as f64
+                } else {
+                    0.0
+                };
                 contrib[i].store(c);
                 acc[i].store(0.0);
                 true
@@ -116,7 +128,10 @@ pub fn pagerank_delta_full(
         );
         report.push_vertex(vm);
 
-        let op = PrdOp { contrib: &contrib, acc: &acc };
+        let op = PrdOp {
+            contrib: &contrib,
+            acc: &acc,
+        };
         let class = frontier.density_class(g);
         let (_, em) = edge_map(pg, &frontier, &op, opts);
         report.push_edge(class, em);
@@ -144,7 +159,11 @@ pub fn pagerank_delta_full(
         frontier = next;
         round += 1;
     }
-    PageRankDeltaRun { ranks: snapshot_f64(&rank), last_active_round: last_active, report }
+    PageRankDeltaRun {
+        ranks: snapshot_f64(&rank),
+        last_active_round: last_active,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -159,9 +178,19 @@ mod tests {
     fn converges_towards_power_method_ranks() {
         let g = Dataset::YahooLike.build(0.03);
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
-        let cfg = PageRankDeltaConfig { eps: 1e-7, max_iterations: 60, ..Default::default() };
+        let cfg = PageRankDeltaConfig {
+            eps: 1e-7,
+            max_iterations: 60,
+            ..Default::default()
+        };
         let (got, _) = pagerank_delta(&pg, &cfg, &EdgeMapOptions::default());
-        let want = pagerank_reference(&g, &PageRankConfig { iterations: 60, ..Default::default() });
+        let want = pagerank_reference(
+            &g,
+            &PageRankConfig {
+                iterations: 60,
+                ..Default::default()
+            },
+        );
         let err: f64 = got.iter().zip(&want).map(|(a, b)| (a - b).abs()).sum();
         assert!(err < 1e-4, "L1 error {err}");
     }
@@ -192,7 +221,11 @@ mod tests {
         // so the active set shrinks from dense to sparse.
         let g = Dataset::TwitterLike.build(0.05);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (_, report) = pagerank_delta(&pg, &PageRankDeltaConfig::default(), &EdgeMapOptions::default());
+        let (_, report) = pagerank_delta(
+            &pg,
+            &PageRankDeltaConfig::default(),
+            &EdgeMapOptions::default(),
+        );
         let classes = report.observed_classes();
         assert!(classes.contains(&DensityClass::Dense), "{classes:?}");
         assert!(report.iterations >= 3);
@@ -205,7 +238,11 @@ mod tests {
     fn terminates_on_max_iterations() {
         let g = Dataset::YahooLike.build(0.02);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let cfg = PageRankDeltaConfig { eps: 0.0, max_iterations: 5, ..Default::default() };
+        let cfg = PageRankDeltaConfig {
+            eps: 0.0,
+            max_iterations: 5,
+            ..Default::default()
+        };
         let (_, report) = pagerank_delta(&pg, &cfg, &EdgeMapOptions::default());
         assert_eq!(report.iterations, 5);
     }
@@ -218,8 +255,11 @@ mod tests {
         // goes idle while hub partitions keep working.
         let g = Dataset::TwitterLike.build(0.2);
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
-        let run =
-            pagerank_delta_full(&pg, &PageRankDeltaConfig::default(), &EdgeMapOptions::default());
+        let run = pagerank_delta_full(
+            &pg,
+            &PageRankDeltaConfig::default(),
+            &EdgeMapOptions::default(),
+        );
         let mut degrees: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
         degrees.sort_unstable();
         let hub_threshold = degrees[degrees.len() * 99 / 100].max(2); // top 1%
@@ -248,8 +288,11 @@ mod tests {
     fn last_active_rounds_are_bounded_by_iterations() {
         let g = Dataset::YahooLike.build(0.03);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let run =
-            pagerank_delta_full(&pg, &PageRankDeltaConfig::default(), &EdgeMapOptions::default());
+        let run = pagerank_delta_full(
+            &pg,
+            &PageRankDeltaConfig::default(),
+            &EdgeMapOptions::default(),
+        );
         let max = *run.last_active_round.iter().max().unwrap();
         assert!((max as usize) < run.report.iterations);
     }

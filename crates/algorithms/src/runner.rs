@@ -17,12 +17,17 @@ use vebo_graph::{Graph, VertexId};
 /// with the highest out-degree (deterministic, always reaches a large
 /// fraction of a scale-free graph).
 pub fn default_source(g: &Graph) -> VertexId {
-    g.vertices().max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v))).unwrap_or(0)
+    g.vertices()
+        .max_by_key(|&v| (g.out_degree(v), std::cmp::Reverse(v)))
+        .unwrap_or(0)
 }
 
 /// Whether `kind` needs an edge-weighted graph.
 pub fn needs_weights(kind: AlgorithmKind) -> bool {
-    matches!(kind, AlgorithmKind::Spmv | AlgorithmKind::Bf | AlgorithmKind::Bp)
+    matches!(
+        kind,
+        AlgorithmKind::Spmv | AlgorithmKind::Bf | AlgorithmKind::Bp
+    )
 }
 
 /// Runs one algorithm with the paper's standard configuration (PR/BP: 10
@@ -41,7 +46,9 @@ pub fn run_algorithm(kind: AlgorithmKind, pg: &PreparedGraph, opts: &EdgeMapOpti
         AlgorithmKind::Bc => bc(pg, src, opts).1,
         AlgorithmKind::Cc => cc(pg, opts).1,
         AlgorithmKind::Spmv => {
-            let x: Vec<f64> = (0..g.num_vertices()).map(|i| ((i % 17) as f64) / 17.0).collect();
+            let x: Vec<f64> = (0..g.num_vertices())
+                .map(|i| ((i % 17) as f64) / 17.0)
+                .collect();
             spmv(pg, &x, opts).1
         }
         AlgorithmKind::Bf => bellman_ford(pg, src, opts).1,
@@ -65,12 +72,25 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
         ] {
             for kind in AlgorithmKind::ALL {
-                let g =
-                    if needs_weights(kind) { base.clone().with_hash_weights(16) } else { base.clone() };
+                let g = if needs_weights(kind) {
+                    base.clone().with_hash_weights(16)
+                } else {
+                    base.clone()
+                };
                 let pg = PreparedGraph::new(g, profile);
                 let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
-                assert!(report.iterations > 0, "{} on {:?}", kind.code(), profile.kind);
-                assert!(report.total_edges() > 0, "{} on {:?}", kind.code(), profile.kind);
+                assert!(
+                    report.iterations > 0,
+                    "{} on {:?}",
+                    kind.code(),
+                    profile.kind
+                );
+                assert!(
+                    report.total_edges() > 0,
+                    "{} on {:?}",
+                    kind.code(),
+                    profile.kind
+                );
             }
         }
     }

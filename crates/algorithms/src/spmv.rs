@@ -38,7 +38,10 @@ pub fn spmv(pg: &PreparedGraph, x: &[f64], opts: &EdgeMapOptions) -> (Vec<f64>, 
     let y = atomic_f64_vec(n, 0.0);
     let frontier = Frontier::all(n);
     let op = SpmvOp { x, y: &y };
-    let forced = EdgeMapOptions { force_dense: Some(true), ..*opts };
+    let forced = EdgeMapOptions {
+        force_dense: Some(true),
+        ..*opts
+    };
     let class = frontier.density_class(g);
     let (_, em) = edge_map(pg, &frontier, &op, &forced);
     report.push_edge(class, em);
@@ -85,7 +88,11 @@ mod tests {
             let pg = PreparedGraph::new(g.clone(), profile);
             let (got, _) = spmv(&pg, &x, &EdgeMapOptions::default());
             for v in 0..n {
-                assert!((got[v] - want[v]).abs() < 1e-9, "profile {:?} v {v}", profile.kind);
+                assert!(
+                    (got[v] - want[v]).abs() < 1e-9,
+                    "profile {:?} v {v}",
+                    profile.kind
+                );
             }
         }
     }

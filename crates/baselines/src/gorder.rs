@@ -31,7 +31,10 @@ pub struct Gorder {
 
 impl Default for Gorder {
     fn default() -> Self {
-        Gorder { window: 5, hub_cap: None }
+        Gorder {
+            window: 5,
+            hub_cap: None,
+        }
     }
 }
 
@@ -49,13 +52,22 @@ impl Gorder {
 
     /// Applies +/-1 score updates for vertex `u` entering (+1) or leaving
     /// (-1) the window.
-    fn apply_updates(&self, g: &Graph, u: VertexId, sign: i64, key: &mut [i64], heap: &mut BinaryHeap<(i64, Reverse<VertexId>)>, placed: &[bool]) {
-        let bump = |w: VertexId, key: &mut [i64], heap: &mut BinaryHeap<(i64, Reverse<VertexId>)>| {
-            key[w as usize] += sign;
-            if sign > 0 && !placed[w as usize] {
-                heap.push((key[w as usize], Reverse(w)));
-            }
-        };
+    fn apply_updates(
+        &self,
+        g: &Graph,
+        u: VertexId,
+        sign: i64,
+        key: &mut [i64],
+        heap: &mut BinaryHeap<(i64, Reverse<VertexId>)>,
+        placed: &[bool],
+    ) {
+        let bump =
+            |w: VertexId, key: &mut [i64], heap: &mut BinaryHeap<(i64, Reverse<VertexId>)>| {
+                key[w as usize] += sign;
+                if sign > 0 && !placed[w as usize] {
+                    heap.push((key[w as usize], Reverse(w)));
+                }
+            };
         // Neighbor score: u -> w and w -> u.
         for &w in g.out_neighbors(u) {
             if w != u {
@@ -169,7 +181,10 @@ pub fn pair_score(g: &Graph, u: VertexId, v: VertexId) -> u64 {
         s += 1;
     }
     // Sorted-list intersection of in-neighbor sets.
-    let (mut a, mut b) = (g.in_neighbors(u).iter().peekable(), g.in_neighbors(v).iter().peekable());
+    let (mut a, mut b) = (
+        g.in_neighbors(u).iter().peekable(),
+        g.in_neighbors(v).iter().peekable(),
+    );
     while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
         match x.cmp(&y) {
             std::cmp::Ordering::Less => {
@@ -246,7 +261,11 @@ mod tests {
     fn tiny_graphs_and_small_windows() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)], true);
         for w in 1..5 {
-            let p = Gorder { window: w, hub_cap: None }.compute(&g);
+            let p = Gorder {
+                window: w,
+                hub_cap: None,
+            }
+            .compute(&g);
             assert_eq!(p.len(), 3);
         }
     }

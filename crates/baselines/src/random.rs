@@ -19,11 +19,18 @@ impl RandomOrder {
     pub fn new(seed: u64) -> RandomOrder {
         RandomOrder { seed }
     }
+
+    /// The seed [`RandomOrder::default`] uses.
+    pub fn default_seed() -> u64 {
+        0xBAD5EED
+    }
 }
 
 impl Default for RandomOrder {
     fn default() -> Self {
-        RandomOrder { seed: 0xBAD5EED }
+        RandomOrder {
+            seed: Self::default_seed(),
+        }
     }
 }
 

@@ -45,7 +45,10 @@ impl VertexOrdering for Rcm {
                 order.push(u);
                 neighbor_buf.clear();
                 neighbor_buf.extend(
-                    sym.neighbors(u).iter().copied().filter(|&w| !visited[w as usize]),
+                    sym.neighbors(u)
+                        .iter()
+                        .copied()
+                        .filter(|&w| !visited[w as usize]),
                 );
                 neighbor_buf.sort_by_key(|&w| (degree(w), w));
                 for &w in &neighbor_buf {
@@ -181,17 +184,16 @@ mod tests {
             after * 4 < before,
             "RCM should shrink bandwidth: before {before}, after {after}"
         );
-        assert!(after <= 60, "grid bandwidth should be near its width, got {after}");
+        assert!(
+            after <= 60,
+            "grid bandwidth should be near its width, got {after}"
+        );
     }
 
     #[test]
     fn rcm_handles_disconnected_graphs() {
         // Two disjoint triangles + isolated vertices.
-        let g = Graph::from_edges(
-            8,
-            &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)],
-            false,
-        );
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)], false);
         let p = Rcm.compute(&g);
         assert_eq!(p.len(), 8);
         let h = p.apply_graph(&g);

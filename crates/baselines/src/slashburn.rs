@@ -28,14 +28,19 @@ pub struct SlashBurn {
 impl Default for SlashBurn {
     /// The 0.5% hub fraction the SlashBurn paper recommends.
     fn default() -> SlashBurn {
-        SlashBurn { hub_fraction: 0.005 }
+        SlashBurn {
+            hub_fraction: 0.005,
+        }
     }
 }
 
 impl SlashBurn {
     /// SlashBurn with an explicit hub fraction.
     pub fn new(hub_fraction: f64) -> SlashBurn {
-        assert!(hub_fraction > 0.0 && hub_fraction <= 1.0, "hub fraction must be in (0, 1]");
+        assert!(
+            hub_fraction > 0.0 && hub_fraction <= 1.0,
+            "hub fraction must be in (0, 1]"
+        );
         SlashBurn { hub_fraction }
     }
 
@@ -48,9 +53,17 @@ impl SlashBurn {
 /// Degree of `v` counting only alive neighbours. For undirected graphs the
 /// two adjacency halves are identical, so only the out half is scanned.
 fn alive_degree(g: &Graph, v: VertexId, alive: &[bool]) -> usize {
-    let out = g.out_neighbors(v).iter().filter(|&&u| alive[u as usize]).count();
+    let out = g
+        .out_neighbors(v)
+        .iter()
+        .filter(|&&u| alive[u as usize])
+        .count();
     if g.is_directed() {
-        out + g.in_neighbors(v).iter().filter(|&&u| alive[u as usize]).count()
+        out + g
+            .in_neighbors(v)
+            .iter()
+            .filter(|&&u| alive[u as usize])
+            .count()
     } else {
         out
     }
@@ -114,8 +127,10 @@ impl VertexOrdering for SlashBurn {
 
         while gcc.len() > k {
             // 1. Slash: remove the k highest-degree alive vertices.
-            let mut by_degree: Vec<(usize, VertexId)> =
-                gcc.iter().map(|&v| (alive_degree(g, v, &alive), v)).collect();
+            let mut by_degree: Vec<(usize, VertexId)> = gcc
+                .iter()
+                .map(|&v| (alive_degree(g, v, &alive), v))
+                .collect();
             // Highest degree first, ties by ascending id for determinism.
             by_degree.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
             if by_degree[0].0 == 0 {
@@ -133,8 +148,9 @@ impl VertexOrdering for SlashBurn {
                 gcc.clear();
                 break;
             }
-            let giant =
-                (0..sizes.len()).max_by_key(|&c| (sizes[c], usize::MAX - c)).unwrap() as u32;
+            let giant = (0..sizes.len())
+                .max_by_key(|&c| (sizes[c], usize::MAX - c))
+                .unwrap() as u32;
             // Spoke vertices ordered by (ascending component size,
             // component id, vertex id): the smallest spokes end up with
             // the highest new ids, mirroring the paper's layout.
@@ -154,8 +170,11 @@ impl VertexOrdering for SlashBurn {
 
         // 3. Whatever survives (the final small core, or isolated leftovers
         // when the loop broke early) fills the middle, hubs first.
-        let mut rest: Vec<(usize, VertexId)> =
-            gcc.iter().filter(|&&v| alive[v as usize]).map(|&v| (alive_degree(g, v, &alive), v)).collect();
+        let mut rest: Vec<(usize, VertexId)> = gcc
+            .iter()
+            .filter(|&&v| alive[v as usize])
+            .map(|&v| (alive_degree(g, v, &alive), v))
+            .collect();
         rest.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         for &(_, v) in &rest {
             new_id[v as usize] = front as VertexId;

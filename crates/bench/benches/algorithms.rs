@@ -12,10 +12,16 @@ use vebo_partition::EdgeOrder;
 fn bench_algorithms(c: &mut Criterion) {
     let base = Dataset::LiveJournalLike.build(0.1);
     let mut group = c.benchmark_group("algorithms");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for kind in AlgorithmKind::ALL {
-        let g = if needs_weights(kind) { base.clone().with_hash_weights(32) } else { base.clone() };
+        let g = if needs_weights(kind) {
+            base.clone().with_hash_weights(32)
+        } else {
+            base.clone()
+        };
         let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
         group.bench_function(kind.code(), |b| {
             b.iter(|| black_box(run_algorithm(kind, &pg, &EdgeMapOptions::default()).total_edges()))

@@ -14,12 +14,17 @@ use vebo_graph::{Dataset, VertexId};
 
 fn bench_bsp(c: &mut Criterion) {
     let g = Dataset::LiveJournalLike.build(0.1);
-    let cfg = ClusterConfig { workers: 16, ..Default::default() };
+    let cfg = ClusterConfig {
+        workers: 16,
+        ..Default::default()
+    };
     let asg = hash_partition(g.num_vertices(), cfg.workers);
     let active: Vec<VertexId> = g.vertices().collect();
 
     let mut group = c.benchmark_group("bsp");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("superstep_all_active", |b| {
         b.iter(|| black_box(superstep(&g, &asg, &cfg, &active)))
     });

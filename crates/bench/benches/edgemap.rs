@@ -27,15 +27,37 @@ fn bench_edgemap(c: &mut Criterion) {
     let g = Dataset::LiveJournalLike.build(0.2);
     let n = g.num_vertices();
     let mut group = c.benchmark_group("edgemap");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let cases = [
         ("dense_pull_ligra", SystemProfile::ligra_like(), Some(true)),
-        ("dense_pull_polymer", SystemProfile::polymer_like(), Some(true)),
-        ("dense_coo_csr", SystemProfile::graphgrind_like(EdgeOrder::Csr), Some(true)),
-        ("dense_coo_hilbert", SystemProfile::graphgrind_like(EdgeOrder::Hilbert), Some(true)),
-        ("sparse_push_ligra", SystemProfile::ligra_like(), Some(false)),
-        ("sparse_partitioned", SystemProfile::graphgrind_like(EdgeOrder::Csr), Some(false)),
+        (
+            "dense_pull_polymer",
+            SystemProfile::polymer_like(),
+            Some(true),
+        ),
+        (
+            "dense_coo_csr",
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+            Some(true),
+        ),
+        (
+            "dense_coo_hilbert",
+            SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
+            Some(true),
+        ),
+        (
+            "sparse_push_ligra",
+            SystemProfile::ligra_like(),
+            Some(false),
+        ),
+        (
+            "sparse_partitioned",
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+            Some(false),
+        ),
     ];
     for (name, profile, force) in cases {
         let pg = PreparedGraph::new(g.clone(), profile);
@@ -44,8 +66,13 @@ fn bench_edgemap(c: &mut Criterion) {
         } else {
             Frontier::all(n)
         };
-        let op = TouchOp { seen: (0..n).map(|_| AtomicU32::new(0)).collect() };
-        let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+        let op = TouchOp {
+            seen: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        };
+        let opts = EdgeMapOptions {
+            force_dense: force,
+            ..Default::default()
+        };
         group.bench_function(name, |b| {
             b.iter(|| black_box(edge_map(&pg, &frontier, &op, &opts).1.total_edges()))
         });

@@ -13,17 +13,25 @@ fn bench_frontier(c: &mut Criterion) {
     let sparse = Frontier::from_vertices(n, (0..n as u32 / 50).map(|i| i * 50).collect());
     let dense = sparse.to_dense();
     let mut group = c.benchmark_group("frontier");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
 
-    group.bench_function("to_dense", |b| b.iter(|| black_box(sparse.to_dense().len())));
-    group.bench_function("to_sparse", |b| b.iter(|| black_box(dense.to_sparse().len())));
+    group.bench_function("to_dense", |b| {
+        b.iter(|| black_box(sparse.to_dense().len()))
+    });
+    group.bench_function("to_sparse", |b| {
+        b.iter(|| black_box(dense.to_sparse().len()))
+    });
     group.bench_function("active_out_degree_sparse", |b| {
         b.iter(|| black_box(sparse.active_out_degree(&g)))
     });
     group.bench_function("active_out_degree_dense", |b| {
         b.iter(|| black_box(dense.active_out_degree(&g)))
     });
-    group.bench_function("density_class", |b| b.iter(|| black_box(sparse.density_class(&g))));
+    group.bench_function("density_class", |b| {
+        b.iter(|| black_box(sparse.density_class(&g)))
+    });
     group.bench_function("contains_dense", |b| {
         b.iter(|| {
             let mut hits = 0u32;

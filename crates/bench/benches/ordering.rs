@@ -12,7 +12,9 @@ use vebo_graph::{Dataset, VertexOrdering};
 fn bench_orderings(c: &mut Criterion) {
     let g = Dataset::LiveJournalLike.build(0.1);
     let mut group = c.benchmark_group("ordering");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function(BenchmarkId::new("vebo", 384), |b| {
         b.iter(|| black_box(Vebo::new(384).compute(&g)))
@@ -22,15 +24,27 @@ fn bench_orderings(c: &mut Criterion) {
     });
     // Ablation (DESIGN.md §6): heap vs linear-scan argmin.
     group.bench_function("vebo_linear_argmin_384", |b| {
-        b.iter(|| black_box(Vebo::new(384).with_argmin(ArgMinStrategy::LinearScan).compute(&g)))
+        b.iter(|| {
+            black_box(
+                Vebo::new(384)
+                    .with_argmin(ArgMinStrategy::LinearScan)
+                    .compute(&g),
+            )
+        })
     });
     group.bench_function("rcm", |b| b.iter(|| black_box(Rcm.compute(&g))));
-    group.bench_function("gorder_faithful", |b| b.iter(|| black_box(Gorder::new().compute(&g))));
+    group.bench_function("gorder_faithful", |b| {
+        b.iter(|| black_box(Gorder::new().compute(&g)))
+    });
     group.bench_function("gorder_capped64", |b| {
         b.iter(|| black_box(Gorder::new().with_hub_cap(64).compute(&g)))
     });
-    group.bench_function("degree_sort", |b| b.iter(|| black_box(DegreeSort.compute(&g))));
-    group.bench_function("random", |b| b.iter(|| black_box(RandomOrder::new(7).compute(&g))));
+    group.bench_function("degree_sort", |b| {
+        b.iter(|| black_box(DegreeSort.compute(&g)))
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| black_box(RandomOrder::new(7).compute(&g)))
+    });
     group.finish();
 }
 

@@ -12,16 +12,25 @@ use vebo_partition::EdgeOrder;
 
 fn bench_pagerank(c: &mut Criterion) {
     let g = Dataset::TwitterLike.build(0.2);
-    let cfg = PageRankConfig { iterations: 3, ..Default::default() };
+    let cfg = PageRankConfig {
+        iterations: 3,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("pagerank");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let cases = [
         (OrderingKind::Original, EdgeOrder::Hilbert, "orig_hilbert"),
         (OrderingKind::Original, EdgeOrder::Csr, "orig_csr"),
         (OrderingKind::Vebo, EdgeOrder::Csr, "vebo_csr"),
         (OrderingKind::Vebo, EdgeOrder::Hilbert, "vebo_hilbert"),
-        (OrderingKind::HighToLow, EdgeOrder::Hilbert, "high_to_low_hilbert"),
+        (
+            OrderingKind::HighToLow,
+            EdgeOrder::Hilbert,
+            "high_to_low_hilbert",
+        ),
     ];
     for (ordering, order, name) in cases {
         let (h, starts, _) = ordered_with_starts(&g, ordering, 384);

@@ -1,0 +1,77 @@
+//! Criterion bench: the parallel reorder pipeline (VEBO placement +
+//! permutation application) on an RMAT graph with >= 1M edges, at 1 and 4
+//! rayon threads. Total work is `O(n + m)` regardless of thread count
+//! (edge-chunked counting sorts), so on multi-core hardware the 4-thread
+//! run must be measurably faster end-to-end; on a single hardware thread
+//! the 4-thread run pays only thread spawn and base-table merge overhead.
+//!
+//! ```text
+//! cargo bench --bench parallel_reorder
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vebo_core::Vebo;
+use vebo_graph::gen::{rmat_graph, RmatConfig};
+use vebo_graph::{ParMode, VertexOrdering};
+
+fn bench_parallel_reorder(c: &mut Criterion) {
+    // scale 17, edge factor 10: ~1.2M arcs after dedup, the smallest size
+    // where the parallel paths engage under ParMode::Auto.
+    let cfg = RmatConfig {
+        scale: 17,
+        edge_factor: 10,
+        ..Default::default()
+    };
+    let g = rmat_graph(&cfg);
+    assert!(
+        g.num_edges() >= 1_000_000,
+        "bench graph must have >= 1M edges, has {}",
+        g.num_edges()
+    );
+    let partitions = 48;
+
+    let mut group = c.benchmark_group("parallel_reorder");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_function(BenchmarkId::new("vebo_end_to_end", threads), |b| {
+            b.iter(|| {
+                pool.install(|| {
+                    let perm = Vebo::new(partitions).compute(&g);
+                    black_box(perm.apply_graph(&g))
+                })
+            })
+        });
+        group.bench_function(BenchmarkId::new("csr_rebuild", threads), |b| {
+            let perm = Vebo::new(partitions).compute(&g);
+            b.iter(|| pool.install(|| black_box(perm.apply_graph(&g))))
+        });
+    }
+
+    // The explicit-mode comparison isolates scatter parallelism from pool
+    // management: forced-sequential vs forced-parallel inside one pool.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    for (label, mode) in [
+        ("sequential", ParMode::Sequential),
+        ("parallel", ParMode::Parallel),
+    ] {
+        group.bench_function(BenchmarkId::new("vebo_placement_mode", label), |b| {
+            b.iter(|| pool.install(|| black_box(Vebo::new(partitions).with_mode(mode).compute(&g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_reorder);
+criterion_main!(benches);

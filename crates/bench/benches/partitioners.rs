@@ -19,14 +19,22 @@ fn bench_partitioners(c: &mut Criterion) {
     let g = Dataset::LiveJournalLike.build(0.1);
     let p = 16;
     let mut group = c.benchmark_group("partitioners");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("hash", |b| {
         b.iter(|| black_box(hash_partition(g.num_vertices(), p)))
     });
-    group.bench_function("vebo_order", |b| b.iter(|| black_box(Vebo::new(p).compute(&g))));
-    group.bench_function("ldg", |b| b.iter(|| black_box(Ldg::default().partition(&g, p))));
-    group.bench_function("fennel", |b| b.iter(|| black_box(Fennel::default().partition(&g, p))));
+    group.bench_function("vebo_order", |b| {
+        b.iter(|| black_box(Vebo::new(p).compute(&g)))
+    });
+    group.bench_function("ldg", |b| {
+        b.iter(|| black_box(Ldg::default().partition(&g, p)))
+    });
+    group.bench_function("fennel", |b| {
+        b.iter(|| black_box(Fennel::default().partition(&g, p)))
+    });
     group.bench_function("multilevel", |b| {
         b.iter(|| black_box(Multilevel::new().partition(&g, p)))
     });

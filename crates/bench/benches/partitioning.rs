@@ -12,7 +12,9 @@ fn bench_partitioning(c: &mut Criterion) {
     let g = Dataset::TwitterLike.build(0.25);
     let bounds = PartitionBounds::edge_balanced(&g, 384);
     let mut group = c.benchmark_group("partitioning");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("algorithm1_384", |b| {
         b.iter(|| black_box(PartitionBounds::edge_balanced(&g, 384)))

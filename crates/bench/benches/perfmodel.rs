@@ -13,7 +13,9 @@ use vebo_perfmodel::{
 
 fn bench_perfmodel(c: &mut Criterion) {
     let mut group = c.benchmark_group("perfmodel");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("cache_sim_1m_accesses", |b| {
         b.iter(|| {
@@ -28,7 +30,10 @@ fn bench_perfmodel(c: &mut Criterion) {
     });
 
     let g = Dataset::LiveJournalLike.build(0.1);
-    let layout = NumaLayout::new(PartitionBounds::edge_balanced(&g, 384), NumaTopology::default());
+    let layout = NumaLayout::new(
+        PartitionBounds::edge_balanced(&g, 384),
+        NumaTopology::default(),
+    );
     let cfg = SimConfig::default();
     group.bench_function("edgemap_pull_trace", |b| {
         b.iter(|| black_box(simulate_edgemap_pull(&g, &layout, &cfg).len()))

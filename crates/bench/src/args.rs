@@ -61,7 +61,9 @@ impl HarnessArgs {
             match arg.as_str() {
                 "--scale" => {
                     let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
-                    out.scale = v.parse().unwrap_or_else(|_| usage_exit(binary, description));
+                    out.scale = v
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit(binary, description));
                     out.scale_explicit = true;
                 }
                 "--quick" => {
@@ -73,19 +75,26 @@ impl HarnessArgs {
                     match Dataset::from_name(&v) {
                         Some(d) => out.dataset = Some(d),
                         None => {
-                            eprintln!("unknown dataset '{v}'; known: {:?}",
-                                Dataset::ALL.map(|d| d.name()));
+                            eprintln!(
+                                "unknown dataset '{v}'; known: {:?}",
+                                Dataset::ALL.map(|d| d.name())
+                            );
                             std::process::exit(2);
                         }
                     }
                 }
                 "--partitions" => {
                     let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
-                    out.partitions = Some(v.parse().unwrap_or_else(|_| usage_exit(binary, description)));
+                    out.partitions = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage_exit(binary, description)),
+                    );
                 }
                 "--threads" => {
                     let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
-                    out.threads = v.parse().unwrap_or_else(|_| usage_exit(binary, description));
+                    out.threads = v
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit(binary, description));
                 }
                 "--extended" => out.extended = true,
                 "--help" | "-h" => {
@@ -157,7 +166,16 @@ mod tests {
 
     #[test]
     fn explicit_values() {
-        let a = parse(&["--scale", "0.5", "--dataset", "twitter", "--partitions", "64", "--threads", "16"]);
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--dataset",
+            "twitter",
+            "--partitions",
+            "64",
+            "--threads",
+            "16",
+        ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.dataset, Some(Dataset::TwitterLike));
         assert_eq!(a.partitions, Some(64));

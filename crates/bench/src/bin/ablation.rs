@@ -22,7 +22,10 @@ use vebo_partition::replication::replication;
 use vebo_partition::{EdgeOrder, PartitionBounds};
 
 fn main() {
-    let args = HarnessArgs::parse("ablation", "DESIGN.md §6 ablations + §VII replication study");
+    let args = HarnessArgs::parse(
+        "ablation",
+        "DESIGN.md §6 ablations + §VII replication study",
+    );
     let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
     let scale = args.scale_or(0.5);
     let g = dataset.build(scale);
@@ -35,8 +38,17 @@ fn main() {
 
     // ---- 1. strict vs blocked variant ---------------------------------
     println!("(1) strict Algorithm 2 vs blocked (locality-preserving) variant:");
-    let mut t = Table::new(&["variant", "time (ms)", "edge imb", "vert imb", "id-adjacency kept"]);
-    for (name, variant) in [("strict", VeboVariant::Strict), ("blocked", VeboVariant::Blocked)] {
+    let mut t = Table::new(&[
+        "variant",
+        "time (ms)",
+        "edge imb",
+        "vert imb",
+        "id-adjacency kept",
+    ]);
+    for (name, variant) in [
+        ("strict", VeboVariant::Strict),
+        ("blocked", VeboVariant::Blocked),
+    ] {
         let t0 = Instant::now();
         let r = Vebo::new(384).with_variant(variant).compute_full(&g);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -52,7 +64,10 @@ fn main() {
             format!("{ms:.2}"),
             ei.to_string(),
             vi.to_string(),
-            format!("{:.1}%", 100.0 * kept as f64 / (g.num_vertices() - 1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * kept as f64 / (g.num_vertices() - 1) as f64
+            ),
         ]);
     }
     t.print();
@@ -77,7 +92,12 @@ fn main() {
     // ---- 3. partition sweep: balance vs replication (§VII) ------------
     println!("\n(3) partition-count sweep — load balance vs replication (future work §VII):");
     let mut t = Table::new(&[
-        "P", "edge imb", "vert imb", "repl. factor (orig)", "repl. factor (VEBO)", "cut % (VEBO)",
+        "P",
+        "edge imb",
+        "vert imb",
+        "repl. factor (orig)",
+        "repl. factor (VEBO)",
+        "cut % (VEBO)",
     ]);
     for p in [4usize, 16, 48, 96, 384] {
         let r = Vebo::new(p).compute_full(&g);
@@ -109,9 +129,16 @@ fn main() {
     let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
     let src = default_source(&g);
     for den in [5usize, 20, 80, 320] {
-        let opts = EdgeMapOptions { threshold_den: den, ..Default::default() };
+        let opts = EdgeMapOptions {
+            threshold_den: den,
+            ..Default::default()
+        };
         let (_, report) = bfs(&pg, src, &opts);
-        let dense = report.edge_maps.iter().filter(|r| r.traversal.is_dense()).count();
+        let dense = report
+            .edge_maps
+            .iter()
+            .filter(|r| r.traversal.is_dense())
+            .count();
         t.row(&[
             den.to_string(),
             report.iterations.to_string(),
@@ -129,7 +156,13 @@ fn main() {
     // ---- 5. synchronous vs asynchronous label propagation (§V-B) ------
     println!("\n(5) CC: synchronous vs asynchronous propagation, by vertex order (§V-B):");
     let road = Dataset::UsaRoadLike.build(scale);
-    let mut t = Table::new(&["graph", "order", "async rounds", "sync rounds", "async edges"]);
+    let mut t = Table::new(&[
+        "graph",
+        "order",
+        "async rounds",
+        "sync rounds",
+        "async edges",
+    ]);
     for (gname, base) in [("twitter-like", &g), ("usaroad-like", &road)] {
         for (oname, graph) in [
             ("original", base.clone()),
@@ -137,7 +170,12 @@ fn main() {
                 let r = Vebo::new(384).compute_full(base);
                 r.permutation.apply_graph(base)
             }),
-            ("random", vebo_baselines::RandomOrder::new(7).compute(base).apply_graph(base)),
+            (
+                "random",
+                vebo_baselines::RandomOrder::new(7)
+                    .compute(base)
+                    .apply_graph(base),
+            ),
         ] {
             let pg = PreparedGraph::new(graph, SystemProfile::ligra_like());
             let opts = EdgeMapOptions::default();

@@ -30,11 +30,18 @@ fn main() {
     );
     let scale = args.scale_or(0.3);
     let workers = args.partitions.unwrap_or(16);
-    let cfg = ClusterConfig { workers, ..Default::default() };
+    let cfg = ClusterConfig {
+        workers,
+        ..Default::default()
+    };
     let pr_iters = 10;
     let datasets = match args.dataset {
         Some(d) => vec![d],
-        None => vec![Dataset::TwitterLike, Dataset::FriendsterLike, Dataset::UsaRoadLike],
+        None => vec![
+            Dataset::TwitterLike,
+            Dataset::FriendsterLike,
+            Dataset::UsaRoadLike,
+        ],
     };
     println!(
         "== §VII study: {} workers, PR x{pr_iters} + BFS, scale {scale} ==\n\
@@ -52,8 +59,15 @@ fn main() {
             g.num_edges()
         );
         let mut t = Table::new(&[
-            "strategy", "repl.", "cut %", "edge imb",
-            "PR compute", "PR comm", "PR total", "BFS total", "BFS steps",
+            "strategy",
+            "repl.",
+            "cut %",
+            "edge imb",
+            "PR compute",
+            "PR comm",
+            "PR total",
+            "BFS total",
+            "BFS steps",
         ]);
         let mut baseline_pr = None;
         for s in Strategy::ALL {
@@ -82,7 +96,12 @@ fn main() {
     // machine (rf -> 1 but load imbalance -> P) — so both are printed.
     println!("--- Greedy vertex-cut stream order ---");
     let mut t = Table::new(&[
-        "dataset", "rf (id)", "imb (id)", "rf (deg desc)", "imb (deg desc)", "rf change %",
+        "dataset",
+        "rf (id)",
+        "imb (id)",
+        "rf (deg desc)",
+        "imb (deg desc)",
+        "rf change %",
     ]);
     for dataset in args.datasets() {
         let g = dataset.build(scale);

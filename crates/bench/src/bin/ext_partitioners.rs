@@ -44,7 +44,12 @@ fn main() {
         );
 
         let mut t = Table::new(&[
-            "strategy", "cut %", "repl.", "vert imb", "edge imb", "time (ms)",
+            "strategy",
+            "cut %",
+            "repl.",
+            "vert imb",
+            "edge imb",
+            "time (ms)",
         ]);
         for s in Strategy::ALL {
             let t0 = Instant::now();
@@ -77,8 +82,12 @@ fn main() {
                 format!("{ms:.1}"),
             ]);
         };
-        add("Random edges", &mut || random_edge_placement(&g, workers.min(64)));
-        add("Greedy (id order)", &mut || GreedyVertexCut.place(&g, workers.min(64)));
+        add("Random edges", &mut || {
+            random_edge_placement(&g, workers.min(64))
+        });
+        add("Greedy (id order)", &mut || {
+            GreedyVertexCut.place(&g, workers.min(64))
+        });
         add("Greedy (degree desc)", &mut || {
             let order = vertices_by_decreasing_in_degree(&g);
             GreedyVertexCut.place_with_source_order(&g, workers.min(64), &order)

@@ -45,7 +45,10 @@ fn series(g: &Graph, p: usize, starts: Option<&[usize]>) -> Vec<Vec<String>> {
 }
 
 fn main() {
-    let args = HarnessArgs::parse("fig01_partition_time", "Figure 1: per-partition time vs edges/dests/sources");
+    let args = HarnessArgs::parse(
+        "fig01_partition_time",
+        "Figure 1: per-partition time vs edges/dests/sources",
+    );
     let p = args.partitions.unwrap_or(384);
     let datasets = match args.dataset {
         Some(d) => vec![d],
@@ -54,21 +57,29 @@ fn main() {
     println!("== Figure 1: per-partition PR time (min over {REPEATS} iterations, {p} partitions, Hilbert COO, scale {}) ==\n", args.scale);
 
     let mut t = Table::new(&[
-        "Graph", "Order", "time min(us)", "time mean(us)", "time max(us)", "spread",
-        "edges s.d.", "dests s.d.",
+        "Graph",
+        "Order",
+        "time min(us)",
+        "time mean(us)",
+        "time max(us)",
+        "spread",
+        "edges s.d.",
+        "dests s.d.",
     ]);
     for dataset in datasets {
         let g = dataset.build(args.scale);
         let (vebo_g, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
-        for (label, graph, st) in
-            [("Original", &g, None), ("VEBO", &vebo_g, starts.as_deref())]
-        {
+        for (label, graph, st) in [("Original", &g, None), ("VEBO", &vebo_g, starts.as_deref())] {
             let rows = series(graph, p, st);
             let nanos: Vec<f64> = rows.iter().map(|r| r[4].parse::<f64>().unwrap()).collect();
             let edges: Vec<f64> = rows.iter().map(|r| r[1].parse::<f64>().unwrap()).collect();
             let dests: Vec<f64> = rows.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
             let ts = summarize(&nanos);
-            let spread = if ts.min > 0.0 { ts.max / ts.min } else { f64::INFINITY };
+            let spread = if ts.min > 0.0 {
+                ts.max / ts.min
+            } else {
+                f64::INFINITY
+            };
             t.row(&[
                 dataset.name().into(),
                 label.into(),
@@ -79,9 +90,17 @@ fn main() {
                 format!("{:.0}", summarize(&edges).std_dev),
                 format!("{:.1}", summarize(&dests).std_dev),
             ]);
-            let path = format!("results/fig01_{}_{}.csv", dataset.name(), label.to_lowercase());
-            write_csv(&path, &["partition", "edges", "destinations", "sources", "nanos"], rows)
-                .expect("write csv");
+            let path = format!(
+                "results/fig01_{}_{}.csv",
+                dataset.name(),
+                label.to_lowercase()
+            );
+            write_csv(
+                &path,
+                &["partition", "edges", "destinations", "sources", "nanos"],
+                rows,
+            )
+            .expect("write csv");
             println!("wrote {path}");
         }
     }

@@ -19,7 +19,10 @@ use vebo_partition::{EdgeOrder, PartitionBounds};
 use vebo_perfmodel::{mean, simulate_edgemap_pull, NumaLayout, SimConfig};
 
 fn main() {
-    let args = HarnessArgs::parse("fig04_microarch", "Figure 4: per-partition time + MPKI for PR");
+    let args = HarnessArgs::parse(
+        "fig04_microarch",
+        "Figure 4: per-partition time + MPKI for PR",
+    );
     let p = args.partitions.unwrap_or(384);
     let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
     println!(
@@ -43,7 +46,11 @@ fn main() {
             .map(|&n| n as f64)
             .collect();
         let s = summarize(&nanos);
-        let spread = if s.min > 0.0 { s.max / s.min } else { f64::INFINITY };
+        let spread = if s.min > 0.0 {
+            s.max / s.min
+        } else {
+            f64::INFINITY
+        };
         ta.row(&[
             label.into(),
             format!("{:.1}", s.min / 1e3),
@@ -51,7 +58,10 @@ fn main() {
             format!("{:.1}", s.max / 1e3),
             format!("{spread:.2}x"),
         ]);
-        let rows = nanos.iter().enumerate().map(|(i, n)| vec![i.to_string(), format!("{n}")]);
+        let rows = nanos
+            .iter()
+            .enumerate()
+            .map(|(i, n)| vec![i.to_string(), format!("{n}")]);
         let path = format!("results/fig04_times_{}.csv", label.to_lowercase());
         write_csv(&path, &["partition", "nanos"], rows).expect("write csv");
     }
@@ -60,9 +70,7 @@ fn main() {
 
     // (b-e) per-thread MPKI via the micro-architecture simulators.
     let mut tb = Table::new(&["Order", "LLC local", "LLC remote", "TLB MKI", "Branch MPKI"]);
-    for (label, graph, st) in
-        [("Original", &g, None), ("VEBO", &vebo_g, starts.as_deref())]
-    {
+    for (label, graph, st) in [("Original", &g, None), ("VEBO", &vebo_g, starts.as_deref())] {
         let bounds = match st {
             Some(s) => PartitionBounds::from_starts(s.to_vec()),
             None => PartitionBounds::edge_balanced(graph, p),
@@ -86,8 +94,18 @@ fn main() {
             ]
         });
         let path = format!("results/fig04_mpki_{}.csv", label.to_lowercase());
-        write_csv(&path, &["thread", "local_mpki", "remote_mpki", "tlb_mki", "branch_mpki"], rows)
-            .expect("write csv");
+        write_csv(
+            &path,
+            &[
+                "thread",
+                "local_mpki",
+                "remote_mpki",
+                "tlb_mki",
+                "branch_mpki",
+            ],
+            rows,
+        )
+        .expect("write csv");
     }
     println!("\n(b-e) per-thread architectural statistics (simulated):");
     tb.print();

@@ -22,8 +22,15 @@ fn main() {
         Some(d) => vec![d],
         None => vec![Dataset::TwitterLike, Dataset::UsaRoadLike],
     };
-    let algorithms = [AlgorithmKind::Prd, AlgorithmKind::Pr, AlgorithmKind::Cc, AlgorithmKind::Bfs];
-    println!("== Figure 5: speedup vs original ids (GraphGrind profile, P = {p}, scale {scale}) ==\n");
+    let algorithms = [
+        AlgorithmKind::Prd,
+        AlgorithmKind::Pr,
+        AlgorithmKind::Cc,
+        AlgorithmKind::Bfs,
+    ];
+    println!(
+        "== Figure 5: speedup vs original ids (GraphGrind profile, P = {p}, scale {scale}) ==\n"
+    );
 
     let mut t = Table::new(&["Graph", "Algo", "Original", "VEBO", "Random", "Random+VEBO"]);
     for dataset in datasets {

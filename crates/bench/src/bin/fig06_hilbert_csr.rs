@@ -34,7 +34,10 @@ fn quartile_row(label: &str, nanos: &[f64]) -> Vec<String> {
 }
 
 fn main() {
-    let args = HarnessArgs::parse("fig06_hilbert_csr", "Figure 6: high-to-low order, Hilbert vs CSR");
+    let args = HarnessArgs::parse(
+        "fig06_hilbert_csr",
+        "Figure 6: high-to-low order, Hilbert vs CSR",
+    );
     let p = args.partitions.unwrap_or(384);
     let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
     println!(
@@ -49,7 +52,12 @@ fn main() {
     let (vebo_g, vebo_starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
 
     let cases: [(&str, &vebo_graph::Graph, EdgeOrder, Option<&[usize]>); 3] = [
-        ("High-to-low, Hilbert", &high_to_low, EdgeOrder::Hilbert, None),
+        (
+            "High-to-low, Hilbert",
+            &high_to_low,
+            EdgeOrder::Hilbert,
+            None,
+        ),
         ("High-to-low, CSR", &high_to_low, EdgeOrder::Csr, None),
         ("VEBO, CSR", &vebo_g, EdgeOrder::Csr, vebo_starts.as_deref()),
     ];
@@ -60,10 +68,20 @@ fn main() {
             .map(|&n| n as f64)
             .collect();
         t.row(&quartile_row(label, &nanos));
-        let slug = label.to_lowercase().replace([' ', ','], "_").replace("__", "_");
-        let rows = nanos.iter().enumerate().map(|(i, n)| vec![i.to_string(), format!("{n}")]);
-        write_csv(&format!("results/fig06_{slug}.csv"), &["partition", "nanos"], rows)
-            .expect("write csv");
+        let slug = label
+            .to_lowercase()
+            .replace([' ', ','], "_")
+            .replace("__", "_");
+        let rows = nanos
+            .iter()
+            .enumerate()
+            .map(|(i, n)| vec![i.to_string(), format!("{n}")]);
+        write_csv(
+            &format!("results/fig06_{slug}.csv"),
+            &["partition", "nanos"],
+            rows,
+        )
+        .expect("write csv");
     }
     t.print();
     println!(

@@ -10,13 +10,27 @@ use vebo_core::theory::verify_theorems;
 use vebo_graph::degree::{characterize, estimate_zipf_exponent};
 
 fn main() {
-    let args = HarnessArgs::parse("table1_graphs", "Table I: graph characterization + VEBO balance");
+    let args = HarnessArgs::parse(
+        "table1_graphs",
+        "Table I: graph characterization + VEBO balance",
+    );
     let p = args.partitions.unwrap_or(384);
-    println!("== Table I: graph characterization (scale {}, P = {p}) ==\n", args.scale);
+    println!(
+        "== Table I: graph characterization (scale {}, P = {p}) ==\n",
+        args.scale
+    );
 
     let mut t = Table::new(&[
-        "Graph", "Vertices", "Edges", "MaxDeg", "%0-in", "%0-out", "delta(n)", "Delta(n)",
-        "T1 precond", "type",
+        "Graph",
+        "Vertices",
+        "Edges",
+        "MaxDeg",
+        "%0-in",
+        "%0-out",
+        "delta(n)",
+        "Delta(n)",
+        "T1 precond",
+        "type",
     ]);
     for d in args.datasets() {
         let g = d.build(args.scale);
@@ -32,8 +46,16 @@ fn main() {
             format!("{:.0}%", c.pct_zero_out()),
             rep.vertex_imbalance.to_string(),
             rep.edge_imbalance.to_string(),
-            if rep.theorem1_precondition { "yes".into() } else { "no (scaled)".to_string() },
-            if d.spec().directed { "directed".into() } else { "undirected".to_string() },
+            if rep.theorem1_precondition {
+                "yes".into()
+            } else {
+                "no (scaled)".to_string()
+            },
+            if d.spec().directed {
+                "directed".into()
+            } else {
+                "undirected".to_string()
+            },
         ]);
     }
     t.print();

@@ -14,12 +14,26 @@ fn main() {
     let args = HarnessArgs::parse("table2_algorithms", "Table II: algorithm characteristics");
     let dataset = args.dataset.unwrap_or(Dataset::LiveJournalLike);
     let scale = args.scale_or(0.5);
-    println!("== Table II: algorithm characteristics (measured on {}, scale {scale}) ==\n", dataset.name());
+    println!(
+        "== Table II: algorithm characteristics (measured on {}, scale {scale}) ==\n",
+        dataset.name()
+    );
 
     let base = dataset.build(scale);
-    let mut t = Table::new(&["Code", "B/F", "V/E", "Frontiers (measured)", "Iterations", "Edges examined"]);
+    let mut t = Table::new(&[
+        "Code",
+        "B/F",
+        "V/E",
+        "Frontiers (measured)",
+        "Iterations",
+        "Edges examined",
+    ]);
     for kind in AlgorithmKind::ALL {
-        let g = if needs_weights(kind) { base.clone().with_hash_weights(32) } else { base.clone() };
+        let g = if needs_weights(kind) {
+            base.clone().with_hash_weights(32)
+        } else {
+            base.clone()
+        };
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
         let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
         let classes: Vec<&str> = report.observed_classes().iter().map(|c| c.code()).collect();

@@ -24,7 +24,11 @@ fn profile_for(kind: SystemKind, ordering: OrderingKind) -> SystemProfile {
         SystemKind::LigraLike => SystemProfile::ligra_like(),
         SystemKind::PolymerLike => SystemProfile::polymer_like(),
         SystemKind::GraphGrindLike => {
-            let order = if ordering == OrderingKind::Vebo { EdgeOrder::Csr } else { EdgeOrder::Hilbert };
+            let order = if ordering == OrderingKind::Vebo {
+                EdgeOrder::Csr
+            } else {
+                EdgeOrder::Hilbert
+            };
             SystemProfile::graphgrind_like(order)
         }
     }
@@ -38,14 +42,30 @@ fn vebo_partitions(kind: SystemKind) -> usize {
 }
 
 fn main() {
-    let args = HarnessArgs::parse("table3_runtime", "Table III: runtimes of 3 systems x 4 orderings");
+    let args = HarnessArgs::parse(
+        "table3_runtime",
+        "Table III: runtimes of 3 systems x 4 orderings",
+    );
     let scale = args.scale_or(0.25);
-    let orderings: &[OrderingKind] =
-        if args.extended { &OrderingKind::TABLE3_EXTENDED } else { &OrderingKind::TABLE3 };
-    let systems = [SystemKind::LigraLike, SystemKind::PolymerLike, SystemKind::GraphGrindLike];
-    println!("== Table III: simulated {}-thread runtime in seconds (scale {scale}) ==", args.threads);
+    let orderings: &[OrderingKind] = if args.extended {
+        &OrderingKind::TABLE3_EXTENDED
+    } else {
+        &OrderingKind::TABLE3
+    };
+    let systems = [
+        SystemKind::LigraLike,
+        SystemKind::PolymerLike,
+        SystemKind::GraphGrindLike,
+    ];
+    println!(
+        "== Table III: simulated {}-thread runtime in seconds (scale {scale}) ==",
+        args.threads
+    );
     let names: Vec<&str> = orderings.iter().map(|o| o.name()).collect();
-    println!("   (per system: {}; * marks the fastest)\n", names.join(" / "));
+    println!(
+        "   (per system: {}; * marks the fastest)\n",
+        names.join(" / ")
+    );
 
     let mut header: Vec<String> = vec!["Graph".into(), "Algo".into()];
     for s in systems {
@@ -97,7 +117,11 @@ fn main() {
                         _ => args.partitions.unwrap_or(384),
                     });
                     let (g, starts) = lookup(ordering, vebo_partitions(system));
-                    let g = if needs_weights(kind) { g.clone().with_hash_weights(32) } else { g.clone() };
+                    let g = if needs_weights(kind) {
+                        g.clone().with_hash_weights(32)
+                    } else {
+                        g.clone()
+                    };
                     let pg = prepare_profile(g, profile, starts);
                     let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
                     times.push(simulated_seconds(&report, &profile));
@@ -118,9 +142,15 @@ fn main() {
 
     println!("\nGeometric-mean speedup of VEBO over the original ordering:");
     for system in systems {
-        let logs: Vec<f64> =
-            speedup_log.iter().filter(|(s, _)| *s == system).map(|(_, r)| r.ln()).collect();
+        let logs: Vec<f64> = speedup_log
+            .iter()
+            .filter(|(s, _)| *s == system)
+            .map(|(_, r)| r.ln())
+            .collect();
         let gm = (logs.iter().sum::<f64>() / logs.len() as f64).exp();
-        println!("  {:<11} {gm:.2}x   (paper: Ligra 1.09x, Polymer 1.41x, GraphGrind 1.65x)", system.name());
+        println!(
+            "  {:<11} {gm:.2}x   (paper: Ligra 1.09x, Polymer 1.41x, GraphGrind 1.65x)",
+            system.name()
+        );
     }
 }

@@ -41,7 +41,9 @@ fn bfs_frontiers(g: &Graph) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
     let src = default_source(g);
     let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
-    let op = Op { parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect() };
+    let op = Op {
+        parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
+    };
     op.parent[src as usize].store(src, Ordering::Relaxed);
     let mut frontier = Frontier::single(n, src);
     let mut out = Vec::new();
@@ -54,7 +56,10 @@ fn bfs_frontiers(g: &Graph) -> Vec<Vec<VertexId>> {
 }
 
 fn main() {
-    let args = HarnessArgs::parse("table4_sparse_frontier", "Table IV: active edges per partition in BFS");
+    let args = HarnessArgs::parse(
+        "table4_sparse_frontier",
+        "Table IV: active edges per partition in BFS",
+    );
     let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
     let p = args.partitions.unwrap_or(384);
     println!(
@@ -66,12 +71,22 @@ fn main() {
     let g = dataset.build(args.scale);
     let (vebo_g, _) = ordered_graph(&g, OrderingKind::Vebo, p);
 
-    let mut t = Table::new(&["Iter", "ActiveEdges", "Ideal/Part", "Order", "Min", "Median", "S.D.", "Max"]);
+    let mut t = Table::new(&[
+        "Iter",
+        "ActiveEdges",
+        "Ideal/Part",
+        "Order",
+        "Min",
+        "Median",
+        "S.D.",
+        "Max",
+    ]);
     for (label, graph) in [("Orig.", &g), ("VEBO", &vebo_g)] {
         let bounds = PartitionBounds::edge_balanced(graph, p);
         let frontiers = bfs_frontiers(graph);
         for (iter, frontier) in frontiers.iter().enumerate() {
-            let counts = vebo_partition::stats::active_edges_per_partition(graph, &bounds, frontier);
+            let counts =
+                vebo_partition::stats::active_edges_per_partition(graph, &bounds, frontier);
             let total: u64 = counts.iter().sum();
             if total == 0 {
                 continue;

@@ -51,13 +51,19 @@ fn trace(g: &Graph, p: usize, app: &str, starts: Option<&[usize]>) -> (Mpki, Mpk
 }
 
 fn main() {
-    let args = HarnessArgs::parse("table5_vertex_edge_map", "Table V: vertexmap vs edgemap MPKI");
+    let args = HarnessArgs::parse(
+        "table5_vertex_edge_map",
+        "Table V: vertexmap vs edgemap MPKI",
+    );
     let p = args.partitions.unwrap_or(384);
     let datasets = match args.dataset {
         Some(d) => vec![d],
         None => vec![Dataset::TwitterLike, Dataset::FriendsterLike],
     };
-    println!("== Table V: architectural events (simulated MPKI, P = {p}, scale {}) ==\n", args.scale);
+    println!(
+        "== Table V: architectural events (simulated MPKI, P = {p}, scale {}) ==\n",
+        args.scale
+    );
 
     let mut t = Table::new(&[
         "Graph", "App", "Order", "VM local", "VM rmt", "VM TLB", "EM local", "EM rmt", "EM TLB",
@@ -66,9 +72,7 @@ fn main() {
         let g = dataset.build(args.scale);
         let (vebo_g, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
         for app in ["PR", "BF"] {
-            for (label, graph, st) in
-                [("Ori.", &g, None), ("VEBO", &vebo_g, starts.as_deref())]
-            {
+            for (label, graph, st) in [("Ori.", &g, None), ("VEBO", &vebo_g, starts.as_deref())] {
                 let (vm, em) = trace(graph, p, app, st);
                 t.row(&[
                     dataset.name().into(),

@@ -18,7 +18,10 @@ use vebo_partition::partitioned::PartitionedCoo;
 use vebo_partition::{EdgeOrder, PartitionBounds};
 
 fn main() {
-    let args = HarnessArgs::parse("table6_overhead", "Table VI: reordering and partitioning overhead");
+    let args = HarnessArgs::parse(
+        "table6_overhead",
+        "Table VI: reordering and partitioning overhead",
+    );
     let p = args.partitions.unwrap_or(384);
     let scale = args.scale_or(0.5);
     let datasets = match args.dataset {
@@ -28,8 +31,16 @@ fn main() {
     println!("== Table VI: preprocessing overhead in seconds (P = {p}, scale {scale}) ==\n");
 
     let mut t = Table::new(&[
-        "Graph", "RCM", "Gorder", "VEBO", "Hilbert reorder", "CSR reorder", "BFS Orig", "BFS VEBO",
-        "PR Orig", "PR VEBO",
+        "Graph",
+        "RCM",
+        "Gorder",
+        "VEBO",
+        "Hilbert reorder",
+        "CSR reorder",
+        "BFS Orig",
+        "BFS VEBO",
+        "PR Orig",
+        "PR VEBO",
     ]);
     for dataset in datasets {
         let g = dataset.build(scale);
@@ -68,8 +79,11 @@ fn main() {
         for kind in [AlgorithmKind::Bfs, AlgorithmKind::Pr] {
             for ordering in [OrderingKind::Original, OrderingKind::Vebo] {
                 let (graph, starts, _) = ordered_with_starts(&g, ordering, p);
-                let order =
-                    if ordering == OrderingKind::Vebo { EdgeOrder::Csr } else { EdgeOrder::Hilbert };
+                let order = if ordering == OrderingKind::Vebo {
+                    EdgeOrder::Csr
+                } else {
+                    EdgeOrder::Hilbert
+                };
                 let profile = SystemProfile::graphgrind_like(order).with_partitions(p);
                 let pg = prepare_profile(graph, profile, starts.as_deref());
                 let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());

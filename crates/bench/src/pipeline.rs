@@ -3,12 +3,11 @@
 //! convert per-task measurements into the simulated 48-thread runtime.
 
 use std::time::{Duration, Instant};
+use vebo::OrderingRegistry;
 use vebo_algorithms::RunReport;
-use vebo_baselines::{DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
 use vebo_core::Vebo;
 use vebo_engine::SystemProfile;
-use vebo_graph::{Graph, Permutation, VertexOrdering};
-use vebo_partition::MetisLikeOrder;
+use vebo_graph::{Graph, Permutation};
 
 /// The vertex orderings compared in the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,8 +36,12 @@ pub enum OrderingKind {
 
 impl OrderingKind {
     /// The four orderings of Table III, in column order.
-    pub const TABLE3: [OrderingKind; 4] =
-        [OrderingKind::Original, OrderingKind::Rcm, OrderingKind::Gorder, OrderingKind::Vebo];
+    pub const TABLE3: [OrderingKind; 4] = [
+        OrderingKind::Original,
+        OrderingKind::Rcm,
+        OrderingKind::Gorder,
+        OrderingKind::Vebo,
+    ];
 
     /// Table III's columns plus the extension orderings (`table3_runtime
     /// --extended`).
@@ -74,28 +77,50 @@ impl OrderingKind {
         }
     }
 
+    /// Registry name of this ordering, or `None` for the two kinds that
+    /// are not plain roster members (the identity and the Random+VEBO
+    /// composition).
+    pub fn registry_name(self) -> Option<&'static str> {
+        match self {
+            OrderingKind::Original | OrderingKind::RandomPlusVebo => None,
+            OrderingKind::Rcm => Some("rcm"),
+            OrderingKind::Gorder => Some("gorder"),
+            OrderingKind::Vebo => Some("vebo"),
+            OrderingKind::Random => Some("random"),
+            OrderingKind::HighToLow => Some("hightolow"),
+            OrderingKind::SlashBurn => Some("slashburn"),
+            OrderingKind::MetisLike => Some("metis"),
+        }
+    }
+
+    /// The registry every harness resolves through. The hub cap keeps
+    /// Gorder's sibling-update fan-out bounded so the full Table III cross
+    /// product stays time-boxed (Table VI measures the faithful, uncapped
+    /// cost separately); the random seed is the §V-C experiment seed.
+    pub fn registry(num_partitions: usize) -> OrderingRegistry {
+        OrderingRegistry::new(num_partitions)
+            .with_gorder_hub_cap(Some(64))
+            .with_random_seed(0xF1665)
+    }
+
     /// Computes the permutation for `g` (with `num_partitions` as VEBO's
     /// target), returning it with the ordering wall time (Table VI).
     pub fn compute(self, g: &Graph, num_partitions: usize) -> (Permutation, Duration) {
         let t0 = Instant::now();
-        let perm = match self {
-            OrderingKind::Original => Permutation::identity(g.num_vertices()),
-            OrderingKind::Rcm => Rcm.compute(g),
-            // Hub cap keeps the sibling-update fan-out bounded so the full
-            // Table III cross product stays time-boxed; Table VI measures
-            // the faithful (uncapped) cost separately.
-            OrderingKind::Gorder => Gorder::new().with_hub_cap(64).compute(g),
-            OrderingKind::Vebo => Vebo::new(num_partitions).compute(g),
-            OrderingKind::Random => RandomOrder::new(0xF1665).compute(g),
-            OrderingKind::RandomPlusVebo => {
-                let random = RandomOrder::new(0xF1665).compute(g);
-                let shuffled = random.apply_graph(g);
-                let vebo = Vebo::new(num_partitions).compute(&shuffled);
-                random.then(&vebo)
-            }
-            OrderingKind::HighToLow => DegreeSort.compute(g),
-            OrderingKind::SlashBurn => SlashBurn::default().compute(g),
-            OrderingKind::MetisLike => MetisLikeOrder::new(num_partitions).compute(g),
+        let registry = Self::registry(num_partitions);
+        let resolve = |name: &str| registry.resolve(name).expect("roster names always resolve");
+        let perm = match self.registry_name() {
+            Some(name) => resolve(name).compute(g),
+            None => match self {
+                OrderingKind::Original => Permutation::identity(g.num_vertices()),
+                OrderingKind::RandomPlusVebo => {
+                    let random = resolve("random").compute(g);
+                    let shuffled = random.apply_graph(g);
+                    let vebo = resolve("vebo").compute(&shuffled);
+                    random.then(&vebo)
+                }
+                _ => unreachable!("registry_name covers every other kind"),
+            },
         };
         (perm, t0.elapsed())
     }
@@ -103,7 +128,11 @@ impl OrderingKind {
 
 /// Applies `ordering` to `g` and returns the reordered graph plus the
 /// ordering time.
-pub fn ordered_graph(g: &Graph, ordering: OrderingKind, num_partitions: usize) -> (Graph, Duration) {
+pub fn ordered_graph(
+    g: &Graph,
+    ordering: OrderingKind,
+    num_partitions: usize,
+) -> (Graph, Duration) {
     let (h, _, t) = ordered_with_starts(g, ordering, num_partitions);
     (h, t)
 }
@@ -126,7 +155,10 @@ pub fn ordered_with_starts(
             (h, Some(res.starts), t0.elapsed())
         }
         OrderingKind::RandomPlusVebo => {
-            let random = RandomOrder::new(0xF1665).compute(g);
+            let random = OrderingKind::registry(num_partitions)
+                .resolve("random")
+                .expect("random is a roster name")
+                .compute(g);
             let shuffled = random.apply_graph(g);
             let res = Vebo::new(num_partitions).compute_full(&shuffled);
             let h = res.permutation.apply_graph(&shuffled);
@@ -182,7 +214,10 @@ pub fn pr_one_iteration_tasks(
     use vebo_engine::{EdgeMapOptions, PreparedGraph};
     let profile = SystemProfile::graphgrind_like(edge_order).with_partitions(num_partitions);
     let pg = PreparedGraph::new(g.clone(), profile);
-    let cfg = PageRankConfig { iterations: 1, ..Default::default() };
+    let cfg = PageRankConfig {
+        iterations: 1,
+        ..Default::default()
+    };
     let (_, report) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
     report.edge_maps[0].tasks.clone()
 }
@@ -216,7 +251,10 @@ pub fn pr_task_nanos(
     use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
     use vebo_engine::EdgeMapOptions;
     let pg = prepare_profile(g.clone(), profile, vebo_starts);
-    let cfg = PageRankConfig { iterations: repeats.max(1), ..Default::default() };
+    let cfg = PageRankConfig {
+        iterations: repeats.max(1),
+        ..Default::default()
+    };
     let (_, report) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
     let mut nanos = vec![u64::MAX; pg.num_tasks()];
     for em in &report.edge_maps {
@@ -230,7 +268,7 @@ pub fn pr_task_nanos(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vebo_graph::Dataset;
+    use vebo_graph::{Dataset, VertexOrdering};
 
     #[test]
     fn all_orderings_produce_valid_graphs() {
@@ -260,7 +298,10 @@ mod tests {
         let g = Dataset::YahooLike.build(0.02);
         let (perm, _) = OrderingKind::RandomPlusVebo.compute(&g, 8);
         let direct = perm.apply_graph(&g);
-        let random = RandomOrder::new(0xF1665).compute(&g);
+        let random = OrderingKind::registry(8)
+            .resolve("random")
+            .unwrap()
+            .compute(&g);
         let shuffled = random.apply_graph(&g);
         let vebo = Vebo::new(8).compute(&shuffled);
         let two_step = vebo.apply_graph(&shuffled);

@@ -22,11 +22,15 @@ impl BalanceReport {
     pub fn from_counts(edge_counts: Vec<u64>, vertex_counts: Vec<usize>) -> BalanceReport {
         assert_eq!(edge_counts.len(), vertex_counts.len());
         assert!(!edge_counts.is_empty());
-        let edge_imbalance =
-            edge_counts.iter().max().unwrap() - edge_counts.iter().min().unwrap();
+        let edge_imbalance = edge_counts.iter().max().unwrap() - edge_counts.iter().min().unwrap();
         let vertex_imbalance =
             vertex_counts.iter().max().unwrap() - vertex_counts.iter().min().unwrap();
-        BalanceReport { edge_counts, vertex_counts, edge_imbalance, vertex_imbalance }
+        BalanceReport {
+            edge_counts,
+            vertex_counts,
+            edge_imbalance,
+            vertex_imbalance,
+        }
     }
 
     /// Builds from a [`VeboResult`].

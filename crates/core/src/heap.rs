@@ -105,7 +105,9 @@ impl LinearArgMin {
     /// Creates `num_partitions` zero loads.
     pub fn new(num_partitions: usize) -> LinearArgMin {
         assert!(num_partitions >= 1);
-        LinearArgMin { loads: vec![0; num_partitions] }
+        LinearArgMin {
+            loads: vec![0; num_partitions],
+        }
     }
 
     /// Starts from existing loads.

@@ -22,8 +22,10 @@
 //!   spatial locality of the input order.
 
 use crate::heap::{LinearArgMin, MinLoadHeap};
+use rayon::prelude::*;
 use vebo_graph::degree::vertices_by_decreasing_in_degree;
-use vebo_graph::{Graph, Permutation, VertexId, VertexOrdering};
+use vebo_graph::par::{weighted_ranges, SharedSlice};
+use vebo_graph::{Graph, ParMode, Permutation, VertexId, VertexOrdering};
 
 /// Which variant of Algorithm 2 to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -55,12 +57,18 @@ pub struct Vebo {
     num_partitions: usize,
     variant: VeboVariant,
     argmin: ArgMinStrategy,
+    mode: ParMode,
 }
 
 impl Vebo {
     /// VEBO with the paper's default variant (blocked) and a heap argmin.
     pub fn new(num_partitions: usize) -> Vebo {
-        Vebo { num_partitions, variant: VeboVariant::default(), argmin: ArgMinStrategy::default() }
+        Vebo {
+            num_partitions,
+            variant: VeboVariant::default(),
+            argmin: ArgMinStrategy::default(),
+            mode: ParMode::default(),
+        }
     }
 
     /// Selects the strict or blocked variant.
@@ -75,6 +83,13 @@ impl Vebo {
         self
     }
 
+    /// Selects how the blocked variant's O(n) scatter stages execute
+    /// (the heap placement itself is inherently sequential).
+    pub fn with_mode(mut self, mode: ParMode) -> Vebo {
+        self.mode = mode;
+        self
+    }
+
     /// Number of partitions `P`.
     pub fn num_partitions(&self) -> usize {
         self.num_partitions
@@ -83,60 +98,136 @@ impl Vebo {
     /// Runs all three phases and returns the full result (permutation plus
     /// per-partition counts and boundaries).
     pub fn compute_full(&self, g: &Graph) -> VeboResult {
-        let p = self.num_partitions;
-        assert!(p >= 1, "need at least one partition");
-        let n = g.num_vertices();
+        assert!(self.num_partitions >= 1, "need at least one partition");
         let order = vertices_by_decreasing_in_degree(g);
         let num_nonzero = order.iter().take_while(|&&v| g.in_degree(v) > 0).count();
 
+        match self.variant {
+            VeboVariant::Strict => self.compute_strict(g, &order, num_nonzero),
+            VeboVariant::Blocked => self.compute_blocked(g, &order, num_nonzero),
+        }
+    }
+
+    /// The literal Algorithm 2: per-vertex placement, then the sequential
+    /// phase-3 cursor walk.
+    fn compute_strict(&self, g: &Graph, order: &[VertexId], num_nonzero: usize) -> VeboResult {
+        let p = self.num_partitions;
+        let n = g.num_vertices();
         let mut assignment = vec![0u32; n];
         let mut vertex_counts = vec![0usize; p];
         let mut edge_counts = vec![0u64; p];
-
-        // Phases 1 and 2: placement.
-        match self.variant {
-            VeboVariant::Strict => self.place_strict(
-                g,
-                &order,
-                num_nonzero,
-                &mut assignment,
-                &mut vertex_counts,
-                &mut edge_counts,
-            ),
-            VeboVariant::Blocked => self.place_blocked(
-                g,
-                &order,
-                num_nonzero,
-                &mut assignment,
-                &mut vertex_counts,
-                &mut edge_counts,
-            ),
-        }
+        self.place_strict(
+            g,
+            order,
+            num_nonzero,
+            &mut assignment,
+            &mut vertex_counts,
+            &mut edge_counts,
+        );
 
         // Phase 3: sequence numbers. Partition `q` receives the contiguous
         // new-id range starting at the prefix sum of vertex counts; within
         // a partition, vertices appear in placement order (decreasing
         // degree, ascending original id within a degree class) — this is
         // what makes the inner edge-loop branch predictable (§V-E).
-        let mut starts = Vec::with_capacity(p + 1);
-        let mut acc = 0usize;
-        for &u in &vertex_counts {
-            starts.push(acc);
-            acc += u;
-        }
-        starts.push(acc);
-        debug_assert_eq!(acc, n);
-
+        let starts = prefix_starts(&vertex_counts, n);
         let mut cursor: Vec<usize> = starts[..p].to_vec();
         let mut new_ids = vec![0 as VertexId; n];
-        for &v in &order {
+        for &v in order {
             let q = assignment[v as usize] as usize;
             new_ids[v as usize] = cursor[q] as VertexId;
             cursor[q] += 1;
         }
 
         let permutation = Permutation::from_new_ids(new_ids).expect("VEBO produces a bijection");
-        VeboResult { permutation, assignment, vertex_counts, edge_counts, starts }
+        VeboResult {
+            permutation,
+            assignment,
+            vertex_counts,
+            edge_counts,
+            starts,
+        }
+    }
+
+    /// The §III-D blocked variant. The heap only decides *how many*
+    /// vertices of each degree class each partition receives; that count
+    /// loop is the inherently sequential `O(n log P)` core. Everything
+    /// else — per-partition totals, the `a[v]` assignment scatter, and the
+    /// phase-3 sequence numbers — is derived from the resulting
+    /// [`Segment`] list with prefix sums and executed in parallel over
+    /// segment chunks balanced by vertex count.
+    fn compute_blocked(&self, g: &Graph, order: &[VertexId], num_nonzero: usize) -> VeboResult {
+        let p = self.num_partitions;
+        let n = g.num_vertices();
+        let segments = self.place_blocked_segments(g, order, num_nonzero);
+
+        let mut vertex_counts = vec![0usize; p];
+        let mut edge_counts = vec![0u64; p];
+        for s in &segments {
+            vertex_counts[s.partition as usize] += s.len;
+            edge_counts[s.partition as usize] += s.len as u64 * s.degree;
+        }
+        let starts = prefix_starts(&vertex_counts, n);
+
+        // Per-segment new-id base: a running cursor per partition, walked
+        // in segment order (segments of one partition appear in placement
+        // order, so this reproduces the strict phase-3 walk exactly).
+        let mut cursor: Vec<usize> = starts[..p].to_vec();
+        let seg_new_start: Vec<usize> = segments
+            .iter()
+            .map(|s| {
+                let at = cursor[s.partition as usize];
+                cursor[s.partition as usize] += s.len;
+                at
+            })
+            .collect();
+
+        // Scatter assignment and sequence numbers. Segments partition the
+        // `order` index space and `order` is a permutation of the
+        // vertices, so all writes are disjoint.
+        let mut assignment = vec![0u32; n];
+        let mut new_ids = vec![0 as VertexId; n];
+        if self.mode.go_parallel(n) && !segments.is_empty() {
+            let mut cum = Vec::with_capacity(segments.len() + 1);
+            cum.push(0usize);
+            for s in &segments {
+                cum.push(cum.last().unwrap() + s.len);
+            }
+            let ranges = weighted_ranges(&cum, rayon::current_num_threads());
+            let ashared = SharedSlice::new(&mut assignment);
+            let nshared = SharedSlice::new(&mut new_ids);
+            let (ranges, segments, seg_new_start) = (&ranges, &segments, &seg_new_start);
+            (0..ranges.len()).into_par_iter().for_each(|ri| {
+                for si in ranges[ri].clone() {
+                    let s = &segments[si];
+                    for i in 0..s.len {
+                        let v = order[s.start + i] as usize;
+                        // SAFETY: segments cover disjoint `order` ranges
+                        // and `order` is a permutation, so each vertex is
+                        // written exactly once.
+                        unsafe { ashared.write(v, s.partition) };
+                        unsafe { nshared.write(v, (seg_new_start[si] + i) as VertexId) };
+                    }
+                }
+            });
+        } else {
+            for (si, s) in segments.iter().enumerate() {
+                for i in 0..s.len {
+                    let v = order[s.start + i] as usize;
+                    assignment[v] = s.partition;
+                    new_ids[v] = (seg_new_start[si] + i) as VertexId;
+                }
+            }
+        }
+
+        let permutation = Permutation::from_new_ids(new_ids).expect("VEBO produces a bijection");
+        VeboResult {
+            permutation,
+            assignment,
+            vertex_counts,
+            edge_counts,
+            starts,
+        }
     }
 
     /// Phases 1 and 2 of the literal Algorithm 2.
@@ -167,24 +258,24 @@ impl Vebo {
         }
     }
 
-    /// Phases 1 and 2 with the §III-D block modification: the heap decides
-    /// *how many* vertices of each degree class each partition receives;
-    /// blocks of consecutive original ids are then assigned per partition.
-    fn place_blocked(
+    /// Phases 1 and 2 with the §III-D block modification, expressed as
+    /// segments: the heap decides *how many* vertices of each degree class
+    /// each partition receives; blocks of consecutive original ids are
+    /// then assigned per partition. `order` is id-stable within a class
+    /// (counting sort), so each run is ascending in original id.
+    fn place_blocked_segments(
         &self,
         g: &Graph,
         order: &[VertexId],
         num_nonzero: usize,
-        assignment: &mut [u32],
-        vertex_counts: &mut [usize],
-        edge_counts: &mut [u64],
-    ) {
+    ) -> Vec<Segment> {
         let p = self.num_partitions;
         let mut argmin = ArgMin::new(self.argmin, p);
         let mut class_counts = vec![0usize; p];
+        let mut vertex_counts = vec![0u64; p];
+        let mut segments = Vec::new();
 
-        // Phase 1 over runs of equal degree. `order` is id-stable within a
-        // class (counting sort), so each run is ascending in original id.
+        // Phase 1 over runs of equal degree.
         let mut t = 0usize;
         while t < num_nonzero {
             let d = g.in_degree(order[t]) as u64;
@@ -198,36 +289,70 @@ impl Vebo {
             }
             let mut cursor = t;
             for (q, &c) in class_counts.iter().enumerate() {
-                for _ in 0..c {
-                    let v = order[cursor] as usize;
-                    assignment[v] = q as u32;
-                    cursor += 1;
+                if c > 0 {
+                    segments.push(Segment {
+                        start: cursor,
+                        len: c,
+                        partition: q as u32,
+                        degree: d,
+                    });
+                    vertex_counts[q] += c as u64;
+                    cursor += c;
                 }
-                vertex_counts[q] += c;
-                edge_counts[q] += c as u64 * d;
             }
             t = end;
         }
 
         // Phase 2: the zero-degree class, balanced on vertex counts.
         if num_nonzero < order.len() {
-            let loads: Vec<u64> = vertex_counts.iter().map(|&u| u as u64).collect();
-            let mut vheap = ArgMin::with_loads(self.argmin, &loads);
+            let mut vheap = ArgMin::with_loads(self.argmin, &vertex_counts);
             class_counts[..].fill(0);
             for _ in num_nonzero..order.len() {
                 class_counts[vheap.assign_to_min(1) as usize] += 1;
             }
             let mut cursor = num_nonzero;
             for (q, &c) in class_counts.iter().enumerate() {
-                for _ in 0..c {
-                    let v = order[cursor] as usize;
-                    assignment[v] = q as u32;
-                    cursor += 1;
+                if c > 0 {
+                    segments.push(Segment {
+                        start: cursor,
+                        len: c,
+                        partition: q as u32,
+                        degree: 0,
+                    });
+                    cursor += c;
                 }
-                vertex_counts[q] += c;
             }
         }
+        segments
     }
+}
+
+/// A contiguous run of `order` indices placed on one partition: the unit
+/// of work for the blocked variant's parallel scatter stages.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    /// First index into the degree-sorted `order` array.
+    start: usize,
+    /// Number of vertices in the block.
+    len: usize,
+    /// Destination partition.
+    partition: u32,
+    /// In-degree of every vertex in the block (one segment never spans
+    /// degree classes).
+    degree: u64,
+}
+
+/// Prefix-sums per-partition vertex counts into phase-3 boundaries.
+fn prefix_starts(vertex_counts: &[usize], n: usize) -> Vec<usize> {
+    let mut starts = Vec::with_capacity(vertex_counts.len() + 1);
+    let mut acc = 0usize;
+    for &u in vertex_counts {
+        starts.push(acc);
+        acc += u;
+    }
+    starts.push(acc);
+    debug_assert_eq!(acc, n);
+    starts
 }
 
 impl VertexOrdering for Vebo {
@@ -310,11 +435,19 @@ mod tests {
             6,
             &[
                 (2, 0),
-                (5, 1), (3, 1),
-                (1, 2), (5, 2),
-                (4, 3), (5, 3),
-                (0, 4), (1, 4), (2, 4), (3, 4),
-                (4, 5), (2, 5), (1, 5),
+                (5, 1),
+                (3, 1),
+                (1, 2),
+                (5, 2),
+                (4, 3),
+                (5, 3),
+                (0, 4),
+                (1, 4),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (2, 5),
+                (1, 5),
             ],
             true,
         )
@@ -326,7 +459,9 @@ mod tests {
         // partition 0 gets {4,2,0} (7 edges), partition 1 gets {5,1,3}
         // (7 edges); each partition has 3 destination vertices.
         let g = fig3_graph();
-        let r = Vebo::new(2).with_variant(VeboVariant::Strict).compute_full(&g);
+        let r = Vebo::new(2)
+            .with_variant(VeboVariant::Strict)
+            .compute_full(&g);
         assert_eq!(r.edge_counts, vec![7, 7]);
         assert_eq!(r.vertex_counts, vec![3, 3]);
         assert_eq!(r.assignment, vec![0, 1, 0, 1, 0, 1]);
@@ -338,8 +473,12 @@ mod tests {
     #[test]
     fn blocked_matches_strict_counts_on_fig3() {
         let g = fig3_graph();
-        let s = Vebo::new(2).with_variant(VeboVariant::Strict).compute_full(&g);
-        let b = Vebo::new(2).with_variant(VeboVariant::Blocked).compute_full(&g);
+        let s = Vebo::new(2)
+            .with_variant(VeboVariant::Strict)
+            .compute_full(&g);
+        let b = Vebo::new(2)
+            .with_variant(VeboVariant::Blocked)
+            .compute_full(&g);
         assert_eq!(s.edge_counts, b.edge_counts);
         assert_eq!(s.vertex_counts, b.vertex_counts);
     }
@@ -374,17 +513,33 @@ mod tests {
         // so at test scale we pick P <= 384 with comparable (2x) slack.
         // Directed Zipf datasets also have the zero-degree vertices
         // Theorem 2 needs for delta(n) <= 1.
-        for d in [Dataset::TwitterLike, Dataset::FriendsterLike, Dataset::LiveJournalLike] {
+        for d in [
+            Dataset::TwitterLike,
+            Dataset::FriendsterLike,
+            Dataset::LiveJournalLike,
+        ] {
             let g = d.build(0.2);
             let n_ranks = g.vertices().map(|v| g.in_degree(v)).max().unwrap() + 1;
-            let p = (g.num_edges() / (2 * n_ranks)).clamp(2, 384).min(n_ranks - 1);
+            let p = (g.num_edges() / (2 * n_ranks))
+                .clamp(2, 384)
+                .min(n_ranks - 1);
             let r = Vebo::new(p).compute_full(&g);
             let emax = *r.edge_counts.iter().max().unwrap();
             let emin = *r.edge_counts.iter().min().unwrap();
             let vmax = *r.vertex_counts.iter().max().unwrap();
             let vmin = *r.vertex_counts.iter().min().unwrap();
-            assert!(emax - emin <= 1, "{} (P={p}): edge imbalance {}", d.name(), emax - emin);
-            assert!(vmax - vmin <= 1, "{} (P={p}): vertex imbalance {}", d.name(), vmax - vmin);
+            assert!(
+                emax - emin <= 1,
+                "{} (P={p}): edge imbalance {}",
+                d.name(),
+                emax - emin
+            );
+            assert!(
+                vmax - vmin <= 1,
+                "{} (P={p}): vertex imbalance {}",
+                d.name(),
+                vmax - vmin
+            );
         }
     }
 
@@ -425,16 +580,28 @@ mod tests {
         let n = 100;
         let edges: Vec<(VertexId, VertexId)> = (0..n).map(|v| (((v + 1) % n), v)).collect();
         let g = Graph::from_edges(n as usize, &edges, true);
-        let blocked = Vebo::new(4).with_variant(VeboVariant::Blocked).compute_full(&g);
-        let strict = Vebo::new(4).with_variant(VeboVariant::Strict).compute_full(&g);
+        let blocked = Vebo::new(4)
+            .with_variant(VeboVariant::Blocked)
+            .compute_full(&g);
+        let strict = Vebo::new(4)
+            .with_variant(VeboVariant::Strict)
+            .compute_full(&g);
         // Count adjacent-id pairs that stay in the same partition.
         let coherence = |r: &VeboResult| {
             (0..n as usize - 1)
                 .filter(|&v| r.assignment[v] == r.assignment[v + 1])
                 .count()
         };
-        assert!(coherence(&blocked) > 90, "blocked coherence {}", coherence(&blocked));
-        assert!(coherence(&strict) < 10, "strict coherence {}", coherence(&strict));
+        assert!(
+            coherence(&blocked) > 90,
+            "blocked coherence {}",
+            coherence(&blocked)
+        );
+        assert!(
+            coherence(&strict) < 10,
+            "strict coherence {}",
+            coherence(&strict)
+        );
         // Counts are nonetheless identical.
         assert_eq!(blocked.vertex_counts, strict.vertex_counts);
         assert_eq!(blocked.edge_counts, strict.edge_counts);
@@ -443,8 +610,12 @@ mod tests {
     #[test]
     fn linear_scan_matches_heap() {
         let g = Dataset::YahooLike.build(0.05);
-        let a = Vebo::new(48).with_argmin(ArgMinStrategy::Heap).compute_full(&g);
-        let b = Vebo::new(48).with_argmin(ArgMinStrategy::LinearScan).compute_full(&g);
+        let a = Vebo::new(48)
+            .with_argmin(ArgMinStrategy::Heap)
+            .compute_full(&g);
+        let b = Vebo::new(48)
+            .with_argmin(ArgMinStrategy::LinearScan)
+            .compute_full(&g);
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.permutation.as_slice(), b.permutation.as_slice());
     }

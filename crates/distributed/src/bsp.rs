@@ -158,7 +158,9 @@ pub fn superstep(
         }
     }
     let compute: Vec<f64> = (0..w)
-        .map(|i| edge_work[i] as f64 * cfg.per_edge_cost + vertex_work[i] as f64 * cfg.per_vertex_cost)
+        .map(|i| {
+            edge_work[i] as f64 * cfg.per_edge_cost + vertex_work[i] as f64 * cfg.per_vertex_cost
+        })
         .collect();
     let compute_time = compute.iter().copied().fold(0.0, f64::max);
     let comm_time = (0..w)
@@ -176,7 +178,12 @@ pub fn superstep(
 
 /// Simulates `iters` PageRank-style supersteps: every vertex is active in
 /// every superstep, so one superstep is computed and replicated.
-pub fn run_pagerank(g: &Graph, asg: &VertexAssignment, cfg: &ClusterConfig, iters: usize) -> BspRun {
+pub fn run_pagerank(
+    g: &Graph,
+    asg: &VertexAssignment,
+    cfg: &ClusterConfig,
+    iters: usize,
+) -> BspRun {
     let active: Vec<VertexId> = g.vertices().collect();
     let step = superstep(g, asg, cfg, &active);
     let supersteps = vec![step; iters];
@@ -212,7 +219,12 @@ fn aggregate(supersteps: Vec<SuperstepReport>) -> BspRun {
     let total_time = supersteps.iter().map(|s| s.total_time).sum();
     let compute_time = supersteps.iter().map(|s| s.compute_time).sum();
     let comm_time = supersteps.iter().map(|s| s.comm_time).sum();
-    BspRun { supersteps, total_time, compute_time, comm_time }
+    BspRun {
+        supersteps,
+        total_time,
+        compute_time,
+        comm_time,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +235,10 @@ mod tests {
     use vebo_partition::PartitionBounds;
 
     fn cfg(workers: usize) -> ClusterConfig {
-        ClusterConfig { workers, ..Default::default() }
+        ClusterConfig {
+            workers,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -253,7 +268,10 @@ mod tests {
         let g = Dataset::OrkutLike.build(0.05);
         let asg = hash_partition(g.num_vertices(), 8);
         let step = superstep(&g, &asg, &cfg(8), &g.vertices().collect::<Vec<_>>());
-        assert_eq!(step.sent.iter().sum::<u64>(), step.received.iter().sum::<u64>());
+        assert_eq!(
+            step.sent.iter().sum::<u64>(),
+            step.received.iter().sum::<u64>()
+        );
     }
 
     #[test]
@@ -274,7 +292,7 @@ mod tests {
         let asg = VertexAssignment::new((0..10).map(|v| v % 2).collect(), 2);
         let run = run_bfs(&g, &asg, &cfg(2), 0);
         assert_eq!(run.supersteps.len(), 10); // 10 frontiers (last empty-successor)
-        // Alternating assignment: every edge crosses workers.
+                                              // Alternating assignment: every edge crosses workers.
         assert_eq!(run.total_messages(), 9);
     }
 
@@ -285,17 +303,27 @@ mod tests {
         let g = Dataset::TwitterLike.build(0.05);
         let w = 8;
         let bal = VertexAssignment::from_bounds(&PartitionBounds::edge_balanced(&g, w));
-        let skew = VertexAssignment::from_bounds(&PartitionBounds::vertex_balanced(g.num_vertices(), w));
+        let skew =
+            VertexAssignment::from_bounds(&PartitionBounds::vertex_balanced(g.num_vertices(), w));
         let rb = run_pagerank(&g, &bal, &cfg(w), 1);
         let rs = run_pagerank(&g, &skew, &cfg(w), 1);
-        assert!(rb.compute_time < rs.compute_time, "bal {} skew {}", rb.compute_time, rs.compute_time);
+        assert!(
+            rb.compute_time < rs.compute_time,
+            "bal {} skew {}",
+            rb.compute_time,
+            rs.compute_time
+        );
     }
 
     #[test]
     fn latency_accumulates_per_superstep() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], true);
         let asg = VertexAssignment::new(vec![0, 0, 1, 1], 2);
-        let c = ClusterConfig { workers: 2, superstep_latency: 7.0, ..Default::default() };
+        let c = ClusterConfig {
+            workers: 2,
+            superstep_latency: 7.0,
+            ..Default::default()
+        };
         let run = run_pagerank(&g, &asg, &c, 5);
         let lat: f64 = 5.0 * 7.0;
         assert!(run.total_time >= lat);

@@ -29,7 +29,10 @@ pub struct Fennel {
 
 impl Default for Fennel {
     fn default() -> Fennel {
-        Fennel { gamma: 1.5, nu: 1.1 }
+        Fennel {
+            gamma: 1.5,
+            nu: 1.1,
+        }
     }
 }
 
@@ -48,7 +51,12 @@ impl Fennel {
     }
 
     /// Streams vertices in the given order.
-    pub fn partition_with_order(&self, g: &Graph, p: usize, order: &[VertexId]) -> VertexAssignment {
+    pub fn partition_with_order(
+        &self,
+        g: &Graph,
+        p: usize,
+        order: &[VertexId],
+    ) -> VertexAssignment {
         assert!(p >= 1);
         assert_eq!(order.len(), g.num_vertices());
         let n = g.num_vertices();

@@ -32,7 +32,10 @@ mod tests {
         let counts = a.vertex_counts();
         let avg = 100_000.0 / 16.0;
         for &c in &counts {
-            assert!((c as f64 - avg).abs() < avg * 0.05, "count {c} vs avg {avg}");
+            assert!(
+                (c as f64 - avg).abs() < avg * 0.05,
+                "count {c} vs avg {avg}"
+            );
         }
     }
 

@@ -42,7 +42,10 @@ impl HybridCut {
 
     /// Places every arc on one of `machines` machines.
     pub fn place(&self, g: &Graph, machines: usize) -> EdgePlacement {
-        assert!((1..=64).contains(&machines), "machine count must be in 1..=64");
+        assert!(
+            (1..=64).contains(&machines),
+            "machine count must be in 1..=64"
+        );
         let n = g.num_vertices();
         let mut edge_machine = vec![0u32; g.num_edges()];
         let mut replicas = vec![0u64; n];
@@ -50,7 +53,11 @@ impl HybridCut {
         let mut idx = 0usize;
         for u in g.vertices() {
             for &v in g.out_neighbors(u) {
-                let key = if g.in_degree(v) <= self.threshold { v } else { u };
+                let key = if g.in_degree(v) <= self.threshold {
+                    v
+                } else {
+                    u
+                };
                 let m = (mix64(key as u64) % machines as u64) as u32;
                 edge_machine[idx] = m;
                 replicas[u as usize] |= 1u64 << m;
@@ -112,14 +119,19 @@ mod tests {
         let g = Dataset::TwitterLike.build(0.2);
         let theta = (g.num_edges() / g.num_vertices()).max(1);
         let hybrid = HybridCut::new(theta).place(&g, 16).replication_factor();
-        let uniform = HybridCut::new(usize::MAX).place(&g, 16).replication_factor();
+        let uniform = HybridCut::new(usize::MAX)
+            .place(&g, 16)
+            .replication_factor();
         assert!(hybrid < uniform, "hybrid {hybrid} uniform {uniform}");
     }
 
     #[test]
     fn deterministic() {
         let g = Dataset::OrkutLike.build(0.05);
-        assert_eq!(HybridCut::default().place(&g, 8), HybridCut::default().place(&g, 8));
+        assert_eq!(
+            HybridCut::default().place(&g, 8),
+            HybridCut::default().place(&g, 8)
+        );
     }
 
     #[test]

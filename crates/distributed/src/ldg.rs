@@ -43,11 +43,18 @@ impl Ldg {
     /// Streams vertices in the given order — the §VII experiments stream
     /// in VEBO order to test whether degree-descending arrival helps the
     /// greedy choices (the paper's PowerLyra conjecture).
-    pub fn partition_with_order(&self, g: &Graph, p: usize, order: &[VertexId]) -> VertexAssignment {
+    pub fn partition_with_order(
+        &self,
+        g: &Graph,
+        p: usize,
+        order: &[VertexId],
+    ) -> VertexAssignment {
         assert!(p >= 1);
         assert_eq!(order.len(), g.num_vertices());
         let n = g.num_vertices();
-        let capacity = ((n as f64 / p as f64).ceil() * (1.0 + self.slack)).ceil().max(1.0);
+        let capacity = ((n as f64 / p as f64).ceil() * (1.0 + self.slack))
+            .ceil()
+            .max(1.0);
         let mut part = vec![u32::MAX; n];
         let mut sizes = vec![0usize; p];
         // Stamped per-partition neighbour counts, reused across vertices.
@@ -121,7 +128,10 @@ mod tests {
         let a = ldg.partition(&g, p);
         let cap = ((g.num_vertices() as f64 / p as f64).ceil() * 1.04).ceil();
         for &c in &a.vertex_counts() {
-            assert!((c as f64) <= cap, "partition size {c} exceeds capacity {cap}");
+            assert!(
+                (c as f64) <= cap,
+                "partition size {c} exceeds capacity {cap}"
+            );
         }
     }
 

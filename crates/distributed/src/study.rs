@@ -86,9 +86,10 @@ impl Strategy {
             Strategy::Ldg => (g.clone(), Ldg::default().partition(g, workers)),
             Strategy::Fennel => (g.clone(), Fennel::default().partition(g, workers)),
             Strategy::Multilevel => (g.clone(), Multilevel::new().partition(g, workers)),
-            Strategy::MultilevelMc => {
-                (g.clone(), Multilevel::multi_constraint().partition(g, workers))
-            }
+            Strategy::MultilevelMc => (
+                g.clone(),
+                Multilevel::multi_constraint().partition(g, workers),
+            ),
         }
     }
 }
@@ -169,7 +170,10 @@ mod tests {
     }
 
     fn cluster() -> ClusterConfig {
-        ClusterConfig { workers: 16, ..Default::default() }
+        ClusterConfig {
+            workers: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -194,8 +198,16 @@ mod tests {
         let cfg = cluster();
         let src = default_source(&g);
         let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 1, src);
-        assert!(vebo.edge_imbalance < 1.01, "VEBO edge imbalance {}", vebo.edge_imbalance);
-        assert!(vebo.vertex_imbalance < 1.01, "VEBO vertex imbalance {}", vebo.vertex_imbalance);
+        assert!(
+            vebo.edge_imbalance < 1.01,
+            "VEBO edge imbalance {}",
+            vebo.edge_imbalance
+        );
+        assert!(
+            vebo.vertex_imbalance < 1.01,
+            "VEBO vertex imbalance {}",
+            vebo.vertex_imbalance
+        );
     }
 
     #[test]
@@ -233,8 +245,7 @@ mod tests {
         let mut totals = Vec::new();
         for s in Strategy::ALL {
             let (h, asg) = s.realize(&g, cfg.workers);
-            let step =
-                crate::bsp::superstep(&h, &asg, &cfg, &h.vertices().collect::<Vec<_>>());
+            let step = crate::bsp::superstep(&h, &asg, &cfg, &h.vertices().collect::<Vec<_>>());
             totals.push(step.compute.iter().sum::<f64>());
         }
         for w in totals.windows(2) {

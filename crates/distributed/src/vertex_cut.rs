@@ -41,7 +41,11 @@ impl EdgePlacement {
         replicas: Vec<u64>,
         loads: Vec<u64>,
     ) -> EdgePlacement {
-        EdgePlacement { edge_machine, replicas, loads }
+        EdgePlacement {
+            edge_machine,
+            replicas,
+            loads,
+        }
     }
 
     /// Number of machines.
@@ -114,7 +118,10 @@ impl GreedyVertexCut {
         machines: usize,
         order: &[VertexId],
     ) -> EdgePlacement {
-        assert!((1..=64).contains(&machines), "machine count must be in 1..=64");
+        assert!(
+            (1..=64).contains(&machines),
+            "machine count must be in 1..=64"
+        );
         assert_eq!(order.len(), g.num_vertices());
         let n = g.num_vertices();
         // Global arc index = csr_offset[source] + position, independent of
@@ -127,8 +134,9 @@ impl GreedyVertexCut {
         let mut replicas = vec![0u64; n];
         let mut loads = vec![0u64; machines];
         // Unplaced incident arcs per vertex (out + in), for rule 2.
-        let mut rem: Vec<u64> =
-            (0..n).map(|v| (g.out_degree(v as VertexId) + g.in_degree(v as VertexId)) as u64).collect();
+        let mut rem: Vec<u64> = (0..n)
+            .map(|v| (g.out_degree(v as VertexId) + g.in_degree(v as VertexId)) as u64)
+            .collect();
 
         let least_loaded_in = |mask: u64, loads: &[u64]| -> u32 {
             let mut best = u32::MAX;
@@ -151,7 +159,11 @@ impl GreedyVertexCut {
                     least_loaded_in(both, &loads)
                 } else if au != 0 && av != 0 {
                     // Disjoint: the endpoint with more unplaced work picks.
-                    let pick = if rem[u as usize] >= rem[v as usize] { au } else { av };
+                    let pick = if rem[u as usize] >= rem[v as usize] {
+                        au
+                    } else {
+                        av
+                    };
                     least_loaded_in(pick, &loads)
                 } else if au != 0 || av != 0 {
                     least_loaded_in(au | av, &loads)
@@ -166,14 +178,21 @@ impl GreedyVertexCut {
                 rem[v as usize] = rem[v as usize].saturating_sub(1);
             }
         }
-        EdgePlacement { edge_machine, replicas, loads }
+        EdgePlacement {
+            edge_machine,
+            replicas,
+            loads,
+        }
     }
 }
 
 /// Random (hash) edge placement — the baseline PowerGraph compares greedy
 /// against.
 pub fn random_edge_placement(g: &Graph, machines: usize) -> EdgePlacement {
-    assert!((1..=64).contains(&machines), "machine count must be in 1..=64");
+    assert!(
+        (1..=64).contains(&machines),
+        "machine count must be in 1..=64"
+    );
     let n = g.num_vertices();
     let mut edge_machine = vec![0u32; g.num_edges()];
     let mut replicas = vec![0u64; n];
@@ -189,7 +208,11 @@ pub fn random_edge_placement(g: &Graph, machines: usize) -> EdgePlacement {
             idx += 1;
         }
     }
-    EdgePlacement { edge_machine, replicas, loads }
+    EdgePlacement {
+        edge_machine,
+        replicas,
+        loads,
+    }
 }
 
 #[cfg(test)]
@@ -244,7 +267,11 @@ mod tests {
             assert_eq!(p.replicas_of(leaf).count_ones(), 1);
         }
         assert!((p.replication_factor() - 1.0).abs() < 1e-12);
-        assert!((p.load_imbalance() - 4.0).abs() < 1e-12, "imbalance {}", p.load_imbalance());
+        assert!(
+            (p.load_imbalance() - 4.0).abs() < 1e-12,
+            "imbalance {}",
+            p.load_imbalance()
+        );
     }
 
     #[test]

@@ -76,15 +76,27 @@ pub struct EdgeMapReport {
 
 impl EdgeMapReport {
     /// Simulated makespan using measured per-task nanoseconds.
-    pub fn makespan(&self, threads: usize, scheduling: crate::profile::Scheduling) -> MakespanReport {
+    pub fn makespan(
+        &self,
+        threads: usize,
+        scheduling: crate::profile::Scheduling,
+    ) -> MakespanReport {
         let costs: Vec<f64> = self.tasks.iter().map(|t| t.nanos as f64).collect();
         simulate(&costs, threads, scheduling)
     }
 
     /// Simulated makespan using the deterministic work model
     /// `cost = edges + vertices` (the paper's joint cost drivers, §II).
-    pub fn makespan_by_work(&self, threads: usize, scheduling: crate::profile::Scheduling) -> MakespanReport {
-        let costs: Vec<f64> = self.tasks.iter().map(|t| (t.edges + t.vertices) as f64).collect();
+    pub fn makespan_by_work(
+        &self,
+        threads: usize,
+        scheduling: crate::profile::Scheduling,
+    ) -> MakespanReport {
+        let costs: Vec<f64> = self
+            .tasks
+            .iter()
+            .map(|t| (t.edges + t.vertices) as f64)
+            .collect();
         simulate(&costs, threads, scheduling)
     }
 
@@ -113,7 +125,11 @@ pub struct EdgeMapOptions {
 
 impl Default for EdgeMapOptions {
     fn default() -> Self {
-        EdgeMapOptions { threshold_den: 20, force_dense: None, parallel: false }
+        EdgeMapOptions {
+            threshold_den: 20,
+            force_dense: None,
+            parallel: false,
+        }
     }
 }
 
@@ -131,16 +147,28 @@ pub fn edge_map<O: EdgeOp>(
     if frontier.is_empty() {
         return (
             Frontier::empty(n),
-            EdgeMapReport { traversal: Traversal::SparsePush, tasks: Vec::new(), output_size: 0 },
+            EdgeMapReport {
+                traversal: Traversal::SparsePush,
+                tasks: Vec::new(),
+                output_size: 0,
+            },
         );
     }
-    let dense = opts.force_dense.unwrap_or_else(|| frontier.is_dense_for(g, opts.threshold_den));
+    let dense = opts
+        .force_dense
+        .unwrap_or_else(|| frontier.is_dense_for(g, opts.threshold_den));
     let next = AtomicBitset::new(n);
     let (traversal, tasks) = if dense {
         let f = frontier.to_dense();
         match pg.profile().dense_layout {
-            DenseLayout::CscPull => (Traversal::DensePull, dense_pull(pg, &f, op, &next, opts.parallel)),
-            DenseLayout::Coo(_) => (Traversal::DenseCoo, dense_coo(pg, &f, op, &next, opts.parallel)),
+            DenseLayout::CscPull => (
+                Traversal::DensePull,
+                dense_pull(pg, &f, op, &next, opts.parallel),
+            ),
+            DenseLayout::Coo(_) => (
+                Traversal::DenseCoo,
+                dense_coo(pg, &f, op, &next, opts.parallel),
+            ),
         }
     } else {
         let f = frontier.to_sparse();
@@ -149,16 +177,33 @@ pub fn edge_map<O: EdgeOp>(
             Frontier::Dense { .. } => unreachable!("to_sparse returned dense"),
         };
         if pg.profile().partitioned_sparse {
-            (Traversal::SparsePartitioned, sparse_partitioned(pg, active, op, &next, opts.parallel))
+            (
+                Traversal::SparsePartitioned,
+                sparse_partitioned(pg, active, op, &next, opts.parallel),
+            )
         } else {
-            (Traversal::SparsePush, sparse_push(pg, active, op, &next, opts.parallel))
+            (
+                Traversal::SparsePush,
+                sparse_push(pg, active, op, &next, opts.parallel),
+            )
         }
     };
     let out = Frontier::from_bitset(next);
     let output_size = out.len();
     // Representation switch on output size, as all three systems do.
-    let out = if output_size * opts.threshold_den < n { out.to_sparse() } else { out };
-    (out, EdgeMapReport { traversal, tasks, output_size })
+    let out = if output_size * opts.threshold_den < n {
+        out.to_sparse()
+    } else {
+        out
+    };
+    (
+        out,
+        EdgeMapReport {
+            traversal,
+            tasks,
+            output_size,
+        },
+    )
 }
 
 /// Runs `num_tasks` tasks, timing each; `f(task) -> (edges, vertices)`.
@@ -169,7 +214,11 @@ where
     let timed = |t: usize| {
         let t0 = Instant::now();
         let (edges, vertices) = f(t);
-        TaskStats { nanos: t0.elapsed().as_nanos() as u64, edges, vertices }
+        TaskStats {
+            nanos: t0.elapsed().as_nanos() as u64,
+            edges,
+            vertices,
+        }
     };
     if parallel {
         (0..num_tasks).into_par_iter().map(timed).collect()
@@ -286,7 +335,9 @@ fn sparse_partitioned<O: EdgeOp>(
     next: &AtomicBitset,
     parallel: bool,
 ) -> Vec<TaskStats> {
-    let sub = pg.sub_csr().expect("profile declares partitioned sparse layout");
+    let sub = pg
+        .sub_csr()
+        .expect("profile declares partitioned sparse layout");
     run_tasks(sub.num_partitions(), parallel, |p| {
         let part = sub.partition(p);
         let mut edges = 0u64;
@@ -336,7 +387,9 @@ mod tests {
 
     impl ParentOp {
         fn new(n: usize) -> ParentOp {
-            ParentOp { parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect() }
+            ParentOp {
+                parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
+            }
         }
     }
 
@@ -378,7 +431,12 @@ mod tests {
         let n = g.num_vertices();
         let root: VertexId = g.vertices().max_by_key(|&v| g.out_degree(v)).unwrap();
         // Reference: out-neighbors of the root, deduped, excluding root.
-        let mut expect: Vec<VertexId> = g.out_neighbors(root).iter().copied().filter(|&v| v != root).collect();
+        let mut expect: Vec<VertexId> = g
+            .out_neighbors(root)
+            .iter()
+            .copied()
+            .filter(|&v| v != root)
+            .collect();
         expect.sort_unstable();
         expect.dedup();
 
@@ -388,7 +446,10 @@ mod tests {
                 let op = ParentOp::new(n);
                 op.parent[root as usize].store(root, Ordering::Relaxed); // don't re-activate root
                 let f = Frontier::single(n, root);
-                let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+                let opts = EdgeMapOptions {
+                    force_dense: force,
+                    ..Default::default()
+                };
                 let (out, report) = edge_map(&pg, &f, &op, &opts);
                 let mut got: Vec<VertexId> = out.iter_active().collect();
                 got.sort_unstable();
@@ -412,7 +473,10 @@ mod tests {
                     op.parent[s as usize].store(s, Ordering::Relaxed);
                 }
                 let f = Frontier::from_vertices(n, seeds.clone());
-                let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+                let opts = EdgeMapOptions {
+                    force_dense: force,
+                    ..Default::default()
+                };
                 let (out, _) = edge_map(&pg, &f, &op, &opts);
                 let mut got: Vec<VertexId> = out.iter_active().collect();
                 got.sort_unstable();
@@ -437,7 +501,10 @@ mod tests {
                 op.parent[s as usize].store(s, Ordering::Relaxed);
             }
             let f = Frontier::from_vertices(n, seeds.clone());
-            let opts = EdgeMapOptions { parallel, ..Default::default() };
+            let opts = EdgeMapOptions {
+                parallel,
+                ..Default::default()
+            };
             let (out, _) = edge_map(&pg, &f, &op, &opts);
             let mut got: Vec<VertexId> = out.iter_active().collect();
             got.sort_unstable();
@@ -454,7 +521,15 @@ mod tests {
         let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
         let op = ParentOp::new(n);
         let f = Frontier::all(n);
-        let (_, report) = edge_map(&pg, &f, &op, &EdgeMapOptions { force_dense: Some(true), ..Default::default() });
+        let (_, report) = edge_map(
+            &pg,
+            &f,
+            &op,
+            &EdgeMapOptions {
+                force_dense: Some(true),
+                ..Default::default()
+            },
+        );
         // Dense COO scans every edge exactly once.
         assert_eq!(report.traversal, Traversal::DenseCoo);
         assert_eq!(report.total_edges(), m);
@@ -469,8 +544,15 @@ mod tests {
         let seeds: Vec<VertexId> = (0..10).map(|i| i * 101 % n as u32).collect();
         let op = ParentOp::new(n);
         let f = Frontier::from_vertices(n, seeds.clone());
-        let (_, report) =
-            edge_map(&pg, &f, &op, &EdgeMapOptions { force_dense: Some(false), ..Default::default() });
+        let (_, report) = edge_map(
+            &pg,
+            &f,
+            &op,
+            &EdgeMapOptions {
+                force_dense: Some(false),
+                ..Default::default()
+            },
+        );
         assert_eq!(report.traversal, Traversal::SparsePartitioned);
         let mut dedup = seeds.clone();
         dedup.sort_unstable();
@@ -500,7 +582,12 @@ mod tests {
         assert!(report.traversal.is_dense());
         let pg2 = PreparedGraph::new(test_graph(), SystemProfile::ligra_like());
         let op2 = ParentOp::new(n);
-        let (_, report2) = edge_map(&pg2, &Frontier::single(n, 0), &op2, &EdgeMapOptions::default());
+        let (_, report2) = edge_map(
+            &pg2,
+            &Frontier::single(n, 0),
+            &op2,
+            &EdgeMapOptions::default(),
+        );
         assert!(!report2.traversal.is_dense());
     }
 

@@ -50,19 +50,29 @@ impl DensityClass {
 impl Frontier {
     /// The empty frontier.
     pub fn empty(num_vertices: usize) -> Frontier {
-        Frontier::Sparse { num_vertices, vertices: Vec::new() }
+        Frontier::Sparse {
+            num_vertices,
+            vertices: Vec::new(),
+        }
     }
 
     /// A single active vertex.
     pub fn single(num_vertices: usize, v: VertexId) -> Frontier {
-        Frontier::Sparse { num_vertices, vertices: vec![v] }
+        Frontier::Sparse {
+            num_vertices,
+            vertices: vec![v],
+        }
     }
 
     /// All vertices active (dense).
     pub fn all(num_vertices: usize) -> Frontier {
         let mut bits = vec![u64::MAX; num_vertices.div_ceil(64)];
         trim_tail(&mut bits, num_vertices);
-        Frontier::Dense { bits, count: num_vertices, num_vertices }
+        Frontier::Dense {
+            bits,
+            count: num_vertices,
+            num_vertices,
+        }
     }
 
     /// From an explicit vertex list (sorted + deduped internally).
@@ -70,14 +80,21 @@ impl Frontier {
         vertices.sort_unstable();
         vertices.dedup();
         debug_assert!(vertices.iter().all(|&v| (v as usize) < num_vertices));
-        Frontier::Sparse { num_vertices, vertices }
+        Frontier::Sparse {
+            num_vertices,
+            vertices,
+        }
     }
 
     /// From a finished next-frontier bitset.
     pub fn from_bitset(bits: AtomicBitset) -> Frontier {
         let num_vertices = bits.len();
         let count = bits.count();
-        Frontier::Dense { bits: bits.into_words(), count, num_vertices }
+        Frontier::Dense {
+            bits: bits.into_words(),
+            count,
+            num_vertices,
+        }
     }
 
     /// Number of active vertices.
@@ -117,9 +134,7 @@ impl Frontier {
             Frontier::Sparse { vertices, .. } => {
                 vertices.iter().map(|&v| g.out_degree(v) as u64).sum()
             }
-            Frontier::Dense { .. } => {
-                self.iter_active().map(|v| g.out_degree(v) as u64).sum()
-            }
+            Frontier::Dense { .. } => self.iter_active().map(|v| g.out_degree(v) as u64).sum(),
         }
     }
 
@@ -146,12 +161,19 @@ impl Frontier {
     pub fn to_dense(&self) -> Frontier {
         match self {
             Frontier::Dense { .. } => self.clone(),
-            Frontier::Sparse { num_vertices, vertices } => {
+            Frontier::Sparse {
+                num_vertices,
+                vertices,
+            } => {
                 let mut bits = vec![0u64; num_vertices.div_ceil(64)];
                 for &v in vertices {
                     bits[v as usize >> 6] |= 1 << (v as usize & 63);
                 }
-                Frontier::Dense { bits, count: vertices.len(), num_vertices: *num_vertices }
+                Frontier::Dense {
+                    bits,
+                    count: vertices.len(),
+                    num_vertices: *num_vertices,
+                }
             }
         }
     }
@@ -160,7 +182,9 @@ impl Frontier {
     pub fn to_sparse(&self) -> Frontier {
         match self {
             Frontier::Sparse { .. } => self.clone(),
-            Frontier::Dense { bits, num_vertices, .. } => {
+            Frontier::Dense {
+                bits, num_vertices, ..
+            } => {
                 let mut vertices = Vec::with_capacity(self.len());
                 for (w, &word) in bits.iter().enumerate() {
                     let mut word = word;
@@ -170,7 +194,10 @@ impl Frontier {
                         word &= word - 1;
                     }
                 }
-                Frontier::Sparse { num_vertices: *num_vertices, vertices }
+                Frontier::Sparse {
+                    num_vertices: *num_vertices,
+                    vertices,
+                }
             }
         }
     }
@@ -179,16 +206,18 @@ impl Frontier {
     pub fn iter_active(&self) -> Box<dyn Iterator<Item = VertexId> + '_> {
         match self {
             Frontier::Sparse { vertices, .. } => Box::new(vertices.iter().copied()),
-            Frontier::Dense { bits, .. } => Box::new(bits.iter().enumerate().flat_map(|(w, &word)| {
-                let mut out = Vec::with_capacity(word.count_ones() as usize);
-                let mut word = word;
-                while word != 0 {
-                    let b = word.trailing_zeros() as usize;
-                    out.push((w * 64 + b) as VertexId);
-                    word &= word - 1;
-                }
-                out
-            })),
+            Frontier::Dense { bits, .. } => {
+                Box::new(bits.iter().enumerate().flat_map(|(w, &word)| {
+                    let mut out = Vec::with_capacity(word.count_ones() as usize);
+                    let mut word = word;
+                    while word != 0 {
+                        let b = word.trailing_zeros() as usize;
+                        out.push((w * 64 + b) as VertexId);
+                        word &= word - 1;
+                    }
+                    out
+                }))
+            }
         }
     }
 
@@ -277,7 +306,10 @@ mod tests {
         assert_eq!(Frontier::all(n).density_class(&g), DensityClass::Dense);
         // An isolated-ish single vertex is sparse.
         let v = g.vertices().min_by_key(|&v| g.out_degree(v)).unwrap();
-        assert_eq!(Frontier::single(n, v).density_class(&g), DensityClass::Sparse);
+        assert_eq!(
+            Frontier::single(n, v).density_class(&g),
+            DensityClass::Sparse
+        );
         assert_eq!(DensityClass::MediumDense.code(), "m");
     }
 

@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn default_cond_is_true() {
-        let op = CountOp { hits: AtomicU64::new(0) };
+        let op = CountOp {
+            hits: AtomicU64::new(0),
+        };
         assert!(op.cond(0));
         assert!(op.update(0, 1, 1.0));
         assert_eq!(op.hits.load(Ordering::Relaxed), 1);

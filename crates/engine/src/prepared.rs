@@ -49,12 +49,23 @@ impl PreparedGraph {
             None
         };
         let prep_time = t0.elapsed();
-        PreparedGraph { graph, profile, tasks, coo, sub_csr, prep_time }
+        PreparedGraph {
+            graph,
+            profile,
+            tasks,
+            coo,
+            sub_csr,
+            prep_time,
+        }
     }
 
     /// As [`PreparedGraph::new`] but with explicit destination ranges
     /// (e.g. VEBO's exact phase-3 boundaries instead of Algorithm 1).
-    pub fn with_bounds(graph: Graph, profile: SystemProfile, tasks: PartitionBounds) -> PreparedGraph {
+    pub fn with_bounds(
+        graph: Graph,
+        profile: SystemProfile,
+        tasks: PartitionBounds,
+    ) -> PreparedGraph {
         assert_eq!(tasks.num_vertices(), graph.num_vertices());
         let t0 = Instant::now();
         let coo = match profile.dense_layout {
@@ -67,7 +78,14 @@ impl PreparedGraph {
             None
         };
         let prep_time = t0.elapsed();
-        PreparedGraph { graph, profile, tasks, coo, sub_csr, prep_time }
+        PreparedGraph {
+            graph,
+            profile,
+            tasks,
+            coo,
+            sub_csr,
+            prep_time,
+        }
     }
 
     /// The underlying graph.
@@ -188,7 +206,8 @@ mod tests {
         let g = Dataset::YahooLike.build(0.05);
         let n = g.num_vertices();
         let bounds = PartitionBounds::vertex_balanced(n, 10);
-        let pg = PreparedGraph::with_bounds(g, SystemProfile::graphgrind_like(EdgeOrder::Csr), bounds);
+        let pg =
+            PreparedGraph::with_bounds(g, SystemProfile::graphgrind_like(EdgeOrder::Csr), bounds);
         assert_eq!(pg.num_tasks(), 10);
     }
 }

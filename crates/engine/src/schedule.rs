@@ -75,7 +75,11 @@ pub fn simulate(task_costs: &[f64], threads: usize, policy: Scheduling) -> Makes
     }
     let makespan = per_thread.iter().copied().fold(0.0, f64::max);
     let total_work = task_costs.iter().sum();
-    MakespanReport { per_thread, makespan, total_work }
+    MakespanReport {
+        per_thread,
+        makespan,
+        total_work,
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +109,12 @@ mod tests {
         // 0 under static blocks (96/12 = 8 tasks per thread).
         let stat = simulate(&costs, 12, Scheduling::Static);
         let dyn_ = simulate(&costs, 12, Scheduling::Dynamic);
-        assert!(stat.makespan > 3.0 * dyn_.makespan, "static {} dynamic {}", stat.makespan, dyn_.makespan);
+        assert!(
+            stat.makespan > 3.0 * dyn_.makespan,
+            "static {} dynamic {}",
+            stat.makespan,
+            dyn_.makespan
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub struct AtomicF64 {
 impl AtomicF64 {
     /// Creates with an initial value.
     pub fn new(v: f64) -> AtomicF64 {
-        AtomicF64 { bits: AtomicU64::new(v.to_bits()) }
+        AtomicF64 {
+            bits: AtomicU64::new(v.to_bits()),
+        }
     }
 
     /// Relaxed load.
@@ -39,7 +41,10 @@ impl AtomicF64 {
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
-            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return f64::from_bits(cur),
                 Err(now) => cur = now,
             }
@@ -54,7 +59,12 @@ impl AtomicF64 {
             if f64::from_bits(cur) <= v {
                 return false;
             }
-            match self.bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => return true,
                 Err(now) => cur = now,
             }
@@ -114,7 +124,10 @@ impl AtomicBitset {
 
     /// Number of set bits.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
     }
 
     /// Extracts the plain word array (consumes the atomic wrapper).
@@ -197,7 +210,11 @@ mod tests {
             let handles: Vec<_> = (0..8).map(|_| s.spawn(|| usize::from(b.set(7)))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        assert_eq!(winners.iter().sum::<usize>(), 1, "exactly one thread wins the set");
+        assert_eq!(
+            winners.iter().sum::<usize>(),
+            1,
+            "exactly one thread wins the set"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ where
         }
     };
     let out = Frontier::from_bitset(next);
-    let out = if out.len() * 20 < n { out.to_sparse() } else { out };
+    let out = if out.len() * 20 < n {
+        out.to_sparse()
+    } else {
+        out
+    };
     (out, VertexMapReport { tasks })
 }
 
@@ -99,7 +103,11 @@ where
     let timed = |t: usize| {
         let t0 = Instant::now();
         let work = f(t);
-        TaskStats { nanos: t0.elapsed().as_nanos() as u64, edges: 0, vertices: work }
+        TaskStats {
+            nanos: t0.elapsed().as_nanos() as u64,
+            edges: 0,
+            vertices: work,
+        }
     };
     if parallel {
         (0..num_tasks).into_par_iter().map(timed).collect()
@@ -165,7 +173,10 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let g = Dataset::YahooLike.build(0.05);
-        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(vebo_partition::EdgeOrder::Csr));
+        let pg = PreparedGraph::new(
+            g,
+            SystemProfile::graphgrind_like(vebo_partition::EdgeOrder::Csr),
+        );
         let (a, _) = vertex_map_all(&pg, |v| v % 7 == 1, false);
         let (b, _) = vertex_map_all(&pg, |v| v % 7 == 1, true);
         let va: Vec<_> = a.iter_active().collect();

@@ -16,7 +16,12 @@ fn arb_case() -> impl Strategy<Value = (Graph, Vec<VertexId>)> {
             x
         };
         let edges: Vec<(VertexId, VertexId)> = (0..m)
-            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .map(|_| {
+                (
+                    (next() % n as u64) as VertexId,
+                    (next() % n as u64) as VertexId,
+                )
+            })
             .collect();
         let frontier: Vec<VertexId> = (0..f).map(|_| (next() % n as u64) as VertexId).collect();
         (Graph::from_edges(n, &edges, true), frontier)
@@ -52,12 +57,17 @@ fn run_mode(
 ) -> (Vec<f64>, Vec<VertexId>) {
     let n = g.num_vertices();
     let pg = PreparedGraph::new(g.clone(), profile);
-    let op = MinOp { val: (0..n).map(|_| AtomicF64::new(f64::INFINITY)).collect() };
+    let op = MinOp {
+        val: (0..n).map(|_| AtomicF64::new(f64::INFINITY)).collect(),
+    };
     for &v in frontier {
         op.val[v as usize].store(0.0);
     }
     let f = Frontier::from_vertices(n, frontier.to_vec());
-    let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
+    let opts = EdgeMapOptions {
+        force_dense: force,
+        ..Default::default()
+    };
     let (out, _) = edge_map(&pg, &f, &op, &opts);
     let mut active: Vec<VertexId> = out.iter_active().collect();
     active.sort_unstable();

@@ -5,7 +5,9 @@
 //! in-edges). Offsets are `usize` (one entry per vertex plus a sentinel) and
 //! neighbor ids are [`VertexId`] to keep the hot arrays compact.
 
+use crate::par::{weighted_ranges, ParMode, SharedSlice};
 use crate::types::{GraphError, VertexId};
+use rayon::prelude::*;
 
 /// A compressed adjacency structure: `neighbors(v)` is the slice
 /// `targets[offsets[v]..offsets[v+1]]`.
@@ -35,9 +37,35 @@ impl Adjacency {
         pairs: &[(VertexId, VertexId)],
         weights: Option<&[f32]>,
     ) -> Self {
+        Self::from_pairs_with(num_vertices, pairs, weights, ParMode::default())
+    }
+
+    /// As [`Adjacency::from_pairs_weighted`] with an explicit execution
+    /// mode. The parallel and sequential paths produce bit-identical
+    /// structures: the scatter is stable (input order within each vertex)
+    /// and the per-vertex sorts run the same algorithm on the same data.
+    pub fn from_pairs_with(
+        num_vertices: usize,
+        pairs: &[(VertexId, VertexId)],
+        weights: Option<&[f32]>,
+        mode: ParMode,
+    ) -> Self {
         if let Some(w) = weights {
             assert_eq!(w.len(), pairs.len(), "one weight per edge required");
         }
+        if mode.go_parallel(pairs.len()) {
+            Self::build_parallel(num_vertices, pairs, weights)
+        } else {
+            Self::build_sequential(num_vertices, pairs, weights)
+        }
+    }
+
+    /// The sequential counting-sort reference path.
+    fn build_sequential(
+        num_vertices: usize,
+        pairs: &[(VertexId, VertexId)],
+        weights: Option<&[f32]>,
+    ) -> Self {
         let mut offsets = vec![0usize; num_vertices + 1];
         for &(v, _) in pairs {
             offsets[v as usize + 1] += 1;
@@ -56,9 +84,115 @@ impl Adjacency {
             }
             cursor[v as usize] += 1;
         }
-        let mut adj = Adjacency { offsets, targets, weights: out_weights };
+        let mut adj = Adjacency {
+            offsets,
+            targets,
+            weights: out_weights,
+        };
         adj.sort_neighbor_lists();
         adj
+    }
+
+    /// Parallel counting sort over *edge-range chunks*: each thread scans
+    /// only its `m / threads` slice of the pair list, once to build a
+    /// local histogram and once to scatter, so total work stays `O(n + m)`
+    /// regardless of thread count. The histograms are converted in place
+    /// into per-chunk scatter bases by one `O(chunks * n)` prefix pass;
+    /// chunk `c`'s base for vertex `v` accounts for all of `v`'s pairs in
+    /// chunks `< c`, which keeps the scatter stable (global input order
+    /// within each vertex) and every write slot disjoint. Memory overhead
+    /// is the `chunks * n` base table — on the paper's graphs (edge factor
+    /// >= 10) that is a fraction of the edge arrays themselves.
+    fn build_parallel(
+        num_vertices: usize,
+        pairs: &[(VertexId, VertexId)],
+        weights: Option<&[f32]>,
+    ) -> Self {
+        let n = num_vertices;
+        let m = pairs.len();
+        let chunks = rayon::current_num_threads().clamp(1, m.max(1));
+        let per = m.div_ceil(chunks);
+        let chunk_range = |c: usize| ((c * per).min(m))..((c + 1) * per).min(m);
+
+        // Phase 1: per-chunk histograms, each thread scanning its own
+        // slice of `pairs` only.
+        let mut bases = vec![0usize; chunks * n];
+        bases
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(c, window)| {
+                for &(v, _) in &pairs[chunk_range(c)] {
+                    window[v as usize] += 1;
+                }
+            });
+
+        // Phase 2: one prefix pass turns histograms into offsets and
+        // per-chunk scatter bases in place.
+        let mut offsets = vec![0usize; n + 1];
+        let mut acc = 0usize;
+        for v in 0..n {
+            offsets[v] = acc;
+            for c in 0..chunks {
+                let cell = &mut bases[c * n + v];
+                let count = *cell;
+                *cell = acc;
+                acc += count;
+            }
+        }
+        offsets[n] = acc;
+        debug_assert_eq!(acc, m);
+
+        // Phase 3: stable scatter, each thread re-scanning only its chunk.
+        let mut targets = vec![0 as VertexId; m];
+        let mut out_weights = weights.map(|_| vec![0f32; m]);
+        {
+            let tshared = SharedSlice::new(&mut targets);
+            let wshared = out_weights
+                .as_mut()
+                .map(|w| SharedSlice::new(w.as_mut_slice()));
+            bases
+                .par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(c, window)| {
+                    let range = chunk_range(c);
+                    let base_e = range.start;
+                    for (k, &(v, t)) in pairs[range].iter().enumerate() {
+                        let slot = window[v as usize];
+                        window[v as usize] = slot + 1;
+                        // SAFETY: chunk `c`'s slots for vertex `v` occupy
+                        // [bases[c][v], bases[c][v] + count_c(v)), disjoint
+                        // across chunks and vertices by construction.
+                        unsafe { tshared.write(slot, t) };
+                        if let (Some(ws), Some(w)) = (&wshared, weights) {
+                            // SAFETY: same disjoint slot.
+                            unsafe { ws.write(slot, w[base_e + k]) };
+                        }
+                    }
+                });
+        }
+        let mut adj = Adjacency {
+            offsets,
+            targets,
+            weights: out_weights,
+        };
+        adj.sort_neighbor_lists_parallel();
+        adj
+    }
+
+    /// Builds from parts the caller already proved consistent (private to
+    /// the crate: used by the permutation fast path, which constructs
+    /// valid CSR arrays directly).
+    pub(crate) fn from_parts_unchecked(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Option<Vec<f32>>,
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        Adjacency {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Builds directly from raw CSR arrays. Validates the invariants.
@@ -68,7 +202,10 @@ impl Adjacency {
         weights: Option<Vec<f32>>,
     ) -> Result<Self, GraphError> {
         if offsets.is_empty() {
-            return Err(GraphError::OffsetsEdgeMismatch { last_offset: 0, num_edges: targets.len() });
+            return Err(GraphError::OffsetsEdgeMismatch {
+                last_offset: 0,
+                num_edges: targets.len(),
+            });
         }
         for i in 1..offsets.len() {
             if offsets[i] < offsets[i - 1] {
@@ -83,12 +220,19 @@ impl Adjacency {
         }
         let n = offsets.len() - 1;
         if let Some(&bad) = targets.iter().find(|&&t| (t as usize) >= n) {
-            return Err(GraphError::VertexOutOfRange { vertex: bad as u64, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: bad as u64,
+                num_vertices: n,
+            });
         }
         if let Some(w) = &weights {
             assert_eq!(w.len(), targets.len(), "one weight per edge required");
         }
-        Ok(Adjacency { offsets, targets, weights })
+        Ok(Adjacency {
+            offsets,
+            targets,
+            weights,
+        })
     }
 
     /// Number of vertices.
@@ -161,6 +305,20 @@ impl Adjacency {
     /// Returns the transposed adjacency (in-edges become out-edges), again
     /// via counting sort in `O(n + m)`.
     pub fn transpose(&self) -> Adjacency {
+        self.transpose_with(ParMode::default())
+    }
+
+    /// As [`Adjacency::transpose`] with an explicit execution mode; both
+    /// paths produce bit-identical structures.
+    pub fn transpose_with(&self, mode: ParMode) -> Adjacency {
+        if mode.go_parallel(self.num_edges()) {
+            self.transpose_parallel()
+        } else {
+            self.transpose_sequential()
+        }
+    }
+
+    fn transpose_sequential(&self) -> Adjacency {
         let n = self.num_vertices();
         let mut offsets = vec![0usize; n + 1];
         for &t in &self.targets {
@@ -171,7 +329,10 @@ impl Adjacency {
         }
         let mut cursor = offsets.clone();
         let mut targets = vec![0 as VertexId; self.targets.len()];
-        let mut weights = self.weights.as_ref().map(|_| vec![0f32; self.targets.len()]);
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0f32; self.targets.len()]);
         for v in 0..n as VertexId {
             let base = self.offsets[v as usize];
             for (k, &t) in self.neighbors(v).iter().enumerate() {
@@ -185,7 +346,93 @@ impl Adjacency {
         }
         // Sources are visited in ascending order, so each transposed
         // neighbor list is already sorted: no extra sort needed.
-        Adjacency { offsets, targets, weights }
+        Adjacency {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Parallel transpose with the same edge-chunked structure as the
+    /// parallel builder (`O(n + m)` total work; see
+    /// [`Adjacency::build_parallel`]). Chunks cover contiguous ranges of
+    /// the flat CSR edge array, so each chunk's arcs are in ascending
+    /// source order and the stable scatter leaves every transposed list
+    /// sorted by source, exactly like the sequential path.
+    fn transpose_parallel(&self) -> Adjacency {
+        let n = self.num_vertices();
+        let m = self.num_edges();
+        let chunks = rayon::current_num_threads().clamp(1, m.max(1));
+        let per = m.div_ceil(chunks);
+        let chunk_range = |c: usize| ((c * per).min(m))..((c + 1) * per).min(m);
+
+        // Phase 1: per-chunk in-degree histograms over edge ranges.
+        let mut bases = vec![0usize; chunks * n];
+        bases
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(c, window)| {
+                for &t in &self.targets[chunk_range(c)] {
+                    window[t as usize] += 1;
+                }
+            });
+
+        // Phase 2: histograms -> offsets + per-chunk bases, in place.
+        let mut offsets = vec![0usize; n + 1];
+        let mut acc = 0usize;
+        for v in 0..n {
+            offsets[v] = acc;
+            for c in 0..chunks {
+                let cell = &mut bases[c * n + v];
+                let count = *cell;
+                *cell = acc;
+                acc += count;
+            }
+        }
+        offsets[n] = acc;
+        debug_assert_eq!(acc, m);
+
+        // Phase 3: stable scatter; each chunk walks its edge range,
+        // tracking the source vertex via the CSR offsets.
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = self.weights.as_ref().map(|_| vec![0f32; m]);
+        {
+            let tshared = SharedSlice::new(&mut targets);
+            let wshared = weights.as_mut().map(|w| SharedSlice::new(w.as_mut_slice()));
+            bases
+                .par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(c, window)| {
+                    let range = chunk_range(c);
+                    if range.is_empty() {
+                        return;
+                    }
+                    // First source whose edge range contains this chunk's
+                    // first edge.
+                    let mut v = self.offsets.partition_point(|&o| o <= range.start) - 1;
+                    for e in range {
+                        while e >= self.offsets[v + 1] {
+                            v += 1;
+                        }
+                        let t = self.targets[e] as usize;
+                        let slot = window[t];
+                        window[t] = slot + 1;
+                        // SAFETY: chunk `c`'s slots for destination `t` occupy
+                        // [bases[c][t], bases[c][t] + count_c(t)), disjoint
+                        // across chunks and destinations by construction.
+                        unsafe { tshared.write(slot, v as VertexId) };
+                        if let (Some(ws), Some(wi)) = (&wshared, self.weights.as_ref()) {
+                            // SAFETY: same disjoint slot.
+                            unsafe { ws.write(slot, wi[e]) };
+                        }
+                    }
+                });
+        }
+        Adjacency {
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Attaches weights computed per edge as `f(index_vertex, neighbor)`.
@@ -216,22 +463,62 @@ impl Adjacency {
                 }
             }
             Some(w) => {
-                // Keep weights parallel to targets while sorting.
                 for v in 0..n {
                     let range = self.offsets[v]..self.offsets[v + 1];
-                    let mut zip: Vec<(VertexId, f32)> = self.targets[range.clone()]
-                        .iter()
-                        .copied()
-                        .zip(w[range.clone()].iter().copied())
-                        .collect();
-                    zip.sort_unstable_by_key(|&(t, _)| t);
-                    for (k, (t, wt)) in zip.into_iter().enumerate() {
-                        self.targets[range.start + k] = t;
-                        w[range.start + k] = wt;
-                    }
+                    sort_weighted_list(&mut self.targets[range.clone()], &mut w[range]);
                 }
             }
         }
+    }
+
+    /// Per-vertex list sort over edge-balanced vertex ranges. Each list is
+    /// touched by exactly one thread, and the sort is the same algorithm
+    /// as the sequential path, so results are identical.
+    fn sort_neighbor_lists_parallel(&mut self) {
+        let ranges = weighted_ranges(&self.offsets, rayon::current_num_threads());
+        let offsets = &self.offsets;
+        match &mut self.weights {
+            None => {
+                let tshared = SharedSlice::new(&mut self.targets);
+                let ranges = &ranges;
+                (0..ranges.len()).into_par_iter().for_each(|ri| {
+                    for v in ranges[ri].clone() {
+                        // SAFETY: vertex ranges are disjoint, so the edge
+                        // ranges [offsets[v], offsets[v+1]) are too.
+                        let list = unsafe { tshared.slice_mut(offsets[v], offsets[v + 1]) };
+                        list.sort_unstable();
+                    }
+                });
+            }
+            Some(w) => {
+                let tshared = SharedSlice::new(&mut self.targets);
+                let wshared = SharedSlice::new(w.as_mut_slice());
+                let ranges = &ranges;
+                (0..ranges.len()).into_par_iter().for_each(|ri| {
+                    for v in ranges[ri].clone() {
+                        // SAFETY: as above; targets and weights share the
+                        // same disjoint edge ranges.
+                        let list = unsafe { tshared.slice_mut(offsets[v], offsets[v + 1]) };
+                        let wts = unsafe { wshared.slice_mut(offsets[v], offsets[v + 1]) };
+                        sort_weighted_list(list, wts);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Sorts a neighbor list ascending, keeping its weight slice parallel.
+pub(crate) fn sort_weighted_list(targets: &mut [VertexId], weights: &mut [f32]) {
+    let mut zip: Vec<(VertexId, f32)> = targets
+        .iter()
+        .copied()
+        .zip(weights.iter().copied())
+        .collect();
+    zip.sort_unstable_by_key(|&(t, _)| t);
+    for (k, (t, wt)) in zip.into_iter().enumerate() {
+        targets[k] = t;
+        weights[k] = wt;
     }
 }
 
@@ -297,22 +584,14 @@ mod tests {
 
     #[test]
     fn weights_follow_targets_through_sort() {
-        let a = Adjacency::from_pairs_weighted(
-            3,
-            &[(0, 2), (0, 1)],
-            Some(&[20.0, 10.0]),
-        );
+        let a = Adjacency::from_pairs_weighted(3, &[(0, 2), (0, 1)], Some(&[20.0, 10.0]));
         assert_eq!(a.neighbors(0), &[1, 2]);
         assert_eq!(a.weights_of(0), &[10.0, 20.0]);
     }
 
     #[test]
     fn weights_follow_targets_through_transpose() {
-        let a = Adjacency::from_pairs_weighted(
-            3,
-            &[(0, 2), (1, 2)],
-            Some(&[5.0, 7.0]),
-        );
+        let a = Adjacency::from_pairs_weighted(3, &[(0, 2), (1, 2)], Some(&[5.0, 7.0]));
         let t = a.transpose();
         assert_eq!(t.neighbors(2), &[0, 1]);
         assert_eq!(t.weights_of(2), &[5.0, 7.0]);
@@ -328,7 +607,10 @@ mod tests {
     #[test]
     fn from_raw_validates_monotonicity() {
         let r = Adjacency::from_raw(vec![0, 2, 1], vec![0, 1], None);
-        assert!(matches!(r, Err(GraphError::NonMonotonicOffsets { index: 2 })));
+        assert!(matches!(
+            r,
+            Err(GraphError::NonMonotonicOffsets { index: 2 })
+        ));
     }
 
     #[test]
@@ -340,7 +622,10 @@ mod tests {
     #[test]
     fn from_raw_validates_target_range() {
         let r = Adjacency::from_raw(vec![0, 1, 2], vec![0, 7], None);
-        assert!(matches!(r, Err(GraphError::VertexOutOfRange { vertex: 7, .. })));
+        assert!(matches!(
+            r,
+            Err(GraphError::VertexOutOfRange { vertex: 7, .. })
+        ));
     }
 
     #[test]

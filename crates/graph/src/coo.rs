@@ -25,7 +25,11 @@ impl Coo {
         assert_eq!(src.len(), dst.len(), "src/dst arrays must be parallel");
         debug_assert!(src.iter().all(|&u| (u as usize) < num_vertices));
         debug_assert!(dst.iter().all(|&v| (v as usize) < num_vertices));
-        Coo { src, dst, num_vertices }
+        Coo {
+            src,
+            dst,
+            num_vertices,
+        }
     }
 
     /// Extracts the full edge list of a graph in CSR order
@@ -40,7 +44,11 @@ impl Coo {
                 dst.push(v);
             }
         }
-        Coo { src, dst, num_vertices: g.num_vertices() }
+        Coo {
+            src,
+            dst,
+            num_vertices: g.num_vertices(),
+        }
     }
 
     /// Number of edges.

@@ -299,7 +299,11 @@ mod tests {
     fn directed_power_law_has_zero_in_degree_vertices() {
         // Table I: directed scale-free graphs have substantial zero
         // in-degree fractions (14%-69%).
-        for d in [Dataset::TwitterLike, Dataset::FriendsterLike, Dataset::Rmat27Like] {
+        for d in [
+            Dataset::TwitterLike,
+            Dataset::FriendsterLike,
+            Dataset::Rmat27Like,
+        ] {
             let g = d.build(0.1);
             let c = characterize(&g);
             assert!(c.pct_zero_in() > 5.0, "{}: {}", d.name(), c.pct_zero_in());

@@ -175,11 +175,7 @@ mod tests {
 
     #[test]
     fn decreasing_degree_order_is_sorted_and_stable() {
-        let g = Graph::from_edges(
-            5,
-            &[(1, 0), (2, 0), (3, 0), (0, 1), (2, 1), (0, 4)],
-            true,
-        );
+        let g = Graph::from_edges(5, &[(1, 0), (2, 0), (3, 0), (0, 1), (2, 1), (0, 4)], true);
         // in-degrees: 0:3, 1:2, 2:0, 3:0, 4:1
         let order = vertices_by_decreasing_in_degree(&g);
         assert_eq!(order, vec![0, 1, 4, 2, 3]);

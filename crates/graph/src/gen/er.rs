@@ -3,7 +3,7 @@
 use crate::graph::Graph;
 use crate::types::VertexId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Samples `num_edges` uniformly random arcs (no self-loops; parallel arcs
 /// possible) and builds a graph.

@@ -8,7 +8,7 @@
 use crate::graph::Graph;
 use crate::types::VertexId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Grid configuration. The graph has `width * height` vertices.
 #[derive(Clone, Debug)]
@@ -27,7 +27,13 @@ pub struct GridConfig {
 
 impl Default for GridConfig {
     fn default() -> Self {
-        GridConfig { width: 64, height: 64, diagonal_prob: 0.1, deletion_prob: 0.05, seed: 42 }
+        GridConfig {
+            width: 64,
+            height: 64,
+            diagonal_prob: 0.1,
+            deletion_prob: 0.05,
+            seed: 42,
+        }
     }
 }
 
@@ -66,7 +72,11 @@ mod tests {
 
     #[test]
     fn grid_has_bounded_degree() {
-        let g = grid_graph(&GridConfig { width: 20, height: 20, ..Default::default() });
+        let g = grid_graph(&GridConfig {
+            width: 20,
+            height: 20,
+            ..Default::default()
+        });
         let c = characterize(&g);
         assert_eq!(c.vertices, 400);
         assert!(c.max_in_degree <= 8, "max degree {}", c.max_in_degree);
@@ -90,7 +100,11 @@ mod tests {
 
     #[test]
     fn grid_is_symmetric() {
-        let g = grid_graph(&GridConfig { width: 8, height: 8, ..Default::default() });
+        let g = grid_graph(&GridConfig {
+            width: 8,
+            height: 8,
+            ..Default::default()
+        });
         for v in g.vertices() {
             assert_eq!(g.out_neighbors(v), g.in_neighbors(v));
         }

@@ -59,8 +59,14 @@ mod tests {
 
     #[test]
     fn random_permutation_is_seeded() {
-        assert_eq!(random_permutation(50, 1).as_slice(), random_permutation(50, 1).as_slice());
-        assert_ne!(random_permutation(50, 1).as_slice(), random_permutation(50, 2).as_slice());
+        assert_eq!(
+            random_permutation(50, 1).as_slice(),
+            random_permutation(50, 1).as_slice()
+        );
+        assert_ne!(
+            random_permutation(50, 1).as_slice(),
+            random_permutation(50, 2).as_slice()
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::gen::zipf::ZipfDegreeModel;
 use crate::graph::Graph;
 use crate::types::VertexId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Configuration for a directed graph with Zipf-distributed in-degrees —
 /// the graph family the paper's Theorems 1 and 2 are proved for.
@@ -173,7 +173,13 @@ pub struct ZipfUndirectedConfig {
 
 impl Default for ZipfUndirectedConfig {
     fn default() -> Self {
-        ZipfUndirectedConfig { num_vertices: 10_000, num_ranks: 512, s: 1.5, shuffle_ids: true, seed: 42 }
+        ZipfUndirectedConfig {
+            num_vertices: 10_000,
+            num_ranks: 512,
+            s: 1.5,
+            shuffle_ids: true,
+            seed: 42,
+        }
     }
 }
 
@@ -229,17 +235,31 @@ mod tests {
         let g = zipf_directed(&cfg);
         let c = characterize(&g);
         assert_eq!(c.vertices, 5000);
-        assert!(c.max_in_degree <= 63 + 1, "parallel edges may add at most noise");
-        assert!(c.zero_in_degree > 0, "Zipf rank 1 (degree 0) is most frequent");
+        assert!(
+            c.max_in_degree <= 63 + 1,
+            "parallel edges may add at most noise"
+        );
+        assert!(
+            c.zero_in_degree > 0,
+            "Zipf rank 1 (degree 0) is most frequent"
+        );
         // Expected edges within 15% of the model's expectation.
         let model = ZipfDegreeModel::new(5000, 64, 1.2);
         let e = model.expected_edges();
-        assert!((c.edges as f64 - e).abs() / e < 0.15, "m = {} vs E = {e}", c.edges);
+        assert!(
+            (c.edges as f64 - e).abs() / e < 0.15,
+            "m = {} vs E = {e}",
+            c.edges
+        );
     }
 
     #[test]
     fn zipf_directed_is_deterministic_per_seed() {
-        let cfg = ZipfGraphConfig { num_vertices: 500, seed: 9, ..Default::default() };
+        let cfg = ZipfGraphConfig {
+            num_vertices: 500,
+            seed: 9,
+            ..Default::default()
+        };
         let g1 = zipf_directed(&cfg);
         let g2 = zipf_directed(&cfg);
         assert_eq!(g1.csr().targets(), g2.csr().targets());
@@ -263,7 +283,12 @@ mod tests {
 
     #[test]
     fn zipf_directed_has_no_self_loops() {
-        let cfg = ZipfGraphConfig { num_vertices: 300, shuffle_ids: false, seed: 2, ..Default::default() };
+        let cfg = ZipfGraphConfig {
+            num_vertices: 300,
+            shuffle_ids: false,
+            seed: 2,
+            ..Default::default()
+        };
         let g = zipf_directed(&cfg);
         for v in g.vertices() {
             assert!(!g.out_neighbors(v).contains(&v));
@@ -281,12 +306,19 @@ mod tests {
         });
         let deg1 = g.vertices().filter(|&v| g.in_degree(v) == 1).count();
         // Degree 1 is the modal degree under P(d) ~ d^{-1.5}.
-        assert!(deg1 > g.num_vertices() / 10, "only {deg1} degree-1 vertices");
+        assert!(
+            deg1 > g.num_vertices() / 10,
+            "only {deg1} degree-1 vertices"
+        );
     }
 
     #[test]
     fn zipf_undirected_is_symmetric_and_loop_free() {
-        let g = zipf_undirected(&ZipfUndirectedConfig { num_vertices: 1000, seed: 12, ..Default::default() });
+        let g = zipf_undirected(&ZipfUndirectedConfig {
+            num_vertices: 1000,
+            seed: 12,
+            ..Default::default()
+        });
         for v in g.vertices() {
             assert_eq!(g.out_neighbors(v), g.in_neighbors(v));
             assert!(!g.out_neighbors(v).contains(&v));
@@ -307,7 +339,10 @@ mod tests {
         let want = model.expected_degree() + 1.0; // degrees shifted up by one
         let got = g.num_edges() as f64 / g.num_vertices() as f64;
         // Dedup/self-loop removal trims a little, so allow 15% shortfall.
-        assert!(got > 0.85 * want && got < 1.05 * want, "mean {got} vs model {want}");
+        assert!(
+            got > 0.85 * want && got < 1.05 * want,
+            "mean {got} vs model {want}"
+        );
     }
 
     #[test]
@@ -322,16 +357,29 @@ mod tests {
         let g = chung_lu_undirected(&cfg);
         // Symmetrization dedupes repeated samples of the same pair, so the
         // arc count is at most 2 * num_edges and well above half of it.
-        assert!(g.num_edges() <= 40_000 && g.num_edges() > 20_000, "m = {}", g.num_edges());
+        assert!(
+            g.num_edges() <= 40_000 && g.num_edges() > 20_000,
+            "m = {}",
+            g.num_edges()
+        );
         let c = characterize(&g);
         // Heavy tail: max degree far above the mean.
         let mean = c.edges as f64 / c.vertices as f64;
-        assert!(c.max_in_degree as f64 > 5.0 * mean, "max {} mean {mean}", c.max_in_degree);
+        assert!(
+            c.max_in_degree as f64 > 5.0 * mean,
+            "max {} mean {mean}",
+            c.max_in_degree
+        );
     }
 
     #[test]
     fn chung_lu_is_symmetric() {
-        let cfg = ChungLuConfig { num_vertices: 300, num_edges: 900, seed: 5, ..Default::default() };
+        let cfg = ChungLuConfig {
+            num_vertices: 300,
+            num_edges: 900,
+            seed: 5,
+            ..Default::default()
+        };
         let g = chung_lu_undirected(&cfg);
         for v in g.vertices() {
             assert_eq!(g.out_neighbors(v), g.in_neighbors(v));
@@ -348,7 +396,10 @@ mod tests {
             ..Default::default()
         };
         let unshuffled = zipf_directed(&base);
-        let shuffled = zipf_directed(&ZipfGraphConfig { shuffle_ids: true, ..base });
+        let shuffled = zipf_directed(&ZipfGraphConfig {
+            shuffle_ids: true,
+            ..base
+        });
         // Without shuffling, out-degrees concentrate on low ids; measure the
         // share of out-edges in the first 10% of ids.
         let share = |g: &Graph| {
@@ -358,7 +409,15 @@ mod tests {
         };
         // With out_skew = 3, P(src in first 10% of ids) = (0.1/0.95)^(1/3)
         // ~= 0.47; after shuffling it drops to ~0.1.
-        assert!(share(&unshuffled) > 0.4, "unshuffled share {}", share(&unshuffled));
-        assert!(share(&shuffled) < 0.3, "shuffled share {}", share(&shuffled));
+        assert!(
+            share(&unshuffled) > 0.4,
+            "unshuffled share {}",
+            share(&unshuffled)
+        );
+        assert!(
+            share(&shuffled) < 0.3,
+            "shuffled share {}",
+            share(&shuffled)
+        );
     }
 }

@@ -5,7 +5,7 @@ use crate::gen::random_permutation;
 use crate::graph::Graph;
 use crate::types::VertexId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// R-MAT parameters. Vertices number `2^scale`; `edge_factor` edges are
 /// sampled per vertex. The quadrant probabilities `(a, b, c, d)` must sum
@@ -106,14 +106,22 @@ mod tests {
 
     #[test]
     fn edge_count_matches_factor() {
-        let cfg = RmatConfig { scale: 10, edge_factor: 8, dedup: false, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            dedup: false,
+            ..Default::default()
+        };
         let edges = rmat_edges(&cfg);
         assert_eq!(edges.len(), 1024 * 8);
     }
 
     #[test]
     fn endpoints_in_range() {
-        let cfg = RmatConfig { scale: 9, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 9,
+            ..Default::default()
+        };
         for (u, v) in rmat_edges(&cfg) {
             assert!((u as usize) < 512 && (v as usize) < 512);
         }
@@ -121,7 +129,12 @@ mod tests {
 
     #[test]
     fn skewed_parameters_create_heavy_tail_and_zero_degrees() {
-        let cfg = RmatConfig { scale: 12, edge_factor: 10, seed: 7, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 12,
+            edge_factor: 10,
+            seed: 7,
+            ..Default::default()
+        };
         let g = rmat_graph(&cfg);
         let c = characterize(&g);
         let mean = c.edges as f64 / c.vertices as f64;
@@ -152,13 +165,23 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = RmatConfig { scale: 8, seed: 3, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 8,
+            seed: 3,
+            ..Default::default()
+        };
         assert_eq!(rmat_edges(&cfg), rmat_edges(&cfg));
     }
 
     #[test]
     fn dedup_removes_duplicates() {
-        let cfg = RmatConfig { scale: 6, edge_factor: 50, dedup: true, shuffle_ids: false, ..Default::default() };
+        let cfg = RmatConfig {
+            scale: 6,
+            edge_factor: 50,
+            dedup: true,
+            shuffle_ids: false,
+            ..Default::default()
+        };
         let g = rmat_graph(&cfg);
         for u in g.vertices() {
             let nb = g.out_neighbors(u);

@@ -7,7 +7,7 @@
 //! `|E|` and `P` — this module provides the distribution, its moments, and
 //! the precondition checks.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Generalized harmonic number `H_{N,s} = sum_{i=1}^{N} i^{-s}`.
 pub fn generalized_harmonic(n_ranks: usize, s: f64) -> f64 {
@@ -42,7 +42,13 @@ impl ZipfDegreeModel {
         }
         // Guard against floating-point shortfall at the top.
         *cdf.last_mut().unwrap() = 1.0;
-        ZipfDegreeModel { num_vertices, num_ranks, s, cdf, harmonic }
+        ZipfDegreeModel {
+            num_vertices,
+            num_ranks,
+            s,
+            cdf,
+            harmonic,
+        }
     }
 
     /// Number of vertices `n`.
@@ -88,7 +94,7 @@ impl ZipfDegreeModel {
     }
 
     /// Samples one in-degree (inverse-CDF with binary search, `O(log N)`).
-    pub fn sample_degree<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+    pub fn sample_degree<R: Rng>(&self, rng: &mut R) -> u32 {
         let u: f64 = rng.random();
         // partition_point returns the first rank whose cdf >= u.
         let idx = self.cdf.partition_point(|&c| c < u);
@@ -96,8 +102,10 @@ impl ZipfDegreeModel {
     }
 
     /// Samples an in-degree for every vertex.
-    pub fn sample_degree_sequence<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
-        (0..self.num_vertices).map(|_| self.sample_degree(rng)).collect()
+    pub fn sample_degree_sequence<R: Rng>(&self, rng: &mut R) -> Vec<u32> {
+        (0..self.num_vertices)
+            .map(|_| self.sample_degree(rng))
+            .collect()
     }
 
     /// Theorem 1 precondition: `|E| >= N (P - 1)` and `P < N`, using the
@@ -124,7 +132,9 @@ mod tests {
     fn harmonic_matches_known_values() {
         assert!((generalized_harmonic(1, 1.0) - 1.0).abs() < 1e-12);
         assert!((generalized_harmonic(2, 1.0) - 1.5).abs() < 1e-12);
-        assert!((generalized_harmonic(4, 2.0) - (1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0)).abs() < 1e-12);
+        assert!(
+            (generalized_harmonic(4, 2.0) - (1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0)).abs() < 1e-12
+        );
         // s = 0 degenerates to a uniform distribution over ranks.
         assert!((generalized_harmonic(10, 0.0) - 10.0).abs() < 1e-12);
     }

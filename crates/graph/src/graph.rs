@@ -28,7 +28,11 @@ impl Graph {
     /// with `u != v`, the arc `(v, u)` is added as well (duplicates that
     /// would result from the input already containing both directions are
     /// collapsed).
-    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId)], directed: bool) -> Graph {
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: &[(VertexId, VertexId)],
+        directed: bool,
+    ) -> Graph {
         Self::from_edges_weighted(num_vertices, edges, None, directed)
     }
 
@@ -49,7 +53,11 @@ impl Graph {
         if directed {
             let out = Adjacency::from_pairs_weighted(num_vertices, edges, weights);
             let into = out.transpose();
-            Graph { out, into, directed }
+            Graph {
+                out,
+                into,
+                directed,
+            }
         } else {
             // Symmetrize, de-duplicating mirrored pairs so that an input
             // containing both (u,v) and (v,u) yields exactly two arcs.
@@ -73,15 +81,25 @@ impl Graph {
             let w = weights.map(|_| wsym.as_slice());
             let out = Adjacency::from_pairs_weighted(num_vertices, &sym, w);
             let into = out.clone();
-            Graph { out, into, directed }
+            Graph {
+                out,
+                into,
+                directed,
+            }
         }
     }
 
     /// Assembles a graph from prebuilt adjacency halves. `into` must be the
     /// transpose of `out`; this is checked in debug builds.
-    pub fn from_parts(out: Adjacency, into: Adjacency, directed: bool) -> Result<Graph, GraphError> {
+    pub fn from_parts(
+        out: Adjacency,
+        into: Adjacency,
+        directed: bool,
+    ) -> Result<Graph, GraphError> {
         if out.num_vertices() != into.num_vertices() {
-            return Err(GraphError::InvalidPermutation { reason: "out/in vertex count mismatch" });
+            return Err(GraphError::InvalidPermutation {
+                reason: "out/in vertex count mismatch",
+            });
         }
         if out.num_edges() != into.num_edges() {
             return Err(GraphError::OffsetsEdgeMismatch {
@@ -89,8 +107,16 @@ impl Graph {
                 num_edges: into.num_edges(),
             });
         }
-        debug_assert_eq!(out.transpose(), into, "`into` must be the transpose of `out`");
-        Ok(Graph { out, into, directed })
+        debug_assert_eq!(
+            out.transpose(),
+            into,
+            "`into` must be the transpose of `out`"
+        );
+        Ok(Graph {
+            out,
+            into,
+            directed,
+        })
     }
 
     /// Number of vertices `n`.
@@ -158,10 +184,16 @@ impl Graph {
     /// the paper's datasets are unweighted.
     pub fn with_hash_weights(self, max: u32) -> Graph {
         assert!(max >= 1);
-        let h = move |u: VertexId, v: VertexId| (mix64(((u as u64) << 32) | v as u64) % max as u64 + 1) as f32;
+        let h = move |u: VertexId, v: VertexId| {
+            (mix64(((u as u64) << 32) | v as u64) % max as u64 + 1) as f32
+        };
         let out = self.out.with_weights(h);
         let into = self.into.with_weights(|v, u| h(u, v)); // CSC stores (dst, src)
-        Graph { out, into, directed: self.directed }
+        Graph {
+            out,
+            into,
+            directed: self.directed,
+        }
     }
 
     /// Whether per-edge weights are attached.
@@ -175,7 +207,11 @@ impl Graph {
     /// adjacency halves. Used by algorithms with a backward dependency
     /// pass (betweenness centrality).
     pub fn transposed(&self) -> Graph {
-        Graph { out: self.into.clone(), into: self.out.clone(), directed: self.directed }
+        Graph {
+            out: self.into.clone(),
+            into: self.out.clone(),
+            directed: self.directed,
+        }
     }
 }
 
@@ -199,11 +235,19 @@ mod tests {
             6,
             &[
                 (2, 0),
-                (5, 1), (3, 1),
-                (1, 2), (5, 2),
-                (4, 3), (5, 3),
-                (0, 4), (1, 4), (2, 4), (3, 4),
-                (4, 5), (2, 5), (1, 5),
+                (5, 1),
+                (3, 1),
+                (1, 2),
+                (5, 2),
+                (4, 3),
+                (5, 3),
+                (0, 4),
+                (1, 4),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (2, 5),
+                (1, 5),
             ],
             true,
         )

@@ -21,7 +21,13 @@ use std::path::Path;
 /// comments allowed when reading back).
 pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(w);
-    writeln!(w, "# vertices {} edges {} directed {}", g.num_vertices(), g.num_edges(), g.is_directed())?;
+    writeln!(
+        w,
+        "# vertices {} edges {} directed {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.is_directed()
+    )?;
     for u in g.vertices() {
         for &v in g.out_neighbors(u) {
             writeln!(w, "{u} {v}")?;
@@ -33,7 +39,11 @@ pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
 
 /// Reads a whitespace edge list. `num_vertices` is inferred as
 /// `max endpoint + 1` unless a larger value is supplied.
-pub fn read_edge_list<R: Read>(r: R, directed: bool, min_vertices: Option<usize>) -> Result<Graph, GraphError> {
+pub fn read_edge_list<R: Read>(
+    r: R,
+    directed: bool,
+    min_vertices: Option<usize>,
+) -> Result<Graph, GraphError> {
     let r = BufReader::new(r);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_v: u64 = 0;
@@ -45,19 +55,30 @@ pub fn read_edge_list<R: Read>(r: R, directed: bool, min_vertices: Option<usize>
         }
         let mut it = t.split_whitespace();
         let parse = |tok: Option<&str>, lineno: usize| -> Result<u64, GraphError> {
-            tok.ok_or(GraphError::Parse { line: lineno + 1, message: "missing endpoint".into() })?
-                .parse::<u64>()
-                .map_err(|e| GraphError::Parse { line: lineno + 1, message: e.to_string() })
+            tok.ok_or(GraphError::Parse {
+                line: lineno + 1,
+                message: "missing endpoint".into(),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: e.to_string(),
+            })
         };
         let u = parse(it.next(), lineno)?;
         let v = parse(it.next(), lineno)?;
         if u > VertexId::MAX as u64 || v > VertexId::MAX as u64 {
-            return Err(GraphError::VertexOutOfRange { vertex: u.max(v), num_vertices: VertexId::MAX as usize });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u.max(v),
+                num_vertices: VertexId::MAX as usize,
+            });
         }
         max_v = max_v.max(u).max(v);
         edges.push((u as VertexId, v as VertexId));
     }
-    let n = (max_v as usize + 1).max(min_vertices.unwrap_or(0)).max(if edges.is_empty() { 0 } else { 1 });
+    let n = (max_v as usize + 1)
+        .max(min_vertices.unwrap_or(0))
+        .max(if edges.is_empty() { 0 } else { 1 });
     Ok(Graph::from_edges(n, &edges, directed))
 }
 
@@ -101,12 +122,18 @@ pub fn read_adjacency_graph<R: Read>(r: R, directed: bool) -> Result<Graph, Grap
         for tok in t.split_whitespace() {
             let v: usize = tok
                 .parse()
-                .map_err(|e: std::num::ParseIntError| GraphError::Parse { line: lineno + 1, message: e.to_string() })?;
+                .map_err(|e: std::num::ParseIntError| GraphError::Parse {
+                    line: lineno + 1,
+                    message: e.to_string(),
+                })?;
             tokens.push(v);
         }
     }
     if tokens.len() < 2 {
-        return Err(GraphError::Parse { line: 0, message: "truncated file".into() });
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "truncated file".into(),
+        });
     }
     let n = tokens[0];
     let m = tokens[1];
@@ -122,7 +149,10 @@ pub fn read_adjacency_graph<R: Read>(r: R, directed: bool) -> Result<Graph, Grap
         .iter()
         .map(|&t| {
             if t >= n {
-                Err(GraphError::VertexOutOfRange { vertex: t as u64, num_vertices: n })
+                Err(GraphError::VertexOutOfRange {
+                    vertex: t as u64,
+                    num_vertices: n,
+                })
             } else {
                 Ok(t as VertexId)
             }

@@ -30,6 +30,7 @@ pub mod degree;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod par;
 pub mod permute;
 pub mod types;
 pub mod validate;
@@ -38,5 +39,6 @@ pub use adjacency::Adjacency;
 pub use coo::Coo;
 pub use datasets::{Dataset, DatasetSpec};
 pub use graph::{mix64, Graph};
+pub use par::{ParMode, SharedSlice};
 pub use permute::{Permutation, VertexOrdering};
 pub use types::{EdgeId, GraphError, VertexId};

@@ -8,7 +8,9 @@
 
 use crate::adjacency::Adjacency;
 use crate::graph::Graph;
+use crate::par::{weighted_ranges, ParMode, SharedSlice};
 use crate::types::{GraphError, VertexId};
+use rayon::prelude::*;
 
 /// A bijection `old id -> new id` over `0..n`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -19,7 +21,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation on `n` vertices.
     pub fn identity(n: usize) -> Permutation {
-        Permutation { new_id: (0..n as VertexId).collect() }
+        Permutation {
+            new_id: (0..n as VertexId).collect(),
+        }
     }
 
     /// Builds from the `S[v]` array (`new_id[old] = new`). Validates that
@@ -30,10 +34,14 @@ impl Permutation {
         for &s in &new_id {
             let s = s as usize;
             if s >= n {
-                return Err(GraphError::InvalidPermutation { reason: "id out of range" });
+                return Err(GraphError::InvalidPermutation {
+                    reason: "id out of range",
+                });
             }
             if seen[s] {
-                return Err(GraphError::InvalidPermutation { reason: "duplicate id" });
+                return Err(GraphError::InvalidPermutation {
+                    reason: "duplicate id",
+                });
             }
             seen[s] = true;
         }
@@ -49,10 +57,14 @@ impl Permutation {
         for (k, &old) in order.iter().enumerate() {
             let o = old as usize;
             if o >= n {
-                return Err(GraphError::InvalidPermutation { reason: "id out of range" });
+                return Err(GraphError::InvalidPermutation {
+                    reason: "id out of range",
+                });
             }
             if new_id[o] != VertexId::MAX {
-                return Err(GraphError::InvalidPermutation { reason: "duplicate id" });
+                return Err(GraphError::InvalidPermutation {
+                    reason: "duplicate id",
+                });
             }
             new_id[o] = k as VertexId;
         }
@@ -102,29 +114,99 @@ impl Permutation {
 
     /// Whether this is the identity.
     pub fn is_identity(&self) -> bool {
-        self.new_id.iter().enumerate().all(|(i, &s)| i == s as usize)
+        self.new_id
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| i == s as usize)
     }
 
     /// Relabels a graph: vertex `old` becomes `self.new_id(old)` and every
     /// arc `(u, v)` becomes `(S[u], S[v])`. Edge weights travel with their
     /// arcs. The result is isomorphic to the input.
     pub fn apply_graph(&self, g: &Graph) -> Graph {
+        self.apply_graph_with(g, ParMode::default())
+    }
+
+    /// As [`Permutation::apply_graph`] with an explicit execution mode;
+    /// both paths produce identical graphs.
+    ///
+    /// The permuted CSR is constructed directly — new vertex `S[u]`
+    /// inherits `u`'s degree, so offsets are a scatter of the old degree
+    /// array and each neighbor list is gathered, relabeled, and sorted in
+    /// place. No intermediate edge list is materialized, and every
+    /// per-vertex step parallelizes over edge-balanced ranges of new ids.
+    pub fn apply_graph_with(&self, g: &Graph, mode: ParMode) -> Graph {
         assert_eq!(self.len(), g.num_vertices());
         let n = g.num_vertices();
         let m = g.num_edges();
-        let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(m);
-        let mut weights: Option<Vec<f32>> = g.csr().raw_weights().map(|_| Vec::with_capacity(m));
-        for u in g.vertices() {
-            let su = self.new_id(u);
-            for (k, &v) in g.out_neighbors(u).iter().enumerate() {
-                pairs.push((su, self.new_id(v)));
-                if let Some(w) = weights.as_mut() {
-                    w.push(g.csr().weights_of(u)[k]);
-                }
+        let csr = g.csr();
+        let parallel = mode.go_parallel(m);
+        let inv = self.inverse();
+        let old_of = inv.as_slice();
+
+        // Offsets: new vertex k has the degree of old vertex old_of[k].
+        let mut offsets = vec![0usize; n + 1];
+        if parallel {
+            offsets[1..]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(k, slot)| {
+                    *slot = csr.degree(old_of[k]);
+                });
+        } else {
+            for k in 0..n {
+                offsets[k + 1] = csr.degree(old_of[k]);
             }
         }
-        let out = Adjacency::from_pairs_weighted(n, &pairs, weights.as_deref());
-        let into = out.transpose();
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+
+        // Gather + relabel + sort each new neighbor list.
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = csr.raw_weights().map(|_| vec![0f32; m]);
+        let relabel_list = |k: usize, list: &mut [VertexId], wts: Option<&mut [f32]>| {
+            let u = old_of[k];
+            for (j, &v) in csr.neighbors(u).iter().enumerate() {
+                list[j] = self.new_id(v);
+            }
+            match wts {
+                Some(wts) => {
+                    wts.copy_from_slice(csr.weights_of(u));
+                    crate::adjacency::sort_weighted_list(list, wts);
+                }
+                None => list.sort_unstable(),
+            }
+        };
+        if parallel {
+            let ranges = weighted_ranges(&offsets, rayon::current_num_threads());
+            let tshared = SharedSlice::new(&mut targets);
+            let wshared = weights.as_mut().map(|w| SharedSlice::new(w.as_mut_slice()));
+            let (ranges, offsets) = (&ranges, &offsets);
+            (0..ranges.len()).into_par_iter().for_each(|ri| {
+                for k in ranges[ri].clone() {
+                    // SAFETY: new-id ranges are disjoint, so the edge
+                    // ranges [offsets[k], offsets[k+1]) are too.
+                    let list = unsafe { tshared.slice_mut(offsets[k], offsets[k + 1]) };
+                    let wts = wshared
+                        .as_ref()
+                        .map(|ws| unsafe { ws.slice_mut(offsets[k], offsets[k + 1]) });
+                    relabel_list(k, list, wts);
+                }
+            });
+        } else {
+            for k in 0..n {
+                let range = offsets[k]..offsets[k + 1];
+                let (list, wts) = match weights.as_mut() {
+                    Some(w) => (&mut targets[range.clone()], Some(&mut w[range])),
+                    None => (&mut targets[range], None),
+                };
+                relabel_list(k, list, wts);
+            }
+        }
+
+        let out = Adjacency::from_parts_unchecked(offsets, targets, weights);
+        let into = out.transpose_with(mode);
         Graph::from_parts(out, into, g.is_directed()).expect("permuted graph is well-formed")
     }
 

@@ -51,14 +51,23 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
                 write!(f, "vertex {vertex} out of range (n = {num_vertices})")
             }
             GraphError::NonMonotonicOffsets { index } => {
                 write!(f, "offsets array decreases at index {index}")
             }
-            GraphError::OffsetsEdgeMismatch { last_offset, num_edges } => {
-                write!(f, "offsets end at {last_offset} but there are {num_edges} edges")
+            GraphError::OffsetsEdgeMismatch {
+                last_offset,
+                num_edges,
+            } => {
+                write!(
+                    f,
+                    "offsets end at {last_offset} but there are {num_edges} edges"
+                )
             }
             GraphError::InvalidPermutation { reason } => {
                 write!(f, "invalid permutation: {reason}")
@@ -85,7 +94,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
         assert!(e.to_string().contains("vertex 9"));
         assert!(e.to_string().contains("n = 4"));
     }

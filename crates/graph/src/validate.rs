@@ -13,7 +13,10 @@ pub fn check(g: &Graph) -> Result<(), GraphError> {
     for adj in [g.csr(), g.csc()] {
         let off = adj.offsets();
         if off.len() != n + 1 {
-            return Err(GraphError::OffsetsEdgeMismatch { last_offset: off.len(), num_edges: n + 1 });
+            return Err(GraphError::OffsetsEdgeMismatch {
+                last_offset: off.len(),
+                num_edges: n + 1,
+            });
         }
         for i in 1..off.len() {
             if off[i] < off[i - 1] {
@@ -28,21 +31,30 @@ pub fn check(g: &Graph) -> Result<(), GraphError> {
         }
         for &t in adj.targets() {
             if t as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: t as u64, num_vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: t as u64,
+                    num_vertices: n,
+                });
             }
         }
         for v in 0..n as u32 {
             let nb = adj.neighbors(v);
             if !nb.windows(2).all(|w| w[0] <= w[1]) {
-                return Err(GraphError::InvalidPermutation { reason: "unsorted neighbor list" });
+                return Err(GraphError::InvalidPermutation {
+                    reason: "unsorted neighbor list",
+                });
             }
         }
     }
     if g.csr().transpose() != *g.csc() {
-        return Err(GraphError::InvalidPermutation { reason: "CSC is not the transpose of CSR" });
+        return Err(GraphError::InvalidPermutation {
+            reason: "CSC is not the transpose of CSR",
+        });
     }
     if !g.is_directed() && g.csr() != g.csc() {
-        return Err(GraphError::InvalidPermutation { reason: "undirected graph is not symmetric" });
+        return Err(GraphError::InvalidPermutation {
+            reason: "undirected graph is not symmetric",
+        });
     }
     Ok(())
 }

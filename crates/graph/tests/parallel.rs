@@ -1,0 +1,155 @@
+//! Property tests for the parallel reorder pipeline: the parallel CSR
+//! builder, transpose, and `apply_graph` must produce results *identical*
+//! to the sequential reference paths — same offsets, same targets, same
+//! weights — for arbitrary multigraphs and permutations.
+//!
+//! The parallel paths are forced with [`ParMode::Parallel`] inside a
+//! multi-thread pool so they really execute concurrently even though
+//! `ParMode::Auto` would fall back to sequential at these sizes.
+
+use proptest::prelude::*;
+use vebo_graph::adjacency::Adjacency;
+use vebo_graph::gen::random_permutation;
+use vebo_graph::graph::mix64;
+use vebo_graph::{Graph, ParMode, VertexId};
+
+/// Arbitrary (n, edges, weights) triples, including parallel edges and
+/// self-loops.
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>, Vec<f32>)> {
+    (1usize..120, 0usize..600, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = mix64(x);
+            x
+        };
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|_| {
+                (
+                    (next() % n as u64) as VertexId,
+                    (next() % n as u64) as VertexId,
+                )
+            })
+            .collect();
+        let weights: Vec<f32> = (0..m).map(|_| (next() % 1000) as f32 / 10.0).collect();
+        (n, edges, weights)
+    })
+}
+
+/// Runs `f` inside a 4-thread pool so forced-parallel paths really fan out.
+fn in_pool<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel counting-sort CSR build == sequential build, unweighted.
+    #[test]
+    fn parallel_csr_build_matches_sequential((n, edges, _w) in arb_edges()) {
+        let seq = Adjacency::from_pairs_with(n, &edges, None, ParMode::Sequential);
+        let par = in_pool(|| Adjacency::from_pairs_with(n, &edges, None, ParMode::Parallel));
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Parallel CSR build == sequential build, with weights riding along.
+    #[test]
+    fn parallel_weighted_csr_build_matches_sequential((n, edges, w) in arb_edges()) {
+        let seq = Adjacency::from_pairs_with(n, &edges, Some(&w), ParMode::Sequential);
+        let par = in_pool(|| Adjacency::from_pairs_with(n, &edges, Some(&w), ParMode::Parallel));
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Parallel transpose == sequential transpose.
+    #[test]
+    fn parallel_transpose_matches_sequential((n, edges, w) in arb_edges()) {
+        let adj = Adjacency::from_pairs_with(n, &edges, Some(&w), ParMode::Sequential);
+        let seq = adj.transpose_with(ParMode::Sequential);
+        let par = in_pool(|| adj.transpose_with(ParMode::Parallel));
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Parallel `apply_graph` == sequential `apply_graph`, directed and
+    /// undirected, weighted and not.
+    #[test]
+    fn parallel_apply_graph_matches_sequential(
+        (n, edges, _w) in arb_edges(),
+        seed in any::<u64>(),
+        directed in any::<bool>(),
+        weighted in any::<bool>(),
+    ) {
+        let mut g = Graph::from_edges(n, &edges, directed);
+        if weighted {
+            g = g.with_hash_weights(64);
+        }
+        let perm = random_permutation(n, seed);
+        let seq = perm.apply_graph_with(&g, ParMode::Sequential);
+        let par = in_pool(|| perm.apply_graph_with(&g, ParMode::Parallel));
+        prop_assert_eq!(seq.csr(), par.csr());
+        prop_assert_eq!(seq.csc(), par.csc());
+        prop_assert_eq!(seq.is_directed(), par.is_directed());
+    }
+
+    /// `Auto` mode must agree with the sequential reference regardless of
+    /// which path it picks (it picks sequential at these sizes, parallel
+    /// inside the pool at forced sizes — either way results are equal).
+    #[test]
+    fn auto_mode_agrees_with_sequential((n, edges, w) in arb_edges()) {
+        let seq = Adjacency::from_pairs_with(n, &edges, Some(&w), ParMode::Sequential);
+        let auto = in_pool(|| Adjacency::from_pairs_with(n, &edges, Some(&w), ParMode::Auto));
+        prop_assert_eq!(seq, auto);
+    }
+}
+
+/// One deterministic large-scale check crossing the `Auto` threshold, so
+/// the parallel path is exercised with realistic sizes even outside the
+/// forced-mode property tests.
+#[test]
+fn auto_parallelizes_large_graphs_identically() {
+    let n = 20_000usize;
+    let mut x = 7u64;
+    let mut next = move || {
+        x = mix64(x);
+        x
+    };
+    let edges: Vec<(VertexId, VertexId)> = (0..100_000)
+        .map(|_| {
+            (
+                (next() % n as u64) as VertexId,
+                (next() % n as u64) as VertexId,
+            )
+        })
+        .collect();
+    let seq = Adjacency::from_pairs_with(n, &edges, None, ParMode::Sequential);
+    let auto = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap()
+        .install(|| Adjacency::from_pairs_with(n, &edges, None, ParMode::Auto));
+    assert_eq!(seq, auto);
+}
+
+/// Regression: with more threads than edges-per-chunk, trailing chunks
+/// are empty and their ranges must clamp to `m` instead of panicking
+/// (m = 5 with a 4-thread pool used to produce the range 6..5).
+#[test]
+fn forced_parallel_handles_fewer_edges_than_chunk_capacity() {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    for m in 0..12usize {
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|e| ((e % 3) as VertexId, ((e + 1) % 3) as VertexId))
+            .collect();
+        let seq = Adjacency::from_pairs_with(3, &edges, None, ParMode::Sequential);
+        let par = pool.install(|| Adjacency::from_pairs_with(3, &edges, None, ParMode::Parallel));
+        assert_eq!(seq, par, "m={m}");
+        let tseq = seq.transpose_with(ParMode::Sequential);
+        let tpar = pool.install(|| seq.transpose_with(ParMode::Parallel));
+        assert_eq!(tseq, tpar, "transpose m={m}");
+    }
+}

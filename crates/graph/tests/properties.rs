@@ -12,7 +12,12 @@ fn arb_edges() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
             x
         };
         let edges = (0..m)
-            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .map(|_| {
+                (
+                    (next() % n as u64) as VertexId,
+                    (next() % n as u64) as VertexId,
+                )
+            })
             .collect();
         (n, edges)
     })

@@ -65,7 +65,10 @@ impl VertexAssignment {
             part.iter().all(|&p| (p as usize) < num_partitions),
             "assignment references a partition >= {num_partitions}"
         );
-        VertexAssignment { part, num_partitions }
+        VertexAssignment {
+            part,
+            num_partitions,
+        }
     }
 
     /// The assignment induced by contiguous bounds.
@@ -76,7 +79,10 @@ impl VertexAssignment {
                 part[v] = p as u32;
             }
         }
-        VertexAssignment { part, num_partitions: bounds.num_partitions() }
+        VertexAssignment {
+            part,
+            num_partitions: bounds.num_partitions(),
+        }
     }
 
     /// Number of partitions (some may be empty).
@@ -183,8 +189,14 @@ impl VertexAssignment {
         }
         let vcounts = self.vertex_counts();
         let ecounts = self.edge_counts(g);
-        let (vmax, vmin) = (*vcounts.iter().max().unwrap(), *vcounts.iter().min().unwrap());
-        let (emax, emin) = (*ecounts.iter().max().unwrap(), *ecounts.iter().min().unwrap());
+        let (vmax, vmin) = (
+            *vcounts.iter().max().unwrap(),
+            *vcounts.iter().min().unwrap(),
+        );
+        let (emax, emin) = (
+            *ecounts.iter().max().unwrap(),
+            *ecounts.iter().min().unwrap(),
+        );
         let vavg = self.part.len() as f64 / self.num_partitions as f64;
         let eavg = g.num_edges() as f64 / self.num_partitions as f64;
         AssignmentQuality {
@@ -297,7 +309,10 @@ mod tests {
         // Relabeling is an isomorphism: the contiguous version must have
         // the same cut metrics as the original assignment.
         let g = Dataset::LiveJournalLike.build(0.05);
-        let part: Vec<u32> = g.vertices().map(|v| (v as u64 * 2654435761 % 5) as u32).collect();
+        let part: Vec<u32> = g
+            .vertices()
+            .map(|v| (v as u64 * 2654435761 % 5) as u32)
+            .collect();
         let a = VertexAssignment::new(part, 5);
         let q = a.quality(&g);
         let (perm, bounds) = a.relabeling();

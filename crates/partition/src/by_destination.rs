@@ -65,7 +65,10 @@ impl PartitionBounds {
     /// counts VEBO computed in its phase 3).
     pub fn from_starts(starts: Vec<usize>) -> PartitionBounds {
         assert!(starts.len() >= 2, "need at least one partition");
-        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "boundaries must be sorted");
+        assert!(
+            starts.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be sorted"
+        );
         assert_eq!(starts[0], 0);
         PartitionBounds { starts }
     }
@@ -114,8 +117,9 @@ mod tests {
     use vebo_graph::Dataset;
 
     fn line_graph(n: usize) -> Graph {
-        let edges: Vec<(VertexId, VertexId)> =
-            (0..n - 1).map(|v| (v as VertexId, v as VertexId + 1)).collect();
+        let edges: Vec<(VertexId, VertexId)> = (0..n - 1)
+            .map(|v| (v as VertexId, v as VertexId + 1))
+            .collect();
         Graph::from_edges(n, &edges, true)
     }
 
@@ -183,7 +187,10 @@ mod tests {
             .iter()
             .map(|(_, range)| range.map(|v| h.in_degree(v as VertexId) as u64).sum())
             .collect();
-        assert_eq!(per, r.edge_counts, "in-edge counts must match VEBO's bookkeeping");
+        assert_eq!(
+            per, r.edge_counts,
+            "in-edge counts must match VEBO's bookkeeping"
+        );
     }
 
     #[test]

@@ -153,7 +153,9 @@ impl WorkGraph {
                 }
             }
         }
-        let vwgt = (0..n).map(|v| [1u64, g.in_degree(v as u32) as u64]).collect();
+        let vwgt = (0..n)
+            .map(|v| [1u64, g.in_degree(v as u32) as u64])
+            .collect();
         let mut w = WorkGraph { xadj, adj, vwgt };
         w.merge_rows();
         w
@@ -282,7 +284,10 @@ impl Multilevel {
     /// multi-constraint formulation of reference [28]).
     pub fn multi_constraint() -> Multilevel {
         Multilevel {
-            config: MultilevelConfig { mode: BalanceMode::VertexAndEdge, ..Default::default() },
+            config: MultilevelConfig {
+                mode: BalanceMode::VertexAndEdge,
+                ..Default::default()
+            },
         }
     }
 
@@ -393,7 +398,9 @@ impl Multilevel {
             return;
         }
         let left_parts = parts / 2;
-        let totals = vertices.iter().fold([0, 0], |acc, &v| wadd(acc, wg.vwgt[v as usize]));
+        let totals = vertices
+            .iter()
+            .fold([0, 0], |acc, &v| wadd(acc, wg.vwgt[v as usize]));
         let frac = left_parts as f64 / parts as f64;
         let (left, right) = self.bisect(wg, vertices, frac, totals);
         self.recursive_bisect(wg, &left, first, left_parts, part);
@@ -468,7 +475,11 @@ impl Multilevel {
                 }
             }
         }
-        let right: Vec<u32> = vertices.iter().copied().filter(|&v| !in_set[v as usize]).collect();
+        let right: Vec<u32> = vertices
+            .iter()
+            .copied()
+            .filter(|&v| !in_set[v as usize])
+            .collect();
         (left, right)
     }
 
@@ -505,7 +516,11 @@ impl Multilevel {
                     }
                     conn[pu as usize] += w;
                 }
-                let internal = if stamp[home as usize] == v { conn[home as usize] } else { 0 };
+                let internal = if stamp[home as usize] == v {
+                    conn[home as usize]
+                } else {
+                    0
+                };
                 let vw = wg.vwgt[v as usize];
                 let mut best: Option<(u64, u32)> = None;
                 for &q in &adjacent {
@@ -555,7 +570,10 @@ pub struct MetisLikeOrder {
 impl MetisLikeOrder {
     /// An ordering backed by a `p`-way multilevel partition.
     pub fn new(num_partitions: usize) -> MetisLikeOrder {
-        MetisLikeOrder { num_partitions, config: MultilevelConfig::default() }
+        MetisLikeOrder {
+            num_partitions,
+            config: MultilevelConfig::default(),
+        }
     }
 }
 
@@ -565,7 +583,9 @@ impl VertexOrdering for MetisLikeOrder {
     }
 
     fn compute(&self, g: &Graph) -> Permutation {
-        let ml = Multilevel { config: self.config };
+        let ml = Multilevel {
+            config: self.config,
+        };
         let (perm, _) = ml.partition(g, self.num_partitions).relabeling();
         perm
     }
@@ -614,7 +634,9 @@ mod tests {
         let p = 8;
         let ml = Multilevel::new().partition(&g, p);
         let hash = VertexAssignment::new(
-            g.vertices().map(|v| (vebo_graph::mix64(v as u64) % p as u64) as u32).collect(),
+            g.vertices()
+                .map(|v| (vebo_graph::mix64(v as u64) % p as u64) as u32)
+                .collect(),
             p,
         );
         let cml = ml.quality(&g).cut_edges;
@@ -692,7 +714,11 @@ mod tests {
         }
         let counts = ml.vertex_counts();
         for (part, &(lo, hi)) in ranges.iter().enumerate() {
-            assert_eq!((hi - lo + 1) as usize, counts[part], "part {part} not contiguous");
+            assert_eq!(
+                (hi - lo + 1) as usize,
+                counts[part],
+                "part {part} not contiguous"
+            );
         }
         assert_eq!(order.name(), "METIS-like");
     }
@@ -708,7 +734,10 @@ mod tests {
     fn refinement_respects_weight_cap() {
         let g = Dataset::OrkutLike.build(0.05);
         let p = 8;
-        let cfg = MultilevelConfig { imbalance: 0.02, ..Default::default() };
+        let cfg = MultilevelConfig {
+            imbalance: 0.02,
+            ..Default::default()
+        };
         let a = Multilevel { config: cfg }.partition(&g, p);
         let max = *a.vertex_counts().iter().max().unwrap() as f64;
         let avg = g.num_vertices() as f64 / p as f64;
@@ -724,7 +753,11 @@ mod tests {
         let p = 8;
         let mc = Multilevel::multi_constraint().partition(&g, p);
         let q = mc.quality(&g);
-        assert!(q.vertex_imbalance <= 1.10, "vertex imb {}", q.vertex_imbalance);
+        assert!(
+            q.vertex_imbalance <= 1.10,
+            "vertex imb {}",
+            q.vertex_imbalance
+        );
         assert!(q.edge_imbalance <= 1.20, "edge imb {}", q.edge_imbalance);
     }
 
@@ -748,7 +781,9 @@ mod tests {
         let p = 8;
         let mc = Multilevel::multi_constraint().partition(&g, p);
         let hash = VertexAssignment::new(
-            g.vertices().map(|v| (vebo_graph::mix64(v as u64) % p as u64) as u32).collect(),
+            g.vertices()
+                .map(|v| (vebo_graph::mix64(v as u64) % p as u64) as u32)
+                .collect(),
             p,
         );
         assert!(mc.quality(&g).cut_edges * 2 < hash.quality(&g).cut_edges);

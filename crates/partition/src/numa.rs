@@ -17,7 +17,10 @@ pub struct NumaTopology {
 
 impl Default for NumaTopology {
     fn default() -> Self {
-        NumaTopology { num_sockets: 4, num_threads: 48 }
+        NumaTopology {
+            num_sockets: 4,
+            num_threads: 48,
+        }
     }
 }
 
@@ -84,8 +87,13 @@ mod tests {
         assert_eq!(t.socket_of_partition(0, 384), 0);
         assert_eq!(t.socket_of_partition(383, 384), 3);
         // Equal share per socket.
-        let per: Vec<usize> =
-            (0..4).map(|s| (0..384).filter(|&p| t.socket_of_partition(p, 384) == s).count()).collect();
+        let per: Vec<usize> = (0..4)
+            .map(|s| {
+                (0..384)
+                    .filter(|&p| t.socket_of_partition(p, 384) == s)
+                    .count()
+            })
+            .collect();
         assert_eq!(per, vec![96, 96, 96, 96]);
     }
 

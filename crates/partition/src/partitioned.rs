@@ -38,7 +38,11 @@ impl PartitionedCoo {
         let mut edge_starts = Vec::with_capacity(p + 1);
         let mut src = Vec::with_capacity(m);
         let mut dst = Vec::with_capacity(m);
-        let mut weights = if has_weights { Some(Vec::with_capacity(m)) } else { None };
+        let mut weights = if has_weights {
+            Some(Vec::with_capacity(m))
+        } else {
+            None
+        };
         let bits = order_for(g.num_vertices());
 
         for (_, range) in bounds.iter() {
@@ -82,7 +86,13 @@ impl PartitionedCoo {
         }
         edge_starts.push(src.len());
         debug_assert_eq!(src.len(), m);
-        PartitionedCoo { edge_starts, src, dst, weights, order }
+        PartitionedCoo {
+            edge_starts,
+            src,
+            dst,
+            weights,
+            order,
+        }
     }
 
     /// Number of partitions.
@@ -212,7 +222,11 @@ impl PartitionedSubCsr {
             let mut sources = Vec::new();
             let mut offsets = vec![0usize];
             let mut dsts = Vec::with_capacity(tuples.len());
-            let mut weights = if has_weights { Some(Vec::with_capacity(tuples.len())) } else { None };
+            let mut weights = if has_weights {
+                Some(Vec::with_capacity(tuples.len()))
+            } else {
+                None
+            };
             for (u, v, w) in tuples {
                 if sources.last() != Some(&u) {
                     sources.push(u);
@@ -224,7 +238,12 @@ impl PartitionedSubCsr {
                 }
                 *offsets.last_mut().unwrap() = dsts.len();
             }
-            parts.push(SubCsr { sources, offsets, dsts, weights });
+            parts.push(SubCsr {
+                sources,
+                offsets,
+                dsts,
+                weights,
+            });
         }
         PartitionedSubCsr { parts }
     }
@@ -294,7 +313,10 @@ mod tests {
         let coo = PartitionedCoo::build(&g, &b, EdgeOrder::Csr);
         for p in 0..coo.num_partitions() {
             let (src, _) = coo.partition_edges(p);
-            assert!(src.windows(2).all(|w| w[0] <= w[1]), "partition {p} unsorted");
+            assert!(
+                src.windows(2).all(|w| w[0] <= w[1]),
+                "partition {p} unsorted"
+            );
         }
     }
 
@@ -309,7 +331,11 @@ mod tests {
             let w = coo.partition_weights(p);
             for i in 0..src.len().min(50) {
                 // Every weight must match the graph's weight for that edge.
-                let pos = g.in_neighbors(dst[i]).iter().position(|&s| s == src[i]).unwrap();
+                let pos = g
+                    .in_neighbors(dst[i])
+                    .iter()
+                    .position(|&s| s == src[i])
+                    .unwrap();
                 assert_eq!(w[i], g.csc().weights_of(dst[i])[pos]);
             }
         }

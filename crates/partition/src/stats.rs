@@ -36,7 +36,11 @@ pub fn per_partition(g: &Graph, bounds: &PartitionBounds) -> Vec<PartitionStats>
                 }
             }
         }
-        stats.push(PartitionStats { edges, destinations, unique_sources });
+        stats.push(PartitionStats {
+            edges,
+            destinations,
+            unique_sources,
+        });
     }
     stats
 }
@@ -90,8 +94,14 @@ mod tests {
         let g = Dataset::TwitterLike.build(0.05);
         let b = PartitionBounds::edge_balanced(&g, 24);
         let stats = per_partition(&g, &b);
-        assert_eq!(stats.iter().map(|s| s.edges).sum::<u64>(), g.num_edges() as u64);
-        assert_eq!(stats.iter().map(|s| s.destinations).sum::<usize>(), g.num_vertices());
+        assert_eq!(
+            stats.iter().map(|s| s.edges).sum::<u64>(),
+            g.num_edges() as u64
+        );
+        assert_eq!(
+            stats.iter().map(|s| s.destinations).sum::<usize>(),
+            g.num_vertices()
+        );
     }
 
     #[test]

@@ -15,7 +15,12 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
             x
         };
         let edges: Vec<(VertexId, VertexId)> = (0..m)
-            .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+            .map(|_| {
+                (
+                    (next() % n as u64) as VertexId,
+                    (next() % n as u64) as VertexId,
+                )
+            })
             .collect();
         Graph::from_edges(n, &edges, true)
     })

@@ -6,9 +6,9 @@
 //! accessing thread's socket counts as a *remote* miss (Figure 4c,
 //! Table V).
 
+use vebo_graph::VertexId;
 use vebo_partition::numa::NumaTopology;
 use vebo_partition::PartitionBounds;
-use vebo_graph::VertexId;
 
 /// Base addresses of the simulated arrays (1 TiB apart: they never alias
 /// in the cache simulators' tag space).
@@ -69,13 +69,15 @@ impl NumaLayout {
     #[inline]
     pub fn home_of_vertex(&self, v: VertexId) -> usize {
         let p = self.bounds.partition_of(v);
-        self.topology.socket_of_partition(p, self.bounds.num_partitions())
+        self.topology
+            .socket_of_partition(p, self.bounds.num_partitions())
     }
 
     /// Home socket of partition `p`'s edge storage.
     #[inline]
     pub fn home_of_partition(&self, p: usize) -> usize {
-        self.topology.socket_of_partition(p, self.bounds.num_partitions())
+        self.topology
+            .socket_of_partition(p, self.bounds.num_partitions())
     }
 }
 

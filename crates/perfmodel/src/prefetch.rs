@@ -29,7 +29,10 @@ impl Default for PrefetchConfig {
     fn default() -> Self {
         // 16 streams x 4-line degree: the common Intel configuration
         // order of magnitude.
-        PrefetchConfig { streams: 16, degree: 4 }
+        PrefetchConfig {
+            streams: 16,
+            degree: 4,
+        }
     }
 }
 
@@ -56,7 +59,12 @@ impl StreamPrefetcher {
     /// A prefetcher with the given geometry.
     pub fn new(cfg: PrefetchConfig) -> StreamPrefetcher {
         assert!(cfg.streams >= 1 && cfg.degree >= 1);
-        StreamPrefetcher { cfg, entries: Vec::with_capacity(cfg.streams), clock: 0, issued: 0 }
+        StreamPrefetcher {
+            cfg,
+            entries: Vec::with_capacity(cfg.streams),
+            clock: 0,
+            issued: 0,
+        }
     }
 
     /// Total prefetches issued.
@@ -103,7 +111,12 @@ impl StreamPrefetcher {
             }
         }
         // 3. Allocate (or steal the LRU entry).
-        let entry = StreamEntry { last_line: line, dir: 0, confidence: 0, stamp: self.clock };
+        let entry = StreamEntry {
+            last_line: line,
+            dir: 0,
+            confidence: 0,
+            stamp: self.clock,
+        };
         if self.entries.len() < self.cfg.streams {
             self.entries.push(entry);
         } else {
@@ -132,7 +145,11 @@ pub struct PrefetchingCache {
 impl PrefetchingCache {
     /// Wraps `cache` with a prefetcher of the given geometry.
     pub fn new(cache: CacheSim, cfg: PrefetchConfig) -> PrefetchingCache {
-        PrefetchingCache { cache, prefetcher: StreamPrefetcher::new(cfg), scratch: Vec::new() }
+        PrefetchingCache {
+            cache,
+            prefetcher: StreamPrefetcher::new(cfg),
+            scratch: Vec::new(),
+        }
     }
 
     /// One demand access; returns `true` on hit. Trains the prefetcher
@@ -189,7 +206,11 @@ mod tests {
         // Without prefetching every line cold-misses; with it only the
         // first few do before the stream locks on.
         assert_eq!(without.misses(), 4096);
-        assert!(with.misses() < 16, "prefetched stream missed {}", with.misses());
+        assert!(
+            with.misses() < 16,
+            "prefetched stream missed {}",
+            with.misses()
+        );
         assert!(with.prefetches() > 0);
     }
 
@@ -199,7 +220,11 @@ mod tests {
         for i in (0..1024u64).rev() {
             with.access(i * 64);
         }
-        assert!(with.misses() < 16, "descending stream missed {}", with.misses());
+        assert!(
+            with.misses() < 16,
+            "descending stream missed {}",
+            with.misses()
+        );
     }
 
     #[test]
@@ -229,14 +254,21 @@ mod tests {
                 with.access(b + step * 64);
             }
         }
-        assert!(with.misses() < 64, "interleaved streams missed {}", with.misses());
+        assert!(
+            with.misses() < 64,
+            "interleaved streams missed {}",
+            with.misses()
+        );
     }
 
     #[test]
     fn stream_table_capacity_limits_coverage() {
         // 32 interleaved streams overflow a 4-entry table: most accesses
         // miss because entries are stolen before gaining confidence.
-        let small = PrefetchConfig { streams: 4, degree: 4 };
+        let small = PrefetchConfig {
+            streams: 4,
+            degree: 4,
+        };
         let mut with = PrefetchingCache::new(cache(), small);
         let bases: Vec<u64> = (0..32u64).map(|i| i << 24).collect();
         for step in 0..256u64 {
@@ -265,6 +297,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_streams_rejected() {
-        StreamPrefetcher::new(PrefetchConfig { streams: 0, degree: 4 });
+        StreamPrefetcher::new(PrefetchConfig {
+            streams: 0,
+            degree: 4,
+        });
     }
 }

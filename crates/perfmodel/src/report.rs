@@ -101,8 +101,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = ThreadReport { instructions: 10, local_misses: 1, ..Default::default() };
-        let b = ThreadReport { instructions: 5, local_misses: 2, ..Default::default() };
+        let mut a = ThreadReport {
+            instructions: 10,
+            local_misses: 1,
+            ..Default::default()
+        };
+        let b = ThreadReport {
+            instructions: 5,
+            local_misses: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.instructions, 15);
         assert_eq!(a.local_misses, 3);

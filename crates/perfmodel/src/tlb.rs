@@ -11,7 +11,10 @@ pub struct TlbConfig {
 
 impl Default for TlbConfig {
     fn default() -> Self {
-        TlbConfig { page_bytes: 4096, entries: 64 }
+        TlbConfig {
+            page_bytes: 4096,
+            entries: 64,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn lru_eviction_at_capacity() {
-        let mut t = TlbSim::new(TlbConfig { page_bytes: 4096, entries: 2 });
+        let mut t = TlbSim::new(TlbConfig {
+            page_bytes: 4096,
+            entries: 2,
+        });
         t.access(0x0000); // page 0
         t.access(0x1000); // page 1
         t.access(0x0000); // touch page 0

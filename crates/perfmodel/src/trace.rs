@@ -189,7 +189,10 @@ mod tests {
     use vebo_partition::{EdgeOrder, PartitionBounds};
 
     fn layout_for(g: &Graph, p: usize) -> NumaLayout {
-        NumaLayout::new(PartitionBounds::edge_balanced(g, p), NumaTopology::default())
+        NumaLayout::new(
+            PartitionBounds::edge_balanced(g, p),
+            NumaTopology::default(),
+        )
     }
 
     #[test]
@@ -300,7 +303,10 @@ mod tests {
         );
         // And with the prefetcher on (as on real hardware), CSR order
         // outright beats Hilbert — the §V-G observation.
-        assert!(csr_on < hil_on, "with prefetch: CSR {csr_on} vs Hilbert {hil_on}");
+        assert!(
+            csr_on < hil_on,
+            "with prefetch: CSR {csr_on} vs Hilbert {hil_on}"
+        );
     }
 
     // Minimal local copy of the high-to-low sort to avoid a dev-dependency
@@ -324,14 +330,22 @@ mod tests {
         let topo = NumaTopology::default();
         let cfg = SimConfig::default();
         let hil = PartitionedCoo::build(&g, &bounds, EdgeOrder::Hilbert);
-        let hil_reports =
-            simulate_edgemap_coo(&hil, &NumaLayout::new(bounds.clone(), topo), &cfg);
+        let hil_reports = simulate_edgemap_coo(&hil, &NumaLayout::new(bounds.clone(), topo), &cfg);
         let shuffled = vebo_graph::gen::random_permutation(g.num_vertices(), 5).apply_graph(&g);
         let sb = PartitionBounds::edge_balanced(&shuffled, 4);
         let rnd = PartitionedCoo::build(&shuffled, &sb, EdgeOrder::Csr);
         let rnd_reports = simulate_edgemap_coo(&rnd, &NumaLayout::new(sb, topo), &cfg);
-        let hil_miss: u64 = hil_reports.iter().map(|r| r.local_misses + r.remote_misses).sum();
-        let rnd_miss: u64 = rnd_reports.iter().map(|r| r.local_misses + r.remote_misses).sum();
-        assert!(hil_miss < rnd_miss, "hilbert {hil_miss} vs shuffled-csr {rnd_miss}");
+        let hil_miss: u64 = hil_reports
+            .iter()
+            .map(|r| r.local_misses + r.remote_misses)
+            .sum();
+        let rnd_miss: u64 = rnd_reports
+            .iter()
+            .map(|r| r.local_misses + r.remote_misses)
+            .sum();
+        assert!(
+            hil_miss < rnd_miss,
+            "hilbert {hil_miss} vs shuffled-csr {rnd_miss}"
+        );
     }
 }

@@ -17,9 +17,15 @@ use vebo::graph::Dataset;
 use vebo_algorithms::default_source;
 
 fn main() {
-    let cfg = ClusterConfig { workers: 16, ..Default::default() };
+    let cfg = ClusterConfig {
+        workers: 16,
+        ..Default::default()
+    };
     let iters = 10;
-    println!("PageRank x{iters} on a simulated {}-worker BSP cluster\n", cfg.workers);
+    println!(
+        "PageRank x{iters} on a simulated {}-worker BSP cluster\n",
+        cfg.workers
+    );
 
     for dataset in [Dataset::TwitterLike, Dataset::UsaRoadLike] {
         let g = dataset.build(0.3);
@@ -35,12 +41,20 @@ fn main() {
             "strategy", "repl.", "compute", "comm", "total", "speedup"
         );
         let mut base = None;
-        for s in [Strategy::ChunkOriginal, Strategy::ChunkVebo, Strategy::Multilevel] {
+        for s in [
+            Strategy::ChunkOriginal,
+            Strategy::ChunkVebo,
+            Strategy::Multilevel,
+        ] {
             let row = evaluate(s, &g, &cfg, iters, src);
             let b = *base.get_or_insert(row.pr_total);
             println!(
                 "  {:<16} {:>7.2} {:>10.0} {:>10.0} {:>12.0} {:>8.2}x",
-                row.strategy, row.replication_factor, row.pr_compute, row.pr_comm, row.pr_total,
+                row.strategy,
+                row.replication_factor,
+                row.pr_compute,
+                row.pr_comm,
+                row.pr_total,
                 b / row.pr_total,
             );
         }

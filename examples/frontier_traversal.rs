@@ -50,7 +50,9 @@ fn main() {
     );
 
     let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
-    let op = BfsOp { parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect() };
+    let op = BfsOp {
+        parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
+    };
     op.parent[src as usize].store(src, Ordering::Relaxed);
 
     let mut frontier = Frontier::single(n, src);
@@ -72,7 +74,11 @@ fn main() {
         iter += 1;
     }
 
-    let reached = op.parent.iter().filter(|p| p.load(Ordering::Relaxed) != u32::MAX).count();
+    let reached = op
+        .parent
+        .iter()
+        .filter(|p| p.load(Ordering::Relaxed) != u32::MAX)
+        .count();
     println!("\nreached {reached} of {n} vertices in {iter} iterations");
     println!(
         "Note the direction switches: sparse (partitioned push) while the frontier\n\

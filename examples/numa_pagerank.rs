@@ -27,7 +27,11 @@ fn main() {
         "system", "original (ms)", "VEBO (ms)", "speedup"
     );
 
-    for kind in [SystemKind::LigraLike, SystemKind::PolymerLike, SystemKind::GraphGrindLike] {
+    for kind in [
+        SystemKind::LigraLike,
+        SystemKind::PolymerLike,
+        SystemKind::GraphGrindLike,
+    ] {
         let mut times = Vec::new();
         for ordering in [OrderingKind::Original, OrderingKind::Vebo] {
             let profile = match kind {
@@ -42,7 +46,11 @@ fn main() {
                     }
                 }
             };
-            let p = if kind == SystemKind::PolymerLike { 4 } else { 384 };
+            let p = if kind == SystemKind::PolymerLike {
+                4
+            } else {
+                384
+            };
             let (h, starts, _) = ordered_with_starts(&g, ordering, p);
             let pg = prepare_profile(h, profile, starts.as_deref());
             let (_, report) = pagerank(&pg, &PageRankConfig::default(), &EdgeMapOptions::default());

@@ -52,14 +52,26 @@ fn main() {
     );
 
     let orderings: Vec<(&str, OrderingFn)> = vec![
-        ("Original", Box::new(|g: &Graph| Permutation::identity(g.num_vertices()))),
+        (
+            "Original",
+            Box::new(|g: &Graph| Permutation::identity(g.num_vertices())),
+        ),
         ("VEBO", Box::new(|g: &Graph| Vebo::new(P).compute(g))),
         ("RCM", Box::new(|g: &Graph| Rcm.compute(g))),
         ("Gorder", Box::new(|g: &Graph| Gorder::new().compute(g))),
         ("HighToLow", Box::new(|g: &Graph| DegreeSort.compute(g))),
-        ("Random", Box::new(|g: &Graph| RandomOrder::new(1).compute(g))),
-        ("SlashBurn", Box::new(|g: &Graph| SlashBurn::default().compute(g))),
-        ("METIS-like", Box::new(|g: &Graph| MetisLikeOrder::new(P).compute(g))),
+        (
+            "Random",
+            Box::new(|g: &Graph| RandomOrder::new(1).compute(g)),
+        ),
+        (
+            "SlashBurn",
+            Box::new(|g: &Graph| SlashBurn::default().compute(g)),
+        ),
+        (
+            "METIS-like",
+            Box::new(|g: &Graph| MetisLikeOrder::new(P).compute(g)),
+        ),
     ];
     for (name, f) in orderings {
         let t0 = Instant::now();

@@ -15,9 +15,14 @@ use vebo::distributed::{GreedyVertexCut, HybridCut, Strategy};
 use vebo::graph::Dataset;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "livejournal".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "livejournal".to_string());
     let dataset = Dataset::from_name(&name).unwrap_or_else(|| {
-        eprintln!("unknown dataset '{name}'; known: {:?}", Dataset::ALL.map(|d| d.name()));
+        eprintln!(
+            "unknown dataset '{name}'; known: {:?}",
+            Dataset::ALL.map(|d| d.name())
+        );
         std::process::exit(2);
     });
     let g = dataset.build(0.3);
@@ -52,7 +57,10 @@ fn main() {
     let theta = (g.num_edges() / g.num_vertices().max(1)).max(1);
     let greedy = GreedyVertexCut.place(&g, p);
     let hybrid = HybridCut::new(theta).place(&g, p);
-    for (name, pl) in [("Greedy vertex-cut", &greedy), ("Hybrid-cut (PowerLyra)", &hybrid)] {
+    for (name, pl) in [
+        ("Greedy vertex-cut", &greedy),
+        ("Hybrid-cut (PowerLyra)", &hybrid),
+    ] {
         println!(
             "  {:<22} {:>7.2} {:>10.3}",
             name,

@@ -20,26 +20,53 @@ fn main() {
         6,
         &[
             (2, 0),
-            (5, 1), (3, 1),
-            (1, 2), (5, 2),
-            (4, 3), (5, 3),
-            (0, 4), (1, 4), (2, 4), (3, 4),
-            (4, 5), (2, 5), (1, 5),
+            (5, 1),
+            (3, 1),
+            (1, 2),
+            (5, 2),
+            (4, 3),
+            (5, 3),
+            (0, 4),
+            (1, 4),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (2, 5),
+            (1, 5),
         ],
         true,
     );
-    let result = Vebo::new(2).with_variant(vebo::core::VeboVariant::Strict).compute_full(&g);
-    println!("in-degrees : {:?}", (0..6).map(|v| g.in_degree(v)).collect::<Vec<_>>());
-    println!("assignment : {:?}  (partition of each original vertex)", result.assignment);
+    let result = Vebo::new(2)
+        .with_variant(vebo::core::VeboVariant::Strict)
+        .compute_full(&g);
+    println!(
+        "in-degrees : {:?}",
+        (0..6).map(|v| g.in_degree(v)).collect::<Vec<_>>()
+    );
+    println!(
+        "assignment : {:?}  (partition of each original vertex)",
+        result.assignment
+    );
     println!("new ids    : {:?}  (S[v])", result.permutation.as_slice());
-    println!("edges/part : {:?}  vertices/part: {:?}", result.edge_counts, result.vertex_counts);
-    assert_eq!(result.edge_counts, vec![7, 7], "each partition holds 7 in-edges, as in the paper");
+    println!(
+        "edges/part : {:?}  vertices/part: {:?}",
+        result.edge_counts, result.vertex_counts
+    );
+    assert_eq!(
+        result.edge_counts,
+        vec![7, 7],
+        "each partition holds 7 in-edges, as in the paper"
+    );
     assert_eq!(result.vertex_counts, vec![3, 3]);
 
     // ---- Part 2: a realistic graph ------------------------------------
     println!("\n== VEBO on a Twitter-like power-law graph ==\n");
     let g = Dataset::TwitterLike.build(0.2);
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let vebo = Vebo::new(48);
     let result = vebo.compute_full(&g);
@@ -51,7 +78,8 @@ fn main() {
 
     // Reorder the graph and run PageRank on the GraphGrind-like system.
     let reordered = vebo.compute(&g).apply_graph(&g);
-    let profile = SystemProfile::graphgrind_like(vebo::partition::EdgeOrder::Csr).with_partitions(48);
+    let profile =
+        SystemProfile::graphgrind_like(vebo::partition::EdgeOrder::Csr).with_partitions(48);
     let pg = PreparedGraph::new(reordered, profile);
     let (ranks, run) = pagerank(&pg, &PageRankConfig::default(), &EdgeMapOptions::default());
     let top = ranks

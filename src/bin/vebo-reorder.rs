@@ -6,45 +6,49 @@
 //! ```
 //!
 //! Reads a graph file (Ligra `AdjacencyGraph` or whitespace edge list,
-//! auto-detected), applies a vertex ordering, and writes the reordered —
-//! isomorphic — graph. Also prints the balance report for the requested
-//! partition count.
+//! auto-detected), applies a vertex ordering resolved by name through the
+//! [`OrderingRegistry`], and writes the reordered — isomorphic — graph.
+//! Also prints the Algorithm-1 balance report for the requested partition
+//! count and the wall-clock reorder time.
 //!
 //! ```text
 //! cargo run --release --bin vebo-reorder -- -p 384 input.adj output.adj
-//! cargo run --release --bin vebo-reorder -- --order rcm input.el output.el
+//! cargo run --release --bin vebo-reorder -- --order rcm --threads 4 input.el output.el
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
-use vebo::baselines::{DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
-use vebo::core::{balance::BalanceReport, Vebo};
-use vebo::graph::{io, Graph, VertexOrdering};
-use vebo::partition::MetisLikeOrder;
+use vebo::graph::{io, Graph};
+use vebo::{chunked_balance_report, OrderingRegistry};
 
 struct Options {
     partitions: usize,
     track_vertex: Option<u32>,
     order: String,
     directed: bool,
+    threads: Option<usize>,
     input: String,
     output: String,
 }
 
-fn usage() -> &'static str {
-    "vebo-reorder [options] <input> <output>\n\
-     \n\
-     Reorders a graph file with VEBO (or a baseline ordering).\n\
-     Formats: Ligra AdjacencyGraph or whitespace edge list (auto-detected;\n\
-     output format follows the input format).\n\
-     \n\
-     Options:\n\
-       -p <n>          number of partitions (default 384)\n\
-       -r <vertex>     report the new id of this vertex (artifact's -r)\n\
-       --order <name>  vebo | rcm | gorder | hightolow | random |\n\
-                       slashburn | metis (default vebo)\n\
-       --undirected    treat the input as undirected\n\
-       -h, --help      this text"
+fn usage() -> String {
+    format!(
+        "vebo-reorder [options] <input> <output>\n\
+         \n\
+         Reorders a graph file with VEBO (or a baseline ordering).\n\
+         Formats: Ligra AdjacencyGraph or whitespace edge list (auto-detected;\n\
+         output format follows the input format).\n\
+         \n\
+         Options:\n\
+           -p <n>          number of partitions (default 384)\n\
+           -r <vertex>     report the new id of this vertex (artifact's -r)\n\
+           --order <name>  {} (default vebo)\n\
+           --threads <n>   rayon threads for the reorder pipeline\n\
+                           (default: all available cores)\n\
+           --undirected    treat the input as undirected\n\
+           -h, --help      this text",
+        OrderingRegistry::names().join(" | ")
+    )
 }
 
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
@@ -53,6 +57,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         track_vertex: None,
         order: "vebo".into(),
         directed: true,
+        threads: None,
         input: String::new(),
         output: String::new(),
     };
@@ -77,6 +82,17 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             }
             "--order" => {
                 opts.order = it.next().ok_or("missing value for --order")?.to_lowercase();
+            }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("missing value for --threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads value: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(n);
             }
             "--undirected" => opts.directed = false,
             "-h" | "--help" => return Err(String::new()),
@@ -120,6 +136,16 @@ fn main() -> ExitCode {
         }
     };
 
+    let registry = OrderingRegistry::new(opts.partitions);
+    let Some(ordering) = registry.resolve(&opts.order) else {
+        eprintln!(
+            "error: unknown ordering '{}' (expected one of: {})",
+            opts.order,
+            OrderingRegistry::names().join(", ")
+        );
+        return ExitCode::from(2);
+    };
+
     let (g, is_adjacency) = match load(&opts.input, opts.directed) {
         Ok(v) => v,
         Err(e) => {
@@ -132,32 +158,49 @@ fn main() -> ExitCode {
         opts.input,
         g.num_vertices(),
         g.num_edges(),
-        if is_adjacency { "AdjacencyGraph" } else { "edge list" }
+        if is_adjacency {
+            "AdjacencyGraph"
+        } else {
+            "edge list"
+        }
     );
 
-    let t0 = std::time::Instant::now();
-    let perm = match opts.order.as_str() {
-        "vebo" => {
-            let result = Vebo::new(opts.partitions).compute_full(&g);
-            let report = BalanceReport::from_result(&result);
-            eprintln!(
-                "VEBO @ P={}: edge imbalance {} | vertex imbalance {}",
-                opts.partitions, report.edge_imbalance, report.vertex_imbalance
-            );
-            result.permutation
-        }
-        "rcm" => Rcm.compute(&g),
-        "gorder" => Gorder::new().compute(&g),
-        "hightolow" => DegreeSort.compute(&g),
-        "random" => RandomOrder::default().compute(&g),
-        "slashburn" => SlashBurn::default().compute(&g),
-        "metis" => MetisLikeOrder::new(opts.partitions).compute(&g),
-        other => {
-            eprintln!("error: unknown ordering '{other}'");
-            return ExitCode::from(2);
+    let pool = match rayon::ThreadPoolBuilder::new()
+        .num_threads(opts.threads.unwrap_or(0))
+        .build()
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot build thread pool: {e}");
+            return ExitCode::FAILURE;
         }
     };
-    eprintln!("reordering time: {:.3}s", t0.elapsed().as_secs_f64());
+    let threads = pool.current_num_threads();
+
+    let t0 = std::time::Instant::now();
+    let (perm, reordered, compute_time) = pool.install(|| {
+        let t = std::time::Instant::now();
+        let perm = ordering.compute(&g);
+        let compute_time = t.elapsed();
+        let reordered = perm.apply_graph(&g);
+        (perm, reordered, compute_time)
+    });
+    let total_time = t0.elapsed();
+
+    let report = chunked_balance_report(&reordered, opts.partitions);
+    eprintln!(
+        "{} @ P={}: edge imbalance {} | vertex imbalance {} | reorder {:.3}s \
+         (ordering {:.3}s + relabel {:.3}s, {} thread{})",
+        ordering.name(),
+        opts.partitions,
+        report.edge_imbalance,
+        report.vertex_imbalance,
+        total_time.as_secs_f64(),
+        compute_time.as_secs_f64(),
+        (total_time - compute_time).as_secs_f64(),
+        threads,
+        if threads == 1 { "" } else { "s" },
+    );
 
     if let Some(v) = opts.track_vertex {
         if (v as usize) < g.num_vertices() {
@@ -167,7 +210,6 @@ fn main() -> ExitCode {
         }
     }
 
-    let reordered = perm.apply_graph(&g);
     let write = |file: std::fs::File| {
         if is_adjacency {
             io::write_adjacency_graph(&reordered, file)
@@ -175,7 +217,10 @@ fn main() -> ExitCode {
             io::write_edge_list(&reordered, file)
         }
     };
-    match std::fs::File::create(&opts.output).map_err(|e| e.to_string()).and_then(|f| write(f).map_err(|e| e.to_string())) {
+    match std::fs::File::create(&opts.output)
+        .map_err(|e| e.to_string())
+        .and_then(|f| write(f).map_err(|e| e.to_string()))
+    {
         Ok(()) => {
             eprintln!("wrote {}", opts.output);
             ExitCode::SUCCESS
@@ -205,6 +250,7 @@ mod tests {
         assert_eq!(o.input, "original");
         assert_eq!(o.output, "vebo");
         assert!(o.directed);
+        assert_eq!(o.threads, None);
     }
 
     #[test]
@@ -212,6 +258,15 @@ mod tests {
         let o = args(&["--order", "SlashBurn", "--undirected", "a", "b"]).unwrap();
         assert_eq!(o.order, "slashburn");
         assert!(!o.directed);
+    }
+
+    #[test]
+    fn parses_threads() {
+        let o = args(&["--threads", "4", "a", "b"]).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert!(args(&["--threads", "0", "a", "b"]).is_err());
+        assert!(args(&["--threads", "x", "a", "b"]).is_err());
+        assert!(args(&["--threads"]).is_err());
     }
 
     #[test]
@@ -237,22 +292,15 @@ mod tests {
         assert!(!is_adj);
         assert_eq!(g.num_vertices(), 23);
         assert_eq!(g.num_edges(), 21);
-        for order in ["vebo", "rcm", "gorder", "hightolow", "random", "slashburn", "metis"] {
-            let perm: vebo::graph::Permutation = match order {
-                "vebo" => Vebo::new(4).compute_full(&g).permutation,
-                "rcm" => Rcm.compute(&g),
-                "gorder" => Gorder::new().compute(&g),
-                "hightolow" => DegreeSort.compute(&g),
-                "random" => RandomOrder::default().compute(&g),
-                "slashburn" => SlashBurn::default().compute(&g),
-                _ => MetisLikeOrder::new(4).compute(&g),
-            };
+        // Every registry ordering round-trips through file I/O.
+        for (name, ordering) in OrderingRegistry::new(4).all() {
+            let perm = ordering.compute(&g);
             let h = perm.apply_graph(&g);
-            let out = dir.join(format!("out-{order}.el"));
+            let out = dir.join(format!("out-{name}.el"));
             io::save_edge_list(&h, &out).unwrap();
             let (back, _) = load(out.to_str().unwrap(), true).unwrap();
-            assert_eq!(back.num_edges(), g.num_edges(), "{order}");
-            assert_eq!(back.num_vertices(), g.num_vertices(), "{order}");
+            assert_eq!(back.num_edges(), g.num_edges(), "{name}");
+            assert_eq!(back.num_vertices(), g.num_vertices(), "{name}");
         }
         std::fs::remove_dir_all(&dir).ok();
     }

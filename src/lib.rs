@@ -22,6 +22,10 @@
 
 #![warn(missing_docs)]
 
+pub mod registry;
+
+pub use registry::{chunked_balance_report, OrderingRegistry, ORDERING_NAMES};
+
 pub use vebo_algorithms as algorithms;
 pub use vebo_baselines as baselines;
 pub use vebo_core as core;

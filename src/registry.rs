@@ -1,0 +1,161 @@
+//! The ordering registry: one place that knows every [`VertexOrdering`]
+//! in the workspace by name.
+//!
+//! Before this existed, the CLI, the bench pipeline, and the integration
+//! tests each carried their own `match` from a name to an ordering
+//! constructor, and they drifted. [`OrderingRegistry`] is now the single
+//! source of truth: [`OrderingRegistry::resolve`] turns a name into a
+//! boxed [`VertexOrdering`], [`OrderingRegistry::all`] enumerates the
+//! whole roster for cross-ordering tests, and
+//! [`chunked_balance_report`] computes the load-balance summary the CLI
+//! prints, uniformly for any ordering, by running the paper's Algorithm 1
+//! chunk partitioner on the reordered graph (the Figure 2 pipeline).
+
+use vebo_baselines::{DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
+use vebo_core::balance::BalanceReport;
+use vebo_core::Vebo;
+use vebo_graph::{Graph, VertexOrdering};
+use vebo_partition::{MetisLikeOrder, PartitionBounds};
+
+/// Resolves ordering names to algorithm instances.
+///
+/// Algorithms that need parameters take them from the registry's
+/// configuration, so every consumer (CLI flag, bench harness, test)
+/// resolves identically configured instances.
+#[derive(Clone, Debug)]
+pub struct OrderingRegistry {
+    num_partitions: usize,
+    gorder_hub_cap: Option<usize>,
+    random_seed: u64,
+}
+
+/// Names accepted by [`OrderingRegistry::resolve`], in the roster order
+/// used by experiment tables.
+pub const ORDERING_NAMES: [&str; 7] = [
+    "vebo",
+    "rcm",
+    "gorder",
+    "hightolow",
+    "random",
+    "slashburn",
+    "metis",
+];
+
+impl OrderingRegistry {
+    /// A registry whose partition-parameterized orderings (VEBO, METIS)
+    /// target `num_partitions`.
+    pub fn new(num_partitions: usize) -> OrderingRegistry {
+        OrderingRegistry {
+            num_partitions,
+            gorder_hub_cap: None,
+            random_seed: RandomOrder::default_seed(),
+        }
+    }
+
+    /// Caps Gorder's hub fan-out (`None` = the faithful algorithm). Time-
+    /// boxed harnesses cap it; the CLI and Table VI do not.
+    pub fn with_gorder_hub_cap(mut self, cap: Option<usize>) -> OrderingRegistry {
+        self.gorder_hub_cap = cap;
+        self
+    }
+
+    /// Seed for the random ordering.
+    pub fn with_random_seed(mut self, seed: u64) -> OrderingRegistry {
+        self.random_seed = seed;
+        self
+    }
+
+    /// The partition count parameterized orderings will target.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// The accepted names.
+    pub fn names() -> &'static [&'static str] {
+        &ORDERING_NAMES
+    }
+
+    /// Resolves `name` (case-insensitive) to an ordering, or `None` if the
+    /// name is unknown.
+    pub fn resolve(&self, name: &str) -> Option<Box<dyn VertexOrdering>> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "vebo" => Box::new(Vebo::new(self.num_partitions)) as Box<dyn VertexOrdering>,
+            "rcm" => Box::new(Rcm),
+            "gorder" => {
+                let g = Gorder::new();
+                Box::new(match self.gorder_hub_cap {
+                    Some(cap) => g.with_hub_cap(cap),
+                    None => g,
+                })
+            }
+            "hightolow" => Box::new(DegreeSort),
+            "random" => Box::new(RandomOrder::new(self.random_seed)),
+            "slashburn" => Box::new(SlashBurn::default()),
+            "metis" => Box::new(MetisLikeOrder::new(self.num_partitions)),
+            _ => return None,
+        })
+    }
+
+    /// Every registered ordering, paired with its registry name.
+    pub fn all(&self) -> Vec<(&'static str, Box<dyn VertexOrdering>)> {
+        ORDERING_NAMES
+            .iter()
+            .map(|&name| {
+                (
+                    name,
+                    self.resolve(name).expect("roster names always resolve"),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Balance summary of running Algorithm 1 (`PartitionBounds::
+/// edge_balanced`) on an already-reordered graph — what a system
+/// consuming the ordering would see. Uniform across orderings, which is
+/// exactly what makes the CLI's report comparable between `--order vebo`
+/// and any baseline.
+pub fn chunked_balance_report(g: &Graph, num_partitions: usize) -> BalanceReport {
+    let bounds = PartitionBounds::edge_balanced(g, num_partitions);
+    let mut edge_counts = vec![0u64; bounds.num_partitions()];
+    let mut vertex_counts = vec![0usize; bounds.num_partitions()];
+    for (p, range) in bounds.iter() {
+        vertex_counts[p] = range.len();
+        edge_counts[p] = range.map(|v| g.in_degree(v as u32) as u64).sum();
+    }
+    BalanceReport::from_counts(edge_counts, vertex_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_roster_name_resolves_with_matching_identity() {
+        let reg = OrderingRegistry::new(8);
+        for (name, ord) in reg.all() {
+            // Registry names are lowercase tokens; trait names are the
+            // display names — both must exist and the roster must be
+            // complete.
+            assert!(!ord.name().is_empty(), "{name}");
+        }
+        assert_eq!(reg.all().len(), ORDERING_NAMES.len());
+    }
+
+    #[test]
+    fn resolution_is_case_insensitive_and_total_over_roster() {
+        let reg = OrderingRegistry::new(4);
+        assert!(reg.resolve("VEBO").is_some());
+        assert!(reg.resolve("SlashBurn").is_some());
+        assert!(reg.resolve("nonsense").is_none());
+        assert!(reg.resolve("").is_none());
+    }
+
+    #[test]
+    fn chunked_report_covers_all_edges_and_vertices() {
+        let g = vebo_graph::Dataset::TwitterLike.build(0.05);
+        let report = chunked_balance_report(&g, 16);
+        assert_eq!(report.vertex_counts.iter().sum::<usize>(), g.num_vertices());
+        assert_eq!(report.edge_counts.iter().sum::<u64>(), g.num_edges() as u64);
+    }
+}

@@ -44,7 +44,10 @@ fn pagerank_bits_are_reproducible() {
 #[test]
 fn perfmodel_statistics_are_deterministic() {
     let g = Dataset::TwitterLike.build(0.05);
-    let layout = NumaLayout::new(PartitionBounds::edge_balanced(&g, 48), NumaTopology::default());
+    let layout = NumaLayout::new(
+        PartitionBounds::edge_balanced(&g, 48),
+        NumaTopology::default(),
+    );
     let a = simulate_edgemap_pull(&g, &layout, &SimConfig::default());
     let b = simulate_edgemap_pull(&g, &layout, &SimConfig::default());
     assert_eq!(a, b);

@@ -8,7 +8,10 @@ use vebo::graph::{Dataset, VertexId};
 use vebo_algorithms::default_source;
 
 fn cluster(workers: usize) -> ClusterConfig {
-    ClusterConfig { workers, ..Default::default() }
+    ClusterConfig {
+        workers,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -20,8 +23,18 @@ fn vebo_chunking_is_perfectly_balanced_on_cluster_workers() {
         let g = dataset.build(0.2);
         let (h, asg) = Strategy::ChunkVebo.realize(&g, 16);
         let q = asg.quality(&h);
-        assert!(q.edge_imbalance < 1.001, "{}: edge imb {}", dataset.name(), q.edge_imbalance);
-        assert!(q.vertex_imbalance < 1.01, "{}: vert imb {}", dataset.name(), q.vertex_imbalance);
+        assert!(
+            q.edge_imbalance < 1.001,
+            "{}: edge imb {}",
+            dataset.name(),
+            q.edge_imbalance
+        );
+        assert!(
+            q.vertex_imbalance < 1.01,
+            "{}: vert imb {}",
+            dataset.name(),
+            q.vertex_imbalance
+        );
     }
 }
 
@@ -59,8 +72,18 @@ fn road_network_prefers_cut_minimization() {
     let src = default_source(&g);
     let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 10, src);
     let ml = evaluate(Strategy::Multilevel, &g, &cfg, 10, src);
-    assert!(ml.pr_comm < vebo.pr_comm, "multilevel comm {} vs VEBO {}", ml.pr_comm, vebo.pr_comm);
-    assert!(ml.pr_total < vebo.pr_total, "multilevel {} vs VEBO {}", ml.pr_total, vebo.pr_total);
+    assert!(
+        ml.pr_comm < vebo.pr_comm,
+        "multilevel comm {} vs VEBO {}",
+        ml.pr_comm,
+        vebo.pr_comm
+    );
+    assert!(
+        ml.pr_total < vebo.pr_total,
+        "multilevel {} vs VEBO {}",
+        ml.pr_total,
+        vebo.pr_total
+    );
 }
 
 #[test]
@@ -91,7 +114,11 @@ fn degree_descending_stream_reduces_replication_on_twitter() {
         sorted.replication_factor(),
         natural.replication_factor()
     );
-    assert!(sorted.load_imbalance() < 4.0, "degenerate collapse: {}", sorted.load_imbalance());
+    assert!(
+        sorted.load_imbalance() < 4.0,
+        "degenerate collapse: {}",
+        sorted.load_imbalance()
+    );
 }
 
 #[test]
@@ -105,5 +132,9 @@ fn cluster_sizes_scale_compute_down() {
     let t16 = evaluate(Strategy::ChunkVebo, &g, &cluster(16), 5, src).pr_compute;
     assert!(t16 < t8, "8 workers {t8}, 16 workers {t16}");
     // Balanced work halves to within 10%.
-    assert!(t16 > t8 * 0.45 && t16 < t8 * 0.6, "scaling ratio {}", t16 / t8);
+    assert!(
+        t16 > t8 * 0.45 && t16 < t8 * 0.6,
+        "scaling ratio {}",
+        t16 / t8
+    );
 }

@@ -1,25 +1,27 @@
-//! Integration tests for the extension orderings (SlashBurn and the
-//! METIS-like relabeling): they must compose with the full pipeline
+//! Cross-ordering integration tests: every ordering in the
+//! [`vebo::OrderingRegistry`] roster must compose with the full pipeline
 //! exactly like the paper's comparators, and the load-balance ranking of
-//! Table III must hold against them too.
+//! Table III must hold against the extension orderings too.
 
 use vebo::core::Vebo;
 use vebo::engine::{EdgeMapOptions, PreparedGraph, Scheduling, SystemProfile};
 use vebo::graph::{Dataset, VertexOrdering};
-use vebo::partition::{EdgeOrder, MetisLikeOrder};
+use vebo::partition::EdgeOrder;
+use vebo::OrderingRegistry;
 use vebo_algorithms::pagerank::{pagerank, pagerank_reference, PageRankConfig};
 use vebo_baselines::SlashBurn;
 
-/// PageRank values must be invariant (modulo the id map) under the new
-/// orderings — the reordered graph is isomorphic.
+/// PageRank values must be invariant (modulo the id map) under every
+/// registry ordering — the reordered graph is isomorphic.
 #[test]
-fn pagerank_invariant_under_extension_orderings() {
+fn pagerank_invariant_under_every_registry_ordering() {
     let g = Dataset::YahooLike.build(0.05);
-    let cfg = PageRankConfig { iterations: 5, ..Default::default() };
+    let cfg = PageRankConfig {
+        iterations: 5,
+        ..Default::default()
+    };
     let want = pagerank_reference(&g, &cfg);
-    let orderings: Vec<Box<dyn VertexOrdering>> =
-        vec![Box::new(SlashBurn::default()), Box::new(MetisLikeOrder::new(16))];
-    for ord in orderings {
+    for (name, ord) in OrderingRegistry::new(16).all() {
         let perm = ord.compute(&g);
         let h = perm.apply_graph(&g);
         let pg = PreparedGraph::new(h, SystemProfile::ligra_like());
@@ -28,8 +30,7 @@ fn pagerank_invariant_under_extension_orderings() {
             let got = ranks[perm.new_id(v) as usize];
             assert!(
                 (got - want[v as usize]).abs() < 1e-6,
-                "{}: vertex {} rank {} want {}",
-                ord.name(),
+                "{name}: vertex {} rank {} want {}",
                 v,
                 got,
                 want[v as usize]
@@ -46,7 +47,10 @@ fn vebo_beats_extension_orderings_on_static_profile() {
     let g = Dataset::TwitterLike.build(0.1);
     let threads = 48;
     let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
-    let cfg = PageRankConfig { iterations: 3, ..Default::default() };
+    let cfg = PageRankConfig {
+        iterations: 3,
+        ..Default::default()
+    };
 
     let run = |h: vebo::graph::Graph, starts: Option<Vec<usize>>| -> f64 {
         let pg = match starts {
@@ -62,12 +66,14 @@ fn vebo_beats_extension_orderings_on_static_profile() {
     };
 
     let vebo_res = Vebo::new(384).compute_full(&g);
-    let vebo_cost = run(vebo_res.permutation.apply_graph(&g), Some(vebo_res.starts.clone()));
+    let vebo_cost = run(
+        vebo_res.permutation.apply_graph(&g),
+        Some(vebo_res.starts.clone()),
+    );
 
-    for (name, ord) in [
-        ("SlashBurn", Box::new(SlashBurn::default()) as Box<dyn VertexOrdering>),
-        ("METIS-like", Box::new(MetisLikeOrder::new(384))),
-    ] {
+    let registry = OrderingRegistry::new(384);
+    for name in ["slashburn", "metis"] {
+        let ord = registry.resolve(name).unwrap();
         let h = ord.compute(&g).apply_graph(&g);
         let cost = run(h, None);
         assert!(
@@ -93,13 +99,20 @@ fn metis_relabeling_preserves_cut_quality_through_chunking() {
     assert_eq!(before.cut_edges, after.cut_edges);
     // Sanity: the multilevel cut is far below a blind chunking of a
     // random permutation (locality destroyed).
-    let shuffled = vebo_baselines::RandomOrder::new(1).compute(&g).apply_graph(&g);
+    let shuffled = vebo_baselines::RandomOrder::new(1)
+        .compute(&g)
+        .apply_graph(&g);
     let blind = VertexAssignment::from_bounds(&vebo::partition::PartitionBounds::vertex_balanced(
         shuffled.num_vertices(),
         p,
     ))
     .quality(&shuffled);
-    assert!(after.cut_edges * 3 < blind.cut_edges, "{} vs {}", after.cut_edges, blind.cut_edges);
+    assert!(
+        after.cut_edges * 3 < blind.cut_edges,
+        "{} vs {}",
+        after.cut_edges,
+        blind.cut_edges
+    );
 }
 
 /// SlashBurn concentrates edges on low ids: the top-1% id block of the
@@ -111,7 +124,9 @@ fn slashburn_concentrates_adjacency_mass() {
     let g = Dataset::TwitterLike.build(0.1);
     let top = (g.num_vertices() / 100).max(1);
     let mass = |h: &vebo::graph::Graph| -> usize {
-        (0..top).map(|v| h.in_degree(v as u32) + h.out_degree(v as u32)).sum()
+        (0..top)
+            .map(|v| h.in_degree(v as u32) + h.out_degree(v as u32))
+            .sum()
     };
     let original = mass(&g);
     let h = SlashBurn::default().compute(&g).apply_graph(&g);

@@ -17,7 +17,10 @@ use vebo_bench::{ordered_with_starts, prepare_profile, OrderingKind};
 #[test]
 fn pagerank_invariant_under_every_ordering() {
     let g = Dataset::YahooLike.build(0.05);
-    let cfg = PageRankConfig { iterations: 5, ..Default::default() };
+    let cfg = PageRankConfig {
+        iterations: 5,
+        ..Default::default()
+    };
     let want = pagerank_reference(&g, &cfg);
     let orderings: Vec<Box<dyn VertexOrdering>> = vec![
         Box::new(Vebo::new(48)),
@@ -48,7 +51,11 @@ fn bfs_levels_invariant_under_vebo() {
     let (parents, _) = bfs(&pg, perm.new_id(src), &EdgeMapOptions::default());
     let levels = levels_from_parents(&parents, perm.new_id(src));
     for v in g.vertices() {
-        assert_eq!(levels[perm.new_id(v) as usize], want[v as usize], "vertex {v}");
+        assert_eq!(
+            levels[perm.new_id(v) as usize],
+            want[v as usize],
+            "vertex {v}"
+        );
     }
 }
 
@@ -65,8 +72,7 @@ fn cc_labels_refine_identically_across_orderings() {
     for u in g.vertices() {
         for v in (u + 1..g.num_vertices() as u32).step_by(97) {
             let same_ref = want[u as usize] == want[v as usize];
-            let same_got =
-                labels[perm.new_id(u) as usize] == labels[perm.new_id(v) as usize];
+            let same_got = labels[perm.new_id(u) as usize] == labels[perm.new_id(v) as usize];
             assert_eq!(same_ref, same_got, "pair ({u}, {v})");
         }
     }
@@ -82,13 +88,26 @@ fn every_algorithm_runs_with_exact_vebo_bounds() {
         SystemProfile::polymer_like(),
         SystemProfile::graphgrind_like(EdgeOrder::Csr),
     ] {
-        let p = if system.kind == vebo::engine::SystemKind::PolymerLike { 4 } else { 384 };
+        let p = if system.kind == vebo::engine::SystemKind::PolymerLike {
+            4
+        } else {
+            384
+        };
         let (h, starts, _) = ordered_with_starts(&base, OrderingKind::Vebo, p);
         for kind in AlgorithmKind::ALL {
-            let g = if needs_weights(kind) { h.clone().with_hash_weights(16) } else { h.clone() };
+            let g = if needs_weights(kind) {
+                h.clone().with_hash_weights(16)
+            } else {
+                h.clone()
+            };
             let pg = prepare_profile(g, system, starts.as_deref());
             let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
-            assert!(report.total_edges() > 0, "{} on {:?}", kind.code(), system.kind);
+            assert!(
+                report.total_edges() > 0,
+                "{} on {:?}",
+                kind.code(),
+                system.kind
+            );
         }
     }
 }
@@ -105,13 +124,23 @@ fn vebo_bounds_balance_graphgrind_tasks() {
     let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr).with_partitions(48);
     let pg = prepare_profile(h, profile, starts.as_deref());
     let coo = pg.coo().unwrap();
-    let lens: Vec<usize> = (0..coo.num_partitions()).map(|p| coo.partition_len(p)).collect();
+    let lens: Vec<usize> = (0..coo.num_partitions())
+        .map(|p| coo.partition_len(p))
+        .collect();
     let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
     assert!(max - min <= 1, "VEBO task edges spread {min}..{max}");
 
-    let pg0 = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr).with_partitions(48));
+    let pg0 = PreparedGraph::new(
+        g,
+        SystemProfile::graphgrind_like(EdgeOrder::Csr).with_partitions(48),
+    );
     let coo0 = pg0.coo().unwrap();
-    let lens0: Vec<usize> = (0..coo0.num_partitions()).map(|p| coo0.partition_len(p)).collect();
+    let lens0: Vec<usize> = (0..coo0.num_partitions())
+        .map(|p| coo0.partition_len(p))
+        .collect();
     let (min0, max0) = (lens0.iter().min().unwrap(), lens0.iter().max().unwrap());
-    assert!(max0 - min0 > 1, "original order should not be perfectly balanced");
+    assert!(
+        max0 - min0 > 1,
+        "original order should not be perfectly balanced"
+    );
 }

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the criterion API subset its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `measurement_time` /
+//! `bench_function` / `finish`, [`BenchmarkId`], [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is simple wall-clock sampling: after one calibration run,
+//! each sample times a batch of iterations sized so the whole benchmark
+//! fits the measurement budget, and the report prints min / mean / max per
+//! iteration. No statistical outlier analysis, HTML reports, or baseline
+//! comparisons — enough to rank implementations and spot regressions from
+//! a terminal.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().0, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut BenchmarkGroup {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, f: F) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, possibly parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Normalized benchmark label accepted by `bench_function`.
+pub struct BenchId(pub String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.label)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations to run per timed sample (set by the harness).
+    batch: u64,
+    /// Total time spent inside `iter` batches.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `batch` invocations of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: one iteration to size the batches.
+    let mut b = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let estimate = b.elapsed.max(Duration::from_nanos(1));
+    let total_iters = (budget.as_secs_f64() / estimate.as_secs_f64()).clamp(1.0, 1e9);
+    let batch = ((total_iters / sample_size as f64).floor() as u64).max(1);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / batch as f64);
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label:<48} time: [{} {} {}]  ({sample_size} samples x {batch} iters)",
+        format_nanos(min),
+        format_nanos(mean),
+        format_nanos(max),
+    );
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("demo");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| b.iter(|| calls += 1));
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,703 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the rayon API subset it uses, implemented with `std::thread::scope` and
+//! contiguous chunking instead of a work-stealing deque. Each parallel
+//! operation splits its index space into one contiguous chunk per thread;
+//! for the regular, balanced loops in this codebase (counting sorts,
+//! per-vertex scatters, per-task timing) that is within noise of real
+//! rayon, and the API is source-compatible so the real crate can be
+//! swapped in when a registry is available.
+//!
+//! Supported surface:
+//!
+//! * `prelude::*` with [`IntoParallelIterator`] on integer ranges and
+//!   `Vec`, [`ParallelSlice::par_chunks`] /
+//!   [`ParallelSliceMut::par_chunks_mut`], `par_iter` / `par_iter_mut`;
+//! * adapters `map`, `enumerate`, `with_min_len`; terminals `for_each`,
+//!   `collect`, `sum`, `reduce`;
+//! * [`join`], [`current_num_threads`];
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a pool here is a
+//!   thread-count policy applied for the duration of `install`, not a set
+//!   of persistent workers.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global default thread count; 0 means "use available parallelism".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel operations started from this thread
+/// will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `a` and `b`, in parallel when more than one thread is configured.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: joined task panicked"))
+    })
+}
+
+/// Splits `0..len` into at most `current_num_threads()` contiguous chunks
+/// and invokes `run` on each, in parallel. `min_len` bounds the smallest
+/// chunk worth spawning a thread for.
+fn for_each_chunk<F>(len: usize, min_len: usize, run: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = current_num_threads();
+    let min_len = min_len.max(1);
+    let max_chunks = len.div_ceil(min_len);
+    let chunks = threads.min(max_chunks).max(1);
+    if chunks == 1 {
+        run(0..len);
+        return;
+    }
+    let per = len.div_ceil(chunks);
+    std::thread::scope(|s| {
+        for c in 1..chunks {
+            let run = &run;
+            let start = c * per;
+            let end = ((c + 1) * per).min(len);
+            if start < end {
+                s.spawn(move || run(start..end));
+            }
+        }
+        run(0..per.min(len));
+    });
+}
+
+/// As [`for_each_chunk`], collecting each chunk's mapped output in order.
+fn map_chunks<R, F>(len: usize, min_len: usize, run: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    let threads = current_num_threads();
+    let min_len = min_len.max(1);
+    let max_chunks = len.div_ceil(min_len);
+    let chunks = threads.min(max_chunks).max(1);
+    if chunks == 1 {
+        return vec![run(0..len)];
+    }
+    let per = len.div_ceil(chunks);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 1..chunks {
+            let run = &run;
+            let start = c * per;
+            let end = ((c + 1) * per).min(len);
+            if start < end {
+                handles.push(s.spawn(move || run(start..end)));
+            }
+        }
+        let mut out = Vec::with_capacity(chunks);
+        out.push(run(0..per.min(len)));
+        for h in handles {
+            out.push(h.join().expect("rayon-shim: worker panicked"));
+        }
+        out
+    })
+}
+
+/// An indexed source of items: every parallel iterator here is one.
+pub trait IndexedSource: Sync + Sized {
+    /// The item type.
+    type Item: Send;
+    /// Number of items.
+    fn src_len(&self) -> usize;
+    /// The `i`-th item. Must be safe to call once per index from any thread.
+    fn src_get(&self, i: usize) -> Self::Item;
+}
+
+/// The parallel-iterator combinators and terminals.
+pub trait ParallelIterator: IndexedSource {
+    /// Maps each item through `f`.
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Lower-bounds the per-thread chunk size.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Invokes `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        for_each_chunk(self.src_len(), 1, |range| {
+            for i in range {
+                f(self.src_get(i));
+            }
+        });
+    }
+
+    /// Collects into `C`, preserving item order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let parts = map_chunks(self.src_len(), 1, |range| {
+            range.map(|i| self.src_get(i)).collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Sums all items, in parallel.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = map_chunks(self.src_len(), 1, |range| {
+            vec![range.map(|i| self.src_get(i)).sum::<S>()]
+        });
+        parts.into_iter().flatten().sum()
+    }
+
+    /// Reduces with `op`, seeding each chunk with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        let parts = map_chunks(self.src_len(), 1, |range| {
+            vec![range.map(|i| self.src_get(i)).fold(identity(), &op)]
+        });
+        parts.into_iter().flatten().fold(identity(), &op)
+    }
+}
+
+impl<T: IndexedSource> ParallelIterator for T {}
+
+/// `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I: IndexedSource, R: Send, F: Fn(I::Item) -> R + Sync> IndexedSource for Map<I, F> {
+    type Item = R;
+    fn src_len(&self) -> usize {
+        self.base.src_len()
+    }
+    fn src_get(&self, i: usize) -> R {
+        (self.f)(self.base.src_get(i))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: IndexedSource> IndexedSource for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn src_len(&self) -> usize {
+        self.base.src_len()
+    }
+    fn src_get(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.src_get(i))
+    }
+}
+
+/// `with_min_len` adapter (accepted and currently advisory: chunking is
+/// already one contiguous block per thread).
+pub struct MinLen<I> {
+    base: I,
+    #[allow(dead_code)]
+    min: usize,
+}
+
+impl<I: IndexedSource> IndexedSource for MinLen<I> {
+    type Item = I::Item;
+    fn src_len(&self) -> usize {
+        self.base.src_len()
+    }
+    fn src_get(&self, i: usize) -> I::Item {
+        self.base.src_get(i)
+    }
+}
+
+/// Conversion into a parallel iterator (`0..n`, `Vec`, `&[T]`).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct ParRange<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl IndexedSource for ParRange<$t> {
+            type Item = $t;
+            fn src_len(&self) -> usize {
+                self.len
+            }
+            fn src_get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> ParRange<$t> {
+                let len = if self.end > self.start { (self.end - self.start) as usize } else { 0 };
+                ParRange { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+impl_par_range!(usize, u64, u32);
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for ParSliceIter<'a, T> {
+    type Item = &'a T;
+    fn src_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn src_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = ParSliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParSliceIter<'a, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = ParSliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParSliceIter<'a, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over owned `Vec<T>` items.
+pub struct ParVecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> IndexedSource for ParVecIter<T> {
+    type Item = T;
+    fn src_len(&self) -> usize {
+        self.items.len()
+    }
+    fn src_get(&self, i: usize) -> T {
+        self.items[i].clone()
+    }
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Iter = ParVecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParVecIter<T> {
+        ParVecIter { items: self }
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+    /// Parallel iterator over non-overlapping chunks of length `size`.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter { slice: self }
+    }
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunks { slice: self, size }
+    }
+}
+
+/// Parallel iterator over immutable chunks.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn src_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn src_get(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.slice.len());
+        &self.slice[start..end]
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices. Implemented by
+/// handing disjoint subslices (`chunks_mut`) to scoped threads — no
+/// unsafe required.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel mutable iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T>;
+    /// Parallel mutable iterator over non-overlapping chunks of length
+    /// `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceIterMut<'_, T> {
+        ParSliceIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Parallel mutable per-item iterator.
+pub struct ParSliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceIterMut<'a, T> {
+    /// Invokes `f` on every element, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync + Send,
+    {
+        self.enumerate().for_each(|(_, x)| f(x));
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> ParSliceIterMutEnumerate<'a, T> {
+        ParSliceIterMutEnumerate { slice: self.slice }
+    }
+}
+
+/// Enumerated parallel mutable iterator.
+pub struct ParSliceIterMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceIterMutEnumerate<'a, T> {
+    /// Invokes `f` on every `(index, &mut element)`, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync + Send,
+    {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let threads = current_num_threads().min(len);
+        if threads == 1 {
+            for (i, x) in self.slice.iter_mut().enumerate() {
+                f((i, x));
+            }
+            return;
+        }
+        let per = len.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (c, chunk) in self.slice.chunks_mut(per).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    for (k, x) in chunk.iter_mut().enumerate() {
+                        f((c * per + k, x));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel mutable chunk iterator.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Invokes `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync + Send,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+}
+
+/// Enumerated parallel mutable chunk iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Invokes `f` on every `(index, chunk)`, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync + Send,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self.slice.chunks_mut(self.size).enumerate().collect();
+        let threads = current_num_threads().min(chunks.len().max(1));
+        if threads <= 1 || chunks.len() <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        let per = chunks.len().div_ceil(threads);
+        let mut groups: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(threads);
+        let mut it = chunks.into_iter();
+        loop {
+            let group: Vec<_> = it.by_ref().take(per).collect();
+            if group.is_empty() {
+                break;
+            }
+            groups.push(group);
+        }
+        std::thread::scope(|s| {
+            for group in groups {
+                let f = &f;
+                s.spawn(move || {
+                    for item in group {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The shim cannot actually fail,
+/// but the type keeps call sites source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count (0 = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+
+    /// Installs the thread count as the process-wide default.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A thread-count policy; see the module docs.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing every parallel
+    /// operation started from the calling thread.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = INSTALLED_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.effective());
+            prev
+        });
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.effective()
+    }
+
+    fn effective(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+pub mod iter {
+    //! Re-exports mirroring `rayon::iter`.
+    pub use crate::{
+        IndexedSource, IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+pub mod prelude {
+    //! The traits a caller needs in scope, as in `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+pub mod slice {
+    //! Re-exports mirroring `rayon::slice`.
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn for_each_covers_every_index() {
+        let flags: Vec<std::sync::atomic::AtomicUsize> = (0..5000)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
+        (0..5000usize).into_par_iter().for_each(|i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_iter_mut_writes_all() {
+        let mut v = vec![0usize; 10_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint() {
+        let mut v = vec![0u32; 9973];
+        v.par_chunks_mut(100).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = c as u32;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 100) as u32);
+        }
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: u64 = (0u64..100_000).into_par_iter().sum();
+        assert_eq!(s, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+}
