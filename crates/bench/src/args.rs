@@ -5,11 +5,16 @@
 //! * `--scale <f64>` — dataset scale factor (1.0 = default sizes);
 //! * `--quick` — shorthand for `--scale 0.1`;
 //! * `--dataset <name>` — restrict to one dataset;
+//! * `--cache <dir>` — cache generated datasets as binary `.vgr` files in
+//!   `dir`, so repeated harness runs reload instantly through the
+//!   streaming binary loader instead of regenerating;
 //! * `--partitions <n>` — override the partition count;
 //! * `--threads <n>` — simulated machine threads (default 48);
 //! * `--help` — usage.
 
-use vebo_graph::Dataset;
+use std::path::PathBuf;
+use vebo_graph::io::{self, Format};
+use vebo_graph::{Dataset, Graph};
 
 /// Parsed harness options.
 #[derive(Clone, Debug)]
@@ -21,6 +26,8 @@ pub struct HarnessArgs {
     pub scale_explicit: bool,
     /// `--dataset`: restrict to one dataset.
     pub dataset: Option<Dataset>,
+    /// `--cache`: directory for binary `.vgr` dataset snapshots.
+    pub cache: Option<PathBuf>,
     /// `--partitions`: partition count override.
     pub partitions: Option<usize>,
     /// `--threads`: simulated machine threads.
@@ -36,6 +43,7 @@ impl Default for HarnessArgs {
             scale: 1.0,
             scale_explicit: false,
             dataset: None,
+            cache: None,
             partitions: None,
             threads: 48,
             extended: false,
@@ -83,6 +91,10 @@ impl HarnessArgs {
                         }
                     }
                 }
+                "--cache" => {
+                    let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
+                    out.cache = Some(PathBuf::from(v));
+                }
                 "--partitions" => {
                     let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
                     out.partitions = Some(
@@ -121,6 +133,32 @@ impl HarnessArgs {
         }
     }
 
+    /// Builds (or reloads) `dataset` at `scale`, honoring `--cache`: with
+    /// a cache directory, the first build is snapshotted as a binary
+    /// `.vgr` file and later runs stream it back instead of regenerating.
+    /// Generators are deterministic, so a cache hit is bit-identical to a
+    /// rebuild.
+    pub fn build_dataset(&self, dataset: Dataset, scale: f64) -> Graph {
+        let Some(dir) = &self.cache else {
+            return dataset.build(scale);
+        };
+        let path = dir.join(format!("{}-s{scale}.vgr", dataset.name()));
+        if path.exists() {
+            match io::load_graph(&path, dataset.spec().directed, Some(Format::Binary)) {
+                Ok((g, _)) => return g,
+                Err(e) => eprintln!("warning: ignoring unreadable cache {}: {e}", path.display()),
+            }
+        }
+        let g = dataset.build(scale);
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .map_err(vebo_graph::GraphError::from)
+            .and_then(|()| io::save_graph(&g, &path, Format::Binary))
+        {
+            eprintln!("warning: cannot cache {}: {e}", path.display());
+        }
+        g
+    }
+
     /// Datasets selected by `--dataset`, or all of them.
     pub fn datasets(&self) -> Vec<Dataset> {
         match self.dataset {
@@ -132,7 +170,7 @@ impl HarnessArgs {
 
 fn usage(binary: &str, description: &str) -> String {
     format!(
-        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --extended       include extension orderings where supported\n  --help           this text",
+        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --extended       include extension orderings where supported\n  --help           this text",
         Dataset::ALL.map(|d| d.name())
     )
 }
@@ -162,6 +200,29 @@ mod tests {
     #[test]
     fn quick_sets_scale() {
         assert_eq!(parse(&["--quick"]).scale, 0.1);
+    }
+
+    #[test]
+    fn cache_round_trips_datasets() {
+        let dir = std::env::temp_dir().join("vebo-bench-cache-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let args = parse(&["--cache", dir.to_str().unwrap()]);
+        assert_eq!(args.cache.as_deref(), Some(dir.as_path()));
+        // First build populates the cache, second streams it back; both
+        // must be bit-identical to an uncached build.
+        let fresh = Dataset::YahooLike.build(0.02);
+        let first = args.build_dataset(Dataset::YahooLike, 0.02);
+        assert!(dir.join("yahoo_mem-s0.02.vgr").exists());
+        let second = args.build_dataset(Dataset::YahooLike, 0.02);
+        for g in [&first, &second] {
+            assert_eq!(g.csr().offsets(), fresh.csr().offsets());
+            assert_eq!(g.csr().targets(), fresh.csr().targets());
+            assert_eq!(g.is_directed(), fresh.is_directed());
+        }
+        // Without --cache, nothing new is written.
+        let plain = parse(&[]).build_dataset(Dataset::YahooLike, 0.02);
+        assert_eq!(plain.csr().targets(), fresh.csr().targets());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn main() {
     );
     let dataset = args.dataset.unwrap_or(Dataset::TwitterLike);
     let scale = args.scale_or(0.5);
-    let g = dataset.build(scale);
+    let g = args.build_dataset(dataset, scale);
     println!(
         "== Ablations on {} ({} vertices, {} edges, scale {scale}) ==\n",
         dataset.name(),
@@ -155,7 +155,7 @@ fn main() {
 
     // ---- 5. synchronous vs asynchronous label propagation (§V-B) ------
     println!("\n(5) CC: synchronous vs asynchronous propagation, by vertex order (§V-B):");
-    let road = Dataset::UsaRoadLike.build(scale);
+    let road = args.build_dataset(Dataset::UsaRoadLike, scale);
     let mut t = Table::new(&[
         "graph",
         "order",

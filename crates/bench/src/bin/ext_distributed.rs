@@ -50,7 +50,7 @@ fn main() {
     );
 
     for dataset in datasets {
-        let g = dataset.build(scale);
+        let g = args.build_dataset(dataset, scale);
         let src = default_source(&g);
         println!(
             "--- {} ({} vertices, {} edges) ---",
@@ -104,7 +104,7 @@ fn main() {
         "rf change %",
     ]);
     for dataset in args.datasets() {
-        let g = dataset.build(scale);
+        let g = args.build_dataset(dataset, scale);
         let machines = workers.min(64);
         let natural = GreedyVertexCut.place(&g, machines);
         let order = vertices_by_decreasing_in_degree(&g);

@@ -35,7 +35,7 @@ fn main() {
     println!("== Partitioner quality at P = {workers}, scale {scale} ==\n");
 
     for dataset in args.datasets() {
-        let g = dataset.build(scale);
+        let g = args.build_dataset(dataset, scale);
         println!(
             "--- {} ({} vertices, {} edges) ---",
             dataset.name(),

@@ -67,7 +67,7 @@ fn main() {
         "dests s.d.",
     ]);
     for dataset in datasets {
-        let g = dataset.build(args.scale);
+        let g = args.build_dataset(dataset, args.scale);
         let (vebo_g, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
         for (label, graph, st) in [("Original", &g, None), ("VEBO", &vebo_g, starts.as_deref())] {
             let rows = series(graph, p, st);

@@ -31,7 +31,7 @@ fn main() {
         args.scale
     );
 
-    let g = dataset.build(args.scale);
+    let g = args.build_dataset(dataset, args.scale);
     let (vebo_g, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
 
     // (a) per-partition execution time; original ships Hilbert order,

@@ -34,7 +34,7 @@ fn main() {
 
     let mut t = Table::new(&["Graph", "Algo", "Original", "VEBO", "Random", "Random+VEBO"]);
     for dataset in datasets {
-        let g = dataset.build(scale);
+        let g = args.build_dataset(dataset, scale);
         for kind in algorithms {
             let mut times = Vec::new();
             for ordering in OrderingKind::FIG5 {

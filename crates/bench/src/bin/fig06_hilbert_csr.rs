@@ -47,7 +47,7 @@ fn main() {
         args.scale
     );
 
-    let g = dataset.build(args.scale);
+    let g = args.build_dataset(dataset, args.scale);
     let (high_to_low, _) = ordered_graph(&g, OrderingKind::HighToLow, p);
     let (vebo_g, vebo_starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
 

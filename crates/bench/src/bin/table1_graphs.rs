@@ -33,7 +33,7 @@ fn main() {
         "type",
     ]);
     for d in args.datasets() {
-        let g = d.build(args.scale);
+        let g = args.build_dataset(d, args.scale);
         let c = characterize(&g);
         let s = estimate_zipf_exponent(&g);
         let rep = verify_theorems(&g, p, s);

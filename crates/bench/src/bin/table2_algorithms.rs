@@ -19,7 +19,7 @@ fn main() {
         dataset.name()
     );
 
-    let base = dataset.build(scale);
+    let base = args.build_dataset(dataset, scale);
     let mut t = Table::new(&[
         "Code",
         "B/F",

@@ -80,7 +80,7 @@ fn main() {
     let mut speedup_log: Vec<(SystemKind, f64)> = Vec::new();
 
     for dataset in args.datasets() {
-        let base = dataset.build(scale);
+        let base = args.build_dataset(dataset, scale);
         // Reordered graphs, one per (ordering, partition-count) pair,
         // keeping VEBO's exact boundaries for the partitioned systems.
         type Entry = (OrderingKind, usize, Graph, Option<Vec<usize>>);

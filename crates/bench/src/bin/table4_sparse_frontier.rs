@@ -68,7 +68,7 @@ fn main() {
         args.scale
     );
 
-    let g = dataset.build(args.scale);
+    let g = args.build_dataset(dataset, args.scale);
     let (vebo_g, _) = ordered_graph(&g, OrderingKind::Vebo, p);
 
     let mut t = Table::new(&[

@@ -69,7 +69,7 @@ fn main() {
         "Graph", "App", "Order", "VM local", "VM rmt", "VM TLB", "EM local", "EM rmt", "EM TLB",
     ]);
     for dataset in datasets {
-        let g = dataset.build(args.scale);
+        let g = args.build_dataset(dataset, args.scale);
         let (vebo_g, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, p);
         for app in ["PR", "BF"] {
             for (label, graph, st) in [("Ori.", &g, None), ("VEBO", &vebo_g, starts.as_deref())] {

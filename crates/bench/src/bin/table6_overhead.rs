@@ -43,7 +43,7 @@ fn main() {
         "PR VEBO",
     ]);
     for dataset in datasets {
-        let g = dataset.build(scale);
+        let g = args.build_dataset(dataset, scale);
 
         // --- vertex reordering costs ---
         let t0 = Instant::now();

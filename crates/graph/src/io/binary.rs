@@ -1,0 +1,312 @@
+//! The versioned binary CSR on-disk format (`.vgr`).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic  "VGR\0"
+//! 4       4           version (currently 1)
+//! 8       4           flags   (bit 0: directed, bit 1: per-edge weights)
+//! 12      8           n       (vertex count)
+//! 20      8           m       (stored arc count)
+//! 28      (n+1) * 8   CSR offsets
+//! ...     m * 4       CSR targets (VertexId)
+//! ...     m * 4       CSR weights (f32, only when bit 1 of flags is set)
+//! ```
+//!
+//! Only the out-direction (CSR) is stored; the CSC half is rebuilt by the
+//! `O(n + m)` parallel transpose on load. Reads and writes go through
+//! bounded scratch buffers, so peak transient memory is a fixed buffer
+//! plus the output arrays — the file is never slurped whole.
+
+use crate::adjacency::Adjacency;
+use crate::graph::Graph;
+use crate::types::{GraphError, VertexId};
+use std::io::{BufWriter, Read, Write};
+
+/// The four magic bytes every `.vgr` file starts with.
+pub const BINARY_MAGIC: [u8; 4] = *b"VGR\0";
+
+/// The current format version.
+pub const BINARY_VERSION: u32 = 1;
+
+const FLAG_DIRECTED: u32 = 1 << 0;
+const FLAG_WEIGHTS: u32 = 1 << 1;
+const HEADER_LEN: usize = 28;
+
+/// Entries converted per scratch buffer while copying arrays.
+const COPY_CHUNK: usize = 1 << 16;
+
+/// Writes `g` in the binary CSR format.
+pub fn write_binary_graph<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    let csr = g.csr();
+    let mut flags = 0u32;
+    if g.is_directed() {
+        flags |= FLAG_DIRECTED;
+    }
+    if csr.has_weights() {
+        flags |= FLAG_WEIGHTS;
+    }
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&BINARY_MAGIC);
+    header.extend_from_slice(&BINARY_VERSION.to_le_bytes());
+    header.extend_from_slice(&flags.to_le_bytes());
+    header.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    header.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    w.write_all(&header)?;
+    let mut buf: Vec<u8> = Vec::with_capacity(COPY_CHUNK * 8);
+    for chunk in csr.offsets().chunks(COPY_CHUNK) {
+        buf.clear();
+        for &o in chunk {
+            buf.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    for chunk in csr.targets().chunks(COPY_CHUNK) {
+        buf.clear();
+        for &t in chunk {
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    if let Some(weights) = csr.raw_weights() {
+        for chunk in weights.chunks(COPY_CHUNK) {
+            buf.clear();
+            for &x in chunk {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Tracks how far into a section we got, for precise truncation errors.
+struct SectionReader<R> {
+    inner: R,
+}
+
+impl<R: Read> SectionReader<R> {
+    /// Fills `buf` completely or reports how much of `section` was missing.
+    fn read_exact(
+        &mut self,
+        buf: &mut [u8],
+        section: &'static str,
+        expected_bytes: usize,
+        section_read: usize,
+    ) -> Result<(), GraphError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(GraphError::TruncatedBinary {
+                        section,
+                        expected_bytes,
+                        found_bytes: section_read + filled,
+                    });
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads `count` fixed-width little-endian values through a bounded
+    /// scratch buffer.
+    fn read_values<T, const W: usize>(
+        &mut self,
+        count: usize,
+        section: &'static str,
+        decode: impl Fn([u8; W]) -> T,
+    ) -> Result<Vec<T>, GraphError> {
+        let expected = count.saturating_mul(W);
+        // Capacity is capped so a corrupt header cannot force a huge
+        // up-front allocation; the vec grows as real data arrives.
+        let mut out: Vec<T> = Vec::with_capacity(count.min(COPY_CHUNK * 16));
+        let mut buf = vec![0u8; COPY_CHUNK.min(count.max(1)) * W];
+        let mut remaining = count;
+        while remaining > 0 {
+            let take = remaining.min(COPY_CHUNK);
+            let bytes = &mut buf[..take * W];
+            self.read_exact(
+                bytes,
+                section,
+                expected,
+                (count - remaining).saturating_mul(W),
+            )?;
+            for v in bytes.chunks_exact(W) {
+                out.push(decode(v.try_into().expect("chunks_exact yields W bytes")));
+            }
+            remaining -= take;
+        }
+        Ok(out)
+    }
+}
+
+/// Reads a binary CSR graph. Directedness and weights come from the
+/// stored header flags.
+pub fn read_binary_graph<R: Read>(r: R) -> Result<Graph, GraphError> {
+    let mut r = SectionReader { inner: r };
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header, "header", HEADER_LEN, 0)?;
+    if header[..4] != BINARY_MAGIC {
+        return Err(GraphError::BadMagic);
+    }
+    let word = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().unwrap());
+    let version = word(4);
+    if version != BINARY_VERSION {
+        return Err(GraphError::UnsupportedVersion { version });
+    }
+    let flags = word(8);
+    if flags & !(FLAG_DIRECTED | FLAG_WEIGHTS) != 0 {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("unknown binary flags {flags:#x}"),
+        });
+    }
+    let long = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().unwrap());
+    let n = usize::try_from(long(12)).map_err(|_| GraphError::Parse {
+        line: 0,
+        message: "vertex count exceeds platform usize".into(),
+    })?;
+    let m = usize::try_from(long(20)).map_err(|_| GraphError::Parse {
+        line: 0,
+        message: "edge count exceeds platform usize".into(),
+    })?;
+    let num_offsets = n.checked_add(1).ok_or(GraphError::Parse {
+        line: 0,
+        message: "vertex count exceeds platform usize".into(),
+    })?;
+    let offsets: Vec<usize> =
+        r.read_values::<_, 8>(num_offsets, "offsets", |b| u64::from_le_bytes(b) as usize)?;
+    let targets: Vec<VertexId> = r.read_values::<_, 4>(m, "targets", u32::from_le_bytes)?;
+    let weights = if flags & FLAG_WEIGHTS != 0 {
+        Some(r.read_values::<_, 4>(m, "weights", f32::from_le_bytes)?)
+    } else {
+        None
+    };
+    let mut trailing = [0u8; 1];
+    loop {
+        match r.inner.read(&mut trailing) {
+            Ok(0) => break,
+            Ok(_) => {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: "trailing bytes after binary graph data".into(),
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let out = Adjacency::from_raw(offsets, targets, weights)?;
+    let into = out.transpose();
+    Graph::from_parts(out, into, flags & FLAG_DIRECTED != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (3, 4), (4, 0)], true)
+    }
+
+    #[test]
+    fn roundtrip_preserves_csr_exactly() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let h = read_binary_graph(&buf[..]).unwrap();
+        assert_eq!(g.csr().offsets(), h.csr().offsets());
+        assert_eq!(g.csr().targets(), h.csr().targets());
+        assert_eq!(g.csc().offsets(), h.csc().offsets());
+        assert_eq!(g.is_directed(), h.is_directed());
+    }
+
+    #[test]
+    fn roundtrip_undirected() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], false);
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let h = read_binary_graph(&buf[..]).unwrap();
+        assert!(!h.is_directed());
+        assert_eq!(g.csr().offsets(), h.csr().offsets());
+        assert_eq!(g.csr().targets(), h.csr().targets());
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g =
+            Graph::from_edges_weighted(3, &[(0, 1), (1, 2), (2, 0)], Some(&[0.5, 1.5, 2.5]), true);
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let h = read_binary_graph(&buf[..]).unwrap();
+        assert_eq!(g.csr().raw_weights(), h.csr().raw_weights());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_binary_graph(&b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0"[..])
+            .unwrap_err();
+        assert_eq!(err, GraphError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        buf[4] = 99;
+        let err = read_binary_graph(&buf[..]).unwrap_err();
+        assert_eq!(err, GraphError::UnsupportedVersion { version: 99 });
+    }
+
+    #[test]
+    fn reports_truncation_with_section() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        // Header cut short.
+        let err = read_binary_graph(&buf[..10]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::TruncatedBinary {
+                section: "header",
+                ..
+            }
+        ));
+        // Offsets cut short.
+        let err = read_binary_graph(&buf[..HEADER_LEN + 5]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::TruncatedBinary {
+                section: "offsets",
+                ..
+            }
+        ));
+        // Targets cut short.
+        let err = read_binary_graph(&buf[..buf.len() - 1]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::TruncatedBinary {
+                section: "targets",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        buf.push(0xFF);
+        let err = read_binary_graph(&buf[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+}

@@ -39,6 +39,7 @@ pub use adjacency::Adjacency;
 pub use coo::Coo;
 pub use datasets::{Dataset, DatasetSpec};
 pub use graph::{mix64, Graph};
+pub use io::{Format, StreamConfig};
 pub use par::{ParMode, SharedSlice};
 pub use permute::{Permutation, VertexOrdering};
 pub use types::{EdgeId, GraphError, VertexId};

@@ -44,6 +44,33 @@ pub enum GraphError {
         /// Human-readable description.
         message: String,
     },
+    /// An out-of-range endpoint found while parsing a text format. Unlike
+    /// [`GraphError::VertexOutOfRange`] (construction-time validation),
+    /// this carries the offending 1-based line of the input file.
+    VertexOutOfRangeAt {
+        /// 1-based line number.
+        line: usize,
+        /// The offending endpoint.
+        vertex: u64,
+        /// The maximum representable / declared vertex count.
+        num_vertices: usize,
+    },
+    /// Binary graph input does not start with the `.vgr` magic bytes.
+    BadMagic,
+    /// Binary graph input has the right magic but an unsupported version.
+    UnsupportedVersion {
+        /// The version field found in the header.
+        version: u32,
+    },
+    /// Binary graph input ended before a section was complete.
+    TruncatedBinary {
+        /// Which section was being read (`"header"`, `"offsets"`, ...).
+        section: &'static str,
+        /// Bytes the section requires.
+        expected_bytes: usize,
+        /// Bytes actually available.
+        found_bytes: usize,
+    },
     /// An I/O failure wrapped as a string (keeps the error type `Clone`).
     Io(String),
 }
@@ -74,6 +101,33 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::VertexOutOfRangeAt {
+                line,
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "parse error on line {line}: vertex {vertex} out of range (n = {num_vertices})"
+                )
+            }
+            GraphError::BadMagic => {
+                write!(f, "not a binary graph file (bad magic bytes)")
+            }
+            GraphError::UnsupportedVersion { version } => {
+                write!(f, "unsupported binary graph version {version}")
+            }
+            GraphError::TruncatedBinary {
+                section,
+                expected_bytes,
+                found_bytes,
+            } => {
+                write!(
+                    f,
+                    "truncated binary graph: {section} needs {expected_bytes} bytes, \
+                     found {found_bytes}"
+                )
             }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
         }

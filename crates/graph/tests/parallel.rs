@@ -9,6 +9,7 @@
 
 use proptest::prelude::*;
 use vebo_graph::adjacency::Adjacency;
+use vebo_graph::degree::{in_degree_histogram_with, vertices_by_decreasing_in_degree_with};
 use vebo_graph::gen::random_permutation;
 use vebo_graph::graph::mix64;
 use vebo_graph::{Graph, ParMode, VertexId};
@@ -102,6 +103,60 @@ proptest! {
         let auto = in_pool(|| Adjacency::from_pairs_with(n, &edges, Some(&w), ParMode::Auto));
         prop_assert_eq!(seq, auto);
     }
+
+    /// Parallel in-degree histogram == sequential histogram.
+    #[test]
+    fn parallel_histogram_matches_sequential((n, edges, _w) in arb_edges(), directed in any::<bool>()) {
+        let g = Graph::from_edges(n, &edges, directed);
+        let seq = in_degree_histogram_with(&g, ParMode::Sequential);
+        let par = in_pool(|| in_degree_histogram_with(&g, ParMode::Parallel));
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Parallel decreasing-in-degree order is *exactly* the sequential
+    /// counting-sort order — same ties-by-ascending-id stability, not
+    /// merely a valid reordering.
+    #[test]
+    fn parallel_degree_order_matches_sequential((n, edges, _w) in arb_edges(), directed in any::<bool>()) {
+        let g = Graph::from_edges(n, &edges, directed);
+        let seq = vertices_by_decreasing_in_degree_with(&g, ParMode::Sequential);
+        let par = in_pool(|| vertices_by_decreasing_in_degree_with(&g, ParMode::Parallel));
+        prop_assert_eq!(seq, par);
+    }
+}
+
+/// The parallel degree ordering at a size past the `Auto` threshold, with
+/// a skewed (power-law-ish) degree distribution: identical to sequential.
+#[test]
+fn parallel_degree_order_large_skewed_graph() {
+    let n = 40_000usize;
+    let mut x = 11u64;
+    let mut next = move || {
+        x = mix64(x);
+        x
+    };
+    // Heavy skew: half the edges land on ~16 hub vertices.
+    let edges: Vec<(VertexId, VertexId)> = (0..120_000)
+        .map(|_| {
+            let dst = if next() % 2 == 0 {
+                (next() % 16) as VertexId
+            } else {
+                (next() % n as u64) as VertexId
+            };
+            ((next() % n as u64) as VertexId, dst)
+        })
+        .collect();
+    let g = Graph::from_edges(n, &edges, true);
+    let seq = vertices_by_decreasing_in_degree_with(&g, ParMode::Sequential);
+    let hseq = in_degree_histogram_with(&g, ParMode::Sequential);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    let auto = pool.install(|| vertices_by_decreasing_in_degree_with(&g, ParMode::Auto));
+    let hauto = pool.install(|| in_degree_histogram_with(&g, ParMode::Auto));
+    assert_eq!(seq, auto);
+    assert_eq!(hseq, hauto);
 }
 
 /// One deterministic large-scale check crossing the `Auto` threshold, so

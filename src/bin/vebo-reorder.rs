@@ -5,20 +5,24 @@
 //! ./VEBO -r 100 -p 384 original vebo
 //! ```
 //!
-//! Reads a graph file (Ligra `AdjacencyGraph` or whitespace edge list,
-//! auto-detected), applies a vertex ordering resolved by name through the
-//! [`OrderingRegistry`], and writes the reordered — isomorphic — graph.
+//! Reads a graph file (Ligra `AdjacencyGraph`, whitespace edge list, or
+//! binary `.vgr` CSR — auto-detected by content, or forced with
+//! `--format`), applies a vertex ordering resolved by name through the
+//! [`OrderingRegistry`], and writes the reordered — isomorphic — graph in
+//! the same format. Input is streamed in line-aligned chunks and parsed in
+//! parallel, so billion-edge files never need a whole-file text buffer.
 //! Also prints the Algorithm-1 balance report for the requested partition
 //! count and the wall-clock reorder time.
 //!
 //! ```text
 //! cargo run --release --bin vebo-reorder -- -p 384 input.adj output.adj
 //! cargo run --release --bin vebo-reorder -- --order rcm --threads 4 input.el output.el
+//! cargo run --release --bin vebo-reorder -- --format bin input.vgr output.vgr
 //! ```
 
-use std::io::Read;
 use std::process::ExitCode;
-use vebo::graph::{io, Graph};
+use vebo::graph::io::{self, Format};
+use vebo::graph::Graph;
 use vebo::{chunked_balance_report, OrderingRegistry};
 
 struct Options {
@@ -27,25 +31,31 @@ struct Options {
     order: String,
     directed: bool,
     threads: Option<usize>,
+    format: Option<Format>,
     input: String,
     output: String,
 }
 
 fn usage() -> String {
     format!(
-        "vebo-reorder [options] <input> <output>\n\
+        "vebo-reorder [options] [--] <input> <output>\n\
          \n\
          Reorders a graph file with VEBO (or a baseline ordering).\n\
-         Formats: Ligra AdjacencyGraph or whitespace edge list (auto-detected;\n\
-         output format follows the input format).\n\
+         Formats: Ligra AdjacencyGraph, whitespace edge list, or binary CSR\n\
+         (.vgr). The input format is auto-detected from the file contents\n\
+         unless --format forces one; the output is written in the same\n\
+         format as the input.\n\
          \n\
          Options:\n\
            -p <n>          number of partitions (default 384)\n\
            -r <vertex>     report the new id of this vertex (artifact's -r)\n\
            --order <name>  {} (default vebo)\n\
+           --format <f>    auto | el | adj | bin (default auto)\n\
            --threads <n>   rayon threads for the reorder pipeline\n\
                            (default: all available cores)\n\
-           --undirected    treat the input as undirected\n\
+           --undirected    treat the input as undirected (text formats\n\
+                           only; binary inputs store their directedness)\n\
+           --              end of options (inputs may start with '-')\n\
            -h, --help      this text",
         OrderingRegistry::names().join(" | ")
     )
@@ -58,13 +68,20 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         order: "vebo".into(),
         directed: true,
         threads: None,
+        format: None,
         input: String::new(),
         output: String::new(),
     };
     let mut positional = Vec::new();
+    let mut options_done = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
+        if options_done {
+            positional.push(a);
+            continue;
+        }
         match a.as_str() {
+            "--" => options_done = true,
             "-p" => {
                 opts.partitions = it
                     .next()
@@ -82,6 +99,18 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             }
             "--order" => {
                 opts.order = it.next().ok_or("missing value for --order")?.to_lowercase();
+            }
+            "--format" => {
+                let v = it
+                    .next()
+                    .ok_or("missing value for --format")?
+                    .to_lowercase();
+                opts.format = match v.as_str() {
+                    "auto" => None,
+                    other => Some(Format::from_name(other).ok_or(format!(
+                        "bad --format value '{other}' (expected auto, el, adj, or bin)"
+                    ))?),
+                };
             }
             "--threads" => {
                 let n: usize = it
@@ -108,19 +137,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load(path: &str, directed: bool) -> Result<(Graph, bool), String> {
-    let mut text = String::new();
-    std::fs::File::open(path)
-        .and_then(|mut f| f.read_to_string(&mut text))
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
-    let is_adjacency = text.trim_start().starts_with("AdjacencyGraph");
-    let g = if is_adjacency {
-        io::read_adjacency_graph(text.as_bytes(), directed)
-    } else {
-        io::read_edge_list(text.as_bytes(), directed, None)
-    }
-    .map_err(|e| format!("cannot parse {path}: {e}"))?;
-    Ok((g, is_adjacency))
+fn load(path: &str, directed: bool, format: Option<Format>) -> Result<(Graph, Format), String> {
+    io::load_graph(path, directed, format).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -146,25 +164,6 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let (g, is_adjacency) = match load(&opts.input, opts.directed) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!(
-        "loaded {}: {} vertices, {} edges ({})",
-        opts.input,
-        g.num_vertices(),
-        g.num_edges(),
-        if is_adjacency {
-            "AdjacencyGraph"
-        } else {
-            "edge list"
-        }
-    );
-
     let pool = match rayon::ThreadPoolBuilder::new()
         .num_threads(opts.threads.unwrap_or(0))
         .build()
@@ -176,6 +175,24 @@ fn main() -> ExitCode {
         }
     };
     let threads = pool.current_num_threads();
+
+    // Load inside the pool so the chunked parse parallelizes too.
+    let (g, format) = match pool.install(|| load(&opts.input, opts.directed, opts.format)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {}: {} vertices, {} edges ({format})",
+        opts.input,
+        g.num_vertices(),
+        g.num_edges(),
+    );
+    if !opts.directed && format == Format::Binary && g.is_directed() {
+        eprintln!("warning: --undirected ignored; binary input stores the directed flag");
+    }
 
     let t0 = std::time::Instant::now();
     let (perm, reordered, compute_time) = pool.install(|| {
@@ -210,19 +227,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let write = |file: std::fs::File| {
-        if is_adjacency {
-            io::write_adjacency_graph(&reordered, file)
-        } else {
-            io::write_edge_list(&reordered, file)
-        }
-    };
-    match std::fs::File::create(&opts.output)
-        .map_err(|e| e.to_string())
-        .and_then(|f| write(f).map_err(|e| e.to_string()))
-    {
+    match io::save_graph(&reordered, &opts.output, format) {
         Ok(()) => {
-            eprintln!("wrote {}", opts.output);
+            eprintln!("wrote {} ({format})", opts.output);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -251,6 +258,7 @@ mod tests {
         assert_eq!(o.output, "vebo");
         assert!(o.directed);
         assert_eq!(o.threads, None);
+        assert_eq!(o.format, None);
     }
 
     #[test]
@@ -267,6 +275,44 @@ mod tests {
         assert!(args(&["--threads", "0", "a", "b"]).is_err());
         assert!(args(&["--threads", "x", "a", "b"]).is_err());
         assert!(args(&["--threads"]).is_err());
+    }
+
+    #[test]
+    fn parses_format() {
+        assert_eq!(args(&["a", "b"]).unwrap().format, None);
+        assert_eq!(args(&["--format", "auto", "a", "b"]).unwrap().format, None);
+        assert_eq!(
+            args(&["--format", "el", "a", "b"]).unwrap().format,
+            Some(Format::EdgeList)
+        );
+        assert_eq!(
+            args(&["--format", "ADJ", "a", "b"]).unwrap().format,
+            Some(Format::AdjacencyGraph)
+        );
+        assert_eq!(
+            args(&["--format", "bin", "a", "b"]).unwrap().format,
+            Some(Format::Binary)
+        );
+        assert!(args(&["--format", "csv", "a", "b"]).is_err());
+        assert!(args(&["--format"]).is_err());
+    }
+
+    #[test]
+    fn double_dash_allows_dashed_filenames() {
+        let o = args(&["-p", "8", "--", "-weird.el", "-out.el"]).unwrap();
+        assert_eq!(o.partitions, 8);
+        assert_eq!(o.input, "-weird.el");
+        assert_eq!(o.output, "-out.el");
+        // Everything after `--` is positional, even things that look like
+        // options.
+        let o = args(&["--", "--order", "-x"]).unwrap();
+        assert_eq!(o.input, "--order");
+        assert_eq!(o.output, "-x");
+        assert_eq!(o.order, "vebo");
+        // Without `--`, dashed names are still rejected as unknown options.
+        assert!(args(&["-weird.el", "-out.el"]).is_err());
+        // `--` with too few positionals still errors.
+        assert!(args(&["--", "only-one"]).is_err());
     }
 
     #[test]
@@ -288,8 +334,8 @@ mod tests {
         }
         text.push_str("20 21\n21 22\n");
         std::fs::write(&input, &text).unwrap();
-        let (g, is_adj) = load(input.to_str().unwrap(), true).unwrap();
-        assert!(!is_adj);
+        let (g, format) = load(input.to_str().unwrap(), true, None).unwrap();
+        assert_eq!(format, Format::EdgeList);
         assert_eq!(g.num_vertices(), 23);
         assert_eq!(g.num_edges(), 21);
         // Every registry ordering round-trips through file I/O.
@@ -298,10 +344,27 @@ mod tests {
             let h = perm.apply_graph(&g);
             let out = dir.join(format!("out-{name}.el"));
             io::save_edge_list(&h, &out).unwrap();
-            let (back, _) = load(out.to_str().unwrap(), true).unwrap();
+            let (back, _) = load(out.to_str().unwrap(), true, None).unwrap();
             assert_eq!(back.num_edges(), g.num_edges(), "{name}");
             assert_eq!(back.num_vertices(), g.num_vertices(), "{name}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn round_trips_binary_format() {
+        let dir = std::env::temp_dir().join("vebo-reorder-bin-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)], true);
+        let path = dir.join("g.vgr");
+        io::save_graph(&g, &path, Format::Binary).unwrap();
+        // Auto-detection sees the magic bytes.
+        let (h, format) = load(path.to_str().unwrap(), true, None).unwrap();
+        assert_eq!(format, Format::Binary);
+        assert_eq!(h.csr().offsets(), g.csr().offsets());
+        assert_eq!(h.csr().targets(), g.csr().targets());
+        // Forcing the wrong format fails loudly.
+        assert!(load(path.to_str().unwrap(), true, Some(Format::EdgeList)).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -311,8 +374,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.el");
         std::fs::write(&path, "not numbers at all\n").unwrap();
-        assert!(load(path.to_str().unwrap(), true).is_err());
-        assert!(load("/nonexistent/nope.el", true).is_err());
+        assert!(load(path.to_str().unwrap(), true, None).is_err());
+        assert!(load("/nonexistent/nope.el", true, None).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }
