@@ -7,7 +7,7 @@
 use crate::common::RunReport;
 use std::sync::atomic::{AtomicBool, Ordering};
 use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
-use vebo_engine::{edge_map, vertex_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_engine::{EdgeOp, Executor, Frontier, PreparedGraph};
 use vebo_graph::VertexId;
 
 struct PathsOp<'a> {
@@ -62,10 +62,10 @@ impl EdgeOp for DepOp<'_> {
 /// Single-source betweenness dependencies from `source` (Brandes'
 /// delta values; summing over all sources would give exact BC — Ligra and
 /// the paper likewise evaluate the single-source kernel).
-pub fn bc(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<f64>, RunReport) {
+pub fn bc(exec: &Executor, pg: &PreparedGraph, source: VertexId) -> (Vec<f64>, RunReport) {
+    let (exec, rec) = exec.recorded();
     let g = pg.graph();
     let n = g.num_vertices();
-    let mut report = RunReport::default();
 
     // ---- forward phase: shortest-path counts and BFS levels ----
     let sigma = atomic_f64_vec(n, 0.0);
@@ -82,34 +82,29 @@ pub fn bc(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<f
             level_frontiers.pop();
             break;
         }
-        let class = frontier.density_class(g);
         let op = PathsOp {
             sigma: &sigma,
             visited: &visited,
         };
-        let (next, em) = edge_map(pg, frontier, &op, opts);
-        report.push_edge(class, em);
+        let (next, _) = exec.edge_map(pg, frontier, &op);
         // Mark the new frontier visited and record its level.
         let lev = level_frontiers.len() as u32;
-        let (_, vm) = vertex_map(
-            pg,
-            &next,
-            |v| {
-                visited[v as usize].store(true, Ordering::Relaxed);
-                true
-            },
-            opts.parallel,
-        );
+        exec.vertex_map(pg, &next, |v| {
+            visited[v as usize].store(true, Ordering::Relaxed);
+            true
+        });
         for v in next.iter_active() {
             level[v as usize] = lev;
         }
-        report.push_vertex(vm);
         level_frontiers.push(next);
     }
 
     // ---- backward phase: dependency accumulation on the transpose ----
     let dep = atomic_f64_vec(n, 0.0);
-    let tg = PreparedGraph::new(g.transposed(), *pg.profile());
+    let tg = PreparedGraph::builder(g.transposed())
+        .profile(*pg.profile())
+        .build()
+        .expect("no explicit bounds, cannot fail");
     for lev in (0..level_frontiers.len().saturating_sub(1)).rev() {
         let frontier = &level_frontiers[lev + 1];
         let op = DepOp {
@@ -118,12 +113,10 @@ pub fn bc(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<f
             level: &level,
             current_level: lev as u32,
         };
-        let class = frontier.density_class(tg.graph());
-        let (_, em) = edge_map(&tg, frontier, &op, opts);
-        report.push_edge(class, em);
+        exec.edge_map(&tg, frontier, &op);
     }
 
-    (snapshot_f64(&dep), report)
+    (snapshot_f64(&dep), rec.take())
 }
 
 /// Reference sequential Brandes single-source dependencies (tests).
@@ -178,7 +171,7 @@ mod tests {
         let want = bc_reference(&g, 0);
         assert_eq!(want, vec![3.0, 0.5, 0.5, 0.0]);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (got, _) = bc(&pg, 0, &EdgeMapOptions::default());
+        let (got, _) = bc(&Executor::new(SystemProfile::ligra_like()), &pg, 0);
         assert_close(&got, &want, "diamond");
     }
 
@@ -193,7 +186,7 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
         ] {
             let pg = PreparedGraph::new(g.clone(), profile);
-            let (got, _) = bc(&pg, src, &EdgeMapOptions::default());
+            let (got, _) = bc(&Executor::new(profile), &pg, src);
             assert_close(&got, &want, profile.kind.name());
         }
     }
@@ -203,7 +196,7 @@ mod tests {
         // Path 0 -> 1 -> 2 -> 3: dep[v] = #descendants on shortest paths.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], true);
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
-        let (got, _) = bc(&pg, 0, &EdgeMapOptions::default());
+        let (got, _) = bc(&Executor::new(SystemProfile::ligra_like()), &pg, 0);
         assert_close(&got, &[3.0, 2.0, 1.0, 0.0], "line");
     }
 
@@ -213,12 +206,12 @@ mod tests {
         let src = g.vertices().max_by_key(|&v| g.out_degree(v)).unwrap();
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
         let mut results = Vec::new();
-        for force in [Some(true), Some(false)] {
-            let opts = EdgeMapOptions {
-                force_dense: force,
-                ..Default::default()
-            };
-            let (dep, _) = bc(&pg, src, &opts);
+        for force in [
+            vebo_engine::Direction::Dense,
+            vebo_engine::Direction::Sparse,
+        ] {
+            let exec = Executor::new(SystemProfile::ligra_like()).with_direction(force);
+            let (dep, _) = bc(&exec, &pg, src);
             results.push(dep);
         }
         assert_close(&results[0], &results[1], "forced");

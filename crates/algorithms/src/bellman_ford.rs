@@ -3,7 +3,7 @@
 
 use crate::common::RunReport;
 use vebo_engine::shared::AtomicF64;
-use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_engine::{EdgeOp, Executor, Frontier, PreparedGraph};
 use vebo_graph::VertexId;
 
 struct BfOp {
@@ -31,14 +31,14 @@ impl EdgeOp for BfOp {
 /// (`f64::INFINITY` for unreachable vertices). Rounds are capped at `n`
 /// (no negative weights exist in this workspace, so this never binds).
 pub fn bellman_ford(
+    exec: &Executor,
     pg: &PreparedGraph,
     source: VertexId,
-    opts: &EdgeMapOptions,
 ) -> (Vec<f64>, RunReport) {
+    let (exec, rec) = exec.recorded();
     let g = pg.graph();
     assert!(g.has_weights(), "Bellman-Ford needs an edge-weighted graph");
     let n = g.num_vertices();
-    let mut report = RunReport::default();
     let op = BfOp {
         dist: (0..n).map(|_| AtomicF64::new(f64::INFINITY)).collect(),
     };
@@ -47,13 +47,11 @@ pub fn bellman_ford(
     let mut frontier = Frontier::single(n, source);
     let mut rounds = 0usize;
     while !frontier.is_empty() && rounds < n {
-        let class = frontier.density_class(g);
-        let (next, em) = edge_map(pg, &frontier, &op, opts);
-        report.push_edge(class, em);
+        let (next, _) = exec.edge_map(pg, &frontier, &op);
         frontier = next;
         rounds += 1;
     }
-    (op.dist.into_iter().map(|a| a.load()).collect(), report)
+    (op.dist.into_iter().map(|a| a.load()).collect(), rec.take())
 }
 
 /// Reference Dijkstra (tests; weights are positive).
@@ -105,7 +103,7 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
         ] {
             let pg = PreparedGraph::new(g.clone(), profile);
-            let (got, _) = bellman_ford(&pg, src, &EdgeMapOptions::default());
+            let (got, _) = bellman_ford(&Executor::new(profile), &pg, src);
             for v in 0..got.len() {
                 let (a, b) = (got[v], want[v]);
                 assert!(
@@ -122,7 +120,7 @@ mod tests {
         let g =
             Graph::from_edges_weighted(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1.0, 2.0, 4.0]), true);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (d, report) = bellman_ford(&pg, 0, &EdgeMapOptions::default());
+        let (d, report) = bellman_ford(&Executor::new(SystemProfile::ligra_like()), &pg, 0);
         assert_eq!(d, vec![0.0, 1.0, 3.0, 7.0]);
         // Three relaxation rounds plus the final empty-producing round.
         assert_eq!(report.iterations, 4);
@@ -132,7 +130,7 @@ mod tests {
     fn unreachable_is_infinite() {
         let g = Graph::from_edges_weighted(3, &[(0, 1)], Some(&[1.0]), true);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (d, _) = bellman_ford(&pg, 0, &EdgeMapOptions::default());
+        let (d, _) = bellman_ford(&Executor::new(SystemProfile::ligra_like()), &pg, 0);
         assert!(d[2].is_infinite());
     }
 
@@ -146,7 +144,7 @@ mod tests {
             true,
         );
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (d, _) = bellman_ford(&pg, 0, &EdgeMapOptions::default());
+        let (d, _) = bellman_ford(&Executor::new(SystemProfile::ligra_like()), &pg, 0);
         assert_eq!(d[3], 2.0);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::common::RunReport;
 use std::sync::atomic::{AtomicU32, Ordering};
-use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_engine::{EdgeOp, Executor, Frontier, PreparedGraph};
 use vebo_graph::VertexId;
 
 /// Sentinel for "no parent yet".
@@ -36,10 +36,10 @@ impl EdgeOp for BfsOp {
 
 /// Runs BFS from `source`; returns the parent array (`UNVISITED` for
 /// unreachable vertices; the source is its own parent).
-pub fn bfs(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<u32>, RunReport) {
+pub fn bfs(exec: &Executor, pg: &PreparedGraph, source: VertexId) -> (Vec<u32>, RunReport) {
+    let (exec, rec) = exec.recorded();
     let g = pg.graph();
     let n = g.num_vertices();
-    let mut report = RunReport::default();
     let op = BfsOp {
         parent: (0..n).map(|_| AtomicU32::new(UNVISITED)).collect(),
     };
@@ -47,14 +47,12 @@ pub fn bfs(pg: &PreparedGraph, source: VertexId, opts: &EdgeMapOptions) -> (Vec<
 
     let mut frontier = Frontier::single(n, source);
     while !frontier.is_empty() {
-        let class = frontier.density_class(g);
-        let (next, em) = edge_map(pg, &frontier, &op, opts);
-        report.push_edge(class, em);
+        let (next, _) = exec.edge_map(pg, &frontier, &op);
         frontier = next;
     }
     (
         op.parent.into_iter().map(|a| a.into_inner()).collect(),
-        report,
+        rec.take(),
     )
 }
 
@@ -120,7 +118,7 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
         ] {
             let pg = PreparedGraph::new(g.clone(), profile);
-            let (parents, _) = bfs(&pg, src, &EdgeMapOptions::default());
+            let (parents, _) = bfs(&Executor::new(profile), &pg, src);
             let levels = levels_from_parents(&parents, src);
             assert_eq!(levels, want, "profile {:?}", profile.kind);
         }
@@ -130,8 +128,9 @@ mod tests {
     fn parent_edges_exist_in_graph() {
         let g = Dataset::YahooLike.build(0.03);
         let src = source_of(&g);
-        let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
-        let (parents, _) = bfs(&pg, src, &EdgeMapOptions::default());
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g.clone(), profile);
+        let (parents, _) = bfs(&Executor::new(profile), &pg, src);
         for v in g.vertices() {
             let p = parents[v as usize];
             if p != UNVISITED && v != src {
@@ -144,7 +143,7 @@ mod tests {
     fn unreachable_vertices_stay_unvisited() {
         let g = vebo_graph::Graph::from_edges(4, &[(0, 1)], true);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (parents, _) = bfs(&pg, 0, &EdgeMapOptions::default());
+        let (parents, _) = bfs(&Executor::new(SystemProfile::ligra_like()), &pg, 0);
         assert_eq!(parents[0], 0);
         assert_eq!(parents[1], 0);
         assert_eq!(parents[2], UNVISITED);
@@ -157,12 +156,13 @@ mod tests {
         let src = source_of(&g);
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
         let mut reaches = Vec::new();
-        for force in [Some(true), Some(false), None] {
-            let opts = EdgeMapOptions {
-                force_dense: force,
-                ..Default::default()
-            };
-            let (parents, _) = bfs(&pg, src, &opts);
+        for force in [
+            vebo_engine::Direction::Dense,
+            vebo_engine::Direction::Sparse,
+            vebo_engine::Direction::Auto,
+        ] {
+            let exec = Executor::new(SystemProfile::ligra_like()).with_direction(force);
+            let (parents, _) = bfs(&exec, &pg, src);
             // Parent arrays may differ (tie-breaks), but the reachable
             // set and levels must agree.
             let levels = levels_from_parents(&parents, src);
@@ -177,8 +177,9 @@ mod tests {
         // BFS frontiers start sparse (Table II lists m/s for BFS).
         let g = Dataset::LiveJournalLike.build(0.05);
         let src = source_of(&g);
-        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
-        let (_, report) = bfs(&pg, src, &EdgeMapOptions::default());
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g, profile);
+        let (_, report) = bfs(&Executor::new(profile), &pg, src);
         assert!(report
             .observed_classes()
             .contains(&vebo_engine::DensityClass::Sparse));

@@ -12,7 +12,7 @@
 
 use crate::common::RunReport;
 use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
-use vebo_engine::{edge_map, vertex_map_all, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_engine::{Direction, EdgeOp, Executor, Frontier, PreparedGraph};
 use vebo_graph::graph::mix64;
 use vebo_graph::VertexId;
 
@@ -56,13 +56,13 @@ impl EdgeOp for BpOp<'_> {
 
 /// Runs vertex-level loopy BP; returns the belief (log-odds) vector.
 /// The graph must carry weights, which act as coupling strengths.
-pub fn bp(pg: &PreparedGraph, cfg: &BpConfig, opts: &EdgeMapOptions) -> (Vec<f64>, RunReport) {
+pub fn bp(exec: &Executor, pg: &PreparedGraph, cfg: &BpConfig) -> (Vec<f64>, RunReport) {
+    let (exec, rec) = exec.recorded();
     let g = pg.graph();
     assert!(g.has_weights(), "BP needs an edge-weighted graph");
     let n = g.num_vertices();
-    let mut report = RunReport::default();
     if n == 0 {
-        return (Vec::new(), report);
+        return (Vec::new(), RunReport::default());
     }
     // Deterministic priors in [-1, 1].
     let prior: Vec<f64> = (0..n)
@@ -82,41 +82,25 @@ pub fn bp(pg: &PreparedGraph, cfg: &BpConfig, opts: &EdgeMapOptions) -> (Vec<f64
     let frontier = Frontier::all(n);
 
     for _ in 0..cfg.iterations {
-        let (_, vm) = vertex_map_all(
-            pg,
-            |v| {
-                influence[v as usize].store(belief[v as usize].load().tanh());
-                acc[v as usize].store(0.0);
-                true
-            },
-            opts.parallel,
-        );
-        report.push_vertex(vm);
+        exec.vertex_map_all(pg, |v| {
+            influence[v as usize].store(belief[v as usize].load().tanh());
+            acc[v as usize].store(0.0);
+            true
+        });
 
         let op = BpOp {
             influence: &influence,
             acc: &acc,
             scale,
         };
-        let forced = EdgeMapOptions {
-            force_dense: Some(true),
-            ..*opts
-        };
-        let class = frontier.density_class(g);
-        let (_, em) = edge_map(pg, &frontier, &op, &forced);
-        report.push_edge(class, em);
+        exec.edge_map_in(pg, &frontier, &op, Direction::Dense);
 
-        let (_, vm2) = vertex_map_all(
-            pg,
-            |v| {
-                belief[v as usize].store(prior[v as usize] + acc[v as usize].load());
-                true
-            },
-            opts.parallel,
-        );
-        report.push_vertex(vm2);
+        exec.vertex_map_all(pg, |v| {
+            belief[v as usize].store(prior[v as usize] + acc[v as usize].load());
+            true
+        });
     }
-    (snapshot_f64(&belief), report)
+    (snapshot_f64(&belief), rec.take())
 }
 
 #[cfg(test)]
@@ -140,7 +124,7 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
         ] {
             let pg = PreparedGraph::new(g.clone(), profile);
-            let (b, _) = bp(&pg, &BpConfig::default(), &EdgeMapOptions::default());
+            let (b, _) = bp(&Executor::new(profile), &pg, &BpConfig::default());
             results.push(b);
         }
         for r in &results[1..] {
@@ -155,7 +139,11 @@ mod tests {
         let g = graph();
         let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap() as f64;
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (b, _) = bp(&pg, &BpConfig::default(), &EdgeMapOptions::default());
+        let (b, _) = bp(
+            &Executor::new(SystemProfile::ligra_like()),
+            &pg,
+            &BpConfig::default(),
+        );
         let bound = 1.0 + 0.5 * max_in;
         assert!(b.iter().all(|&x| x.abs() <= bound + 1e-9));
     }
@@ -165,7 +153,11 @@ mod tests {
         let g = vebo_graph::Graph::from_edges_weighted(3, &[(0, 1)], Some(&[2.0]), true)
             .with_hash_weights(4);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (b, _) = bp(&pg, &BpConfig::default(), &EdgeMapOptions::default());
+        let (b, _) = bp(
+            &Executor::new(SystemProfile::ligra_like()),
+            &pg,
+            &BpConfig::default(),
+        );
         let expected_prior = (mix64(2u64 ^ 0xB0) % 2001) as f64 / 1000.0 - 1.0;
         assert!((b[2] - expected_prior).abs() < 1e-12);
     }
@@ -174,12 +166,13 @@ mod tests {
     fn runs_requested_iterations_all_dense() {
         let g = graph();
         let m = g.num_edges() as u64;
-        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g, profile);
         let cfg = BpConfig {
             iterations: 4,
             ..Default::default()
         };
-        let (_, report) = bp(&pg, &cfg, &EdgeMapOptions::default());
+        let (_, report) = bp(&Executor::new(profile), &pg, &cfg);
         assert_eq!(report.iterations, 4);
         assert_eq!(report.total_edges(), 4 * m);
     }

@@ -9,7 +9,7 @@
 
 use crate::common::RunReport;
 use std::sync::atomic::{AtomicU32, Ordering};
-use vebo_engine::{edge_map, vertex_map_all, EdgeMapOptions, EdgeOp, PreparedGraph};
+use vebo_engine::{EdgeOp, Executor, PreparedGraph};
 use vebo_graph::VertexId;
 
 struct CcOp {
@@ -52,27 +52,23 @@ impl EdgeOp for CcOp {
 }
 
 /// Runs label-propagation components; returns the final label array.
-pub fn cc(pg: &PreparedGraph, opts: &EdgeMapOptions) -> (Vec<u32>, RunReport) {
-    let g = pg.graph();
-    let n = g.num_vertices();
-    let mut report = RunReport::default();
+pub fn cc(exec: &Executor, pg: &PreparedGraph) -> (Vec<u32>, RunReport) {
+    let (exec, rec) = exec.recorded();
+    let n = pg.graph().num_vertices();
     let op = CcOp {
         label: (0..n as u32).map(AtomicU32::new).collect(),
     };
 
     // Start from all vertices; each round keeps only vertices whose label
     // changed (they must re-broadcast).
-    let (mut frontier, vm) = vertex_map_all(pg, |_| true, opts.parallel);
-    report.push_vertex(vm);
+    let (mut frontier, _) = exec.vertex_map_all(pg, |_| true);
     while !frontier.is_empty() {
-        let class = frontier.density_class(g);
-        let (next, em) = edge_map(pg, &frontier, &op, opts);
-        report.push_edge(class, em);
+        let (next, _) = exec.edge_map(pg, &frontier, &op);
         frontier = next;
     }
     (
         op.label.into_iter().map(|a| a.into_inner()).collect(),
-        report,
+        rec.take(),
     )
 }
 
@@ -115,26 +111,22 @@ impl EdgeOp for CcSyncOp {
 /// propagation forwards labels within a round, and vertex reordering
 /// amplifies that acceleration. This variant exists to quantify the gap
 /// (see the `ablation` harness).
-pub fn cc_sync(pg: &PreparedGraph, opts: &EdgeMapOptions) -> (Vec<u32>, RunReport) {
-    let g = pg.graph();
-    let n = g.num_vertices();
-    let mut report = RunReport::default();
+pub fn cc_sync(exec: &Executor, pg: &PreparedGraph) -> (Vec<u32>, RunReport) {
+    let (exec, rec) = exec.recorded();
+    let n = pg.graph().num_vertices();
     let mut labels: Vec<u32> = (0..n as u32).collect();
 
-    let (mut frontier, vm) = vertex_map_all(pg, |_| true, opts.parallel);
-    report.push_vertex(vm);
+    let (mut frontier, _) = exec.vertex_map_all(pg, |_| true);
     while !frontier.is_empty() {
         let op = CcSyncOp {
             prev: labels.clone(),
             next: labels.iter().map(|&l| AtomicU32::new(l)).collect(),
         };
-        let class = frontier.density_class(g);
-        let (next_frontier, em) = edge_map(pg, &frontier, &op, opts);
-        report.push_edge(class, em);
+        let (next_frontier, _) = exec.edge_map(pg, &frontier, &op);
         labels = op.next.into_iter().map(|a| a.into_inner()).collect();
         frontier = next_frontier;
     }
-    (labels, report)
+    (labels, rec.take())
 }
 
 /// Reference components via union-find (tests; symmetric graphs).
@@ -179,7 +171,7 @@ mod tests {
             let g = d.build(0.03);
             let want = cc_reference(&g);
             let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-            let (got, _) = cc(&pg, &EdgeMapOptions::default());
+            let (got, _) = cc(&Executor::new(SystemProfile::ligra_like()), &pg);
             assert_eq!(got, want, "{}", d.name());
         }
     }
@@ -194,7 +186,7 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
         ] {
             let pg = PreparedGraph::new(g.clone(), profile);
-            let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+            let (labels, _) = cc(&Executor::new(profile), &pg);
             results.push(labels);
         }
         assert_eq!(results[0], results[1]);
@@ -205,7 +197,7 @@ mod tests {
     fn two_triangles_have_two_labels() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], false);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+        let (labels, _) = cc(&Executor::new(SystemProfile::ligra_like()), &pg);
         assert_eq!(labels[0..3], [0, 0, 0]);
         assert_eq!(labels[3..6], [3, 3, 3]);
     }
@@ -214,7 +206,7 @@ mod tests {
     fn labels_are_component_minima() {
         let g = Dataset::UsaRoadLike.build(0.02);
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
-        let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+        let (labels, _) = cc(&Executor::new(SystemProfile::ligra_like()), &pg);
         for v in g.vertices() {
             assert!(labels[v as usize] <= v);
         }
@@ -224,7 +216,7 @@ mod tests {
     fn isolated_vertices_keep_own_label() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 0)], true);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+        let (labels, _) = cc(&Executor::new(SystemProfile::ligra_like()), &pg);
         assert_eq!(labels[2], 2);
     }
 
@@ -233,8 +225,9 @@ mod tests {
         for d in [Dataset::UsaRoadLike, Dataset::YahooLike] {
             let g = d.build(0.03);
             let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-            let (a, _) = cc(&pg, &EdgeMapOptions::default());
-            let (s, _) = cc_sync(&pg, &EdgeMapOptions::default());
+            let exec = Executor::new(SystemProfile::ligra_like());
+            let (a, _) = cc(&exec, &pg);
+            let (s, _) = cc_sync(&exec, &pg);
             assert_eq!(a, s, "{}", d.name());
         }
     }
@@ -249,8 +242,9 @@ mod tests {
             (0..n - 1).map(|v| (v, v + 1)).collect();
         let g = Graph::from_edges(n as usize, &edges, false);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (labels_s, rep_s) = cc_sync(&pg, &EdgeMapOptions::default());
-        let (labels_a, rep_a) = cc(&pg, &EdgeMapOptions::default());
+        let exec = Executor::new(SystemProfile::ligra_like());
+        let (labels_s, rep_s) = cc_sync(&exec, &pg);
+        let (labels_a, rep_a) = cc(&exec, &pg);
         assert_eq!(labels_s, labels_a);
         assert!(labels_s.iter().all(|&l| l == 0));
         assert!(
@@ -271,8 +265,9 @@ mod tests {
         for d in [Dataset::UsaRoadLike, Dataset::OrkutLike] {
             let g = d.build(0.05);
             let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-            let (_, rep_a) = cc(&pg, &EdgeMapOptions::default());
-            let (_, rep_s) = cc_sync(&pg, &EdgeMapOptions::default());
+            let exec = Executor::new(SystemProfile::ligra_like());
+            let (_, rep_a) = cc(&exec, &pg);
+            let (_, rep_s) = cc_sync(&exec, &pg);
             assert!(
                 rep_a.iterations <= rep_s.iterations,
                 "{}: async {} sync {}",

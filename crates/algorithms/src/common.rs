@@ -1,121 +1,10 @@
-//! Shared algorithm-run bookkeeping: the [`RunReport`] every algorithm
-//! returns, and the [`AlgorithmKind`] registry mirroring Table II.
+//! Shared algorithm metadata: the [`AlgorithmKind`] registry mirroring
+//! Table II. The per-run measurement type ([`RunReport`]) moved into the
+//! engine's instrumentation layer — every algorithm accumulates it
+//! through a recorded [`vebo_engine::Executor`] instead of hand-rolled
+//! bookkeeping; it is re-exported here for continuity.
 
-use vebo_engine::frontier::DensityClass;
-use vebo_engine::{EdgeMapReport, MakespanReport, Scheduling, VertexMapReport};
-
-/// Everything measured while running one algorithm on one prepared graph.
-#[derive(Clone, Debug, Default)]
-pub struct RunReport {
-    /// Number of edgemap rounds executed.
-    pub iterations: usize,
-    /// One report per `edge_map` call, in execution order.
-    pub edge_maps: Vec<EdgeMapReport>,
-    /// One report per `vertex_map` call.
-    pub vertex_maps: Vec<VertexMapReport>,
-    /// Density class of the input frontier of each edgemap (Table II's
-    /// "F" column).
-    pub frontier_classes: Vec<DensityClass>,
-}
-
-impl RunReport {
-    /// Records one edgemap round.
-    pub fn push_edge(&mut self, class: DensityClass, report: EdgeMapReport) {
-        self.iterations += 1;
-        self.frontier_classes.push(class);
-        self.edge_maps.push(report);
-    }
-
-    /// Records one vertexmap pass.
-    pub fn push_vertex(&mut self, report: VertexMapReport) {
-        self.vertex_maps.push(report);
-    }
-
-    /// Total sequential time across all operations (nanoseconds).
-    pub fn sequential_nanos(&self) -> u64 {
-        self.edge_maps.iter().map(|r| r.total_nanos()).sum::<u64>()
-            + self
-                .vertex_maps
-                .iter()
-                .map(|r| r.total_nanos())
-                .sum::<u64>()
-    }
-
-    /// Simulated parallel runtime on `threads` workers under `scheduling`:
-    /// the sum over operations of each operation's makespan (operations
-    /// are separated by barriers in all three systems).
-    pub fn simulated_nanos(&self, threads: usize, scheduling: Scheduling) -> f64 {
-        let em: f64 = self
-            .edge_maps
-            .iter()
-            .map(|r| r.makespan(threads, scheduling).makespan)
-            .sum();
-        let vm: f64 = self
-            .vertex_maps
-            .iter()
-            .map(|r| {
-                let costs: Vec<f64> = r.tasks.iter().map(|t| t.nanos as f64).collect();
-                vebo_engine::simulate(&costs, threads, scheduling).makespan
-            })
-            .sum();
-        em + vm
-    }
-
-    /// Deterministic work-model variant of [`RunReport::simulated_nanos`]
-    /// (task cost = edges + destination vertices, the paper's joint cost
-    /// drivers); noise-free, used by tests.
-    pub fn simulated_work(&self, threads: usize, scheduling: Scheduling) -> f64 {
-        let em: f64 = self
-            .edge_maps
-            .iter()
-            .map(|r| r.makespan_by_work(threads, scheduling).makespan)
-            .sum();
-        let vm: f64 = self
-            .vertex_maps
-            .iter()
-            .map(|r| {
-                let costs: Vec<f64> = r.tasks.iter().map(|t| t.vertices as f64).collect();
-                vebo_engine::simulate(&costs, threads, scheduling).makespan
-            })
-            .sum();
-        em + vm
-    }
-
-    /// Total edges examined over the whole run.
-    pub fn total_edges(&self) -> u64 {
-        self.edge_maps.iter().map(|r| r.total_edges()).sum()
-    }
-
-    /// Distinct density classes observed, in first-seen order — the
-    /// "d/m/s" annotations of Table II.
-    pub fn observed_classes(&self) -> Vec<DensityClass> {
-        let mut seen = Vec::new();
-        for &c in &self.frontier_classes {
-            if !seen.contains(&c) {
-                seen.push(c);
-            }
-        }
-        seen
-    }
-
-    /// Aggregated makespan report of the whole run under measured costs.
-    pub fn aggregate_makespan(&self, threads: usize, scheduling: Scheduling) -> MakespanReport {
-        let mut per_thread = vec![0.0; threads];
-        for r in &self.edge_maps {
-            let m = r.makespan(threads, scheduling);
-            for (t, c) in m.per_thread.iter().enumerate() {
-                per_thread[t] += c;
-            }
-        }
-        let makespan = self.simulated_nanos(threads, scheduling);
-        let total_work = per_thread.iter().sum();
-        MakespanReport {
-            per_thread,
-            makespan,
-            total_work,
-        }
-    }
-}
+pub use vebo_engine::RunReport;
 
 /// The eight algorithms of Table II.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -195,6 +84,7 @@ impl AlgorithmKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vebo_engine::Scheduling;
 
     #[test]
     fn table2_metadata_matches_paper() {

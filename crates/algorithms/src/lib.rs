@@ -14,9 +14,12 @@
 //! | BF | Bellman–Ford SSSP | F | V |
 //! | BP | loopy belief propagation, 10 iterations | F | E |
 //!
-//! Every algorithm returns a [`common::RunReport`] with per-task timings,
-//! which the scheduling simulator converts into simulated 48-thread
-//! runtimes for the Table III harness.
+//! Every algorithm takes a [`vebo_engine::Executor`] (which owns the
+//! threading mode, NUMA placement, scheduling policy, and
+//! instrumentation) plus a prepared graph, and returns a
+//! [`common::RunReport`] with per-task timings, which the scheduling
+//! simulator converts into simulated 48-thread runtimes for the Table III
+//! harness.
 
 #![warn(missing_docs)]
 

@@ -3,7 +3,7 @@
 
 use crate::common::RunReport;
 use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
-use vebo_engine::{edge_map, vertex_map_all, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_engine::{Direction, EdgeOp, Executor, Frontier, PreparedGraph};
 use vebo_graph::VertexId;
 
 /// PageRank parameters.
@@ -49,15 +49,15 @@ impl EdgeOp for PrOp<'_> {
 /// Runs PageRank; returns the rank vector (indexed by vertex id) and the
 /// measurement report.
 pub fn pagerank(
+    exec: &Executor,
     pg: &PreparedGraph,
     cfg: &PageRankConfig,
-    opts: &EdgeMapOptions,
 ) -> (Vec<f64>, RunReport) {
+    let (exec, rec) = exec.recorded();
     let g = pg.graph();
     let n = g.num_vertices();
-    let mut report = RunReport::default();
     if n == 0 {
-        return (Vec::new(), report);
+        return (Vec::new(), RunReport::default());
     }
     let rank = atomic_f64_vec(n, 1.0 / n as f64);
     let contrib = atomic_f64_vec(n, 0.0);
@@ -67,47 +67,31 @@ pub fn pagerank(
 
     for _ in 0..cfg.iterations {
         // contrib[u] = rank[u] / outdeg(u); acc reset.
-        let (_, vm) = vertex_map_all(
-            pg,
-            |v| {
-                let d = g.out_degree(v);
-                let c = if d > 0 {
-                    rank[v as usize].load() / d as f64
-                } else {
-                    0.0
-                };
-                contrib[v as usize].store(c);
-                acc[v as usize].store(0.0);
-                true
-            },
-            opts.parallel,
-        );
-        report.push_vertex(vm);
+        exec.vertex_map_all(pg, |v| {
+            let d = g.out_degree(v);
+            let c = if d > 0 {
+                rank[v as usize].load() / d as f64
+            } else {
+                0.0
+            };
+            contrib[v as usize].store(c);
+            acc[v as usize].store(0.0);
+            true
+        });
 
         let op = PrOp {
             contrib: &contrib,
             acc: &acc,
         };
-        let forced = EdgeMapOptions {
-            force_dense: Some(true),
-            ..*opts
-        };
-        let class = frontier.density_class(g);
-        let (_, em) = edge_map(pg, &frontier, &op, &forced);
-        report.push_edge(class, em);
+        exec.edge_map_in(pg, &frontier, &op, Direction::Dense);
 
         // rank[v] = base + damping * acc[v].
-        let (_, vm2) = vertex_map_all(
-            pg,
-            |v| {
-                rank[v as usize].store(base + cfg.damping * acc[v as usize].load());
-                true
-            },
-            opts.parallel,
-        );
-        report.push_vertex(vm2);
+        exec.vertex_map_all(pg, |v| {
+            rank[v as usize].store(base + cfg.damping * acc[v as usize].load());
+            true
+        });
     }
-    (snapshot_f64(&rank), report)
+    (snapshot_f64(&rank), rec.take())
 }
 
 /// Reference sequential PageRank with identical semantics (tests).
@@ -158,7 +142,7 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
         ] {
             let pg = PreparedGraph::new(g.clone(), profile);
-            let (got, report) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+            let (got, report) = pagerank(&Executor::new(profile), &pg, &cfg);
             assert!(close(&got, &want), "profile {:?}", profile.kind);
             assert_eq!(report.iterations, 5);
         }
@@ -175,10 +159,11 @@ mod tests {
         use vebo_graph::VertexOrdering;
         let perm = vebo_core::Vebo::new(16).compute(&g);
         let h = perm.apply_graph(&g);
+        let exec = Executor::new(SystemProfile::ligra_like());
         let pg_g = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
         let pg_h = PreparedGraph::new(h, SystemProfile::ligra_like());
-        let (rg, _) = pagerank(&pg_g, &cfg, &EdgeMapOptions::default());
-        let (rh, _) = pagerank(&pg_h, &cfg, &EdgeMapOptions::default());
+        let (rg, _) = pagerank(&exec, &pg_g, &cfg);
+        let (rh, _) = pagerank(&exec, &pg_h, &cfg);
         for v in g.vertices() {
             let diff = (rg[v as usize] - rh[perm.new_id(v) as usize]).abs();
             assert!(diff < 1e-9, "v = {v}, diff = {diff}");
@@ -190,7 +175,8 @@ mod tests {
         // Two-vertex cycle: symmetric ranks.
         let g = Graph::from_edges(2, &[(0, 1), (1, 0)], true);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (r, _) = pagerank(&pg, &PageRankConfig::default(), &EdgeMapOptions::default());
+        let exec = Executor::new(SystemProfile::ligra_like());
+        let (r, _) = pagerank(&exec, &pg, &PageRankConfig::default());
         assert!((r[0] - 0.5).abs() < 1e-9);
         assert!((r[1] - 0.5).abs() < 1e-9);
     }
@@ -201,7 +187,8 @@ mod tests {
         // <= 1 and > 0.
         let g = Dataset::TwitterLike.build(0.03);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (r, _) = pagerank(&pg, &PageRankConfig::default(), &EdgeMapOptions::default());
+        let exec = Executor::new(SystemProfile::ligra_like());
+        let (r, _) = pagerank(&exec, &pg, &PageRankConfig::default());
         let sum: f64 = r.iter().sum();
         assert!(sum > 0.1 && sum <= 1.0 + 1e-9, "sum = {sum}");
     }
@@ -210,12 +197,13 @@ mod tests {
     fn report_counts_all_edges_per_iteration() {
         let g = Dataset::YahooLike.build(0.03);
         let m = g.num_edges() as u64;
-        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g, profile);
         let cfg = PageRankConfig {
             iterations: 3,
             ..Default::default()
         };
-        let (_, report) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+        let (_, report) = pagerank(&Executor::new(profile), &pg, &cfg);
         assert_eq!(report.total_edges(), 3 * m);
         // PR frontiers are always dense (Table II row "PR ... d").
         assert!(report

@@ -10,7 +10,7 @@
 
 use crate::common::RunReport;
 use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
-use vebo_engine::{edge_map, vertex_map_all, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_engine::{EdgeOp, Executor, Frontier, PreparedGraph};
 use vebo_graph::VertexId;
 
 /// PageRankDelta parameters.
@@ -69,11 +69,11 @@ pub struct PageRankDeltaRun {
 
 /// Runs PageRankDelta; returns the rank vector and the report.
 pub fn pagerank_delta(
+    exec: &Executor,
     pg: &PreparedGraph,
     cfg: &PageRankDeltaConfig,
-    opts: &EdgeMapOptions,
 ) -> (Vec<f64>, RunReport) {
-    let run = pagerank_delta_full(pg, cfg, opts);
+    let run = pagerank_delta_full(exec, pg, cfg);
     (run.ranks, run.report)
 }
 
@@ -81,18 +81,18 @@ pub fn pagerank_delta(
 /// active — the measurement behind §I's "about half of low-degree
 /// vertices converge before any high-degree vertex converges".
 pub fn pagerank_delta_full(
+    exec: &Executor,
     pg: &PreparedGraph,
     cfg: &PageRankDeltaConfig,
-    opts: &EdgeMapOptions,
 ) -> PageRankDeltaRun {
+    let (exec, rec) = exec.recorded();
     let g = pg.graph();
     let n = g.num_vertices();
-    let mut report = RunReport::default();
     if n == 0 {
         return PageRankDeltaRun {
             ranks: Vec::new(),
             last_active_round: Vec::new(),
-            report,
+            report: RunReport::default(),
         };
     }
     let inv_n = 1.0 / n as f64;
@@ -110,59 +110,47 @@ pub fn pagerank_delta_full(
             last_active[v as usize] = round as u32;
         }
         // Stage contributions of active vertices; clear accumulators.
-        let (_, vm) = vertex_map_all(
-            pg,
-            |v| {
-                let i = v as usize;
-                let d = g.out_degree(v);
-                let c = if d > 0 && frontier.contains(v) {
-                    delta[i].load() / d as f64
-                } else {
-                    0.0
-                };
-                contrib[i].store(c);
-                acc[i].store(0.0);
-                true
-            },
-            opts.parallel,
-        );
-        report.push_vertex(vm);
+        exec.vertex_map_all(pg, |v| {
+            let i = v as usize;
+            let d = g.out_degree(v);
+            let c = if d > 0 && frontier.contains(v) {
+                delta[i].load() / d as f64
+            } else {
+                0.0
+            };
+            contrib[i].store(c);
+            acc[i].store(0.0);
+            true
+        });
 
         let op = PrdOp {
             contrib: &contrib,
             acc: &acc,
         };
-        let class = frontier.density_class(g);
-        let (_, em) = edge_map(pg, &frontier, &op, opts);
-        report.push_edge(class, em);
+        exec.edge_map(pg, &frontier, &op);
 
         // Apply deltas and decide who stays active.
         let first = round == 0;
-        let (next, vm2) = vertex_map_all(
-            pg,
-            |v| {
-                let i = v as usize;
-                let nd = if first {
-                    // p1 = base + d * A p0; delta1 = p1 - p0.
-                    base + cfg.damping * acc[i].load() - inv_n
-                } else {
-                    cfg.damping * acc[i].load()
-                };
-                let r = rank[i].load() + nd;
-                rank[i].store(r);
-                delta[i].store(nd);
-                nd.abs() > cfg.eps * r.abs()
-            },
-            opts.parallel,
-        );
-        report.push_vertex(vm2);
+        let (next, _) = exec.vertex_map_all(pg, |v| {
+            let i = v as usize;
+            let nd = if first {
+                // p1 = base + d * A p0; delta1 = p1 - p0.
+                base + cfg.damping * acc[i].load() - inv_n
+            } else {
+                cfg.damping * acc[i].load()
+            };
+            let r = rank[i].load() + nd;
+            rank[i].store(r);
+            delta[i].store(nd);
+            nd.abs() > cfg.eps * r.abs()
+        });
         frontier = next;
         round += 1;
     }
     PageRankDeltaRun {
         ranks: snapshot_f64(&rank),
         last_active_round: last_active,
-        report,
+        report: rec.take(),
     }
 }
 
@@ -183,7 +171,7 @@ mod tests {
             max_iterations: 60,
             ..Default::default()
         };
-        let (got, _) = pagerank_delta(&pg, &cfg, &EdgeMapOptions::default());
+        let (got, _) = pagerank_delta(&Executor::new(SystemProfile::ligra_like()), &pg, &cfg);
         let want = pagerank_reference(
             &g,
             &PageRankConfig {
@@ -206,7 +194,7 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
         ] {
             let pg = PreparedGraph::new(g.clone(), profile);
-            let (r, _) = pagerank_delta(&pg, &cfg, &EdgeMapOptions::default());
+            let (r, _) = pagerank_delta(&Executor::new(profile), &pg, &cfg);
             results.push(r);
         }
         for r in &results[1..] {
@@ -222,9 +210,9 @@ mod tests {
         let g = Dataset::TwitterLike.build(0.05);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
         let (_, report) = pagerank_delta(
+            &Executor::new(SystemProfile::ligra_like()),
             &pg,
             &PageRankDeltaConfig::default(),
-            &EdgeMapOptions::default(),
         );
         let classes = report.observed_classes();
         assert!(classes.contains(&DensityClass::Dense), "{classes:?}");
@@ -243,7 +231,7 @@ mod tests {
             max_iterations: 5,
             ..Default::default()
         };
-        let (_, report) = pagerank_delta(&pg, &cfg, &EdgeMapOptions::default());
+        let (_, report) = pagerank_delta(&Executor::new(SystemProfile::ligra_like()), &pg, &cfg);
         assert_eq!(report.iterations, 5);
     }
 
@@ -256,9 +244,9 @@ mod tests {
         let g = Dataset::TwitterLike.build(0.2);
         let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
         let run = pagerank_delta_full(
+            &Executor::new(SystemProfile::ligra_like()),
             &pg,
             &PageRankDeltaConfig::default(),
-            &EdgeMapOptions::default(),
         );
         let mut degrees: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
         degrees.sort_unstable();
@@ -289,9 +277,9 @@ mod tests {
         let g = Dataset::YahooLike.build(0.03);
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
         let run = pagerank_delta_full(
+            &Executor::new(SystemProfile::ligra_like()),
             &pg,
             &PageRankDeltaConfig::default(),
-            &EdgeMapOptions::default(),
         );
         let max = *run.last_active_round.iter().max().unwrap();
         assert!((max as usize) < run.report.iterations);

@@ -10,7 +10,7 @@ use crate::common::{AlgorithmKind, RunReport};
 use crate::pagerank::{pagerank, PageRankConfig};
 use crate::pagerank_delta::{pagerank_delta, PageRankDeltaConfig};
 use crate::spmv::spmv;
-use vebo_engine::{EdgeMapOptions, PreparedGraph};
+use vebo_engine::{Executor, PreparedGraph};
 use vebo_graph::{Graph, VertexId};
 
 /// The traversal source used for source-rooted algorithms: the vertex
@@ -33,26 +33,26 @@ pub fn needs_weights(kind: AlgorithmKind) -> bool {
 /// Runs one algorithm with the paper's standard configuration (PR/BP: 10
 /// iterations; PRD: eps 1e-2; BFS/BC/BF from the default source) and
 /// returns its measurement report.
-pub fn run_algorithm(kind: AlgorithmKind, pg: &PreparedGraph, opts: &EdgeMapOptions) -> RunReport {
+pub fn run_algorithm(kind: AlgorithmKind, exec: &Executor, pg: &PreparedGraph) -> RunReport {
     let g = pg.graph();
     if needs_weights(kind) {
         assert!(g.has_weights(), "{} needs a weighted graph", kind.code());
     }
     let src = default_source(g);
     match kind {
-        AlgorithmKind::Pr => pagerank(pg, &PageRankConfig::default(), opts).1,
-        AlgorithmKind::Prd => pagerank_delta(pg, &PageRankDeltaConfig::default(), opts).1,
-        AlgorithmKind::Bfs => bfs(pg, src, opts).1,
-        AlgorithmKind::Bc => bc(pg, src, opts).1,
-        AlgorithmKind::Cc => cc(pg, opts).1,
+        AlgorithmKind::Pr => pagerank(exec, pg, &PageRankConfig::default()).1,
+        AlgorithmKind::Prd => pagerank_delta(exec, pg, &PageRankDeltaConfig::default()).1,
+        AlgorithmKind::Bfs => bfs(exec, pg, src).1,
+        AlgorithmKind::Bc => bc(exec, pg, src).1,
+        AlgorithmKind::Cc => cc(exec, pg).1,
         AlgorithmKind::Spmv => {
             let x: Vec<f64> = (0..g.num_vertices())
                 .map(|i| ((i % 17) as f64) / 17.0)
                 .collect();
-            spmv(pg, &x, opts).1
+            spmv(exec, pg, &x).1
         }
-        AlgorithmKind::Bf => bellman_ford(pg, src, opts).1,
-        AlgorithmKind::Bp => bp(pg, &BpConfig::default(), opts).1,
+        AlgorithmKind::Bf => bellman_ford(exec, pg, src).1,
+        AlgorithmKind::Bp => bp(exec, pg, &BpConfig::default()).1,
     }
 }
 
@@ -78,7 +78,7 @@ mod tests {
                     base.clone()
                 };
                 let pg = PreparedGraph::new(g, profile);
-                let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+                let report = run_algorithm(kind, &Executor::new(profile), &pg);
                 assert!(
                     report.iterations > 0,
                     "{} on {:?}",

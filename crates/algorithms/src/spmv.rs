@@ -6,7 +6,7 @@
 
 use crate::common::RunReport;
 use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
-use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph};
+use vebo_engine::{Direction, EdgeOp, Executor, Frontier, PreparedGraph};
 use vebo_graph::VertexId;
 
 struct SpmvOp<'a> {
@@ -29,23 +29,17 @@ impl EdgeOp for SpmvOp<'_> {
 
 /// One SPMV round. The graph must carry weights
 /// (see [`vebo_graph::Graph::with_hash_weights`]).
-pub fn spmv(pg: &PreparedGraph, x: &[f64], opts: &EdgeMapOptions) -> (Vec<f64>, RunReport) {
+pub fn spmv(exec: &Executor, pg: &PreparedGraph, x: &[f64]) -> (Vec<f64>, RunReport) {
+    let (exec, rec) = exec.recorded();
     let g = pg.graph();
     let n = g.num_vertices();
     assert_eq!(x.len(), n);
     assert!(g.has_weights(), "SPMV needs an edge-weighted graph");
-    let mut report = RunReport::default();
     let y = atomic_f64_vec(n, 0.0);
     let frontier = Frontier::all(n);
     let op = SpmvOp { x, y: &y };
-    let forced = EdgeMapOptions {
-        force_dense: Some(true),
-        ..*opts
-    };
-    let class = frontier.density_class(g);
-    let (_, em) = edge_map(pg, &frontier, &op, &forced);
-    report.push_edge(class, em);
-    (snapshot_f64(&y), report)
+    exec.edge_map_in(pg, &frontier, &op, Direction::Dense);
+    (snapshot_f64(&y), rec.take())
 }
 
 /// Reference dense mat-vec with identical semantics (tests).
@@ -86,7 +80,7 @@ mod tests {
             SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
         ] {
             let pg = PreparedGraph::new(g.clone(), profile);
-            let (got, _) = spmv(&pg, &x, &EdgeMapOptions::default());
+            let (got, _) = spmv(&Executor::new(profile), &pg, &x);
             for v in 0..n {
                 assert!(
                     (got[v] - want[v]).abs() < 1e-9,
@@ -102,7 +96,11 @@ mod tests {
         let g = Dataset::YahooLike.build(0.02).with_hash_weights(4);
         let n = g.num_vertices();
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (y, _) = spmv(&pg, &vec![0.0; n], &EdgeMapOptions::default());
+        let (y, _) = spmv(
+            &Executor::new(SystemProfile::ligra_like()),
+            &pg,
+            &vec![0.0; n],
+        );
         assert!(y.iter().all(|&v| v == 0.0));
     }
 
@@ -111,8 +109,9 @@ mod tests {
         let g = Dataset::YahooLike.build(0.02).with_hash_weights(4);
         let n = g.num_vertices();
         let m = g.num_edges() as u64;
-        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
-        let (_, report) = spmv(&pg, &input(n), &EdgeMapOptions::default());
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g, profile);
+        let (_, report) = spmv(&Executor::new(profile), &pg, &input(n));
         assert_eq!(report.total_edges(), m);
         assert_eq!(report.iterations, 1);
     }
@@ -123,6 +122,10 @@ mod tests {
         let g = Dataset::YahooLike.build(0.02);
         let n = g.num_vertices();
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let _ = spmv(&pg, &vec![1.0; n], &EdgeMapOptions::default());
+        let _ = spmv(
+            &Executor::new(SystemProfile::ligra_like()),
+            &pg,
+            &vec![1.0; n],
+        );
     }
 }

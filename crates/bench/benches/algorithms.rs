@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use vebo_algorithms::{needs_weights, run_algorithm, AlgorithmKind};
-use vebo_engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo_engine::{Executor, PreparedGraph, SystemProfile};
 use vebo_graph::Dataset;
 use vebo_partition::EdgeOrder;
 
@@ -22,9 +22,11 @@ fn bench_algorithms(c: &mut Criterion) {
         } else {
             base.clone()
         };
-        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let exec = Executor::new(profile);
+        let pg = PreparedGraph::builder(g).profile(profile).build().unwrap();
         group.bench_function(kind.code(), |b| {
-            b.iter(|| black_box(run_algorithm(kind, &pg, &EdgeMapOptions::default()).total_edges()))
+            b.iter(|| black_box(run_algorithm(kind, &exec, &pg).total_edges()))
         });
     }
     group.finish();

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
-use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph, SystemProfile};
+use vebo_engine::{Direction, EdgeOp, Executor, Frontier, PreparedGraph, SystemProfile};
 use vebo_graph::{Dataset, VertexId};
 use vebo_partition::EdgeOrder;
 
@@ -32,36 +32,44 @@ fn bench_edgemap(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
 
     let cases = [
-        ("dense_pull_ligra", SystemProfile::ligra_like(), Some(true)),
+        (
+            "dense_pull_ligra",
+            SystemProfile::ligra_like(),
+            Direction::Dense,
+        ),
         (
             "dense_pull_polymer",
             SystemProfile::polymer_like(),
-            Some(true),
+            Direction::Dense,
         ),
         (
             "dense_coo_csr",
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
-            Some(true),
+            Direction::Dense,
         ),
         (
             "dense_coo_hilbert",
             SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
-            Some(true),
+            Direction::Dense,
         ),
         (
             "sparse_push_ligra",
             SystemProfile::ligra_like(),
-            Some(false),
+            Direction::Sparse,
         ),
         (
             "sparse_partitioned",
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
-            Some(false),
+            Direction::Sparse,
         ),
     ];
     for (name, profile, force) in cases {
-        let pg = PreparedGraph::new(g.clone(), profile);
-        let frontier = if force == Some(false) {
+        let exec = Executor::new(profile).with_direction(force);
+        let pg = PreparedGraph::builder(g.clone())
+            .profile(profile)
+            .build()
+            .unwrap();
+        let frontier = if force == Direction::Sparse {
             Frontier::from_vertices(n, (0..200u32).map(|i| i * 13 % n as u32).collect())
         } else {
             Frontier::all(n)
@@ -69,12 +77,8 @@ fn bench_edgemap(c: &mut Criterion) {
         let op = TouchOp {
             seen: (0..n).map(|_| AtomicU32::new(0)).collect(),
         };
-        let opts = EdgeMapOptions {
-            force_dense: force,
-            ..Default::default()
-        };
         group.bench_function(name, |b| {
-            b.iter(|| black_box(edge_map(&pg, &frontier, &op, &opts).1.total_edges()))
+            b.iter(|| black_box(exec.edge_map(&pg, &frontier, &op).1.total_edges()))
         });
     }
     group.finish();

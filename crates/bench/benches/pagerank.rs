@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
-use vebo_bench::{ordered_with_starts, prepare_profile, OrderingKind};
-use vebo_engine::{EdgeMapOptions, SystemProfile};
+use vebo_bench::{ordered_with_starts, OrderingKind};
+use vebo_engine::{Executor, PreparedGraph, SystemProfile};
 use vebo_graph::Dataset;
 use vebo_partition::EdgeOrder;
 
@@ -35,10 +35,13 @@ fn bench_pagerank(c: &mut Criterion) {
     for (ordering, order, name) in cases {
         let (h, starts, _) = ordered_with_starts(&g, ordering, 384);
         let profile = SystemProfile::graphgrind_like(order);
-        let pg = prepare_profile(h, profile, starts.as_deref());
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(pagerank(&pg, &cfg, &EdgeMapOptions::default()).0))
-        });
+        let exec = Executor::new(profile);
+        let pg = PreparedGraph::builder(h)
+            .profile(profile)
+            .vebo_starts(starts.as_deref())
+            .build()
+            .unwrap();
+        group.bench_function(name, |b| b.iter(|| black_box(pagerank(&exec, &pg, &cfg).0)));
     }
     group.finish();
 }

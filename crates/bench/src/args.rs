@@ -10,9 +10,13 @@
 //!   streaming binary loader instead of regenerating;
 //! * `--partitions <n>` — override the partition count;
 //! * `--threads <n>` — simulated machine threads (default 48);
+//! * `--parallel` — run engine tasks on the rayon pool instead of the
+//!   sequential measured loop (throughput mode; per-task timings become
+//!   noisy, so the default stays sequential);
 //! * `--help` — usage.
 
 use std::path::PathBuf;
+use vebo_engine::{ExecMode, Executor, SystemProfile};
 use vebo_graph::io::{self, Format};
 use vebo_graph::{Dataset, Graph};
 
@@ -32,6 +36,8 @@ pub struct HarnessArgs {
     pub partitions: Option<usize>,
     /// `--threads`: simulated machine threads.
     pub threads: usize,
+    /// `--parallel`: run engine tasks on the rayon pool.
+    pub parallel: bool,
     /// `--extended`: include the extension orderings/strategies
     /// (SlashBurn, METIS-like) where the binary supports them.
     pub extended: bool,
@@ -46,6 +52,7 @@ impl Default for HarnessArgs {
             cache: None,
             partitions: None,
             threads: 48,
+            parallel: false,
             extended: false,
         }
     }
@@ -108,6 +115,7 @@ impl HarnessArgs {
                         .parse()
                         .unwrap_or_else(|_| usage_exit(binary, description));
                 }
+                "--parallel" => out.parallel = true,
                 "--extended" => out.extended = true,
                 "--help" | "-h" => {
                     println!("{}", usage(binary, description));
@@ -159,6 +167,17 @@ impl HarnessArgs {
         g
     }
 
+    /// The [`Executor`] every harness runs algorithms through: built for
+    /// `profile`, honoring `--parallel`. One construction path for every
+    /// binary, so execution policy never drifts between tables.
+    pub fn executor(&self, profile: SystemProfile) -> Executor {
+        Executor::new(profile).with_mode(if self.parallel {
+            ExecMode::Parallel
+        } else {
+            ExecMode::Sequential
+        })
+    }
+
     /// Datasets selected by `--dataset`, or all of them.
     pub fn datasets(&self) -> Vec<Dataset> {
         match self.dataset {
@@ -170,7 +189,7 @@ impl HarnessArgs {
 
 fn usage(binary: &str, description: &str) -> String {
     format!(
-        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --extended       include extension orderings where supported\n  --help           this text",
+        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --parallel       run engine tasks on the rayon pool\n  --extended       include extension orderings where supported\n  --help           this text",
         Dataset::ALL.map(|d| d.name())
     )
 }
@@ -200,6 +219,17 @@ mod tests {
     #[test]
     fn quick_sets_scale() {
         assert_eq!(parse(&["--quick"]).scale, 0.1);
+    }
+
+    #[test]
+    fn parallel_flag_selects_executor_mode() {
+        use vebo_engine::ExecMode;
+        let profile = vebo_engine::SystemProfile::ligra_like();
+        assert_eq!(parse(&[]).executor(profile).mode(), ExecMode::Sequential);
+        assert_eq!(
+            parse(&["--parallel"]).executor(profile).mode(),
+            ExecMode::Parallel
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use vebo_algorithms::bfs::bfs;
 use vebo_algorithms::default_source;
 use vebo_bench::{HarnessArgs, Table};
 use vebo_core::{ArgMinStrategy, Vebo, VeboVariant};
-use vebo_engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo_engine::{PreparedGraph, SystemProfile};
 use vebo_graph::{Dataset, VertexOrdering};
 use vebo_partition::replication::replication;
 use vebo_partition::{EdgeOrder, PartitionBounds};
@@ -126,14 +126,15 @@ fn main() {
     // ---- 4. direction threshold sensitivity ---------------------------
     println!("\n(4) direction-switch threshold (dense when |F| + outdeg(F) > m / D):");
     let mut t = Table::new(&["D", "BFS iters", "edges examined", "dense rounds"]);
-    let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+    let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+    let pg = PreparedGraph::builder(g.clone())
+        .profile(profile)
+        .build()
+        .unwrap();
     let src = default_source(&g);
     for den in [5usize, 20, 80, 320] {
-        let opts = EdgeMapOptions {
-            threshold_den: den,
-            ..Default::default()
-        };
-        let (_, report) = bfs(&pg, src, &opts);
+        let exec = args.executor(profile).with_threshold_den(den);
+        let (_, report) = bfs(&exec, &pg, src);
         let dense = report
             .edge_maps
             .iter()
@@ -177,10 +178,14 @@ fn main() {
                     .apply_graph(base),
             ),
         ] {
-            let pg = PreparedGraph::new(graph, SystemProfile::ligra_like());
-            let opts = EdgeMapOptions::default();
-            let (_, rep_a) = vebo_algorithms::cc::cc(&pg, &opts);
-            let (_, rep_s) = vebo_algorithms::cc::cc_sync(&pg, &opts);
+            let profile = SystemProfile::ligra_like();
+            let pg = PreparedGraph::builder(graph)
+                .profile(profile)
+                .build()
+                .unwrap();
+            let exec = args.executor(profile);
+            let (_, rep_a) = vebo_algorithms::cc::cc(&exec, &pg);
+            let (_, rep_s) = vebo_algorithms::cc::cc_sync(&exec, &pg);
             t.row(&[
                 gname.into(),
                 oname.into(),

@@ -8,9 +8,9 @@
 //! ```
 
 use vebo_algorithms::{run_algorithm, AlgorithmKind};
-use vebo_bench::pipeline::{ordered_with_starts, prepare_profile, simulated_seconds};
+use vebo_bench::pipeline::ordered_with_starts;
 use vebo_bench::{HarnessArgs, OrderingKind, Table};
-use vebo_engine::{EdgeMapOptions, SystemProfile};
+use vebo_engine::{PreparedGraph, SystemProfile};
 use vebo_graph::Dataset;
 use vebo_partition::EdgeOrder;
 
@@ -44,9 +44,14 @@ fn main() {
                     _ => EdgeOrder::Hilbert,
                 };
                 let profile = SystemProfile::graphgrind_like(order).with_partitions(p);
-                let pg = prepare_profile(h, profile, starts.as_deref());
-                let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
-                times.push(simulated_seconds(&report, &profile));
+                let exec = args.executor(profile);
+                let pg = PreparedGraph::builder(h)
+                    .profile(profile)
+                    .vebo_starts(starts.as_deref())
+                    .build()
+                    .expect("VEBO boundaries are valid");
+                let report = run_algorithm(kind, &exec, &pg);
+                times.push(exec.simulated_seconds(&report));
             }
             let basis = times[0];
             t.row(&[

@@ -7,7 +7,7 @@
 
 use vebo_algorithms::{needs_weights, run_algorithm, AlgorithmKind};
 use vebo_bench::{HarnessArgs, Table};
-use vebo_engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo_engine::{PreparedGraph, SystemProfile};
 use vebo_graph::Dataset;
 
 fn main() {
@@ -34,8 +34,9 @@ fn main() {
         } else {
             base.clone()
         };
-        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+        let profile = SystemProfile::ligra_like();
+        let pg = PreparedGraph::builder(g).profile(profile).build().unwrap();
+        let report = run_algorithm(kind, &args.executor(profile), &pg);
         let classes: Vec<&str> = report.observed_classes().iter().map(|c| c.code()).collect();
         t.row(&[
             kind.code().to_string(),

@@ -11,9 +11,9 @@
 //! ```
 
 use vebo_algorithms::{needs_weights, run_algorithm, AlgorithmKind};
-use vebo_bench::pipeline::{ordered_with_starts, prepare_profile, simulated_seconds};
+use vebo_bench::pipeline::ordered_with_starts;
 use vebo_bench::{HarnessArgs, OrderingKind, Table};
-use vebo_engine::{EdgeMapOptions, SystemKind, SystemProfile};
+use vebo_engine::{PreparedGraph, SystemKind, SystemProfile};
 use vebo_graph::Graph;
 use vebo_partition::EdgeOrder;
 
@@ -122,9 +122,14 @@ fn main() {
                     } else {
                         g.clone()
                     };
-                    let pg = prepare_profile(g, profile, starts);
-                    let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
-                    times.push(simulated_seconds(&report, &profile));
+                    let exec = args.executor(profile);
+                    let pg = PreparedGraph::builder(g)
+                        .profile(profile)
+                        .vebo_starts(starts)
+                        .build()
+                        .expect("VEBO boundaries are valid");
+                    let report = run_algorithm(kind, &exec, &pg);
+                    times.push(exec.simulated_seconds(&report));
                 }
                 let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
                 for (i, time) in times.iter().enumerate() {

@@ -9,7 +9,7 @@ use vebo_algorithms::default_source;
 use vebo_bench::pipeline::ordered_graph;
 use vebo_bench::{HarnessArgs, OrderingKind, Table};
 use vebo_core::balance::summarize;
-use vebo_engine::{edge_map, EdgeMapOptions, Frontier, PreparedGraph, SystemProfile};
+use vebo_engine::{Executor, Frontier, PreparedGraph, SystemProfile};
 use vebo_graph::{Dataset, Graph, VertexId};
 use vebo_partition::{EdgeOrder, PartitionBounds};
 
@@ -40,7 +40,12 @@ fn bfs_frontiers(g: &Graph) -> Vec<Vec<VertexId>> {
     }
     let n = g.num_vertices();
     let src = default_source(g);
-    let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+    let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+    let exec = Executor::new(profile);
+    let pg = PreparedGraph::builder(g.clone())
+        .profile(profile)
+        .build()
+        .unwrap();
     let op = Op {
         parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
     };
@@ -49,7 +54,7 @@ fn bfs_frontiers(g: &Graph) -> Vec<Vec<VertexId>> {
     let mut out = Vec::new();
     while !frontier.is_empty() {
         out.push(frontier.to_sparse().iter_active().collect());
-        let (next, _) = edge_map(&pg, &frontier, &op, &EdgeMapOptions::default());
+        let (next, _) = exec.edge_map(&pg, &frontier, &op);
         frontier = next;
     }
     out

@@ -9,10 +9,10 @@
 use std::time::Instant;
 use vebo_algorithms::{run_algorithm, AlgorithmKind};
 use vebo_baselines::{Gorder, Rcm};
-use vebo_bench::pipeline::{ordered_with_starts, prepare_profile, simulated_seconds};
+use vebo_bench::pipeline::ordered_with_starts;
 use vebo_bench::{HarnessArgs, OrderingKind, Table};
 use vebo_core::Vebo;
-use vebo_engine::{EdgeMapOptions, SystemProfile};
+use vebo_engine::{PreparedGraph, SystemProfile};
 use vebo_graph::{Dataset, VertexOrdering};
 use vebo_partition::partitioned::PartitionedCoo;
 use vebo_partition::{EdgeOrder, PartitionBounds};
@@ -85,9 +85,14 @@ fn main() {
                     EdgeOrder::Hilbert
                 };
                 let profile = SystemProfile::graphgrind_like(order).with_partitions(p);
-                let pg = prepare_profile(graph, profile, starts.as_deref());
-                let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
-                algo_secs.push(simulated_seconds(&report, &profile));
+                let exec = args.executor(profile);
+                let pg = PreparedGraph::builder(graph)
+                    .profile(profile)
+                    .vebo_starts(starts.as_deref())
+                    .build()
+                    .expect("VEBO boundaries are valid");
+                let report = run_algorithm(kind, &exec, &pg);
+                algo_secs.push(exec.simulated_seconds(&report));
             }
         }
 

@@ -13,7 +13,5 @@ pub mod pipeline;
 pub mod table;
 
 pub use args::HarnessArgs;
-pub use pipeline::{
-    ordered_graph, ordered_with_starts, prepare_profile, simulated_seconds, OrderingKind,
-};
+pub use pipeline::{ordered_graph, ordered_with_starts, OrderingKind};
 pub use table::Table;

@@ -1,12 +1,12 @@
 //! The experiment pipeline shared by every harness binary: apply a vertex
-//! ordering, prepare the graph for a system profile, run an algorithm,
-//! convert per-task measurements into the simulated 48-thread runtime.
+//! ordering, prepare the graph through the engine's `PreparedGraph`
+//! builder, run an algorithm through an `Executor`, convert per-task
+//! measurements into the simulated 48-thread runtime.
 
 use std::time::{Duration, Instant};
 use vebo::OrderingRegistry;
-use vebo_algorithms::RunReport;
 use vebo_core::Vebo;
-use vebo_engine::SystemProfile;
+use vebo_engine::{Executor, PreparedGraph, SystemProfile};
 use vebo_graph::{Graph, Permutation};
 
 /// The vertex orderings compared in the paper.
@@ -171,37 +171,6 @@ pub fn ordered_with_starts(
     }
 }
 
-/// Prepares an (already ordered, already weighted) graph for a profile,
-/// honoring exact VEBO boundaries when available:
-/// * GraphGrind — the boundaries become the partition bounds directly;
-/// * Polymer — the socket-level boundaries are subdivided per thread;
-/// * Ligra — no partitioning; boundaries are irrelevant.
-pub fn prepare_profile(
-    g: Graph,
-    profile: SystemProfile,
-    vebo_starts: Option<&[usize]>,
-) -> vebo_engine::PreparedGraph {
-    use vebo_engine::{subdivide_for_threads, PreparedGraph, SystemKind};
-    use vebo_partition::PartitionBounds;
-    match (profile.kind, vebo_starts) {
-        (SystemKind::GraphGrindLike, Some(starts)) => {
-            PreparedGraph::with_bounds(g, profile, PartitionBounds::from_starts(starts.to_vec()))
-        }
-        (SystemKind::PolymerLike, Some(starts)) => {
-            let top = PartitionBounds::from_starts(starts.to_vec());
-            let tasks = subdivide_for_threads(&top, &profile.topology);
-            PreparedGraph::with_bounds(g, profile, tasks)
-        }
-        _ => PreparedGraph::new(g, profile),
-    }
-}
-
-/// Simulated parallel runtime in seconds for a run under `profile`'s
-/// scheduling policy and simulated thread count.
-pub fn simulated_seconds(report: &RunReport, profile: &SystemProfile) -> f64 {
-    report.simulated_nanos(profile.topology.num_threads, profile.scheduling) / 1e9
-}
-
 /// Runs one PageRank iteration under the GraphGrind profile and returns
 /// the per-partition task measurements of its edgemap — the raw series
 /// behind Figures 1, 4a and 6.
@@ -211,14 +180,16 @@ pub fn pr_one_iteration_tasks(
     edge_order: vebo_partition::EdgeOrder,
 ) -> Vec<vebo_engine::TaskStats> {
     use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
-    use vebo_engine::{EdgeMapOptions, PreparedGraph};
     let profile = SystemProfile::graphgrind_like(edge_order).with_partitions(num_partitions);
-    let pg = PreparedGraph::new(g.clone(), profile);
+    let pg = PreparedGraph::builder(g.clone())
+        .profile(profile)
+        .build()
+        .expect("no explicit bounds, cannot fail");
     let cfg = PageRankConfig {
         iterations: 1,
         ..Default::default()
     };
-    let (_, report) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+    let (_, report) = pagerank(&Executor::new(profile), &pg, &cfg);
     report.edge_maps[0].tasks.clone()
 }
 
@@ -249,13 +220,16 @@ pub fn pr_task_nanos(
     vebo_starts: Option<&[usize]>,
 ) -> Vec<u64> {
     use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
-    use vebo_engine::EdgeMapOptions;
-    let pg = prepare_profile(g.clone(), profile, vebo_starts);
+    let pg = PreparedGraph::builder(g.clone())
+        .profile(profile)
+        .vebo_starts(vebo_starts)
+        .build()
+        .expect("harness boundaries come from VEBO and are valid");
     let cfg = PageRankConfig {
         iterations: repeats.max(1),
         ..Default::default()
     };
-    let (_, report) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+    let (_, report) = pagerank(&Executor::new(profile), &pg, &cfg);
     let mut nanos = vec![u64::MAX; pg.num_tasks()];
     for em in &report.edge_maps {
         for (p, task) in em.tasks.iter().enumerate() {

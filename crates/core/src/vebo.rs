@@ -83,8 +83,10 @@ impl Vebo {
         self
     }
 
-    /// Selects how the blocked variant's O(n) scatter stages execute
-    /// (the heap placement itself is inherently sequential).
+    /// Selects how the O(n) scatter stages execute — the blocked
+    /// variant's segment scatter and the strict variant's phase-3
+    /// sequence-number scatter (the heap placement itself is inherently
+    /// sequential).
     pub fn with_mode(mut self, mode: ParMode) -> Vebo {
         self.mode = mode;
         self
@@ -108,8 +110,8 @@ impl Vebo {
         }
     }
 
-    /// The literal Algorithm 2: per-vertex placement, then the sequential
-    /// phase-3 cursor walk.
+    /// The literal Algorithm 2: per-vertex placement, then the phase-3
+    /// scatter.
     fn compute_strict(&self, g: &Graph, order: &[VertexId], num_nonzero: usize) -> VeboResult {
         let p = self.num_partitions;
         let n = g.num_vertices();
@@ -131,13 +133,11 @@ impl Vebo {
         // degree, ascending original id within a degree class) — this is
         // what makes the inner edge-loop branch predictable (§V-E).
         let starts = prefix_starts(&vertex_counts, n);
-        let mut cursor: Vec<usize> = starts[..p].to_vec();
-        let mut new_ids = vec![0 as VertexId; n];
-        for &v in order {
-            let q = assignment[v as usize] as usize;
-            new_ids[v as usize] = cursor[q] as VertexId;
-            cursor[q] += 1;
-        }
+        let new_ids = if self.mode.go_parallel(n) {
+            strict_scatter_parallel(order, &assignment, &starts, p)
+        } else {
+            strict_scatter_sequential(order, &assignment, &starts, p)
+        };
 
         let permutation = Permutation::from_new_ids(new_ids).expect("VEBO produces a bijection");
         VeboResult {
@@ -340,6 +340,89 @@ struct Segment {
     /// In-degree of every vertex in the block (one segment never spans
     /// degree classes).
     degree: u64,
+}
+
+/// The reference phase-3 cursor walk of the literal Algorithm 2: one
+/// running cursor per partition, vertices visited in placement order.
+fn strict_scatter_sequential(
+    order: &[VertexId],
+    assignment: &[u32],
+    starts: &[usize],
+    p: usize,
+) -> Vec<VertexId> {
+    let mut cursor: Vec<usize> = starts[..p].to_vec();
+    let mut new_ids = vec![0 as VertexId; assignment.len()];
+    for &v in order {
+        let q = assignment[v as usize] as usize;
+        new_ids[v as usize] = cursor[q] as VertexId;
+        cursor[q] += 1;
+    }
+    new_ids
+}
+
+/// Parallel phase-3 scatter for the strict variant, bit-identical to the
+/// cursor walk: `new_id[v] = starts[a[v]] + |{ j < i : a[order[j]] = a[v] }|`
+/// where `i` is `v`'s position in `order`. Computed as a chunked counting
+/// pass (per-chunk per-partition histograms), an exclusive prefix over
+/// chunks, then a parallel scatter with chunk-local cursors — the same
+/// two-pass shape as the parallel counting-sort CSR build.
+fn strict_scatter_parallel(
+    order: &[VertexId],
+    assignment: &[u32],
+    starts: &[usize],
+    p: usize,
+) -> Vec<VertexId> {
+    let n = order.len();
+    let chunks = (rayon::current_num_threads() * 4).clamp(1, n.max(1));
+    let ranges: Vec<std::ops::Range<usize>> = (0..chunks)
+        .map(|c| (c * n / chunks)..((c + 1) * n / chunks))
+        .collect();
+
+    // Pass 1: per-chunk counts of vertices per partition.
+    let counts: Vec<Vec<usize>> = {
+        let ranges = &ranges;
+        (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let mut count = vec![0usize; p];
+                for &v in &order[ranges[c].clone()] {
+                    count[assignment[v as usize] as usize] += 1;
+                }
+                count
+            })
+            .collect()
+    };
+
+    // Exclusive prefix over chunks: where each chunk's run of partition
+    // `q` begins inside `q`'s new-id range.
+    let mut chunk_base = vec![vec![0usize; p]; chunks];
+    let mut cursor: Vec<usize> = starts[..p].to_vec();
+    for c in 0..chunks {
+        chunk_base[c].copy_from_slice(&cursor);
+        for q in 0..p {
+            cursor[q] += counts[c][q];
+        }
+    }
+
+    // Pass 2: scatter with chunk-local cursors. Chunks cover disjoint
+    // `order` ranges and `order` is a permutation, so every vertex's
+    // new-id slot is written exactly once.
+    let mut new_ids = vec![0 as VertexId; n];
+    let shared = SharedSlice::new(&mut new_ids);
+    {
+        let (ranges, chunk_base) = (&ranges, &chunk_base);
+        (0..chunks).into_par_iter().for_each(|c| {
+            let mut local = chunk_base[c].clone();
+            for &v in &order[ranges[c].clone()] {
+                let q = assignment[v as usize] as usize;
+                // SAFETY: `order` is a permutation, so index `v` is
+                // written by exactly one chunk, exactly once.
+                unsafe { shared.write(v as usize, local[q] as VertexId) };
+                local[q] += 1;
+            }
+        });
+    }
+    new_ids
 }
 
 /// Prefix-sums per-partition vertex counts into phase-3 boundaries.
@@ -605,6 +688,49 @@ mod tests {
         // Counts are nonetheless identical.
         assert_eq!(blocked.vertex_counts, strict.vertex_counts);
         assert_eq!(blocked.edge_counts, strict.edge_counts);
+    }
+
+    #[test]
+    fn strict_parallel_scatter_matches_sequential() {
+        // The strict phase-3 scatter must be bit-identical across modes,
+        // including skewed graphs and partition counts that do not divide
+        // the vertex count.
+        for d in [Dataset::TwitterLike, Dataset::UsaRoadLike] {
+            let g = d.build(0.1);
+            for p in [1usize, 2, 7, 48, 384] {
+                let seq = Vebo::new(p)
+                    .with_variant(VeboVariant::Strict)
+                    .with_mode(vebo_graph::ParMode::Sequential)
+                    .compute_full(&g);
+                let par = Vebo::new(p)
+                    .with_variant(VeboVariant::Strict)
+                    .with_mode(vebo_graph::ParMode::Parallel)
+                    .compute_full(&g);
+                assert_eq!(
+                    seq.permutation.as_slice(),
+                    par.permutation.as_slice(),
+                    "{} P={p}",
+                    d.name()
+                );
+                assert_eq!(seq.assignment, par.assignment);
+                assert_eq!(seq.starts, par.starts);
+            }
+        }
+    }
+
+    #[test]
+    fn strict_parallel_scatter_handles_tiny_graphs() {
+        let g = fig3_graph();
+        let seq = Vebo::new(2)
+            .with_variant(VeboVariant::Strict)
+            .with_mode(vebo_graph::ParMode::Sequential)
+            .compute_full(&g);
+        let par = Vebo::new(2)
+            .with_variant(VeboVariant::Strict)
+            .with_mode(vebo_graph::ParMode::Parallel)
+            .compute_full(&g);
+        assert_eq!(seq.permutation.as_slice(), par.permutation.as_slice());
+        assert_eq!(par.permutation.as_slice(), &[2, 4, 1, 5, 0, 3]);
     }
 
     #[test]

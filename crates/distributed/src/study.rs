@@ -35,7 +35,7 @@ pub enum Strategy {
     Fennel,
     /// METIS-like multilevel k-way (cut-optimized offline partitioner).
     Multilevel,
-    /// Multi-constraint multilevel (reference [28]): balances vertex AND
+    /// Multi-constraint multilevel (reference \[28\]): balances vertex AND
     /// in-edge counts while minimizing cut — the cut-first school's
     /// closest analogue of VEBO's joint objective.
     MultilevelMc,

@@ -17,15 +17,19 @@
 //! Every call returns an [`EdgeMapReport`] with per-task durations and
 //! work counts; the scheduling simulator turns those into the simulated
 //! 48-thread makespan.
+//!
+//! The traversal kernels live here; execution policy (mode, NUMA
+//! placement, scheduling, instrumentation) lives on [`crate::Executor`],
+//! whose [`crate::Executor::edge_map`] is the public entry point. The
+//! free [`edge_map`] function is a deprecated shim kept for one release.
 
+use crate::executor::TaskPolicy;
 use crate::frontier::Frontier;
 use crate::ops::EdgeOp;
 use crate::prepared::PreparedGraph;
 use crate::profile::DenseLayout;
 use crate::schedule::{simulate, MakespanReport};
 use crate::shared::AtomicBitset;
-use rayon::prelude::*;
-use std::time::Instant;
 use vebo_graph::VertexId;
 
 /// Which traversal `edge_map` chose.
@@ -61,6 +65,9 @@ pub struct TaskStats {
     pub edges: u64,
     /// Destination vertices touched by the task.
     pub vertices: u64,
+    /// Socket the task was placed on (0 when the executor ran without a
+    /// NUMA placement plan, e.g. dynamically scheduled profiles).
+    pub socket: u32,
 }
 
 /// Result of one `edge_map` invocation.
@@ -105,13 +112,28 @@ impl EdgeMapReport {
         self.tasks.iter().map(|t| t.edges).sum()
     }
 
+    /// Aggregates measured nanoseconds per socket (index = socket id;
+    /// a single entry when the operation ran without NUMA placement).
+    pub fn per_socket_nanos(&self) -> Vec<u64> {
+        let sockets = self.tasks.iter().map(|t| t.socket).max().unwrap_or(0) as usize + 1;
+        let mut out = vec![0u64; sockets];
+        for t in &self.tasks {
+            out[t.socket as usize] += t.nanos;
+        }
+        out
+    }
+
     /// Total sequential time.
     pub fn total_nanos(&self) -> u64 {
         self.tasks.iter().map(|t| t.nanos).sum()
     }
 }
 
-/// Tuning knobs for `edge_map`.
+/// Tuning knobs for the deprecated free-function [`edge_map`] shim.
+///
+/// New code configures the same policies on [`crate::Executor`]
+/// (`with_threshold_den`, `with_direction`, `with_mode`); this struct
+/// only remains so old call sites keep compiling for one release.
 #[derive(Clone, Copy, Debug)]
 pub struct EdgeMapOptions {
     /// Ligra's density threshold denominator: dense when
@@ -133,14 +155,39 @@ impl Default for EdgeMapOptions {
     }
 }
 
-/// Applies `op` over every edge whose source is in `frontier`; returns the
-/// next frontier (destinations for which an update returned `true`) and
-/// the per-task measurement report.
+/// Deprecated free-function shim over [`crate::Executor::edge_map`].
+///
+/// Reproduces the pre-executor behaviour exactly (index-ordered tasks, no
+/// NUMA placement, no instrumentation).
+#[deprecated(
+    since = "0.1.0",
+    note = "construct an `Executor` (`Executor::new(profile)`) and call `Executor::edge_map` / `edge_map_in`"
+)]
 pub fn edge_map<O: EdgeOp>(
     pg: &PreparedGraph,
     frontier: &Frontier,
     op: &O,
     opts: &EdgeMapOptions,
+) -> (Frontier, EdgeMapReport) {
+    edge_map_impl(
+        pg,
+        frontier,
+        op,
+        opts.force_dense,
+        opts.threshold_den,
+        &TaskPolicy::unplaced(opts.parallel),
+    )
+}
+
+/// The traversal dispatcher behind [`crate::Executor::edge_map`]:
+/// direction selection, kernel choice, output-representation switch.
+pub(crate) fn edge_map_impl<O: EdgeOp>(
+    pg: &PreparedGraph,
+    frontier: &Frontier,
+    op: &O,
+    force_dense: Option<bool>,
+    threshold_den: usize,
+    policy: &TaskPolicy,
 ) -> (Frontier, EdgeMapReport) {
     let g = pg.graph();
     let n = g.num_vertices();
@@ -154,21 +201,13 @@ pub fn edge_map<O: EdgeOp>(
             },
         );
     }
-    let dense = opts
-        .force_dense
-        .unwrap_or_else(|| frontier.is_dense_for(g, opts.threshold_den));
+    let dense = force_dense.unwrap_or_else(|| frontier.is_dense_for(g, threshold_den));
     let next = AtomicBitset::new(n);
     let (traversal, tasks) = if dense {
         let f = frontier.to_dense();
         match pg.profile().dense_layout {
-            DenseLayout::CscPull => (
-                Traversal::DensePull,
-                dense_pull(pg, &f, op, &next, opts.parallel),
-            ),
-            DenseLayout::Coo(_) => (
-                Traversal::DenseCoo,
-                dense_coo(pg, &f, op, &next, opts.parallel),
-            ),
+            DenseLayout::CscPull => (Traversal::DensePull, dense_pull(pg, &f, op, &next, policy)),
+            DenseLayout::Coo(_) => (Traversal::DenseCoo, dense_coo(pg, &f, op, &next, policy)),
         }
     } else {
         let f = frontier.to_sparse();
@@ -179,19 +218,19 @@ pub fn edge_map<O: EdgeOp>(
         if pg.profile().partitioned_sparse {
             (
                 Traversal::SparsePartitioned,
-                sparse_partitioned(pg, active, op, &next, opts.parallel),
+                sparse_partitioned(pg, active, op, &next, policy),
             )
         } else {
             (
                 Traversal::SparsePush,
-                sparse_push(pg, active, op, &next, opts.parallel),
+                sparse_push(pg, active, op, &next, policy),
             )
         }
     };
     let out = Frontier::from_bitset(next);
     let output_size = out.len();
     // Representation switch on output size, as all three systems do.
-    let out = if output_size * opts.threshold_den < n {
+    let out = if output_size * threshold_den < n {
         out.to_sparse()
     } else {
         out
@@ -206,40 +245,19 @@ pub fn edge_map<O: EdgeOp>(
     )
 }
 
-/// Runs `num_tasks` tasks, timing each; `f(task) -> (edges, vertices)`.
-fn run_tasks<F>(num_tasks: usize, parallel: bool, f: F) -> Vec<TaskStats>
-where
-    F: Fn(usize) -> (u64, u64) + Sync,
-{
-    let timed = |t: usize| {
-        let t0 = Instant::now();
-        let (edges, vertices) = f(t);
-        TaskStats {
-            nanos: t0.elapsed().as_nanos() as u64,
-            edges,
-            vertices,
-        }
-    };
-    if parallel {
-        (0..num_tasks).into_par_iter().map(timed).collect()
-    } else {
-        (0..num_tasks).map(timed).collect()
-    }
-}
-
 fn dense_pull<O: EdgeOp>(
     pg: &PreparedGraph,
     frontier: &Frontier,
     op: &O,
     next: &AtomicBitset,
-    parallel: bool,
+    policy: &TaskPolicy,
 ) -> Vec<TaskStats> {
     let g = pg.graph();
     let csc = g.csc();
     let weights = csc.raw_weights();
     let words = frontier.words();
     let tasks = pg.tasks();
-    run_tasks(tasks.num_partitions(), parallel, |t| {
+    policy.run(tasks.num_partitions(), |t| {
         let mut edges = 0u64;
         let vertices = tasks.range(t).len() as u64;
         for v in tasks.range(t) {
@@ -274,12 +292,12 @@ fn dense_coo<O: EdgeOp>(
     frontier: &Frontier,
     op: &O,
     next: &AtomicBitset,
-    parallel: bool,
+    policy: &TaskPolicy,
 ) -> Vec<TaskStats> {
     let coo = pg.coo().expect("profile declares a COO dense layout");
     let words = frontier.words();
     let tasks = pg.tasks();
-    run_tasks(coo.num_partitions(), parallel, |p| {
+    policy.run(coo.num_partitions(), |p| {
         let (src, dst) = coo.partition_edges(p);
         let vertices = tasks.range(p).len() as u64;
         let ws = coo.has_weights().then(|| coo.partition_weights(p));
@@ -301,13 +319,13 @@ fn sparse_push<O: EdgeOp>(
     active: &[VertexId],
     op: &O,
     next: &AtomicBitset,
-    parallel: bool,
+    policy: &TaskPolicy,
 ) -> Vec<TaskStats> {
     let g = pg.graph();
     let csr = g.csr();
     let weights = csr.raw_weights();
     let num_chunks = pg.num_tasks().min(active.len()).max(1);
-    run_tasks(num_chunks, parallel, |c| {
+    policy.run(num_chunks, |c| {
         let lo = c * active.len() / num_chunks;
         let hi = (c + 1) * active.len() / num_chunks;
         let mut edges = 0u64;
@@ -333,12 +351,12 @@ fn sparse_partitioned<O: EdgeOp>(
     active: &[VertexId],
     op: &O,
     next: &AtomicBitset,
-    parallel: bool,
+    policy: &TaskPolicy,
 ) -> Vec<TaskStats> {
     let sub = pg
         .sub_csr()
         .expect("profile declares partitioned sparse layout");
-    run_tasks(sub.num_partitions(), parallel, |p| {
+    policy.run(sub.num_partitions(), |p| {
         let part = sub.partition(p);
         let mut edges = 0u64;
         let mut vertices = 0u64;
@@ -375,6 +393,7 @@ fn sparse_partitioned<O: EdgeOp>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::{Direction, ExecMode, Executor};
     use crate::profile::SystemProfile;
     use std::sync::atomic::{AtomicU32, Ordering};
     use vebo_graph::{Dataset, Graph};
@@ -441,16 +460,13 @@ mod tests {
         expect.dedup();
 
         for profile in profiles() {
-            for force in [Some(true), Some(false), None] {
+            for force in [Direction::Dense, Direction::Sparse, Direction::Auto] {
+                let exec = Executor::new(profile);
                 let pg = PreparedGraph::new(g.clone(), profile);
                 let op = ParentOp::new(n);
                 op.parent[root as usize].store(root, Ordering::Relaxed); // don't re-activate root
                 let f = Frontier::single(n, root);
-                let opts = EdgeMapOptions {
-                    force_dense: force,
-                    ..Default::default()
-                };
-                let (out, report) = edge_map(&pg, &f, &op, &opts);
+                let (out, report) = exec.edge_map_in(&pg, &f, &op, force);
                 let mut got: Vec<VertexId> = out.iter_active().collect();
                 got.sort_unstable();
                 assert_eq!(got, expect, "profile {:?} force {force:?}", profile.kind);
@@ -466,18 +482,15 @@ mod tests {
         let seeds: Vec<VertexId> = (0..20).map(|i| i * 37 % n as u32).collect();
         let mut reference: Option<Vec<VertexId>> = None;
         for profile in profiles() {
-            for force in [Some(true), Some(false)] {
+            for force in [Direction::Dense, Direction::Sparse] {
+                let exec = Executor::new(profile).with_direction(force);
                 let pg = PreparedGraph::new(g.clone(), profile);
                 let op = ParentOp::new(n);
                 for &s in &seeds {
                     op.parent[s as usize].store(s, Ordering::Relaxed);
                 }
                 let f = Frontier::from_vertices(n, seeds.clone());
-                let opts = EdgeMapOptions {
-                    force_dense: force,
-                    ..Default::default()
-                };
-                let (out, _) = edge_map(&pg, &f, &op, &opts);
+                let (out, _) = exec.edge_map(&pg, &f, &op);
                 let mut got: Vec<VertexId> = out.iter_active().collect();
                 got.sort_unstable();
                 match &reference {
@@ -492,20 +505,18 @@ mod tests {
     fn rayon_parallel_matches_sequential() {
         let g = test_graph();
         let n = g.num_vertices();
-        let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g.clone(), profile);
         let seeds: Vec<VertexId> = (0..50).map(|i| i * 13 % n as u32).collect();
         let mut outputs = Vec::new();
-        for parallel in [false, true] {
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let exec = Executor::new(profile).with_mode(mode);
             let op = ParentOp::new(n);
             for &s in &seeds {
                 op.parent[s as usize].store(s, Ordering::Relaxed);
             }
             let f = Frontier::from_vertices(n, seeds.clone());
-            let opts = EdgeMapOptions {
-                parallel,
-                ..Default::default()
-            };
-            let (out, _) = edge_map(&pg, &f, &op, &opts);
+            let (out, _) = exec.edge_map(&pg, &f, &op);
             let mut got: Vec<VertexId> = out.iter_active().collect();
             got.sort_unstable();
             outputs.push(got);
@@ -513,23 +524,41 @@ mod tests {
         assert_eq!(outputs[0], outputs[1]);
     }
 
+    /// The deprecated free-function shim behaves exactly like an
+    /// executor configured from the same options.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_executor() {
+        let g = test_graph();
+        let n = g.num_vertices();
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g.clone(), profile);
+        let run = |use_shim: bool| -> Vec<VertexId> {
+            let op = ParentOp::new(n);
+            op.parent[0].store(0, Ordering::Relaxed);
+            let f = Frontier::single(n, 0);
+            let (out, _) = if use_shim {
+                edge_map(&pg, &f, &op, &EdgeMapOptions::default())
+            } else {
+                Executor::new(profile).edge_map(&pg, &f, &op)
+            };
+            let mut got: Vec<VertexId> = out.iter_active().collect();
+            got.sort_unstable();
+            got
+        };
+        assert_eq!(run(true), run(false));
+    }
+
     #[test]
     fn report_edge_totals_are_sane() {
         let g = test_graph();
         let n = g.num_vertices();
         let m = g.num_edges() as u64;
-        let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g.clone(), profile);
         let op = ParentOp::new(n);
         let f = Frontier::all(n);
-        let (_, report) = edge_map(
-            &pg,
-            &f,
-            &op,
-            &EdgeMapOptions {
-                force_dense: Some(true),
-                ..Default::default()
-            },
-        );
+        let (_, report) = Executor::new(profile).edge_map_in(&pg, &f, &op, Direction::Dense);
         // Dense COO scans every edge exactly once.
         assert_eq!(report.traversal, Traversal::DenseCoo);
         assert_eq!(report.total_edges(), m);
@@ -540,19 +569,12 @@ mod tests {
     fn sparse_partitioned_work_equals_active_edges() {
         let g = test_graph();
         let n = g.num_vertices();
-        let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g.clone(), profile);
         let seeds: Vec<VertexId> = (0..10).map(|i| i * 101 % n as u32).collect();
         let op = ParentOp::new(n);
         let f = Frontier::from_vertices(n, seeds.clone());
-        let (_, report) = edge_map(
-            &pg,
-            &f,
-            &op,
-            &EdgeMapOptions {
-                force_dense: Some(false),
-                ..Default::default()
-            },
-        );
+        let (_, report) = Executor::new(profile).edge_map_in(&pg, &f, &op, Direction::Sparse);
         assert_eq!(report.traversal, Traversal::SparsePartitioned);
         let mut dedup = seeds.clone();
         dedup.sort_unstable();
@@ -567,7 +589,8 @@ mod tests {
         let n = g.num_vertices();
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
         let op = ParentOp::new(n);
-        let (out, report) = edge_map(&pg, &Frontier::empty(n), &op, &EdgeMapOptions::default());
+        let (out, report) =
+            Executor::new(SystemProfile::ligra_like()).edge_map(&pg, &Frontier::empty(n), &op);
         assert!(out.is_empty());
         assert!(report.tasks.is_empty());
     }
@@ -576,18 +599,14 @@ mod tests {
     fn direction_heuristic_picks_dense_for_full_frontier() {
         let g = test_graph();
         let n = g.num_vertices();
+        let exec = Executor::new(SystemProfile::ligra_like());
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
         let op = ParentOp::new(n);
-        let (_, report) = edge_map(&pg, &Frontier::all(n), &op, &EdgeMapOptions::default());
+        let (_, report) = exec.edge_map(&pg, &Frontier::all(n), &op);
         assert!(report.traversal.is_dense());
         let pg2 = PreparedGraph::new(test_graph(), SystemProfile::ligra_like());
         let op2 = ParentOp::new(n);
-        let (_, report2) = edge_map(
-            &pg2,
-            &Frontier::single(n, 0),
-            &op2,
-            &EdgeMapOptions::default(),
-        );
+        let (_, report2) = exec.edge_map(&pg2, &Frontier::single(n, 0), &op2);
         assert!(!report2.traversal.is_dense());
     }
 
@@ -595,9 +614,10 @@ mod tests {
     fn makespan_reports_compute() {
         let g = test_graph();
         let n = g.num_vertices();
-        let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g, profile);
         let op = ParentOp::new(n);
-        let (_, report) = edge_map(&pg, &Frontier::all(n), &op, &EdgeMapOptions::default());
+        let (_, report) = Executor::new(profile).edge_map(&pg, &Frontier::all(n), &op);
         let ms = report.makespan_by_work(48, crate::profile::Scheduling::Static);
         assert!(ms.makespan > 0.0);
         assert!(ms.imbalance() >= 1.0);

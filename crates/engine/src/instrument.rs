@@ -1,0 +1,223 @@
+//! Instrumentation: the pluggable sink every [`crate::Executor`] feeds,
+//! and the standard [`RunReport`] accumulator built on top of it.
+//!
+//! Before the executor existed, every algorithm hand-rolled the same
+//! bookkeeping — compute the input frontier's density class, call the
+//! free `edge_map`, push `(class, report)` into a `RunReport`, repeat for
+//! `vertex_map`. The executor now does that once, centrally: each
+//! `edge_map`/`vertex_map` call is forwarded to every attached
+//! [`InstrumentSink`]. [`Recorder`] is the default sink; algorithms take
+//! a recorded clone of their caller's executor and hand back
+//! `recorder.take()` as their [`RunReport`].
+
+use crate::edge_map::EdgeMapReport;
+use crate::frontier::DensityClass;
+use crate::profile::Scheduling;
+use crate::schedule::{simulate, MakespanReport};
+use crate::vertex_map::VertexMapReport;
+use std::sync::Mutex;
+
+/// Receives every engine operation an [`crate::Executor`] runs.
+///
+/// Implementations must be thread-safe (`Send + Sync`): one executor may
+/// be shared across threads, and recording happens after each operation's
+/// parallel section completes.
+pub trait InstrumentSink: Send + Sync {
+    /// One `edge_map` completed; `class` is the *input* frontier's
+    /// density class (Table II's "F" column).
+    fn record_edge_map(&self, class: DensityClass, report: &EdgeMapReport);
+
+    /// One `vertex_map` completed.
+    fn record_vertex_map(&self, report: &VertexMapReport);
+}
+
+/// The default sink: accumulates operations into a [`RunReport`].
+#[derive(Debug, Default)]
+pub struct Recorder {
+    log: Mutex<RunReport>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Takes the accumulated report, leaving the recorder empty.
+    pub fn take(&self) -> RunReport {
+        std::mem::take(&mut self.log.lock().unwrap())
+    }
+}
+
+impl InstrumentSink for Recorder {
+    fn record_edge_map(&self, class: DensityClass, report: &EdgeMapReport) {
+        self.log.lock().unwrap().push_edge(class, report.clone());
+    }
+
+    fn record_vertex_map(&self, report: &VertexMapReport) {
+        self.log.lock().unwrap().push_vertex(report.clone());
+    }
+}
+
+/// Everything measured while running one algorithm on one prepared graph.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Number of edgemap rounds executed.
+    pub iterations: usize,
+    /// One report per `edge_map` call, in execution order.
+    pub edge_maps: Vec<EdgeMapReport>,
+    /// One report per `vertex_map` call.
+    pub vertex_maps: Vec<VertexMapReport>,
+    /// Density class of the input frontier of each edgemap (Table II's
+    /// "F" column).
+    pub frontier_classes: Vec<DensityClass>,
+}
+
+impl RunReport {
+    /// Records one edgemap round.
+    pub fn push_edge(&mut self, class: DensityClass, report: EdgeMapReport) {
+        self.iterations += 1;
+        self.frontier_classes.push(class);
+        self.edge_maps.push(report);
+    }
+
+    /// Records one vertexmap pass.
+    pub fn push_vertex(&mut self, report: VertexMapReport) {
+        self.vertex_maps.push(report);
+    }
+
+    /// Total sequential time across all operations (nanoseconds).
+    pub fn sequential_nanos(&self) -> u64 {
+        self.edge_maps.iter().map(|r| r.total_nanos()).sum::<u64>()
+            + self
+                .vertex_maps
+                .iter()
+                .map(|r| r.total_nanos())
+                .sum::<u64>()
+    }
+
+    /// Simulated parallel runtime on `threads` workers under `scheduling`:
+    /// the sum over operations of each operation's makespan (operations
+    /// are separated by barriers in all three systems).
+    pub fn simulated_nanos(&self, threads: usize, scheduling: Scheduling) -> f64 {
+        let em: f64 = self
+            .edge_maps
+            .iter()
+            .map(|r| r.makespan(threads, scheduling).makespan)
+            .sum();
+        let vm: f64 = self
+            .vertex_maps
+            .iter()
+            .map(|r| {
+                let costs: Vec<f64> = r.tasks.iter().map(|t| t.nanos as f64).collect();
+                simulate(&costs, threads, scheduling).makespan
+            })
+            .sum();
+        em + vm
+    }
+
+    /// Deterministic work-model variant of [`RunReport::simulated_nanos`]
+    /// (task cost = edges + destination vertices, the paper's joint cost
+    /// drivers); noise-free, used by tests.
+    pub fn simulated_work(&self, threads: usize, scheduling: Scheduling) -> f64 {
+        let em: f64 = self
+            .edge_maps
+            .iter()
+            .map(|r| r.makespan_by_work(threads, scheduling).makespan)
+            .sum();
+        let vm: f64 = self
+            .vertex_maps
+            .iter()
+            .map(|r| {
+                let costs: Vec<f64> = r.tasks.iter().map(|t| t.vertices as f64).collect();
+                simulate(&costs, threads, scheduling).makespan
+            })
+            .sum();
+        em + vm
+    }
+
+    /// Total edges examined over the whole run.
+    pub fn total_edges(&self) -> u64 {
+        self.edge_maps.iter().map(|r| r.total_edges()).sum()
+    }
+
+    /// Distinct density classes observed, in first-seen order — the
+    /// "d/m/s" annotations of Table II.
+    pub fn observed_classes(&self) -> Vec<DensityClass> {
+        let mut seen = Vec::new();
+        for &c in &self.frontier_classes {
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        seen
+    }
+
+    /// Aggregated makespan report of the whole run under measured costs.
+    pub fn aggregate_makespan(&self, threads: usize, scheduling: Scheduling) -> MakespanReport {
+        let mut per_thread = vec![0.0; threads];
+        for r in &self.edge_maps {
+            let m = r.makespan(threads, scheduling);
+            for (t, c) in m.per_thread.iter().enumerate() {
+                per_thread[t] += c;
+            }
+        }
+        let makespan = self.simulated_nanos(threads, scheduling);
+        let total_work = per_thread.iter().sum();
+        MakespanReport {
+            per_thread,
+            makespan,
+            total_work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_map::{TaskStats, Traversal};
+
+    fn em(nanos: &[u64]) -> EdgeMapReport {
+        EdgeMapReport {
+            traversal: Traversal::DensePull,
+            tasks: nanos
+                .iter()
+                .map(|&n| TaskStats {
+                    nanos: n,
+                    edges: n,
+                    vertices: 1,
+                    socket: 0,
+                })
+                .collect(),
+            output_size: 0,
+        }
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.sequential_nanos(), 0);
+        assert_eq!(r.total_edges(), 0);
+        assert_eq!(r.simulated_work(48, Scheduling::Static), 0.0);
+        assert!(r.observed_classes().is_empty());
+    }
+
+    #[test]
+    fn recorder_accumulates_and_takes() {
+        let rec = Recorder::new();
+        rec.record_edge_map(DensityClass::Dense, &em(&[1, 2]));
+        rec.record_edge_map(DensityClass::Sparse, &em(&[3]));
+        rec.record_vertex_map(&VertexMapReport { tasks: Vec::new() });
+        let report = rec.take();
+        assert_eq!(report.iterations, 2);
+        assert_eq!(report.edge_maps.len(), 2);
+        assert_eq!(report.vertex_maps.len(), 1);
+        assert_eq!(
+            report.observed_classes(),
+            vec![DensityClass::Dense, DensityClass::Sparse]
+        );
+        assert_eq!(report.total_edges(), 6);
+        // Taking drains the recorder.
+        assert_eq!(rec.take().iterations, 0);
+    }
+}

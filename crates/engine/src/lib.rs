@@ -6,15 +6,24 @@
 //! frameworks the paper evaluates (Ligra, Polymer, GraphGrind — §IV):
 //! partition count, scheduling policy, and dense-iteration layout.
 //!
+//! Execution is organized around one object, the [`Executor`]: it owns
+//! the parallelism mode, the NUMA placement plan binding each task to
+//! the socket that owns its partition's arrays, the scheduling policy
+//! used for makespan simulation, and the instrumentation sinks that
+//! accumulate [`RunReport`]s. Graphs are prepared for a profile through
+//! [`PreparedGraph::builder`], which also routes VEBO's exact phase-3
+//! boundaries to the right layout per profile.
+//!
 //! The container this reproduction runs in has a single hardware thread,
 //! so parallel wall-clock cannot be observed directly; instead, every
 //! `edge_map`/`vertex_map` measures per-task work and a deterministic
 //! [`schedule`] simulator computes the 48-thread makespan under each
 //! profile's scheduling policy (static vs work-stealing). Rayon-parallel
-//! execution paths are provided and tested for equivalence.
+//! execution ([`ExecMode::Parallel`]) is provided and tested for
+//! equivalence.
 //!
 //! ```
-//! use vebo_engine::{edge_map, EdgeMapOptions, Frontier, PreparedGraph, SystemProfile};
+//! use vebo_engine::{Executor, Frontier, PreparedGraph, SystemProfile};
 //! use vebo_engine::ops::EdgeOp;
 //! use std::sync::atomic::{AtomicU32, Ordering};
 //!
@@ -30,17 +39,24 @@
 //!
 //! let g = vebo_graph::Dataset::YahooLike.build(0.05);
 //! let n = g.num_vertices();
-//! let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+//! let profile = SystemProfile::polymer_like();
+//! let exec = Executor::new(profile);
+//! let pg = PreparedGraph::builder(g).profile(profile).build().unwrap();
 //! let op = Hops((0..n).map(|_| AtomicU32::new(0)).collect());
 //! let start = Frontier::single(n, 0);
-//! let (next, report) = edge_map(&pg, &start, &op, &EdgeMapOptions::default());
+//! let (next, report) = exec.edge_map(&pg, &start, &op);
 //! assert_eq!(next.len(), report.output_size);
+//! // Statically scheduled profiles place every task on a socket.
+//! let plan = exec.placement(pg.num_tasks()).unwrap();
+//! assert_eq!(plan.num_tasks(), pg.num_tasks());
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod edge_map;
+pub mod executor;
 pub mod frontier;
+pub mod instrument;
 pub mod ops;
 pub mod prepared;
 pub mod profile;
@@ -48,10 +64,16 @@ pub mod schedule;
 pub mod shared;
 pub mod vertex_map;
 
-pub use edge_map::{edge_map, EdgeMapOptions, EdgeMapReport, TaskStats, Traversal};
+#[allow(deprecated)]
+pub use edge_map::edge_map;
+pub use edge_map::{EdgeMapOptions, EdgeMapReport, TaskStats, Traversal};
+pub use executor::{Direction, ExecMode, Executor};
 pub use frontier::{DensityClass, Frontier};
+pub use instrument::{InstrumentSink, Recorder, RunReport};
 pub use ops::EdgeOp;
-pub use prepared::{subdivide_for_threads, PreparedGraph};
+pub use prepared::{subdivide_for_threads, PrepareError, PreparedGraph, PreparedGraphBuilder};
 pub use profile::{DenseLayout, Scheduling, SystemKind, SystemProfile};
 pub use schedule::{simulate, MakespanReport};
-pub use vertex_map::{vertex_map, vertex_map_all, VertexMapReport};
+pub use vertex_map::VertexMapReport;
+#[allow(deprecated)]
+pub use vertex_map::{vertex_map, vertex_map_all};

@@ -1,12 +1,29 @@
 //! Graph preparation per system profile: partition bounds, COO chunks,
 //! sub-CSRs — the "edge reordering + partitioning" stage whose cost
 //! Table VI reports.
+//!
+//! Construction goes through [`PreparedGraph::builder`], which owns the
+//! whole "how do VEBO's exact phase-3 boundaries reach the engine"
+//! decision (it absorbed `prepare_profile` from the bench pipeline so the
+//! CLI, the algorithms, the harnesses, and the tests all prepare
+//! execution identically):
+//!
+//! ```
+//! use vebo_engine::{PreparedGraph, SystemProfile};
+//!
+//! let g = vebo_graph::Dataset::YahooLike.build(0.05);
+//! let pg = PreparedGraph::builder(g)
+//!     .profile(SystemProfile::polymer_like())
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(pg.num_tasks(), 48);
+//! ```
 
 use crate::profile::{DenseLayout, SystemKind, SystemProfile};
 use std::time::{Duration, Instant};
 use vebo_graph::Graph;
 use vebo_partition::partitioned::PartitionedSubCsr;
-use vebo_partition::{PartitionBounds, PartitionedCoo};
+use vebo_partition::{BoundsError, PartitionBounds, PartitionedCoo};
 
 /// A graph made ready for traversal under one system profile.
 #[derive(Debug)]
@@ -23,7 +40,126 @@ pub struct PreparedGraph {
     prep_time: Duration,
 }
 
+/// Why a [`PreparedGraphBuilder`] could not produce a [`PreparedGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrepareError {
+    /// The supplied boundaries are malformed (not monotonic, first not
+    /// zero, or covering a different vertex count than the graph).
+    Bounds(BoundsError),
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::Bounds(e) => write!(f, "invalid partition boundaries: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrepareError::Bounds(e) => Some(e),
+        }
+    }
+}
+
+impl From<BoundsError> for PrepareError {
+    fn from(e: BoundsError) -> PrepareError {
+        PrepareError::Bounds(e)
+    }
+}
+
+/// Builds a [`PreparedGraph`], validating explicit boundaries and
+/// routing VEBO's exact phase-3 boundaries per profile:
+///
+/// * GraphGrind — the boundaries become the partition bounds directly;
+/// * Polymer — the socket-level boundaries are subdivided per thread;
+/// * Ligra — no partitioning; boundaries are irrelevant.
+#[derive(Debug)]
+pub struct PreparedGraphBuilder {
+    graph: Graph,
+    profile: SystemProfile,
+    vebo_starts: Option<Vec<usize>>,
+    bounds: Option<PartitionBounds>,
+}
+
+impl PreparedGraphBuilder {
+    /// Targets `profile` (default: [`SystemProfile::ligra_like`]).
+    pub fn profile(mut self, profile: SystemProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Supplies VEBO's exact phase-3 partition boundaries (Algorithm 2's
+    /// "partition end points", in the *new* id space). `None` is
+    /// accepted so harnesses can pass an ordering's optional boundaries
+    /// straight through.
+    pub fn vebo_starts<S: AsRef<[usize]>>(mut self, starts: Option<S>) -> Self {
+        self.vebo_starts = starts.map(|s| s.as_ref().to_vec());
+        self
+    }
+
+    /// Uses explicit destination ranges verbatim (overrides
+    /// `vebo_starts`; no per-profile routing).
+    pub fn bounds(mut self, bounds: PartitionBounds) -> Self {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Validates and materializes the layouts the profile needs.
+    pub fn build(self) -> Result<PreparedGraph, PrepareError> {
+        let t0 = Instant::now();
+        let n = self.graph.num_vertices();
+        let check_covers = |b: &PartitionBounds| -> Result<(), PrepareError> {
+            if b.num_vertices() != n {
+                return Err(BoundsError::VertexCountMismatch {
+                    expected: n,
+                    found: b.num_vertices(),
+                }
+                .into());
+            }
+            Ok(())
+        };
+        let tasks = match (self.bounds, self.vebo_starts) {
+            (Some(bounds), _) => {
+                check_covers(&bounds)?;
+                Some(bounds)
+            }
+            (None, Some(starts)) => match self.profile.kind {
+                SystemKind::GraphGrindLike => {
+                    let bounds = PartitionBounds::try_from_starts(starts)?;
+                    check_covers(&bounds)?;
+                    Some(bounds)
+                }
+                SystemKind::PolymerLike => {
+                    let top = PartitionBounds::try_from_starts(starts)?;
+                    check_covers(&top)?;
+                    Some(subdivide_for_threads(&top, &self.profile.topology))
+                }
+                SystemKind::LigraLike => None,
+            },
+            (None, None) => None,
+        };
+        Ok(match tasks {
+            Some(tasks) => PreparedGraph::from_parts(self.graph, self.profile, tasks, t0),
+            None => PreparedGraph::new(self.graph, self.profile),
+        })
+    }
+}
+
 impl PreparedGraph {
+    /// Starts a builder for `graph` — the single construction path every
+    /// consumer (CLI, algorithms, harnesses, tests) goes through.
+    pub fn builder(graph: Graph) -> PreparedGraphBuilder {
+        PreparedGraphBuilder {
+            graph,
+            profile: SystemProfile::ligra_like(),
+            vebo_starts: None,
+            bounds: None,
+        }
+    }
+
     /// Partitions `graph` according to `profile` and materializes the
     /// layouts that profile needs.
     pub fn new(graph: Graph, profile: SystemProfile) -> PreparedGraph {
@@ -39,35 +175,39 @@ impl PreparedGraph {
                 PartitionBounds::edge_balanced(&graph, profile.num_partitions)
             }
         };
-        let coo = match profile.dense_layout {
-            DenseLayout::Coo(order) => Some(PartitionedCoo::build(&graph, &tasks, order)),
-            DenseLayout::CscPull => None,
-        };
-        let sub_csr = if profile.partitioned_sparse {
-            Some(PartitionedSubCsr::build(&graph, &tasks))
-        } else {
-            None
-        };
-        let prep_time = t0.elapsed();
-        PreparedGraph {
-            graph,
-            profile,
-            tasks,
-            coo,
-            sub_csr,
-            prep_time,
-        }
+        PreparedGraph::from_parts(graph, profile, tasks, t0)
     }
 
     /// As [`PreparedGraph::new`] but with explicit destination ranges
     /// (e.g. VEBO's exact phase-3 boundaries instead of Algorithm 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PreparedGraph::builder(g).profile(p).bounds(b).build()`, which validates the boundaries"
+    )]
     pub fn with_bounds(
         graph: Graph,
         profile: SystemProfile,
         tasks: PartitionBounds,
     ) -> PreparedGraph {
-        assert_eq!(tasks.num_vertices(), graph.num_vertices());
-        let t0 = Instant::now();
+        match PreparedGraph::builder(graph)
+            .profile(profile)
+            .bounds(tasks)
+            .build()
+        {
+            Ok(pg) => pg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Materializes the layouts for already-validated `tasks`; `t0` is
+    /// when preparation began (so `prep_time` covers the bounds
+    /// computation too, as Table VI charges it).
+    fn from_parts(
+        graph: Graph,
+        profile: SystemProfile,
+        tasks: PartitionBounds,
+        t0: Instant,
+    ) -> PreparedGraph {
         let coo = match profile.dense_layout {
             DenseLayout::Coo(order) => Some(PartitionedCoo::build(&graph, &tasks, order)),
             DenseLayout::CscPull => None,
@@ -202,12 +342,105 @@ mod tests {
     }
 
     #[test]
-    fn with_bounds_uses_explicit_ranges() {
+    fn builder_uses_explicit_ranges() {
         let g = Dataset::YahooLike.build(0.05);
         let n = g.num_vertices();
         let bounds = PartitionBounds::vertex_balanced(n, 10);
-        let pg =
-            PreparedGraph::with_bounds(g, SystemProfile::graphgrind_like(EdgeOrder::Csr), bounds);
+        let pg = PreparedGraph::builder(g)
+            .profile(SystemProfile::graphgrind_like(EdgeOrder::Csr))
+            .bounds(bounds)
+            .build()
+            .unwrap();
         assert_eq!(pg.num_tasks(), 10);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_bounds_shim_matches_builder() {
+        let g = Dataset::YahooLike.build(0.05);
+        let n = g.num_vertices();
+        let bounds = PartitionBounds::vertex_balanced(n, 10);
+        let pg = PreparedGraph::with_bounds(
+            g,
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+            bounds.clone(),
+        );
+        assert_eq!(pg.tasks(), &bounds);
+    }
+
+    #[test]
+    fn builder_routes_vebo_starts_per_profile() {
+        let g = Dataset::YahooLike.build(0.05);
+        let n = g.num_vertices();
+        // Fake "exact boundaries": 4 socket-level partitions.
+        let starts: Vec<usize> = (0..=4).map(|p| p * n / 4).collect();
+
+        // GraphGrind: boundaries become the bounds directly.
+        let pg = PreparedGraph::builder(g.clone())
+            .profile(SystemProfile::graphgrind_like(EdgeOrder::Csr))
+            .vebo_starts(Some(&starts))
+            .build()
+            .unwrap();
+        assert_eq!(pg.num_tasks(), 4);
+        assert_eq!(pg.tasks().starts(), &starts[..]);
+
+        // Polymer: socket boundaries are subdivided among 12 threads each.
+        let pg = PreparedGraph::builder(g.clone())
+            .profile(SystemProfile::polymer_like())
+            .vebo_starts(Some(&starts))
+            .build()
+            .unwrap();
+        assert_eq!(pg.num_tasks(), 48);
+        for &s in &starts {
+            assert!(pg.tasks().starts().contains(&s), "socket boundary {s} lost");
+        }
+
+        // Ligra: boundaries are irrelevant; Cilk-style vertex chunks.
+        let pg = PreparedGraph::builder(g)
+            .profile(SystemProfile::ligra_like())
+            .vebo_starts(Some(&starts))
+            .build()
+            .unwrap();
+        assert_eq!(pg.num_tasks(), 3072);
+    }
+
+    #[test]
+    fn builder_rejects_malformed_starts_with_typed_errors() {
+        let g = Dataset::YahooLike.build(0.05);
+        let n = g.num_vertices();
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+
+        let err = PreparedGraph::builder(g.clone())
+            .profile(profile)
+            .vebo_starts(Some(vec![0, n / 2, n / 4, n]))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PrepareError::Bounds(vebo_partition::BoundsError::NotMonotonic { .. })
+            ),
+            "{err:?}"
+        );
+
+        let err = PreparedGraph::builder(g.clone())
+            .profile(profile)
+            .vebo_starts(Some(vec![0, n + 7]))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PrepareError::Bounds(vebo_partition::BoundsError::VertexCountMismatch {
+                expected: n,
+                found: n + 7,
+            })
+        );
+
+        let err = PreparedGraph::builder(g)
+            .profile(SystemProfile::polymer_like())
+            .vebo_starts(Some(vec![3, n]))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("first boundary"), "{err}");
     }
 }

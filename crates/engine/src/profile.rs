@@ -34,6 +34,11 @@ impl SystemKind {
 }
 
 /// Scheduling policy of the simulated machine.
+///
+/// The [`crate::Executor`] consumes this twice: makespan simulation
+/// replays measured task costs under the policy, and NUMA placement
+/// engages only for [`Scheduling::Static`] profiles (work stealing
+/// defeats static socket binding).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scheduling {
     /// Work-stealing: tasks go to the least-loaded thread greedily

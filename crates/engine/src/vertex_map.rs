@@ -7,11 +7,10 @@
 //! ranges, sparse vertexmap tasks are chunks of the active list.
 
 use crate::edge_map::TaskStats;
+use crate::executor::TaskPolicy;
 use crate::frontier::Frontier;
 use crate::prepared::PreparedGraph;
 use crate::shared::AtomicBitset;
-use rayon::prelude::*;
-use std::time::Instant;
 use vebo_graph::VertexId;
 
 /// Result of one `vertex_map`: per-task stats (work = vertices scanned).
@@ -33,13 +32,44 @@ impl VertexMapReport {
     }
 }
 
-/// Applies `f` to each active vertex; the output frontier contains the
-/// vertices for which `f` returned `true`.
+/// Deprecated free-function shim over [`crate::Executor::vertex_map`].
+#[deprecated(
+    since = "0.1.0",
+    note = "construct an `Executor` (`Executor::new(profile)`) and call `Executor::vertex_map`"
+)]
 pub fn vertex_map<F>(
     pg: &PreparedGraph,
     frontier: &Frontier,
     f: F,
     parallel: bool,
+) -> (Frontier, VertexMapReport)
+where
+    F: Fn(VertexId) -> bool + Sync,
+{
+    vertex_map_impl(pg, frontier, f, &TaskPolicy::unplaced(parallel))
+}
+
+/// Deprecated free-function shim over [`crate::Executor::vertex_map_all`].
+#[deprecated(
+    since = "0.1.0",
+    note = "construct an `Executor` (`Executor::new(profile)`) and call `Executor::vertex_map_all`"
+)]
+pub fn vertex_map_all<F>(pg: &PreparedGraph, f: F, parallel: bool) -> (Frontier, VertexMapReport)
+where
+    F: Fn(VertexId) -> bool + Sync,
+{
+    let all = Frontier::all(pg.graph().num_vertices());
+    vertex_map_impl(pg, &all, f, &TaskPolicy::unplaced(parallel))
+}
+
+/// The kernel behind [`crate::Executor::vertex_map`]: dense vertexmap
+/// tasks are the partition ranges, sparse vertexmap tasks are chunks of
+/// the active list.
+pub(crate) fn vertex_map_impl<F>(
+    pg: &PreparedGraph,
+    frontier: &Frontier,
+    f: F,
+    policy: &TaskPolicy,
 ) -> (Frontier, VertexMapReport)
 where
     F: Fn(VertexId) -> bool + Sync,
@@ -51,7 +81,7 @@ where
             let dense = frontier.to_dense();
             let words = dense.words().to_vec();
             let bounds = pg.tasks();
-            run(bounds.num_partitions(), parallel, |t| {
+            run(bounds.num_partitions(), policy, |t| {
                 let mut scanned = 0u64;
                 for v in bounds.range(t) {
                     if words[v >> 6] >> (v & 63) & 1 == 1 {
@@ -66,7 +96,7 @@ where
         }
         Frontier::Sparse { vertices, .. } => {
             let chunks = pg.num_tasks().min(vertices.len()).max(1);
-            run(chunks, parallel, |c| {
+            run(chunks, policy, |c| {
                 let lo = c * vertices.len() / chunks;
                 let hi = (c + 1) * vertices.len() / chunks;
                 for &v in &vertices[lo..hi] {
@@ -87,38 +117,17 @@ where
     (out, VertexMapReport { tasks })
 }
 
-/// `vertex_map` over all vertices (dense initialization passes).
-pub fn vertex_map_all<F>(pg: &PreparedGraph, f: F, parallel: bool) -> (Frontier, VertexMapReport)
-where
-    F: Fn(VertexId) -> bool + Sync,
-{
-    let all = Frontier::all(pg.graph().num_vertices());
-    vertex_map(pg, &all, f, parallel)
-}
-
-fn run<F>(num_tasks: usize, parallel: bool, f: F) -> Vec<TaskStats>
+fn run<F>(num_tasks: usize, policy: &TaskPolicy, f: F) -> Vec<TaskStats>
 where
     F: Fn(usize) -> u64 + Sync,
 {
-    let timed = |t: usize| {
-        let t0 = Instant::now();
-        let work = f(t);
-        TaskStats {
-            nanos: t0.elapsed().as_nanos() as u64,
-            edges: 0,
-            vertices: work,
-        }
-    };
-    if parallel {
-        (0..num_tasks).into_par_iter().map(timed).collect()
-    } else {
-        (0..num_tasks).map(timed).collect()
-    }
+    policy.run(num_tasks, |t| (0, f(t)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::{ExecMode, Executor};
     use crate::profile::SystemProfile;
     use std::sync::atomic::{AtomicU64, Ordering};
     use vebo_graph::Dataset;
@@ -128,7 +137,8 @@ mod tests {
         let g = Dataset::YahooLike.build(0.05);
         let n = g.num_vertices();
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (out, rep) = vertex_map_all(&pg, |v| v % 3 == 0, false);
+        let exec = Executor::new(SystemProfile::ligra_like());
+        let (out, rep) = exec.vertex_map_all(&pg, |v| v % 3 == 0);
         let expect = n.div_ceil(3);
         assert_eq!(out.len(), expect);
         assert_eq!(rep.total_vertices(), n as u64);
@@ -142,17 +152,13 @@ mod tests {
         let g = Dataset::YahooLike.build(0.05);
         let n = g.num_vertices();
         let pg = PreparedGraph::new(g, SystemProfile::polymer_like());
+        let exec = Executor::new(SystemProfile::polymer_like());
         let touched = AtomicU64::new(0);
         let f = Frontier::from_vertices(n, vec![1, 5, 9]);
-        let (out, rep) = vertex_map(
-            &pg,
-            &f,
-            |v| {
-                touched.fetch_add(1, Ordering::Relaxed);
-                v != 5
-            },
-            false,
-        );
+        let (out, rep) = exec.vertex_map(&pg, &f, |v| {
+            touched.fetch_add(1, Ordering::Relaxed);
+            v != 5
+        });
         assert_eq!(touched.load(Ordering::Relaxed), 3);
         assert_eq!(rep.total_vertices(), 3);
         let got: Vec<_> = out.iter_active().collect();
@@ -165,7 +171,7 @@ mod tests {
         let n = g.num_vertices();
         let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
         let f = Frontier::from_vertices(n, vec![2, 4, 6]).to_dense();
-        let (out, _) = vertex_map(&pg, &f, |_| true, false);
+        let (out, _) = Executor::new(SystemProfile::ligra_like()).vertex_map(&pg, &f, |_| true);
         let got: Vec<_> = out.iter_active().collect();
         assert_eq!(got, vec![2, 4, 6]);
     }
@@ -173,12 +179,25 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let g = Dataset::YahooLike.build(0.05);
-        let pg = PreparedGraph::new(
-            g,
-            SystemProfile::graphgrind_like(vebo_partition::EdgeOrder::Csr),
-        );
-        let (a, _) = vertex_map_all(&pg, |v| v % 7 == 1, false);
-        let (b, _) = vertex_map_all(&pg, |v| v % 7 == 1, true);
+        let profile = SystemProfile::graphgrind_like(vebo_partition::EdgeOrder::Csr);
+        let pg = PreparedGraph::new(g, profile);
+        let (a, _) = Executor::new(profile).vertex_map_all(&pg, |v| v % 7 == 1);
+        let (b, _) = Executor::new(profile)
+            .with_mode(ExecMode::Parallel)
+            .vertex_map_all(&pg, |v| v % 7 == 1);
+        let va: Vec<_> = a.iter_active().collect();
+        let vb: Vec<_> = b.iter_active().collect();
+        assert_eq!(va, vb);
+    }
+
+    /// The deprecated free-function shims agree with the executor.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_executor() {
+        let g = Dataset::YahooLike.build(0.05);
+        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
+        let (a, _) = vertex_map_all(&pg, |v| v % 5 == 2, false);
+        let (b, _) = Executor::new(SystemProfile::ligra_like()).vertex_map_all(&pg, |v| v % 5 == 2);
         let va: Vec<_> = a.iter_active().collect();
         let vb: Vec<_> = b.iter_active().collect();
         assert_eq!(va, vb);

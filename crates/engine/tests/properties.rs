@@ -1,9 +1,11 @@
-//! Property-based tests for the engine: all traversal modes must agree.
+//! Property-based tests for the engine: all traversal modes must agree,
+//! and the executor's policies (mode, NUMA placement) must never change
+//! results.
 
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 use vebo_engine::shared::AtomicF64;
-use vebo_engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph, SystemProfile};
+use vebo_engine::{Direction, EdgeOp, ExecMode, Executor, Frontier, PreparedGraph, SystemProfile};
 use vebo_graph::graph::mix64;
 use vebo_graph::{Graph, VertexId};
 use vebo_partition::EdgeOrder;
@@ -52,11 +54,14 @@ impl EdgeOp for MinOp {
 fn run_mode(
     g: &Graph,
     frontier: &[VertexId],
-    profile: SystemProfile,
-    force: Option<bool>,
+    exec: &Executor,
+    direction: Direction,
 ) -> (Vec<f64>, Vec<VertexId>) {
     let n = g.num_vertices();
-    let pg = PreparedGraph::new(g.clone(), profile);
+    let pg = PreparedGraph::builder(g.clone())
+        .profile(*exec.profile())
+        .build()
+        .expect("no explicit bounds, cannot fail");
     let op = MinOp {
         val: (0..n).map(|_| AtomicF64::new(f64::INFINITY)).collect(),
     };
@@ -64,11 +69,7 @@ fn run_mode(
         op.val[v as usize].store(0.0);
     }
     let f = Frontier::from_vertices(n, frontier.to_vec());
-    let opts = EdgeMapOptions {
-        force_dense: force,
-        ..Default::default()
-    };
-    let (out, _) = edge_map(&pg, &f, &op, &opts);
+    let (out, _) = exec.edge_map_in(&pg, &f, &op, direction);
     let mut active: Vec<VertexId> = out.iter_active().collect();
     active.sort_unstable();
     (op.val.iter().map(|a| a.load()).collect(), active)
@@ -80,15 +81,20 @@ proptest! {
     /// All (profile, direction) combinations compute the same relaxation.
     #[test]
     fn all_modes_agree((g, frontier) in arb_case()) {
-        let reference = run_mode(&g, &frontier, SystemProfile::ligra_like(), Some(false));
+        let reference = run_mode(
+            &g,
+            &frontier,
+            &Executor::new(SystemProfile::ligra_like()),
+            Direction::Sparse,
+        );
         for profile in [
             SystemProfile::ligra_like(),
             SystemProfile::polymer_like(),
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
             SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
         ] {
-            for force in [Some(true), Some(false), None] {
-                let got = run_mode(&g, &frontier, profile, force);
+            for direction in [Direction::Dense, Direction::Sparse, Direction::Auto] {
+                let got = run_mode(&g, &frontier, &Executor::new(profile), direction);
                 prop_assert_eq!(&got.1, &reference.1, "activation sets differ");
                 for (a, b) in got.0.iter().zip(&reference.0) {
                     prop_assert!(
@@ -98,6 +104,57 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Executor policies — parallel mode, NUMA placement on/off — never
+    /// change the result, on every profile.
+    #[test]
+    fn executor_policies_preserve_results((g, frontier) in arb_case()) {
+        for profile in [
+            SystemProfile::ligra_like(),
+            SystemProfile::polymer_like(),
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+        ] {
+            let reference = run_mode(&g, &frontier, &Executor::new(profile), Direction::Auto);
+            for exec in [
+                Executor::new(profile).with_mode(ExecMode::Parallel),
+                Executor::new(profile).with_numa_placement(false),
+                Executor::new(profile)
+                    .with_mode(ExecMode::Parallel)
+                    .with_numa_placement(false),
+            ] {
+                let got = run_mode(&g, &frontier, &exec, Direction::Auto);
+                prop_assert_eq!(&got.1, &reference.1, "activation sets differ");
+                for (a, b) in got.0.iter().zip(&reference.0) {
+                    prop_assert!(
+                        (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-12,
+                        "state differs: {} vs {}", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// The NUMA-placed execution order is always a permutation of the
+    /// unplaced (index) order, and every task has a socket within the
+    /// topology.
+    #[test]
+    fn placement_order_is_a_permutation(num_tasks in 0usize..600) {
+        for profile in [
+            SystemProfile::polymer_like(),
+            SystemProfile::graphgrind_like(EdgeOrder::Csr),
+        ] {
+            let exec = Executor::new(profile);
+            let plan = exec.placement(num_tasks).expect("static profiles place tasks");
+            let order = plan.execution_order();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..num_tasks).collect::<Vec<_>>());
+            for t in 0..num_tasks {
+                prop_assert!(plan.socket_of(t) < profile.topology.num_sockets);
+            }
+        }
+        prop_assert!(Executor::new(SystemProfile::ligra_like()).placement(num_tasks).is_none());
     }
 
     /// BFS-style single-activation: each destination enters the next
@@ -119,12 +176,13 @@ proptest! {
             }
         }
         let n = g.num_vertices();
-        for force in [Some(true), Some(false)] {
-            let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let exec = Executor::new(profile);
+        for direction in [Direction::Dense, Direction::Sparse] {
+            let pg = PreparedGraph::builder(g.clone()).profile(profile).build().unwrap();
             let op = Once { hit: (0..n).map(|_| AtomicU32::new(0)).collect() };
             let f = Frontier::from_vertices(n, frontier.clone());
-            let opts = EdgeMapOptions { force_dense: force, ..Default::default() };
-            let (out, _) = edge_map(&pg, &f, &op, &opts);
+            let (out, _) = exec.edge_map_in(&pg, &f, &op, direction);
             // The output frontier is exactly the set of touched dsts.
             let mut expect: Vec<VertexId> = (0..n as VertexId)
                 .filter(|&v| op.hit[v as usize].load(Ordering::Relaxed) > 0)

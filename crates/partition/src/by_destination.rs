@@ -10,6 +10,66 @@
 
 use vebo_graph::{Graph, VertexId};
 
+/// Why a boundary array cannot form a [`PartitionBounds`].
+///
+/// Returned by [`PartitionBounds::try_from_starts`] so that malformed
+/// VEBO phase-3 output surfaces as a typed error at the API boundary
+/// instead of a panic deep inside a layout build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundsError {
+    /// Fewer than two boundaries: not even one partition.
+    TooFewBoundaries {
+        /// Length of the offending array.
+        len: usize,
+    },
+    /// The first boundary must be 0.
+    FirstNotZero {
+        /// The offending first element.
+        first: usize,
+    },
+    /// Boundaries must be non-decreasing.
+    NotMonotonic {
+        /// Index of the first boundary smaller than its predecessor.
+        index: usize,
+        /// The predecessor's value.
+        prev: usize,
+        /// The offending value.
+        next: usize,
+    },
+    /// The last boundary must equal the graph's vertex count (checked by
+    /// consumers that know the graph, e.g. the `PreparedGraph` builder).
+    VertexCountMismatch {
+        /// Vertices the graph has.
+        expected: usize,
+        /// Vertices the boundaries cover.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundsError::TooFewBoundaries { len } => {
+                write!(f, "need at least 2 boundaries for one partition, got {len}")
+            }
+            BoundsError::FirstNotZero { first } => {
+                write!(f, "first boundary must be 0, got {first}")
+            }
+            BoundsError::NotMonotonic { index, prev, next } => write!(
+                f,
+                "boundaries must be sorted: starts[{index}] = {next} < starts[{}] = {prev}",
+                index - 1
+            ),
+            BoundsError::VertexCountMismatch { expected, found } => write!(
+                f,
+                "boundaries cover {found} vertices but the graph has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BoundsError {}
+
 /// Contiguous vertex ranges: partition `p` owns destinations
 /// `starts[p]..starts[p + 1]`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,14 +123,39 @@ impl PartitionBounds {
 
     /// Uses explicit boundaries (e.g. the exact per-partition vertex
     /// counts VEBO computed in its phase 3).
+    ///
+    /// # Panics
+    ///
+    /// On malformed boundaries; use [`PartitionBounds::try_from_starts`]
+    /// to validate untrusted input without panicking.
     pub fn from_starts(starts: Vec<usize>) -> PartitionBounds {
-        assert!(starts.len() >= 2, "need at least one partition");
-        assert!(
-            starts.windows(2).all(|w| w[0] <= w[1]),
-            "boundaries must be sorted"
-        );
-        assert_eq!(starts[0], 0);
-        PartitionBounds { starts }
+        match Self::try_from_starts(starts) {
+            Ok(b) => b,
+            // Keep "sorted" in the monotonicity message: callers match it.
+            Err(e) => panic!("invalid partition boundaries: {e}"),
+        }
+    }
+
+    /// As [`PartitionBounds::from_starts`] but validating: boundaries must
+    /// be at least two, start at 0, and be non-decreasing. The final
+    /// boundary's agreement with a graph's vertex count is checked by
+    /// graph-aware consumers (see `vebo_engine::PreparedGraph::builder`),
+    /// which reuse [`BoundsError::VertexCountMismatch`].
+    pub fn try_from_starts(starts: Vec<usize>) -> Result<PartitionBounds, BoundsError> {
+        if starts.len() < 2 {
+            return Err(BoundsError::TooFewBoundaries { len: starts.len() });
+        }
+        if starts[0] != 0 {
+            return Err(BoundsError::FirstNotZero { first: starts[0] });
+        }
+        if let Some(i) = (1..starts.len()).find(|&i| starts[i] < starts[i - 1]) {
+            return Err(BoundsError::NotMonotonic {
+                index: i,
+                prev: starts[i - 1],
+                next: starts[i],
+            });
+        }
+        Ok(PartitionBounds { starts })
     }
 
     /// Number of partitions.
@@ -215,5 +300,42 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn from_starts_rejects_unsorted() {
         PartitionBounds::from_starts(vec![0, 5, 3, 10]);
+    }
+
+    #[test]
+    fn try_from_starts_accepts_valid_boundaries() {
+        let b = PartitionBounds::try_from_starts(vec![0, 3, 3, 10]).unwrap();
+        assert_eq!(b.num_partitions(), 3);
+        assert_eq!(b.num_vertices(), 10);
+        assert_eq!(b.range(1), 3..3);
+    }
+
+    #[test]
+    fn try_from_starts_reports_typed_errors() {
+        assert_eq!(
+            PartitionBounds::try_from_starts(vec![]),
+            Err(BoundsError::TooFewBoundaries { len: 0 })
+        );
+        assert_eq!(
+            PartitionBounds::try_from_starts(vec![0]),
+            Err(BoundsError::TooFewBoundaries { len: 1 })
+        );
+        assert_eq!(
+            PartitionBounds::try_from_starts(vec![1, 5]),
+            Err(BoundsError::FirstNotZero { first: 1 })
+        );
+        assert_eq!(
+            PartitionBounds::try_from_starts(vec![0, 5, 3, 10]),
+            Err(BoundsError::NotMonotonic {
+                index: 2,
+                prev: 5,
+                next: 3
+            })
+        );
+        // Errors render as readable messages.
+        let msg = PartitionBounds::try_from_starts(vec![0, 5, 3])
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("sorted"), "{msg}");
     }
 }

@@ -1,7 +1,7 @@
 //! Hilbert space-filling curve over the adjacency matrix.
 //!
 //! GraphGrind traverses COO edges in Hilbert order to improve temporal
-//! locality on dense frontiers (§IV, [11], [12]); §V-G of the paper studies
+//! locality on dense frontiers (§IV, \[11\], \[12\]); §V-G of the paper studies
 //! when this beats plain CSR order. The curve maps an edge `(src, dst)` —
 //! a cell of the adjacency matrix — to a 1-D index such that consecutive
 //! indices are adjacent cells, keeping both the source and destination

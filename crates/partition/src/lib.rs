@@ -34,7 +34,8 @@ pub mod replication;
 pub mod stats;
 
 pub use assignment::{AssignmentQuality, VertexAssignment};
-pub use by_destination::PartitionBounds;
+pub use by_destination::{BoundsError, PartitionBounds};
 pub use edge_order::EdgeOrder;
 pub use multilevel::{BalanceMode, MetisLikeOrder, Multilevel, MultilevelConfig};
+pub use numa::{NumaTopology, PlacementPlan};
 pub use partitioned::{PartitionedCoo, SubCsr};

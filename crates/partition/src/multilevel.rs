@@ -21,7 +21,7 @@
 //!
 //! Vertex weights are two-dimensional — `[vertex count, in-edge count]` —
 //! so the partitioner also supports the *multi-constraint* formulation of
-//! the paper's reference [28] (Karypis & Kumar, "Multilevel algorithms
+//! the paper's reference \[28\] (Karypis & Kumar, "Multilevel algorithms
 //! for multi-constraint graph partitioning", SC'98): §VI describes the
 //! cut-minimizing school as balancing edges or vertices *as a
 //! constraint*; [`BalanceMode::VertexAndEdge`] balances both at once,
@@ -50,7 +50,7 @@ pub enum BalanceMode {
     #[default]
     VertexOnly,
     /// Balance vertex counts *and* in-edge counts (multi-constraint
-    /// partitioning, the paper's reference [28]) — the cut-minimizing
+    /// partitioning, the paper's reference \[28\]) — the cut-minimizing
     /// school's answer to VEBO's joint objective.
     VertexAndEdge,
 }
@@ -281,7 +281,7 @@ impl Multilevel {
     }
 
     /// A partitioner that balances vertex *and* in-edge counts (the
-    /// multi-constraint formulation of reference [28]).
+    /// multi-constraint formulation of reference \[28\]).
     pub fn multi_constraint() -> Multilevel {
         Multilevel {
             config: MultilevelConfig {
@@ -746,7 +746,7 @@ mod tests {
 
     #[test]
     fn multi_constraint_balances_both_dimensions() {
-        // Reference [28]'s formulation must bound vertex AND in-edge
+        // Reference \[28\]'s formulation must bound vertex AND in-edge
         // imbalance together on a skewed graph, where the vertex-only
         // mode leaves edges unbalanced.
         let g = Dataset::TwitterLike.build(0.2);

@@ -52,6 +52,90 @@ impl NumaTopology {
         let hi = (t + 1) * num_partitions / self.num_threads;
         lo..hi
     }
+
+    /// Builds the placement plan binding each of `num_tasks` tasks to the
+    /// socket that owns its partition's arrays (contiguous blocks, the
+    /// Polymer/GraphGrind binding).
+    pub fn placement_plan(&self, num_tasks: usize) -> PlacementPlan {
+        let sockets = (0..num_tasks)
+            .map(|t| self.socket_of_partition(t, num_tasks) as u32)
+            .collect();
+        PlacementPlan {
+            topology: *self,
+            sockets,
+        }
+    }
+}
+
+/// A NUMA placement plan: which socket owns each task, and the order in
+/// which a socket-bound engine visits tasks.
+///
+/// Polymer and GraphGrind bind contiguous blocks of partitions to
+/// sockets; each socket's thread team then works through its own block
+/// while the other sockets work through theirs concurrently. The plan
+/// captures both facts: [`PlacementPlan::socket_of`] is the ownership
+/// map, and [`PlacementPlan::execution_order`] is the socket-major
+/// interleaving that models the four teams advancing in lockstep (task
+/// `k` of socket 0, task `k` of socket 1, ... then task `k + 1` of each).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlacementPlan {
+    topology: NumaTopology,
+    /// Socket owning each task (non-decreasing, contiguous blocks).
+    sockets: Vec<u32>,
+}
+
+impl PlacementPlan {
+    /// Number of tasks the plan covers.
+    pub fn num_tasks(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Number of sockets in the underlying topology.
+    pub fn num_sockets(&self) -> usize {
+        self.topology.num_sockets
+    }
+
+    /// The topology the plan was derived from.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.topology
+    }
+
+    /// Socket owning task `t`.
+    pub fn socket_of(&self, t: usize) -> usize {
+        self.sockets[t] as usize
+    }
+
+    /// The socket of every task, in task order.
+    pub fn sockets(&self) -> &[u32] {
+        &self.sockets
+    }
+
+    /// Contiguous task range owned by socket `s`.
+    pub fn tasks_of_socket(&self, s: usize) -> std::ops::Range<usize> {
+        assert!(s < self.topology.num_sockets);
+        let lo = self.sockets.partition_point(|&q| (q as usize) < s);
+        let hi = self.sockets.partition_point(|&q| (q as usize) <= s);
+        lo..hi
+    }
+
+    /// Socket-major interleaved visiting order: round `k` visits the
+    /// `k`-th task of every socket, modelling the per-socket thread teams
+    /// advancing concurrently. Always a permutation of `0..num_tasks`.
+    pub fn execution_order(&self) -> Vec<usize> {
+        let ranges: Vec<std::ops::Range<usize>> = (0..self.topology.num_sockets)
+            .map(|s| self.tasks_of_socket(s))
+            .collect();
+        let rounds = ranges.iter().map(|r| r.len()).max().unwrap_or(0);
+        let mut order = Vec::with_capacity(self.sockets.len());
+        for k in 0..rounds {
+            for r in &ranges {
+                if r.start + k < r.end {
+                    order.push(r.start + k);
+                }
+            }
+        }
+        order
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +196,51 @@ mod tests {
         assert_eq!(t.socket_of_thread(11), 0);
         assert_eq!(t.socket_of_thread(12), 1);
         assert_eq!(t.socket_of_thread(47), 3);
+    }
+
+    #[test]
+    fn placement_plan_matches_socket_of_partition() {
+        let t = NumaTopology::default();
+        for num_tasks in [1usize, 4, 47, 48, 384] {
+            let plan = t.placement_plan(num_tasks);
+            assert_eq!(plan.num_tasks(), num_tasks);
+            for p in 0..num_tasks {
+                assert_eq!(plan.socket_of(p), t.socket_of_partition(p, num_tasks));
+            }
+            // Socket ranges tile the task space.
+            let mut covered = 0;
+            for s in 0..plan.num_sockets() {
+                let r = plan.tasks_of_socket(s);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, num_tasks);
+        }
+    }
+
+    #[test]
+    fn execution_order_is_a_socket_interleaved_permutation() {
+        let plan = NumaTopology::default().placement_plan(384);
+        let order = plan.execution_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..384).collect::<Vec<_>>());
+        // Round-robin across the 4 sockets of 96 tasks each.
+        assert_eq!(&order[..4], &[0, 96, 192, 288]);
+        assert_eq!(&order[4..8], &[1, 97, 193, 289]);
+        // Genuinely not the identity order.
+        assert_ne!(order, (0..384).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn execution_order_handles_uneven_and_tiny_task_counts() {
+        let t = NumaTopology::default();
+        for n in [0usize, 1, 2, 3, 5, 47] {
+            let order = t.placement_plan(n).execution_order();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "n = {n}");
+        }
     }
 
     #[test]

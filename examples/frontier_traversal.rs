@@ -7,7 +7,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicU32, Ordering};
-use vebo::engine::{edge_map, EdgeMapOptions, EdgeOp, Frontier, PreparedGraph, SystemProfile};
+use vebo::engine::{EdgeOp, Executor, Frontier, PreparedGraph, SystemProfile};
 use vebo::graph::Dataset;
 use vebo::partition::EdgeOrder;
 use vebo_algorithms::default_source;
@@ -49,7 +49,12 @@ fn main() {
         "iter", "frontier", "active edges", "class", "traversal", "edges seen"
     );
 
-    let pg = PreparedGraph::new(g.clone(), SystemProfile::graphgrind_like(EdgeOrder::Csr));
+    let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+    let exec = Executor::new(profile);
+    let pg = PreparedGraph::builder(g.clone())
+        .profile(profile)
+        .build()
+        .expect("no explicit bounds, cannot fail");
     let op = BfsOp {
         parent: (0..n).map(|_| AtomicU32::new(u32::MAX)).collect(),
     };
@@ -60,7 +65,7 @@ fn main() {
     while !frontier.is_empty() {
         let class = frontier.density_class(&g);
         let active_edges = frontier.active_out_degree(&g);
-        let (next, report) = edge_map(&pg, &frontier, &op, &EdgeMapOptions::default());
+        let (next, report) = exec.edge_map(&pg, &frontier, &op);
         println!(
             "{:>4}  {:>9} {:>12} {:>7}  {:<18} {:>12}",
             iter,

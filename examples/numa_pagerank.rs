@@ -9,11 +9,11 @@
 //! cargo run --release --example numa_pagerank
 //! ```
 
-use vebo::engine::{EdgeMapOptions, Scheduling, SystemKind, SystemProfile};
+use vebo::engine::{Executor, PreparedGraph, SystemKind, SystemProfile};
 use vebo::graph::Dataset;
 use vebo::partition::EdgeOrder;
 use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
-use vebo_bench::{ordered_with_starts, prepare_profile, OrderingKind};
+use vebo_bench::{ordered_with_starts, OrderingKind};
 
 fn main() {
     let g = Dataset::TwitterLike.build(0.3);
@@ -52,13 +52,16 @@ fn main() {
                 384
             };
             let (h, starts, _) = ordered_with_starts(&g, ordering, p);
-            let pg = prepare_profile(h, profile, starts.as_deref());
-            let (_, report) = pagerank(&pg, &PageRankConfig::default(), &EdgeMapOptions::default());
-            let scheduling = match kind {
-                SystemKind::LigraLike => Scheduling::Dynamic,
-                _ => Scheduling::Static,
-            };
-            times.push(report.simulated_nanos(48, scheduling) / 1e6);
+            let exec = Executor::new(profile);
+            let pg = PreparedGraph::builder(h)
+                .profile(profile)
+                .vebo_starts(starts.as_deref())
+                .build()
+                .expect("VEBO boundaries are valid");
+            let (_, report) = pagerank(&exec, &pg, &PageRankConfig::default());
+            // The executor knows its profile's scheduling policy and
+            // simulated thread count.
+            times.push(exec.simulated_seconds(&report) * 1e3);
         }
         println!(
             "{:<12} {:>14.3} {:>14.3} {:>9.2}x",

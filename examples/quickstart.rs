@@ -9,8 +9,8 @@
 //! ```
 
 use vebo::core::{balance::BalanceReport, Vebo};
-use vebo::engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
-use vebo::graph::{Dataset, Graph, VertexOrdering};
+use vebo::engine::{Executor, PreparedGraph, SystemProfile};
+use vebo::graph::{Dataset, Graph};
 use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
 
 fn main() {
@@ -76,12 +76,18 @@ fn main() {
         report.edge_imbalance, report.vertex_imbalance
     );
 
-    // Reorder the graph and run PageRank on the GraphGrind-like system.
-    let reordered = vebo.compute(&g).apply_graph(&g);
+    // Reorder the graph and run PageRank on the GraphGrind-like system,
+    // feeding VEBO's exact phase-3 boundaries through the builder.
+    let reordered = result.permutation.apply_graph(&g);
     let profile =
         SystemProfile::graphgrind_like(vebo::partition::EdgeOrder::Csr).with_partitions(48);
-    let pg = PreparedGraph::new(reordered, profile);
-    let (ranks, run) = pagerank(&pg, &PageRankConfig::default(), &EdgeMapOptions::default());
+    let exec = Executor::new(profile);
+    let pg = PreparedGraph::builder(reordered)
+        .profile(profile)
+        .vebo_starts(Some(&result.starts))
+        .build()
+        .expect("VEBO boundaries are valid");
+    let (ranks, run) = pagerank(&exec, &pg, &PageRankConfig::default());
     let top = ranks
         .iter()
         .enumerate()

@@ -12,18 +12,23 @@
 //! the same format. Input is streamed in line-aligned chunks and parsed in
 //! parallel, so billion-edge files never need a whole-file text buffer.
 //! Also prints the Algorithm-1 balance report for the requested partition
-//! count and the wall-clock reorder time.
+//! count and the wall-clock reorder time; `--simulate` additionally runs
+//! PageRank on the reordered graph through the engine's `Executor`
+//! (GraphGrind-like profile, exact VEBO boundaries when the ordering is
+//! VEBO) and prints the simulated 48-thread runtime.
 //!
 //! ```text
 //! cargo run --release --bin vebo-reorder -- -p 384 input.adj output.adj
 //! cargo run --release --bin vebo-reorder -- --order rcm --threads 4 input.el output.el
 //! cargo run --release --bin vebo-reorder -- --format bin input.vgr output.vgr
+//! cargo run --release --bin vebo-reorder -- --simulate -p 48 input.el output.el
 //! ```
 
 use std::process::ExitCode;
 use vebo::graph::io::{self, Format};
 use vebo::graph::Graph;
 use vebo::{chunked_balance_report, OrderingRegistry};
+use vebo_engine::{Executor, PreparedGraph, SystemProfile};
 
 struct Options {
     partitions: usize,
@@ -32,6 +37,7 @@ struct Options {
     directed: bool,
     threads: Option<usize>,
     format: Option<Format>,
+    simulate: bool,
     input: String,
     output: String,
 }
@@ -53,6 +59,9 @@ fn usage() -> String {
            --format <f>    auto | el | adj | bin (default auto)\n\
            --threads <n>   rayon threads for the reorder pipeline\n\
                            (default: all available cores)\n\
+           --simulate      run PageRank on the reordered graph through the\n\
+                           engine (GraphGrind-like profile, -p partitions)\n\
+                           and print the simulated 48-thread runtime\n\
            --undirected    treat the input as undirected (text formats\n\
                            only; binary inputs store their directedness)\n\
            --              end of options (inputs may start with '-')\n\
@@ -69,6 +78,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         directed: true,
         threads: None,
         format: None,
+        simulate: false,
         input: String::new(),
         output: String::new(),
     };
@@ -124,6 +134,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 opts.threads = Some(n);
             }
             "--undirected" => opts.directed = false,
+            "--simulate" => opts.simulate = true,
             "-h" | "--help" => return Err(String::new()),
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown option '{other}'")),
@@ -195,12 +206,20 @@ fn main() -> ExitCode {
     }
 
     let t0 = std::time::Instant::now();
-    let (perm, reordered, compute_time) = pool.install(|| {
+    let (perm, starts, reordered, compute_time) = pool.install(|| {
         let t = std::time::Instant::now();
-        let perm = ordering.compute(&g);
+        // VEBO resolves through `compute_full` so Algorithm 2's exact
+        // phase-3 boundaries reach the engine's builder under --simulate;
+        // every other ordering has no boundaries to forward.
+        let (perm, starts) = if opts.order == "vebo" {
+            let res = vebo::core::Vebo::new(opts.partitions).compute_full(&g);
+            (res.permutation, Some(res.starts))
+        } else {
+            (ordering.compute(&g), None)
+        };
         let compute_time = t.elapsed();
         let reordered = perm.apply_graph(&g);
-        (perm, reordered, compute_time)
+        (perm, starts, reordered, compute_time)
     });
     let total_time = t0.elapsed();
 
@@ -227,16 +246,51 @@ fn main() -> ExitCode {
         }
     }
 
-    match io::save_graph(&reordered, &opts.output, format) {
-        Ok(()) => {
-            eprintln!("wrote {} ({format})", opts.output);
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error writing {}: {e}", opts.output);
-            ExitCode::FAILURE
-        }
+    if let Err(e) = io::save_graph(&reordered, &opts.output, format) {
+        eprintln!("error writing {}: {e}", opts.output);
+        return ExitCode::FAILURE;
     }
+    eprintln!("wrote {} ({format})", opts.output);
+
+    if opts.simulate {
+        // The same execution path every harness uses: PreparedGraph
+        // builder (with exact VEBO boundaries when available) + Executor.
+        // Runs after the save so the builder can take ownership of the
+        // reordered graph instead of cloning it (inputs can be huge).
+        use vebo::algorithms::pagerank::{pagerank, PageRankConfig};
+        let profile = vebo::partition::EdgeOrder::Csr;
+        let profile = SystemProfile::graphgrind_like(profile).with_partitions(opts.partitions);
+        let exec = Executor::new(profile);
+        let pg = match PreparedGraph::builder(reordered)
+            .profile(profile)
+            .vebo_starts(starts.as_deref())
+            .build()
+        {
+            Ok(pg) => pg,
+            Err(e) => {
+                eprintln!("error: cannot prepare graph for simulation: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cfg = PageRankConfig {
+            iterations: 3,
+            ..Default::default()
+        };
+        let (_, report) = pool.install(|| pagerank(&exec, &pg, &cfg));
+        let plan = exec.placement(pg.num_tasks());
+        eprintln!(
+            "simulate: PR x{} on {} tasks{} -> simulated {}-thread runtime {:.3} ms",
+            cfg.iterations,
+            pg.num_tasks(),
+            match &plan {
+                Some(p) => format!(" over {} sockets", p.num_sockets()),
+                None => String::new(),
+            },
+            profile.topology.num_threads,
+            exec.simulated_seconds(&report) * 1e3,
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -259,6 +313,12 @@ mod tests {
         assert!(o.directed);
         assert_eq!(o.threads, None);
         assert_eq!(o.format, None);
+    }
+
+    #[test]
+    fn parses_simulate() {
+        assert!(!args(&["a", "b"]).unwrap().simulate);
+        assert!(args(&["--simulate", "a", "b"]).unwrap().simulate);
     }
 
     #[test]

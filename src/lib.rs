@@ -11,8 +11,9 @@
 //! * [`core`] — the VEBO algorithm, balance metrics, theorem verifiers;
 //! * [`baselines`] — RCM, Gorder, degree sort, random orderings;
 //! * [`partition`] — Algorithm 1, Hilbert/CSR edge orders, layouts;
-//! * [`engine`] — the graph processing engine and its three system
-//!   profiles (Ligra-, Polymer-, GraphGrind-like);
+//! * [`engine`] — the graph processing engine: the `Executor` that owns
+//!   threading, NUMA placement, scheduling, and instrumentation, plus the
+//!   three system profiles (Ligra-, Polymer-, GraphGrind-like);
 //! * [`algorithms`] — PR, PRD, BFS, BC, CC, SPMV, BF, BP;
 //! * [`perfmodel`] — cache/TLB/branch simulators;
 //! * [`distributed`] — streaming/multilevel distributed partitioners and

@@ -2,7 +2,7 @@
 //! orderings, partitioning, algorithm results, simulator statistics).
 
 use vebo::core::Vebo;
-use vebo::engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo::engine::{Executor, PreparedGraph, SystemProfile};
 use vebo::graph::Dataset;
 use vebo::partition::numa::NumaTopology;
 use vebo::partition::{EdgeOrder, PartitionBounds};
@@ -34,10 +34,12 @@ fn pagerank_bits_are_reproducible() {
     // Sequential (measured) execution applies updates in a fixed order,
     // so even floating-point results are bit-identical.
     let g = Dataset::YahooLike.build(0.05);
-    let pg = PreparedGraph::new(g, SystemProfile::graphgrind_like(EdgeOrder::Hilbert));
+    let profile = SystemProfile::graphgrind_like(EdgeOrder::Hilbert);
+    let pg = PreparedGraph::builder(g).profile(profile).build().unwrap();
+    let exec = Executor::new(profile);
     let cfg = PageRankConfig::default();
-    let (a, _) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
-    let (b, _) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+    let (a, _) = pagerank(&exec, &pg, &cfg);
+    let (b, _) = pagerank(&exec, &pg, &cfg);
     assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
 }
 
@@ -59,8 +61,12 @@ fn work_model_makespans_are_deterministic() {
     use vebo_algorithms::{run_algorithm, AlgorithmKind};
     let g = Dataset::LiveJournalLike.build(0.05);
     let run = || {
-        let pg = PreparedGraph::new(g.clone(), SystemProfile::polymer_like());
-        let report = run_algorithm(AlgorithmKind::Bfs, &pg, &EdgeMapOptions::default());
+        let profile = SystemProfile::polymer_like();
+        let pg = PreparedGraph::builder(g.clone())
+            .profile(profile)
+            .build()
+            .unwrap();
+        let report = run_algorithm(AlgorithmKind::Bfs, &Executor::new(profile), &pg);
         report.simulated_work(48, Scheduling::Static)
     };
     assert_eq!(run(), run());

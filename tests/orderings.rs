@@ -4,7 +4,7 @@
 //! Table III must hold against the extension orderings too.
 
 use vebo::core::Vebo;
-use vebo::engine::{EdgeMapOptions, PreparedGraph, Scheduling, SystemProfile};
+use vebo::engine::{Executor, PreparedGraph, Scheduling, SystemProfile};
 use vebo::graph::{Dataset, VertexOrdering};
 use vebo::partition::EdgeOrder;
 use vebo::OrderingRegistry;
@@ -24,8 +24,9 @@ fn pagerank_invariant_under_every_registry_ordering() {
     for (name, ord) in OrderingRegistry::new(16).all() {
         let perm = ord.compute(&g);
         let h = perm.apply_graph(&g);
-        let pg = PreparedGraph::new(h, SystemProfile::ligra_like());
-        let (ranks, _) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+        let profile = SystemProfile::ligra_like();
+        let pg = PreparedGraph::builder(h).profile(profile).build().unwrap();
+        let (ranks, _) = pagerank(&Executor::new(profile), &pg, &cfg);
         for v in g.vertices() {
             let got = ranks[perm.new_id(v) as usize];
             assert!(
@@ -53,15 +54,12 @@ fn vebo_beats_extension_orderings_on_static_profile() {
     };
 
     let run = |h: vebo::graph::Graph, starts: Option<Vec<usize>>| -> f64 {
-        let pg = match starts {
-            Some(s) => PreparedGraph::with_bounds(
-                h,
-                profile,
-                vebo::partition::PartitionBounds::from_starts(s),
-            ),
-            None => PreparedGraph::new(h, profile),
-        };
-        let (_, report) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+        let pg = PreparedGraph::builder(h)
+            .profile(profile)
+            .vebo_starts(starts)
+            .build()
+            .expect("VEBO boundaries are valid");
+        let (_, report) = pagerank(&Executor::new(profile), &pg, &cfg);
         report.simulated_work(threads, Scheduling::Static)
     };
 

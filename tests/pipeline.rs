@@ -2,7 +2,7 @@
 //! engine -> algorithm, across crates.
 
 use vebo::core::Vebo;
-use vebo::engine::{EdgeMapOptions, PreparedGraph, SystemProfile};
+use vebo::engine::{Executor, PreparedGraph, SystemProfile};
 use vebo::graph::{Dataset, VertexOrdering};
 use vebo::partition::EdgeOrder;
 use vebo_algorithms::bfs::{bfs, bfs_reference, levels_from_parents};
@@ -10,7 +10,7 @@ use vebo_algorithms::cc::{cc, cc_reference};
 use vebo_algorithms::pagerank::{pagerank, pagerank_reference, PageRankConfig};
 use vebo_algorithms::{default_source, needs_weights, run_algorithm, AlgorithmKind};
 use vebo_baselines::{Gorder, RandomOrder, Rcm};
-use vebo_bench::{ordered_with_starts, prepare_profile, OrderingKind};
+use vebo_bench::{ordered_with_starts, OrderingKind};
 
 /// Algorithm results must be invariant under any vertex reordering
 /// (permuted appropriately) — the reordered graph is isomorphic.
@@ -31,8 +31,9 @@ fn pagerank_invariant_under_every_ordering() {
     for ord in orderings {
         let perm = ord.compute(&g);
         let h = perm.apply_graph(&g);
-        let pg = PreparedGraph::new(h, SystemProfile::graphgrind_like(EdgeOrder::Csr));
-        let (ranks, _) = pagerank(&pg, &cfg, &EdgeMapOptions::default());
+        let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+        let pg = PreparedGraph::builder(h).profile(profile).build().unwrap();
+        let (ranks, _) = pagerank(&Executor::new(profile), &pg, &cfg);
         for v in g.vertices() {
             let diff = (ranks[perm.new_id(v) as usize] - want[v as usize]).abs();
             assert!(diff < 1e-9, "{}: vertex {v} differs by {diff}", ord.name());
@@ -47,8 +48,9 @@ fn bfs_levels_invariant_under_vebo() {
     let want = bfs_reference(&g, src);
     let perm = Vebo::new(384).compute(&g);
     let h = perm.apply_graph(&g);
-    let pg = PreparedGraph::new(h, SystemProfile::polymer_like());
-    let (parents, _) = bfs(&pg, perm.new_id(src), &EdgeMapOptions::default());
+    let profile = SystemProfile::polymer_like();
+    let pg = PreparedGraph::builder(h).profile(profile).build().unwrap();
+    let (parents, _) = bfs(&Executor::new(profile), &pg, perm.new_id(src));
     let levels = levels_from_parents(&parents, perm.new_id(src));
     for v in g.vertices() {
         assert_eq!(
@@ -67,8 +69,9 @@ fn cc_labels_refine_identically_across_orderings() {
     let want = cc_reference(&g);
     let perm = Vebo::new(48).compute(&g);
     let h = perm.apply_graph(&g);
-    let pg = PreparedGraph::new(h, SystemProfile::ligra_like());
-    let (labels, _) = cc(&pg, &EdgeMapOptions::default());
+    let profile = SystemProfile::ligra_like();
+    let pg = PreparedGraph::builder(h).profile(profile).build().unwrap();
+    let (labels, _) = cc(&Executor::new(profile), &pg);
     for u in g.vertices() {
         for v in (u + 1..g.num_vertices() as u32).step_by(97) {
             let same_ref = want[u as usize] == want[v as usize];
@@ -100,8 +103,12 @@ fn every_algorithm_runs_with_exact_vebo_bounds() {
             } else {
                 h.clone()
             };
-            let pg = prepare_profile(g, system, starts.as_deref());
-            let report = run_algorithm(kind, &pg, &EdgeMapOptions::default());
+            let pg = PreparedGraph::builder(g)
+                .profile(system)
+                .vebo_starts(starts.as_deref())
+                .build()
+                .expect("VEBO boundaries are valid");
+            let report = run_algorithm(kind, &Executor::new(system), &pg);
             assert!(
                 report.total_edges() > 0,
                 "{} on {:?}",
@@ -122,7 +129,11 @@ fn vebo_bounds_balance_graphgrind_tasks() {
     let g = Dataset::TwitterLike.build(0.1);
     let (h, starts, _) = ordered_with_starts(&g, OrderingKind::Vebo, 48);
     let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr).with_partitions(48);
-    let pg = prepare_profile(h, profile, starts.as_deref());
+    let pg = PreparedGraph::builder(h)
+        .profile(profile)
+        .vebo_starts(starts.as_deref())
+        .build()
+        .expect("VEBO boundaries are valid");
     let coo = pg.coo().unwrap();
     let lens: Vec<usize> = (0..coo.num_partitions())
         .map(|p| coo.partition_len(p))
