@@ -1,0 +1,69 @@
+//! Criterion bench: `.vgr` reload — buffered streaming read vs the
+//! zero-copy memory-mapped loader — on an RMAT snapshot with >= 1M
+//! edges (the io-smoke job's graph size).
+//!
+//! Both paths pay the same validation scans and the same `O(n + m)`
+//! transpose that rebuilds the CSC; the mapped path skips the per-element
+//! decode loop and the offsets/targets/weights allocations entirely, so
+//! it must come out ahead — that delta is the "mmap-backed binary loads"
+//! constant factor the ROADMAP calls out.
+//!
+//! ```text
+//! cargo bench --bench io_reload
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use vebo_graph::gen::{rmat_graph, RmatConfig};
+use vebo_graph::io::{mmap_binary_graph, read_binary_graph, write_binary_graph};
+use vebo_graph::StorageKind;
+
+fn bench_io_reload(c: &mut Criterion) {
+    // scale 17, edge factor 10: ~1.2M arcs after dedup — the io-smoke
+    // snapshot size.
+    let cfg = RmatConfig {
+        scale: 17,
+        edge_factor: 10,
+        ..Default::default()
+    };
+    let g = rmat_graph(&cfg);
+    assert!(
+        g.num_edges() >= 1_000_000,
+        "bench graph must have >= 1M edges, has {}",
+        g.num_edges()
+    );
+    let path = std::env::temp_dir().join(format!("vebo-io-reload-{}.vgr", std::process::id()));
+    write_binary_graph(&g, std::fs::File::create(&path).unwrap()).unwrap();
+
+    // Sanity: both loaders agree, and the mapped one actually maps.
+    let buffered = read_binary_graph(std::fs::File::open(&path).unwrap()).unwrap();
+    let mapped = mmap_binary_graph(&path).unwrap();
+    assert_eq!(buffered.csr().targets(), mapped.csr().targets());
+    if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+        assert_eq!(mapped.storage_kind(), StorageKind::Mapped);
+    }
+    drop((buffered, mapped));
+
+    let mut group = c.benchmark_group("io_reload");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("buffered", |b| {
+        b.iter(|| {
+            let g = read_binary_graph(std::fs::File::open(&path).unwrap()).unwrap();
+            black_box(g.num_edges())
+        })
+    });
+    group.bench_function("mmap", |b| {
+        b.iter(|| {
+            let g = mmap_binary_graph(&path).unwrap();
+            black_box(g.num_edges())
+        })
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_io_reload);
+criterion_main!(benches);

@@ -8,6 +8,9 @@
 //! * `--cache <dir>` — cache generated datasets as binary `.vgr` files in
 //!   `dir`, so repeated harness runs reload instantly through the
 //!   streaming binary loader instead of regenerating;
+//! * `--mmap` — reload `.vgr` cache snapshots through the zero-copy
+//!   memory-mapped loader instead of the buffered reader (only
+//!   meaningful with `--cache`);
 //! * `--partitions <n>` — override the partition count;
 //! * `--threads <n>` — simulated machine threads (default 48);
 //! * `--parallel` — run engine tasks on the rayon pool instead of the
@@ -32,6 +35,8 @@ pub struct HarnessArgs {
     pub dataset: Option<Dataset>,
     /// `--cache`: directory for binary `.vgr` dataset snapshots.
     pub cache: Option<PathBuf>,
+    /// `--mmap`: reload cache snapshots via the zero-copy mapped loader.
+    pub mmap: bool,
     /// `--partitions`: partition count override.
     pub partitions: Option<usize>,
     /// `--threads`: simulated machine threads.
@@ -50,6 +55,7 @@ impl Default for HarnessArgs {
             scale_explicit: false,
             dataset: None,
             cache: None,
+            mmap: false,
             partitions: None,
             threads: 48,
             parallel: false,
@@ -115,6 +121,7 @@ impl HarnessArgs {
                         .parse()
                         .unwrap_or_else(|_| usage_exit(binary, description));
                 }
+                "--mmap" => out.mmap = true,
                 "--parallel" => out.parallel = true,
                 "--extended" => out.extended = true,
                 "--help" | "-h" => {
@@ -143,16 +150,21 @@ impl HarnessArgs {
 
     /// Builds (or reloads) `dataset` at `scale`, honoring `--cache`: with
     /// a cache directory, the first build is snapshotted as a binary
-    /// `.vgr` file and later runs stream it back instead of regenerating.
-    /// Generators are deterministic, so a cache hit is bit-identical to a
-    /// rebuild.
+    /// `.vgr` file and later runs stream it back instead of regenerating
+    /// (zero-copy memory-mapped when `--mmap` is set). Generators are
+    /// deterministic, so a cache hit is bit-identical to a rebuild.
     pub fn build_dataset(&self, dataset: Dataset, scale: f64) -> Graph {
         let Some(dir) = &self.cache else {
             return dataset.build(scale);
         };
         let path = dir.join(format!("{}-s{scale}.vgr", dataset.name()));
         if path.exists() {
-            match io::load_graph(&path, dataset.spec().directed, Some(Format::Binary)) {
+            let mode = if self.mmap {
+                io::LoadMode::Mmap
+            } else {
+                io::LoadMode::Buffered
+            };
+            match io::load_graph_with(&path, dataset.spec().directed, Some(Format::Binary), mode) {
                 Ok((g, _)) => return g,
                 Err(e) => eprintln!("warning: ignoring unreadable cache {}: {e}", path.display()),
             }
@@ -189,7 +201,7 @@ impl HarnessArgs {
 
 fn usage(binary: &str, description: &str) -> String {
     format!(
-        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --parallel       run engine tasks on the rayon pool\n  --extended       include extension orderings where supported\n  --help           this text",
+        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --mmap           reload .vgr cache snapshots via zero-copy mmap\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --parallel       run engine tasks on the rayon pool\n  --extended       include extension orderings where supported\n  --help           this text",
         Dataset::ALL.map(|d| d.name())
     )
 }
@@ -252,6 +264,27 @@ mod tests {
         // Without --cache, nothing new is written.
         let plain = parse(&[]).build_dataset(Dataset::YahooLike, 0.02);
         assert_eq!(plain.csr().targets(), fresh.csr().targets());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_cache_reload_matches_buffered() {
+        use vebo_graph::StorageKind;
+        let dir = std::env::temp_dir().join("vebo-bench-mmap-cache-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let buffered = parse(&["--cache", dir.to_str().unwrap()]);
+        let mapped = parse(&["--cache", dir.to_str().unwrap(), "--mmap"]);
+        assert!(mapped.mmap && !buffered.mmap);
+        // First call populates the cache (built graph: owned storage).
+        let first = buffered.build_dataset(Dataset::YahooLike, 0.02);
+        assert_eq!(first.storage_kind(), StorageKind::Owned);
+        // A --mmap reload is bit-identical and zero-copy where supported.
+        let remapped = mapped.build_dataset(Dataset::YahooLike, 0.02);
+        assert_eq!(first.csr().offsets(), remapped.csr().offsets());
+        assert_eq!(first.csr().targets(), remapped.csr().targets());
+        if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+            assert_eq!(remapped.storage_kind(), StorageKind::Mapped);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,6 +22,11 @@
 //! placement, scheduling, instrumentation) lives on [`crate::Executor`],
 //! whose [`crate::Executor::edge_map`] is the public entry point. The
 //! free [`edge_map`] function is a deprecated shim kept for one release.
+//!
+//! Every kernel is storage-agnostic: the CSR/CSC arrays are hoisted once
+//! per call as flat slices, so graphs whose sections are zero-copy views
+//! of a memory-mapped `.vgr` file (see `vebo_graph::storage`) traverse
+//! through exactly the same code as owned graphs, byte for byte.
 
 use crate::executor::TaskPolicy;
 use crate::frontier::Frontier;
@@ -254,6 +259,11 @@ fn dense_pull<O: EdgeOp>(
 ) -> Vec<TaskStats> {
     let g = pg.graph();
     let csc = g.csc();
+    // Flat storage-agnostic views, hoisted once per call: whether the
+    // arrays are owned vectors or zero-copy sections of a mapped `.vgr`
+    // file, the kernel below indexes plain slices.
+    let offsets = csc.offsets();
+    let targets = csc.targets();
     let weights = csc.raw_weights();
     let words = frontier.words();
     let tasks = pg.tasks();
@@ -265,12 +275,12 @@ fn dense_pull<O: EdgeOp>(
             if !op.cond(vid) {
                 continue;
             }
-            let base = csc.edge_start(vid);
             let mut activated = false;
-            for (k, &u) in csc.neighbors(vid).iter().enumerate() {
+            for e in offsets[v]..offsets[v + 1] {
+                let u = targets[e];
                 edges += 1;
                 if words[u as usize >> 6] >> (u as usize & 63) & 1 == 1 {
-                    let w = weights.map_or(1.0, |ws| ws[base + k]);
+                    let w = weights.map_or(1.0, |ws| ws[e]);
                     if op.update(u, vid, w) {
                         activated = true;
                     }
@@ -323,6 +333,9 @@ fn sparse_push<O: EdgeOp>(
 ) -> Vec<TaskStats> {
     let g = pg.graph();
     let csr = g.csr();
+    // Storage-agnostic flat views (owned or mapped), hoisted once.
+    let offsets = csr.offsets();
+    let targets = csr.targets();
     let weights = csr.raw_weights();
     let num_chunks = pg.num_tasks().min(active.len()).max(1);
     policy.run(num_chunks, |c| {
@@ -331,11 +344,11 @@ fn sparse_push<O: EdgeOp>(
         let mut edges = 0u64;
         let vertices = (hi - lo) as u64;
         for &u in &active[lo..hi] {
-            let base = csr.edge_start(u);
-            for (k, &v) in csr.neighbors(u).iter().enumerate() {
+            for e in offsets[u as usize]..offsets[u as usize + 1] {
+                let v = targets[e];
                 edges += 1;
                 if op.cond(v) {
-                    let w = weights.map_or(1.0, |ws| ws[base + k]);
+                    let w = weights.map_or(1.0, |ws| ws[e]);
                     if op.update_atomic(u, v, w) {
                         next.set(v as usize);
                     }

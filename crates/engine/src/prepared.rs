@@ -233,6 +233,16 @@ impl PreparedGraph {
         &self.graph
     }
 
+    /// The CSR storage backing of the underlying graph —
+    /// [`Mapped`](vebo_graph::StorageKind::Mapped) when the graph was
+    /// loaded zero-copy from a memory-mapped `.vgr` file. Preparation is
+    /// storage-agnostic: partition bounds, COO chunks, and sub-CSRs are
+    /// derived identically from owned and mapped graphs, and every
+    /// traversal kernel reads through flat slices either way.
+    pub fn storage_kind(&self) -> vebo_graph::StorageKind {
+        self.graph.storage_kind()
+    }
+
     /// The profile this graph was prepared for.
     pub fn profile(&self) -> &SystemProfile {
         &self.profile

@@ -78,8 +78,10 @@ where
     let next = AtomicBitset::new(n);
     let tasks = match frontier {
         Frontier::Dense { .. } => {
-            let dense = frontier.to_dense();
-            let words = dense.words().to_vec();
+            // Borrow the membership bits in place: the frontier is
+            // already dense in this arm, so no clone-and-copy is needed
+            // and the scan reads the caller's words directly.
+            let words = frontier.words();
             let bounds = pg.tasks();
             run(bounds.num_partitions(), policy, |t| {
                 let mut scanned = 0u64;

@@ -4,8 +4,16 @@
 //! by source (CSR, out-edges) and one indexed by destination (CSC,
 //! in-edges). Offsets are `usize` (one entry per vertex plus a sentinel) and
 //! neighbor ids are [`VertexId`] to keep the hot arrays compact.
+//!
+//! Each of the three flat arrays sits behind a
+//! [`GraphStorage`]: built graphs own their
+//! `Vec`s, graphs loaded through
+//! [`mmap_binary_graph`](crate::io::binary::mmap_binary_graph) borrow the
+//! mapped file zero-copy. All accessors return plain slices either way, so
+//! consumers never branch on the backing.
 
 use crate::par::{weighted_ranges, ParMode, SharedSlice};
+use crate::storage::{GraphStorage, StorageKind};
 use crate::types::{GraphError, VertexId};
 use rayon::prelude::*;
 
@@ -14,11 +22,14 @@ use rayon::prelude::*;
 ///
 /// Neighbor lists are sorted ascending by construction, which makes
 /// membership tests `O(log d)` and gives deterministic iteration order.
+///
+/// Equality is content equality: an owned and a mapped adjacency holding
+/// the same arrays compare equal.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Adjacency {
-    offsets: Vec<usize>,
-    targets: Vec<VertexId>,
-    weights: Option<Vec<f32>>,
+    offsets: GraphStorage<usize>,
+    targets: GraphStorage<VertexId>,
+    weights: Option<GraphStorage<f32>>,
 }
 
 impl Adjacency {
@@ -84,13 +95,8 @@ impl Adjacency {
             }
             cursor[v as usize] += 1;
         }
-        let mut adj = Adjacency {
-            offsets,
-            targets,
-            weights: out_weights,
-        };
-        adj.sort_neighbor_lists();
-        adj
+        sort_lists(&offsets, &mut targets, out_weights.as_deref_mut());
+        Adjacency::from_owned(offsets, targets, out_weights)
     }
 
     /// Parallel counting sort over *edge-range chunks*: each thread scans
@@ -170,13 +176,17 @@ impl Adjacency {
                     }
                 });
         }
-        let mut adj = Adjacency {
-            offsets,
-            targets,
-            weights: out_weights,
-        };
-        adj.sort_neighbor_lists_parallel();
-        adj
+        sort_lists_parallel(&offsets, &mut targets, out_weights.as_deref_mut());
+        Adjacency::from_owned(offsets, targets, out_weights)
+    }
+
+    /// Wraps already-built owned arrays without re-validating them.
+    fn from_owned(offsets: Vec<usize>, targets: Vec<VertexId>, weights: Option<Vec<f32>>) -> Self {
+        Adjacency {
+            offsets: offsets.into(),
+            targets: targets.into(),
+            weights: weights.map(Into::into),
+        }
     }
 
     /// Builds from parts the caller already proved consistent (private to
@@ -188,11 +198,7 @@ impl Adjacency {
         weights: Option<Vec<f32>>,
     ) -> Self {
         debug_assert_eq!(*offsets.last().unwrap(), targets.len());
-        Adjacency {
-            offsets,
-            targets,
-            weights,
-        }
+        Adjacency::from_owned(offsets, targets, weights)
     }
 
     /// Builds directly from raw CSR arrays. Validates the invariants.
@@ -201,38 +207,75 @@ impl Adjacency {
         targets: Vec<VertexId>,
         weights: Option<Vec<f32>>,
     ) -> Result<Self, GraphError> {
-        if offsets.is_empty() {
-            return Err(GraphError::OffsetsEdgeMismatch {
-                last_offset: 0,
-                num_edges: targets.len(),
-            });
-        }
-        for i in 1..offsets.len() {
-            if offsets[i] < offsets[i - 1] {
-                return Err(GraphError::NonMonotonicOffsets { index: i });
+        Self::from_storage(offsets.into(), targets.into(), weights.map(Into::into))
+    }
+
+    /// Builds from CSR sections in any [`GraphStorage`] backing (the
+    /// mmap loader hands in mapped sections here), validating the same
+    /// invariants as [`Adjacency::from_raw`]: monotonic offsets
+    /// terminating at the edge count, every target in range, one weight
+    /// per edge.
+    pub fn from_storage(
+        offsets: GraphStorage<usize>,
+        targets: GraphStorage<VertexId>,
+        weights: Option<GraphStorage<f32>>,
+    ) -> Result<Self, GraphError> {
+        {
+            let off = offsets.as_slice();
+            let tgt = targets.as_slice();
+            if off.is_empty() {
+                return Err(GraphError::OffsetsEdgeMismatch {
+                    last_offset: 0,
+                    num_edges: tgt.len(),
+                });
             }
-        }
-        if *offsets.last().unwrap() != targets.len() {
-            return Err(GraphError::OffsetsEdgeMismatch {
-                last_offset: *offsets.last().unwrap(),
-                num_edges: targets.len(),
-            });
-        }
-        let n = offsets.len() - 1;
-        if let Some(&bad) = targets.iter().find(|&&t| (t as usize) >= n) {
-            return Err(GraphError::VertexOutOfRange {
-                vertex: bad as u64,
-                num_vertices: n,
-            });
-        }
-        if let Some(w) = &weights {
-            assert_eq!(w.len(), targets.len(), "one weight per edge required");
+            for i in 1..off.len() {
+                if off[i] < off[i - 1] {
+                    return Err(GraphError::NonMonotonicOffsets { index: i });
+                }
+            }
+            if *off.last().unwrap() != tgt.len() {
+                return Err(GraphError::OffsetsEdgeMismatch {
+                    last_offset: *off.last().unwrap(),
+                    num_edges: tgt.len(),
+                });
+            }
+            let n = off.len() - 1;
+            if let Some(&bad) = tgt.iter().find(|&&t| (t as usize) >= n) {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: bad as u64,
+                    num_vertices: n,
+                });
+            }
+            if let Some(w) = &weights {
+                assert_eq!(
+                    w.as_slice().len(),
+                    tgt.len(),
+                    "one weight per edge required"
+                );
+            }
         }
         Ok(Adjacency {
             offsets,
             targets,
             weights,
         })
+    }
+
+    /// The backing kind: [`StorageKind::Mapped`] when any section is a
+    /// zero-copy view of a mapped file.
+    pub fn storage_kind(&self) -> StorageKind {
+        let mapped = self.offsets.kind() == StorageKind::Mapped
+            || self.targets.kind() == StorageKind::Mapped
+            || self
+                .weights
+                .as_ref()
+                .is_some_and(|w| w.kind() == StorageKind::Mapped);
+        if mapped {
+            StorageKind::Mapped
+        } else {
+            StorageKind::Owned
+        }
     }
 
     /// Number of vertices.
@@ -282,13 +325,13 @@ impl Adjacency {
     /// The raw offsets array (length `n + 1`).
     #[inline]
     pub fn offsets(&self) -> &[usize] {
-        &self.offsets
+        self.offsets.as_slice()
     }
 
     /// The flat neighbor array (length `m`).
     #[inline]
     pub fn targets(&self) -> &[VertexId] {
-        &self.targets
+        self.targets.as_slice()
     }
 
     /// The flat weight array, if present.
@@ -321,7 +364,7 @@ impl Adjacency {
     fn transpose_sequential(&self) -> Adjacency {
         let n = self.num_vertices();
         let mut offsets = vec![0usize; n + 1];
-        for &t in &self.targets {
+        for &t in self.targets.iter() {
             offsets[t as usize + 1] += 1;
         }
         for i in 1..offsets.len() {
@@ -346,11 +389,7 @@ impl Adjacency {
         }
         // Sources are visited in ascending order, so each transposed
         // neighbor list is already sorted: no extra sort needed.
-        Adjacency {
-            offsets,
-            targets,
-            weights,
-        }
+        Adjacency::from_owned(offsets, targets, weights)
     }
 
     /// Parallel transpose with the same edge-chunked structure as the
@@ -428,11 +467,7 @@ impl Adjacency {
                     }
                 });
         }
-        Adjacency {
-            offsets,
-            targets,
-            weights,
-        }
+        Adjacency::from_owned(offsets, targets, weights)
     }
 
     /// Attaches weights computed per edge as `f(index_vertex, neighbor)`.
@@ -444,7 +479,7 @@ impl Adjacency {
                 w[base + k] = f(v, t);
             }
         }
-        self.weights = Some(w);
+        self.weights = Some(w.into());
         self
     }
 
@@ -453,57 +488,59 @@ impl Adjacency {
         (0..self.num_vertices() as VertexId)
             .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
     }
+}
 
-    fn sort_neighbor_lists(&mut self) {
-        let n = self.num_vertices();
-        match &mut self.weights {
-            None => {
-                for v in 0..n {
-                    self.targets[self.offsets[v]..self.offsets[v + 1]].sort_unstable();
-                }
+/// Sorts every neighbor list ascending, in place, keeping an optional
+/// weight array parallel. Runs on the owned arrays before they are
+/// wrapped into their [`GraphStorage`] backing.
+fn sort_lists(offsets: &[usize], targets: &mut [VertexId], weights: Option<&mut [f32]>) {
+    let n = offsets.len() - 1;
+    match weights {
+        None => {
+            for v in 0..n {
+                targets[offsets[v]..offsets[v + 1]].sort_unstable();
             }
-            Some(w) => {
-                for v in 0..n {
-                    let range = self.offsets[v]..self.offsets[v + 1];
-                    sort_weighted_list(&mut self.targets[range.clone()], &mut w[range]);
-                }
+        }
+        Some(w) => {
+            for v in 0..n {
+                let range = offsets[v]..offsets[v + 1];
+                sort_weighted_list(&mut targets[range.clone()], &mut w[range]);
             }
         }
     }
+}
 
-    /// Per-vertex list sort over edge-balanced vertex ranges. Each list is
-    /// touched by exactly one thread, and the sort is the same algorithm
-    /// as the sequential path, so results are identical.
-    fn sort_neighbor_lists_parallel(&mut self) {
-        let ranges = weighted_ranges(&self.offsets, rayon::current_num_threads());
-        let offsets = &self.offsets;
-        match &mut self.weights {
-            None => {
-                let tshared = SharedSlice::new(&mut self.targets);
-                let ranges = &ranges;
-                (0..ranges.len()).into_par_iter().for_each(|ri| {
-                    for v in ranges[ri].clone() {
-                        // SAFETY: vertex ranges are disjoint, so the edge
-                        // ranges [offsets[v], offsets[v+1]) are too.
-                        let list = unsafe { tshared.slice_mut(offsets[v], offsets[v + 1]) };
-                        list.sort_unstable();
-                    }
-                });
-            }
-            Some(w) => {
-                let tshared = SharedSlice::new(&mut self.targets);
-                let wshared = SharedSlice::new(w.as_mut_slice());
-                let ranges = &ranges;
-                (0..ranges.len()).into_par_iter().for_each(|ri| {
-                    for v in ranges[ri].clone() {
-                        // SAFETY: as above; targets and weights share the
-                        // same disjoint edge ranges.
-                        let list = unsafe { tshared.slice_mut(offsets[v], offsets[v + 1]) };
-                        let wts = unsafe { wshared.slice_mut(offsets[v], offsets[v + 1]) };
-                        sort_weighted_list(list, wts);
-                    }
-                });
-            }
+/// Per-vertex list sort over edge-balanced vertex ranges. Each list is
+/// touched by exactly one thread, and the sort is the same algorithm
+/// as the sequential path, so results are identical.
+fn sort_lists_parallel(offsets: &[usize], targets: &mut [VertexId], weights: Option<&mut [f32]>) {
+    let ranges = weighted_ranges(offsets, rayon::current_num_threads());
+    match weights {
+        None => {
+            let tshared = SharedSlice::new(targets);
+            let ranges = &ranges;
+            (0..ranges.len()).into_par_iter().for_each(|ri| {
+                for v in ranges[ri].clone() {
+                    // SAFETY: vertex ranges are disjoint, so the edge
+                    // ranges [offsets[v], offsets[v+1]) are too.
+                    let list = unsafe { tshared.slice_mut(offsets[v], offsets[v + 1]) };
+                    list.sort_unstable();
+                }
+            });
+        }
+        Some(w) => {
+            let tshared = SharedSlice::new(targets);
+            let wshared = SharedSlice::new(w);
+            let ranges = &ranges;
+            (0..ranges.len()).into_par_iter().for_each(|ri| {
+                for v in ranges[ri].clone() {
+                    // SAFETY: as above; targets and weights share the
+                    // same disjoint edge ranges.
+                    let list = unsafe { tshared.slice_mut(offsets[v], offsets[v + 1]) };
+                    let wts = unsafe { wshared.slice_mut(offsets[v], offsets[v + 1]) };
+                    sort_weighted_list(list, wts);
+                }
+            });
         }
     }
 }

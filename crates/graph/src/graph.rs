@@ -202,6 +202,16 @@ impl Graph {
         self.out.has_weights()
     }
 
+    /// The CSR's storage backing:
+    /// [`Mapped`](crate::storage::StorageKind::Mapped) when the graph was
+    /// loaded zero-copy from a memory-mapped `.vgr` file. The CSC half is
+    /// always rebuilt into owned storage on load, so the CSR is what
+    /// determines whether the graph borrows a mapping.
+    #[inline]
+    pub fn storage_kind(&self) -> crate::storage::StorageKind {
+        self.out.storage_kind()
+    }
+
     /// The transposed graph: every arc `(u, v)` becomes `(v, u)`. Since a
     /// [`Graph`] stores both directions, this is a cheap swap of the two
     /// adjacency halves. Used by algorithms with a backward dependency

@@ -1,44 +1,156 @@
 //! The versioned binary CSR on-disk format (`.vgr`).
 //!
-//! Layout (all integers little-endian):
+//! Version 2 layout (all integers little-endian, every section start
+//! 8-byte aligned so the file can be memory-mapped and used in place):
 //!
 //! ```text
 //! offset  size        field
 //! 0       4           magic  "VGR\0"
-//! 4       4           version (currently 1)
+//! 4       4           version (currently 2)
 //! 8       4           flags   (bit 0: directed, bit 1: per-edge weights)
 //! 12      8           n       (vertex count)
 //! 20      8           m       (stored arc count)
-//! 28      (n+1) * 8   CSR offsets
+//! 28      4           reserved (zero)
+//! 32      (n+1) * 8   CSR offsets (u64)
 //! ...     m * 4       CSR targets (VertexId)
+//! ...     0..7        zero padding to the next 8-byte boundary
+//!                     (only present when weights follow)
 //! ...     m * 4       CSR weights (f32, only when bit 1 of flags is set)
 //! ```
 //!
+//! Version 1 files (28-byte header, no alignment padding) remain fully
+//! readable; their `u64` offsets section starts at byte 28 and is only
+//! 4-byte aligned, so the mmap loader copies it instead of borrowing it
+//! (see [`mmap_binary_graph`]).
+//!
 //! Only the out-direction (CSR) is stored; the CSC half is rebuilt by the
-//! `O(n + m)` parallel transpose on load. Reads and writes go through
-//! bounded scratch buffers, so peak transient memory is a fixed buffer
-//! plus the output arrays — the file is never slurped whole.
+//! `O(n + m)` parallel transpose on load. Two load paths exist:
+//!
+//! * [`read_binary_graph`] — streams through bounded scratch buffers into
+//!   owned arrays (peak transient memory is a fixed buffer plus the
+//!   output arrays; the file is never slurped whole);
+//! * [`mmap_binary_graph`] — maps the file and hands the offsets/targets/
+//!   weights sections to the graph zero-copy when the platform and layout
+//!   allow (little-endian 64-bit host, version-2 alignment), falling back
+//!   to a copy per section otherwise. Both paths validate identically and
+//!   produce graphs that compare equal.
 
 use crate::adjacency::Adjacency;
 use crate::graph::Graph;
+use crate::storage::{GraphStorage, MappedSlice, Mmap, Pod};
 use crate::types::{GraphError, VertexId};
 use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
 
 /// The four magic bytes every `.vgr` file starts with.
 pub const BINARY_MAGIC: [u8; 4] = *b"VGR\0";
 
-/// The current format version.
-pub const BINARY_VERSION: u32 = 1;
+/// The current format version (written by [`write_binary_graph`]).
+pub const BINARY_VERSION: u32 = 2;
+
+/// The legacy unaligned format version (still readable; writable through
+/// [`write_binary_graph_versioned`] for compatibility testing).
+pub const BINARY_VERSION_V1: u32 = 1;
 
 const FLAG_DIRECTED: u32 = 1 << 0;
 const FLAG_WEIGHTS: u32 = 1 << 1;
-const HEADER_LEN: usize = 28;
+/// Version-1 header length (bytes).
+const V1_HEADER_LEN: usize = 28;
+/// Version-2 header length (bytes): v1 plus 4 reserved bytes, sized so
+/// the offsets section starts 8-byte aligned.
+const V2_HEADER_LEN: usize = 32;
+/// Alignment every v2 section start is padded to.
+const SECTION_ALIGN: usize = 8;
 
 /// Entries converted per scratch buffer while copying arrays.
 const COPY_CHUNK: usize = 1 << 16;
 
-/// Writes `g` in the binary CSR format.
+/// Byte positions of every section of one `.vgr` file, derived from its
+/// header. Shared by the streaming reader, the mmap loader, and the
+/// writer so the three can never disagree about where a section lives.
+#[derive(Clone, Copy, Debug)]
+struct Layout {
+    directed: bool,
+    weighted: bool,
+    offsets_start: usize,
+    targets_start: usize,
+    /// Zero bytes between the end of targets and the weights section
+    /// (v2 alignment padding; 0 for v1 or unweighted files).
+    pad_len: usize,
+    /// Start of the weights section (meaningful only when `weighted`).
+    weights_start: usize,
+    /// Total file length implied by the header.
+    total_len: usize,
+}
+
+fn overflow() -> GraphError {
+    GraphError::Parse {
+        line: 0,
+        message: "binary section sizes overflow".into(),
+    }
+}
+
+impl Layout {
+    fn new(version: u32, flags: u32, n: usize, m: usize) -> Result<Layout, GraphError> {
+        let weighted = flags & FLAG_WEIGHTS != 0;
+        let header = if version >= 2 {
+            V2_HEADER_LEN
+        } else {
+            V1_HEADER_LEN
+        };
+        let off_bytes = n
+            .checked_add(1)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or_else(overflow)?;
+        let tgt_bytes = m.checked_mul(4).ok_or_else(overflow)?;
+        let targets_start = header.checked_add(off_bytes).ok_or_else(overflow)?;
+        let targets_end = targets_start.checked_add(tgt_bytes).ok_or_else(overflow)?;
+        let (pad_len, weights_start, total_len) = if weighted {
+            let ws = if version >= 2 {
+                targets_end
+                    .checked_next_multiple_of(SECTION_ALIGN)
+                    .ok_or_else(overflow)?
+            } else {
+                targets_end
+            };
+            (
+                ws - targets_end,
+                ws,
+                ws.checked_add(tgt_bytes).ok_or_else(overflow)?,
+            )
+        } else {
+            (0, targets_end, targets_end)
+        };
+        Ok(Layout {
+            directed: flags & FLAG_DIRECTED != 0,
+            weighted,
+            offsets_start: header,
+            targets_start,
+            pad_len,
+            weights_start,
+            total_len,
+        })
+    }
+}
+
+/// Writes `g` in the current (version 2, aligned) binary CSR format.
 pub fn write_binary_graph<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
+    write_binary_graph_versioned(g, w, BINARY_VERSION)
+}
+
+/// Writes `g` in an explicit format version: [`BINARY_VERSION`] (the
+/// aligned, mmap-friendly layout) or [`BINARY_VERSION_V1`] (the legacy
+/// packed layout, kept writable so compatibility with old readers — and
+/// the loader's unaligned fallback path — stays testable).
+pub fn write_binary_graph_versioned<W: Write>(
+    g: &Graph,
+    w: W,
+    version: u32,
+) -> Result<(), GraphError> {
+    if version != BINARY_VERSION && version != BINARY_VERSION_V1 {
+        return Err(GraphError::UnsupportedVersion { version });
+    }
     let mut w = BufWriter::new(w);
     let csr = g.csr();
     let mut flags = 0u32;
@@ -48,12 +160,14 @@ pub fn write_binary_graph<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
     if csr.has_weights() {
         flags |= FLAG_WEIGHTS;
     }
-    let mut header = Vec::with_capacity(HEADER_LEN);
+    let lay = Layout::new(version, flags, g.num_vertices(), g.num_edges())?;
+    let mut header = Vec::with_capacity(lay.offsets_start);
     header.extend_from_slice(&BINARY_MAGIC);
-    header.extend_from_slice(&BINARY_VERSION.to_le_bytes());
+    header.extend_from_slice(&version.to_le_bytes());
     header.extend_from_slice(&flags.to_le_bytes());
     header.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
     header.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    header.resize(lay.offsets_start, 0); // v2 reserved bytes
     w.write_all(&header)?;
     let mut buf: Vec<u8> = Vec::with_capacity(COPY_CHUNK * 8);
     for chunk in csr.offsets().chunks(COPY_CHUNK) {
@@ -71,6 +185,7 @@ pub fn write_binary_graph<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
         w.write_all(&buf)?;
     }
     if let Some(weights) = csr.raw_weights() {
+        w.write_all(&vec![0u8; lay.pad_len])?;
         for chunk in weights.chunks(COPY_CHUNK) {
             buf.clear();
             for &x in chunk {
@@ -147,18 +262,15 @@ impl<R: Read> SectionReader<R> {
     }
 }
 
-/// Reads a binary CSR graph. Directedness and weights come from the
-/// stored header flags.
-pub fn read_binary_graph<R: Read>(r: R) -> Result<Graph, GraphError> {
-    let mut r = SectionReader { inner: r };
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header, "header", HEADER_LEN, 0)?;
+/// Validates the fixed header fields and derives the section layout.
+/// `header` must hold at least [`V1_HEADER_LEN`] bytes.
+fn parse_header(header: &[u8]) -> Result<(u32, u32, usize, usize), GraphError> {
     if header[..4] != BINARY_MAGIC {
         return Err(GraphError::BadMagic);
     }
     let word = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().unwrap());
     let version = word(4);
-    if version != BINARY_VERSION {
+    if version != BINARY_VERSION && version != BINARY_VERSION_V1 {
         return Err(GraphError::UnsupportedVersion { version });
     }
     let flags = word(8);
@@ -169,22 +281,66 @@ pub fn read_binary_graph<R: Read>(r: R) -> Result<Graph, GraphError> {
         });
     }
     let long = |i: usize| u64::from_le_bytes(header[i..i + 8].try_into().unwrap());
-    let n = usize::try_from(long(12)).map_err(|_| GraphError::Parse {
+    let count = |i: usize, what: &str| {
+        usize::try_from(long(i)).map_err(|_| GraphError::Parse {
+            line: 0,
+            message: format!("{what} count exceeds platform usize"),
+        })
+    };
+    let n = count(12, "vertex")?;
+    let m = count(20, "edge")?;
+    Ok((version, flags, n, m))
+}
+
+fn nonzero_reserved() -> GraphError {
+    GraphError::Parse {
         line: 0,
-        message: "vertex count exceeds platform usize".into(),
-    })?;
-    let m = usize::try_from(long(20)).map_err(|_| GraphError::Parse {
+        message: "nonzero reserved header bytes".into(),
+    }
+}
+
+fn nonzero_padding() -> GraphError {
+    GraphError::Parse {
         line: 0,
-        message: "edge count exceeds platform usize".into(),
-    })?;
-    let num_offsets = n.checked_add(1).ok_or(GraphError::Parse {
+        message: "nonzero alignment padding".into(),
+    }
+}
+
+fn trailing_bytes() -> GraphError {
+    GraphError::Parse {
         line: 0,
-        message: "vertex count exceeds platform usize".into(),
-    })?;
+        message: "trailing bytes after binary graph data".into(),
+    }
+}
+
+/// Reads a binary CSR graph (version 1 or 2) through bounded buffers into
+/// owned storage. Directedness and weights come from the stored header
+/// flags.
+pub fn read_binary_graph<R: Read>(r: R) -> Result<Graph, GraphError> {
+    let mut r = SectionReader { inner: r };
+    let mut header = [0u8; V1_HEADER_LEN];
+    r.read_exact(&mut header, "header", V1_HEADER_LEN, 0)?;
+    let (version, flags, n, m) = parse_header(&header)?;
+    if version >= 2 {
+        let mut reserved = [0u8; V2_HEADER_LEN - V1_HEADER_LEN];
+        r.read_exact(&mut reserved, "header", V2_HEADER_LEN, V1_HEADER_LEN)?;
+        if reserved != [0u8; V2_HEADER_LEN - V1_HEADER_LEN] {
+            return Err(nonzero_reserved());
+        }
+    }
+    let lay = Layout::new(version, flags, n, m)?;
+    let num_offsets = n.checked_add(1).ok_or_else(overflow)?;
     let offsets: Vec<usize> =
         r.read_values::<_, 8>(num_offsets, "offsets", |b| u64::from_le_bytes(b) as usize)?;
     let targets: Vec<VertexId> = r.read_values::<_, 4>(m, "targets", u32::from_le_bytes)?;
-    let weights = if flags & FLAG_WEIGHTS != 0 {
+    let weights = if lay.weighted {
+        if lay.pad_len > 0 {
+            let mut pad = [0u8; SECTION_ALIGN];
+            r.read_exact(&mut pad[..lay.pad_len], "padding", lay.pad_len, 0)?;
+            if pad.iter().any(|&b| b != 0) {
+                return Err(nonzero_padding());
+            }
+        }
         Some(r.read_values::<_, 4>(m, "weights", f32::from_le_bytes)?)
     } else {
         None
@@ -193,27 +349,171 @@ pub fn read_binary_graph<R: Read>(r: R) -> Result<Graph, GraphError> {
     loop {
         match r.inner.read(&mut trailing) {
             Ok(0) => break,
-            Ok(_) => {
-                return Err(GraphError::Parse {
-                    line: 0,
-                    message: "trailing bytes after binary graph data".into(),
-                });
-            }
+            Ok(_) => return Err(trailing_bytes()),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e.into()),
         }
     }
     let out = Adjacency::from_raw(offsets, targets, weights)?;
     let into = out.transpose();
-    Graph::from_parts(out, into, flags & FLAG_DIRECTED != 0)
+    Graph::from_parts(out, into, lay.directed)
+}
+
+/// Whether mapped file sections may be borrowed in place on this host:
+/// the format is little-endian and `usize` offsets are stored as `u64`,
+/// so zero-copy needs a little-endian 64-bit target — and a real
+/// `mmap(2)` underneath ([`Mmap::is_zero_copy`]); the read-to-buffer
+/// `Mmap` fallback makes no alignment promise, so those hosts always
+/// copy (and correctly report [`crate::StorageKind::Owned`]).
+fn host_supports_zero_copy() -> bool {
+    cfg!(all(target_endian = "little", target_pointer_width = "64")) && Mmap::is_zero_copy()
+}
+
+/// Decodes `count` `W`-byte little-endian values out of a mapped byte
+/// range — the fallback copy path for sections that cannot be borrowed.
+fn copy_section<T, const W: usize>(
+    bytes: &[u8],
+    start: usize,
+    count: usize,
+    decode: impl Fn([u8; W]) -> T,
+) -> Vec<T> {
+    bytes[start..start + count * W]
+        .chunks_exact(W)
+        .map(|c| decode(c.try_into().expect("chunks_exact yields W bytes")))
+        .collect()
+}
+
+/// Borrows a section zero-copy when the host and alignment allow,
+/// otherwise copies it into owned storage.
+fn map_section<T: Pod, const W: usize>(
+    map: &Arc<Mmap>,
+    start: usize,
+    count: usize,
+    zero_copy: bool,
+    decode: impl Fn([u8; W]) -> T,
+) -> GraphStorage<T> {
+    if zero_copy {
+        // Borrowing reinterprets W on-disk bytes as one T in place, so it
+        // is only meaningful when the two widths agree (on 32-bit hosts
+        // `usize` != the stored u64 width and `zero_copy` is never set —
+        // the decode fallback below handles the narrowing instead).
+        debug_assert_eq!(std::mem::size_of::<T>(), W);
+        if let Some(view) = MappedSlice::<T>::try_new(Arc::clone(map), start, count) {
+            return GraphStorage::Mapped(view);
+        }
+    }
+    copy_section(map.as_bytes(), start, count, decode).into()
+}
+
+/// Memory-maps a `.vgr` file and builds the graph from it.
+///
+/// On little-endian 64-bit hosts reading a version-2 (aligned) file, the
+/// offsets, targets, and weights arrays are *borrowed from the mapping*
+/// — zero bytes copied, the kernel pages them in on demand — and the
+/// returned graph's CSR reports
+/// [`StorageKind::Mapped`](crate::storage::StorageKind). Version-1 files
+/// (whose offsets are only 4-byte aligned), 32-bit hosts, and big-endian
+/// hosts transparently fall back to copying each affected section; the
+/// result is identical either way. The CSC half is always rebuilt (owned)
+/// by the parallel transpose, exactly as the streaming reader does.
+///
+/// Validation matches [`read_binary_graph`] section for section: bad
+/// magic, unsupported versions, unknown flags, nonzero reserved/padding
+/// bytes, section-precise [`GraphError::TruncatedBinary`] when the file
+/// is shorter than its header promises, and trailing-byte detection.
+pub fn mmap_binary_graph(path: impl AsRef<Path>) -> Result<Graph, GraphError> {
+    graph_from_map(Arc::new(Mmap::map_path(path)?))
+}
+
+/// The mmap loader body, testable on any prebuilt mapping.
+fn graph_from_map(map: Arc<Mmap>) -> Result<Graph, GraphError> {
+    let bytes = map.as_bytes();
+    let truncated =
+        |section: &'static str, expected: usize, start: usize| GraphError::TruncatedBinary {
+            section,
+            expected_bytes: expected,
+            found_bytes: bytes.len().saturating_sub(start),
+        };
+    if bytes.len() < V1_HEADER_LEN {
+        return Err(truncated("header", V1_HEADER_LEN, 0));
+    }
+    let (version, flags, n, m) = parse_header(bytes)?;
+    if version >= 2 {
+        if bytes.len() < V2_HEADER_LEN {
+            return Err(truncated("header", V2_HEADER_LEN, 0));
+        }
+        if bytes[V1_HEADER_LEN..V2_HEADER_LEN].iter().any(|&b| b != 0) {
+            return Err(nonzero_reserved());
+        }
+    }
+    let lay = Layout::new(version, flags, n, m)?;
+    let num_offsets = n.checked_add(1).ok_or_else(overflow)?;
+    // Section-precise truncation checks, in file order.
+    if bytes.len() < lay.targets_start {
+        return Err(truncated("offsets", num_offsets * 8, lay.offsets_start));
+    }
+    if bytes.len() < lay.targets_start + m * 4 {
+        return Err(truncated("targets", m * 4, lay.targets_start));
+    }
+    if lay.weighted {
+        if bytes.len() < lay.weights_start {
+            return Err(truncated("padding", lay.pad_len, lay.targets_start + m * 4));
+        }
+        if bytes[lay.targets_start + m * 4..lay.weights_start]
+            .iter()
+            .any(|&b| b != 0)
+        {
+            return Err(nonzero_padding());
+        }
+        if bytes.len() < lay.total_len {
+            return Err(truncated("weights", m * 4, lay.weights_start));
+        }
+    }
+    if bytes.len() > lay.total_len {
+        return Err(trailing_bytes());
+    }
+    // Version 1 packs the u64 offsets at byte 28 — 4-byte aligned only —
+    // so only the aligned v2 layout is eligible for borrowing.
+    let zero_copy = host_supports_zero_copy() && version >= 2;
+    let offsets: GraphStorage<usize> =
+        map_section::<usize, 8>(&map, lay.offsets_start, num_offsets, zero_copy, |b| {
+            u64::from_le_bytes(b) as usize
+        });
+    let targets: GraphStorage<VertexId> =
+        map_section::<VertexId, 4>(&map, lay.targets_start, m, zero_copy, u32::from_le_bytes);
+    let weights: Option<GraphStorage<f32>> = lay
+        .weighted
+        .then(|| map_section::<f32, 4>(&map, lay.weights_start, m, zero_copy, f32::from_le_bytes));
+    let out = Adjacency::from_storage(offsets, targets, weights)?;
+    let into = out.transpose();
+    Graph::from_parts(out, into, lay.directed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::StorageKind;
 
     fn sample() -> Graph {
         Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (3, 4), (4, 0)], true)
+    }
+
+    fn temp_vgr(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("vebo-binary-{name}-{}.vgr", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    /// Runs `f` on both load paths (buffered read and mmap through a temp
+    /// file) and asserts they produce the same outcome.
+    fn both_paths(name: &str, bytes: &[u8]) -> [Result<Graph, GraphError>; 2] {
+        let buffered = read_binary_graph(bytes);
+        let path = temp_vgr(name, bytes);
+        let mapped = mmap_binary_graph(&path);
+        std::fs::remove_file(&path).ok();
+        [buffered, mapped]
     }
 
     #[test]
@@ -221,11 +521,86 @@ mod tests {
         let g = sample();
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
-        let h = read_binary_graph(&buf[..]).unwrap();
-        assert_eq!(g.csr().offsets(), h.csr().offsets());
+        for h in both_paths("roundtrip", &buf) {
+            let h = h.unwrap();
+            assert_eq!(g.csr().offsets(), h.csr().offsets());
+            assert_eq!(g.csr().targets(), h.csr().targets());
+            assert_eq!(g.csc().offsets(), h.csc().offsets());
+            assert_eq!(g.is_directed(), h.is_directed());
+        }
+    }
+
+    #[test]
+    fn v2_sections_are_aligned() {
+        let g = sample().with_hash_weights(8);
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 5, 5).unwrap();
+        assert_eq!(lay.offsets_start % 8, 0);
+        assert_eq!(lay.targets_start % 8, 0);
+        assert_eq!(lay.weights_start % 8, 0);
+        assert_eq!(buf.len(), lay.total_len);
+    }
+
+    #[test]
+    fn v1_files_remain_readable() {
+        let g = sample();
+        let mut v1 = Vec::new();
+        write_binary_graph_versioned(&g, &mut v1, BINARY_VERSION_V1).unwrap();
+        assert_eq!(&v1[4..8], &1u32.to_le_bytes());
+        for h in both_paths("v1compat", &v1) {
+            let h = h.unwrap();
+            assert_eq!(g.csr().offsets(), h.csr().offsets());
+            assert_eq!(g.csr().targets(), h.csr().targets());
+        }
+    }
+
+    #[test]
+    fn v1_weighted_files_remain_readable() {
+        let g =
+            Graph::from_edges_weighted(3, &[(0, 1), (1, 2), (2, 0)], Some(&[0.5, 1.5, 2.5]), true);
+        let mut v1 = Vec::new();
+        write_binary_graph_versioned(&g, &mut v1, BINARY_VERSION_V1).unwrap();
+        for h in both_paths("v1weights", &v1) {
+            let h = h.unwrap();
+            assert_eq!(g.csr().raw_weights(), h.csr().raw_weights());
+            // v1 is unaligned, so even the mmap path must report owned.
+            assert_eq!(h.storage_kind(), StorageKind::Owned);
+        }
+    }
+
+    #[test]
+    fn mmap_of_v2_is_zero_copy_on_supported_hosts() {
+        let g = sample().with_hash_weights(4);
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let path = temp_vgr("zerocopy", &buf);
+        let h = mmap_binary_graph(&path).unwrap();
+        if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+            assert_eq!(h.csr().storage_kind(), StorageKind::Mapped);
+        } else {
+            assert_eq!(h.csr().storage_kind(), StorageKind::Owned);
+        }
+        // The CSC is always rebuilt into owned storage.
+        assert_eq!(h.csc().storage_kind(), StorageKind::Owned);
         assert_eq!(g.csr().targets(), h.csr().targets());
-        assert_eq!(g.csc().offsets(), h.csc().offsets());
-        assert_eq!(g.is_directed(), h.is_directed());
+        assert_eq!(g.csr().raw_weights(), h.csr().raw_weights());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_graph_outlives_source_file_handle() {
+        // Deleting the path after mapping must not invalidate the data
+        // (POSIX keeps mapped pages alive until munmap).
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let path = temp_vgr("unlink", &buf);
+        let h = mmap_binary_graph(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.csr().targets(), h.csr().targets());
+        let i = h.clone(); // cheap Arc bump for mapped sections
+        assert_eq!(i.csr().offsets(), g.csr().offsets());
     }
 
     #[test]
@@ -233,10 +608,12 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], false);
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
-        let h = read_binary_graph(&buf[..]).unwrap();
-        assert!(!h.is_directed());
-        assert_eq!(g.csr().offsets(), h.csr().offsets());
-        assert_eq!(g.csr().targets(), h.csr().targets());
+        for h in both_paths("undirected", &buf) {
+            let h = h.unwrap();
+            assert!(!h.is_directed());
+            assert_eq!(g.csr().offsets(), h.csr().offsets());
+            assert_eq!(g.csr().targets(), h.csr().targets());
+        }
     }
 
     #[test]
@@ -245,15 +622,32 @@ mod tests {
             Graph::from_edges_weighted(3, &[(0, 1), (1, 2), (2, 0)], Some(&[0.5, 1.5, 2.5]), true);
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
-        let h = read_binary_graph(&buf[..]).unwrap();
-        assert_eq!(g.csr().raw_weights(), h.csr().raw_weights());
+        for h in both_paths("weighted", &buf) {
+            assert_eq!(g.csr().raw_weights(), h.unwrap().csr().raw_weights());
+        }
+    }
+
+    #[test]
+    fn roundtrip_odd_edge_count_pads_weights() {
+        // 3 edges: targets end 4-mod-8 aligned, so v2 inserts 4 zero
+        // bytes before the weights section.
+        let g =
+            Graph::from_edges_weighted(3, &[(0, 1), (1, 2), (2, 0)], Some(&[9.0, 8.0, 7.0]), true);
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 3, 3).unwrap();
+        assert_eq!(lay.pad_len, 4);
+        for h in both_paths("oddpad", &buf) {
+            assert_eq!(g.csr().raw_weights(), h.unwrap().csr().raw_weights());
+        }
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let err = read_binary_graph(&b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0"[..])
-            .unwrap_err();
-        assert_eq!(err, GraphError::BadMagic);
+        let bytes = b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0";
+        for err in both_paths("badmagic", &bytes[..]) {
+            assert_eq!(err.unwrap_err(), GraphError::BadMagic);
+        }
     }
 
     #[test]
@@ -262,42 +656,106 @@ mod tests {
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
         buf[4] = 99;
-        let err = read_binary_graph(&buf[..]).unwrap_err();
-        assert_eq!(err, GraphError::UnsupportedVersion { version: 99 });
+        for err in both_paths("badversion", &buf) {
+            assert_eq!(
+                err.unwrap_err(),
+                GraphError::UnsupportedVersion { version: 99 }
+            );
+        }
+        let mut sink = Vec::new();
+        assert_eq!(
+            write_binary_graph_versioned(&g, &mut sink, 99).unwrap_err(),
+            GraphError::UnsupportedVersion { version: 99 }
+        );
     }
 
     #[test]
-    fn reports_truncation_with_section() {
+    fn rejects_nonzero_reserved_bytes() {
         let g = sample();
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
-        // Header cut short.
-        let err = read_binary_graph(&buf[..10]).unwrap_err();
-        assert!(matches!(
-            err,
-            GraphError::TruncatedBinary {
-                section: "header",
-                ..
+        buf[V1_HEADER_LEN] = 7;
+        for err in both_paths("reserved", &buf) {
+            assert!(matches!(err.unwrap_err(), GraphError::Parse { .. }));
+        }
+    }
+
+    #[test]
+    fn rejects_nonzero_padding_bytes() {
+        let g =
+            Graph::from_edges_weighted(3, &[(0, 1), (1, 2), (2, 0)], Some(&[1.0, 2.0, 3.0]), true);
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 3, 3).unwrap();
+        assert!(lay.pad_len > 0);
+        buf[lay.weights_start - 1] = 1;
+        for err in both_paths("padbytes", &buf) {
+            assert!(matches!(err.unwrap_err(), GraphError::Parse { .. }));
+        }
+    }
+
+    /// Truncation at every section boundary must name the right section
+    /// with the right byte counts — on both load paths.
+    #[test]
+    fn reports_truncation_with_section() {
+        let g = sample().with_hash_weights(4);
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 5, 5).unwrap();
+        let cases: [(usize, &str); 5] = [
+            (10, "header"),
+            (lay.offsets_start + 5, "offsets"),
+            (lay.targets_start + 3, "targets"),
+            (lay.targets_start + 5 * 4 + 1, "padding"),
+            (lay.total_len - 1, "weights"),
+        ];
+        for (cut, want) in cases {
+            for err in both_paths("trunc", &buf[..cut]) {
+                match err.unwrap_err() {
+                    GraphError::TruncatedBinary { section, .. } => {
+                        assert_eq!(section, want, "cut at {cut}");
+                    }
+                    other => panic!("cut at {cut}: unexpected error {other}"),
+                }
             }
-        ));
-        // Offsets cut short.
-        let err = read_binary_graph(&buf[..HEADER_LEN + 5]).unwrap_err();
-        assert!(matches!(
-            err,
-            GraphError::TruncatedBinary {
-                section: "offsets",
-                ..
-            }
-        ));
-        // Targets cut short.
-        let err = read_binary_graph(&buf[..buf.len() - 1]).unwrap_err();
-        assert!(matches!(
-            err,
-            GraphError::TruncatedBinary {
-                section: "targets",
-                ..
-            }
-        ));
+        }
+        // Exact truncation boundary between header and offsets: the
+        // offsets section is missing entirely.
+        for err in both_paths("trunc-edge", &buf[..lay.offsets_start]) {
+            assert!(matches!(
+                err.unwrap_err(),
+                GraphError::TruncatedBinary {
+                    section: "offsets",
+                    found_bytes: 0,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn v1_truncation_is_section_precise_too() {
+        let g = sample();
+        let mut v1 = Vec::new();
+        write_binary_graph_versioned(&g, &mut v1, BINARY_VERSION_V1).unwrap();
+        for err in both_paths("v1trunc-off", &v1[..V1_HEADER_LEN + 5]) {
+            assert!(matches!(
+                err.unwrap_err(),
+                GraphError::TruncatedBinary {
+                    section: "offsets",
+                    ..
+                }
+            ));
+        }
+        for err in both_paths("v1trunc-tgt", &v1[..v1.len() - 1]) {
+            assert!(matches!(
+                err.unwrap_err(),
+                GraphError::TruncatedBinary {
+                    section: "targets",
+                    ..
+                }
+            ));
+        }
     }
 
     #[test]
@@ -306,7 +764,20 @@ mod tests {
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
         buf.push(0xFF);
-        let err = read_binary_graph(&buf[..]).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { .. }));
+        for err in both_paths("trailing", &buf) {
+            assert!(matches!(err.unwrap_err(), GraphError::Parse { .. }));
+        }
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::from_edges(0, &[], true);
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        for h in both_paths("empty", &buf) {
+            let h = h.unwrap();
+            assert_eq!(h.num_vertices(), 0);
+            assert_eq!(h.num_edges(), 0);
+        }
     }
 }

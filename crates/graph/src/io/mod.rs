@@ -33,8 +33,27 @@ use crate::types::GraphError;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
-pub use binary::{read_binary_graph, write_binary_graph, BINARY_MAGIC, BINARY_VERSION};
+pub use binary::{
+    mmap_binary_graph, read_binary_graph, write_binary_graph, write_binary_graph_versioned,
+    BINARY_MAGIC, BINARY_VERSION, BINARY_VERSION_V1,
+};
 pub use stream::{read_adjacency_graph_with, read_edge_list_with, LineChunker, StreamConfig};
+
+/// How [`load_graph_with`] materializes the sections of a binary file.
+///
+/// Text formats always stream; the mode only changes how `.vgr` files
+/// reach memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LoadMode {
+    /// Stream through bounded buffers into owned arrays (the default).
+    #[default]
+    Buffered,
+    /// Memory-map binary files and borrow their sections zero-copy when
+    /// the platform and layout allow (see
+    /// [`binary::mmap_binary_graph`]); unaligned v1 sections and
+    /// non-64-bit/little-endian hosts fall back to a copy.
+    Mmap,
+}
 
 /// Whether a trimmed text line is a comment. Both `#` (edge-list
 /// convention) and `%` (Matrix Market convention) introduce comments, in
@@ -238,6 +257,42 @@ pub fn load_graph(
     directed: bool,
     format: Option<Format>,
 ) -> Result<(Graph, Format), GraphError> {
+    load_graph_with(path, directed, format, LoadMode::Buffered)
+}
+
+/// As [`load_graph`], with an explicit [`LoadMode`]. With
+/// [`LoadMode::Mmap`], binary files are memory-mapped and their sections
+/// used zero-copy where possible; text formats stream as usual.
+pub fn load_graph_with(
+    path: impl AsRef<Path>,
+    directed: bool,
+    format: Option<Format>,
+    mode: LoadMode,
+) -> Result<(Graph, Format), GraphError> {
+    let path = path.as_ref();
+    if mode == LoadMode::Mmap {
+        let f = match format {
+            Some(f) => f,
+            None => {
+                // Sniff from a bounded prefix, exactly like the streaming
+                // path, then reopen through the chosen loader.
+                let mut prefix = Vec::with_capacity(SNIFF_BYTES);
+                std::fs::File::open(path)?
+                    .take(SNIFF_BYTES as u64)
+                    .read_to_end(&mut prefix)?;
+                sniff_format(&prefix)
+            }
+        };
+        if f == Format::Binary {
+            return binary::mmap_binary_graph(path).map(|g| (g, f));
+        }
+        return read_graph(
+            std::fs::File::open(path)?,
+            directed,
+            Some(f),
+            &StreamConfig::default(),
+        );
+    }
     read_graph(
         std::fs::File::open(path)?,
         directed,

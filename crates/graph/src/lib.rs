@@ -32,6 +32,7 @@ pub mod graph;
 pub mod io;
 pub mod par;
 pub mod permute;
+pub mod storage;
 pub mod types;
 pub mod validate;
 
@@ -39,7 +40,8 @@ pub use adjacency::Adjacency;
 pub use coo::Coo;
 pub use datasets::{Dataset, DatasetSpec};
 pub use graph::{mix64, Graph};
-pub use io::{Format, StreamConfig};
+pub use io::{Format, LoadMode, StreamConfig};
 pub use par::{ParMode, SharedSlice};
 pub use permute::{Permutation, VertexOrdering};
+pub use storage::{GraphStorage, MappedSlice, Mmap, StorageKind};
 pub use types::{EdgeId, GraphError, VertexId};

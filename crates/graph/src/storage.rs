@@ -1,0 +1,498 @@
+//! Storage backends for the flat CSR arrays: owned heap vectors or
+//! zero-copy views into a memory-mapped `.vgr` file.
+//!
+//! [`GraphStorage`] is the abstraction every [`crate::Adjacency`] section
+//! (offsets, targets, weights) sits behind:
+//!
+//! * [`GraphStorage::Owned`] — a plain `Vec<T>`, produced by the
+//!   builders, the text parsers, and the buffered binary reader;
+//! * [`GraphStorage::Mapped`] — a typed view into an [`Mmap`], produced
+//!   by [`crate::io::binary::mmap_binary_graph`] when the on-disk section
+//!   is properly aligned for `T` on this platform. Nothing is copied: the
+//!   kernel pages the file in on demand and the slice hands out the bytes
+//!   in place.
+//!
+//! Every consumer reads through [`GraphStorage::as_slice`] (or the
+//! [`std::ops::Deref`] impl), so the engine's traversal kernels are
+//! storage-agnostic: a mapped graph and an owned graph expose identical
+//! `&[T]` views and produce bit-identical results.
+//!
+//! # Fallback copy path
+//!
+//! Zero-copy reinterpretation of file bytes is only sound when
+//!
+//! * the host is little-endian (the `.vgr` format is little-endian),
+//! * `usize` is 64 bits (offsets are stored as `u64`), and
+//! * the section's file offset is a multiple of `align_of::<T>()`
+//!   (guaranteed by the v2 aligned layout, violated by v1 files whose
+//!   28-byte header leaves the `u64` offsets 4-byte aligned).
+//!
+//! When any of these fail, the loader transparently falls back to copying
+//! the section into an owned `Vec` — same results, one extra copy. See
+//! the compatibility matrix in the README's "On-disk formats" section.
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Which backend a storage section (or a whole graph) lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StorageKind {
+    /// Heap-allocated `Vec` storage.
+    Owned,
+    /// Zero-copy view into a memory-mapped file.
+    Mapped,
+}
+
+impl fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StorageKind::Owned => "owned",
+            StorageKind::Mapped => "mapped",
+        })
+    }
+}
+
+/// Marker for element types that may be reinterpreted directly from the
+/// bytes of a mapped little-endian `.vgr` section.
+///
+/// # Safety
+///
+/// Implementors must be `Copy` types with no padding, no invalid bit
+/// patterns, and a little-endian-compatible in-memory representation on
+/// the platforms where zero-copy mapping is engaged (the loader only
+/// takes the mapped path on little-endian 64-bit hosts; everywhere else
+/// it copies).
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+// SAFETY: plain fixed-width integers — no padding, every bit pattern
+// valid.
+unsafe impl Pod for u8 {}
+// SAFETY: as above.
+unsafe impl Pod for u32 {}
+// SAFETY: as above.
+unsafe impl Pod for u64 {}
+// SAFETY: as above; the loader only maps `usize` sections on 64-bit
+// targets where `usize` and the stored `u64` agree in size and alignment.
+unsafe impl Pod for usize {}
+// SAFETY: every `f32` bit pattern is a valid value (NaN payloads
+// included).
+unsafe impl Pod for f32 {}
+
+/// A read-only memory mapping of a whole file.
+///
+/// On 64-bit Unix this is a real `mmap(2)` (`PROT_READ`, `MAP_PRIVATE`)
+/// performed through a minimal libc FFI declaration — the workspace
+/// vendors no mapping crate, and Rust binaries on these targets already
+/// link libc. On every other platform the "map" is a documented fallback
+/// that reads the file into an owned buffer, so callers never need to
+/// branch on platform: [`Mmap::is_zero_copy`] reports which one you got.
+pub struct Mmap {
+    inner: MmapInner,
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+struct MmapInner {
+    /// Base of the mapping; null iff `len == 0` (POSIX rejects
+    /// zero-length maps, so empty files carry no mapping at all).
+    ptr: *mut u8,
+    len: usize,
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+struct MmapInner {
+    buf: Vec<u8>,
+}
+
+// SAFETY: the mapping is read-only and private; sharing immutable access
+// across threads is safe.
+unsafe impl Send for Mmap {}
+// SAFETY: as above.
+unsafe impl Sync for Mmap {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+    use std::os::raw::c_int;
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Maps the file at `path` read-only.
+    pub fn map_path(path: impl AsRef<Path>) -> io::Result<Mmap> {
+        Mmap::map(&File::open(path)?)
+    }
+
+    /// Maps an open file read-only. The mapping stays valid after the
+    /// `File` is dropped (the kernel keeps the pages alive).
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file exceeds usize"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                inner: MmapInner {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                },
+            });
+        }
+        // SAFETY: a fresh private read-only mapping of `len` bytes of an
+        // open fd; the result is checked against MAP_FAILED below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            inner: MmapInner {
+                ptr: ptr as *mut u8,
+                len,
+            },
+        })
+    }
+
+    /// Fallback for platforms without the raw-`mmap` path: reads the
+    /// whole file into an owned buffer (the documented copy path).
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: MmapInner { buf },
+        })
+    }
+
+    /// Whether this platform's `map` is a true zero-copy `mmap(2)`.
+    pub const fn is_zero_copy() -> bool {
+        cfg!(all(unix, target_pointer_width = "64"))
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            if self.inner.len == 0 {
+                return &[];
+            }
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, unmapped only in Drop.
+            unsafe { std::slice::from_raw_parts(self.inner.ptr, self.inner.len) }
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            &self.inner.buf
+        }
+    }
+
+    /// Number of mapped bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            self.inner.len
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            self.inner.buf.len()
+        }
+    }
+
+    /// Whether the mapping is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if !self.inner.ptr.is_null() {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                sys::munmap(self.inner.ptr as *mut std::ffi::c_void, self.inner.len);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len())
+            .field("zero_copy", &Self::is_zero_copy())
+            .finish()
+    }
+}
+
+/// A typed, alignment-checked view of `len` elements of `T` starting
+/// `byte_offset` bytes into a shared [`Mmap`].
+pub struct MappedSlice<T: Pod> {
+    map: Arc<Mmap>,
+    byte_offset: usize,
+    len: usize,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Pod> MappedSlice<T> {
+    /// Builds the view, returning `None` when the section is misaligned
+    /// for `T` or does not fit inside the mapping — the caller then takes
+    /// the fallback copy path instead.
+    ///
+    /// Alignment is checked on the *actual in-memory address* of the
+    /// section (base pointer plus `byte_offset`), not just the file
+    /// offset: a real `mmap` base is page-aligned so the two agree, but
+    /// the non-mmap `Mmap` fallback buffer makes no alignment promise.
+    pub fn try_new(map: Arc<Mmap>, byte_offset: usize, len: usize) -> Option<MappedSlice<T>> {
+        let bytes = len.checked_mul(std::mem::size_of::<T>())?;
+        let end = byte_offset.checked_add(bytes)?;
+        if end > map.len() {
+            return None;
+        }
+        let addr = map.as_bytes().as_ptr() as usize + byte_offset;
+        if !addr.is_multiple_of(std::mem::align_of::<T>()) {
+            return None;
+        }
+        Some(MappedSlice {
+            map,
+            byte_offset,
+            len,
+            _elem: PhantomData,
+        })
+    }
+
+    /// The elements, reinterpreted in place from the mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: the constructor proved the byte range in bounds and
+        // aligned for `T`; `T: Pod` makes every bit pattern valid; the
+        // mapping is immutable and lives as long as `self.map`.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_bytes().as_ptr().add(self.byte_offset) as *const T,
+                self.len,
+            )
+        }
+    }
+}
+
+impl<T: Pod> Clone for MappedSlice<T> {
+    fn clone(&self) -> Self {
+        MappedSlice {
+            map: Arc::clone(&self.map),
+            byte_offset: self.byte_offset,
+            len: self.len,
+            _elem: PhantomData,
+        }
+    }
+}
+
+impl<T: Pod> fmt::Debug for MappedSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedSlice")
+            .field("byte_offset", &self.byte_offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// One CSR section — offsets, targets, or weights — behind either an
+/// owned `Vec` or a zero-copy mapped view.
+///
+/// Cloning an `Owned` section copies the vector; cloning a `Mapped`
+/// section only bumps the mapping's reference count, which is what makes
+/// cloning a mapped [`crate::Graph`] (as the harnesses do per profile)
+/// nearly free.
+#[derive(Clone, Debug)]
+pub enum GraphStorage<T: Pod> {
+    /// Heap-allocated storage.
+    Owned(Vec<T>),
+    /// Zero-copy view into a memory-mapped file.
+    Mapped(MappedSlice<T>),
+}
+
+impl<T: Pod> GraphStorage<T> {
+    /// The backing kind.
+    #[inline]
+    pub fn kind(&self) -> StorageKind {
+        match self {
+            GraphStorage::Owned(_) => StorageKind::Owned,
+            GraphStorage::Mapped(_) => StorageKind::Mapped,
+        }
+    }
+
+    /// The elements as a plain slice, whatever the backing.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            GraphStorage::Owned(v) => v,
+            GraphStorage::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Converts into an owned vector (a no-op for `Owned`, one copy for
+    /// `Mapped`).
+    pub fn into_owned(self) -> Vec<T> {
+        match self {
+            GraphStorage::Owned(v) => v,
+            GraphStorage::Mapped(m) => m.as_slice().to_vec(),
+        }
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for GraphStorage<T> {
+    fn from(v: Vec<T>) -> Self {
+        GraphStorage::Owned(v)
+    }
+}
+
+impl<T: Pod> std::ops::Deref for GraphStorage<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for GraphStorage<T> {
+    /// Content equality: an owned and a mapped section holding the same
+    /// elements compare equal (the conformance suite relies on this).
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("vebo-storage-{name}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mmap_reads_file_bytes() {
+        let path = temp_file("basic", b"hello mapped world");
+        let map = Mmap::map_path(&path).unwrap();
+        assert_eq!(map.as_bytes(), b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        assert!(!map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_of_empty_file_is_empty() {
+        let path = temp_file("empty", b"");
+        let map = Mmap::map_path(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_bytes(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_missing_file_errors() {
+        assert!(Mmap::map_path("/nonexistent/vebo-no-such-file").is_err());
+    }
+
+    #[test]
+    fn mapped_slice_reinterprets_aligned_u32s() {
+        let mut bytes = Vec::new();
+        for v in [1u32, 2, 3, 0xDEAD_BEEF] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = temp_file("u32s", &bytes);
+        let map = Arc::new(Mmap::map_path(&path).unwrap());
+        let s = MappedSlice::<u32>::try_new(map, 0, 4).unwrap();
+        if cfg!(target_endian = "little") {
+            assert_eq!(s.as_slice(), &[1, 2, 3, 0xDEAD_BEEF]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_slice_rejects_misalignment_and_overflow() {
+        let path = temp_file("misaligned", &[0u8; 64]);
+        let map = Arc::new(Mmap::map_path(&path).unwrap());
+        // Offset 4 is misaligned for u64.
+        assert!(MappedSlice::<u64>::try_new(Arc::clone(&map), 4, 2).is_none());
+        // Section runs past the end of the map.
+        assert!(MappedSlice::<u64>::try_new(Arc::clone(&map), 0, 9).is_none());
+        // Aligned and in-bounds is fine.
+        assert!(MappedSlice::<u64>::try_new(map, 8, 7).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn storage_eq_crosses_backings() {
+        let bytes: Vec<u8> = [10u32, 20, 30]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let path = temp_file("eq", &bytes);
+        let map = Arc::new(Mmap::map_path(&path).unwrap());
+        let mapped = GraphStorage::Mapped(MappedSlice::<u32>::try_new(map, 0, 3).unwrap());
+        let owned = GraphStorage::Owned(vec![10u32, 20, 30]);
+        if cfg!(target_endian = "little") {
+            assert_eq!(mapped, owned);
+            assert_eq!(&*mapped, &[10, 20, 30]);
+        }
+        assert_eq!(mapped.kind(), StorageKind::Mapped);
+        assert_eq!(owned.kind(), StorageKind::Owned);
+        assert_eq!(owned.clone().into_owned(), vec![10, 20, 30]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_mapped_slice_is_fine() {
+        let path = temp_file("emptyslice", &[0u8; 16]);
+        let map = Arc::new(Mmap::map_path(&path).unwrap());
+        let s = MappedSlice::<u64>::try_new(map, 16, 0).unwrap();
+        assert_eq!(s.as_slice(), &[] as &[u64]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn storage_kind_displays() {
+        assert_eq!(StorageKind::Owned.to_string(), "owned");
+        assert_eq!(StorageKind::Mapped.to_string(), "mapped");
+    }
+}

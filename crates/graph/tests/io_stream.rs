@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use std::io::Read;
 use vebo_graph::graph::mix64;
 use vebo_graph::io::{self, Format, LineChunker, StreamConfig};
-use vebo_graph::{Graph, ParMode, VertexId};
+use vebo_graph::{Graph, GraphError, ParMode, StorageKind, VertexId};
 
 /// A reader that returns at most `cap` bytes per `read` call — the
 /// adversarial transport for the bounded-allocation guarantees.
@@ -75,6 +75,53 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
             .collect();
         Graph::from_edges(n, &edges, directed)
     })
+}
+
+/// Arbitrary graphs with optional per-edge weights. Vertex counts often
+/// exceed the largest endpoint, so trailing isolated vertices are
+/// routinely exercised; parallel edges and self-loops included.
+fn arb_weighted_graph() -> impl Strategy<Value = Graph> {
+    (
+        1usize..60,
+        0usize..300,
+        any::<u64>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(n, m, seed, directed, weighted)| {
+            let mut x = seed;
+            let mut next = || {
+                x = mix64(x);
+                x
+            };
+            let edges: Vec<(VertexId, VertexId)> = (0..m)
+                .map(|_| {
+                    (
+                        (next() % n as u64) as VertexId,
+                        (next() % n as u64) as VertexId,
+                    )
+                })
+                .collect();
+            let weights: Option<Vec<f32>> =
+                weighted.then(|| edges.iter().map(|_| (next() % 1000) as f32 / 8.0).collect());
+            Graph::from_edges_weighted(n, &edges, weights.as_deref(), directed)
+        })
+}
+
+/// Writes `bytes` to a unique temp `.vgr`, runs `f` on the path, cleans
+/// up. Unique names keep concurrent proptest cases from colliding.
+fn with_temp_vgr<R>(bytes: &[u8], f: impl FnOnce(&std::path::Path) -> R) -> R {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "vebo-io-stream-prop-{}-{}.vgr",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    let out = f(&path);
+    std::fs::remove_file(&path).ok();
+    out
 }
 
 fn in_pool<R: Send>(f: impl FnOnce() -> R + Send) -> R {
@@ -152,6 +199,61 @@ proptest! {
         prop_assert_eq!(h.is_directed(), g.is_directed());
         let dripped = io::read_binary_graph(Capped { inner: &buf[..], cap }).unwrap();
         assert_same(&g, &dripped, "binary via capped reader");
+    }
+
+    /// The aligned v2 layout: write → mmap → read equals write →
+    /// buffered-read for arbitrary graphs — isolated vertices, weights,
+    /// self-loops, parallel edges — and the mapped load is zero-copy on
+    /// hosts that support it.
+    #[test]
+    fn binary_v2_mmap_matches_buffered(g in arb_weighted_graph()) {
+        let mut buf = Vec::new();
+        io::write_binary_graph(&g, &mut buf).unwrap();
+        let buffered = io::read_binary_graph(&buf[..]).unwrap();
+        assert_same(&g, &buffered, "v2 buffered");
+        let mapped = with_temp_vgr(&buf, |p| io::mmap_binary_graph(p).unwrap());
+        assert_same(&buffered, &mapped, "v2 mmap vs buffered");
+        prop_assert_eq!(mapped.is_directed(), g.is_directed());
+        prop_assert_eq!(mapped.csr().raw_weights(), g.csr().raw_weights());
+        prop_assert_eq!(mapped.csc().raw_weights(), buffered.csc().raw_weights());
+        if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+            prop_assert_eq!(mapped.storage_kind(), StorageKind::Mapped);
+        }
+        // Content equality crosses storage backings.
+        prop_assert!(mapped.csr() == buffered.csr());
+    }
+
+    /// The unaligned v1 layout still round-trips through both load paths
+    /// (the mmap loader's documented fallback copies every section).
+    #[test]
+    fn binary_v1_fallback_matches_buffered(g in arb_weighted_graph()) {
+        let mut v1 = Vec::new();
+        io::write_binary_graph_versioned(&g, &mut v1, io::BINARY_VERSION_V1).unwrap();
+        let buffered = io::read_binary_graph(&v1[..]).unwrap();
+        assert_same(&g, &buffered, "v1 buffered");
+        let mapped = with_temp_vgr(&v1, |p| io::mmap_binary_graph(p).unwrap());
+        assert_same(&buffered, &mapped, "v1 mmap fallback");
+        prop_assert_eq!(mapped.csr().raw_weights(), g.csr().raw_weights());
+        // v1 sections are 4-byte aligned only: never borrowed.
+        prop_assert_eq!(mapped.storage_kind(), StorageKind::Owned);
+    }
+
+    /// Truncating a v2 file at any byte must yield a section-precise
+    /// `TruncatedBinary` (or, within the first four bytes, `BadMagic`)
+    /// from BOTH loaders — never a panic, never a wrong graph.
+    #[test]
+    fn binary_truncation_errors_everywhere(g in arb_weighted_graph(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        io::write_binary_graph(&g, &mut buf).unwrap();
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        let buffered = io::read_binary_graph(&buf[..cut]);
+        let mapped = with_temp_vgr(&buf[..cut], |p| io::mmap_binary_graph(p));
+        for (which, res) in [("buffered", buffered), ("mmap", mapped)] {
+            match res {
+                Err(GraphError::TruncatedBinary { .. }) | Err(GraphError::BadMagic) => {}
+                other => prop_assert!(false, "{which} cut at {cut}: {other:?}"),
+            }
+        }
     }
 
     /// Round-trip through real files for all three formats, with format

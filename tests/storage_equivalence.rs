@@ -1,0 +1,222 @@
+//! Conformance suite for the `GraphStorage` abstraction: a graph loaded
+//! zero-copy from a memory-mapped `.vgr` file must be indistinguishable
+//! from the same graph loaded through the buffered reader — for every
+//! algorithm, on every system profile.
+//!
+//! "Indistinguishable" is checked at three levels:
+//!
+//! 1. the CSR/CSC arrays compare equal across backings;
+//! 2. every algorithm's result vector is *bit-identical* (`f64::to_bits`,
+//!    not epsilon-close — the kernels read the same bytes through the
+//!    same code, so nothing may drift);
+//! 3. the [`RunReport`]s agree on everything deterministic: iteration
+//!    count, traversal choices, frontier classes, per-task edge and
+//!    vertex work counts, and output sizes (wall-clock nanos are the only
+//!    field allowed to differ).
+
+use vebo::engine::{EdgeMapReport, Executor, PreparedGraph, SystemProfile};
+use vebo::partition::EdgeOrder;
+use vebo_algorithms::bc::bc;
+use vebo_algorithms::bellman_ford::bellman_ford;
+use vebo_algorithms::bfs::bfs;
+use vebo_algorithms::bp::{bp, BpConfig};
+use vebo_algorithms::cc::cc;
+use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
+use vebo_algorithms::pagerank_delta::{pagerank_delta, PageRankDeltaConfig};
+use vebo_algorithms::spmv::spmv;
+use vebo_algorithms::{default_source, needs_weights, AlgorithmKind, RunReport};
+use vebo_graph::io::{self, Format, LoadMode};
+use vebo_graph::{Dataset, Graph, StorageKind};
+
+fn profiles() -> [SystemProfile; 3] {
+    [
+        SystemProfile::ligra_like(),
+        SystemProfile::polymer_like(),
+        SystemProfile::graphgrind_like(EdgeOrder::Csr),
+    ]
+}
+
+/// Runs `kind` and returns (bit-exact result digest, measurement report).
+fn run(kind: AlgorithmKind, exec: &Executor, pg: &PreparedGraph) -> (Vec<u64>, RunReport) {
+    let src = default_source(pg.graph());
+    let f64_bits = |v: Vec<f64>| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    match kind {
+        AlgorithmKind::Pr => {
+            let (r, rep) = pagerank(exec, pg, &PageRankConfig::default());
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Prd => {
+            let (r, rep) = pagerank_delta(exec, pg, &PageRankDeltaConfig::default());
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Bfs => {
+            let (r, rep) = bfs(exec, pg, src);
+            (r.iter().map(|&p| p as u64).collect(), rep)
+        }
+        AlgorithmKind::Bc => {
+            let (r, rep) = bc(exec, pg, src);
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Cc => {
+            let (r, rep) = cc(exec, pg);
+            (r.iter().map(|&c| c as u64).collect(), rep)
+        }
+        AlgorithmKind::Spmv => {
+            let x: Vec<f64> = (0..pg.graph().num_vertices())
+                .map(|i| ((i % 17) as f64) / 17.0)
+                .collect();
+            let (r, rep) = spmv(exec, pg, &x);
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Bf => {
+            let (r, rep) = bellman_ford(exec, pg, src);
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Bp => {
+            let (r, rep) = bp(exec, pg, &BpConfig::default());
+            (f64_bits(r), rep)
+        }
+    }
+}
+
+fn assert_edge_maps_match(a: &EdgeMapReport, b: &EdgeMapReport, tag: &str) {
+    assert_eq!(a.traversal, b.traversal, "{tag}: traversal choice");
+    assert_eq!(a.output_size, b.output_size, "{tag}: output size");
+    assert_eq!(a.tasks.len(), b.tasks.len(), "{tag}: task count");
+    for (i, (x, y)) in a.tasks.iter().zip(&b.tasks).enumerate() {
+        assert_eq!(x.edges, y.edges, "{tag}: task {i} edges");
+        assert_eq!(x.vertices, y.vertices, "{tag}: task {i} vertices");
+        assert_eq!(x.socket, y.socket, "{tag}: task {i} socket");
+    }
+}
+
+/// Everything deterministic in two reports must agree; only wall-clock
+/// nanoseconds may differ between the owned and mapped runs.
+fn assert_reports_match(a: &RunReport, b: &RunReport, tag: &str) {
+    assert_eq!(a.iterations, b.iterations, "{tag}: iterations");
+    assert_eq!(
+        a.frontier_classes, b.frontier_classes,
+        "{tag}: frontier classes"
+    );
+    assert_eq!(a.edge_maps.len(), b.edge_maps.len(), "{tag}: edgemap count");
+    for (i, (x, y)) in a.edge_maps.iter().zip(&b.edge_maps).enumerate() {
+        assert_edge_maps_match(x, y, &format!("{tag} edgemap {i}"));
+    }
+    assert_eq!(
+        a.vertex_maps.len(),
+        b.vertex_maps.len(),
+        "{tag}: vertexmap count"
+    );
+    for (i, (x, y)) in a.vertex_maps.iter().zip(&b.vertex_maps).enumerate() {
+        assert_eq!(x.tasks.len(), y.tasks.len(), "{tag}: vertexmap {i} tasks");
+        assert_eq!(
+            x.total_vertices(),
+            y.total_vertices(),
+            "{tag}: vertexmap {i} vertices"
+        );
+    }
+}
+
+/// Writes `g` as a v2 `.vgr`, then loads it back through both paths.
+fn load_both(g: &Graph, name: &str) -> (Graph, Graph) {
+    let path = std::env::temp_dir().join(format!(
+        "vebo-storage-equiv-{name}-{}.vgr",
+        std::process::id()
+    ));
+    io::save_graph(g, &path, Format::Binary).expect("write .vgr");
+    let (owned, _) = io::load_graph_with(&path, true, Some(Format::Binary), LoadMode::Buffered)
+        .expect("buffered load");
+    let (mapped, _) =
+        io::load_graph_with(&path, true, Some(Format::Binary), LoadMode::Mmap).expect("mmap load");
+    std::fs::remove_file(&path).ok();
+    (owned, mapped)
+}
+
+#[test]
+fn mapped_and_owned_loads_expose_identical_graphs() {
+    let g = Dataset::YahooLike.build(0.03).with_hash_weights(16);
+    let (owned, mapped) = load_both(&g, "graphs");
+    assert_eq!(owned.storage_kind(), StorageKind::Owned);
+    if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+        assert_eq!(mapped.storage_kind(), StorageKind::Mapped);
+    }
+    // Content equality crosses backings (GraphStorage PartialEq).
+    assert_eq!(owned.csr(), mapped.csr());
+    assert_eq!(owned.csc(), mapped.csc());
+    assert_eq!(owned.csr().offsets(), g.csr().offsets());
+    assert_eq!(owned.csr().targets(), g.csr().targets());
+    assert_eq!(owned.csr().raw_weights(), mapped.csr().raw_weights());
+    assert_eq!(owned.is_directed(), mapped.is_directed());
+}
+
+/// The acceptance matrix: all 8 algorithms x 3 system profiles produce
+/// bit-identical results and identical deterministic `RunReport`s on
+/// mmap-backed vs owned storage.
+#[test]
+fn all_algorithms_agree_on_mapped_and_owned_storage() {
+    let plain = Dataset::YahooLike.build(0.03);
+    let weighted = plain.clone().with_hash_weights(16);
+    let (owned_plain, mapped_plain) = load_both(&plain, "plain");
+    let (owned_weighted, mapped_weighted) = load_both(&weighted, "weighted");
+
+    for profile in profiles() {
+        for kind in AlgorithmKind::ALL {
+            let (owned_g, mapped_g) = if needs_weights(kind) {
+                (&owned_weighted, &mapped_weighted)
+            } else {
+                (&owned_plain, &mapped_plain)
+            };
+            let tag = format!("{} on {:?}", kind.code(), profile.kind);
+            let exec = Executor::new(profile);
+            let pg_owned = PreparedGraph::builder(owned_g.clone())
+                .profile(profile)
+                .build()
+                .unwrap();
+            let pg_mapped = PreparedGraph::builder(mapped_g.clone())
+                .profile(profile)
+                .build()
+                .unwrap();
+            assert_eq!(pg_owned.storage_kind(), StorageKind::Owned, "{tag}");
+            if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+                assert_eq!(pg_mapped.storage_kind(), StorageKind::Mapped, "{tag}");
+            }
+            let (res_owned, rep_owned) = run(kind, &exec, &pg_owned);
+            let (res_mapped, rep_mapped) = run(kind, &exec, &pg_mapped);
+            assert_eq!(res_owned, res_mapped, "{tag}: result bits");
+            assert_reports_match(&rep_owned, &rep_mapped, &tag);
+            assert!(rep_owned.iterations > 0, "{tag}: ran nothing");
+        }
+    }
+}
+
+/// A v1 (unaligned) file read through the mmap loader exercises the copy
+/// fallback and must still agree with the buffered reader, algorithm for
+/// algorithm.
+#[test]
+fn v1_fallback_agrees_with_buffered_load() {
+    let g = Dataset::LiveJournalLike.build(0.02);
+    let path =
+        std::env::temp_dir().join(format!("vebo-storage-equiv-v1-{}.vgr", std::process::id()));
+    io::write_binary_graph_versioned(
+        &g,
+        std::fs::File::create(&path).expect("create v1 file"),
+        io::BINARY_VERSION_V1,
+    )
+    .expect("write v1 .vgr");
+    let (owned, _) = io::load_graph_with(&path, true, Some(Format::Binary), LoadMode::Buffered)
+        .expect("buffered load");
+    let (fallback, _) = io::load_graph_with(&path, true, Some(Format::Binary), LoadMode::Mmap)
+        .expect("mmap load of v1");
+    std::fs::remove_file(&path).ok();
+    // v1 sections are unaligned: the loader must have copied.
+    assert_eq!(fallback.storage_kind(), StorageKind::Owned);
+    assert_eq!(owned.csr(), fallback.csr());
+
+    let profile = SystemProfile::ligra_like();
+    let exec = Executor::new(profile);
+    let pg_a = PreparedGraph::new(owned, profile);
+    let pg_b = PreparedGraph::new(fallback, profile);
+    let (ra, _) = run(AlgorithmKind::Pr, &exec, &pg_a);
+    let (rb, _) = run(AlgorithmKind::Pr, &exec, &pg_b);
+    assert_eq!(ra, rb, "v1 fallback PageRank bits");
+}
