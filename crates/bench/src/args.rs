@@ -13,9 +13,12 @@
 //!   meaningful with `--cache`);
 //! * `--partitions <n>` — override the partition count;
 //! * `--threads <n>` — simulated machine threads (default 48);
-//! * `--parallel` — run engine tasks on the rayon pool instead of the
-//!   sequential measured loop (throughput mode; per-task timings become
-//!   noisy, so the default stays sequential);
+//! * `--executor <sequential|rayon|sharded>` — which engine backend runs
+//!   tasks (default sequential: the measured mode; per-task timings under
+//!   the concurrent backends are noisy);
+//! * `--shards <n>` — shard count for `--executor sharded` (default 4);
+//! * `--parallel` — shorthand for `--executor rayon` (kept from before
+//!   the sharded backend existed);
 //! * `--help` — usage.
 
 use std::path::PathBuf;
@@ -41,8 +44,8 @@ pub struct HarnessArgs {
     pub partitions: Option<usize>,
     /// `--threads`: simulated machine threads.
     pub threads: usize,
-    /// `--parallel`: run engine tasks on the rayon pool.
-    pub parallel: bool,
+    /// `--executor` / `--parallel`: which engine backend runs tasks.
+    pub exec_mode: ExecMode,
     /// `--extended`: include the extension orderings/strategies
     /// (SlashBurn, METIS-like) where the binary supports them.
     pub extended: bool,
@@ -58,7 +61,7 @@ impl Default for HarnessArgs {
             mmap: false,
             partitions: None,
             threads: 48,
-            parallel: false,
+            exec_mode: ExecMode::Sequential,
             extended: false,
         }
     }
@@ -122,7 +125,34 @@ impl HarnessArgs {
                         .unwrap_or_else(|_| usage_exit(binary, description));
                 }
                 "--mmap" => out.mmap = true,
-                "--parallel" => out.parallel = true,
+                "--parallel" => out.exec_mode = ExecMode::Parallel,
+                "--executor" => {
+                    let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
+                    out.exec_mode = match v.as_str() {
+                        "sequential" | "seq" => ExecMode::Sequential,
+                        "rayon" | "parallel" => ExecMode::Parallel,
+                        "sharded" => match out.exec_mode {
+                            // Keep a shard count a preceding --shards set.
+                            ExecMode::Sharded { shards } => ExecMode::Sharded { shards },
+                            _ => ExecMode::Sharded { shards: 4 },
+                        },
+                        other => {
+                            eprintln!(
+                                "unknown executor '{other}'; known: sequential, rayon, sharded"
+                            );
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--shards" => {
+                    let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
+                    let shards: usize = v
+                        .parse()
+                        .ok()
+                        .filter(|&s| s >= 1)
+                        .unwrap_or_else(|| usage_exit(binary, description));
+                    out.exec_mode = ExecMode::Sharded { shards };
+                }
                 "--extended" => out.extended = true,
                 "--help" | "-h" => {
                     println!("{}", usage(binary, description));
@@ -180,14 +210,12 @@ impl HarnessArgs {
     }
 
     /// The [`Executor`] every harness runs algorithms through: built for
-    /// `profile`, honoring `--parallel`. One construction path for every
-    /// binary, so execution policy never drifts between tables.
+    /// `profile`, honoring `--executor`/`--shards`/`--parallel`. One
+    /// construction path for every binary, so execution policy never
+    /// drifts between tables. Selecting the sharded backend spawns its
+    /// long-lived workers here.
     pub fn executor(&self, profile: SystemProfile) -> Executor {
-        Executor::new(profile).with_mode(if self.parallel {
-            ExecMode::Parallel
-        } else {
-            ExecMode::Sequential
-        })
+        Executor::new(profile).with_mode(self.exec_mode)
     }
 
     /// Datasets selected by `--dataset`, or all of them.
@@ -201,7 +229,7 @@ impl HarnessArgs {
 
 fn usage(binary: &str, description: &str) -> String {
     format!(
-        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --mmap           reload .vgr cache snapshots via zero-copy mmap\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --parallel       run engine tasks on the rayon pool\n  --extended       include extension orderings where supported\n  --help           this text",
+        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --mmap           reload .vgr cache snapshots via zero-copy mmap\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --executor <b>   engine backend: sequential | rayon | sharded\n  --shards <n>     shard count (implies --executor sharded; default 4)\n  --parallel       shorthand for --executor rayon\n  --extended       include extension orderings where supported\n  --help           this text",
         Dataset::ALL.map(|d| d.name())
     )
 }
@@ -234,13 +262,32 @@ mod tests {
     }
 
     #[test]
-    fn parallel_flag_selects_executor_mode() {
+    fn executor_flags_select_backend() {
         use vebo_engine::ExecMode;
         let profile = vebo_engine::SystemProfile::ligra_like();
         assert_eq!(parse(&[]).executor(profile).mode(), ExecMode::Sequential);
         assert_eq!(
             parse(&["--parallel"]).executor(profile).mode(),
             ExecMode::Parallel
+        );
+        assert_eq!(
+            parse(&["--executor", "rayon"]).executor(profile).mode(),
+            ExecMode::Parallel
+        );
+        assert_eq!(
+            parse(&["--executor", "sharded"]).executor(profile).mode(),
+            ExecMode::Sharded { shards: 4 }
+        );
+        // --shards implies the sharded backend, in either flag order.
+        assert_eq!(
+            parse(&["--shards", "7"]).executor(profile).mode(),
+            ExecMode::Sharded { shards: 7 }
+        );
+        assert_eq!(
+            parse(&["--shards", "7", "--executor", "sharded"])
+                .executor(profile)
+                .mode(),
+            ExecMode::Sharded { shards: 7 }
         );
     }
 

@@ -1,0 +1,187 @@
+//! `vebo-serve` — a serving-style request loop over one prepared graph:
+//! batched PageRank-from-seed / BFS / label-lookup queries driven
+//! concurrently through any executor backend.
+//!
+//! ```text
+//! # 64 generated requests, 4 shards, 8 request threads:
+//! cargo run --release -p vebo-bench --bin vebo-serve -- \
+//!     --quick --executor sharded --shards 4 --concurrency 8 --gen 64
+//!
+//! # replay a script (one request per line: `pr 3`, `bfs 7`, `label 9`):
+//! cargo run --release -p vebo-bench --bin vebo-serve -- \
+//!     --requests batch.txt --executor rayon
+//! ```
+//!
+//! Per-request digests and the combined batch digest are printed on
+//! stdout; on the default (partitioned) profiles they are bit-identical
+//! across the sequential, rayon, and sharded backends, which is exactly
+//! what the CI serve-smoke job diffs. Shard metrics (queue depth,
+//! occupancy, steals) and latency quantiles go to stdout after the
+//! batch.
+
+use vebo_bench::serve::{generate_requests, parse_script, ServeEngine};
+use vebo_bench::{HarnessArgs, Table};
+use vebo_engine::SystemProfile;
+use vebo_graph::Dataset;
+use vebo_partition::EdgeOrder;
+
+struct ServeArgs {
+    harness: HarnessArgs,
+    profile: SystemProfile,
+    profile_name: String,
+    concurrency: usize,
+    requests_file: Option<String>,
+    gen_count: usize,
+    gen_seed: u64,
+    ppr_rounds: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "vebo-serve — concurrent graph-query serving loop\n\n\
+         Serving options (plus every vebo-bench harness option):\n  \
+         --profile <name>   ligra | polymer | graphgrind (default polymer)\n  \
+         --concurrency <n>  request threads (default 4)\n  \
+         --requests <file>  replay a script: lines `pr <v>` | `bfs <v>` | `label <v>`\n  \
+         --gen <n>          generate a mixed workload of n requests (default 32)\n  \
+         --seed <s>         workload generator seed (default 1)\n  \
+         --ppr-rounds <k>   push rounds per PageRank-from-seed request (default 10)\n\n\
+         Digests are bit-stable across --executor backends on the\n\
+         partitioned profiles (polymer, graphgrind)."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServeArgs {
+    let mut out = ServeArgs {
+        harness: HarnessArgs::default(),
+        profile: SystemProfile::polymer_like(),
+        profile_name: "polymer".to_string(),
+        concurrency: 4,
+        requests_file: None,
+        gen_count: 32,
+        gen_seed: 1,
+        ppr_rounds: 10,
+    };
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--profile" => {
+                let v = next("--profile");
+                out.profile = match v.as_str() {
+                    "ligra" => SystemProfile::ligra_like(),
+                    "polymer" => SystemProfile::polymer_like(),
+                    "graphgrind" => SystemProfile::graphgrind_like(EdgeOrder::Csr),
+                    _ => {
+                        eprintln!("unknown profile '{v}'");
+                        usage()
+                    }
+                };
+                out.profile_name = v;
+            }
+            "--concurrency" => {
+                out.concurrency = next("--concurrency").parse().unwrap_or_else(|_| usage())
+            }
+            "--requests" => out.requests_file = Some(next("--requests")),
+            "--gen" => out.gen_count = next("--gen").parse().unwrap_or_else(|_| usage()),
+            "--seed" => out.gen_seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--ppr-rounds" => {
+                out.ppr_rounds = next("--ppr-rounds").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => rest.push(other.to_string()),
+        }
+    }
+    out.harness =
+        HarnessArgs::parse_from("vebo-serve", "concurrent graph-query serving loop", rest);
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let dataset = args.harness.dataset.unwrap_or(Dataset::LiveJournalLike);
+    let scale = args.harness.scale_or(0.2);
+    let g = args.harness.build_dataset(dataset, scale);
+    let n = g.num_vertices();
+    let requests = match &args.requests_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            parse_script(&text).unwrap_or_else(|e| {
+                eprintln!("bad request script: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => generate_requests(args.gen_count, args.gen_seed),
+    };
+    // Built once: for the sharded backend this spawns the long-lived
+    // worker pool the whole serving process shares.
+    let exec = args.harness.executor(args.profile);
+    eprintln!(
+        "serving {} requests on {} (n = {n}, m = {}) | profile {} | executor {:?} | {} request threads",
+        requests.len(),
+        dataset.name(),
+        g.num_edges(),
+        args.profile_name,
+        exec.mode(),
+        args.concurrency,
+    );
+
+    let mut engine = ServeEngine::new(g, args.profile, exec);
+    engine.ppr_rounds = args.ppr_rounds;
+    let report = engine.run_batch(&requests, args.concurrency);
+
+    for (i, (req, resp)) in requests.iter().zip(&report.responses).enumerate() {
+        println!("req {i:>4} {:<5} digest={:016x}", req.code(), resp.digest);
+    }
+    println!("batch digest={:016x}", report.combined_digest());
+
+    let m = &report.metrics;
+    eprintln!(
+        "\nbatch: {:.3}s wall, {:.0} req/s",
+        report.wall_seconds,
+        requests.len() as f64 / report.wall_seconds.max(1e-9),
+    );
+    if m.ops > 0 {
+        let mut t = Table::new(&[
+            "Shard",
+            "Mean queue depth",
+            "Max depth",
+            "Tasks run",
+            "Stolen",
+            "Occupancy",
+        ]);
+        for (s, totals) in m.shards.iter().enumerate() {
+            t.row(&[
+                s.to_string(),
+                format!("{:.1}", m.mean_queue_depth(s)),
+                totals.queue_depth_max.to_string(),
+                totals.tasks_run.to_string(),
+                totals.tasks_stolen.to_string(),
+                format!("{:.0}%", totals.occupancy() * 100.0),
+            ]);
+        }
+        eprint!("{}", t.render());
+    }
+    let quantile = |q: f64| {
+        m.latency_quantile(q)
+            .map(|ns| format!("{:.2}ms", ns as f64 / 1e6))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    eprintln!(
+        "latency p50 {} | p95 {} | p99 {} | max {}",
+        quantile(0.50),
+        quantile(0.95),
+        quantile(0.99),
+        quantile(1.0),
+    );
+}

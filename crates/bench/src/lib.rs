@@ -3,15 +3,17 @@
 //! The experiment harness: one binary per table/figure of the paper (see
 //! `src/bin/`) plus Criterion micro-benchmarks (`benches/`). This library
 //! holds the shared pieces: a tiny CLI parser, a column-aligned table
-//! printer, and the ordering/preparation/run pipeline every experiment
-//! reuses.
+//! printer, the ordering/preparation/run pipeline every experiment
+//! reuses, and the [`serve`] layer behind the `vebo-serve` request loop.
 
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod pipeline;
+pub mod serve;
 pub mod table;
 
 pub use args::HarnessArgs;
 pub use pipeline::{ordered_graph, ordered_with_starts, OrderingKind};
+pub use serve::{BatchReport, Request, Response, ServeEngine};
 pub use table::Table;

@@ -1,0 +1,432 @@
+//! The serving layer behind `vebo-serve`: batched query workloads driven
+//! concurrently through one shared [`Executor`].
+//!
+//! Three request kinds model a graph-serving API:
+//!
+//! * [`Request::PageRankSeed`] — personalized PageRank pushed from one
+//!   seed vertex (a fixed number of forward-push rounds);
+//! * [`Request::Bfs`] — BFS reachability/levels from a seed;
+//! * [`Request::Label`] — component-label lookup against labels
+//!   precomputed at startup (the "cheap read" class of request).
+//!
+//! Each response is reduced to a 64-bit FNV-1a digest so whole batches
+//! can be diffed across executor backends: on the partitioned profiles
+//! (Polymer, GraphGrind — the `vebo-serve` default) every float
+//! accumulation is destination-owned, so digests are **bit-identical**
+//! across the sequential, rayon, and sharded backends and CI fails on
+//! any mismatch. (On the Ligra profile, sparse push interleaves atomic
+//! f64 additions across tasks, so last-ulp differences between backends
+//! are legitimate there.)
+//!
+//! Batches run on `concurrency` request threads pulling from a shared
+//! cursor; per-request latency is forwarded to the engine's
+//! [`InstrumentSink::record_request`],
+//! and the [`ShardMetricsSink`] snapshot reports per-shard queue depth,
+//! occupancy, steals, and latency quantiles.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use vebo_algorithms::bfs::{bfs, levels_from_parents};
+use vebo_algorithms::cc::cc;
+use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
+use vebo_engine::{
+    EdgeOp, Executor, Frontier, InstrumentSink, PreparedGraph, ShardMetrics, ShardMetricsSink,
+    SystemProfile,
+};
+use vebo_graph::graph::mix64;
+use vebo_graph::{Graph, VertexId};
+
+/// One serving request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Personalized PageRank pushed from `seed`.
+    PageRankSeed {
+        /// Seed vertex (taken modulo the vertex count).
+        seed: VertexId,
+    },
+    /// BFS levels from `seed`.
+    Bfs {
+        /// Source vertex (taken modulo the vertex count).
+        seed: VertexId,
+    },
+    /// Component-label lookup for `v`.
+    Label {
+        /// Queried vertex (taken modulo the vertex count).
+        v: VertexId,
+    },
+}
+
+impl Request {
+    /// Short kind code used in scripts and output (`pr`, `bfs`, `label`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Request::PageRankSeed { .. } => "pr",
+            Request::Bfs { .. } => "bfs",
+            Request::Label { .. } => "label",
+        }
+    }
+}
+
+/// One handled request.
+#[derive(Clone, Copy, Debug)]
+pub struct Response {
+    /// FNV-1a digest of the canonical result.
+    pub digest: u64,
+    /// Wall-clock latency of the request in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Result of one [`ServeEngine::run_batch`].
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One response per request, in request order.
+    pub responses: Vec<Response>,
+    /// Snapshot of the engine's shard/latency metrics as of the end of
+    /// this batch — cumulative over every request served by the engine
+    /// so far (startup precomputation is never counted).
+    pub metrics: ShardMetrics,
+    /// Batch wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+impl BatchReport {
+    /// Order-sensitive digest over all response digests — one number to
+    /// diff across executor backends.
+    pub fn combined_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for r in &self.responses {
+            h.write_u64(r.digest);
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64 bit — tiny, dependency-free, stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn digest_u64s(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = Fnv::new();
+    for v in values {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+/// Forward-push personalized-PageRank operator: `acc[dst] += contrib[src]`.
+struct PushOp<'a> {
+    contrib: &'a [AtomicF64],
+    acc: &'a [AtomicF64],
+}
+
+impl EdgeOp for PushOp<'_> {
+    fn update(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        let a = &self.acc[dst as usize];
+        a.store(a.load() + self.contrib[src as usize].load());
+        true
+    }
+    fn update_atomic(&self, src: VertexId, dst: VertexId, _w: f32) -> bool {
+        self.acc[dst as usize].fetch_add(self.contrib[src as usize].load());
+        true
+    }
+}
+
+/// A prepared graph plus the executor and precomputed state every
+/// request handler shares. Cheap to share across request threads
+/// (`&self` everywhere); the executor's sharded pool, when selected,
+/// is likewise shared.
+pub struct ServeEngine {
+    exec: Executor,
+    pg: PreparedGraph,
+    labels: Vec<u32>,
+    metrics: Arc<ShardMetricsSink>,
+    /// Push rounds per PageRank-from-seed request.
+    pub ppr_rounds: usize,
+}
+
+impl ServeEngine {
+    /// Prepares `g` for `profile`, attaches a [`ShardMetricsSink`] to
+    /// `exec`, and precomputes the component labels served by
+    /// [`Request::Label`].
+    pub fn new(g: Graph, profile: SystemProfile, exec: Executor) -> ServeEngine {
+        let pg = PreparedGraph::builder(g)
+            .profile(profile)
+            .build()
+            .expect("no explicit bounds, cannot fail");
+        // Precompute before attaching the metrics sink, so the serving
+        // metrics only ever describe served requests, not startup work.
+        let (labels, _) = cc(&exec, &pg);
+        let metrics = Arc::new(ShardMetricsSink::new());
+        let exec = exec.with_sink(metrics.clone());
+        ServeEngine {
+            exec,
+            pg,
+            labels,
+            metrics,
+            ppr_rounds: 10,
+        }
+    }
+
+    /// The prepared graph requests run against.
+    pub fn prepared(&self) -> &PreparedGraph {
+        &self.pg
+    }
+
+    /// The executor requests run through.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// A snapshot of the shard/latency metrics accumulated so far.
+    pub fn metrics(&self) -> ShardMetrics {
+        self.metrics.snapshot()
+    }
+
+    /// Handles one request, recording its latency.
+    pub fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let n = self.pg.graph().num_vertices().max(1) as u32;
+        let digest = match *req {
+            Request::PageRankSeed { seed } => self.ppr_digest(seed % n),
+            Request::Bfs { seed } => self.bfs_digest(seed % n),
+            Request::Label { v } => digest_u64s([self.labels[(v % n) as usize] as u64]),
+        };
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.metrics.record_request(nanos);
+        Response { digest, nanos }
+    }
+
+    /// Runs `requests` on `concurrency` request threads sharing this
+    /// engine (and its sharded worker pool, when selected). Responses
+    /// land in request order regardless of completion order.
+    pub fn run_batch(&self, requests: &[Request], concurrency: usize) -> BatchReport {
+        let t0 = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let responses: Mutex<Vec<Option<Response>>> = Mutex::new(vec![None; requests.len()]);
+        let workers = concurrency.max(1).min(requests.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let r = self.handle(&requests[i]);
+                    responses.lock().unwrap()[i] = Some(r);
+                });
+            }
+        });
+        let responses = responses
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every request handled"))
+            .collect();
+        BatchReport {
+            responses,
+            metrics: self.metrics.snapshot(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Personalized PageRank from `seed`: `ppr_rounds` forward-push
+    /// rounds of `x_{k+1} = d · Aᵀ x_k` with `p += (1 − d) · x_k`,
+    /// starting from `x_0 = e_seed`. The digest covers the bit patterns
+    /// of every nonzero score.
+    ///
+    /// Per-round work is frontier-scoped: contributions are staged over
+    /// the active set only (every traversal kernel gates reads by
+    /// frontier membership, so stale `contrib`/`x` entries on inactive
+    /// vertices are never observed), and the accumulated mass is folded
+    /// back — and the accumulator re-zeroed — over just the vertices
+    /// the push touched. A request on a small neighborhood therefore
+    /// costs O(touched), not O(n · rounds).
+    fn ppr_digest(&self, seed: VertexId) -> u64 {
+        const DAMPING: f64 = 0.85;
+        let n = self.pg.graph().num_vertices();
+        let g = self.pg.graph();
+        let p = atomic_f64_vec(n, 0.0);
+        let x = atomic_f64_vec(n, 0.0);
+        let acc = atomic_f64_vec(n, 0.0);
+        let contrib = atomic_f64_vec(n, 0.0);
+        x[seed as usize].store(1.0);
+        let mut frontier = Frontier::single(n, seed);
+        for _ in 0..self.ppr_rounds {
+            if frontier.is_empty() {
+                break;
+            }
+            // Stage this round's contributions over the active set;
+            // absorb (1 - d) into the scores as the mass leaves.
+            self.exec.vertex_map(&self.pg, &frontier, |v| {
+                let i = v as usize;
+                let xi = x[i].load();
+                let d = g.out_degree(v);
+                contrib[i].store(if d > 0 { DAMPING * xi / d as f64 } else { 0.0 });
+                p[i].store(p[i].load() + (1.0 - DAMPING) * xi);
+                true
+            });
+            let op = PushOp {
+                contrib: &contrib,
+                acc: &acc,
+            };
+            let (touched, _) = self.exec.edge_map(&self.pg, &frontier, &op);
+            // The accumulated mass becomes the next x and the
+            // accumulator is re-zeroed, both over the touched set only;
+            // tiny residues leave the frontier so request cost stays
+            // bounded.
+            let (next, _) = self.exec.vertex_map(&self.pg, &touched, |v| {
+                let i = v as usize;
+                let nx = acc[i].load();
+                x[i].store(nx);
+                acc[i].store(0.0);
+                nx > 1e-12
+            });
+            frontier = next;
+        }
+        digest_u64s(
+            snapshot_f64(&p)
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, s)| s != 0.0)
+                .flat_map(|(v, s)| [v as u64, s.to_bits()]),
+        )
+    }
+
+    /// BFS from `seed`, digested over the (deterministic) level array —
+    /// parent choice is a legitimate tie-break, levels are not.
+    fn bfs_digest(&self, seed: VertexId) -> u64 {
+        let (parents, _) = bfs(&self.exec, &self.pg, seed);
+        let levels = levels_from_parents(&parents, seed);
+        digest_u64s(levels.into_iter().map(u64::from))
+    }
+}
+
+/// Parses a request script: one request per line — `pr <seed>`,
+/// `bfs <seed>`, or `label <v>`; blank lines and `#` comments ignored.
+pub fn parse_script(text: &str) -> Result<Vec<Request>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap();
+        let arg: VertexId = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing vertex argument", lineno + 1))?
+            .parse()
+            .map_err(|_| format!("line {}: bad vertex id", lineno + 1))?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing tokens", lineno + 1));
+        }
+        out.push(match kind {
+            "pr" => Request::PageRankSeed { seed: arg },
+            "bfs" => Request::Bfs { seed: arg },
+            "label" => Request::Label { v: arg },
+            other => return Err(format!("line {}: unknown request '{other}'", lineno + 1)),
+        });
+    }
+    Ok(out)
+}
+
+/// Deterministically generates a mixed workload of `count` requests
+/// (cheap label lookups dominate, as in a real serving mix).
+pub fn generate_requests(count: usize, seed: u64) -> Vec<Request> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = mix64(state);
+        state
+    };
+    (0..count)
+        .map(|_| {
+            let v = (next() >> 32) as VertexId;
+            match next() % 10 {
+                0..=1 => Request::PageRankSeed { seed: v },
+                2..=4 => Request::Bfs { seed: v },
+                _ => Request::Label { v },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_engine::ExecMode;
+    use vebo_graph::Dataset;
+
+    fn engine(mode: ExecMode) -> ServeEngine {
+        let g = Dataset::YahooLike.build(0.03);
+        let profile = SystemProfile::polymer_like();
+        ServeEngine::new(g, profile, Executor::new(profile).with_mode(mode))
+    }
+
+    #[test]
+    fn script_round_trips() {
+        let script = "# mixed\npr 3\n\nbfs 7\nlabel 12\n";
+        let reqs = parse_script(script).unwrap();
+        assert_eq!(
+            reqs,
+            vec![
+                Request::PageRankSeed { seed: 3 },
+                Request::Bfs { seed: 7 },
+                Request::Label { v: 12 },
+            ]
+        );
+        assert!(parse_script("pr\n").is_err());
+        assert!(parse_script("walk 3\n").is_err());
+        assert!(parse_script("pr 1 2\n").is_err());
+    }
+
+    #[test]
+    fn generated_workload_is_deterministic_and_mixed() {
+        let a = generate_requests(64, 42);
+        let b = generate_requests(64, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_requests(64, 43));
+        for code in ["pr", "bfs", "label"] {
+            assert!(a.iter().any(|r| r.code() == code), "no {code} requests");
+        }
+    }
+
+    #[test]
+    fn batch_digests_match_across_backends() {
+        let reqs = generate_requests(12, 7);
+        let seq = engine(ExecMode::Sequential).run_batch(&reqs, 1);
+        let sharded = engine(ExecMode::Sharded { shards: 3 }).run_batch(&reqs, 4);
+        for (i, (a, b)) in seq.responses.iter().zip(&sharded.responses).enumerate() {
+            assert_eq!(a.digest, b.digest, "request {i} ({})", reqs[i].code());
+        }
+        assert_eq!(seq.combined_digest(), sharded.combined_digest());
+        // The sharded run exercised the pool and recorded latencies.
+        let m = sharded.metrics;
+        assert!(m.ops > 0, "no sharded ops recorded");
+        assert_eq!(m.request_nanos.len(), reqs.len());
+        assert!(m.latency_quantile(0.99).unwrap() >= m.latency_quantile(0.5).unwrap());
+    }
+
+    #[test]
+    fn label_requests_serve_component_labels() {
+        let e = engine(ExecMode::Sequential);
+        let n = e.prepared().graph().num_vertices() as u32;
+        let a = e.handle(&Request::Label { v: 5 });
+        let b = e.handle(&Request::Label { v: 5 + n });
+        assert_eq!(a.digest, b.digest, "lookup wraps modulo n");
+    }
+}

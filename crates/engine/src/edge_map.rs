@@ -20,8 +20,9 @@
 //!
 //! The traversal kernels live here; execution policy (mode, NUMA
 //! placement, scheduling, instrumentation) lives on [`crate::Executor`],
-//! whose [`crate::Executor::edge_map`] is the public entry point. The
-//! free [`edge_map`] function is a deprecated shim kept for one release.
+//! whose [`crate::Executor::edge_map`] is the public entry point. (The
+//! free `edge_map` shim deprecated when the executor landed has been
+//! removed after its one-release grace period.)
 //!
 //! Every kernel is storage-agnostic: the CSR/CSC arrays are hoisted once
 //! per call as flat slices, so graphs whose sections are zero-copy views
@@ -34,6 +35,7 @@ use crate::ops::EdgeOp;
 use crate::prepared::PreparedGraph;
 use crate::profile::DenseLayout;
 use crate::schedule::{simulate, MakespanReport};
+use crate::sharded::ShardOpReport;
 use crate::shared::AtomicBitset;
 use vebo_graph::VertexId;
 
@@ -84,6 +86,10 @@ pub struct EdgeMapReport {
     pub tasks: Vec<TaskStats>,
     /// Active vertices in the output frontier.
     pub output_size: usize,
+    /// Per-shard queue/occupancy measurements — `Some` exactly when the
+    /// operation ran on the sharded backend
+    /// ([`crate::ExecMode::Sharded`]).
+    pub shards: Option<ShardOpReport>,
 }
 
 impl EdgeMapReport {
@@ -134,56 +140,6 @@ impl EdgeMapReport {
     }
 }
 
-/// Tuning knobs for the deprecated free-function [`edge_map`] shim.
-///
-/// New code configures the same policies on [`crate::Executor`]
-/// (`with_threshold_den`, `with_direction`, `with_mode`); this struct
-/// only remains so old call sites keep compiling for one release.
-#[derive(Clone, Copy, Debug)]
-pub struct EdgeMapOptions {
-    /// Ligra's density threshold denominator: dense when
-    /// `|F| + outdeg(F) > m / threshold_den`.
-    pub threshold_den: usize,
-    /// Force dense (`Some(true)`) or sparse (`Some(false)`) traversal.
-    pub force_dense: Option<bool>,
-    /// Execute tasks with rayon instead of the sequential measured loop.
-    pub parallel: bool,
-}
-
-impl Default for EdgeMapOptions {
-    fn default() -> Self {
-        EdgeMapOptions {
-            threshold_den: 20,
-            force_dense: None,
-            parallel: false,
-        }
-    }
-}
-
-/// Deprecated free-function shim over [`crate::Executor::edge_map`].
-///
-/// Reproduces the pre-executor behaviour exactly (index-ordered tasks, no
-/// NUMA placement, no instrumentation).
-#[deprecated(
-    since = "0.1.0",
-    note = "construct an `Executor` (`Executor::new(profile)`) and call `Executor::edge_map` / `edge_map_in`"
-)]
-pub fn edge_map<O: EdgeOp>(
-    pg: &PreparedGraph,
-    frontier: &Frontier,
-    op: &O,
-    opts: &EdgeMapOptions,
-) -> (Frontier, EdgeMapReport) {
-    edge_map_impl(
-        pg,
-        frontier,
-        op,
-        opts.force_dense,
-        opts.threshold_den,
-        &TaskPolicy::unplaced(opts.parallel),
-    )
-}
-
 /// The traversal dispatcher behind [`crate::Executor::edge_map`]:
 /// direction selection, kernel choice, output-representation switch.
 pub(crate) fn edge_map_impl<O: EdgeOp>(
@@ -203,12 +159,13 @@ pub(crate) fn edge_map_impl<O: EdgeOp>(
                 traversal: Traversal::SparsePush,
                 tasks: Vec::new(),
                 output_size: 0,
+                shards: None,
             },
         );
     }
     let dense = force_dense.unwrap_or_else(|| frontier.is_dense_for(g, threshold_den));
     let next = AtomicBitset::new(n);
-    let (traversal, tasks) = if dense {
+    let (traversal, (tasks, shards)) = if dense {
         let f = frontier.to_dense();
         match pg.profile().dense_layout {
             DenseLayout::CscPull => (Traversal::DensePull, dense_pull(pg, &f, op, &next, policy)),
@@ -246,6 +203,7 @@ pub(crate) fn edge_map_impl<O: EdgeOp>(
             traversal,
             tasks,
             output_size,
+            shards,
         },
     )
 }
@@ -256,7 +214,7 @@ fn dense_pull<O: EdgeOp>(
     op: &O,
     next: &AtomicBitset,
     policy: &TaskPolicy,
-) -> Vec<TaskStats> {
+) -> (Vec<TaskStats>, Option<ShardOpReport>) {
     let g = pg.graph();
     let csc = g.csc();
     // Flat storage-agnostic views, hoisted once per call: whether the
@@ -303,7 +261,7 @@ fn dense_coo<O: EdgeOp>(
     op: &O,
     next: &AtomicBitset,
     policy: &TaskPolicy,
-) -> Vec<TaskStats> {
+) -> (Vec<TaskStats>, Option<ShardOpReport>) {
     let coo = pg.coo().expect("profile declares a COO dense layout");
     let words = frontier.words();
     let tasks = pg.tasks();
@@ -330,7 +288,7 @@ fn sparse_push<O: EdgeOp>(
     op: &O,
     next: &AtomicBitset,
     policy: &TaskPolicy,
-) -> Vec<TaskStats> {
+) -> (Vec<TaskStats>, Option<ShardOpReport>) {
     let g = pg.graph();
     let csr = g.csr();
     // Storage-agnostic flat views (owned or mapped), hoisted once.
@@ -365,7 +323,7 @@ fn sparse_partitioned<O: EdgeOp>(
     op: &O,
     next: &AtomicBitset,
     policy: &TaskPolicy,
-) -> Vec<TaskStats> {
+) -> (Vec<TaskStats>, Option<ShardOpReport>) {
     let sub = pg
         .sub_csr()
         .expect("profile declares partitioned sparse layout");
@@ -537,29 +495,33 @@ mod tests {
         assert_eq!(outputs[0], outputs[1]);
     }
 
-    /// The deprecated free-function shim behaves exactly like an
-    /// executor configured from the same options.
+    /// The sharded backend matches sequential execution and attaches a
+    /// per-shard report accounting for every task.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_executor() {
+    fn sharded_mode_matches_sequential() {
         let g = test_graph();
         let n = g.num_vertices();
         let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
         let pg = PreparedGraph::new(g.clone(), profile);
-        let run = |use_shim: bool| -> Vec<VertexId> {
+        let run = |exec: &Executor| -> (Vec<VertexId>, EdgeMapReport) {
             let op = ParentOp::new(n);
             op.parent[0].store(0, Ordering::Relaxed);
             let f = Frontier::single(n, 0);
-            let (out, _) = if use_shim {
-                edge_map(&pg, &f, &op, &EdgeMapOptions::default())
-            } else {
-                Executor::new(profile).edge_map(&pg, &f, &op)
-            };
+            let (out, report) = exec.edge_map(&pg, &f, &op);
             let mut got: Vec<VertexId> = out.iter_active().collect();
             got.sort_unstable();
-            got
+            (got, report)
         };
-        assert_eq!(run(true), run(false));
+        let (seq, seq_rep) = run(&Executor::new(profile));
+        assert!(seq_rep.shards.is_none());
+        for shards in [1usize, 2, 7] {
+            let (got, report) = run(&Executor::sharded(profile, shards));
+            assert_eq!(got, seq, "shards = {shards}");
+            let sr = report.shards.expect("sharded run reports shard stats");
+            assert_eq!(sr.shards.len(), shards);
+            let done: u64 = sr.shards.iter().map(|s| s.tasks_run + s.tasks_stolen).sum();
+            assert_eq!(done, report.tasks.len() as u64);
+        }
     }
 
     #[test]

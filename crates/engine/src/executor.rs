@@ -30,6 +30,7 @@ use crate::instrument::{InstrumentSink, Recorder, RunReport};
 use crate::ops::EdgeOp;
 use crate::prepared::PreparedGraph;
 use crate::profile::{Scheduling, SystemProfile};
+use crate::sharded::{ShardOpReport, ShardedExecutor};
 use crate::vertex_map::{vertex_map_impl, VertexMapReport};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -49,6 +50,16 @@ pub enum ExecMode {
     /// tested); per-task times become noisy under oversubscription, so
     /// use this for throughput, not for simulator input.
     Parallel,
+    /// Tasks run on `shards` long-lived worker threads, each owning one
+    /// shard of the task space with its own work queue and a
+    /// work-stealing fallback — the serving backend (see
+    /// [`crate::sharded`]). Results are identical to the other modes
+    /// (conformance tested); selecting this mode spawns the workers,
+    /// which are shared by every clone of the executor.
+    Sharded {
+        /// Number of shards (= worker threads); must be at least 1.
+        shards: usize,
+    },
 }
 
 /// Traversal direction policy for `edge_map`.
@@ -98,6 +109,9 @@ pub struct Executor {
     threshold_den: usize,
     numa_placement: bool,
     sinks: Vec<Arc<dyn InstrumentSink>>,
+    /// Long-lived worker pool, present exactly when `mode` is
+    /// [`ExecMode::Sharded`]; shared (`Arc`) by every clone.
+    pool: Option<Arc<ShardedExecutor>>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -125,7 +139,15 @@ impl Executor {
             threshold_den: 20,
             numa_placement: true,
             sinks: Vec::new(),
+            pool: None,
         }
+    }
+
+    /// A sharded serving executor for `profile`: shorthand for
+    /// `Executor::new(profile).with_mode(ExecMode::Sharded { shards })`.
+    /// Spawns the `shards` long-lived workers immediately.
+    pub fn sharded(profile: SystemProfile, shards: usize) -> Executor {
+        Executor::new(profile).with_mode(ExecMode::Sharded { shards })
     }
 
     /// The profile this executor schedules for.
@@ -138,9 +160,17 @@ impl Executor {
         self.mode
     }
 
-    /// Selects sequential (measured) or rayon-parallel execution.
+    /// Selects sequential (measured), rayon-parallel, or sharded
+    /// execution. Selecting [`ExecMode::Sharded`] spawns the worker pool
+    /// (long-lived threads shared by every clone of this executor);
+    /// selecting any other mode drops this executor's reference to a
+    /// previously spawned pool.
     pub fn with_mode(mut self, mode: ExecMode) -> Executor {
         self.mode = mode;
+        self.pool = match mode {
+            ExecMode::Sharded { shards } => Some(Arc::new(ShardedExecutor::spawn(shards))),
+            _ => None,
+        };
         self
     }
 
@@ -247,6 +277,9 @@ impl Executor {
             let class = frontier.density_class(pg.graph());
             for sink in &self.sinks {
                 sink.record_edge_map(class, &report);
+                if let Some(shards) = &report.shards {
+                    sink.record_shard_op(shards);
+                }
             }
         }
         (out, report)
@@ -267,6 +300,9 @@ impl Executor {
         let (out, report) = vertex_map_impl(pg, frontier, f, &self.task_policy());
         for sink in &self.sinks {
             sink.record_vertex_map(&report);
+            if let Some(shards) = &report.shards {
+                sink.record_shard_op(shards);
+            }
         }
         (out, report)
     }
@@ -286,38 +322,48 @@ impl Executor {
             .then_some(self.profile.topology)
     }
 
-    fn task_policy(&self) -> TaskPolicy {
+    fn task_policy(&self) -> TaskPolicy<'_> {
         TaskPolicy {
-            parallel: self.mode == ExecMode::Parallel,
+            exec: match (self.mode, &self.pool) {
+                (ExecMode::Sharded { .. }, Some(pool)) => TaskExec::Sharded(pool),
+                (ExecMode::Parallel, _) => TaskExec::Rayon,
+                _ => TaskExec::Sequential,
+            },
             placement: self.placement_topology(),
         }
     }
 }
 
+/// Which backend runs one operation's tasks.
+enum TaskExec<'a> {
+    Sequential,
+    Rayon,
+    Sharded(&'a ShardedExecutor),
+}
+
 /// How one operation's tasks execute: resolved from the executor, passed
 /// into the traversal kernels.
-pub(crate) struct TaskPolicy {
-    parallel: bool,
+pub(crate) struct TaskPolicy<'a> {
+    exec: TaskExec<'a>,
     placement: Option<NumaTopology>,
 }
 
-impl TaskPolicy {
-    /// The pre-executor behaviour for the deprecated free-function shims:
-    /// tasks in index order, no placement.
-    pub(crate) fn unplaced(parallel: bool) -> TaskPolicy {
-        TaskPolicy {
-            parallel,
-            placement: None,
-        }
-    }
-
+impl TaskPolicy<'_> {
     /// Runs `num_tasks` tasks, timing each; `f(task) -> (edges, vertices)`.
-    /// With a placement topology, tasks are visited in the plan's
-    /// socket-major interleaved order and stamped with their socket.
-    pub(crate) fn run<F>(&self, num_tasks: usize, f: F) -> Vec<TaskStats>
+    /// With a placement topology, the sequential and rayon backends visit
+    /// tasks in the plan's socket-major interleaved order, the sharded
+    /// backend splits them into socket-aligned shards; all three stamp
+    /// each task's socket. Returns the per-task stats plus the per-shard
+    /// report when the sharded backend ran.
+    pub(crate) fn run<F>(&self, num_tasks: usize, f: F) -> (Vec<TaskStats>, Option<ShardOpReport>)
     where
         F: Fn(usize) -> (u64, u64) + Sync,
     {
+        if let TaskExec::Sharded(pool) = &self.exec {
+            let (stats, report) = pool.run_tasks(num_tasks, self.placement.as_ref(), f);
+            return (stats, Some(report));
+        }
+        let parallel = matches!(self.exec, TaskExec::Rayon);
         let timed = |t: usize| {
             let t0 = Instant::now();
             let (edges, vertices) = f(t);
@@ -328,9 +374,9 @@ impl TaskPolicy {
                 socket: 0,
             }
         };
-        match &self.placement {
+        let stats = match &self.placement {
             None => {
-                if self.parallel {
+                if parallel {
                     (0..num_tasks).into_par_iter().map(timed).collect()
                 } else {
                     (0..num_tasks).map(timed).collect()
@@ -340,7 +386,7 @@ impl TaskPolicy {
                 let plan = topo.placement_plan(num_tasks);
                 let order = plan.execution_order();
                 let mut stats = vec![TaskStats::default(); num_tasks];
-                if self.parallel {
+                if parallel {
                     let done: Vec<(usize, TaskStats)> =
                         order.par_iter().map(|&t| (t, timed(t))).collect();
                     for (t, s) in done {
@@ -356,7 +402,8 @@ impl TaskPolicy {
                 }
                 stats
             }
-        }
+        };
+        (stats, None)
     }
 }
 

@@ -14,6 +14,7 @@ use crate::edge_map::EdgeMapReport;
 use crate::frontier::DensityClass;
 use crate::profile::Scheduling;
 use crate::schedule::{simulate, MakespanReport};
+use crate::sharded::ShardOpReport;
 use crate::vertex_map::VertexMapReport;
 use std::sync::Mutex;
 
@@ -29,6 +30,23 @@ pub trait InstrumentSink: Send + Sync {
 
     /// One `vertex_map` completed.
     fn record_vertex_map(&self, report: &VertexMapReport);
+
+    /// One operation completed on the sharded backend
+    /// ([`crate::ExecMode::Sharded`]); `op` carries per-shard queue
+    /// depth, tasks run/stolen, and busy time. Default: ignored, so
+    /// sinks that don't care about shard occupancy need not change.
+    fn record_shard_op(&self, op: &ShardOpReport) {
+        let _ = op;
+    }
+
+    /// One serving-layer request completed in `nanos` wall-clock
+    /// nanoseconds. The engine never calls this itself — request loops
+    /// (e.g. `vebo-serve`) forward per-request latencies through it so
+    /// one sink can correlate tail latency with shard occupancy.
+    /// Default: ignored.
+    fn record_request(&self, nanos: u64) {
+        let _ = nanos;
+    }
 }
 
 /// The default sink: accumulates operations into a [`RunReport`].
@@ -56,6 +74,122 @@ impl InstrumentSink for Recorder {
 
     fn record_vertex_map(&self, report: &VertexMapReport) {
         self.log.lock().unwrap().push_vertex(report.clone());
+    }
+}
+
+/// Aggregated sharded-backend metrics: per-shard queue depth, work, and
+/// occupancy across every operation, plus request tail latency — the
+/// serving dashboard's data source. Attach with
+/// [`Executor::with_sink`](crate::Executor::with_sink); request loops
+/// additionally forward per-request latencies via
+/// [`InstrumentSink::record_request`].
+#[derive(Debug, Default)]
+pub struct ShardMetricsSink {
+    inner: Mutex<ShardMetrics>,
+}
+
+/// Snapshot of a [`ShardMetricsSink`].
+#[derive(Clone, Debug, Default)]
+pub struct ShardMetrics {
+    /// Sharded operations observed.
+    pub ops: u64,
+    /// Per-shard totals, indexed by shard id (grows to the largest shard
+    /// count seen).
+    pub shards: Vec<ShardTotals>,
+    /// Per-request wall-clock latencies (nanoseconds), in completion
+    /// order.
+    pub request_nanos: Vec<u64>,
+}
+
+/// Accumulated per-shard counters of a [`ShardMetricsSink`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardTotals {
+    /// Sum of queue depths sampled at each operation's start.
+    pub queue_depth_sum: u64,
+    /// Largest queue depth sampled.
+    pub queue_depth_max: u64,
+    /// Tasks run from the shard's own queue.
+    pub tasks_run: u64,
+    /// Tasks stolen from other shards.
+    pub tasks_stolen: u64,
+    /// Busy nanoseconds across all operations.
+    pub busy_nanos: u64,
+    /// Wall nanoseconds across all operations (same for every shard of
+    /// one op; kept per shard so occupancy stays a per-shard ratio).
+    pub wall_nanos: u64,
+}
+
+impl ShardTotals {
+    /// Busy time as a fraction of operation wall time (0 when nothing
+    /// was measured).
+    pub fn occupancy(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / self.wall_nanos as f64
+        }
+    }
+}
+
+impl ShardMetrics {
+    /// Mean queue depth of shard `s` at operation start.
+    pub fn mean_queue_depth(&self, s: usize) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.shards[s].queue_depth_sum as f64 / self.ops as f64
+        }
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of request latency in nanoseconds
+    /// (nearest-rank); `None` when no requests were recorded.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        if self.request_nanos.is_empty() {
+            return None;
+        }
+        let mut sorted = self.request_nanos.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        Some(sorted[rank])
+    }
+}
+
+impl ShardMetricsSink {
+    /// An empty metrics sink.
+    pub fn new() -> ShardMetricsSink {
+        ShardMetricsSink::default()
+    }
+
+    /// A snapshot of everything accumulated so far.
+    pub fn snapshot(&self) -> ShardMetrics {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+impl InstrumentSink for ShardMetricsSink {
+    fn record_edge_map(&self, _class: DensityClass, _report: &EdgeMapReport) {}
+
+    fn record_vertex_map(&self, _report: &VertexMapReport) {}
+
+    fn record_shard_op(&self, op: &ShardOpReport) {
+        let mut m = self.inner.lock().unwrap();
+        m.ops += 1;
+        if m.shards.len() < op.shards.len() {
+            m.shards.resize(op.shards.len(), ShardTotals::default());
+        }
+        for (s, stats) in op.shards.iter().enumerate() {
+            let t = &mut m.shards[s];
+            t.queue_depth_sum += stats.queue_depth;
+            t.queue_depth_max = t.queue_depth_max.max(stats.queue_depth);
+            t.tasks_run += stats.tasks_run;
+            t.tasks_stolen += stats.tasks_stolen;
+            t.busy_nanos += stats.busy_nanos;
+            t.wall_nanos += op.wall_nanos;
+        }
+    }
+
+    fn record_request(&self, nanos: u64) {
+        self.inner.lock().unwrap().request_nanos.push(nanos);
     }
 }
 
@@ -190,6 +324,7 @@ mod tests {
                 })
                 .collect(),
             output_size: 0,
+            shards: None,
         }
     }
 
@@ -207,7 +342,10 @@ mod tests {
         let rec = Recorder::new();
         rec.record_edge_map(DensityClass::Dense, &em(&[1, 2]));
         rec.record_edge_map(DensityClass::Sparse, &em(&[3]));
-        rec.record_vertex_map(&VertexMapReport { tasks: Vec::new() });
+        rec.record_vertex_map(&VertexMapReport {
+            tasks: Vec::new(),
+            shards: None,
+        });
         let report = rec.take();
         assert_eq!(report.iterations, 2);
         assert_eq!(report.edge_maps.len(), 2);
@@ -219,5 +357,44 @@ mod tests {
         assert_eq!(report.total_edges(), 6);
         // Taking drains the recorder.
         assert_eq!(rec.take().iterations, 0);
+    }
+
+    #[test]
+    fn shard_metrics_aggregate_ops_and_latencies() {
+        use crate::sharded::{ShardOpReport, ShardOpStats};
+        let sink = ShardMetricsSink::new();
+        let op = ShardOpReport {
+            shards: vec![
+                ShardOpStats {
+                    queue_depth: 4,
+                    tasks_run: 4,
+                    tasks_stolen: 0,
+                    busy_nanos: 50,
+                },
+                ShardOpStats {
+                    queue_depth: 2,
+                    tasks_run: 2,
+                    tasks_stolen: 1,
+                    busy_nanos: 100,
+                },
+            ],
+            wall_nanos: 100,
+        };
+        sink.record_shard_op(&op);
+        sink.record_shard_op(&op);
+        for nanos in [10, 30, 20, 90, 40] {
+            sink.record_request(nanos);
+        }
+        let m = sink.snapshot();
+        assert_eq!(m.ops, 2);
+        assert_eq!(m.shards.len(), 2);
+        assert_eq!(m.shards[0].tasks_run, 8);
+        assert_eq!(m.shards[1].tasks_stolen, 2);
+        assert_eq!(m.mean_queue_depth(0), 4.0);
+        assert_eq!(m.shards[0].queue_depth_max, 4);
+        assert!((m.shards[1].occupancy() - 1.0).abs() < 1e-12);
+        assert_eq!(m.latency_quantile(0.5), Some(30));
+        assert_eq!(m.latency_quantile(1.0), Some(90));
+        assert_eq!(ShardMetrics::default().latency_quantile(0.5), None);
     }
 }

@@ -18,9 +18,12 @@
 //! so parallel wall-clock cannot be observed directly; instead, every
 //! `edge_map`/`vertex_map` measures per-task work and a deterministic
 //! [`schedule`] simulator computes the 48-thread makespan under each
-//! profile's scheduling policy (static vs work-stealing). Rayon-parallel
-//! execution ([`ExecMode::Parallel`]) is provided and tested for
-//! equivalence.
+//! profile's scheduling policy (static vs work-stealing). Two concurrent
+//! backends are provided and conformance-tested for equivalence:
+//! rayon-parallel execution ([`ExecMode::Parallel`]) for one-shot batch
+//! jobs, and the [`sharded`] serving backend ([`ExecMode::Sharded`]) —
+//! long-lived per-shard worker threads with work-stealing — for
+//! request loops firing many small operations (see `vebo-serve`).
 //!
 //! ```
 //! use vebo_engine::{Executor, Frontier, PreparedGraph, SystemProfile};
@@ -61,19 +64,19 @@ pub mod ops;
 pub mod prepared;
 pub mod profile;
 pub mod schedule;
+pub mod sharded;
 pub mod shared;
 pub mod vertex_map;
 
-#[allow(deprecated)]
-pub use edge_map::edge_map;
-pub use edge_map::{EdgeMapOptions, EdgeMapReport, TaskStats, Traversal};
+pub use edge_map::{EdgeMapReport, TaskStats, Traversal};
 pub use executor::{Direction, ExecMode, Executor};
 pub use frontier::{DensityClass, Frontier};
-pub use instrument::{InstrumentSink, Recorder, RunReport};
+pub use instrument::{
+    InstrumentSink, Recorder, RunReport, ShardMetrics, ShardMetricsSink, ShardTotals,
+};
 pub use ops::EdgeOp;
 pub use prepared::{subdivide_for_threads, PrepareError, PreparedGraph, PreparedGraphBuilder};
 pub use profile::{DenseLayout, Scheduling, SystemKind, SystemProfile};
 pub use schedule::{simulate, MakespanReport};
+pub use sharded::{ShardOpReport, ShardOpStats, ShardedExecutor};
 pub use vertex_map::VertexMapReport;
-#[allow(deprecated)]
-pub use vertex_map::{vertex_map, vertex_map_all};

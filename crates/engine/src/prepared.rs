@@ -178,27 +178,6 @@ impl PreparedGraph {
         PreparedGraph::from_parts(graph, profile, tasks, t0)
     }
 
-    /// As [`PreparedGraph::new`] but with explicit destination ranges
-    /// (e.g. VEBO's exact phase-3 boundaries instead of Algorithm 1).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `PreparedGraph::builder(g).profile(p).bounds(b).build()`, which validates the boundaries"
-    )]
-    pub fn with_bounds(
-        graph: Graph,
-        profile: SystemProfile,
-        tasks: PartitionBounds,
-    ) -> PreparedGraph {
-        match PreparedGraph::builder(graph)
-            .profile(profile)
-            .bounds(tasks)
-            .build()
-        {
-            Ok(pg) => pg,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Materializes the layouts for already-validated `tasks`; `t0` is
     /// when preparation began (so `prep_time` covers the bounds
     /// computation too, as Table VI charges it).
@@ -362,20 +341,6 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(pg.num_tasks(), 10);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn with_bounds_shim_matches_builder() {
-        let g = Dataset::YahooLike.build(0.05);
-        let n = g.num_vertices();
-        let bounds = PartitionBounds::vertex_balanced(n, 10);
-        let pg = PreparedGraph::with_bounds(
-            g,
-            SystemProfile::graphgrind_like(EdgeOrder::Csr),
-            bounds.clone(),
-        );
-        assert_eq!(pg.tasks(), &bounds);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::edge_map::TaskStats;
 use crate::executor::TaskPolicy;
 use crate::frontier::Frontier;
 use crate::prepared::PreparedGraph;
+use crate::sharded::ShardOpReport;
 use crate::shared::AtomicBitset;
 use vebo_graph::VertexId;
 
@@ -18,6 +19,10 @@ use vebo_graph::VertexId;
 pub struct VertexMapReport {
     /// Per-task (per-thread-chunk) measurements.
     pub tasks: Vec<TaskStats>,
+    /// Per-shard queue/occupancy measurements — `Some` exactly when the
+    /// operation ran on the sharded backend
+    /// ([`crate::ExecMode::Sharded`]).
+    pub shards: Option<ShardOpReport>,
 }
 
 impl VertexMapReport {
@@ -30,36 +35,6 @@ impl VertexMapReport {
     pub fn total_nanos(&self) -> u64 {
         self.tasks.iter().map(|t| t.nanos).sum()
     }
-}
-
-/// Deprecated free-function shim over [`crate::Executor::vertex_map`].
-#[deprecated(
-    since = "0.1.0",
-    note = "construct an `Executor` (`Executor::new(profile)`) and call `Executor::vertex_map`"
-)]
-pub fn vertex_map<F>(
-    pg: &PreparedGraph,
-    frontier: &Frontier,
-    f: F,
-    parallel: bool,
-) -> (Frontier, VertexMapReport)
-where
-    F: Fn(VertexId) -> bool + Sync,
-{
-    vertex_map_impl(pg, frontier, f, &TaskPolicy::unplaced(parallel))
-}
-
-/// Deprecated free-function shim over [`crate::Executor::vertex_map_all`].
-#[deprecated(
-    since = "0.1.0",
-    note = "construct an `Executor` (`Executor::new(profile)`) and call `Executor::vertex_map_all`"
-)]
-pub fn vertex_map_all<F>(pg: &PreparedGraph, f: F, parallel: bool) -> (Frontier, VertexMapReport)
-where
-    F: Fn(VertexId) -> bool + Sync,
-{
-    let all = Frontier::all(pg.graph().num_vertices());
-    vertex_map_impl(pg, &all, f, &TaskPolicy::unplaced(parallel))
 }
 
 /// The kernel behind [`crate::Executor::vertex_map`]: dense vertexmap
@@ -76,7 +51,7 @@ where
 {
     let n = pg.graph().num_vertices();
     let next = AtomicBitset::new(n);
-    let tasks = match frontier {
+    let (tasks, shards) = match frontier {
         Frontier::Dense { .. } => {
             // Borrow the membership bits in place: the frontier is
             // already dense in this arm, so no clone-and-copy is needed
@@ -116,10 +91,10 @@ where
     } else {
         out
     };
-    (out, VertexMapReport { tasks })
+    (out, VertexMapReport { tasks, shards })
 }
 
-fn run<F>(num_tasks: usize, policy: &TaskPolicy, f: F) -> Vec<TaskStats>
+fn run<F>(num_tasks: usize, policy: &TaskPolicy, f: F) -> (Vec<TaskStats>, Option<ShardOpReport>)
 where
     F: Fn(usize) -> u64 + Sync,
 {
@@ -192,16 +167,25 @@ mod tests {
         assert_eq!(va, vb);
     }
 
-    /// The deprecated free-function shims agree with the executor.
+    /// The sharded backend agrees with the executor's sequential mode
+    /// and carries a per-shard report.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_executor() {
+    fn sharded_matches_sequential() {
         let g = Dataset::YahooLike.build(0.05);
-        let pg = PreparedGraph::new(g, SystemProfile::ligra_like());
-        let (a, _) = vertex_map_all(&pg, |v| v % 5 == 2, false);
-        let (b, _) = Executor::new(SystemProfile::ligra_like()).vertex_map_all(&pg, |v| v % 5 == 2);
+        let profile = SystemProfile::ligra_like();
+        let pg = PreparedGraph::new(g, profile);
+        let (a, _) = Executor::new(profile).vertex_map_all(&pg, |v| v % 5 == 2);
+        let (b, rep) = Executor::sharded(profile, 3).vertex_map_all(&pg, |v| v % 5 == 2);
         let va: Vec<_> = a.iter_active().collect();
         let vb: Vec<_> = b.iter_active().collect();
         assert_eq!(va, vb);
+        let shards = rep.shards.expect("sharded run reports shard stats");
+        assert_eq!(shards.shards.len(), 3);
+        let done: u64 = shards
+            .shards
+            .iter()
+            .map(|s| s.tasks_run + s.tasks_stolen)
+            .sum();
+        assert_eq!(done, rep.tasks.len() as u64);
     }
 }

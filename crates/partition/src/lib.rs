@@ -15,6 +15,8 @@
 //!   traversal;
 //! * [`numa`] — partition-to-socket mapping for the simulated NUMA
 //!   machine;
+//! * [`shard`] — derivation of serving-executor shards as unions of
+//!   whole partitions, socket-block aligned;
 //! * [`assignment`] — general (non-contiguous) vertex assignments with
 //!   cut/replication/balance metrics and the contiguous relabeling §VI
 //!   says METIS-style partitions need on shared memory;
@@ -31,6 +33,7 @@ pub mod multilevel;
 pub mod numa;
 pub mod partitioned;
 pub mod replication;
+pub mod shard;
 pub mod stats;
 
 pub use assignment::{AssignmentQuality, VertexAssignment};
@@ -39,3 +42,4 @@ pub use edge_order::EdgeOrder;
 pub use multilevel::{BalanceMode, MetisLikeOrder, Multilevel, MultilevelConfig};
 pub use numa::{NumaTopology, PlacementPlan};
 pub use partitioned::{PartitionedCoo, SubCsr};
+pub use shard::ShardPlan;

@@ -1,0 +1,208 @@
+//! Shard derivation for the sharded serving executor: split the task
+//! space (one task per partition) into `S` contiguous shards, each owned
+//! by one long-lived worker thread.
+//!
+//! Shards are unions of whole partitions, so every shard boundary is a
+//! partition boundary: the vertex ranges VEBO balanced stay intact, and
+//! the per-shard edge/vertex totals are exactly the sums of the
+//! partition statistics the paper's Algorithm 1 balances. When a
+//! [`PlacementPlan`] is available (statically scheduled profiles), the
+//! split additionally respects socket blocks: with `S <= sockets` each
+//! shard owns whole sockets; with `S > sockets` sockets are subdivided
+//! but never straddled — a shard never spans two sockets' arrays.
+
+use crate::by_destination::PartitionBounds;
+use crate::numa::PlacementPlan;
+use vebo_graph::Graph;
+
+/// A partition of the task space `0..num_tasks` into `S` contiguous
+/// shards (some possibly empty when `S > num_tasks`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Task-index boundaries: shard `s` owns tasks
+    /// `task_starts[s]..task_starts[s + 1]`. Length `num_shards + 1`,
+    /// monotone, first 0, last `num_tasks`.
+    task_starts: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Splits `0..num_tasks` into `num_shards` contiguous, task-balanced
+    /// shards (the placement-free derivation, used for dynamically
+    /// scheduled profiles).
+    pub fn contiguous(num_tasks: usize, num_shards: usize) -> ShardPlan {
+        assert!(num_shards >= 1, "need at least one shard");
+        let task_starts = (0..=num_shards)
+            .map(|s| s * num_tasks / num_shards)
+            .collect();
+        ShardPlan { task_starts }
+    }
+
+    /// Splits the plan's tasks into `num_shards` shards that respect the
+    /// socket blocks: with `S <= sockets` each shard owns a contiguous
+    /// run of whole sockets; with `S > sockets` each socket's block is
+    /// subdivided among its own shards, so no shard straddles a socket
+    /// boundary.
+    pub fn from_placement(plan: &PlacementPlan, num_shards: usize) -> ShardPlan {
+        assert!(num_shards >= 1, "need at least one shard");
+        let sockets = plan.num_sockets();
+        let mut task_starts = Vec::with_capacity(num_shards + 1);
+        if num_shards <= sockets {
+            // Whole sockets per shard: shard k owns sockets
+            // [k * sockets / S, (k + 1) * sockets / S).
+            for k in 0..num_shards {
+                let first_socket = k * sockets / num_shards;
+                task_starts.push(plan.tasks_of_socket(first_socket).start);
+            }
+        } else {
+            // Subdivide each socket's block among its own shards.
+            for s in 0..sockets {
+                let range = plan.tasks_of_socket(s);
+                let local = (s + 1) * num_shards / sockets - s * num_shards / sockets;
+                for j in 0..local {
+                    task_starts.push(range.start + j * range.len() / local);
+                }
+            }
+        }
+        task_starts.push(plan.num_tasks());
+        ShardPlan { task_starts }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.task_starts.len() - 1
+    }
+
+    /// Number of tasks the plan covers.
+    pub fn num_tasks(&self) -> usize {
+        *self.task_starts.last().unwrap()
+    }
+
+    /// Contiguous task range owned by shard `s`.
+    pub fn tasks_of(&self, s: usize) -> std::ops::Range<usize> {
+        self.task_starts[s]..self.task_starts[s + 1]
+    }
+
+    /// The task-index boundaries (length `num_shards + 1`).
+    pub fn task_starts(&self) -> &[usize] {
+        &self.task_starts
+    }
+
+    /// The shard owning task `t`.
+    pub fn shard_of_task(&self, t: usize) -> usize {
+        assert!(t < self.num_tasks(), "task {t} out of range");
+        self.task_starts.partition_point(|&b| b <= t) - 1
+    }
+
+    /// The shard boundaries in *vertex* space under `bounds` (one task
+    /// per partition): entry `s` is the first vertex of shard `s`;
+    /// length `num_shards + 1`. Because shards are unions of whole
+    /// partitions, every returned boundary is a partition boundary.
+    pub fn vertex_starts(&self, bounds: &PartitionBounds) -> Vec<usize> {
+        assert_eq!(
+            bounds.num_partitions(),
+            self.num_tasks(),
+            "bounds cover a different task count"
+        );
+        self.task_starts
+            .iter()
+            .map(|&t| bounds.starts()[t])
+            .collect()
+    }
+
+    /// Vertex range owned by shard `s` under `bounds`.
+    pub fn vertex_range(&self, bounds: &PartitionBounds, s: usize) -> std::ops::Range<usize> {
+        let r = self.tasks_of(s);
+        bounds.starts()[r.start]..bounds.starts()[r.end]
+    }
+
+    /// Destination-edge count per shard under `bounds`: edges whose
+    /// destination falls in each shard's vertex range. Partitioning is by
+    /// destination, so these sum to `m` exactly.
+    pub fn edge_counts(&self, g: &Graph, bounds: &PartitionBounds) -> Vec<u64> {
+        let offsets = g.csc().offsets();
+        (0..self.num_shards())
+            .map(|s| {
+                let r = self.vertex_range(bounds, s);
+                (offsets[r.end] - offsets[r.start]) as u64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numa::NumaTopology;
+
+    #[test]
+    fn contiguous_covers_all_tasks() {
+        for (tasks, shards) in [(48, 1), (48, 2), (48, 7), (3, 7), (0, 2), (384, 16)] {
+            let plan = ShardPlan::contiguous(tasks, shards);
+            assert_eq!(plan.num_shards(), shards);
+            assert_eq!(plan.num_tasks(), tasks);
+            let mut covered = 0;
+            for s in 0..shards {
+                let r = plan.tasks_of(s);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, tasks);
+            for t in 0..tasks {
+                let s = plan.shard_of_task(t);
+                assert!(plan.tasks_of(s).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn placement_split_respects_socket_blocks() {
+        let topo = NumaTopology::default();
+        let plan = topo.placement_plan(384);
+        // S <= sockets: every shard boundary is a socket boundary.
+        for shards in [1usize, 2, 3, 4] {
+            let sp = ShardPlan::from_placement(&plan, shards);
+            assert_eq!(sp.num_tasks(), 384);
+            let socket_starts: Vec<usize> = (0..4).map(|s| plan.tasks_of_socket(s).start).collect();
+            for &b in &sp.task_starts()[..shards] {
+                assert!(
+                    socket_starts.contains(&b),
+                    "boundary {b} not a socket start"
+                );
+            }
+        }
+        // S > sockets: no shard straddles a socket boundary.
+        for shards in [5usize, 7, 16] {
+            let sp = ShardPlan::from_placement(&plan, shards);
+            assert_eq!(sp.num_tasks(), 384);
+            for s in 0..shards {
+                let r = sp.tasks_of(s);
+                if r.is_empty() {
+                    continue;
+                }
+                assert_eq!(
+                    plan.socket_of(r.start),
+                    plan.socket_of(r.end - 1),
+                    "shard {s} spans sockets"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_ranges_tile_the_graph() {
+        let g = vebo_graph::Dataset::YahooLike.build(0.05);
+        let bounds = PartitionBounds::edge_balanced(&g, 48);
+        let m = g.num_edges() as u64;
+        for shards in [1usize, 2, 7, 48, 100] {
+            let sp = ShardPlan::contiguous(48, shards);
+            let vs = sp.vertex_starts(&bounds);
+            assert_eq!(vs[0], 0);
+            assert_eq!(*vs.last().unwrap(), g.num_vertices());
+            for w in vs.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            let edges = sp.edge_counts(&g, &bounds);
+            assert_eq!(edges.iter().sum::<u64>(), m, "shards = {shards}");
+        }
+    }
+}

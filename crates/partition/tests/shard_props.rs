@@ -1,0 +1,131 @@
+//! Property tests for [`vebo_partition::ShardPlan`]: shard derivation is
+//! a *partition* of the graph — every task in exactly one shard, every
+//! vertex in exactly one shard, shard boundaries always partition
+//! boundaries (socket boundaries too, where a placement plan is given),
+//! and per-shard edge counts summing to exactly `m`.
+
+use proptest::prelude::*;
+use vebo_graph::graph::mix64;
+use vebo_graph::{Graph, VertexId};
+use vebo_partition::numa::NumaTopology;
+use vebo_partition::{PartitionBounds, ShardPlan};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..80, 0usize..400, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = mix64(x);
+            x
+        };
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|_| {
+                (
+                    (next() % n as u64) as VertexId,
+                    (next() % n as u64) as VertexId,
+                )
+            })
+            .collect();
+        Graph::from_edges(n, &edges, true)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contiguous derivation: shards tile the task space and every task
+    /// lands in exactly the shard that claims it.
+    #[test]
+    fn shards_partition_the_task_space(tasks in 0usize..600, shards in 1usize..20) {
+        let plan = ShardPlan::contiguous(tasks, shards);
+        prop_assert_eq!(plan.num_shards(), shards);
+        prop_assert_eq!(plan.num_tasks(), tasks);
+        let mut covered = 0usize;
+        for s in 0..shards {
+            let r = plan.tasks_of(s);
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, tasks);
+        for t in 0..tasks {
+            prop_assert!(plan.tasks_of(plan.shard_of_task(t)).contains(&t));
+        }
+    }
+
+    /// Vertex-space partition property over edge-balanced bounds: every
+    /// vertex in exactly one shard, every shard boundary a partition
+    /// boundary, per-shard destination-edge counts summing to m.
+    #[test]
+    fn shards_partition_vertices_and_edges(
+        g in arb_graph(),
+        partitions in 1usize..40,
+        shards in 1usize..12,
+    ) {
+        let bounds = PartitionBounds::edge_balanced(&g, partitions);
+        let plan = ShardPlan::contiguous(bounds.num_partitions(), shards);
+        let vs = plan.vertex_starts(&bounds);
+
+        // Tiling: [0, ..., n], monotone — every vertex in exactly one shard.
+        prop_assert_eq!(vs[0], 0);
+        prop_assert_eq!(*vs.last().unwrap(), g.num_vertices());
+        for w in vs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for v in 0..g.num_vertices() {
+            let owners = (0..plan.num_shards())
+                .filter(|&s| plan.vertex_range(&bounds, s).contains(&v))
+                .count();
+            prop_assert_eq!(owners, 1, "vertex {} owned by {} shards", v, owners);
+        }
+
+        // Boundaries respect PartitionBounds.
+        for &b in &vs {
+            prop_assert!(bounds.starts().contains(&b), "{} not a partition boundary", b);
+        }
+
+        // Edge conservation.
+        let per_shard = plan.edge_counts(&g, &bounds);
+        prop_assert_eq!(per_shard.iter().sum::<u64>(), g.num_edges() as u64);
+    }
+
+    /// Placement-aligned derivation: still a partition of the task
+    /// space, and socket-block aligned — with `S <= sockets` every shard
+    /// boundary is a socket boundary; with `S > sockets` no nonempty
+    /// shard straddles a socket boundary.
+    #[test]
+    fn placement_shards_respect_socket_blocks(
+        tasks in 1usize..600,
+        shards in 1usize..20,
+        sockets in 1usize..8,
+    ) {
+        let topo = NumaTopology { num_sockets: sockets, num_threads: sockets * 12 };
+        let placement = topo.placement_plan(tasks);
+        let plan = ShardPlan::from_placement(&placement, shards);
+        prop_assert_eq!(plan.num_shards(), shards);
+        prop_assert_eq!(plan.num_tasks(), tasks);
+        let mut covered = 0usize;
+        for s in 0..shards {
+            let r = plan.tasks_of(s);
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, tasks);
+        if shards <= sockets {
+            let socket_starts: Vec<usize> =
+                (0..sockets).map(|s| placement.tasks_of_socket(s).start).collect();
+            for &b in &plan.task_starts()[..shards] {
+                prop_assert!(socket_starts.contains(&b), "boundary {} not a socket start", b);
+            }
+        } else {
+            for s in 0..shards {
+                let r = plan.tasks_of(s);
+                if !r.is_empty() {
+                    prop_assert_eq!(
+                        placement.socket_of(r.start),
+                        placement.socket_of(r.end - 1),
+                        "shard {} spans sockets", s
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared helpers for the engine conformance suites
+//! (`storage_equivalence.rs`, `executor_conformance.rs`): equality over
+//! everything *deterministic* in a run's measurement reports.
+
+use vebo::engine::{EdgeMapReport, RunReport};
+
+/// Two edgemap reports must agree on traversal choice, output size, and
+/// per-task work/socket stamps (wall-clock nanos and the per-shard
+/// occupancy report are the only fields allowed to differ).
+pub fn assert_edge_maps_match(a: &EdgeMapReport, b: &EdgeMapReport, tag: &str) {
+    assert_eq!(a.traversal, b.traversal, "{tag}: traversal choice");
+    assert_eq!(a.output_size, b.output_size, "{tag}: output size");
+    assert_eq!(a.tasks.len(), b.tasks.len(), "{tag}: task count");
+    for (i, (x, y)) in a.tasks.iter().zip(&b.tasks).enumerate() {
+        assert_eq!(x.edges, y.edges, "{tag}: task {i} edges");
+        assert_eq!(x.vertices, y.vertices, "{tag}: task {i} vertices");
+        assert_eq!(x.socket, y.socket, "{tag}: task {i} socket");
+    }
+}
+
+/// Everything deterministic in two run reports must agree.
+pub fn assert_reports_match(a: &RunReport, b: &RunReport, tag: &str) {
+    assert_eq!(a.iterations, b.iterations, "{tag}: iterations");
+    assert_eq!(
+        a.frontier_classes, b.frontier_classes,
+        "{tag}: frontier classes"
+    );
+    assert_eq!(a.edge_maps.len(), b.edge_maps.len(), "{tag}: edgemap count");
+    for (i, (x, y)) in a.edge_maps.iter().zip(&b.edge_maps).enumerate() {
+        assert_edge_maps_match(x, y, &format!("{tag} edgemap {i}"));
+    }
+    assert_eq!(
+        a.vertex_maps.len(),
+        b.vertex_maps.len(),
+        "{tag}: vertexmap count"
+    );
+    for (i, (x, y)) in a.vertex_maps.iter().zip(&b.vertex_maps).enumerate() {
+        assert_eq!(x.tasks.len(), y.tasks.len(), "{tag}: vertexmap {i} tasks");
+        assert_eq!(
+            x.total_vertices(),
+            y.total_vertices(),
+            "{tag}: vertexmap {i} vertices"
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Cross-executor conformance suite: every executor backend — sequential
+//! measured, rayon-parallel, and sharded at S ∈ {1, 2, 7} — must be
+//! *indistinguishable* for all 8 algorithms on all 3 system profiles.
+//! The sharded serving backend joins with the same day-one coverage the
+//! storage backends got in `storage_equivalence.rs`.
+//!
+//! "Indistinguishable" is checked at two levels:
+//!
+//! 1. **Bit-identical result digests.** Each algorithm's result is
+//!    reduced to a canonical `Vec<u64>` digest that quotients out only
+//!    the freedom the algorithm's *specification* grants (and nothing
+//!    more):
+//!    * PR, SPMV, BP, BF — the raw `f64` bit patterns (PR/SPMV/BP force
+//!      dense traversal, so every accumulation is destination-owned; BF
+//!      converges to the unique shortest-distance fixed point);
+//!    * BFS — levels, not parents (which parent wins a same-level race
+//!      is a legitimate tie-break; the level array is not);
+//!    * CC — the final labels (the component-minimum fixed point);
+//!    * BC, PRD — `f64` bits under an executor pinned to
+//!      `Direction::Dense`: their sparse push interleaves atomic `f64`
+//!      additions across tasks, so cross-backend bit equality is only
+//!      *defined* for destination-owned accumulation. (A separate
+//!      tolerance test covers their auto-direction sparse paths.)
+//! 2. **Deterministic `RunReport` fields.** For the algorithms whose
+//!    round structure is scheduling-independent (PR, PRD, BFS, BC,
+//!    SPMV, BP), iteration counts, frontier classes, traversal choices,
+//!    output sizes, task counts, per-task edge/vertex work, and socket
+//!    stamps must all agree with the sequential reference; wall-clock
+//!    nanos and the shard occupancy report are the only backend-specific
+//!    fields. (CC and BF propagate values written *within* a round, so
+//!    their round count legitimately depends on task interleaving —
+//!    their digests above still may not.)
+//!
+//! A concurrency stress test then fires interleaved request batches at
+//! one shared sharded executor and checks every response against its
+//! sequential reference.
+
+mod common;
+
+use common::assert_reports_match;
+use vebo::engine::{Direction, ExecMode, Executor, PreparedGraph, RunReport, SystemProfile};
+use vebo::partition::EdgeOrder;
+use vebo_algorithms::bc::bc;
+use vebo_algorithms::bellman_ford::bellman_ford;
+use vebo_algorithms::bfs::{bfs, levels_from_parents};
+use vebo_algorithms::bp::{bp, BpConfig};
+use vebo_algorithms::cc::cc;
+use vebo_algorithms::pagerank::{pagerank, PageRankConfig};
+use vebo_algorithms::pagerank_delta::{pagerank_delta, PageRankDeltaConfig};
+use vebo_algorithms::spmv::spmv;
+use vebo_algorithms::{default_source, needs_weights, AlgorithmKind};
+use vebo_bench::serve::{generate_requests, ServeEngine};
+
+fn profiles() -> [SystemProfile; 3] {
+    [
+        SystemProfile::ligra_like(),
+        SystemProfile::polymer_like(),
+        SystemProfile::graphgrind_like(EdgeOrder::Csr),
+    ]
+}
+
+/// The backends under test: name, executor factory.
+fn backends(profile: SystemProfile) -> Vec<(String, Executor)> {
+    let mut out = vec![
+        ("sequential".to_string(), Executor::new(profile)),
+        (
+            "rayon".to_string(),
+            Executor::new(profile).with_mode(ExecMode::Parallel),
+        ),
+    ];
+    for shards in [1usize, 2, 7] {
+        out.push((
+            format!("sharded-{shards}"),
+            Executor::sharded(profile, shards),
+        ));
+    }
+    out
+}
+
+/// Whether cross-backend digests are only defined under pinned dense
+/// traversal (see the module docs).
+fn needs_dense_pin(kind: AlgorithmKind) -> bool {
+    matches!(kind, AlgorithmKind::Bc | AlgorithmKind::Prd)
+}
+
+/// Whether the algorithm's round structure (and hence its whole
+/// deterministic report) is scheduling-independent.
+fn report_is_deterministic(kind: AlgorithmKind) -> bool {
+    !matches!(kind, AlgorithmKind::Cc | AlgorithmKind::Bf)
+}
+
+fn f64_bits(v: Vec<f64>) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Canonical bit-exact digest of one algorithm run.
+fn digest(kind: AlgorithmKind, exec: &Executor, pg: &PreparedGraph) -> (Vec<u64>, RunReport) {
+    let exec = if needs_dense_pin(kind) {
+        exec.clone().with_direction(Direction::Dense)
+    } else {
+        exec.clone()
+    };
+    let src = default_source(pg.graph());
+    match kind {
+        AlgorithmKind::Pr => {
+            let (r, rep) = pagerank(&exec, pg, &PageRankConfig::default());
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Prd => {
+            let (r, rep) = pagerank_delta(&exec, pg, &PageRankDeltaConfig::default());
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Bfs => {
+            let (r, rep) = bfs(&exec, pg, src);
+            (
+                levels_from_parents(&r, src)
+                    .into_iter()
+                    .map(u64::from)
+                    .collect(),
+                rep,
+            )
+        }
+        AlgorithmKind::Bc => {
+            let (r, rep) = bc(&exec, pg, src);
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Cc => {
+            let (r, rep) = cc(&exec, pg);
+            (r.into_iter().map(u64::from).collect(), rep)
+        }
+        AlgorithmKind::Spmv => {
+            let x: Vec<f64> = (0..pg.graph().num_vertices())
+                .map(|i| ((i % 17) as f64) / 17.0)
+                .collect();
+            let (r, rep) = spmv(&exec, pg, &x);
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Bf => {
+            let (r, rep) = bellman_ford(&exec, pg, src);
+            (f64_bits(r), rep)
+        }
+        AlgorithmKind::Bp => {
+            let (r, rep) = bp(&exec, pg, &BpConfig::default());
+            (f64_bits(r), rep)
+        }
+    }
+}
+
+/// The acceptance matrix: 8 algorithms x 3 profiles x 5 backends, all
+/// digests bit-identical to the sequential reference, all deterministic
+/// report fields equal where the algorithm's rounds are deterministic.
+#[test]
+fn all_backends_agree_on_all_algorithms_and_profiles() {
+    let plain = vebo::graph::Dataset::YahooLike.build(0.02);
+    let weighted = plain.clone().with_hash_weights(16);
+    for profile in profiles() {
+        let pg_plain = PreparedGraph::builder(plain.clone())
+            .profile(profile)
+            .build()
+            .unwrap();
+        let pg_weighted = PreparedGraph::builder(weighted.clone())
+            .profile(profile)
+            .build()
+            .unwrap();
+        for kind in AlgorithmKind::ALL {
+            let pg = if needs_weights(kind) {
+                &pg_weighted
+            } else {
+                &pg_plain
+            };
+            let mut reference: Option<(Vec<u64>, RunReport)> = None;
+            for (name, exec) in backends(profile) {
+                let tag = format!("{} on {:?} via {name}", kind.code(), profile.kind);
+                let (dig, rep) = digest(kind, &exec, pg);
+                assert!(rep.iterations > 0, "{tag}: ran nothing");
+                // Sharded runs must carry shard reports; others must not.
+                let sharded = name.starts_with("sharded");
+                for em in &rep.edge_maps {
+                    if em.tasks.is_empty() {
+                        continue; // empty-frontier short circuit
+                    }
+                    assert_eq!(em.shards.is_some(), sharded, "{tag}: shard report");
+                }
+                match &reference {
+                    None => reference = Some((dig, rep)),
+                    Some((ref_dig, ref_rep)) => {
+                        assert_eq!(&dig, ref_dig, "{tag}: result digest");
+                        if report_is_deterministic(kind) {
+                            assert_reports_match(ref_rep, &rep, &tag);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// BC and PRD under automatic direction selection take the sparse-push
+/// path, where atomic f64 addition order is scheduling-dependent; the
+/// backends must still agree to floating-point accumulation tolerance.
+#[test]
+fn racy_accumulators_agree_within_tolerance_under_auto_direction() {
+    let g = vebo::graph::Dataset::YahooLike.build(0.02);
+    let profile = SystemProfile::ligra_like();
+    let pg = PreparedGraph::builder(g.clone())
+        .profile(profile)
+        .build()
+        .unwrap();
+    let src = default_source(&g);
+    for kind in [AlgorithmKind::Bc, AlgorithmKind::Prd] {
+        let run = |exec: &Executor| -> Vec<f64> {
+            match kind {
+                AlgorithmKind::Bc => bc(exec, &pg, src).0,
+                _ => pagerank_delta(exec, &pg, &PageRankDeltaConfig::default()).0,
+            }
+        };
+        let want = run(&Executor::new(profile));
+        for (name, exec) in backends(profile) {
+            let got = run(&exec);
+            for (v, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+                    "{} via {name}: vertex {v}: {a} vs {b}",
+                    kind.code()
+                );
+            }
+        }
+    }
+}
+
+/// Concurrency stress: interleaved request batches against one *shared*
+/// sharded executor; every response digest must equal the sequential
+/// reference computed request by request.
+#[test]
+fn concurrent_requests_match_sequential_reference() {
+    let profile = SystemProfile::polymer_like();
+    let g = vebo::graph::Dataset::YahooLike.build(0.02);
+    let requests = generate_requests(24, 99);
+
+    let sequential = ServeEngine::new(g.clone(), profile, Executor::new(profile));
+    let reference: Vec<u64> = requests
+        .iter()
+        .map(|r| sequential.handle(r).digest)
+        .collect();
+
+    for shards in [2usize, 7] {
+        let shared = ServeEngine::new(g.clone(), profile, Executor::sharded(profile, shards));
+        for concurrency in [4usize, 8] {
+            let batch = shared.run_batch(&requests, concurrency);
+            for (i, resp) in batch.responses.iter().enumerate() {
+                assert_eq!(
+                    resp.digest,
+                    reference[i],
+                    "request {i} ({}) with {shards} shards, {concurrency} request threads",
+                    requests[i].code()
+                );
+            }
+        }
+        // The shared pool really was exercised concurrently.
+        let m = shared.metrics();
+        assert!(m.ops > 0);
+        assert_eq!(m.request_nanos.len(), 2 * requests.len());
+    }
+}
+
+/// Direct engine-level interleaving (no serving layer): many threads run
+/// different algorithms through clones of one sharded executor at once.
+#[test]
+fn interleaved_algorithms_share_one_pool() {
+    let profile = SystemProfile::graphgrind_like(EdgeOrder::Csr);
+    let g = vebo::graph::Dataset::YahooLike.build(0.02);
+    let pg = PreparedGraph::builder(g.clone())
+        .profile(profile)
+        .build()
+        .unwrap();
+    let src = default_source(&g);
+    let seq = Executor::new(profile);
+    let want_levels = levels_from_parents(&bfs(&seq, &pg, src).0, src);
+    let (want_labels, _) = cc(&seq, &pg);
+    let want_ranks = pagerank(&seq, &pg, &PageRankConfig::default()).0;
+
+    let exec = Executor::sharded(profile, 3);
+    let (exec, pg) = (&exec, &pg);
+    let (want_levels, want_labels, want_ranks) = (&want_levels, &want_labels, &want_ranks);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let got = levels_from_parents(&bfs(exec, pg, src).0, src);
+                assert_eq!(&got, want_levels, "bfs under interleaving");
+            });
+            scope.spawn(move || {
+                let (got, _) = cc(exec, pg);
+                assert_eq!(&got, want_labels, "cc under interleaving");
+            });
+            scope.spawn(move || {
+                let got = pagerank(exec, pg, &PageRankConfig::default()).0;
+                let bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+                let want_bits: Vec<u64> = want_ranks.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(bits, want_bits, "pagerank under interleaving");
+            });
+        }
+    });
+}

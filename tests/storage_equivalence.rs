@@ -14,7 +14,10 @@
 //!    vertex work counts, and output sizes (wall-clock nanos are the only
 //!    field allowed to differ).
 
-use vebo::engine::{EdgeMapReport, Executor, PreparedGraph, SystemProfile};
+mod common;
+
+use common::assert_reports_match;
+use vebo::engine::{Executor, PreparedGraph, SystemProfile};
 use vebo::partition::EdgeOrder;
 use vebo_algorithms::bc::bc;
 use vebo_algorithms::bellman_ford::bellman_ford;
@@ -76,44 +79,6 @@ fn run(kind: AlgorithmKind, exec: &Executor, pg: &PreparedGraph) -> (Vec<u64>, R
             let (r, rep) = bp(exec, pg, &BpConfig::default());
             (f64_bits(r), rep)
         }
-    }
-}
-
-fn assert_edge_maps_match(a: &EdgeMapReport, b: &EdgeMapReport, tag: &str) {
-    assert_eq!(a.traversal, b.traversal, "{tag}: traversal choice");
-    assert_eq!(a.output_size, b.output_size, "{tag}: output size");
-    assert_eq!(a.tasks.len(), b.tasks.len(), "{tag}: task count");
-    for (i, (x, y)) in a.tasks.iter().zip(&b.tasks).enumerate() {
-        assert_eq!(x.edges, y.edges, "{tag}: task {i} edges");
-        assert_eq!(x.vertices, y.vertices, "{tag}: task {i} vertices");
-        assert_eq!(x.socket, y.socket, "{tag}: task {i} socket");
-    }
-}
-
-/// Everything deterministic in two reports must agree; only wall-clock
-/// nanoseconds may differ between the owned and mapped runs.
-fn assert_reports_match(a: &RunReport, b: &RunReport, tag: &str) {
-    assert_eq!(a.iterations, b.iterations, "{tag}: iterations");
-    assert_eq!(
-        a.frontier_classes, b.frontier_classes,
-        "{tag}: frontier classes"
-    );
-    assert_eq!(a.edge_maps.len(), b.edge_maps.len(), "{tag}: edgemap count");
-    for (i, (x, y)) in a.edge_maps.iter().zip(&b.edge_maps).enumerate() {
-        assert_edge_maps_match(x, y, &format!("{tag} edgemap {i}"));
-    }
-    assert_eq!(
-        a.vertex_maps.len(),
-        b.vertex_maps.len(),
-        "{tag}: vertexmap count"
-    );
-    for (i, (x, y)) in a.vertex_maps.iter().zip(&b.vertex_maps).enumerate() {
-        assert_eq!(x.tasks.len(), y.tasks.len(), "{tag}: vertexmap {i} tasks");
-        assert_eq!(
-            x.total_vertices(),
-            y.total_vertices(),
-            "{tag}: vertexmap {i} vertices"
-        );
     }
 }
 
