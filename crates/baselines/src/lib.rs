@@ -11,19 +11,24 @@
 //!   "high-to-low" order);
 //! * [`random`] — a uniformly random permutation (§V-C's stress test);
 //! * [`slashburn`] — SlashBurn (Lim et al., TKDE 2014), the hub-removal
-//!   compression ordering §VI cites.
+//!   compression ordering §VI cites;
+//! * [`boba`] — BOBA (Drescher & Porumbescu, arXiv:2306.10410), the
+//!   O(m) first-touch edge-stream ordering — the lightweight comparator
+//!   in VEBO's own cost class.
 //!
 //! All of them implement [`vebo_graph::VertexOrdering`], so they can be
 //! swapped against `vebo_core::Vebo` anywhere in the pipeline.
 
 #![warn(missing_docs)]
 
+pub mod boba;
 pub mod degree_sort;
 pub mod gorder;
 pub mod random;
 pub mod rcm;
 pub mod slashburn;
 
+pub use boba::Boba;
 pub use degree_sort::DegreeSort;
 pub use gorder::Gorder;
 pub use random::RandomOrder;

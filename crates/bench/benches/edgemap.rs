@@ -1,5 +1,8 @@
 //! Criterion bench: the four edgemap traversal kernels (the engine-level
-//! costs behind every Table III cell).
+//! costs behind every Table III cell), plus compressed-backing variants
+//! of the Ligra pair so `dense_pull_ligra{,_compressed}` and
+//! `sparse_push_ligra{,_compressed}` can be compared directly — the
+//! delta-varint backing trades decode work for bytes touched.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -31,42 +34,72 @@ fn bench_edgemap(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));
 
+    // One-line working-set comparison for the artifact: raw target bytes
+    // (m x 4) vs the varint stream the compressed kernels decode.
+    if let Some(stats) = g.clone().with_compressed().compression_stats() {
+        eprintln!(
+            "edgemap bytes touched: raw targets {} B, varint data {} B, ratio {:.2}",
+            stats.raw_bytes,
+            stats.compressed_bytes,
+            stats.ratio()
+        );
+    }
+
     let cases = [
         (
             "dense_pull_ligra",
             SystemProfile::ligra_like(),
             Direction::Dense,
+            false,
+        ),
+        (
+            "dense_pull_ligra_compressed",
+            SystemProfile::ligra_like(),
+            Direction::Dense,
+            true,
         ),
         (
             "dense_pull_polymer",
             SystemProfile::polymer_like(),
             Direction::Dense,
+            false,
         ),
         (
             "dense_coo_csr",
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
             Direction::Dense,
+            false,
         ),
         (
             "dense_coo_hilbert",
             SystemProfile::graphgrind_like(EdgeOrder::Hilbert),
             Direction::Dense,
+            false,
         ),
         (
             "sparse_push_ligra",
             SystemProfile::ligra_like(),
             Direction::Sparse,
+            false,
+        ),
+        (
+            "sparse_push_ligra_compressed",
+            SystemProfile::ligra_like(),
+            Direction::Sparse,
+            true,
         ),
         (
             "sparse_partitioned",
             SystemProfile::graphgrind_like(EdgeOrder::Csr),
             Direction::Sparse,
+            false,
         ),
     ];
-    for (name, profile, force) in cases {
+    for (name, profile, force, compress) in cases {
         let exec = Executor::new(profile).with_direction(force);
         let pg = PreparedGraph::builder(g.clone())
             .profile(profile)
+            .compress(compress)
             .build()
             .unwrap();
         let frontier = if force == Direction::Sparse {

@@ -11,6 +11,9 @@
 //! * `--mmap` — reload `.vgr` cache snapshots through the zero-copy
 //!   memory-mapped loader instead of the buffered reader (only
 //!   meaningful with `--cache`);
+//! * `--compress` — attach delta-varint compressed neighbor lists to
+//!   loaded/built graphs, so the engine's pull/push kernels stream the
+//!   compressed working set (results are bit-identical);
 //! * `--partitions <n>` — override the partition count;
 //! * `--threads <n>` — simulated machine threads (default 48);
 //! * `--executor <sequential|rayon|sharded>` — which engine backend runs
@@ -40,6 +43,8 @@ pub struct HarnessArgs {
     pub cache: Option<PathBuf>,
     /// `--mmap`: reload cache snapshots via the zero-copy mapped loader.
     pub mmap: bool,
+    /// `--compress`: attach compressed neighbor lists to built graphs.
+    pub compress: bool,
     /// `--partitions`: partition count override.
     pub partitions: Option<usize>,
     /// `--threads`: simulated machine threads.
@@ -59,6 +64,7 @@ impl Default for HarnessArgs {
             dataset: None,
             cache: None,
             mmap: false,
+            compress: false,
             partitions: None,
             threads: 48,
             exec_mode: ExecMode::Sequential,
@@ -125,6 +131,7 @@ impl HarnessArgs {
                         .unwrap_or_else(|_| usage_exit(binary, description));
                 }
                 "--mmap" => out.mmap = true,
+                "--compress" => out.compress = true,
                 "--parallel" => out.exec_mode = ExecMode::Parallel,
                 "--executor" => {
                     let v = it.next().unwrap_or_else(|| usage_exit(binary, description));
@@ -184,6 +191,18 @@ impl HarnessArgs {
     /// (zero-copy memory-mapped when `--mmap` is set). Generators are
     /// deterministic, so a cache hit is bit-identical to a rebuild.
     pub fn build_dataset(&self, dataset: Dataset, scale: f64) -> Graph {
+        let g = self.build_dataset_plain(dataset, scale);
+        if self.compress {
+            g.with_compressed()
+        } else {
+            g
+        }
+    }
+
+    /// [`Self::build_dataset`] without the `--compress` post-processing
+    /// (cache snapshots always store the plain representation, so cached
+    /// files stay byte-identical whether or not `--compress` is set).
+    fn build_dataset_plain(&self, dataset: Dataset, scale: f64) -> Graph {
         let Some(dir) = &self.cache else {
             return dataset.build(scale);
         };
@@ -229,7 +248,7 @@ impl HarnessArgs {
 
 fn usage(binary: &str, description: &str) -> String {
     format!(
-        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --mmap           reload .vgr cache snapshots via zero-copy mmap\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --executor <b>   engine backend: sequential | rayon | sharded\n  --shards <n>     shard count (implies --executor sharded; default 4)\n  --parallel       shorthand for --executor rayon\n  --extended       include extension orderings where supported\n  --help           this text",
+        "{binary} — {description}\n\nOptions:\n  --scale <f>      dataset scale factor (default 1.0)\n  --quick          same as --scale 0.1\n  --dataset <name> one of {:?}\n  --cache <dir>    cache datasets as binary .vgr files in <dir>\n  --mmap           reload .vgr cache snapshots via zero-copy mmap\n  --compress       run kernels over delta-varint compressed neighbor lists\n  --partitions <n> partition count override\n  --threads <n>    simulated threads (default 48)\n  --executor <b>   engine backend: sequential | rayon | sharded\n  --shards <n>     shard count (implies --executor sharded; default 4)\n  --parallel       shorthand for --executor rayon\n  --extended       include extension orderings where supported\n  --help           this text",
         Dataset::ALL.map(|d| d.name())
     )
 }
@@ -259,6 +278,19 @@ mod tests {
     #[test]
     fn quick_sets_scale() {
         assert_eq!(parse(&["--quick"]).scale, 0.1);
+    }
+
+    #[test]
+    fn compress_attaches_companion_to_built_graphs() {
+        use vebo_graph::StorageKind;
+        assert!(!parse(&[]).compress);
+        let args = parse(&["--compress"]);
+        assert!(args.compress);
+        let g = args.build_dataset(Dataset::YahooLike, 0.02);
+        assert_eq!(g.storage_kind(), StorageKind::Compressed);
+        // Structure is unchanged by compression.
+        let plain = parse(&[]).build_dataset(Dataset::YahooLike, 0.02);
+        assert_eq!(plain.csr().targets(), g.csr().targets());
     }
 
     #[test]

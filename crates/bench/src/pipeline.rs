@@ -32,6 +32,10 @@ pub enum OrderingKind {
     /// METIS-like multilevel partition + contiguous relabeling
     /// (extension; §VI's "additional vertex relabeling" remark).
     MetisLike,
+    /// BOBA first-touch edge-stream ordering (extension; Drescher &
+    /// Porumbescu, arXiv:2306.10410) — the lightweight O(m) comparator
+    /// in VEBO's own reordering-cost class.
+    Boba,
 }
 
 impl OrderingKind {
@@ -45,13 +49,14 @@ impl OrderingKind {
 
     /// Table III's columns plus the extension orderings (`table3_runtime
     /// --extended`).
-    pub const TABLE3_EXTENDED: [OrderingKind; 6] = [
+    pub const TABLE3_EXTENDED: [OrderingKind; 7] = [
         OrderingKind::Original,
         OrderingKind::Rcm,
         OrderingKind::Gorder,
         OrderingKind::Vebo,
         OrderingKind::SlashBurn,
         OrderingKind::MetisLike,
+        OrderingKind::Boba,
     ];
 
     /// The four orderings of Figure 5.
@@ -74,6 +79,7 @@ impl OrderingKind {
             OrderingKind::HighToLow => "HighToLow",
             OrderingKind::SlashBurn => "SlashBurn",
             OrderingKind::MetisLike => "METIS-like",
+            OrderingKind::Boba => "BOBA",
         }
     }
 
@@ -90,6 +96,7 @@ impl OrderingKind {
             OrderingKind::HighToLow => Some("hightolow"),
             OrderingKind::SlashBurn => Some("slashburn"),
             OrderingKind::MetisLike => Some("metis"),
+            OrderingKind::Boba => Some("boba"),
         }
     }
 
@@ -257,6 +264,7 @@ mod tests {
             OrderingKind::HighToLow,
             OrderingKind::SlashBurn,
             OrderingKind::MetisLike,
+            OrderingKind::Boba,
         ] {
             let (h, t) = ordered_graph(&g, ord, 16);
             assert_eq!(h.num_vertices(), g.num_vertices(), "{}", ord.name());

@@ -82,12 +82,24 @@ pub struct PreparedGraphBuilder {
     profile: SystemProfile,
     vebo_starts: Option<Vec<usize>>,
     bounds: Option<PartitionBounds>,
+    compress: bool,
 }
 
 impl PreparedGraphBuilder {
     /// Targets `profile` (default: [`SystemProfile::ligra_like`]).
     pub fn profile(mut self, profile: SystemProfile) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Attaches delta-varint compressed neighbor lists
+    /// ([`vebo_graph::CompressedCsr`]) to both graph halves before
+    /// preparation, so the pull and push kernels stream the compressed
+    /// working set instead of the raw target arrays. A no-op when the
+    /// graph already carries a compressed companion (e.g. loaded from a
+    /// `.vgr` version-3 file). Results are bit-identical either way.
+    pub fn compress(mut self, compress: bool) -> Self {
+        self.compress = compress;
         self
     }
 
@@ -110,7 +122,12 @@ impl PreparedGraphBuilder {
     /// Validates and materializes the layouts the profile needs.
     pub fn build(self) -> Result<PreparedGraph, PrepareError> {
         let t0 = Instant::now();
-        let n = self.graph.num_vertices();
+        let graph = if self.compress {
+            self.graph.with_compressed()
+        } else {
+            self.graph
+        };
+        let n = graph.num_vertices();
         let check_covers = |b: &PartitionBounds| -> Result<(), PrepareError> {
             if b.num_vertices() != n {
                 return Err(BoundsError::VertexCountMismatch {
@@ -142,8 +159,8 @@ impl PreparedGraphBuilder {
             (None, None) => None,
         };
         Ok(match tasks {
-            Some(tasks) => PreparedGraph::from_parts(self.graph, self.profile, tasks, t0),
-            None => PreparedGraph::new(self.graph, self.profile),
+            Some(tasks) => PreparedGraph::from_parts(graph, self.profile, tasks, t0),
+            None => PreparedGraph::new(graph, self.profile),
         })
     }
 }
@@ -157,6 +174,7 @@ impl PreparedGraph {
             profile: SystemProfile::ligra_like(),
             vebo_starts: None,
             bounds: None,
+            compress: false,
         }
     }
 
@@ -377,6 +395,21 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(pg.num_tasks(), 3072);
+    }
+
+    #[test]
+    fn builder_compress_attaches_companion_to_both_halves() {
+        let g = Dataset::LiveJournalLike.build(0.05);
+        let pg = PreparedGraph::builder(g)
+            .profile(SystemProfile::ligra_like())
+            .compress(true)
+            .build()
+            .unwrap();
+        assert_eq!(pg.storage_kind(), vebo_graph::StorageKind::Compressed);
+        assert!(pg.graph().csr().compressed().is_some());
+        assert!(pg.graph().csc().compressed().is_some());
+        let stats = pg.graph().compression_stats().unwrap();
+        assert!(stats.ratio() > 0.0);
     }
 
     #[test]

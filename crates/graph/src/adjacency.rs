@@ -12,6 +12,7 @@
 //! mapped file zero-copy. All accessors return plain slices either way, so
 //! consumers never branch on the backing.
 
+use crate::compress::{CompressedCsr, CompressionStats};
 use crate::par::{weighted_ranges, ParMode, SharedSlice};
 use crate::storage::{GraphStorage, StorageKind};
 use crate::types::{GraphError, VertexId};
@@ -23,13 +24,29 @@ use rayon::prelude::*;
 /// Neighbor lists are sorted ascending by construction, which makes
 /// membership tests `O(log d)` and gives deterministic iteration order.
 ///
-/// Equality is content equality: an owned and a mapped adjacency holding
-/// the same arrays compare equal.
-#[derive(Clone, Debug, PartialEq)]
+/// An optional [`CompressedCsr`] companion (attached by
+/// [`Adjacency::with_compressed`] or the `.vgr` v3 loader) carries the
+/// same neighbor lists delta/varint packed; the plain arrays stay
+/// authoritative and every accessor keeps working, while the engine's
+/// hot loops decode the companion to shrink their working set.
+///
+/// Equality is content equality on the plain arrays: an owned, a mapped,
+/// and a compressed adjacency holding the same lists all compare equal
+/// (the companion is derived data, so it does not participate).
+#[derive(Clone, Debug)]
 pub struct Adjacency {
     offsets: GraphStorage<usize>,
     targets: GraphStorage<VertexId>,
     weights: Option<GraphStorage<f32>>,
+    compressed: Option<CompressedCsr>,
+}
+
+impl PartialEq for Adjacency {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.weights == other.weights
+    }
 }
 
 impl Adjacency {
@@ -186,6 +203,7 @@ impl Adjacency {
             offsets: offsets.into(),
             targets: targets.into(),
             weights: weights.map(Into::into),
+            compressed: None,
         }
     }
 
@@ -259,12 +277,17 @@ impl Adjacency {
             offsets,
             targets,
             weights,
+            compressed: None,
         })
     }
 
-    /// The backing kind: [`StorageKind::Mapped`] when any section is a
-    /// zero-copy view of a mapped file.
+    /// The backing kind: [`StorageKind::Compressed`] when a compressed
+    /// companion is attached, [`StorageKind::Mapped`] when any plain
+    /// section is a zero-copy view of a mapped file.
     pub fn storage_kind(&self) -> StorageKind {
+        if self.compressed.is_some() {
+            return StorageKind::Compressed;
+        }
         let mapped = self.offsets.kind() == StorageKind::Mapped
             || self.targets.kind() == StorageKind::Mapped
             || self
@@ -276,6 +299,39 @@ impl Adjacency {
         } else {
             StorageKind::Owned
         }
+    }
+
+    /// The compressed companion representation, when one is attached.
+    #[inline]
+    pub fn compressed(&self) -> Option<&CompressedCsr> {
+        self.compressed.as_ref()
+    }
+
+    /// Attaches a delta/varint compressed companion computed from the
+    /// plain arrays (a no-op when one is already attached). The plain
+    /// arrays stay authoritative; see [`CompressedCsr`].
+    pub fn with_compressed(mut self) -> Adjacency {
+        if self.compressed.is_none() {
+            self.compressed = Some(CompressedCsr::from_csr(
+                self.offsets.as_slice(),
+                self.targets.as_slice(),
+            ));
+        }
+        self
+    }
+
+    /// Attaches an already-built companion (the `.vgr` v3 loader, whose
+    /// sections may be zero-copy views of the mapped file). The caller
+    /// must have validated that `compressed` decodes to exactly this
+    /// adjacency's target lists.
+    pub fn with_compressed_storage(mut self, compressed: CompressedCsr) -> Adjacency {
+        self.compressed = Some(compressed);
+        self
+    }
+
+    /// Compressed-vs-raw byte accounting, when a companion is attached.
+    pub fn compression_stats(&self) -> Option<CompressionStats> {
+        self.compressed.as_ref().map(|c| c.stats(self.num_edges()))
     }
 
     /// Number of vertices.
@@ -684,5 +740,33 @@ mod tests {
         let a = Adjacency::from_pairs(2, &[(0, 1), (0, 1)]);
         assert_eq!(a.neighbors(0), &[1, 1]);
         assert_eq!(a.num_edges(), 2);
+    }
+
+    #[test]
+    fn compressed_companion_roundtrips_and_reports_kind() {
+        let a = small();
+        assert_eq!(a.storage_kind(), StorageKind::Owned);
+        let c = a.clone().with_compressed();
+        assert_eq!(c.storage_kind(), StorageKind::Compressed);
+        // The plain accessors are untouched by the companion.
+        assert_eq!(c.neighbors(0), a.neighbors(0));
+        assert_eq!(c.offsets(), a.offsets());
+        // The companion decodes back to exactly the target array.
+        let decoded = c
+            .compressed()
+            .unwrap()
+            .decode_to_targets(c.offsets())
+            .unwrap();
+        assert_eq!(decoded, c.targets());
+        let stats = c.compression_stats().unwrap();
+        assert_eq!(stats.raw_bytes, c.num_edges() * 4);
+    }
+
+    #[test]
+    fn equality_ignores_compressed_companion() {
+        let a = small();
+        let c = a.clone().with_compressed();
+        assert_eq!(a, c);
+        assert_eq!(c.transpose(), a.transpose());
     }
 }

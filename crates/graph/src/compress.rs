@@ -1,0 +1,515 @@
+//! Delta + varint compressed neighbor lists: the byte-packed companion
+//! representation behind [`StorageKind::Compressed`].
+//!
+//! VEBO's locality-aware orderings cluster neighbor ids, so the gaps
+//! between consecutive targets of one vertex are small — and small gaps
+//! byte-pack well. [`CompressedCsr`] stores each vertex's sorted neighbor
+//! list as
+//!
+//! * a **zigzag varint** of `t0 - v` for the first target (signed: the
+//!   first neighbor may precede the vertex id, and post-reordering it is
+//!   usually *near* it), followed by
+//! * a plain **varint** of `t_i - t_{i-1}` for every subsequent target
+//!   (non-negative because lists are sorted; zero for parallel edges).
+//!
+//! A `byte_offsets` array (one `usize` per vertex plus a sentinel, the
+//! same shape as the CSR offsets) gives random access into the byte
+//! stream, so traversal kernels can start decoding at any vertex.
+//!
+//! The compressed form is a *companion* to the plain CSR arrays, not a
+//! replacement: an [`crate::Adjacency`] carrying one still exposes its
+//! `neighbors()` slices, and only the engine's hot loops switch to
+//! decoding. The working-set win is that those loops touch
+//! `data` (≈1–2 bytes/edge after a good ordering) instead of `targets`
+//! (4 bytes/edge); see [`CompressionStats`].
+//!
+//! Decoding in the kernels goes through [`NeighborDecoder`], which fills
+//! a small stack buffer ([`DECODE_BLOCK`] targets) per call so the scan
+//! over each block is a plain slice loop the compiler can unroll and
+//! vectorize.
+
+use crate::storage::{GraphStorage, StorageKind};
+use crate::types::{GraphError, VertexId};
+
+/// Targets decoded per [`NeighborDecoder::next_block`] call — sized so
+/// the block buffer lives in registers/L1 and the per-block scan loop
+/// is worth vectorizing.
+pub const DECODE_BLOCK: usize = 16;
+
+/// Byte-packed neighbor lists for one adjacency direction.
+///
+/// Both sections sit behind [`GraphStorage`], so a `.vgr` v3 file can be
+/// memory-mapped and decoded in place: `byte_offsets` and `data` are
+/// borrowed zero-copy, and only the plain `targets` array (which the
+/// rest of the workspace still reads) is materialized.
+#[derive(Clone, Debug)]
+pub struct CompressedCsr {
+    /// Positions into `data`: vertex `v`'s encoded list occupies
+    /// `data[byte_offsets[v]..byte_offsets[v + 1]]`. Length `n + 1`.
+    byte_offsets: GraphStorage<usize>,
+    /// The concatenated varint streams.
+    data: GraphStorage<u8>,
+}
+
+/// Compressed-vs-raw accounting for one adjacency direction: the bytes
+/// the traversal kernels stream through per full edge scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Bytes of the plain target array (`m * 4`).
+    pub raw_bytes: usize,
+    /// Bytes of the varint stream.
+    pub compressed_bytes: usize,
+}
+
+impl CompressionStats {
+    /// Raw-to-compressed ratio; > 1.0 means the encoding won. Reported
+    /// as 1.0 for empty graphs (nothing to compress either way).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+#[inline]
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Decodes one varint starting at `*pos`. The caller guarantees the
+/// stream is well-formed (encoder output or a validated load), so this
+/// indexes the slice directly — a corrupt stream panics rather than
+/// reading out of bounds.
+#[inline]
+fn read_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = data[*pos];
+        *pos += 1;
+        out |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return out;
+        }
+        shift += 7;
+    }
+}
+
+fn corrupt(message: String) -> GraphError {
+    GraphError::Parse { line: 0, message }
+}
+
+impl CompressedCsr {
+    /// Encodes plain CSR arrays. `offsets` has length `n + 1`; each
+    /// neighbor list `targets[offsets[v]..offsets[v + 1]]` must be
+    /// sorted ascending (the [`crate::Adjacency`] invariant).
+    pub fn from_csr(offsets: &[usize], targets: &[VertexId]) -> CompressedCsr {
+        let n = offsets.len().saturating_sub(1);
+        let mut byte_offsets = Vec::with_capacity(n + 1);
+        // Post-VEBO gaps are mostly 1-byte varints; 1.5 bytes/edge is a
+        // comfortable first guess that avoids most regrowth.
+        let mut data = Vec::with_capacity(targets.len() + targets.len() / 2);
+        for v in 0..n {
+            byte_offsets.push(data.len());
+            let list = &targets[offsets[v]..offsets[v + 1]];
+            let mut prev = v as i64;
+            for (k, &t) in list.iter().enumerate() {
+                if k == 0 {
+                    push_varint(&mut data, zigzag(t as i64 - prev));
+                } else {
+                    push_varint(&mut data, (t as i64 - prev) as u64);
+                }
+                prev = t as i64;
+            }
+        }
+        byte_offsets.push(data.len());
+        CompressedCsr {
+            byte_offsets: byte_offsets.into(),
+            data: data.into(),
+        }
+    }
+
+    /// Wraps already-validated sections (the `.vgr` v3 loader hands in
+    /// mapped views here *after* [`CompressedCsr::decode_to_targets`]
+    /// proved them well-formed against the element offsets).
+    pub fn from_storage(
+        byte_offsets: GraphStorage<usize>,
+        data: GraphStorage<u8>,
+    ) -> Result<CompressedCsr, GraphError> {
+        let bo = byte_offsets.as_slice();
+        if bo.is_empty() {
+            return Err(corrupt("compressed byte offsets are empty".into()));
+        }
+        for i in 1..bo.len() {
+            if bo[i] < bo[i - 1] {
+                return Err(corrupt(format!(
+                    "compressed byte offsets decrease at index {i}"
+                )));
+            }
+        }
+        if *bo.last().unwrap() != data.len() {
+            return Err(corrupt(format!(
+                "compressed byte offsets end at {} but data holds {} bytes",
+                bo.last().unwrap(),
+                data.len()
+            )));
+        }
+        Ok(CompressedCsr { byte_offsets, data })
+    }
+
+    /// The per-vertex byte positions (length `n + 1`).
+    #[inline]
+    pub fn byte_offsets(&self) -> &[usize] {
+        self.byte_offsets.as_slice()
+    }
+
+    /// The varint byte stream.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        self.data.as_slice()
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.byte_offsets.len() - 1
+    }
+
+    /// Backing kind of the sections ([`StorageKind::Mapped`] when either
+    /// borrows a mapped `.vgr` v3 file).
+    pub fn section_kind(&self) -> StorageKind {
+        if self.byte_offsets.kind() == StorageKind::Mapped
+            || self.data.kind() == StorageKind::Mapped
+        {
+            StorageKind::Mapped
+        } else {
+            StorageKind::Owned
+        }
+    }
+
+    /// Compressed-vs-raw byte accounting against a plain target array of
+    /// `num_edges` entries.
+    pub fn stats(&self, num_edges: usize) -> CompressionStats {
+        CompressionStats {
+            raw_bytes: num_edges * std::mem::size_of::<VertexId>(),
+            compressed_bytes: self.data.len(),
+        }
+    }
+
+    /// Fully decodes the stream into a flat target array, validating it
+    /// against the element `offsets` (same length as `byte_offsets`):
+    /// every vertex must decode exactly its degree, within `0..n`, in
+    /// nondecreasing order. This is the `.vgr` v3 load path — the
+    /// returned vector becomes the graph's owned `targets` section.
+    pub fn decode_to_targets(&self, offsets: &[usize]) -> Result<Vec<VertexId>, GraphError> {
+        let bo = self.byte_offsets.as_slice();
+        let data = self.data.as_slice();
+        if offsets.len() != bo.len() {
+            return Err(corrupt(format!(
+                "compressed byte offsets cover {} vertices but offsets cover {}",
+                bo.len().saturating_sub(1),
+                offsets.len().saturating_sub(1)
+            )));
+        }
+        let n = bo.len() - 1;
+        let m = *offsets.last().unwrap_or(&0);
+        let mut out: Vec<VertexId> = Vec::with_capacity(m);
+        for v in 0..n {
+            let degree = offsets[v + 1] - offsets[v];
+            let mut pos = bo[v];
+            let end = bo[v + 1];
+            let mut prev = v as i64;
+            for k in 0..degree {
+                let raw = checked_varint(data, &mut pos, end, v)?;
+                let t = if k == 0 {
+                    prev + unzigzag(raw)
+                } else {
+                    prev.checked_add(i64::try_from(raw).map_err(|_| delta_overflow(v))?)
+                        .ok_or_else(|| delta_overflow(v))?
+                };
+                if t < 0 || t as u64 >= n as u64 {
+                    return Err(corrupt(format!(
+                        "decoded target {t} out of range for {n} vertices (vertex {v})"
+                    )));
+                }
+                out.push(t as VertexId);
+                prev = t;
+            }
+            if pos != end {
+                return Err(corrupt(format!(
+                    "vertex {v}: {} compressed bytes left after decoding its degree",
+                    end - pos
+                )));
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn delta_overflow(v: usize) -> GraphError {
+    corrupt(format!("compressed delta overflows at vertex {v}"))
+}
+
+/// Bounds- and width-checked varint read for the validated decode path.
+fn checked_varint(data: &[u8], pos: &mut usize, end: usize, v: usize) -> Result<u64, GraphError> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if *pos >= end || *pos >= data.len() {
+            return Err(corrupt(format!(
+                "compressed stream for vertex {v} ends mid-varint"
+            )));
+        }
+        if shift >= 64 {
+            return Err(corrupt(format!("varint for vertex {v} exceeds 64 bits")));
+        }
+        let b = data[*pos];
+        *pos += 1;
+        out |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Streaming block decoder over one vertex's compressed neighbor list.
+///
+/// [`NeighborDecoder::next_block`] fills up to [`DECODE_BLOCK`] targets
+/// into a caller-provided stack buffer and returns how many it produced
+/// (`0` when the list is exhausted), so the traversal kernels scan each
+/// block as a plain slice — the same inner-loop shape the plain-CSR path
+/// uses, which keeps the two backings bit-identical in update order.
+pub struct NeighborDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    end: usize,
+    prev: i64,
+    first: bool,
+}
+
+impl<'a> NeighborDecoder<'a> {
+    /// Positions the decoder at the start of `v`'s encoded list.
+    #[inline]
+    pub fn new(c: &'a CompressedCsr, v: usize) -> NeighborDecoder<'a> {
+        let bo = c.byte_offsets();
+        NeighborDecoder {
+            data: c.data(),
+            pos: bo[v],
+            end: bo[v + 1],
+            prev: v as i64,
+            first: true,
+        }
+    }
+
+    /// Decodes the next block of targets; returns the count written into
+    /// `buf[..count]`.
+    #[inline]
+    pub fn next_block(&mut self, buf: &mut [VertexId; DECODE_BLOCK]) -> usize {
+        let mut k = 0;
+        while k < DECODE_BLOCK && self.pos < self.end {
+            let raw = read_varint(self.data, &mut self.pos);
+            let t = if self.first {
+                self.first = false;
+                self.prev + unzigzag(raw)
+            } else {
+                self.prev + raw as i64
+            };
+            self.prev = t;
+            buf[k] = t as VertexId;
+            k += 1;
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_vertex(c: &CompressedCsr, v: usize) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut dec = NeighborDecoder::new(c, v);
+        let mut buf = [0 as VertexId; DECODE_BLOCK];
+        loop {
+            let k = dec.next_block(&mut buf);
+            if k == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..k]);
+        }
+        out
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for d in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1 << 30,
+            -(1 << 30),
+            i64::from(u32::MAX),
+        ] {
+            assert_eq!(unzigzag(zigzag(d)), d, "{d}");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            1 << 14,
+            (1 << 21) - 1,
+            u64::from(u32::MAX),
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            push_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_small_csr() {
+        // 0 -> {1, 2}, 1 -> {0}, 2 -> {}, 3 -> {0, 3, 3} (self loop +
+        // parallel edge: zero deltas must survive).
+        let offsets = [0usize, 2, 3, 3, 6];
+        let targets: Vec<VertexId> = vec![1, 2, 0, 0, 3, 3];
+        let c = CompressedCsr::from_csr(&offsets, &targets);
+        assert_eq!(decode_vertex(&c, 0), &[1, 2]);
+        assert_eq!(decode_vertex(&c, 1), &[0]);
+        assert_eq!(decode_vertex(&c, 2), &[] as &[VertexId]);
+        assert_eq!(decode_vertex(&c, 3), &[0, 3, 3]);
+        assert_eq!(c.decode_to_targets(&offsets).unwrap(), targets);
+    }
+
+    #[test]
+    fn block_decoder_crosses_block_boundaries() {
+        // One vertex with 40 neighbors: 3 blocks of 16/16/8.
+        let n = 64usize;
+        let targets: Vec<VertexId> = (0..40u32).map(|i| i + 3).collect();
+        let offsets = {
+            let mut o = vec![0usize; n + 1];
+            for e in o.iter_mut().skip(1) {
+                *e = 40;
+            }
+            o
+        };
+        let c = CompressedCsr::from_csr(&offsets, &targets);
+        assert_eq!(decode_vertex(&c, 0), targets);
+        assert_eq!(c.decode_to_targets(&offsets).unwrap(), targets);
+    }
+
+    #[test]
+    fn locality_compresses_below_raw_size() {
+        // Consecutive neighbors: every delta is 1 → one byte per edge.
+        let n = 1000usize;
+        let mut offsets = vec![0usize];
+        let mut targets = Vec::new();
+        for v in 0..n {
+            for t in 0..8u32 {
+                targets.push(((v as u32) + t) % n as u32);
+            }
+            offsets.push(targets.len());
+        }
+        // Lists must be sorted for the encoding invariant.
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let c = CompressedCsr::from_csr(&offsets, &targets);
+        let stats = c.stats(targets.len());
+        assert_eq!(stats.raw_bytes, targets.len() * 4);
+        assert!(stats.compressed_bytes < stats.raw_bytes);
+        assert!(stats.ratio() > 1.0);
+        assert_eq!(c.decode_to_targets(&offsets).unwrap(), targets);
+    }
+
+    #[test]
+    fn first_target_below_vertex_id_uses_signed_delta() {
+        // Vertex 500 pointing back at 0 exercises the negative zigzag.
+        let mut offsets = vec![0usize; 501];
+        offsets.extend([1usize; 1]);
+        let targets = vec![0 as VertexId];
+        let c = CompressedCsr::from_csr(&offsets, &targets);
+        assert_eq!(decode_vertex(&c, 500), &[0]);
+    }
+
+    #[test]
+    fn empty_adjacency_encodes_cleanly() {
+        let c = CompressedCsr::from_csr(&[0], &[]);
+        assert_eq!(c.num_vertices(), 0);
+        assert_eq!(c.data().len(), 0);
+        assert_eq!(c.stats(0).ratio(), 1.0);
+        assert_eq!(c.decode_to_targets(&[0]).unwrap(), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_targets() {
+        // Encode a 4-vertex CSR, then decode claiming only 2 vertices
+        // worth of range: targets 2..4 become out of range.
+        let offsets = [0usize, 1, 2, 3, 4];
+        let targets: Vec<VertexId> = vec![3, 2, 1, 0];
+        let c = CompressedCsr::from_csr(&offsets, &targets);
+        let bo: Vec<usize> = c.byte_offsets().to_vec();
+        let truncated_bo: Vec<usize> = bo[..3].to_vec();
+        let data: Vec<u8> = c.data()[..truncated_bo[2]].to_vec();
+        let c2 = CompressedCsr::from_storage(truncated_bo.into(), data.into()).unwrap();
+        assert!(c2.decode_to_targets(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_degree_mismatch() {
+        let offsets = [0usize, 2, 3];
+        let targets: Vec<VertexId> = vec![0, 1, 2];
+        let c = CompressedCsr::from_csr(&offsets, &targets);
+        // Claim vertex 0 has degree 1: a leftover byte must be reported.
+        assert!(c.decode_to_targets(&[0, 1, 3]).is_err());
+        // Claim vertex 0 has degree 3: the stream ends mid-list.
+        assert!(c.decode_to_targets(&[0, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn from_storage_validates_byte_offsets() {
+        assert!(
+            CompressedCsr::from_storage(vec![0usize, 2, 1].into(), vec![0u8; 2].into()).is_err()
+        );
+        assert!(CompressedCsr::from_storage(vec![0usize, 1].into(), vec![0u8; 2].into()).is_err());
+        assert!(CompressedCsr::from_storage(Vec::<usize>::new().into(), vec![].into()).is_err());
+        assert!(CompressedCsr::from_storage(vec![0usize, 2].into(), vec![2u8, 0].into()).is_ok());
+    }
+
+    #[test]
+    fn parallel_edges_decode_as_zero_deltas() {
+        let offsets = [0usize, 4];
+        let targets: Vec<VertexId> = vec![5, 5, 5, 9];
+        let c = CompressedCsr::from_csr(&offsets, &targets);
+        assert_eq!(decode_vertex(&c, 0), targets);
+    }
+}

@@ -212,6 +212,26 @@ impl Graph {
         self.out.storage_kind()
     }
 
+    /// Attaches delta/varint compressed companions to both adjacency
+    /// halves (see [`crate::compress::CompressedCsr`]): the engine's
+    /// traversal kernels then decode byte-packed neighbor lists instead
+    /// of streaming the 4-byte target arrays. A no-op on halves that
+    /// already carry a companion (e.g. a graph loaded from a `.vgr` v3
+    /// file).
+    pub fn with_compressed(self) -> Graph {
+        Graph {
+            out: self.out.with_compressed(),
+            into: self.into.with_compressed(),
+            directed: self.directed,
+        }
+    }
+
+    /// Compressed-vs-raw byte accounting of the CSR half, when a
+    /// compressed companion is attached.
+    pub fn compression_stats(&self) -> Option<crate::compress::CompressionStats> {
+        self.out.compression_stats()
+    }
+
     /// The transposed graph: every arc `(u, v)` becomes `(v, u)`. Since a
     /// [`Graph`] stores both directions, this is a cheap swap of the two
     /// adjacency halves. Used by algorithms with a backward dependency

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size        field
 //! 0       4           magic  "VGR\0"
-//! 4       4           version (currently 2)
+//! 4       4           version (2)
 //! 8       4           flags   (bit 0: directed, bit 1: per-edge weights)
 //! 12      8           n       (vertex count)
 //! 20      8           m       (stored arc count)
@@ -17,6 +17,31 @@
 //!                     (only present when weights follow)
 //! ...     m * 4       CSR weights (f32, only when bit 1 of flags is set)
 //! ```
+//!
+//! Version 3 stores the neighbor lists delta/varint compressed (see
+//! [`crate::compress`]) instead of the raw target array. Its header is
+//! v2's plus the byte length of the varint stream, so the whole section
+//! layout stays derivable from the header alone:
+//!
+//! ```text
+//! offset  size        field
+//! 0..28               as version 2 (version = 3)
+//! 28      4           reserved (zero)
+//! 32      8           data_len (bytes of the varint stream)
+//! 40      (n+1) * 8   CSR offsets (u64)
+//! ...     (n+1) * 8   compressed byte offsets (u64)
+//! ...     data_len    varint neighbor data (u8)
+//! ...     0..7        zero padding to the next 8-byte boundary
+//!                     (only present when weights follow)
+//! ...     m * 4       CSR weights (f32, only when bit 1 of flags is set)
+//! ```
+//!
+//! On load the varint stream is decoded (and validated against the
+//! element offsets) into an owned target array, while the offsets, byte
+//! offsets, data, and weights sections stay zero-copy on the mmap path;
+//! the resulting graph carries the compressed stream as a
+//! [`crate::compress::CompressedCsr`] companion and reports
+//! [`crate::StorageKind::Compressed`].
 //!
 //! Version 1 files (28-byte header, no alignment padding) remain fully
 //! readable; their `u64` offsets section starts at byte 28 and is only
@@ -31,11 +56,12 @@
 //!   output arrays; the file is never slurped whole);
 //! * [`mmap_binary_graph`] — maps the file and hands the offsets/targets/
 //!   weights sections to the graph zero-copy when the platform and layout
-//!   allow (little-endian 64-bit host, version-2 alignment), falling back
-//!   to a copy per section otherwise. Both paths validate identically and
-//!   produce graphs that compare equal.
+//!   allow (little-endian 64-bit host, aligned v2/v3 layout), falling
+//!   back to a copy per section otherwise. Both paths validate
+//!   identically and produce graphs that compare equal.
 
 use crate::adjacency::Adjacency;
+use crate::compress::CompressedCsr;
 use crate::graph::Graph;
 use crate::storage::{GraphStorage, MappedSlice, Mmap, Pod};
 use crate::types::{GraphError, VertexId};
@@ -46,12 +72,18 @@ use std::sync::Arc;
 /// The four magic bytes every `.vgr` file starts with.
 pub const BINARY_MAGIC: [u8; 4] = *b"VGR\0";
 
-/// The current format version (written by [`write_binary_graph`]).
+/// The default plain-CSR version (written by [`write_binary_graph`] for
+/// graphs without a compressed companion).
 pub const BINARY_VERSION: u32 = 2;
 
 /// The legacy unaligned format version (still readable; writable through
 /// [`write_binary_graph_versioned`] for compatibility testing).
 pub const BINARY_VERSION_V1: u32 = 1;
+
+/// The compressed-neighbor-list version (written by
+/// [`write_binary_graph`] when the graph's CSR carries a compressed
+/// companion, or on request through [`write_binary_graph_versioned`]).
+pub const BINARY_VERSION_V3: u32 = 3;
 
 const FLAG_DIRECTED: u32 = 1 << 0;
 const FLAG_WEIGHTS: u32 = 1 << 1;
@@ -60,7 +92,9 @@ const V1_HEADER_LEN: usize = 28;
 /// Version-2 header length (bytes): v1 plus 4 reserved bytes, sized so
 /// the offsets section starts 8-byte aligned.
 const V2_HEADER_LEN: usize = 32;
-/// Alignment every v2 section start is padded to.
+/// Version-3 header length (bytes): v2 plus the 8-byte `data_len`.
+const V3_HEADER_LEN: usize = 40;
+/// Alignment every v2/v3 section start is padded to.
 const SECTION_ALIGN: usize = 8;
 
 /// Entries converted per scratch buffer while copying arrays.
@@ -74,9 +108,16 @@ struct Layout {
     directed: bool,
     weighted: bool,
     offsets_start: usize,
-    targets_start: usize,
-    /// Zero bytes between the end of targets and the weights section
-    /// (v2 alignment padding; 0 for v1 or unweighted files).
+    /// Start of the compressed byte-offsets section (v3 only; equals
+    /// `payload_start` for v1/v2, whose layout has no such section).
+    byte_offsets_start: usize,
+    /// Start of the edge payload: the raw targets array (v1/v2) or the
+    /// varint neighbor data (v3).
+    payload_start: usize,
+    /// Byte length of the edge payload (`m * 4`, or `data_len` for v3).
+    payload_len: usize,
+    /// Zero bytes between the end of the payload and the weights section
+    /// (v2/v3 alignment padding; 0 for v1 or unweighted files).
     pad_len: usize,
     /// Start of the weights section (meaningful only when `weighted`).
     weights_start: usize,
@@ -92,55 +133,96 @@ fn overflow() -> GraphError {
 }
 
 impl Layout {
-    fn new(version: u32, flags: u32, n: usize, m: usize) -> Result<Layout, GraphError> {
+    /// Derives every section position from the header fields. `data_len`
+    /// is the v3 varint stream length (ignored for v1/v2).
+    fn new(
+        version: u32,
+        flags: u32,
+        n: usize,
+        m: usize,
+        data_len: usize,
+    ) -> Result<Layout, GraphError> {
         let weighted = flags & FLAG_WEIGHTS != 0;
-        let header = if version >= 2 {
-            V2_HEADER_LEN
-        } else {
-            V1_HEADER_LEN
+        let header = match version {
+            v if v >= 3 => V3_HEADER_LEN,
+            2 => V2_HEADER_LEN,
+            _ => V1_HEADER_LEN,
         };
         let off_bytes = n
             .checked_add(1)
             .and_then(|c| c.checked_mul(8))
             .ok_or_else(overflow)?;
-        let tgt_bytes = m.checked_mul(4).ok_or_else(overflow)?;
-        let targets_start = header.checked_add(off_bytes).ok_or_else(overflow)?;
-        let targets_end = targets_start.checked_add(tgt_bytes).ok_or_else(overflow)?;
+        let wgt_bytes = m.checked_mul(4).ok_or_else(overflow)?;
+        let byte_offsets_start = header.checked_add(off_bytes).ok_or_else(overflow)?;
+        let (payload_start, payload_len) = if version >= 3 {
+            (
+                byte_offsets_start
+                    .checked_add(off_bytes)
+                    .ok_or_else(overflow)?,
+                data_len,
+            )
+        } else {
+            (byte_offsets_start, wgt_bytes)
+        };
+        let payload_end = payload_start
+            .checked_add(payload_len)
+            .ok_or_else(overflow)?;
         let (pad_len, weights_start, total_len) = if weighted {
             let ws = if version >= 2 {
-                targets_end
+                payload_end
                     .checked_next_multiple_of(SECTION_ALIGN)
                     .ok_or_else(overflow)?
             } else {
-                targets_end
+                payload_end
             };
             (
-                ws - targets_end,
+                ws - payload_end,
                 ws,
-                ws.checked_add(tgt_bytes).ok_or_else(overflow)?,
+                ws.checked_add(wgt_bytes).ok_or_else(overflow)?,
             )
         } else {
-            (0, targets_end, targets_end)
+            (0, payload_end, payload_end)
         };
         Ok(Layout {
             directed: flags & FLAG_DIRECTED != 0,
             weighted,
             offsets_start: header,
-            targets_start,
+            byte_offsets_start,
+            payload_start,
+            payload_len,
             pad_len,
             weights_start,
             total_len,
         })
     }
+
+    /// Truncation-error name of the edge payload section.
+    fn payload_section(version: u32) -> &'static str {
+        if version >= 3 {
+            "data"
+        } else {
+            "targets"
+        }
+    }
 }
 
-/// Writes `g` in the current (version 2, aligned) binary CSR format.
+/// Writes `g` in the aligned binary CSR format: version 3 (compressed
+/// neighbor lists) when the CSR carries a compressed companion, version
+/// 2 (plain) otherwise — so a graph loaded from a v3 file round-trips
+/// back to v3 and plain graphs stay byte-stable on v2.
 pub fn write_binary_graph<W: Write>(g: &Graph, w: W) -> Result<(), GraphError> {
-    write_binary_graph_versioned(g, w, BINARY_VERSION)
+    let version = if g.csr().compressed().is_some() {
+        BINARY_VERSION_V3
+    } else {
+        BINARY_VERSION
+    };
+    write_binary_graph_versioned(g, w, version)
 }
 
 /// Writes `g` in an explicit format version: [`BINARY_VERSION`] (the
-/// aligned, mmap-friendly layout) or [`BINARY_VERSION_V1`] (the legacy
+/// aligned, mmap-friendly plain layout), [`BINARY_VERSION_V3`] (the
+/// compressed layout; the neighbor lists are encoded on the fly when the
+/// graph carries no companion), or [`BINARY_VERSION_V1`] (the legacy
 /// packed layout, kept writable so compatibility with old readers — and
 /// the loader's unaligned fallback path — stays testable).
 pub fn write_binary_graph_versioned<W: Write>(
@@ -148,7 +230,7 @@ pub fn write_binary_graph_versioned<W: Write>(
     w: W,
     version: u32,
 ) -> Result<(), GraphError> {
-    if version != BINARY_VERSION && version != BINARY_VERSION_V1 {
+    if version != BINARY_VERSION && version != BINARY_VERSION_V1 && version != BINARY_VERSION_V3 {
         return Err(GraphError::UnsupportedVersion { version });
     }
     let mut w = BufWriter::new(w);
@@ -160,14 +242,35 @@ pub fn write_binary_graph_versioned<W: Write>(
     if csr.has_weights() {
         flags |= FLAG_WEIGHTS;
     }
-    let lay = Layout::new(version, flags, g.num_vertices(), g.num_edges())?;
+    // v3 needs the varint stream before the header can be sized; reuse
+    // an attached companion, or encode one transiently.
+    let encoded;
+    let comp: Option<&CompressedCsr> = if version >= 3 {
+        Some(match csr.compressed() {
+            Some(c) => c,
+            None => {
+                encoded = CompressedCsr::from_csr(csr.offsets(), csr.targets());
+                &encoded
+            }
+        })
+    } else {
+        None
+    };
+    let data_len = comp.map_or(0, |c| c.data().len());
+    let lay = Layout::new(version, flags, g.num_vertices(), g.num_edges(), data_len)?;
     let mut header = Vec::with_capacity(lay.offsets_start);
     header.extend_from_slice(&BINARY_MAGIC);
     header.extend_from_slice(&version.to_le_bytes());
     header.extend_from_slice(&flags.to_le_bytes());
     header.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
     header.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
-    header.resize(lay.offsets_start, 0); // v2 reserved bytes
+    if version >= 2 {
+        header.resize(V2_HEADER_LEN, 0); // reserved bytes
+    }
+    if version >= 3 {
+        header.extend_from_slice(&(data_len as u64).to_le_bytes());
+    }
+    debug_assert_eq!(header.len(), lay.offsets_start);
     w.write_all(&header)?;
     let mut buf: Vec<u8> = Vec::with_capacity(COPY_CHUNK * 8);
     for chunk in csr.offsets().chunks(COPY_CHUNK) {
@@ -177,12 +280,26 @@ pub fn write_binary_graph_versioned<W: Write>(
         }
         w.write_all(&buf)?;
     }
-    for chunk in csr.targets().chunks(COPY_CHUNK) {
-        buf.clear();
-        for &t in chunk {
-            buf.extend_from_slice(&t.to_le_bytes());
+    match comp {
+        Some(c) => {
+            for chunk in c.byte_offsets().chunks(COPY_CHUNK) {
+                buf.clear();
+                for &o in chunk {
+                    buf.extend_from_slice(&(o as u64).to_le_bytes());
+                }
+                w.write_all(&buf)?;
+            }
+            w.write_all(c.data())?;
         }
-        w.write_all(&buf)?;
+        None => {
+            for chunk in csr.targets().chunks(COPY_CHUNK) {
+                buf.clear();
+                for &t in chunk {
+                    buf.extend_from_slice(&t.to_le_bytes());
+                }
+                w.write_all(&buf)?;
+            }
+        }
     }
     if let Some(weights) = csr.raw_weights() {
         w.write_all(&vec![0u8; lay.pad_len])?;
@@ -270,7 +387,7 @@ fn parse_header(header: &[u8]) -> Result<(u32, u32, usize, usize), GraphError> {
     }
     let word = |i: usize| u32::from_le_bytes(header[i..i + 4].try_into().unwrap());
     let version = word(4);
-    if version != BINARY_VERSION && version != BINARY_VERSION_V1 {
+    if version != BINARY_VERSION && version != BINARY_VERSION_V1 && version != BINARY_VERSION_V3 {
         return Err(GraphError::UnsupportedVersion { version });
     }
     let flags = word(8);
@@ -321,18 +438,54 @@ pub fn read_binary_graph<R: Read>(r: R) -> Result<Graph, GraphError> {
     let mut header = [0u8; V1_HEADER_LEN];
     r.read_exact(&mut header, "header", V1_HEADER_LEN, 0)?;
     let (version, flags, n, m) = parse_header(&header)?;
+    let header_len = if version >= 3 {
+        V3_HEADER_LEN
+    } else if version >= 2 {
+        V2_HEADER_LEN
+    } else {
+        V1_HEADER_LEN
+    };
     if version >= 2 {
         let mut reserved = [0u8; V2_HEADER_LEN - V1_HEADER_LEN];
-        r.read_exact(&mut reserved, "header", V2_HEADER_LEN, V1_HEADER_LEN)?;
+        r.read_exact(&mut reserved, "header", header_len, V1_HEADER_LEN)?;
         if reserved != [0u8; V2_HEADER_LEN - V1_HEADER_LEN] {
             return Err(nonzero_reserved());
         }
     }
-    let lay = Layout::new(version, flags, n, m)?;
+    let data_len = if version >= 3 {
+        let mut raw = [0u8; 8];
+        r.read_exact(&mut raw, "header", header_len, V2_HEADER_LEN)?;
+        usize::try_from(u64::from_le_bytes(raw)).map_err(|_| GraphError::Parse {
+            line: 0,
+            message: "compressed data length exceeds platform usize".into(),
+        })?
+    } else {
+        0
+    };
+    let lay = Layout::new(version, flags, n, m, data_len)?;
     let num_offsets = n.checked_add(1).ok_or_else(overflow)?;
     let offsets: Vec<usize> =
         r.read_values::<_, 8>(num_offsets, "offsets", |b| u64::from_le_bytes(b) as usize)?;
-    let targets: Vec<VertexId> = r.read_values::<_, 4>(m, "targets", u32::from_le_bytes)?;
+    let (targets, comp): (Vec<VertexId>, Option<CompressedCsr>) = if version >= 3 {
+        let byte_offsets: Vec<usize> = r.read_values::<_, 8>(num_offsets, "byte_offsets", |b| {
+            u64::from_le_bytes(b) as usize
+        })?;
+        let data: Vec<u8> = r.read_values::<_, 1>(data_len, "data", |b: [u8; 1]| b[0])?;
+        let comp = CompressedCsr::from_storage(byte_offsets.into(), data.into())?;
+        let targets = comp.decode_to_targets(&offsets)?;
+        if targets.len() != m {
+            return Err(GraphError::OffsetsEdgeMismatch {
+                last_offset: targets.len(),
+                num_edges: m,
+            });
+        }
+        (targets, Some(comp))
+    } else {
+        (
+            r.read_values::<_, 4>(m, "targets", u32::from_le_bytes)?,
+            None,
+        )
+    };
     let weights = if lay.weighted {
         if lay.pad_len > 0 {
             let mut pad = [0u8; SECTION_ALIGN];
@@ -354,8 +507,16 @@ pub fn read_binary_graph<R: Read>(r: R) -> Result<Graph, GraphError> {
             Err(e) => return Err(e.into()),
         }
     }
-    let out = Adjacency::from_raw(offsets, targets, weights)?;
-    let into = out.transpose();
+    let mut out = Adjacency::from_raw(offsets, targets, weights)?;
+    if let Some(comp) = comp {
+        out = out.with_compressed_storage(comp);
+    }
+    // The CSC half is rebuilt by the transpose, so a compressed graph
+    // re-encodes it: both traversal directions stream varint lists.
+    let mut into = out.transpose();
+    if out.compressed().is_some() {
+        into = into.with_compressed();
+    }
     Graph::from_parts(out, into, lay.directed)
 }
 
@@ -438,28 +599,56 @@ fn graph_from_map(map: Arc<Mmap>) -> Result<Graph, GraphError> {
         return Err(truncated("header", V1_HEADER_LEN, 0));
     }
     let (version, flags, n, m) = parse_header(bytes)?;
+    let header_len = if version >= 3 {
+        V3_HEADER_LEN
+    } else if version >= 2 {
+        V2_HEADER_LEN
+    } else {
+        V1_HEADER_LEN
+    };
     if version >= 2 {
-        if bytes.len() < V2_HEADER_LEN {
-            return Err(truncated("header", V2_HEADER_LEN, 0));
+        if bytes.len() < header_len {
+            return Err(truncated("header", header_len, 0));
         }
         if bytes[V1_HEADER_LEN..V2_HEADER_LEN].iter().any(|&b| b != 0) {
             return Err(nonzero_reserved());
         }
     }
-    let lay = Layout::new(version, flags, n, m)?;
+    let data_len = if version >= 3 {
+        let raw = u64::from_le_bytes(bytes[V2_HEADER_LEN..V3_HEADER_LEN].try_into().unwrap());
+        usize::try_from(raw).map_err(|_| GraphError::Parse {
+            line: 0,
+            message: "compressed data length exceeds platform usize".into(),
+        })?
+    } else {
+        0
+    };
+    let lay = Layout::new(version, flags, n, m, data_len)?;
     let num_offsets = n.checked_add(1).ok_or_else(overflow)?;
     // Section-precise truncation checks, in file order.
-    if bytes.len() < lay.targets_start {
+    if bytes.len() < lay.byte_offsets_start {
         return Err(truncated("offsets", num_offsets * 8, lay.offsets_start));
     }
-    if bytes.len() < lay.targets_start + m * 4 {
-        return Err(truncated("targets", m * 4, lay.targets_start));
+    if version >= 3 && bytes.len() < lay.payload_start {
+        return Err(truncated(
+            "byte_offsets",
+            num_offsets * 8,
+            lay.byte_offsets_start,
+        ));
+    }
+    let payload_end = lay.payload_start + lay.payload_len;
+    if bytes.len() < payload_end {
+        return Err(truncated(
+            Layout::payload_section(version),
+            lay.payload_len,
+            lay.payload_start,
+        ));
     }
     if lay.weighted {
         if bytes.len() < lay.weights_start {
-            return Err(truncated("padding", lay.pad_len, lay.targets_start + m * 4));
+            return Err(truncated("padding", lay.pad_len, payload_end));
         }
-        if bytes[lay.targets_start + m * 4..lay.weights_start]
+        if bytes[payload_end..lay.weights_start]
             .iter()
             .any(|&b| b != 0)
         {
@@ -473,19 +662,53 @@ fn graph_from_map(map: Arc<Mmap>) -> Result<Graph, GraphError> {
         return Err(trailing_bytes());
     }
     // Version 1 packs the u64 offsets at byte 28 — 4-byte aligned only —
-    // so only the aligned v2 layout is eligible for borrowing.
+    // so only the aligned v2+ layouts are eligible for borrowing.
     let zero_copy = host_supports_zero_copy() && version >= 2;
     let offsets: GraphStorage<usize> =
         map_section::<usize, 8>(&map, lay.offsets_start, num_offsets, zero_copy, |b| {
             u64::from_le_bytes(b) as usize
         });
-    let targets: GraphStorage<VertexId> =
-        map_section::<VertexId, 4>(&map, lay.targets_start, m, zero_copy, u32::from_le_bytes);
     let weights: Option<GraphStorage<f32>> = lay
         .weighted
         .then(|| map_section::<f32, 4>(&map, lay.weights_start, m, zero_copy, f32::from_le_bytes));
-    let out = Adjacency::from_storage(offsets, targets, weights)?;
-    let into = out.transpose();
+    let out = if version >= 3 {
+        // v3 stores no raw targets: borrow the byte_offsets and varint
+        // data sections zero-copy, then decode (validated) into an owned
+        // targets array. The compressed companion stays attached so the
+        // graph reports `StorageKind::Compressed` and kernels can stream
+        // the mapped varint bytes directly.
+        let byte_offsets: GraphStorage<usize> =
+            map_section::<usize, 8>(&map, lay.byte_offsets_start, num_offsets, zero_copy, |b| {
+                u64::from_le_bytes(b) as usize
+            });
+        let data: GraphStorage<u8> = map_section::<u8, 1>(
+            &map,
+            lay.payload_start,
+            data_len,
+            zero_copy,
+            |b: [u8; 1]| b[0],
+        );
+        let comp = CompressedCsr::from_storage(byte_offsets, data)?;
+        let offsets_vec = offsets.as_slice().to_vec();
+        let targets = comp.decode_to_targets(&offsets_vec)?;
+        if targets.len() != m {
+            return Err(GraphError::OffsetsEdgeMismatch {
+                last_offset: targets.len(),
+                num_edges: m,
+            });
+        }
+        Adjacency::from_storage(offsets, targets.into(), weights)?.with_compressed_storage(comp)
+    } else {
+        let targets: GraphStorage<VertexId> =
+            map_section::<VertexId, 4>(&map, lay.payload_start, m, zero_copy, u32::from_le_bytes);
+        Adjacency::from_storage(offsets, targets, weights)?
+    };
+    // As in the streaming reader: the transposed half is re-encoded so
+    // compressed graphs stay compressed in both traversal directions.
+    let mut into = out.transpose();
+    if out.compressed().is_some() {
+        into = into.with_compressed();
+    }
     Graph::from_parts(out, into, lay.directed)
 }
 
@@ -535,9 +758,9 @@ mod tests {
         let g = sample().with_hash_weights(8);
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
-        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 5, 5).unwrap();
+        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 5, 5, 0).unwrap();
         assert_eq!(lay.offsets_start % 8, 0);
-        assert_eq!(lay.targets_start % 8, 0);
+        assert_eq!(lay.payload_start % 8, 0);
         assert_eq!(lay.weights_start % 8, 0);
         assert_eq!(buf.len(), lay.total_len);
     }
@@ -635,7 +858,7 @@ mod tests {
             Graph::from_edges_weighted(3, &[(0, 1), (1, 2), (2, 0)], Some(&[9.0, 8.0, 7.0]), true);
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
-        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 3, 3).unwrap();
+        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 3, 3, 0).unwrap();
         assert_eq!(lay.pad_len, 4);
         for h in both_paths("oddpad", &buf) {
             assert_eq!(g.csr().raw_weights(), h.unwrap().csr().raw_weights());
@@ -686,7 +909,7 @@ mod tests {
             Graph::from_edges_weighted(3, &[(0, 1), (1, 2), (2, 0)], Some(&[1.0, 2.0, 3.0]), true);
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
-        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 3, 3).unwrap();
+        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 3, 3, 0).unwrap();
         assert!(lay.pad_len > 0);
         buf[lay.weights_start - 1] = 1;
         for err in both_paths("padbytes", &buf) {
@@ -701,12 +924,12 @@ mod tests {
         let g = sample().with_hash_weights(4);
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
-        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 5, 5).unwrap();
+        let lay = Layout::new(2, FLAG_DIRECTED | FLAG_WEIGHTS, 5, 5, 0).unwrap();
         let cases: [(usize, &str); 5] = [
             (10, "header"),
             (lay.offsets_start + 5, "offsets"),
-            (lay.targets_start + 3, "targets"),
-            (lay.targets_start + 5 * 4 + 1, "padding"),
+            (lay.payload_start + 3, "targets"),
+            (lay.payload_start + 5 * 4 + 1, "padding"),
             (lay.total_len - 1, "weights"),
         ];
         for (cut, want) in cases {
@@ -775,6 +998,136 @@ mod tests {
         let mut buf = Vec::new();
         write_binary_graph(&g, &mut buf).unwrap();
         for h in both_paths("empty", &buf) {
+            let h = h.unwrap();
+            assert_eq!(h.num_vertices(), 0);
+            assert_eq!(h.num_edges(), 0);
+        }
+    }
+
+    #[test]
+    fn v3_roundtrip_preserves_csr_exactly() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_graph_versioned(&g, &mut buf, BINARY_VERSION_V3).unwrap();
+        assert_eq!(&buf[4..8], &3u32.to_le_bytes());
+        for h in both_paths("v3roundtrip", &buf) {
+            let h = h.unwrap();
+            assert_eq!(g.csr().offsets(), h.csr().offsets());
+            assert_eq!(g.csr().targets(), h.csr().targets());
+            assert_eq!(g.csc().offsets(), h.csc().offsets());
+            assert_eq!(g.is_directed(), h.is_directed());
+            assert_eq!(h.storage_kind(), StorageKind::Compressed);
+        }
+    }
+
+    #[test]
+    fn v3_roundtrip_weighted_with_odd_padding() {
+        let g =
+            Graph::from_edges_weighted(3, &[(0, 1), (1, 2), (2, 0)], Some(&[0.5, 1.5, 2.5]), true);
+        let mut buf = Vec::new();
+        write_binary_graph_versioned(&g, &mut buf, BINARY_VERSION_V3).unwrap();
+        for h in both_paths("v3weighted", &buf) {
+            let h = h.unwrap();
+            assert_eq!(g.csr().raw_weights(), h.csr().raw_weights());
+            assert_eq!(g.csr().targets(), h.csr().targets());
+        }
+    }
+
+    #[test]
+    fn compressed_graph_auto_selects_v3_and_reloads_compressed() {
+        let g = sample().with_compressed();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        assert_eq!(&buf[4..8], &3u32.to_le_bytes());
+        for h in both_paths("v3auto", &buf) {
+            let h = h.unwrap();
+            assert_eq!(h.storage_kind(), StorageKind::Compressed);
+            assert_eq!(g.csr().targets(), h.csr().targets());
+            // Re-saving the reloaded graph stays on v3: the round trip is
+            // stable under repeated load/save cycles.
+            let mut again = Vec::new();
+            write_binary_graph(&h, &mut again).unwrap();
+            assert_eq!(buf, again);
+        }
+    }
+
+    #[test]
+    fn plain_graph_still_writes_v2_by_default() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        assert_eq!(&buf[4..8], &2u32.to_le_bytes());
+    }
+
+    #[test]
+    fn v3_mmap_borrows_varint_sections_on_supported_hosts() {
+        let g = sample().with_compressed();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let path = temp_vgr("v3zerocopy", &buf);
+        let h = mmap_binary_graph(&path).unwrap();
+        assert_eq!(h.storage_kind(), StorageKind::Compressed);
+        let comp = h.csr().compressed().unwrap();
+        if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
+            assert_eq!(comp.section_kind(), StorageKind::Mapped);
+        } else {
+            assert_eq!(comp.section_kind(), StorageKind::Owned);
+        }
+        assert_eq!(g.csr().targets(), h.csr().targets());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_truncation_names_compressed_sections() {
+        let g = sample().with_hash_weights(4).with_compressed();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let data_len = g.csr().compressed().unwrap().data().len();
+        let lay = Layout::new(3, FLAG_DIRECTED | FLAG_WEIGHTS, 5, 5, data_len).unwrap();
+        let cases: [(usize, &str); 6] = [
+            (V2_HEADER_LEN + 3, "header"),
+            (lay.offsets_start + 5, "offsets"),
+            (lay.byte_offsets_start + 3, "byte_offsets"),
+            (lay.payload_start + 1, "data"),
+            (lay.payload_start + lay.payload_len + 1, "padding"),
+            (lay.total_len - 1, "weights"),
+        ];
+        for (cut, want) in cases {
+            if cut >= buf.len() {
+                continue; // no padding for this data_len
+            }
+            for err in both_paths("v3trunc", &buf[..cut]) {
+                match err.unwrap_err() {
+                    GraphError::TruncatedBinary { section, .. } => {
+                        assert_eq!(section, want, "cut at {cut}");
+                    }
+                    other => panic!("cut at {cut}: unexpected error {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v3_rejects_corrupt_varint_data() {
+        let g = sample().with_compressed();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        let data_len = g.csr().compressed().unwrap().data().len();
+        let lay = Layout::new(3, FLAG_DIRECTED, 5, 5, data_len).unwrap();
+        // Smash the first varint byte: the decoded targets no longer match
+        // the element offsets, so validation must reject the file.
+        buf[lay.payload_start] = 0xFF;
+        for err in both_paths("v3corrupt", &buf) {
+            assert!(err.is_err());
+        }
+    }
+
+    #[test]
+    fn v3_empty_graph_round_trips() {
+        let g = Graph::from_edges(0, &[], true).with_compressed();
+        let mut buf = Vec::new();
+        write_binary_graph(&g, &mut buf).unwrap();
+        for h in both_paths("v3empty", &buf) {
             let h = h.unwrap();
             assert_eq!(h.num_vertices(), 0);
             assert_eq!(h.num_edges(), 0);

@@ -35,7 +35,7 @@ use std::path::Path;
 
 pub use binary::{
     mmap_binary_graph, read_binary_graph, write_binary_graph, write_binary_graph_versioned,
-    BINARY_MAGIC, BINARY_VERSION, BINARY_VERSION_V1,
+    BINARY_MAGIC, BINARY_VERSION, BINARY_VERSION_V1, BINARY_VERSION_V3,
 };
 pub use stream::{read_adjacency_graph_with, read_edge_list_with, LineChunker, StreamConfig};
 

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod adjacency;
+pub mod compress;
 pub mod coo;
 pub mod datasets;
 pub mod degree;
@@ -37,6 +38,7 @@ pub mod types;
 pub mod validate;
 
 pub use adjacency::Adjacency;
+pub use compress::{CompressedCsr, CompressionStats, NeighborDecoder, DECODE_BLOCK};
 pub use coo::Coo;
 pub use datasets::{Dataset, DatasetSpec};
 pub use graph::{mix64, Graph};

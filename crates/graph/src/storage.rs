@@ -45,6 +45,12 @@ pub enum StorageKind {
     Owned,
     /// Zero-copy view into a memory-mapped file.
     Mapped,
+    /// A delta/varint compressed companion representation is attached
+    /// (see [`crate::compress::CompressedCsr`]); the engine's hot loops
+    /// decode it in place of the plain target array. Reported at the
+    /// adjacency/graph level — individual sections are still `Owned` or
+    /// `Mapped`.
+    Compressed,
 }
 
 impl fmt::Display for StorageKind {
@@ -52,6 +58,7 @@ impl fmt::Display for StorageKind {
         f.write_str(match self {
             StorageKind::Owned => "owned",
             StorageKind::Mapped => "mapped",
+            StorageKind::Compressed => "compressed",
         })
     }
 }
@@ -494,5 +501,6 @@ mod tests {
     fn storage_kind_displays() {
         assert_eq!(StorageKind::Owned.to_string(), "owned");
         assert_eq!(StorageKind::Mapped.to_string(), "mapped");
+        assert_eq!(StorageKind::Compressed.to_string(), "compressed");
     }
 }

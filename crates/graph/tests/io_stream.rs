@@ -238,6 +238,45 @@ proptest! {
         prop_assert_eq!(mapped.storage_kind(), StorageKind::Owned);
     }
 
+    /// A graph carrying a delta-varint companion auto-selects the v3
+    /// layout; both load paths reproduce the original arrays exactly —
+    /// weights, trailing isolated vertices, self-loops, parallel edges —
+    /// and the reloaded graph reports the compressed backing.
+    #[test]
+    fn binary_v3_compressed_roundtrip_matches_owned(g in arb_weighted_graph()) {
+        let mut buf = Vec::new();
+        io::write_binary_graph(&g.clone().with_compressed(), &mut buf).unwrap();
+        let buffered = io::read_binary_graph(&buf[..]).unwrap();
+        assert_same(&g, &buffered, "v3 buffered");
+        prop_assert_eq!(buffered.csr().raw_weights(), g.csr().raw_weights());
+        prop_assert_eq!(buffered.storage_kind(), StorageKind::Compressed);
+        let mapped = with_temp_vgr(&buf, |p| io::mmap_binary_graph(p).unwrap());
+        assert_same(&buffered, &mapped, "v3 mmap vs buffered");
+        prop_assert_eq!(mapped.csr().raw_weights(), g.csr().raw_weights());
+        prop_assert_eq!(mapped.csc().raw_weights(), buffered.csc().raw_weights());
+        prop_assert_eq!(mapped.storage_kind(), StorageKind::Compressed);
+        prop_assert_eq!(mapped.is_directed(), g.is_directed());
+    }
+
+    /// Truncating a v3 file at any byte must also yield a typed error
+    /// from both loaders — the compressed sections (`byte_offsets`, the
+    /// varint `data` payload) are held to the same section-precise bar
+    /// as the plain v2 sections.
+    #[test]
+    fn binary_v3_truncation_errors_everywhere(g in arb_weighted_graph(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        io::write_binary_graph(&g.clone().with_compressed(), &mut buf).unwrap();
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        let buffered = io::read_binary_graph(&buf[..cut]);
+        let mapped = with_temp_vgr(&buf[..cut], |p| io::mmap_binary_graph(p));
+        for (which, res) in [("buffered", buffered), ("mmap", mapped)] {
+            match res {
+                Err(GraphError::TruncatedBinary { .. }) | Err(GraphError::BadMagic) => {}
+                other => prop_assert!(false, "v3 {which} cut at {cut}: {other:?}"),
+            }
+        }
+    }
+
     /// Truncating a v2 file at any byte must yield a section-precise
     /// `TruncatedBinary` (or, within the first four bytes, `BadMagic`)
     /// from BOTH loaders — never a panic, never a wrong graph.

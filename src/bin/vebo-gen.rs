@@ -16,6 +16,7 @@ struct Options {
     dataset: Dataset,
     scale: f64,
     format: Option<Format>,
+    compress: bool,
     output: String,
 }
 
@@ -30,6 +31,9 @@ fn usage() -> String {
            --scale <f>     size multiplier (default 1.0)\n\
            --format <f>    el | adj | bin (default: by output extension,\n\
                            falling back to el)\n\
+           --compress      attach delta-varint compressed neighbor lists:\n\
+                           the summary reports the compression ratio and\n\
+                           binary output is written as .vgr v3\n\
            --              end of options\n\
            -h, --help      this text",
         Dataset::ALL.map(|d| d.name()).join(" | ")
@@ -39,6 +43,7 @@ fn usage() -> String {
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
     let mut scale = 1.0f64;
     let mut format = None;
+    let mut compress = false;
     let mut positional = Vec::new();
     let mut options_done = false;
     let mut it = args.into_iter();
@@ -68,6 +73,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     "bad --format value '{v}' (expected el, adj, or bin)"
                 ))?);
             }
+            "--compress" => compress = true,
             "-h" | "--help" => return Err(String::new()),
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown option '{other}'")),
@@ -85,6 +91,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         dataset,
         scale,
         format,
+        compress,
         output: positional.remove(1),
     })
 }
@@ -106,8 +113,22 @@ fn main() -> ExitCode {
         .or_else(|| Format::from_extension(std::path::Path::new(&opts.output)))
         .unwrap_or(Format::EdgeList);
     let g = opts.dataset.build(opts.scale);
+    let g = if opts.compress {
+        g.with_compressed()
+    } else {
+        g
+    };
+    let comp_note = match g.compression_stats() {
+        Some(s) => format!(
+            ", varint {}/{} bytes, ratio {:.2}",
+            s.compressed_bytes,
+            s.raw_bytes,
+            s.ratio()
+        ),
+        None => String::new(),
+    };
     eprintln!(
-        "generated {} @ scale {}: {} vertices, {} edges",
+        "generated {} @ scale {}: {} vertices, {} edges{comp_note}",
         opts.dataset.name(),
         opts.scale,
         g.num_vertices(),
@@ -151,6 +172,12 @@ mod tests {
         assert!(args(&["rmat27", "--scale", "nan", "out.el"]).is_err());
         assert!(args(&["rmat27", "--format", "csv", "out.el"]).is_err());
         assert!(args(&["--weird", "rmat27", "out.el"]).is_err());
+    }
+
+    #[test]
+    fn parses_compress() {
+        assert!(!args(&["rmat27", "out.el"]).unwrap().compress);
+        assert!(args(&["rmat27", "--compress", "out.el"]).unwrap().compress);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! prints, uniformly for any ordering, by running the paper's Algorithm 1
 //! chunk partitioner on the reordered graph (the Figure 2 pipeline).
 
-use vebo_baselines::{DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
+use vebo_baselines::{Boba, DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
 use vebo_core::balance::BalanceReport;
 use vebo_core::Vebo;
 use vebo_graph::{Graph, VertexOrdering};
@@ -31,7 +31,7 @@ pub struct OrderingRegistry {
 
 /// Names accepted by [`OrderingRegistry::resolve`], in the roster order
 /// used by experiment tables.
-pub const ORDERING_NAMES: [&str; 7] = [
+pub const ORDERING_NAMES: [&str; 8] = [
     "vebo",
     "rcm",
     "gorder",
@@ -39,6 +39,7 @@ pub const ORDERING_NAMES: [&str; 7] = [
     "random",
     "slashburn",
     "metis",
+    "boba",
 ];
 
 impl OrderingRegistry {
@@ -92,6 +93,7 @@ impl OrderingRegistry {
             "random" => Box::new(RandomOrder::new(self.random_seed)),
             "slashburn" => Box::new(SlashBurn::default()),
             "metis" => Box::new(MetisLikeOrder::new(self.num_partitions)),
+            "boba" => Box::new(Boba),
             _ => return None,
         })
     }

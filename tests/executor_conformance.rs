@@ -146,47 +146,55 @@ fn digest(kind: AlgorithmKind, exec: &Executor, pg: &PreparedGraph) -> (Vec<u64>
     }
 }
 
-/// The acceptance matrix: 8 algorithms x 3 profiles x 5 backends, all
-/// digests bit-identical to the sequential reference, all deterministic
-/// report fields equal where the algorithm's rounds are deterministic.
+/// The acceptance matrix: 8 algorithms x 3 profiles x 5 backends x 2
+/// neighbor-list backings (plain, delta-varint compressed), all digests
+/// bit-identical to the sequential reference, all deterministic report
+/// fields equal where the algorithm's rounds are deterministic.
 #[test]
 fn all_backends_agree_on_all_algorithms_and_profiles() {
     let plain = vebo::graph::Dataset::YahooLike.build(0.02);
     let weighted = plain.clone().with_hash_weights(16);
     for profile in profiles() {
-        let pg_plain = PreparedGraph::builder(plain.clone())
-            .profile(profile)
-            .build()
-            .unwrap();
-        let pg_weighted = PreparedGraph::builder(weighted.clone())
-            .profile(profile)
-            .build()
-            .unwrap();
+        let prepare = |g: &vebo::graph::Graph, compress: bool| {
+            PreparedGraph::builder(g.clone())
+                .profile(profile)
+                .compress(compress)
+                .build()
+                .unwrap()
+        };
+        let pg_plain = [prepare(&plain, false), prepare(&plain, true)];
+        let pg_weighted = [prepare(&weighted, false), prepare(&weighted, true)];
         for kind in AlgorithmKind::ALL {
-            let pg = if needs_weights(kind) {
+            let pgs = if needs_weights(kind) {
                 &pg_weighted
             } else {
                 &pg_plain
             };
             let mut reference: Option<(Vec<u64>, RunReport)> = None;
-            for (name, exec) in backends(profile) {
-                let tag = format!("{} on {:?} via {name}", kind.code(), profile.kind);
-                let (dig, rep) = digest(kind, &exec, pg);
-                assert!(rep.iterations > 0, "{tag}: ran nothing");
-                // Sharded runs must carry shard reports; others must not.
-                let sharded = name.starts_with("sharded");
-                for em in &rep.edge_maps {
-                    if em.tasks.is_empty() {
-                        continue; // empty-frontier short circuit
+            for (pg, backing) in pgs.iter().zip(["plain", "compressed"]) {
+                for (name, exec) in backends(profile) {
+                    let tag = format!(
+                        "{} on {:?} via {name} ({backing})",
+                        kind.code(),
+                        profile.kind
+                    );
+                    let (dig, rep) = digest(kind, &exec, pg);
+                    assert!(rep.iterations > 0, "{tag}: ran nothing");
+                    // Sharded runs must carry shard reports; others must not.
+                    let sharded = name.starts_with("sharded");
+                    for em in &rep.edge_maps {
+                        if em.tasks.is_empty() {
+                            continue; // empty-frontier short circuit
+                        }
+                        assert_eq!(em.shards.is_some(), sharded, "{tag}: shard report");
                     }
-                    assert_eq!(em.shards.is_some(), sharded, "{tag}: shard report");
-                }
-                match &reference {
-                    None => reference = Some((dig, rep)),
-                    Some((ref_dig, ref_rep)) => {
-                        assert_eq!(&dig, ref_dig, "{tag}: result digest");
-                        if report_is_deterministic(kind) {
-                            assert_reports_match(ref_rep, &rep, &tag);
+                    match &reference {
+                        None => reference = Some((dig, rep)),
+                        Some((ref_dig, ref_rep)) => {
+                            assert_eq!(&dig, ref_dig, "{tag}: result digest");
+                            if report_is_deterministic(kind) {
+                                assert_reports_match(ref_rep, &rep, &tag);
+                            }
                         }
                     }
                 }

@@ -94,8 +94,9 @@ fn chunked_report_recovers_vebo_balance() {
     assert_eq!(report.edge_counts.iter().sum::<u64>(), g.num_edges() as u64);
 }
 
-/// The roster is complete and stable: exactly the seven paper orderings,
-/// resolvable case-insensitively, with unknown names rejected.
+/// The roster is complete and stable: the seven paper orderings plus the
+/// BOBA baseline, resolvable case-insensitively, with unknown names
+/// rejected.
 #[test]
 fn roster_is_complete() {
     assert_eq!(
@@ -107,7 +108,8 @@ fn roster_is_complete() {
             "hightolow",
             "random",
             "slashburn",
-            "metis"
+            "metis",
+            "boba"
         ]
     );
     let reg = OrderingRegistry::new(4);

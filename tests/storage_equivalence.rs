@@ -1,7 +1,10 @@
 //! Conformance suite for the `GraphStorage` abstraction: a graph loaded
 //! zero-copy from a memory-mapped `.vgr` file must be indistinguishable
 //! from the same graph loaded through the buffered reader — for every
-//! algorithm, on every system profile.
+//! algorithm, on every system profile. The delta-varint compressed
+//! backing (`.vgr` v3 / `--compress`) is held to the same bar: the
+//! engine's block-decoding kernels must be bit-identical to the plain
+//! slice kernels.
 //!
 //! "Indistinguishable" is checked at three levels:
 //!
@@ -97,6 +100,21 @@ fn load_both(g: &Graph, name: &str) -> (Graph, Graph) {
     (owned, mapped)
 }
 
+/// Writes `g` with a compressed companion (auto-selecting `.vgr` v3),
+/// then reloads it through the mmap path: the returned graph streams its
+/// neighbor lists from the varint sections.
+fn load_compressed(g: &Graph, name: &str) -> Graph {
+    let path = std::env::temp_dir().join(format!(
+        "vebo-storage-equiv-{name}-v3-{}.vgr",
+        std::process::id()
+    ));
+    io::save_graph(&g.clone().with_compressed(), &path, Format::Binary).expect("write v3 .vgr");
+    let (compressed, _) =
+        io::load_graph_with(&path, true, Some(Format::Binary), LoadMode::Mmap).expect("v3 load");
+    std::fs::remove_file(&path).ok();
+    compressed
+}
+
 #[test]
 fn mapped_and_owned_loads_expose_identical_graphs() {
     let g = Dataset::YahooLike.build(0.03).with_hash_weights(16);
@@ -116,20 +134,22 @@ fn mapped_and_owned_loads_expose_identical_graphs() {
 
 /// The acceptance matrix: all 8 algorithms x 3 system profiles produce
 /// bit-identical results and identical deterministic `RunReport`s on
-/// mmap-backed vs owned storage.
+/// mmap-backed, owned, and compressed (`.vgr` v3) storage.
 #[test]
-fn all_algorithms_agree_on_mapped_and_owned_storage() {
+fn all_algorithms_agree_on_mapped_owned_and_compressed_storage() {
     let plain = Dataset::YahooLike.build(0.03);
     let weighted = plain.clone().with_hash_weights(16);
     let (owned_plain, mapped_plain) = load_both(&plain, "plain");
     let (owned_weighted, mapped_weighted) = load_both(&weighted, "weighted");
+    let compressed_plain = load_compressed(&plain, "plain");
+    let compressed_weighted = load_compressed(&weighted, "weighted");
 
     for profile in profiles() {
         for kind in AlgorithmKind::ALL {
-            let (owned_g, mapped_g) = if needs_weights(kind) {
-                (&owned_weighted, &mapped_weighted)
+            let (owned_g, mapped_g, compressed_g) = if needs_weights(kind) {
+                (&owned_weighted, &mapped_weighted, &compressed_weighted)
             } else {
-                (&owned_plain, &mapped_plain)
+                (&owned_plain, &mapped_plain, &compressed_plain)
             };
             let tag = format!("{} on {:?}", kind.code(), profile.kind);
             let exec = Executor::new(profile);
@@ -141,16 +161,56 @@ fn all_algorithms_agree_on_mapped_and_owned_storage() {
                 .profile(profile)
                 .build()
                 .unwrap();
+            let pg_compressed = PreparedGraph::builder(compressed_g.clone())
+                .profile(profile)
+                .build()
+                .unwrap();
             assert_eq!(pg_owned.storage_kind(), StorageKind::Owned, "{tag}");
             if cfg!(all(target_endian = "little", target_pointer_width = "64")) {
                 assert_eq!(pg_mapped.storage_kind(), StorageKind::Mapped, "{tag}");
             }
+            assert_eq!(
+                pg_compressed.storage_kind(),
+                StorageKind::Compressed,
+                "{tag}"
+            );
             let (res_owned, rep_owned) = run(kind, &exec, &pg_owned);
             let (res_mapped, rep_mapped) = run(kind, &exec, &pg_mapped);
-            assert_eq!(res_owned, res_mapped, "{tag}: result bits");
+            let (res_compressed, rep_compressed) = run(kind, &exec, &pg_compressed);
+            assert_eq!(res_owned, res_mapped, "{tag}: mapped result bits");
+            assert_eq!(res_owned, res_compressed, "{tag}: compressed result bits");
             assert_reports_match(&rep_owned, &rep_mapped, &tag);
+            assert_reports_match(&rep_owned, &rep_compressed, &tag);
             assert!(rep_owned.iterations > 0, "{tag}: ran nothing");
         }
+    }
+}
+
+/// A compressed `.vgr` v3 file round-trips through both load paths with
+/// the exact arrays of the original — weights included — and keeps its
+/// compressed identity across a save/reload cycle.
+#[test]
+fn v3_reload_exposes_identical_graph() {
+    let g = Dataset::YahooLike.build(0.03).with_hash_weights(16);
+    let path = std::env::temp_dir().join(format!(
+        "vebo-storage-equiv-v3rt-{}.vgr",
+        std::process::id()
+    ));
+    io::save_graph(&g.clone().with_compressed(), &path, Format::Binary).expect("write v3");
+    let (buffered, _) = io::load_graph_with(&path, true, Some(Format::Binary), LoadMode::Buffered)
+        .expect("buffered v3 load");
+    let (mapped, _) = io::load_graph_with(&path, true, Some(Format::Binary), LoadMode::Mmap)
+        .expect("mmap v3 load");
+    std::fs::remove_file(&path).ok();
+    for h in [&buffered, &mapped] {
+        assert_eq!(h.storage_kind(), StorageKind::Compressed);
+        assert_eq!(h.csr().offsets(), g.csr().offsets());
+        assert_eq!(h.csr().targets(), g.csr().targets());
+        assert_eq!(h.csr().raw_weights(), g.csr().raw_weights());
+        assert_eq!(h.csc().offsets(), g.csc().offsets());
+        assert_eq!(h.csc().targets(), g.csc().targets());
+        let stats = h.compression_stats().expect("compressed graph has stats");
+        assert_eq!(stats.raw_bytes, g.num_edges() * 4);
     }
 }
 
