@@ -1,0 +1,239 @@
+//! Incremental connected components over a mutating graph.
+//!
+//! Label-propagation CC ([`crate::cc::cc`]) has a useful monotonicity:
+//! its fixed point assigns every vertex the minimum label among the
+//! vertices that can reach it, and edge *insertions* only ever lower
+//! labels. [`IncrementalCc`] exploits that: an insert `(u, v)` is
+//! repaired exactly by re-propagating `label[u]` forward from `v` (both
+//! directions on undirected graphs) — a worklist walk touching only the
+//! vertices whose label actually changes, typically a vanishing fraction
+//! of the graph. Deletions can split components, which label lowering
+//! cannot express, so they fall back to a full recompute — on the
+//! overlay-aware prepared handle, so the recompute observes buffered
+//! mutations without waiting for a compaction.
+//!
+//! This mirrors the serving story of the dynamic-graph layer: cheap
+//! monotone repair on the common path (inserts), with the engine's
+//! existing kernels as the safety net for the hard case.
+
+use crate::cc::cc;
+use crate::common::RunReport;
+use vebo_engine::{Executor, PreparedGraph};
+use vebo_graph::{DeltaOverlay, Graph, VertexId};
+
+/// Maintains connected-component labels across edge mutations.
+#[derive(Clone, Debug)]
+pub struct IncrementalCc {
+    labels: Vec<u32>,
+    repairs: u64,
+    recomputes: u64,
+}
+
+impl IncrementalCc {
+    /// Starts from already-computed labels (e.g. the serving engine's
+    /// initial [`crate::cc::cc`] pass).
+    pub fn new(labels: Vec<u32>) -> IncrementalCc {
+        IncrementalCc {
+            labels,
+            repairs: 0,
+            recomputes: 0,
+        }
+    }
+
+    /// Computes the initial labels with a full propagation pass.
+    pub fn from_graph(exec: &Executor, pg: &PreparedGraph) -> IncrementalCc {
+        let (labels, _) = cc(exec, pg);
+        IncrementalCc::new(labels)
+    }
+
+    /// The current component labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Insert repairs performed (each may touch many vertices).
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Full recomputes performed (the delete fallback).
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// Repairs the labels after inserting edge `(u, v)`. `overlay` is
+    /// the delta overlay of the epoch that already *contains* the
+    /// insert, so the repair walk traverses the post-insert adjacency;
+    /// `None` means the snapshot alone is current. Returns the number of
+    /// vertices whose label changed (0 when the edge connects vertices
+    /// already sharing a component label).
+    pub fn on_insert(
+        &mut self,
+        g: &Graph,
+        overlay: Option<&DeltaOverlay>,
+        u: VertexId,
+        v: VertexId,
+    ) -> usize {
+        let mut changed = self.repair_from(g, overlay, u, v);
+        if !g.is_directed() {
+            changed += self.repair_from(g, overlay, v, u);
+        }
+        if changed > 0 {
+            self.repairs += 1;
+        }
+        changed
+    }
+
+    /// Propagates `label[src]` to `dst` and onward along out-edges while
+    /// it lowers labels. Exact for the propagation fixed point: the new
+    /// arc makes every ancestor of `src` an ancestor of everything
+    /// reachable from `dst`, and `label[src]` is already the minimum
+    /// over those ancestors.
+    fn repair_from(
+        &mut self,
+        g: &Graph,
+        overlay: Option<&DeltaOverlay>,
+        src: VertexId,
+        dst: VertexId,
+    ) -> usize {
+        let cand = self.labels[src as usize];
+        if cand >= self.labels[dst as usize] {
+            return 0;
+        }
+        self.labels[dst as usize] = cand;
+        let mut changed = 1usize;
+        let mut work = vec![dst];
+        while let Some(x) = work.pop() {
+            let lx = self.labels[x as usize];
+            let neighbors = match overlay {
+                Some(ov) => ov.out_neighbors(g, x),
+                None => g.out_neighbors(x),
+            };
+            for &y in neighbors {
+                if lx < self.labels[y as usize] {
+                    self.labels[y as usize] = lx;
+                    changed += 1;
+                    work.push(y);
+                }
+            }
+        }
+        changed
+    }
+
+    /// The deletion fallback (and general resync): recomputes labels
+    /// from scratch on `pg` — overlay-aware, so a dirty epoch's buffered
+    /// mutations are observed.
+    pub fn recompute(&mut self, exec: &Executor, pg: &PreparedGraph) -> RunReport {
+        let (labels, report) = cc(exec, pg);
+        self.labels = labels;
+        self.recomputes += 1;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vebo_engine::SystemProfile;
+    use vebo_graph::{mix64, DynamicGraph, Graph};
+
+    fn exec() -> Executor {
+        Executor::new(SystemProfile::ligra_like())
+    }
+
+    fn static_labels(g: &Graph) -> Vec<u32> {
+        let pg = PreparedGraph::new(g.clone(), SystemProfile::ligra_like());
+        cc(&exec(), &pg).0
+    }
+
+    #[test]
+    fn insert_merges_two_components() {
+        // Two triangles; insert a bridge.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], false);
+        let dg = DynamicGraph::new(g);
+        let pg = PreparedGraph::for_pin(&dg.pin(), SystemProfile::ligra_like());
+        let mut inc = IncrementalCc::from_graph(&exec(), &pg);
+        assert_eq!(inc.labels()[3..6], [3, 3, 3]);
+
+        dg.insert_edge(2, 3);
+        let pin = dg.pin();
+        let changed = inc.on_insert(pin.graph(), Some(pin.overlay()), 2, 3);
+        assert_eq!(changed, 3, "exactly the second triangle relabels");
+        assert_eq!(inc.labels(), &[0, 0, 0, 0, 0, 0]);
+        assert_eq!(inc.repairs(), 1);
+
+        dg.compact();
+        assert_eq!(inc.labels(), static_labels(&dg.snapshot()).as_slice());
+    }
+
+    #[test]
+    fn insert_within_component_is_free() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], false);
+        let dg = DynamicGraph::new(g);
+        let pg = PreparedGraph::for_pin(&dg.pin(), SystemProfile::ligra_like());
+        let mut inc = IncrementalCc::from_graph(&exec(), &pg);
+        dg.insert_edge(0, 3);
+        let pin = dg.pin();
+        assert_eq!(inc.on_insert(pin.graph(), Some(pin.overlay()), 0, 3), 0);
+        assert_eq!(inc.repairs(), 0);
+    }
+
+    #[test]
+    fn random_insert_stream_tracks_static_cc() {
+        let n = 64usize;
+        let dg = DynamicGraph::new(Graph::from_edges(n, &[], false));
+        let pg = PreparedGraph::for_pin(&dg.pin(), SystemProfile::ligra_like());
+        let mut inc = IncrementalCc::from_graph(&exec(), &pg);
+        let mut x = 7u64;
+        for _ in 0..80 {
+            x = mix64(x);
+            let u = (x % n as u64) as VertexId;
+            x = mix64(x);
+            let v = (x % n as u64) as VertexId;
+            dg.insert_edge(u, v);
+            let pin = dg.pin();
+            inc.on_insert(pin.graph(), Some(pin.overlay()), u, v);
+        }
+        dg.compact();
+        assert_eq!(inc.labels(), static_labels(&dg.snapshot()).as_slice());
+    }
+
+    #[test]
+    fn delete_falls_back_to_recompute() {
+        // A path 0-1-2; deleting (1, 2) splits the component.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], false);
+        let dg = DynamicGraph::new(g);
+        let profile = SystemProfile::ligra_like();
+        let mut inc =
+            IncrementalCc::from_graph(&exec(), &PreparedGraph::for_pin(&dg.pin(), profile));
+        assert_eq!(inc.labels(), &[0, 0, 0]);
+
+        dg.delete_edge(1, 2);
+        // Recompute on the dirty epoch: the overlay hides the deleted
+        // edge before any compaction happens.
+        let pg = PreparedGraph::for_pin(&dg.pin(), profile);
+        inc.recompute(&exec(), &pg);
+        assert_eq!(inc.labels(), &[0, 0, 2]);
+        assert_eq!(inc.recomputes(), 1);
+
+        dg.compact();
+        assert_eq!(inc.labels(), static_labels(&dg.snapshot()).as_slice());
+    }
+
+    #[test]
+    fn directed_insert_repair_is_exact() {
+        // 0 -> 1 -> 2 and isolated chain 3 -> 4; insert 2 -> 3.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)], true);
+        let dg = DynamicGraph::new(g);
+        let profile = SystemProfile::ligra_like();
+        let mut inc =
+            IncrementalCc::from_graph(&exec(), &PreparedGraph::for_pin(&dg.pin(), profile));
+        assert_eq!(inc.labels(), &[0, 0, 0, 3, 3]);
+        dg.insert_edge(2, 3);
+        let pin = dg.pin();
+        inc.on_insert(pin.graph(), Some(pin.overlay()), 2, 3);
+        dg.compact();
+        assert_eq!(inc.labels(), static_labels(&dg.snapshot()).as_slice());
+        assert_eq!(inc.labels(), &[0, 0, 0, 0, 0]);
+    }
+}

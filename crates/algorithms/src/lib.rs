@@ -29,10 +29,12 @@ pub mod bfs;
 pub mod bp;
 pub mod cc;
 pub mod common;
+pub mod incremental;
 pub mod pagerank;
 pub mod pagerank_delta;
 pub mod runner;
 pub mod spmv;
 
 pub use common::{AlgorithmKind, RunReport};
+pub use incremental::IncrementalCc;
 pub use runner::{default_source, needs_weights, run_algorithm};

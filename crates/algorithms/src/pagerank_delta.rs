@@ -110,9 +110,12 @@ pub fn pagerank_delta_full(
             last_active[v as usize] = round as u32;
         }
         // Stage contributions of active vertices; clear accumulators.
+        // Degrees go through the prepared handle, which is delta-overlay
+        // aware: on a dirty dynamic-graph epoch the divisor matches the
+        // merged adjacency the edge map traverses.
         exec.vertex_map_all(pg, |v| {
             let i = v as usize;
-            let d = g.out_degree(v);
+            let d = pg.out_degree(v);
             let c = if d > 0 && frontier.contains(v) {
                 delta[i].load() / d as f64
             } else {

@@ -1,28 +1,35 @@
-//! `vebo-serve` — a serving-style request loop over one prepared graph:
-//! batched PageRank-from-seed / BFS / label-lookup queries driven
-//! concurrently through any executor backend.
+//! `vebo-serve` — a serving-style request loop over one **mutable**
+//! graph: batched PageRank-from-seed / PRD / BFS / label-lookup queries
+//! interleaved with edge mutations, driven concurrently through any
+//! executor backend.
 //!
 //! ```text
-//! # 64 generated requests, 4 shards, 8 request threads:
+//! # 64 generated requests (~15% mutations), 4 shards, 8 request threads:
 //! cargo run --release -p vebo-bench --bin vebo-serve -- \
 //!     --quick --executor sharded --shards 4 --concurrency 8 --gen 64
 //!
-//! # replay a script (one request per line: `pr 3`, `bfs 7`, `label 9`):
+//! # replay a script (one request per line: `pr 3`, `add 1 2`, ...)
+//! # and verify the final adjacency against an independent rebuild:
 //! cargo run --release -p vebo-bench --bin vebo-serve -- \
-//!     --requests batch.txt --executor rayon
+//!     --requests batch.txt --executor rayon --concurrency 1 --verify-static
 //! ```
 //!
 //! Per-request digests and the combined batch digest are printed on
-//! stdout; on the default (partitioned) profiles they are bit-identical
-//! across the sequential, rayon, and sharded backends, which is exactly
-//! what the CI serve-smoke job diffs. Shard metrics (queue depth,
-//! occupancy, steals) and latency quantiles go to stdout after the
-//! batch.
+//! stdout; on the default (partitioned) profiles, delta-free epochs make
+//! them bit-identical across the sequential, rayon, and sharded
+//! backends, which is exactly what the CI serve-smoke job diffs. Shard
+//! metrics (queue depth, occupancy, steals), latency quantiles, and the
+//! dynamic-graph counters (`compactions=`, `reorders=`, `epoch=`,
+//! `epoch-age=`) go to stderr after the batch.
 
-use vebo_bench::serve::{generate_requests, parse_script, ServeEngine};
+use std::collections::HashMap;
+use vebo_bench::serve::{
+    generate_requests, parse_script, Request, ServeEngine, DEFAULT_COMPACT_EVERY,
+    DEFAULT_DRIFT_THRESHOLD,
+};
 use vebo_bench::{HarnessArgs, Table};
 use vebo_engine::SystemProfile;
-use vebo_graph::Dataset;
+use vebo_graph::{Dataset, Graph};
 use vebo_partition::EdgeOrder;
 
 struct ServeArgs {
@@ -34,20 +41,30 @@ struct ServeArgs {
     gen_count: usize,
     gen_seed: u64,
     ppr_rounds: usize,
+    compact_every: usize,
+    drift: f64,
+    verify_static: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "vebo-serve — concurrent graph-query serving loop\n\n\
+        "vebo-serve — concurrent graph-query serving loop over a mutable graph\n\n\
          Serving options (plus every vebo-bench harness option):\n  \
-         --profile <name>   ligra | polymer | graphgrind (default polymer)\n  \
-         --concurrency <n>  request threads (default 4)\n  \
-         --requests <file>  replay a script: lines `pr <v>` | `bfs <v>` | `label <v>`\n  \
-         --gen <n>          generate a mixed workload of n requests (default 32)\n  \
-         --seed <s>         workload generator seed (default 1)\n  \
-         --ppr-rounds <k>   push rounds per PageRank-from-seed request (default 10)\n\n\
-         Digests are bit-stable across --executor backends on the\n\
-         partitioned profiles (polymer, graphgrind)."
+         --profile <name>    ligra | polymer | graphgrind (default polymer)\n  \
+         --concurrency <n>   request threads (default 4)\n  \
+         --requests <file>   replay a script: lines `pr <v>` | `prd <k>` | `bfs <v>` |\n                      \
+         `label <v>` | `add <u> <v>` | `del <u> <v>`\n  \
+         --gen <n>           generate a mixed workload of n requests (default 32)\n  \
+         --seed <s>          workload generator seed (default 1)\n  \
+         --ppr-rounds <k>    push rounds per PageRank-from-seed request (default 10)\n  \
+         --compact-every <n> merge the delta log every n mutations (default {DEFAULT_COMPACT_EVERY})\n  \
+         --drift <t>         per-partition edge-drift threshold that triggers a\n                      \
+         placement reorder at compaction (default {DEFAULT_DRIFT_THRESHOLD})\n  \
+         --verify-static     after the batch, compact and diff the adjacency against\n                      \
+         an independently rebuilt static graph (use --concurrency 1\n                      \
+         so the mutation order matches the script)\n\n\
+         Digests on delta-free epochs are bit-stable across --executor\n\
+         backends on the partitioned profiles (polymer, graphgrind)."
     );
     std::process::exit(2)
 }
@@ -62,6 +79,9 @@ fn parse_args() -> ServeArgs {
         gen_count: 32,
         gen_seed: 1,
         ppr_rounds: 10,
+        compact_every: DEFAULT_COMPACT_EVERY,
+        drift: DEFAULT_DRIFT_THRESHOLD,
+        verify_static: false,
     };
     let mut rest: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -95,6 +115,15 @@ fn parse_args() -> ServeArgs {
             "--ppr-rounds" => {
                 out.ppr_rounds = next("--ppr-rounds").parse().unwrap_or_else(|_| usage())
             }
+            "--compact-every" => {
+                out.compact_every = next("--compact-every").parse().unwrap_or_else(|_| usage());
+                if out.compact_every == 0 {
+                    eprintln!("--compact-every must be at least 1");
+                    usage()
+                }
+            }
+            "--drift" => out.drift = next("--drift").parse().unwrap_or_else(|_| usage()),
+            "--verify-static" => out.verify_static = true,
             "--help" | "-h" => usage(),
             other => rest.push(other.to_string()),
         }
@@ -102,6 +131,52 @@ fn parse_args() -> ServeArgs {
     out.harness =
         HarnessArgs::parse_from("vebo-serve", "concurrent graph-query serving loop", rest);
     out
+}
+
+/// Rebuilds the expected final graph independently of the dynamic-graph
+/// machinery: the initial arc multiset, the script's mutations replayed
+/// in order with the serving clamp semantics (an insert fires only when
+/// the edge is absent, a delete only when present), and a from-scratch
+/// `Graph::from_edges` build.
+fn statically_rebuilt(g0: &Graph, requests: &[Request]) -> Graph {
+    let directed = g0.is_directed();
+    let n = g0.num_vertices();
+    let nv = n.max(1) as u32;
+    let norm = |u: u32, v: u32| if directed || u <= v { (u, v) } else { (v, u) };
+    let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+    for u in 0..n as u32 {
+        for &v in g0.out_neighbors(u) {
+            // Undirected CSR stores both arc directions (self-loops
+            // once); count each edge once.
+            if directed || u <= v {
+                *counts.entry((u, v)).or_insert(0) += 1;
+            }
+        }
+    }
+    for req in requests {
+        match *req {
+            Request::AddEdge { u, v } => {
+                let c = counts.entry(norm(u % nv, v % nv)).or_insert(0);
+                if *c == 0 {
+                    *c = 1;
+                }
+            }
+            Request::DelEdge { u, v } => {
+                if let Some(c) = counts.get_mut(&norm(u % nv, v % nv)) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (&(u, v), &c) in &counts {
+        for _ in 0..c {
+            edges.push((u, v));
+        }
+    }
+    edges.sort_unstable();
+    Graph::from_edges(n, &edges, directed)
 }
 
 fn main() {
@@ -123,6 +198,7 @@ fn main() {
         }
         None => generate_requests(args.gen_count, args.gen_seed),
     };
+    let g0 = args.verify_static.then(|| g.clone());
     // Built once: for the sharded backend this spawns the long-lived
     // worker pool the whole serving process shares.
     let exec = args.harness.executor(args.profile);
@@ -138,6 +214,7 @@ fn main() {
 
     let mut engine = ServeEngine::new(g, args.profile, exec);
     engine.ppr_rounds = args.ppr_rounds;
+    engine.configure_compaction(args.compact_every, args.drift);
     let report = engine.run_batch(&requests, args.concurrency);
 
     for (i, (req, resp)) in requests.iter().zip(&report.responses).enumerate() {
@@ -184,4 +261,39 @@ fn main() {
         quantile(0.99),
         quantile(1.0),
     );
+    eprintln!(
+        "compactions={} reorders={} epoch={} epoch-age={} pending={}",
+        m.compactions,
+        m.reorders,
+        m.epoch,
+        m.epoch_age,
+        engine.dynamic().pending_len(),
+    );
+
+    if let Some(g0) = g0 {
+        engine.compact_now();
+        let want = statically_rebuilt(&g0, &requests);
+        let got = engine.dynamic().snapshot();
+        let mut ok = got.num_edges() == want.num_edges();
+        if !ok {
+            eprintln!(
+                "static-check MISMATCH: {} arcs served vs {} rebuilt",
+                got.num_edges(),
+                want.num_edges()
+            );
+        }
+        for v in 0..want.num_vertices() as u32 {
+            if !ok {
+                break;
+            }
+            if got.out_neighbors(v) != want.out_neighbors(v) {
+                eprintln!("static-check MISMATCH at vertex {v}");
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        eprintln!("static-check OK ({} arcs)", got.num_edges());
+    }
 }

@@ -1,22 +1,51 @@
 //! The serving layer behind `vebo-serve`: batched query workloads driven
-//! concurrently through one shared [`Executor`].
+//! concurrently through one shared [`Executor`] — over a **mutable**
+//! graph.
 //!
-//! Three request kinds model a graph-serving API:
+//! Six request kinds model a graph-serving API (the roster lives in
+//! [`vebo::REQUEST_SPECS`], the single source of truth the script parser
+//! resolves against):
 //!
 //! * [`Request::PageRankSeed`] — personalized PageRank pushed from one
 //!   seed vertex (a fixed number of forward-push rounds);
+//! * [`Request::PageRankDelta`] — a whole-graph PageRankDelta sweep
+//!   (Table II's PRD) capped at a round count, digesting the rank
+//!   vector;
 //! * [`Request::Bfs`] — BFS reachability/levels from a seed;
 //! * [`Request::Label`] — component-label lookup against labels
-//!   precomputed at startup (the "cheap read" class of request).
+//!   maintained incrementally across mutations (the "cheap read" class
+//!   of request);
+//! * [`Request::AddEdge`] / [`Request::DelEdge`] — edge mutations
+//!   against the engine's [`DynamicGraph`].
+//!
+//! ## The mutable serving loop
+//!
+//! The engine owns a [`DynamicGraph`] and publishes an immutable
+//! [`Arc`]`<ServeState>` (prepared graph + component labels) that query
+//! threads clone under a briefly-held read lock — queries **never block
+//! on mutations**. Mutations serialize on a separate lock: each one is
+//! buffered into the dynamic graph's delta log, component labels are
+//! repaired incrementally ([`IncrementalCc`] — exact label propagation
+//! on inserts, overlay-aware recompute on deletes), and a new state
+//! carrying the delta overlay is published so subsequent queries observe
+//! the mutation before any compaction. Every `compact_every` buffered
+//! ops the log is merged into a fresh CSR/CSC snapshot off the query
+//! path; a [`DriftTrigger`] then decides whether the partition placement
+//! has drifted enough to recompute task bounds (a "reorder") or whether
+//! the old bounds carry over. Compaction counts, reorders, the published
+//! epoch, and the epoch's age in requests are reported through the
+//! [`ShardMetricsSink`].
 //!
 //! Each response is reduced to a 64-bit FNV-1a digest so whole batches
 //! can be diffed across executor backends: on the partitioned profiles
 //! (Polymer, GraphGrind — the `vebo-serve` default) every float
-//! accumulation is destination-owned, so digests are **bit-identical**
-//! across the sequential, rayon, and sharded backends and CI fails on
-//! any mismatch. (On the Ligra profile, sparse push interleaves atomic
-//! f64 additions across tasks, so last-ulp differences between backends
-//! are legitimate there.)
+//! accumulation is destination-owned, so digests on delta-free epochs
+//! are **bit-identical** across the sequential, rayon, and sharded
+//! backends and CI fails on any mismatch. (On the Ligra profile, and on
+//! dirty epochs — where the overlay routes sparse traversals through the
+//! atomic push kernel — float digests may differ in the last ulp between
+//! parallel backends; integer digests, `bfs` and `label`, stay exact
+//! everywhere.)
 //!
 //! Batches run on `concurrency` request threads pulling from a shared
 //! cursor; per-request latency is forwarded to the engine's
@@ -25,17 +54,21 @@
 //! occupancy, steals, and latency quantiles.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+use vebo::request_spec;
 use vebo_algorithms::bfs::{bfs, levels_from_parents};
 use vebo_algorithms::cc::cc;
+use vebo_algorithms::pagerank_delta::{pagerank_delta, PageRankDeltaConfig};
+use vebo_algorithms::IncrementalCc;
+use vebo_core::{edge_counts_for_starts, DriftTrigger};
 use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
 use vebo_engine::{
     EdgeOp, Executor, Frontier, InstrumentSink, PreparedGraph, ShardMetrics, ShardMetricsSink,
     SystemProfile,
 };
 use vebo_graph::graph::mix64;
-use vebo_graph::{Graph, VertexId};
+use vebo_graph::{CompactionStats, DynamicGraph, Graph, VertexId};
 
 /// One serving request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +77,11 @@ pub enum Request {
     PageRankSeed {
         /// Seed vertex (taken modulo the vertex count).
         seed: VertexId,
+    },
+    /// A whole-graph PageRankDelta sweep capped at `rounds` rounds.
+    PageRankDelta {
+        /// Maximum delta-propagation rounds (at least 1).
+        rounds: u32,
     },
     /// BFS levels from `seed`.
     Bfs {
@@ -55,16 +93,42 @@ pub enum Request {
         /// Queried vertex (taken modulo the vertex count).
         v: VertexId,
     },
+    /// Insert edge `(u, v)` into the dynamic graph.
+    AddEdge {
+        /// Source endpoint (taken modulo the vertex count).
+        u: VertexId,
+        /// Destination endpoint (taken modulo the vertex count).
+        v: VertexId,
+    },
+    /// Delete edge `(u, v)` from the dynamic graph.
+    DelEdge {
+        /// Source endpoint (taken modulo the vertex count).
+        u: VertexId,
+        /// Destination endpoint (taken modulo the vertex count).
+        v: VertexId,
+    },
 }
 
 impl Request {
-    /// Short kind code used in scripts and output (`pr`, `bfs`, `label`).
+    /// Short kind code used in scripts and output — the
+    /// [`vebo::RequestSpec::code`] of this request's roster entry.
     pub fn code(&self) -> &'static str {
         match self {
             Request::PageRankSeed { .. } => "pr",
+            Request::PageRankDelta { .. } => "prd",
             Request::Bfs { .. } => "bfs",
             Request::Label { .. } => "label",
+            Request::AddEdge { .. } => "add",
+            Request::DelEdge { .. } => "del",
         }
+    }
+
+    /// Whether handling this request mutates the dynamic graph, per the
+    /// [`vebo::REQUEST_SPECS`] roster.
+    pub fn mutates(&self) -> bool {
+        request_spec(self.code())
+            .expect("every request code is in the roster")
+            .mutates
     }
 }
 
@@ -146,45 +210,97 @@ impl EdgeOp for PushOp<'_> {
     }
 }
 
-/// A prepared graph plus the executor and precomputed state every
-/// request handler shares. Cheap to share across request threads
-/// (`&self` everywhere); the executor's sharded pool, when selected,
-/// is likewise shared.
-pub struct ServeEngine {
-    exec: Executor,
+/// What query threads read: one epoch's prepared graph (snapshot +
+/// possibly a delta overlay) and the component labels current as of that
+/// epoch. Immutable once published; swapped wholesale behind an `Arc`.
+struct ServeState {
     pg: PreparedGraph,
     labels: Vec<u32>,
+}
+
+/// Mutation-path state, serialized under one lock so mutations apply in
+/// a total order: the incremental component-label maintainer and the
+/// placement-drift trigger consulted at each compaction.
+struct MutationState {
+    cc: IncrementalCc,
+    trigger: DriftTrigger,
+}
+
+/// A dynamic graph plus the executor and published per-epoch state every
+/// request handler shares. Cheap to share across request threads
+/// (`&self` everywhere); the executor's sharded pool, when selected, is
+/// likewise shared. Queries clone the published state `Arc` under a
+/// briefly-held read lock and run entirely against that pinned epoch, so
+/// they never block on (or observe a half-applied) mutation.
+pub struct ServeEngine {
+    exec: Executor,
+    profile: SystemProfile,
+    graph: DynamicGraph,
+    state: RwLock<Arc<ServeState>>,
+    mutation: Mutex<MutationState>,
     metrics: Arc<ShardMetricsSink>,
     /// Push rounds per PageRank-from-seed request.
     pub ppr_rounds: usize,
+    compact_every: usize,
 }
 
+/// Default mutation count between compactions.
+pub const DEFAULT_COMPACT_EVERY: usize = 8;
+/// Default relative per-partition edge-count drift that triggers a
+/// placement recompute at compaction time.
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.25;
+
 impl ServeEngine {
-    /// Prepares `g` for `profile`, attaches a [`ShardMetricsSink`] to
-    /// `exec`, and precomputes the component labels served by
-    /// [`Request::Label`].
+    /// Wraps `g` in a [`DynamicGraph`], prepares its initial snapshot
+    /// for `profile`, attaches a [`ShardMetricsSink`] to `exec`, and
+    /// precomputes the component labels served by [`Request::Label`]
+    /// (maintained incrementally from then on). Compaction policy starts
+    /// at [`DEFAULT_COMPACT_EVERY`] / [`DEFAULT_DRIFT_THRESHOLD`]; see
+    /// [`ServeEngine::configure_compaction`].
     pub fn new(g: Graph, profile: SystemProfile, exec: Executor) -> ServeEngine {
-        let pg = PreparedGraph::builder(g)
-            .profile(profile)
-            .build()
-            .expect("no explicit bounds, cannot fail");
+        let pg = PreparedGraph::new(g.clone(), profile);
+        let graph = DynamicGraph::new(g);
         // Precompute before attaching the metrics sink, so the serving
         // metrics only ever describe served requests, not startup work.
         let (labels, _) = cc(&exec, &pg);
+        let baseline = edge_counts_for_starts(pg.graph(), pg.tasks().starts());
+        let mutation = Mutex::new(MutationState {
+            cc: IncrementalCc::new(labels.clone()),
+            trigger: DriftTrigger::new(DEFAULT_DRIFT_THRESHOLD, baseline),
+        });
         let metrics = Arc::new(ShardMetricsSink::new());
         let exec = exec.with_sink(metrics.clone());
         ServeEngine {
             exec,
-            pg,
-            labels,
+            profile,
+            graph,
+            state: RwLock::new(Arc::new(ServeState { pg, labels })),
+            mutation,
             metrics,
             ppr_rounds: 10,
+            compact_every: DEFAULT_COMPACT_EVERY,
         }
     }
 
-    /// The prepared graph requests run against.
-    pub fn prepared(&self) -> &PreparedGraph {
-        &self.pg
+    /// Sets the compaction policy: merge the delta log every `every`
+    /// buffered mutations, and recompute partition placement when the
+    /// per-partition edge-count drift reaches `drift_threshold`.
+    pub fn configure_compaction(&mut self, every: usize, drift_threshold: f64) {
+        assert!(every >= 1, "compaction period must be at least 1");
+        self.compact_every = every;
+        let mu = self.mutation.get_mut().unwrap();
+        mu.trigger = DriftTrigger::new(drift_threshold, mu.trigger.baseline().to_vec());
+    }
+
+    /// The prepared graph of the currently published epoch. A cheap
+    /// clone: layouts are shared behind an `Arc`.
+    pub fn prepared(&self) -> PreparedGraph {
+        self.state.read().unwrap().pg.clone()
+    }
+
+    /// The dynamic graph behind the engine.
+    pub fn dynamic(&self) -> &DynamicGraph {
+        &self.graph
     }
 
     /// The executor requests run through.
@@ -197,23 +313,192 @@ impl ServeEngine {
         self.metrics.snapshot()
     }
 
+    /// Forces a compaction (merging any buffered mutations into a fresh
+    /// snapshot and republishing the serving state), regardless of the
+    /// `compact_every` threshold. No-op on a clean engine.
+    pub fn compact_now(&self) -> CompactionStats {
+        let mut mu = self.mutation.lock().unwrap();
+        self.compact_locked(&mut mu)
+    }
+
     /// Handles one request, recording its latency.
     pub fn handle(&self, req: &Request) -> Response {
         let t0 = Instant::now();
-        let n = self.pg.graph().num_vertices().max(1) as u32;
+        let n = self.graph.num_vertices().max(1) as u32;
         let digest = match *req {
-            Request::PageRankSeed { seed } => self.ppr_digest(seed % n),
-            Request::Bfs { seed } => self.bfs_digest(seed % n),
-            Request::Label { v } => digest_u64s([self.labels[(v % n) as usize] as u64]),
+            Request::AddEdge { u, v } => self.apply_mutation(true, u % n, v % n),
+            Request::DelEdge { u, v } => self.apply_mutation(false, u % n, v % n),
+            _ => {
+                let state = self.state.read().unwrap().clone();
+                match *req {
+                    Request::PageRankSeed { seed } => self.ppr_digest(&state, seed % n),
+                    Request::PageRankDelta { rounds } => self.prd_digest(&state, rounds),
+                    Request::Bfs { seed } => self.bfs_digest(&state, seed % n),
+                    Request::Label { v } => digest_u64s([state.labels[(v % n) as usize] as u64]),
+                    Request::AddEdge { .. } | Request::DelEdge { .. } => unreachable!(),
+                }
+            }
         };
         let nanos = t0.elapsed().as_nanos() as u64;
         self.metrics.record_request(nanos);
         Response { digest, nanos }
     }
 
+    /// The mutation path: buffer the op, repair (insert) or recompute
+    /// (delete) component labels, publish a dirty epoch carrying the
+    /// delta overlay, and compact when the log reaches `compact_every`.
+    /// Serialized on the mutation lock; the state write lock is only
+    /// held for the `Arc` swap, so concurrent queries keep reading their
+    /// pinned epoch throughout.
+    fn apply_mutation(&self, insert: bool, u: VertexId, v: VertexId) -> u64 {
+        let mut mu = self.mutation.lock().unwrap();
+        if insert {
+            self.graph.insert_edge(u, v);
+        } else {
+            self.graph.delete_edge(u, v);
+        }
+        let pin = self.graph.pin();
+        let base = self.state.read().unwrap().pg.clone();
+        let pg = base.with_overlay(Some(pin.overlay().clone()), pin.epoch());
+        if insert {
+            mu.cc.on_insert(pin.graph(), Some(pin.overlay()), u, v);
+        } else {
+            // A delete can split a component, which label lowering
+            // cannot express: recompute on the overlay-aware handle.
+            mu.cc.recompute(&self.exec, &pg);
+        }
+        let labels = mu.cc.labels().to_vec();
+        *self.state.write().unwrap() = Arc::new(ServeState { pg, labels });
+        if self.graph.pending_len() >= self.compact_every {
+            self.compact_locked(&mut mu);
+        }
+        digest_u64s([if insert { 1 } else { 2 }, u as u64, v as u64])
+    }
+
+    /// Compacts the delta log into a fresh snapshot and republishes the
+    /// serving state — on the mutation path, never the query path. The
+    /// [`DriftTrigger`] compares per-partition edge counts on the new
+    /// snapshot against its baseline: past the threshold the placement
+    /// is recomputed from scratch (a "reorder"); otherwise the previous
+    /// task bounds carry over and only the layouts rebuild.
+    fn compact_locked(&self, mu: &mut MutationState) -> CompactionStats {
+        let stats = self.graph.compact();
+        let cur = self.state.read().unwrap().clone();
+        if stats.applied == 0 && cur.pg.overlay().is_none() {
+            return stats;
+        }
+        let snapshot = self.graph.snapshot();
+        let counts = edge_counts_for_starts(&snapshot, cur.pg.tasks().starts());
+        let reorder = mu.trigger.should_reorder(&counts);
+        let pg = if reorder {
+            PreparedGraph::new((*snapshot).clone(), self.profile)
+        } else {
+            PreparedGraph::builder((*snapshot).clone())
+                .profile(self.profile)
+                .bounds(cur.pg.tasks().clone())
+                .build()
+                .expect("carried-over bounds span the same vertex range")
+        };
+        mu.trigger
+            .rebase(edge_counts_for_starts(pg.graph(), pg.tasks().starts()));
+        let pg = pg.with_overlay(None, stats.epoch);
+        let labels = mu.cc.labels().to_vec();
+        self.metrics.record_compaction(stats.epoch, reorder);
+        *self.state.write().unwrap() = Arc::new(ServeState { pg, labels });
+        stats
+    }
+
+    /// Personalized PageRank from `seed`: `ppr_rounds` forward-push
+    /// rounds of `x_{k+1} = d · Aᵀ x_k` with `p += (1 − d) · x_k`,
+    /// starting from `x_0 = e_seed`. The digest covers the bit patterns
+    /// of every nonzero score.
+    ///
+    /// Per-round work is frontier-scoped: contributions are staged over
+    /// the active set only (every traversal kernel gates reads by
+    /// frontier membership, so stale `contrib`/`x` entries on inactive
+    /// vertices are never observed), and the accumulated mass is folded
+    /// back — and the accumulator re-zeroed — over just the vertices
+    /// the push touched. A request on a small neighborhood therefore
+    /// costs O(touched), not O(n · rounds).
+    ///
+    /// Degrees go through the prepared handle, which is overlay-aware:
+    /// on a dirty epoch the push divisor matches the merged adjacency
+    /// the edge map traverses.
+    fn ppr_digest(&self, state: &ServeState, seed: VertexId) -> u64 {
+        const DAMPING: f64 = 0.85;
+        let pg = &state.pg;
+        let n = pg.graph().num_vertices();
+        let p = atomic_f64_vec(n, 0.0);
+        let x = atomic_f64_vec(n, 0.0);
+        let acc = atomic_f64_vec(n, 0.0);
+        let contrib = atomic_f64_vec(n, 0.0);
+        x[seed as usize].store(1.0);
+        let mut frontier = Frontier::single(n, seed);
+        for _ in 0..self.ppr_rounds {
+            if frontier.is_empty() {
+                break;
+            }
+            // Stage this round's contributions over the active set;
+            // absorb (1 - d) into the scores as the mass leaves.
+            self.exec.vertex_map(pg, &frontier, |v| {
+                let i = v as usize;
+                let xi = x[i].load();
+                let d = pg.out_degree(v);
+                contrib[i].store(if d > 0 { DAMPING * xi / d as f64 } else { 0.0 });
+                p[i].store(p[i].load() + (1.0 - DAMPING) * xi);
+                true
+            });
+            let op = PushOp {
+                contrib: &contrib,
+                acc: &acc,
+            };
+            let (touched, _) = self.exec.edge_map(pg, &frontier, &op);
+            // The accumulated mass becomes the next x and the
+            // accumulator is re-zeroed, both over the touched set only;
+            // tiny residues leave the frontier so request cost stays
+            // bounded.
+            let (next, _) = self.exec.vertex_map(pg, &touched, |v| {
+                let i = v as usize;
+                let nx = acc[i].load();
+                x[i].store(nx);
+                acc[i].store(0.0);
+                nx > 1e-12
+            });
+            frontier = next;
+        }
+        digest_u64s(
+            snapshot_f64(&p)
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, s)| s != 0.0)
+                .flat_map(|(v, s)| [v as u64, s.to_bits()]),
+        )
+    }
+
+    /// PageRankDelta over the whole pinned epoch, digested over the bit
+    /// patterns of the final rank vector.
+    fn prd_digest(&self, state: &ServeState, rounds: u32) -> u64 {
+        let cfg = PageRankDeltaConfig {
+            max_iterations: rounds.max(1) as usize,
+            ..Default::default()
+        };
+        let (ranks, _) = pagerank_delta(&self.exec, &state.pg, &cfg);
+        digest_u64s(ranks.into_iter().map(f64::to_bits))
+    }
+
+    /// BFS from `seed`, digested over the (deterministic) level array —
+    /// parent choice is a legitimate tie-break, levels are not.
+    fn bfs_digest(&self, state: &ServeState, seed: VertexId) -> u64 {
+        let (parents, _) = bfs(&self.exec, &state.pg, seed);
+        let levels = levels_from_parents(&parents, seed);
+        digest_u64s(levels.into_iter().map(u64::from))
+    }
+
     /// Runs `requests` on `concurrency` request threads sharing this
     /// engine (and its sharded worker pool, when selected). Responses
-    /// land in request order regardless of completion order.
+    /// land in request order regardless of completion order. Mutations
+    /// in the batch serialize on the mutation lock; queries proceed
+    /// against their pinned epoch concurrently with them.
     pub fn run_batch(&self, requests: &[Request], concurrency: usize) -> BatchReport {
         let t0 = Instant::now();
         let cursor = AtomicUsize::new(0);
@@ -243,81 +528,12 @@ impl ServeEngine {
             wall_seconds: t0.elapsed().as_secs_f64(),
         }
     }
-
-    /// Personalized PageRank from `seed`: `ppr_rounds` forward-push
-    /// rounds of `x_{k+1} = d · Aᵀ x_k` with `p += (1 − d) · x_k`,
-    /// starting from `x_0 = e_seed`. The digest covers the bit patterns
-    /// of every nonzero score.
-    ///
-    /// Per-round work is frontier-scoped: contributions are staged over
-    /// the active set only (every traversal kernel gates reads by
-    /// frontier membership, so stale `contrib`/`x` entries on inactive
-    /// vertices are never observed), and the accumulated mass is folded
-    /// back — and the accumulator re-zeroed — over just the vertices
-    /// the push touched. A request on a small neighborhood therefore
-    /// costs O(touched), not O(n · rounds).
-    fn ppr_digest(&self, seed: VertexId) -> u64 {
-        const DAMPING: f64 = 0.85;
-        let n = self.pg.graph().num_vertices();
-        let g = self.pg.graph();
-        let p = atomic_f64_vec(n, 0.0);
-        let x = atomic_f64_vec(n, 0.0);
-        let acc = atomic_f64_vec(n, 0.0);
-        let contrib = atomic_f64_vec(n, 0.0);
-        x[seed as usize].store(1.0);
-        let mut frontier = Frontier::single(n, seed);
-        for _ in 0..self.ppr_rounds {
-            if frontier.is_empty() {
-                break;
-            }
-            // Stage this round's contributions over the active set;
-            // absorb (1 - d) into the scores as the mass leaves.
-            self.exec.vertex_map(&self.pg, &frontier, |v| {
-                let i = v as usize;
-                let xi = x[i].load();
-                let d = g.out_degree(v);
-                contrib[i].store(if d > 0 { DAMPING * xi / d as f64 } else { 0.0 });
-                p[i].store(p[i].load() + (1.0 - DAMPING) * xi);
-                true
-            });
-            let op = PushOp {
-                contrib: &contrib,
-                acc: &acc,
-            };
-            let (touched, _) = self.exec.edge_map(&self.pg, &frontier, &op);
-            // The accumulated mass becomes the next x and the
-            // accumulator is re-zeroed, both over the touched set only;
-            // tiny residues leave the frontier so request cost stays
-            // bounded.
-            let (next, _) = self.exec.vertex_map(&self.pg, &touched, |v| {
-                let i = v as usize;
-                let nx = acc[i].load();
-                x[i].store(nx);
-                acc[i].store(0.0);
-                nx > 1e-12
-            });
-            frontier = next;
-        }
-        digest_u64s(
-            snapshot_f64(&p)
-                .into_iter()
-                .enumerate()
-                .filter(|&(_, s)| s != 0.0)
-                .flat_map(|(v, s)| [v as u64, s.to_bits()]),
-        )
-    }
-
-    /// BFS from `seed`, digested over the (deterministic) level array —
-    /// parent choice is a legitimate tie-break, levels are not.
-    fn bfs_digest(&self, seed: VertexId) -> u64 {
-        let (parents, _) = bfs(&self.exec, &self.pg, seed);
-        let levels = levels_from_parents(&parents, seed);
-        digest_u64s(levels.into_iter().map(u64::from))
-    }
 }
 
-/// Parses a request script: one request per line — `pr <seed>`,
-/// `bfs <seed>`, or `label <v>`; blank lines and `#` comments ignored.
+/// Parses a request script: one request per line, resolved against the
+/// [`vebo::REQUEST_SPECS`] roster — `pr <seed>`, `prd <rounds>`,
+/// `bfs <seed>`, `label <v>`, `add <u> <v>`, `del <u> <v>`; blank lines
+/// and `#` comments ignored.
 pub fn parse_script(text: &str) -> Result<Vec<Request>, String> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -327,26 +543,49 @@ pub fn parse_script(text: &str) -> Result<Vec<Request>, String> {
         }
         let mut parts = line.split_whitespace();
         let kind = parts.next().unwrap();
-        let arg: VertexId = parts
-            .next()
-            .ok_or_else(|| format!("line {}: missing vertex argument", lineno + 1))?
-            .parse()
-            .map_err(|_| format!("line {}: bad vertex id", lineno + 1))?;
+        let spec = request_spec(kind)
+            .ok_or_else(|| format!("line {}: unknown request '{kind}'", lineno + 1))?;
+        let mut args = [0 as VertexId; 2];
+        for slot in args.iter_mut().take(spec.arity) {
+            *slot = parts
+                .next()
+                .ok_or_else(|| {
+                    format!(
+                        "line {}: '{}' takes {} argument(s)",
+                        lineno + 1,
+                        spec.code,
+                        spec.arity
+                    )
+                })?
+                .parse()
+                .map_err(|_| format!("line {}: bad vertex id", lineno + 1))?;
+        }
         if parts.next().is_some() {
             return Err(format!("line {}: trailing tokens", lineno + 1));
         }
-        out.push(match kind {
-            "pr" => Request::PageRankSeed { seed: arg },
-            "bfs" => Request::Bfs { seed: arg },
-            "label" => Request::Label { v: arg },
-            other => return Err(format!("line {}: unknown request '{other}'", lineno + 1)),
+        out.push(match spec.code {
+            "pr" => Request::PageRankSeed { seed: args[0] },
+            "prd" => Request::PageRankDelta { rounds: args[0] },
+            "bfs" => Request::Bfs { seed: args[0] },
+            "label" => Request::Label { v: args[0] },
+            "add" => Request::AddEdge {
+                u: args[0],
+                v: args[1],
+            },
+            "del" => Request::DelEdge {
+                u: args[0],
+                v: args[1],
+            },
+            other => unreachable!("roster and Request enum out of sync: {other}"),
         });
     }
     Ok(out)
 }
 
-/// Deterministically generates a mixed workload of `count` requests
-/// (cheap label lookups dominate, as in a real serving mix).
+/// Deterministically generates a mixed workload of `count` requests:
+/// cheap label lookups dominate, with a mutation share (~15% adds and
+/// deletes) and an occasional whole-graph PRD sweep, as in a real
+/// serving mix.
 pub fn generate_requests(count: usize, seed: u64) -> Vec<Request> {
     let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
     let mut next = move || {
@@ -356,9 +595,15 @@ pub fn generate_requests(count: usize, seed: u64) -> Vec<Request> {
     (0..count)
         .map(|_| {
             let v = (next() >> 32) as VertexId;
-            match next() % 10 {
+            let u = (next() >> 32) as VertexId;
+            match next() % 20 {
                 0..=1 => Request::PageRankSeed { seed: v },
-                2..=4 => Request::Bfs { seed: v },
+                2 => Request::PageRankDelta {
+                    rounds: 2 + (u % 4),
+                },
+                3..=6 => Request::Bfs { seed: v },
+                7..=8 => Request::AddEdge { u, v },
+                9 => Request::DelEdge { u, v },
                 _ => Request::Label { v },
             }
         })
@@ -379,7 +624,7 @@ mod tests {
 
     #[test]
     fn script_round_trips() {
-        let script = "# mixed\npr 3\n\nbfs 7\nlabel 12\n";
+        let script = "# mixed\npr 3\n\nbfs 7\nlabel 12\nprd 4\nadd 1 2\ndel 2 1\n";
         let reqs = parse_script(script).unwrap();
         assert_eq!(
             reqs,
@@ -387,27 +632,46 @@ mod tests {
                 Request::PageRankSeed { seed: 3 },
                 Request::Bfs { seed: 7 },
                 Request::Label { v: 12 },
+                Request::PageRankDelta { rounds: 4 },
+                Request::AddEdge { u: 1, v: 2 },
+                Request::DelEdge { u: 2, v: 1 },
             ]
         );
         assert!(parse_script("pr\n").is_err());
         assert!(parse_script("walk 3\n").is_err());
         assert!(parse_script("pr 1 2\n").is_err());
+        assert!(parse_script("add 3\n").is_err(), "add is binary");
+        assert!(parse_script("add 3 4 5\n").is_err());
     }
 
     #[test]
     fn generated_workload_is_deterministic_and_mixed() {
-        let a = generate_requests(64, 42);
-        let b = generate_requests(64, 42);
+        let a = generate_requests(256, 42);
+        let b = generate_requests(256, 42);
         assert_eq!(a, b);
-        assert_ne!(a, generate_requests(64, 43));
-        for code in ["pr", "bfs", "label"] {
-            assert!(a.iter().any(|r| r.code() == code), "no {code} requests");
+        assert_ne!(a, generate_requests(256, 43));
+        for spec in &vebo::REQUEST_SPECS {
+            assert!(
+                a.iter().any(|r| r.code() == spec.code),
+                "no {} requests",
+                spec.code
+            );
         }
+        let mutations = a.iter().filter(|r| r.mutates()).count();
+        assert!(mutations * 10 >= a.len(), "mutation share too small");
+        assert!(mutations * 4 <= a.len(), "mutation share too large");
     }
 
     #[test]
     fn batch_digests_match_across_backends() {
-        let reqs = generate_requests(12, 7);
+        // Read-only slice of the mix at request concurrency 4: digests
+        // must be bit-identical between backends on the partitioned
+        // profile.
+        let reqs: Vec<Request> = generate_requests(40, 7)
+            .into_iter()
+            .filter(|r| !r.mutates())
+            .take(12)
+            .collect();
         let seq = engine(ExecMode::Sequential).run_batch(&reqs, 1);
         let sharded = engine(ExecMode::Sharded { shards: 3 }).run_batch(&reqs, 4);
         for (i, (a, b)) in seq.responses.iter().zip(&sharded.responses).enumerate() {
@@ -422,11 +686,147 @@ mod tests {
     }
 
     #[test]
+    fn mutating_batch_digests_match_across_backends() {
+        // Interleaved mutate+query stream, applied in order (request
+        // concurrency 1) with compaction after every mutation so float
+        // queries always run on delta-free epochs: every digest must be
+        // bit-identical between the sequential and sharded backends.
+        let reqs = generate_requests(32, 11);
+        assert!(reqs.iter().any(|r| r.mutates()), "mix lost its mutations");
+        let mut a = engine(ExecMode::Sequential);
+        a.configure_compaction(1, DEFAULT_DRIFT_THRESHOLD);
+        let mut b = engine(ExecMode::Sharded { shards: 3 });
+        b.configure_compaction(1, DEFAULT_DRIFT_THRESHOLD);
+        let ra = a.run_batch(&reqs, 1);
+        let rb = b.run_batch(&reqs, 1);
+        for (i, (x, y)) in ra.responses.iter().zip(&rb.responses).enumerate() {
+            assert_eq!(x.digest, y.digest, "request {i} ({})", reqs[i].code());
+        }
+        assert_eq!(ra.combined_digest(), rb.combined_digest());
+        assert_eq!(a.metrics().compactions, b.metrics().compactions);
+        assert!(a.metrics().compactions > 0);
+    }
+
+    #[test]
     fn label_requests_serve_component_labels() {
         let e = engine(ExecMode::Sequential);
         let n = e.prepared().graph().num_vertices() as u32;
         let a = e.handle(&Request::Label { v: 5 });
         let b = e.handle(&Request::Label { v: 5 + n });
         assert_eq!(a.digest, b.digest, "lookup wraps modulo n");
+    }
+
+    #[test]
+    fn inserts_repair_labels_before_compaction() {
+        // Two components; bridge them with an add and the label lookup
+        // must reflect the merge immediately, while the epoch is still
+        // dirty (no compaction has happened).
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)], false);
+        let profile = SystemProfile::polymer_like();
+        let e = ServeEngine::new(g, profile, Executor::new(profile));
+        let before = e.handle(&Request::Label { v: 4 }).digest;
+        assert_ne!(before, e.handle(&Request::Label { v: 0 }).digest);
+        e.handle(&Request::AddEdge { u: 2, v: 3 });
+        assert!(e.dynamic().is_dirty(), "compaction should not have fired");
+        assert_eq!(
+            e.handle(&Request::Label { v: 4 }).digest,
+            e.handle(&Request::Label { v: 0 }).digest,
+            "incremental repair merges the components"
+        );
+        assert!(e.prepared().overlay().is_some(), "dirty epoch published");
+    }
+
+    #[test]
+    fn deletes_recompute_labels_via_overlay() {
+        // A path 0-1-2: deleting (1, 2) splits the component, which the
+        // overlay-aware recompute must observe pre-compaction.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], false);
+        let profile = SystemProfile::polymer_like();
+        let e = ServeEngine::new(g, profile, Executor::new(profile));
+        assert_eq!(
+            e.handle(&Request::Label { v: 2 }).digest,
+            e.handle(&Request::Label { v: 0 }).digest
+        );
+        e.handle(&Request::DelEdge { u: 1, v: 2 });
+        assert!(e.dynamic().is_dirty());
+        assert_ne!(
+            e.handle(&Request::Label { v: 2 }).digest,
+            e.handle(&Request::Label { v: 0 }).digest,
+            "split observed before compaction"
+        );
+    }
+
+    #[test]
+    fn compaction_fires_on_schedule_and_matches_static_rebuild() {
+        let g = Graph::from_edges(8, &[(0, 1), (2, 3)], false);
+        let profile = SystemProfile::polymer_like();
+        let mut e = ServeEngine::new(g, profile, Executor::new(profile));
+        e.configure_compaction(3, DEFAULT_DRIFT_THRESHOLD);
+        e.handle(&Request::AddEdge { u: 1, v: 2 });
+        e.handle(&Request::AddEdge { u: 3, v: 4 });
+        assert_eq!(e.metrics().compactions, 0);
+        e.handle(&Request::AddEdge { u: 4, v: 5 });
+        let m = e.metrics();
+        assert_eq!(m.compactions, 1);
+        assert_eq!(m.epoch, 1);
+        assert!(!e.dynamic().is_dirty());
+        assert!(e.prepared().overlay().is_none(), "clean epoch published");
+        assert_eq!(e.prepared().epoch(), 1);
+
+        // The compacted adjacency equals a from-scratch static build.
+        let want = Graph::from_edges(8, &[(0, 1), (2, 3), (1, 2), (3, 4), (4, 5)], false);
+        let got = e.dynamic().snapshot();
+        for v in 0..8u32 {
+            assert_eq!(got.out_neighbors(v), want.out_neighbors(v), "vertex {v}");
+        }
+
+        // And the post-compaction queries match a fresh engine on the
+        // statically rebuilt graph.
+        let f = ServeEngine::new(want, profile, Executor::new(profile));
+        for req in [
+            Request::Bfs { seed: 0 },
+            Request::PageRankSeed { seed: 1 },
+            Request::PageRankDelta { rounds: 4 },
+        ] {
+            assert_eq!(
+                e.handle(&req).digest,
+                f.handle(&req).digest,
+                "{}",
+                req.code()
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_age_tracks_requests_since_compaction() {
+        let e = engine(ExecMode::Sequential);
+        e.handle(&Request::Label { v: 1 });
+        e.handle(&Request::Label { v: 2 });
+        assert_eq!(e.metrics().epoch_age, 2);
+        e.handle(&Request::AddEdge { u: 1, v: 2 });
+        let _ = e.compact_now();
+        assert_eq!(e.metrics().epoch_age, 0, "compaction resets the age");
+        e.handle(&Request::Label { v: 3 });
+        assert_eq!(e.metrics().epoch_age, 1);
+    }
+
+    #[test]
+    fn drift_triggers_placement_reorder() {
+        // Pile inserts onto the tail partition with a hair-trigger
+        // threshold: the compaction must recompute placement.
+        let g = Dataset::YahooLike.build(0.02);
+        let n = g.num_vertices() as u32;
+        let profile = SystemProfile::polymer_like();
+        let mut e = ServeEngine::new(g, profile, Executor::new(profile));
+        e.configure_compaction(16, 1e-6);
+        for i in 0..16u32 {
+            e.handle(&Request::AddEdge {
+                u: n - 1 - (i % 8),
+                v: n - 9 - (i % 8),
+            });
+        }
+        let m = e.metrics();
+        assert_eq!(m.compactions, 1);
+        assert_eq!(m.reorders, 1, "drift threshold of ~0 must reorder");
     }
 }

@@ -87,6 +87,98 @@ impl BalanceReport {
     }
 }
 
+/// Per-partition in-edge counts under explicit destination-range
+/// boundaries (`starts[p]..starts[p + 1]` is partition `p`'s vertex
+/// range). This is the drift observable of [`DriftTrigger`]: the same
+/// `w[p]` the VEBO objective balances, recomputed cheaply for the
+/// current snapshot without rerunning placement.
+pub fn edge_counts_for_starts(g: &Graph, starts: &[usize]) -> Vec<u64> {
+    assert!(starts.len() >= 2, "need at least one partition");
+    assert_eq!(*starts.last().unwrap(), g.num_vertices());
+    starts
+        .windows(2)
+        .map(|w| (w[0]..w[1]).map(|v| g.in_degree(v as u32) as u64).sum())
+        .collect()
+}
+
+/// Decides when a mutated graph has drifted far enough from the balance
+/// the current VEBO placement was computed for that recomputing the
+/// placement is worth its cost — the "reordering is cheap enough to
+/// redo" claim of the paper applied online.
+///
+/// The trigger keeps the per-partition edge counts observed when the
+/// placement was (re)computed and compares them against the counts of a
+/// new snapshot under the *same* boundaries: drift is the largest
+/// absolute per-partition deviation, relative to the mean baseline load.
+/// Below the threshold the old partition bounds are reused for the new
+/// snapshot; at or above it the caller recomputes placement and calls
+/// [`DriftTrigger::rebase`].
+#[derive(Clone, Debug)]
+pub struct DriftTrigger {
+    threshold: f64,
+    baseline: Vec<u64>,
+}
+
+impl DriftTrigger {
+    /// Starts from the partition loads the current placement balances.
+    /// `threshold` is the relative drift at which reordering fires
+    /// (e.g. `0.2` = a partition strayed by ≥ 20% of the mean load).
+    pub fn new(threshold: f64, baseline: Vec<u64>) -> DriftTrigger {
+        assert!(threshold >= 0.0 && !baseline.is_empty());
+        DriftTrigger {
+            threshold,
+            baseline,
+        }
+    }
+
+    /// The configured firing threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The baseline per-partition edge counts.
+    pub fn baseline(&self) -> &[u64] {
+        &self.baseline
+    }
+
+    /// Relative drift of `current` against the baseline: the largest
+    /// per-partition |Δw| divided by the mean baseline load. An empty
+    /// baseline mean (edgeless graph) reports drift 0 unless edges
+    /// appeared, in which case it is `f64::INFINITY`.
+    pub fn drift(&self, current: &[u64]) -> f64 {
+        assert_eq!(current.len(), self.baseline.len());
+        let max_dev = self
+            .baseline
+            .iter()
+            .zip(current)
+            .map(|(&b, &c)| b.abs_diff(c))
+            .max()
+            .unwrap_or(0);
+        let mean = self.baseline.iter().sum::<u64>() as f64 / self.baseline.len() as f64;
+        if mean == 0.0 {
+            if max_dev == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max_dev as f64 / mean
+        }
+    }
+
+    /// `true` when `current` drifted at or past the threshold and the
+    /// caller should recompute placement.
+    pub fn should_reorder(&self, current: &[u64]) -> bool {
+        self.drift(current) >= self.threshold
+    }
+
+    /// Adopts `baseline` as the loads of a freshly computed placement.
+    pub fn rebase(&mut self, baseline: Vec<u64>) {
+        assert!(!baseline.is_empty());
+        self.baseline = baseline;
+    }
+}
+
 /// Distribution summary (min / median / std-dev / max) in the format of
 /// Table IV.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -200,5 +292,38 @@ mod tests {
     fn std_dev_of_constant_is_zero() {
         let s = summarize(&[2.0, 2.0, 2.0]);
         assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn edge_counts_for_starts_partitions_in_degrees() {
+        let g = vebo_graph::Graph::from_edges(4, &[(0, 1), (2, 1), (3, 1), (1, 0)], true);
+        let counts = edge_counts_for_starts(&g, &[0, 2, 4]);
+        assert_eq!(counts, vec![4, 0]);
+        assert_eq!(counts.iter().sum::<u64>(), g.num_edges() as u64);
+    }
+
+    #[test]
+    fn drift_trigger_fires_at_threshold() {
+        let t = DriftTrigger::new(0.25, vec![100, 100, 100, 100]);
+        assert_eq!(t.drift(&[100, 100, 100, 100]), 0.0);
+        assert!(!t.should_reorder(&[110, 100, 95, 100])); // 10% < 25%
+        assert!(t.should_reorder(&[130, 100, 100, 100])); // 30% >= 25%
+        assert!(t.should_reorder(&[100, 100, 100, 75])); // deletion drift too
+    }
+
+    #[test]
+    fn drift_trigger_rebase_adopts_new_baseline() {
+        let mut t = DriftTrigger::new(0.2, vec![10, 10]);
+        assert!(t.should_reorder(&[14, 10]));
+        t.rebase(vec![14, 10]);
+        assert_eq!(t.drift(&[14, 10]), 0.0);
+        assert_eq!(t.baseline(), &[14, 10]);
+    }
+
+    #[test]
+    fn drift_on_empty_baseline_is_infinite_only_with_new_edges() {
+        let t = DriftTrigger::new(0.5, vec![0, 0]);
+        assert_eq!(t.drift(&[0, 0]), 0.0);
+        assert!(t.drift(&[1, 0]).is_infinite());
     }
 }

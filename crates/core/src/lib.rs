@@ -38,6 +38,6 @@ pub mod heap;
 pub mod theory;
 pub mod vebo;
 
-pub use balance::BalanceReport;
+pub use balance::{edge_counts_for_starts, BalanceReport, DriftTrigger};
 pub use heap::MinLoadHeap;
 pub use vebo::{ArgMinStrategy, Vebo, VeboResult, VeboVariant};

@@ -47,6 +47,26 @@
 //! (x86-64 `prefetcht0`; a no-op elsewhere) ahead of the current scan.
 //! The sharded worker path reuses these kernels through the internal
 //! `TaskPolicy::run`, so it inherits the same treatment.
+//!
+//! ## The delta-overlay seam
+//!
+//! When the [`PreparedGraph`] handle describes a *dirty* epoch of a
+//! [`vebo_graph::DynamicGraph`] (buffered edge mutations not yet
+//! compacted), the kernels run against an `OverlayScan`: a third
+//! `NeighborScan` implementation that serves the overlay's fully merged
+//! neighbor list for dirty vertices and delegates untouched vertices to
+//! the underlying plain or compressed scanner. Because the overlay
+//! stores *merged* lists (not patches), the kernel sees each dirty
+//! vertex as one ordinary sorted block — update order and early-exit
+//! semantics are identical to a compacted graph, on every backend.
+//!
+//! Two routing rules keep the overlay correct: the COO and sub-CSR
+//! layouts are materialized from the snapshot and know nothing about
+//! deltas, so a dirty handle always traverses `DensePull` (over the
+//! CSC overlay half) or `SparsePush` (over the CSR overlay half); and
+//! overlays exist only for unweighted graphs (enforced by
+//! `DynamicGraph::new`), so the `offsets`-based weight addressing is
+//! never consulted for an overlay list.
 
 use crate::executor::TaskPolicy;
 use crate::frontier::Frontier;
@@ -56,7 +76,7 @@ use crate::profile::DenseLayout;
 use crate::schedule::{simulate, MakespanReport};
 use crate::sharded::ShardOpReport;
 use crate::shared::AtomicBitset;
-use vebo_graph::{CompressedCsr, NeighborDecoder, VertexId, DECODE_BLOCK};
+use vebo_graph::{CompressedCsr, NeighborDecoder, OverlayHalf, VertexId, DECODE_BLOCK};
 
 /// Issues a best-effort read prefetch for `slice[idx]`'s cache line.
 /// Out-of-range indices are ignored, so callers can speculate one vertex
@@ -153,6 +173,34 @@ impl NeighborScan for CompressedScan<'_> {
         if let Some(&start) = byte_offsets.get(v) {
             prefetch_read(self.comp.data(), start);
         }
+    }
+}
+
+/// Delta-overlay scanner: serves the merged neighbor list for vertices
+/// dirtied by buffered mutations, delegates the rest to the snapshot
+/// scanner (plain or compressed). The merged list arrives as a single
+/// sorted block, indistinguishable from a compacted graph's.
+struct OverlayScan<'a, S> {
+    inner: S,
+    half: &'a OverlayHalf,
+}
+
+impl<S: NeighborScan> NeighborScan for OverlayScan<'_, S> {
+    #[inline(always)]
+    fn scan<F: FnMut(usize, &[VertexId]) -> bool>(&self, v: usize, mut visit: F) {
+        match self.half.merged(v as VertexId) {
+            Some(list) => {
+                visit(0, list);
+            }
+            None => self.inner.scan(v, visit),
+        }
+    }
+
+    #[inline(always)]
+    fn prefetch(&self, v: usize) {
+        // Dirty vertices are rare; hinting the snapshot arrays is the
+        // right speculation either way.
+        self.inner.prefetch(v);
     }
 }
 
@@ -282,11 +330,23 @@ pub(crate) fn edge_map_impl<O: EdgeOp>(
     }
     let dense = force_dense.unwrap_or_else(|| frontier.is_dense_for(g, threshold_den));
     let next = AtomicBitset::new(n);
+    // A dirty epoch's COO chunks and sub-CSRs describe the snapshot
+    // only; route every traversal through the overlay-capable pull and
+    // push kernels instead. Overlays are unweighted by construction
+    // (`DynamicGraph::new` rejects weighted snapshots), which is what
+    // keeps the offsets-based weight addressing out of overlay lists.
+    let dirty = pg.overlay().is_some();
+    debug_assert!(
+        !dirty || !g.has_weights(),
+        "delta overlays are defined for unweighted graphs only"
+    );
     let (traversal, (tasks, shards)) = if dense {
         let f = frontier.to_dense();
-        match pg.profile().dense_layout {
-            DenseLayout::CscPull => (Traversal::DensePull, dense_pull(pg, &f, op, &next, policy)),
-            DenseLayout::Coo(_) => (Traversal::DenseCoo, dense_coo(pg, &f, op, &next, policy)),
+        match (dirty, pg.profile().dense_layout) {
+            (false, DenseLayout::Coo(_)) => {
+                (Traversal::DenseCoo, dense_coo(pg, &f, op, &next, policy))
+            }
+            _ => (Traversal::DensePull, dense_pull(pg, &f, op, &next, policy)),
         }
     } else {
         let f = frontier.to_sparse();
@@ -294,7 +354,7 @@ pub(crate) fn edge_map_impl<O: EdgeOp>(
             Frontier::Sparse { vertices, .. } => vertices,
             Frontier::Dense { .. } => unreachable!("to_sparse returned dense"),
         };
-        if pg.profile().partitioned_sparse {
+        if !dirty && pg.profile().partitioned_sparse {
             (
                 Traversal::SparsePartitioned,
                 sparse_partitioned(pg, active, op, &next, policy),
@@ -339,8 +399,9 @@ fn dense_pull<O: EdgeOp>(
     // file, the kernel below indexes plain slices.
     let offsets = csc.offsets();
     let weights = csc.raw_weights();
-    match csc.compressed() {
-        Some(comp) => dense_pull_scan(
+    let half = pg.overlay().map(|ov| ov.inbound());
+    match (csc.compressed(), half) {
+        (Some(comp), None) => dense_pull_scan(
             pg,
             &CompressedScan { comp },
             offsets,
@@ -350,11 +411,40 @@ fn dense_pull<O: EdgeOp>(
             next,
             policy,
         ),
-        None => dense_pull_scan(
+        (None, None) => dense_pull_scan(
             pg,
             &PlainScan {
                 offsets,
                 targets: csc.targets(),
+            },
+            offsets,
+            weights,
+            frontier,
+            op,
+            next,
+            policy,
+        ),
+        (Some(comp), Some(half)) => dense_pull_scan(
+            pg,
+            &OverlayScan {
+                inner: CompressedScan { comp },
+                half,
+            },
+            offsets,
+            weights,
+            frontier,
+            op,
+            next,
+            policy,
+        ),
+        (None, Some(half)) => dense_pull_scan(
+            pg,
+            &OverlayScan {
+                inner: PlainScan {
+                    offsets,
+                    targets: csc.targets(),
+                },
+                half,
             },
             offsets,
             weights,
@@ -458,8 +548,9 @@ fn sparse_push<O: EdgeOp>(
     // Storage-agnostic flat views (owned or mapped), hoisted once.
     let offsets = csr.offsets();
     let weights = csr.raw_weights();
-    match csr.compressed() {
-        Some(comp) => sparse_push_scan(
+    let half = pg.overlay().map(|ov| ov.out());
+    match (csr.compressed(), half) {
+        (Some(comp), None) => sparse_push_scan(
             pg,
             &CompressedScan { comp },
             offsets,
@@ -469,11 +560,40 @@ fn sparse_push<O: EdgeOp>(
             next,
             policy,
         ),
-        None => sparse_push_scan(
+        (None, None) => sparse_push_scan(
             pg,
             &PlainScan {
                 offsets,
                 targets: csr.targets(),
+            },
+            offsets,
+            weights,
+            active,
+            op,
+            next,
+            policy,
+        ),
+        (Some(comp), Some(half)) => sparse_push_scan(
+            pg,
+            &OverlayScan {
+                inner: CompressedScan { comp },
+                half,
+            },
+            offsets,
+            weights,
+            active,
+            op,
+            next,
+            policy,
+        ),
+        (None, Some(half)) => sparse_push_scan(
+            pg,
+            &OverlayScan {
+                inner: PlainScan {
+                    offsets,
+                    targets: csr.targets(),
+                },
+                half,
             },
             offsets,
             weights,

@@ -99,6 +99,16 @@ pub struct ShardMetrics {
     /// Per-request wall-clock latencies (nanoseconds), in completion
     /// order.
     pub request_nanos: Vec<u64>,
+    /// Dynamic-graph compactions observed (snapshot republications).
+    pub compactions: u64,
+    /// Compactions that additionally recomputed the partition placement
+    /// because per-partition edge drift crossed the trigger threshold.
+    pub reorders: u64,
+    /// The latest published snapshot epoch.
+    pub epoch: u64,
+    /// Requests served against the current epoch since its publication —
+    /// the "epoch age" staleness measure (resets on every compaction).
+    pub epoch_age: u64,
 }
 
 /// Accumulated per-shard counters of a [`ShardMetricsSink`].
@@ -164,6 +174,20 @@ impl ShardMetricsSink {
     pub fn snapshot(&self) -> ShardMetrics {
         self.inner.lock().unwrap().clone()
     }
+
+    /// Records a dynamic-graph compaction that published `epoch`;
+    /// `reordered` marks the drift-triggered placement recomputations.
+    /// Resets the epoch-age counter — subsequent requests age the new
+    /// epoch. Called by the serving layer, not the engine.
+    pub fn record_compaction(&self, epoch: u64, reordered: bool) {
+        let mut m = self.inner.lock().unwrap();
+        m.compactions += 1;
+        if reordered {
+            m.reorders += 1;
+        }
+        m.epoch = epoch;
+        m.epoch_age = 0;
+    }
 }
 
 impl InstrumentSink for ShardMetricsSink {
@@ -189,7 +213,9 @@ impl InstrumentSink for ShardMetricsSink {
     }
 
     fn record_request(&self, nanos: u64) {
-        self.inner.lock().unwrap().request_nanos.push(nanos);
+        let mut m = self.inner.lock().unwrap();
+        m.request_nanos.push(nanos);
+        m.epoch_age += 1;
     }
 }
 
@@ -396,5 +422,25 @@ mod tests {
         assert_eq!(m.latency_quantile(0.5), Some(30));
         assert_eq!(m.latency_quantile(1.0), Some(90));
         assert_eq!(ShardMetrics::default().latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn compaction_resets_epoch_age() {
+        let sink = ShardMetricsSink::new();
+        sink.record_request(5);
+        sink.record_request(7);
+        assert_eq!(sink.snapshot().epoch_age, 2);
+        sink.record_compaction(3, false);
+        let m = sink.snapshot();
+        assert_eq!(m.compactions, 1);
+        assert_eq!(m.reorders, 0);
+        assert_eq!(m.epoch, 3);
+        assert_eq!(m.epoch_age, 0);
+        sink.record_request(9);
+        sink.record_compaction(4, true);
+        let m = sink.snapshot();
+        assert_eq!(m.compactions, 2);
+        assert_eq!(m.reorders, 1);
+        assert_eq!(m.epoch, 4);
     }
 }

@@ -20,14 +20,18 @@
 //! ```
 
 use crate::profile::{DenseLayout, SystemKind, SystemProfile};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vebo_graph::Graph;
+use vebo_graph::{DeltaOverlay, Graph, PinnedEpoch};
 use vebo_partition::partitioned::PartitionedSubCsr;
 use vebo_partition::{BoundsError, PartitionBounds, PartitionedCoo};
 
-/// A graph made ready for traversal under one system profile.
+/// The expensive, immutable part of a [`PreparedGraph`]: the snapshot
+/// and every profile-specific layout derived from it. Shared by `Arc` so
+/// versioned handles over the same snapshot (e.g. successive dirty
+/// epochs of a dynamic graph) clone in O(1).
 #[derive(Debug)]
-pub struct PreparedGraph {
+struct PreparedCore {
     graph: Graph,
     profile: SystemProfile,
     /// Task-granularity destination ranges: one per dense task.
@@ -38,6 +42,23 @@ pub struct PreparedGraph {
     sub_csr: Option<PartitionedSubCsr>,
     /// Time spent building the partitioned layouts (Table VI).
     prep_time: Duration,
+}
+
+/// A graph made ready for traversal under one system profile.
+///
+/// Since the dynamic-graph refactor this is a cheap-to-clone *versioned
+/// handle*: an `Arc`'d core (snapshot + partitioned layouts) plus an
+/// optional delta overlay and an epoch number. A handle without an
+/// overlay behaves exactly as before. A handle carrying an overlay
+/// (built via [`PreparedGraph::for_pin`] or
+/// [`PreparedGraph::with_overlay`]) makes every edge traversal read the
+/// overlay's merged neighbor lists for dirty vertices — see the
+/// overlay-scan seam in [`edge_map`](crate::edge_map).
+#[derive(Clone, Debug)]
+pub struct PreparedGraph {
+    core: Arc<PreparedCore>,
+    overlay: Option<Arc<DeltaOverlay>>,
+    epoch: u64,
 }
 
 /// Why a [`PreparedGraphBuilder`] could not produce a [`PreparedGraph`].
@@ -216,18 +237,80 @@ impl PreparedGraph {
         };
         let prep_time = t0.elapsed();
         PreparedGraph {
-            graph,
-            profile,
-            tasks,
-            coo,
-            sub_csr,
-            prep_time,
+            core: Arc::new(PreparedCore {
+                graph,
+                profile,
+                tasks,
+                coo,
+                sub_csr,
+                prep_time,
+            }),
+            overlay: None,
+            epoch: 0,
         }
     }
 
-    /// The underlying graph.
+    /// Prepares a pinned epoch of a dynamic graph: the snapshot goes
+    /// through the normal profile preparation, and the pin's delta
+    /// overlay (when non-empty) rides along so traversals observe the
+    /// buffered mutations.
+    pub fn for_pin(pin: &PinnedEpoch, profile: SystemProfile) -> PreparedGraph {
+        let prepared = PreparedGraph::new(pin.graph().clone(), profile);
+        let overlay = if pin.is_dirty() {
+            Some(pin.overlay().clone())
+        } else {
+            None
+        };
+        PreparedGraph {
+            core: prepared.core,
+            overlay,
+            epoch: pin.epoch(),
+        }
+    }
+
+    /// A handle over the same core with a different overlay and epoch —
+    /// O(1), no layout rebuild. This is how a serving loop publishes a
+    /// dirty epoch cheaply between compactions. `None` (or an empty
+    /// overlay) restores pure-snapshot reads.
+    pub fn with_overlay(&self, overlay: Option<Arc<DeltaOverlay>>, epoch: u64) -> PreparedGraph {
+        let overlay = overlay.filter(|ov| !ov.is_empty());
+        PreparedGraph {
+            core: self.core.clone(),
+            overlay,
+            epoch,
+        }
+    }
+
+    /// The delta overlay, when this handle describes a dirty epoch.
+    pub fn overlay(&self) -> Option<&Arc<DeltaOverlay>> {
+        self.overlay.as_ref()
+    }
+
+    /// The epoch this handle describes (0 for plain static preparation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Overlay-aware out-degree of `v`: the merged list's length for
+    /// dirty vertices, the snapshot degree otherwise.
+    pub fn out_degree(&self, v: vebo_graph::VertexId) -> usize {
+        match &self.overlay {
+            Some(ov) => ov.out_degree(&self.core.graph, v),
+            None => self.core.graph.out_degree(v),
+        }
+    }
+
+    /// Overlay-aware out-neighbor list of `v`.
+    pub fn out_neighbors(&self, v: vebo_graph::VertexId) -> &[vebo_graph::VertexId] {
+        match &self.overlay {
+            Some(ov) => ov.out_neighbors(&self.core.graph, v),
+            None => self.core.graph.out_neighbors(v),
+        }
+    }
+
+    /// The underlying graph (the snapshot; ignores any overlay).
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        &self.core.graph
     }
 
     /// The CSR storage backing of the underlying graph —
@@ -237,37 +320,37 @@ impl PreparedGraph {
     /// derived identically from owned and mapped graphs, and every
     /// traversal kernel reads through flat slices either way.
     pub fn storage_kind(&self) -> vebo_graph::StorageKind {
-        self.graph.storage_kind()
+        self.core.graph.storage_kind()
     }
 
     /// The profile this graph was prepared for.
     pub fn profile(&self) -> &SystemProfile {
-        &self.profile
+        &self.core.profile
     }
 
     /// Dense-task destination ranges.
     pub fn tasks(&self) -> &PartitionBounds {
-        &self.tasks
+        &self.core.tasks
     }
 
     /// Number of dense tasks.
     pub fn num_tasks(&self) -> usize {
-        self.tasks.num_partitions()
+        self.core.tasks.num_partitions()
     }
 
     /// The COO layout, if this profile uses one.
     pub fn coo(&self) -> Option<&PartitionedCoo> {
-        self.coo.as_ref()
+        self.core.coo.as_ref()
     }
 
     /// The sub-CSR layout, if this profile uses one.
     pub fn sub_csr(&self) -> Option<&PartitionedSubCsr> {
-        self.sub_csr.as_ref()
+        self.core.sub_csr.as_ref()
     }
 
     /// Layout construction time (the partitioning column of Table VI).
     pub fn prep_time(&self) -> Duration {
-        self.prep_time
+        self.core.prep_time
     }
 }
 

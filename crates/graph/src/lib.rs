@@ -28,6 +28,7 @@ pub mod compress;
 pub mod coo;
 pub mod datasets;
 pub mod degree;
+pub mod dynamic;
 pub mod gen;
 pub mod graph;
 pub mod io;
@@ -41,6 +42,7 @@ pub use adjacency::Adjacency;
 pub use compress::{CompressedCsr, CompressionStats, NeighborDecoder, DECODE_BLOCK};
 pub use coo::Coo;
 pub use datasets::{Dataset, DatasetSpec};
+pub use dynamic::{CompactionStats, DeltaOverlay, DynamicGraph, EdgeMut, OverlayHalf, PinnedEpoch};
 pub use graph::{mix64, Graph};
 pub use io::{Format, LoadMode, StreamConfig};
 pub use par::{ParMode, SharedSlice};

@@ -71,6 +71,13 @@ pub enum GraphError {
         /// Bytes actually available.
         found_bytes: usize,
     },
+    /// A dynamic graph still has buffered mutations where a delta-free
+    /// snapshot is required (e.g. adopting an mmapped file into the
+    /// handle). Compact or save first.
+    DirtyDynamicGraph {
+        /// Buffered mutations standing in the way.
+        pending: usize,
+    },
     /// An I/O failure wrapped as a string (keeps the error type `Clone`).
     Io(String),
 }
@@ -127,6 +134,13 @@ impl std::fmt::Display for GraphError {
                     f,
                     "truncated binary graph: {section} needs {expected_bytes} bytes, \
                      found {found_bytes}"
+                )
+            }
+            GraphError::DirtyDynamicGraph { pending } => {
+                write!(
+                    f,
+                    "dynamic graph is dirty: {pending} buffered mutation(s) \
+                     require a compaction before a delta-free snapshot exists"
                 )
             }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),

@@ -1,0 +1,181 @@
+//! Property tests for the dynamic-graph layer: a snapshot plus a random
+//! insert/delete stream plus compaction must be indistinguishable from a
+//! CSR rebuilt from scratch from the final edge set — for both adjacency
+//! halves, under interleaved compaction schedules, and with the
+//! compressed companion re-encoded.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vebo_graph::graph::mix64;
+use vebo_graph::{Adjacency, DynamicGraph, EdgeMut, Graph, VertexId};
+
+/// Arbitrary initial edges plus a mutation stream over the same vertex
+/// range, all derived from one seed so failures shrink cleanly.
+fn arb_stream() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>, Vec<EdgeMut>)> {
+    (2usize..40, 0usize..150, 0usize..120, any::<u64>()).prop_map(|(n, m, k, seed)| {
+        let mut x = seed;
+        let mut next = || {
+            x = mix64(x);
+            x
+        };
+        let edges: Vec<(VertexId, VertexId)> = (0..m)
+            .map(|_| {
+                (
+                    (next() % n as u64) as VertexId,
+                    (next() % n as u64) as VertexId,
+                )
+            })
+            .collect();
+        let ops: Vec<EdgeMut> = (0..k)
+            .map(|_| {
+                let u = (next() % n as u64) as VertexId;
+                let v = (next() % n as u64) as VertexId;
+                if next() % 2 == 0 {
+                    EdgeMut::Insert(u, v)
+                } else {
+                    EdgeMut::Delete(u, v)
+                }
+            })
+            .collect();
+        (n, edges, ops)
+    })
+}
+
+/// Reference model: replay the mutation stream against the snapshot's
+/// arc multiset with the documented clamp semantics (insert fires only
+/// when the arc is absent, delete removes one stored occurrence,
+/// undirected ops maintain both mirrored arcs, self-loops one).
+fn replay(g: &Graph, ops: &[EdgeMut]) -> Vec<(VertexId, VertexId)> {
+    let mut multi: HashMap<(VertexId, VertexId), i64> = HashMap::new();
+    for u in g.vertices() {
+        for &v in g.out_neighbors(u) {
+            *multi.entry((u, v)).or_insert(0) += 1;
+        }
+    }
+    for op in ops {
+        let (insert, u, v) = match *op {
+            EdgeMut::Insert(u, v) => (true, u, v),
+            EdgeMut::Delete(u, v) => (false, u, v),
+        };
+        let arcs: &[(VertexId, VertexId)] = if g.is_directed() || u == v {
+            &[(u, v)]
+        } else {
+            &[(u, v), (v, u)]
+        };
+        for &a in arcs {
+            let e = multi.entry(a).or_insert(0);
+            if insert && *e == 0 {
+                *e += 1;
+            } else if !insert && *e > 0 {
+                *e -= 1;
+            }
+        }
+    }
+    let mut arcs = Vec::new();
+    for (&(u, v), &c) in &multi {
+        for _ in 0..c {
+            arcs.push((u, v));
+        }
+    }
+    arcs
+}
+
+fn apply_ops(dg: &DynamicGraph, ops: &[EdgeMut]) {
+    for op in ops {
+        match *op {
+            EdgeMut::Insert(u, v) => dg.insert_edge(u, v),
+            EdgeMut::Delete(u, v) => dg.delete_edge(u, v),
+        }
+    }
+}
+
+/// Asserts the dynamic graph's current snapshot equals a from-scratch
+/// rebuild of `arcs`, both halves.
+fn assert_matches_scratch(dg: &DynamicGraph, arcs: &[(VertexId, VertexId)]) {
+    let n = dg.num_vertices();
+    let g = dg.snapshot();
+    let scratch_out = Adjacency::from_pairs(n, arcs);
+    let reversed: Vec<(VertexId, VertexId)> = arcs.iter().map(|&(u, v)| (v, u)).collect();
+    let scratch_in = Adjacency::from_pairs(n, &reversed);
+    assert_eq!(g.csr(), &scratch_out, "CSR diverged from scratch rebuild");
+    assert_eq!(g.csc(), &scratch_in, "CSC diverged from scratch rebuild");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Directed: stream + one compaction ≡ from-scratch CSR/CSC.
+    #[test]
+    fn directed_compaction_matches_scratch((n, edges, ops) in arb_stream()) {
+        let dg = DynamicGraph::new(Graph::from_edges(n, &edges, true));
+        let arcs = replay(&dg.snapshot(), &ops);
+        apply_ops(&dg, &ops);
+        dg.compact();
+        assert_matches_scratch(&dg, &arcs);
+    }
+
+    /// Undirected: mirrored-arc maintenance keeps both halves equal to a
+    /// from-scratch symmetric rebuild.
+    #[test]
+    fn undirected_compaction_matches_scratch((n, edges, ops) in arb_stream()) {
+        let dg = DynamicGraph::new(Graph::from_edges(n, &edges, false));
+        let arcs = replay(&dg.snapshot(), &ops);
+        apply_ops(&dg, &ops);
+        dg.compact();
+        assert_matches_scratch(&dg, &arcs);
+        let g = dg.snapshot();
+        prop_assert_eq!(g.csr(), g.csc());
+    }
+
+    /// Interleaving compactions anywhere in the stream cannot change the
+    /// final snapshot.
+    #[test]
+    fn compaction_schedule_is_irrelevant((n, edges, ops) in arb_stream(), cut in any::<u64>()) {
+        let dg = DynamicGraph::new(Graph::from_edges(n, &edges, true));
+        let arcs = replay(&dg.snapshot(), &ops);
+        let cut = if ops.is_empty() { 0 } else { (cut % ops.len() as u64) as usize };
+        apply_ops(&dg, &ops[..cut]);
+        dg.compact();
+        apply_ops(&dg, &ops[cut..]);
+        dg.compact();
+        assert_matches_scratch(&dg, &arcs);
+    }
+
+    /// The pin-time delta overlay previews exactly what compaction will
+    /// publish, per vertex, in both directions.
+    #[test]
+    fn overlay_previews_compaction((n, edges, ops) in arb_stream()) {
+        let dg = DynamicGraph::new(Graph::from_edges(n, &edges, true));
+        apply_ops(&dg, &ops);
+        let pin = dg.pin();
+        dg.compact();
+        let compacted = dg.snapshot();
+        for v in 0..n as VertexId {
+            prop_assert_eq!(
+                pin.overlay().out_neighbors(pin.graph(), v),
+                compacted.out_neighbors(v),
+                "out overlay diverged at {}", v
+            );
+            prop_assert_eq!(
+                pin.overlay().in_neighbors(pin.graph(), v),
+                compacted.in_neighbors(v),
+                "in overlay diverged at {}", v
+            );
+        }
+    }
+
+    /// Compaction of a compressed snapshot re-encodes the companion so
+    /// it decodes to exactly the merged target array.
+    #[test]
+    fn compressed_companion_reencodes((n, edges, ops) in arb_stream()) {
+        let dg = DynamicGraph::new(Graph::from_edges(n, &edges, true).with_compressed());
+        let arcs = replay(&dg.snapshot(), &ops);
+        apply_ops(&dg, &ops);
+        dg.compact();
+        assert_matches_scratch(&dg, &arcs);
+        let g = dg.snapshot();
+        let c = g.csr().compressed().expect("companion must survive compaction");
+        let decoded = c.decode_to_targets(g.csr().offsets()).unwrap();
+        prop_assert_eq!(decoded.as_slice(), g.csr().targets());
+    }
+}

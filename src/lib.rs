@@ -25,7 +25,10 @@
 
 pub mod registry;
 
-pub use registry::{chunked_balance_report, OrderingRegistry, ORDERING_NAMES};
+pub use registry::{
+    chunked_balance_report, request_spec, OrderingRegistry, RequestSpec, ORDERING_NAMES,
+    REQUEST_SPECS,
+};
 
 pub use vebo_algorithms as algorithms;
 pub use vebo_baselines as baselines;

@@ -10,6 +10,13 @@
 //! [`chunked_balance_report`] computes the load-balance summary the CLI
 //! prints, uniformly for any ordering, by running the paper's Algorithm 1
 //! chunk partitioner on the reordered graph (the Figure 2 pipeline).
+//!
+//! The same single-source-of-truth treatment applies to the serving
+//! protocol: [`REQUEST_SPECS`] is the roster of request kinds the
+//! `vebo-serve` loop understands (wire code, argument count, whether the
+//! request mutates the dynamic graph), and [`request_spec`] is the
+//! lookup the script parser uses, so the binary's usage text, the
+//! parser, and the tests cannot drift apart.
 
 use vebo_baselines::{Boba, DegreeSort, Gorder, RandomOrder, Rcm, SlashBurn};
 use vebo_core::balance::BalanceReport;
@@ -112,6 +119,69 @@ impl OrderingRegistry {
     }
 }
 
+/// One serving-request kind understood by the `vebo-serve` loop: the
+/// wire code a script line starts with, how many integer arguments
+/// follow it, and whether handling it mutates the dynamic graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Wire code used in request scripts and output (`pr`, `add`, ...).
+    pub code: &'static str,
+    /// Number of integer arguments the request line carries.
+    pub arity: usize,
+    /// Whether handling the request mutates the dynamic graph.
+    pub mutates: bool,
+    /// One-line summary for usage text.
+    pub summary: &'static str,
+}
+
+/// The serving-request roster, in the order usage text lists it.
+pub const REQUEST_SPECS: [RequestSpec; 6] = [
+    RequestSpec {
+        code: "pr",
+        arity: 1,
+        mutates: false,
+        summary: "personalized PageRank pushed from a seed vertex",
+    },
+    RequestSpec {
+        code: "prd",
+        arity: 1,
+        mutates: false,
+        summary: "PageRankDelta sweep capped at the given round count",
+    },
+    RequestSpec {
+        code: "bfs",
+        arity: 1,
+        mutates: false,
+        summary: "BFS level digest from a seed vertex",
+    },
+    RequestSpec {
+        code: "label",
+        arity: 1,
+        mutates: false,
+        summary: "connected-component label lookup",
+    },
+    RequestSpec {
+        code: "add",
+        arity: 2,
+        mutates: true,
+        summary: "insert an edge into the dynamic graph",
+    },
+    RequestSpec {
+        code: "del",
+        arity: 2,
+        mutates: true,
+        summary: "delete an edge from the dynamic graph",
+    },
+];
+
+/// Resolves a wire code (case-insensitive) to its [`RequestSpec`], or
+/// `None` for an unknown code.
+pub fn request_spec(code: &str) -> Option<&'static RequestSpec> {
+    REQUEST_SPECS
+        .iter()
+        .find(|s| s.code.eq_ignore_ascii_case(code))
+}
+
 /// Balance summary of running Algorithm 1 (`PartitionBounds::
 /// edge_balanced`) on an already-reordered graph — what a system
 /// consuming the ordering would see. Uniform across orderings, which is
@@ -151,6 +221,18 @@ mod tests {
         assert!(reg.resolve("SlashBurn").is_some());
         assert!(reg.resolve("nonsense").is_none());
         assert!(reg.resolve("").is_none());
+    }
+
+    #[test]
+    fn request_roster_resolves_and_classifies() {
+        for spec in &REQUEST_SPECS {
+            assert_eq!(request_spec(spec.code), Some(spec));
+            assert!(spec.arity >= 1 && spec.arity <= 2, "{}", spec.code);
+        }
+        assert_eq!(request_spec("ADD").map(|s| s.arity), Some(2));
+        assert!(request_spec("add").unwrap().mutates);
+        assert!(!request_spec("prd").unwrap().mutates);
+        assert!(request_spec("walk").is_none());
     }
 
     #[test]
