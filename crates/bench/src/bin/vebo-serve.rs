@@ -24,10 +24,10 @@
 
 use std::collections::HashMap;
 use vebo_bench::serve::{
-    generate_requests, parse_script, Request, ServeEngine, DEFAULT_COMPACT_EVERY,
+    generate_requests, metrics_summary, parse_script, Request, ServeEngine, DEFAULT_COMPACT_EVERY,
     DEFAULT_DRIFT_THRESHOLD,
 };
-use vebo_bench::{HarnessArgs, Table};
+use vebo_bench::{shutdown, HarnessArgs, Table};
 use vebo_engine::SystemProfile;
 use vebo_graph::{Dataset, Graph};
 use vebo_partition::EdgeOrder;
@@ -47,13 +47,16 @@ struct ServeArgs {
 }
 
 fn usage() -> ! {
+    // The request-line grammar is derived from `REQUEST_SPECS`, so this
+    // text cannot drift from what `parse_request_line` accepts.
+    let grammar = vebo::request_grammar();
     eprintln!(
         "vebo-serve — concurrent graph-query serving loop over a mutable graph\n\n\
          Serving options (plus every vebo-bench harness option):\n  \
          --profile <name>    ligra | polymer | graphgrind (default polymer)\n  \
          --concurrency <n>   request threads (default 4)\n  \
-         --requests <file>   replay a script: lines `pr <v>` | `prd <k>` | `bfs <v>` |\n                      \
-         `label <v>` | `add <u> <v>` | `del <u> <v>`\n  \
+         --requests <file>   replay a script, one request per line:\n                      \
+         {grammar}\n  \
          --gen <n>           generate a mixed workload of n requests (default 32)\n  \
          --seed <s>          workload generator seed (default 1)\n  \
          --ppr-rounds <k>    push rounds per PageRank-from-seed request (default 10)\n  \
@@ -215,12 +218,25 @@ fn main() {
     let mut engine = ServeEngine::new(g, args.profile, exec);
     engine.ppr_rounds = args.ppr_rounds;
     engine.configure_compaction(args.compact_every, args.drift);
-    let report = engine.run_batch(&requests, args.concurrency);
+    // First Ctrl-C drains: request threads stop claiming new work,
+    // in-flight requests complete, and the metrics below still print.
+    shutdown::install();
+    let report = engine.run_batch_until(&requests, args.concurrency, Some(shutdown::flag()));
+    let drained = shutdown::requested();
 
     for (i, (req, resp)) in requests.iter().zip(&report.responses).enumerate() {
-        println!("req {i:>4} {:<5} digest={:016x}", req.code(), resp.digest);
+        if let Some(resp) = resp {
+            println!("req {i:>4} {:<5} digest={:016x}", req.code(), resp.digest);
+        }
     }
     println!("batch digest={:016x}", report.combined_digest());
+    if drained {
+        eprintln!(
+            "interrupted: drained after {} of {} requests",
+            report.completed(),
+            requests.len()
+        );
+    }
 
     let m = &report.metrics;
     eprintln!(
@@ -249,27 +265,15 @@ fn main() {
         }
         eprint!("{}", t.render());
     }
-    let quantile = |q: f64| {
-        m.latency_quantile(q)
-            .map(|ns| format!("{:.2}ms", ns as f64 / 1e6))
-            .unwrap_or_else(|| "-".to_string())
-    };
-    eprintln!(
-        "latency p50 {} | p95 {} | p99 {} | max {}",
-        quantile(0.50),
-        quantile(0.95),
-        quantile(0.99),
-        quantile(1.0),
-    );
-    eprintln!(
-        "compactions={} reorders={} epoch={} epoch-age={} pending={}",
-        m.compactions,
-        m.reorders,
-        m.epoch,
-        m.epoch_age,
-        engine.dynamic().pending_len(),
-    );
+    eprint!("{}", metrics_summary(m));
+    eprintln!("pending={}", engine.dynamic().pending_len());
 
+    if drained {
+        if args.verify_static {
+            eprintln!("static-check skipped: batch was drained before completion");
+        }
+        return;
+    }
     if let Some(g0) = g0 {
         engine.compact_now();
         let want = statically_rebuilt(&g0, &requests);

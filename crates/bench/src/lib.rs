@@ -11,9 +11,12 @@
 pub mod args;
 pub mod pipeline;
 pub mod serve;
+pub mod shutdown;
 pub mod table;
 
 pub use args::HarnessArgs;
 pub use pipeline::{ordered_graph, ordered_with_starts, OrderingKind};
-pub use serve::{BatchReport, Request, Response, ServeEngine};
+pub use serve::{
+    metrics_summary, parse_request_line, parse_script, BatchReport, Request, Response, ServeEngine,
+};
 pub use table::Table;

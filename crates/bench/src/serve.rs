@@ -49,11 +49,12 @@
 //!
 //! Batches run on `concurrency` request threads pulling from a shared
 //! cursor; per-request latency is forwarded to the engine's
-//! [`InstrumentSink::record_request`],
+//! [`vebo_engine::InstrumentSink::record_request`],
 //! and the [`ShardMetricsSink`] snapshot reports per-shard queue depth,
 //! occupancy, steals, and latency quantiles.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 use vebo::request_spec;
@@ -64,14 +65,13 @@ use vebo_algorithms::IncrementalCc;
 use vebo_core::{edge_counts_for_starts, DriftTrigger};
 use vebo_engine::shared::{atomic_f64_vec, snapshot_f64, AtomicF64};
 use vebo_engine::{
-    EdgeOp, Executor, Frontier, InstrumentSink, PreparedGraph, ShardMetrics, ShardMetricsSink,
-    SystemProfile,
+    EdgeOp, Executor, Frontier, PreparedGraph, ShardMetrics, ShardMetricsSink, SystemProfile,
 };
 use vebo_graph::graph::mix64;
 use vebo_graph::{CompactionStats, DynamicGraph, Graph, VertexId};
 
 /// One serving request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Request {
     /// Personalized PageRank pushed from `seed`.
     PageRankSeed {
@@ -130,6 +130,72 @@ impl Request {
             .expect("every request code is in the roster")
             .mutates
     }
+
+    /// The integer arguments, in roster order (unused slots zero).
+    fn args(&self) -> [VertexId; 2] {
+        match *self {
+            Request::PageRankSeed { seed } => [seed, 0],
+            Request::PageRankDelta { rounds } => [rounds, 0],
+            Request::Bfs { seed } => [seed, 0],
+            Request::Label { v } => [v, 0],
+            Request::AddEdge { u, v } => [u, v],
+            Request::DelEdge { u, v } => [u, v],
+        }
+    }
+
+    /// Renders the request as one script/wire line (`"pr 3"`,
+    /// `"add 1 2"`) — the inverse of [`parse_request_line`], so network
+    /// clients and script writers share one grammar.
+    pub fn to_line(&self) -> String {
+        let spec = request_spec(self.code()).expect("every request code is in the roster");
+        let args = self.args();
+        let mut out = String::from(spec.code);
+        for a in &args[..spec.arity()] {
+            out.push(' ');
+            out.push_str(&a.to_string());
+        }
+        out
+    }
+
+    /// Builds the request a parsed `(spec, args)` pair denotes — the one
+    /// place the roster maps onto this enum, shared by the script parser
+    /// and the network protocol decoder.
+    fn from_spec_args(spec: &vebo::RequestSpec, args: [VertexId; 2]) -> Request {
+        match spec.code {
+            "pr" => Request::PageRankSeed { seed: args[0] },
+            "prd" => Request::PageRankDelta { rounds: args[0] },
+            "bfs" => Request::Bfs { seed: args[0] },
+            "label" => Request::Label { v: args[0] },
+            "add" => Request::AddEdge {
+                u: args[0],
+                v: args[1],
+            },
+            "del" => Request::DelEdge {
+                u: args[0],
+                v: args[1],
+            },
+            other => unreachable!("roster and Request enum out of sync: {other}"),
+        }
+    }
+
+    /// The canonical form two requests must share to be answered by one
+    /// execution on an `n`-vertex graph: vertex arguments reduced modulo
+    /// `n` (exactly what [`ServeEngine::handle`] does before executing)
+    /// and degenerate round counts clamped. Used by the coalescing
+    /// batch path to detect duplicates.
+    pub fn canonical(&self, n: u32) -> Request {
+        let n = n.max(1);
+        match *self {
+            Request::PageRankSeed { seed } => Request::PageRankSeed { seed: seed % n },
+            Request::PageRankDelta { rounds } => Request::PageRankDelta {
+                rounds: rounds.max(1),
+            },
+            Request::Bfs { seed } => Request::Bfs { seed: seed % n },
+            Request::Label { v } => Request::Label { v: v % n },
+            Request::AddEdge { u, v } => Request::AddEdge { u: u % n, v: v % n },
+            Request::DelEdge { u, v } => Request::DelEdge { u: u % n, v: v % n },
+        }
+    }
 }
 
 /// One handled request.
@@ -144,8 +210,10 @@ pub struct Response {
 /// Result of one [`ServeEngine::run_batch`].
 #[derive(Clone, Debug)]
 pub struct BatchReport {
-    /// One response per request, in request order.
-    pub responses: Vec<Response>,
+    /// One slot per request, in request order. `None` marks requests a
+    /// graceful drain ([`ServeEngine::run_batch_until`]) skipped; a full
+    /// run is all `Some`.
+    pub responses: Vec<Option<Response>>,
     /// Snapshot of the engine's shard/latency metrics as of the end of
     /// this batch — cumulative over every request served by the engine
     /// so far (startup precomputation is never counted).
@@ -155,11 +223,16 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// Order-sensitive digest over all response digests — one number to
-    /// diff across executor backends.
+    /// Number of requests that actually completed.
+    pub fn completed(&self) -> usize {
+        self.responses.iter().flatten().count()
+    }
+
+    /// Order-sensitive digest over all completed response digests — one
+    /// number to diff across executor backends.
     pub fn combined_digest(&self) -> u64 {
         let mut h = Fnv::new();
-        for r in &self.responses {
+        for r in self.responses.iter().flatten() {
             h.write_u64(r.digest);
         }
         h.finish()
@@ -184,7 +257,10 @@ impl Fnv {
     }
 }
 
-fn digest_u64s(values: impl IntoIterator<Item = u64>) -> u64 {
+/// Order-sensitive FNV-1a digest over a `u64` stream — the digest every
+/// response reduces to, exported so network clients can recompute the
+/// combined batch digest the in-process harness prints.
+pub fn digest_u64s(values: impl IntoIterator<Item = u64>) -> u64 {
     let mut h = Fnv::new();
     for v in values {
         h.write_u64(v);
@@ -313,6 +389,14 @@ impl ServeEngine {
         self.metrics.snapshot()
     }
 
+    /// The metrics sink itself — serving frontends (the `serve-net` TCP
+    /// server) record admission decisions and queue depths into the same
+    /// sink the engine feeds, so one snapshot correlates frontend
+    /// backpressure with shard occupancy and latency.
+    pub fn sink(&self) -> &Arc<ShardMetricsSink> {
+        &self.metrics
+    }
+
     /// Forces a compaction (merging any buffered mutations into a fresh
     /// snapshot and republishing the serving state), regardless of the
     /// `compact_every` threshold. No-op on a clean engine.
@@ -321,7 +405,8 @@ impl ServeEngine {
         self.compact_locked(&mut mu)
     }
 
-    /// Handles one request, recording its latency.
+    /// Handles one request, recording its latency (aggregate and
+    /// per-kind).
     pub fn handle(&self, req: &Request) -> Response {
         let t0 = Instant::now();
         let n = self.graph.num_vertices().max(1) as u32;
@@ -330,18 +415,90 @@ impl ServeEngine {
             Request::DelEdge { u, v } => self.apply_mutation(false, u % n, v % n),
             _ => {
                 let state = self.state.read().unwrap().clone();
-                match *req {
-                    Request::PageRankSeed { seed } => self.ppr_digest(&state, seed % n),
-                    Request::PageRankDelta { rounds } => self.prd_digest(&state, rounds),
-                    Request::Bfs { seed } => self.bfs_digest(&state, seed % n),
-                    Request::Label { v } => digest_u64s([state.labels[(v % n) as usize] as u64]),
-                    Request::AddEdge { .. } | Request::DelEdge { .. } => unreachable!(),
-                }
+                self.query_digest(&state, req)
             }
         };
         let nanos = t0.elapsed().as_nanos() as u64;
-        self.metrics.record_request(nanos);
+        self.metrics.record_request_kind(req.code(), nanos);
         Response { digest, nanos }
+    }
+
+    /// Computes a query's digest against one pinned serving state — the
+    /// exact execution path [`ServeEngine::handle`] takes, factored out
+    /// so the coalescing batch path produces bit-identical digests.
+    /// Panics on mutation requests (those never share a pinned state).
+    fn query_digest(&self, state: &ServeState, req: &Request) -> u64 {
+        let n = self.graph.num_vertices().max(1) as u32;
+        match *req {
+            Request::PageRankSeed { seed } => self.ppr_digest(state, seed % n),
+            Request::PageRankDelta { rounds } => self.prd_digest(state, rounds),
+            Request::Bfs { seed } => self.bfs_digest(state, seed % n),
+            Request::Label { v } => digest_u64s([state.labels[(v % n) as usize] as u64]),
+            Request::AddEdge { .. } | Request::DelEdge { .. } => {
+                unreachable!("mutations are never coalesced")
+            }
+        }
+    }
+
+    /// The micro-batching seam: serves a batch of **query** requests
+    /// against one pinned epoch, coalescing compatible requests — same
+    /// algorithm, same (canonicalized) arguments, same epoch — into a
+    /// single execution whose digest fans out to every rider. Digests
+    /// are bit-identical to handling each request individually (the
+    /// execution path is `ServeEngine::query_digest` either way, and
+    /// the shared epoch is exactly what sequential handling would have
+    /// pinned when no mutation interleaves). Batches containing a
+    /// mutation fall back to in-order [`ServeEngine::handle`] calls —
+    /// mutations serialize on the mutation lock and are never coalesced.
+    ///
+    /// Every request's latency is recorded per kind, and the batch's
+    /// size/execution counts land in the [`ShardMetrics`] batching
+    /// counters (`batches`, `batched_requests`, `batch_executions`).
+    pub fn run_coalesced(&self, requests: &[Request]) -> Vec<Response> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        if requests.iter().any(|r| r.mutates()) {
+            return requests.iter().map(|r| self.handle(r)).collect();
+        }
+        let n = self.graph.num_vertices().max(1) as u32;
+        let state = self.state.read().unwrap().clone();
+        // Group by canonical form, preserving first-seen order so the
+        // executions themselves happen in request order.
+        let mut unique: Vec<Request> = Vec::new();
+        let mut slot_of: HashMap<Request, usize> = HashMap::new();
+        let slots: Vec<usize> = requests
+            .iter()
+            .map(|req| {
+                let c = req.canonical(n);
+                *slot_of.entry(c).or_insert_with(|| {
+                    unique.push(c);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let executed: Vec<Response> = unique
+            .iter()
+            .map(|req| {
+                let t0 = Instant::now();
+                let digest = self.query_digest(&state, req);
+                Response {
+                    digest,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                }
+            })
+            .collect();
+        self.metrics
+            .record_batch(requests.len() as u64, unique.len() as u64);
+        slots
+            .iter()
+            .zip(requests)
+            .map(|(&slot, req)| {
+                let r = executed[slot];
+                self.metrics.record_request_kind(req.code(), r.nanos);
+                r
+            })
+            .collect()
     }
 
     /// The mutation path: buffer the op, repair (insert) or recompute
@@ -500,6 +657,20 @@ impl ServeEngine {
     /// in the batch serialize on the mutation lock; queries proceed
     /// against their pinned epoch concurrently with them.
     pub fn run_batch(&self, requests: &[Request], concurrency: usize) -> BatchReport {
+        self.run_batch_until(requests, concurrency, None)
+    }
+
+    /// [`ServeEngine::run_batch`] with a cooperative stop flag: once
+    /// `stop` reads `true`, workers finish the request they are on
+    /// (in-flight work drains, nothing is torn mid-request) but claim no
+    /// more — the graceful-shutdown path `vebo-serve` takes on SIGINT.
+    /// Unclaimed requests stay `None` in the report.
+    pub fn run_batch_until(
+        &self,
+        requests: &[Request],
+        concurrency: usize,
+        stop: Option<&AtomicBool>,
+    ) -> BatchReport {
         let t0 = Instant::now();
         let cursor = AtomicUsize::new(0);
         let responses: Mutex<Vec<Option<Response>>> = Mutex::new(vec![None; requests.len()]);
@@ -507,6 +678,9 @@ impl ServeEngine {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= requests.len() {
                         break;
@@ -516,70 +690,107 @@ impl ServeEngine {
                 });
             }
         });
-        let responses = responses
-            .into_inner()
-            .unwrap()
-            .into_iter()
-            .map(|r| r.expect("every request handled"))
-            .collect();
         BatchReport {
-            responses,
+            responses: responses.into_inner().unwrap(),
             metrics: self.metrics.snapshot(),
             wall_seconds: t0.elapsed().as_secs_f64(),
         }
     }
 }
 
-/// Parses a request script: one request per line, resolved against the
-/// [`vebo::REQUEST_SPECS`] roster — `pr <seed>`, `prd <rounds>`,
-/// `bfs <seed>`, `label <v>`, `add <u> <v>`, `del <u> <v>`; blank lines
-/// and `#` comments ignored.
+/// Parses one request line against the [`vebo::REQUEST_SPECS`] roster —
+/// the grammar is exactly [`vebo::request_grammar`]. Returns `Ok(None)`
+/// for blank lines and `#` comments. This is the **single** request
+/// decoder: the script parser ([`parse_script`]) and the `serve-net`
+/// wire protocol both route through it, so the network protocol, the
+/// script format, and the usage text cannot drift apart.
+pub fn parse_request_line(line: &str) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let kind = parts.next().unwrap();
+    let spec = request_spec(kind).ok_or_else(|| format!("unknown request '{kind}'"))?;
+    let mut args = [0 as VertexId; 2];
+    for slot in args.iter_mut().take(spec.arity()) {
+        *slot = parts
+            .next()
+            .ok_or_else(|| format!("'{}' takes {} argument(s)", spec.code, spec.arity()))?
+            .parse()
+            .map_err(|_| "bad vertex id".to_string())?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens".to_string());
+    }
+    Ok(Some(Request::from_spec_args(spec, args)))
+}
+
+/// Parses a request script: one request per line via
+/// [`parse_request_line`] (blank lines and `#` comments ignored), with
+/// 1-based line numbers on errors.
 pub fn parse_script(text: &str) -> Result<Vec<Request>, String> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        match parse_request_line(line) {
+            Ok(Some(req)) => out.push(req),
+            Ok(None) => {}
+            Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
         }
-        let mut parts = line.split_whitespace();
-        let kind = parts.next().unwrap();
-        let spec = request_spec(kind)
-            .ok_or_else(|| format!("line {}: unknown request '{kind}'", lineno + 1))?;
-        let mut args = [0 as VertexId; 2];
-        for slot in args.iter_mut().take(spec.arity) {
-            *slot = parts
-                .next()
-                .ok_or_else(|| {
-                    format!(
-                        "line {}: '{}' takes {} argument(s)",
-                        lineno + 1,
-                        spec.code,
-                        spec.arity
-                    )
-                })?
-                .parse()
-                .map_err(|_| format!("line {}: bad vertex id", lineno + 1))?;
-        }
-        if parts.next().is_some() {
-            return Err(format!("line {}: trailing tokens", lineno + 1));
-        }
-        out.push(match spec.code {
-            "pr" => Request::PageRankSeed { seed: args[0] },
-            "prd" => Request::PageRankDelta { rounds: args[0] },
-            "bfs" => Request::Bfs { seed: args[0] },
-            "label" => Request::Label { v: args[0] },
-            "add" => Request::AddEdge {
-                u: args[0],
-                v: args[1],
-            },
-            "del" => Request::DelEdge {
-                u: args[0],
-                v: args[1],
-            },
-            other => unreachable!("roster and Request enum out of sync: {other}"),
-        });
     }
     Ok(out)
+}
+
+/// Renders the serving-side metric lines shared by `vebo-serve` and the
+/// `serve-net` daemon: overall and per-request-kind latency quantiles
+/// (p50/p95/p99/max), the micro-batching counters, admission-control
+/// counters (when a frontend recorded any), and the dynamic-graph
+/// compaction/epoch line.
+pub fn metrics_summary(m: &ShardMetrics) -> String {
+    let fmt_ns = |ns: Option<u64>| {
+        ns.map(|ns| format!("{:.2}ms", ns as f64 / 1e6))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let mut out = format!(
+        "latency p50 {} | p95 {} | p99 {} | max {}\n",
+        fmt_ns(m.latency_quantile(0.50)),
+        fmt_ns(m.latency_quantile(0.95)),
+        fmt_ns(m.latency_quantile(0.99)),
+        fmt_ns(m.latency_quantile(1.0)),
+    );
+    for k in &m.kinds {
+        out.push_str(&format!(
+            "latency[{:<5}] n={:<6} p50 {} | p95 {} | p99 {}\n",
+            k.code,
+            k.nanos.len(),
+            fmt_ns(m.kind_quantile(k.code, 0.50)),
+            fmt_ns(m.kind_quantile(k.code, 0.95)),
+            fmt_ns(m.kind_quantile(k.code, 0.99)),
+        ));
+    }
+    if m.batches > 0 {
+        out.push_str(&format!(
+            "batches={} batched-requests={} executions={} coalesced={}\n",
+            m.batches,
+            m.batched_requests,
+            m.batch_executions,
+            m.batched_requests - m.batch_executions,
+        ));
+    }
+    if m.queue_depth_samples > 0 {
+        out.push_str(&format!(
+            "admitted={} rejected-busy={} queue-depth mean={:.1} max={}\n",
+            m.admitted,
+            m.rejected,
+            m.mean_admission_depth(),
+            m.queue_depth_max,
+        ));
+    }
+    out.push_str(&format!(
+        "compactions={} reorders={} epoch={} epoch-age={}\n",
+        m.compactions, m.reorders, m.epoch, m.epoch_age,
+    ));
+    out
 }
 
 /// Deterministically generates a mixed workload of `count` requests:
@@ -674,7 +885,9 @@ mod tests {
             .collect();
         let seq = engine(ExecMode::Sequential).run_batch(&reqs, 1);
         let sharded = engine(ExecMode::Sharded { shards: 3 }).run_batch(&reqs, 4);
+        assert_eq!(seq.completed(), reqs.len());
         for (i, (a, b)) in seq.responses.iter().zip(&sharded.responses).enumerate() {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             assert_eq!(a.digest, b.digest, "request {i} ({})", reqs[i].code());
         }
         assert_eq!(seq.combined_digest(), sharded.combined_digest());
@@ -700,11 +913,84 @@ mod tests {
         let ra = a.run_batch(&reqs, 1);
         let rb = b.run_batch(&reqs, 1);
         for (i, (x, y)) in ra.responses.iter().zip(&rb.responses).enumerate() {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
             assert_eq!(x.digest, y.digest, "request {i} ({})", reqs[i].code());
         }
         assert_eq!(ra.combined_digest(), rb.combined_digest());
         assert_eq!(a.metrics().compactions, b.metrics().compactions);
         assert!(a.metrics().compactions > 0);
+    }
+
+    #[test]
+    fn request_lines_round_trip_through_roster_grammar() {
+        for req in generate_requests(64, 5) {
+            let line = req.to_line();
+            let back = parse_request_line(&line).unwrap().unwrap();
+            assert_eq!(back, req, "{line}");
+        }
+        assert_eq!(parse_request_line("  # comment").unwrap(), None);
+        assert_eq!(parse_request_line("").unwrap(), None);
+        assert!(parse_request_line("pr").is_err());
+    }
+
+    #[test]
+    fn coalesced_batch_matches_individual_handling() {
+        let e = engine(ExecMode::Sequential);
+        let n = e.prepared().graph().num_vertices() as u32;
+        // Duplicates (including one that only matches modulo n) plus
+        // distinct queries of every kind.
+        let reqs = vec![
+            Request::Bfs { seed: 7 },
+            Request::Label { v: 3 },
+            Request::Bfs { seed: 7 },
+            Request::PageRankSeed { seed: 11 },
+            Request::Label { v: 3 + n },
+            Request::PageRankDelta { rounds: 3 },
+            Request::Bfs { seed: 9 },
+            Request::PageRankSeed { seed: 11 },
+        ];
+        let coalesced = e.run_coalesced(&reqs);
+        let reference = engine(ExecMode::Sequential);
+        for (req, got) in reqs.iter().zip(&coalesced) {
+            assert_eq!(
+                got.digest,
+                reference.handle(req).digest,
+                "{}",
+                req.to_line()
+            );
+        }
+        let m = e.metrics();
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.batched_requests, 8);
+        assert_eq!(m.batch_executions, 5, "three duplicates coalesced");
+        assert_eq!(m.request_nanos.len(), 8, "every rider recorded");
+        assert!(m.kind_quantile("bfs", 0.99).is_some());
+    }
+
+    #[test]
+    fn coalesced_batch_with_mutations_falls_back_to_in_order_handling() {
+        let reqs = generate_requests(24, 11);
+        assert!(reqs.iter().any(|r| r.mutates()));
+        let a = engine(ExecMode::Sequential);
+        let b = engine(ExecMode::Sequential);
+        let coalesced = a.run_coalesced(&reqs);
+        let reference: Vec<Response> = reqs.iter().map(|r| b.handle(r)).collect();
+        for (i, (x, y)) in coalesced.iter().zip(&reference).enumerate() {
+            assert_eq!(x.digest, y.digest, "request {i} ({})", reqs[i].code());
+        }
+        assert_eq!(a.metrics().batches, 0, "mutating batches never coalesce");
+    }
+
+    #[test]
+    fn run_batch_until_drains_on_stop() {
+        let e = engine(ExecMode::Sequential);
+        let reqs = vec![Request::Label { v: 1 }; 8];
+        let stop = AtomicBool::new(true);
+        let r = e.run_batch_until(&reqs, 2, Some(&stop));
+        assert_eq!(r.completed(), 0, "pre-set stop claims nothing");
+        assert!(r.responses.iter().all(|r| r.is_none()));
+        let r = e.run_batch_until(&reqs, 2, None);
+        assert_eq!(r.completed(), reqs.len());
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Cooperative SIGINT shutdown shared by the serving binaries
+//! (`vebo-serve`'s request-thread drain and `serve-net`'s `vebo-served`
+//! daemon).
+//!
+//! The handler is installed through the same minimal `extern "C"`
+//! pattern as the raw `Mmap` wrapper in `vebo_graph::storage` — the
+//! workspace vendors no signal crate, and Rust binaries on unix already
+//! link libc. The handler itself only stores into a static
+//! [`AtomicBool`] (the one async-signal-safe thing a handler may do) and
+//! then resets the disposition to the OS default, so a **second** Ctrl-C
+//! kills the process immediately instead of being swallowed — the
+//! standard "first signal drains, second signal aborts" daemon contract.
+//!
+//! Serving loops poll [`requested`] (or pass [`flag`] into
+//! `ServeEngine::run_batch_until`) between requests: in-flight work
+//! always completes, nothing is torn mid-request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::c_int;
+
+    pub const SIGINT: c_int = 2;
+    /// `SIG_DFL` — the OS-default disposition (terminate, for SIGINT).
+    pub const SIG_DFL: usize = 0;
+    /// `SIG_ERR` — `signal(2)`'s failure return.
+    pub const SIG_ERR: usize = usize::MAX;
+
+    extern "C" {
+        pub fn signal(signum: c_int, handler: usize) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: std::os::raw::c_int) {
+    REQUESTED.store(true, Ordering::SeqCst);
+    // Restore the default disposition: a second Ctrl-C terminates
+    // immediately. `signal(2)` is async-signal-safe.
+    unsafe {
+        sys::signal(sys::SIGINT, sys::SIG_DFL);
+    }
+}
+
+/// Installs the SIGINT handler (idempotent). Returns `false` when the
+/// handler could not be installed (non-unix platforms, or a `signal(2)`
+/// failure) — callers then simply run without graceful drain.
+pub fn install() -> bool {
+    #[cfg(unix)]
+    {
+        let handler: extern "C" fn(std::os::raw::c_int) = on_sigint;
+        // SAFETY: `on_sigint` is an async-signal-safe extern "C"
+        // handler; installing it races with nothing (worst case the old
+        // disposition handles one more signal).
+        unsafe { sys::signal(sys::SIGINT, handler as usize) != sys::SIG_ERR }
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Whether a SIGINT has been observed since [`install`] (or [`trigger`]
+/// was called).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// The flag itself, for loops that want to pass it down (e.g. into
+/// `ServeEngine::run_batch_until`).
+pub fn flag() -> &'static AtomicBool {
+    &REQUESTED
+}
+
+/// Requests shutdown programmatically — what the signal handler does,
+/// callable from tests and from in-process drains.
+pub fn trigger() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests only — a real daemon shuts down once).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_reset_drive_the_flag() {
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        assert!(flag().load(std::sync::atomic::Ordering::SeqCst));
+        reset();
+        assert!(!requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn install_succeeds_on_unix() {
+        assert!(install());
+    }
+}

@@ -99,6 +99,10 @@ pub struct ShardMetrics {
     /// Per-request wall-clock latencies (nanoseconds), in completion
     /// order.
     pub request_nanos: Vec<u64>,
+    /// Per-request-kind latency series, keyed by the request's wire code
+    /// (`pr`, `bfs`, ...), in first-seen order — the per-type SLO data
+    /// behind [`ShardMetrics::kind_quantile`].
+    pub kinds: Vec<KindLatency>,
     /// Dynamic-graph compactions observed (snapshot republications).
     pub compactions: u64,
     /// Compactions that additionally recomputed the partition placement
@@ -109,6 +113,37 @@ pub struct ShardMetrics {
     /// Requests served against the current epoch since its publication —
     /// the "epoch age" staleness measure (resets on every compaction).
     pub epoch_age: u64,
+    /// Requests the serving frontend admitted into its queue.
+    pub admitted: u64,
+    /// Requests the serving frontend rejected with an explicit BUSY
+    /// response because an admission bound (in-flight requests or
+    /// buffered response bytes) was crossed.
+    pub rejected: u64,
+    /// Sum of admission-queue depths sampled at each admission decision.
+    pub queue_depth_sum: u64,
+    /// Number of admission-queue depth samples taken.
+    pub queue_depth_samples: u64,
+    /// Largest admission-queue depth sampled.
+    pub queue_depth_max: u64,
+    /// Micro-batches the serving layer executed through the coalescing
+    /// batch-submit seam.
+    pub batches: u64,
+    /// Requests that rode in those micro-batches.
+    pub batched_requests: u64,
+    /// Unique executions the micro-batches reduced to (compatible
+    /// requests — same algorithm, same arguments, same epoch — share one
+    /// execution, so `batch_executions <= batched_requests`).
+    pub batch_executions: u64,
+}
+
+/// Latency series of one request kind inside a [`ShardMetrics`]
+/// snapshot.
+#[derive(Clone, Debug)]
+pub struct KindLatency {
+    /// The request kind's wire code (`pr`, `bfs`, `label`, ...).
+    pub code: &'static str,
+    /// Wall-clock latencies (nanoseconds), in completion order.
+    pub nanos: Vec<u64>,
 }
 
 /// Accumulated per-shard counters of a [`ShardMetricsSink`].
@@ -154,14 +189,37 @@ impl ShardMetrics {
     /// The `q`-quantile (0.0..=1.0) of request latency in nanoseconds
     /// (nearest-rank); `None` when no requests were recorded.
     pub fn latency_quantile(&self, q: f64) -> Option<u64> {
-        if self.request_nanos.is_empty() {
-            return None;
-        }
-        let mut sorted = self.request_nanos.clone();
-        sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-        Some(sorted[rank])
+        quantile(&self.request_nanos, q)
     }
+
+    /// The `q`-quantile of request latency for one request kind (by wire
+    /// code); `None` when no requests of that kind were recorded.
+    pub fn kind_quantile(&self, code: &str, q: f64) -> Option<u64> {
+        self.kinds
+            .iter()
+            .find(|k| k.code == code)
+            .and_then(|k| quantile(&k.nanos, q))
+    }
+
+    /// Mean admission-queue depth over every admission decision the
+    /// serving frontend recorded (0 when none were).
+    pub fn mean_admission_depth(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
+    }
+}
+
+fn quantile(nanos: &[u64], q: f64) -> Option<u64> {
+    if nanos.is_empty() {
+        return None;
+    }
+    let mut sorted = nanos.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    Some(sorted[rank])
 }
 
 impl ShardMetricsSink {
@@ -187,6 +245,49 @@ impl ShardMetricsSink {
         }
         m.epoch = epoch;
         m.epoch_age = 0;
+    }
+
+    /// Records one completed request of kind `code` (a wire code from
+    /// the serving roster): the latency lands in the aggregate series
+    /// (exactly like [`InstrumentSink::record_request`]) *and* in the
+    /// per-kind series behind [`ShardMetrics::kind_quantile`]. Called by
+    /// the serving layer.
+    pub fn record_request_kind(&self, code: &'static str, nanos: u64) {
+        let mut m = self.inner.lock().unwrap();
+        m.request_nanos.push(nanos);
+        m.epoch_age += 1;
+        match m.kinds.iter_mut().find(|k| k.code == code) {
+            Some(k) => k.nanos.push(nanos),
+            None => m.kinds.push(KindLatency {
+                code,
+                nanos: vec![nanos],
+            }),
+        }
+    }
+
+    /// Records one admission decision of the serving frontend: whether
+    /// the request was `admitted` (vs rejected with BUSY) and the
+    /// admission-queue `depth` observed when deciding.
+    pub fn record_admission(&self, admitted: bool, depth: u64) {
+        let mut m = self.inner.lock().unwrap();
+        if admitted {
+            m.admitted += 1;
+        } else {
+            m.rejected += 1;
+        }
+        m.queue_depth_sum += depth;
+        m.queue_depth_samples += 1;
+        m.queue_depth_max = m.queue_depth_max.max(depth);
+    }
+
+    /// Records one coalesced micro-batch: `requests` rode in it and were
+    /// served by `executions` unique executions (`executions <=
+    /// requests` whenever compatible requests coalesced).
+    pub fn record_batch(&self, requests: u64, executions: u64) {
+        let mut m = self.inner.lock().unwrap();
+        m.batches += 1;
+        m.batched_requests += requests;
+        m.batch_executions += executions;
     }
 }
 
@@ -422,6 +523,38 @@ mod tests {
         assert_eq!(m.latency_quantile(0.5), Some(30));
         assert_eq!(m.latency_quantile(1.0), Some(90));
         assert_eq!(ShardMetrics::default().latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn serving_counters_accumulate() {
+        let sink = ShardMetricsSink::new();
+        sink.record_admission(true, 0);
+        sink.record_admission(true, 3);
+        sink.record_admission(false, 7);
+        sink.record_batch(5, 2);
+        sink.record_batch(1, 1);
+        sink.record_request_kind("label", 10);
+        sink.record_request_kind("bfs", 40);
+        sink.record_request_kind("label", 30);
+        sink.record_request_kind("label", 20);
+        let m = sink.snapshot();
+        assert_eq!(m.admitted, 2);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.queue_depth_max, 7);
+        assert_eq!(m.queue_depth_samples, 3);
+        assert!((m.mean_admission_depth() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.batched_requests, 6);
+        assert_eq!(m.batch_executions, 3);
+        // Kind series feed both the per-kind and the aggregate quantiles,
+        // and epoch age counts every request.
+        assert_eq!(m.request_nanos.len(), 4);
+        assert_eq!(m.epoch_age, 4);
+        assert_eq!(m.kind_quantile("label", 0.5), Some(20));
+        assert_eq!(m.kind_quantile("label", 1.0), Some(30));
+        assert_eq!(m.kind_quantile("bfs", 0.5), Some(40));
+        assert_eq!(m.kind_quantile("pr", 0.5), None);
+        assert_eq!(m.latency_quantile(1.0), Some(40));
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use edge_map::{EdgeMapReport, TaskStats, Traversal};
 pub use executor::{Direction, ExecMode, Executor};
 pub use frontier::{DensityClass, Frontier};
 pub use instrument::{
-    InstrumentSink, Recorder, RunReport, ShardMetrics, ShardMetricsSink, ShardTotals,
+    InstrumentSink, KindLatency, Recorder, RunReport, ShardMetrics, ShardMetricsSink, ShardTotals,
 };
 pub use ops::EdgeOp;
 pub use prepared::{subdivide_for_threads, PrepareError, PreparedGraph, PreparedGraphBuilder};

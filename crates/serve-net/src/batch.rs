@@ -1,0 +1,108 @@
+//! Adaptive micro-batching policy for the dispatcher.
+//!
+//! The dispatcher coalesces runs of **query** requests (same pinned
+//! epoch — mutations break a run, see `server.rs`) into one
+//! `ServeEngine::run_coalesced` call. How many to wait for is a classic
+//! latency/throughput dial, so the target batch size adapts to load:
+//!
+//! - a flush that **fills** the current target means the queue is
+//!   keeping up with us → double the target (up to `max_batch`), buying
+//!   more dedup per execution;
+//! - a flush forced by the **deadline** (`window`) with a short batch
+//!   means the queue is idle → halve the target (down to 1), so a lone
+//!   request never waits out the window behind an inflated target.
+//!
+//! The policy is pure state (no clocks, no channels) so its dynamics
+//! are unit-testable; the dispatcher owns the actual `recv_timeout`
+//! deadline arithmetic.
+
+use std::time::Duration;
+
+/// Adaptive batch-size controller. See the module docs for dynamics.
+#[derive(Clone, Debug)]
+pub struct AdaptiveBatcher {
+    max_batch: usize,
+    window: Duration,
+    target: usize,
+}
+
+impl AdaptiveBatcher {
+    /// A batcher flushing at most `max_batch` requests per execution
+    /// run and holding a partial batch at most `window`.
+    pub fn new(max_batch: usize, window: Duration) -> AdaptiveBatcher {
+        AdaptiveBatcher {
+            max_batch: max_batch.max(1),
+            window,
+            target: 1,
+        }
+    }
+
+    /// Current batch-size target: flush as soon as this many requests
+    /// are pending.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// How long the dispatcher may hold a non-empty partial batch.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Records a flush of `size` requests; `deadline_hit` says the
+    /// window expired (as opposed to the batch filling or a mutation /
+    /// shutdown forcing the flush).
+    pub fn on_flush(&mut self, size: usize, deadline_hit: bool) {
+        if deadline_hit {
+            if size < self.target {
+                self.target = (self.target / 2).max(1);
+            }
+        } else if size >= self.target {
+            self.target = (self.target * 2).min(self.max_batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_under_load_and_saturates() {
+        let mut b = AdaptiveBatcher::new(16, Duration::from_micros(200));
+        assert_eq!(b.target(), 1);
+        for _ in 0..10 {
+            let t = b.target();
+            b.on_flush(t, false);
+        }
+        assert_eq!(b.target(), 16);
+    }
+
+    #[test]
+    fn shrinks_when_idle_flushes_hit_the_deadline() {
+        let mut b = AdaptiveBatcher::new(64, Duration::from_micros(200));
+        for _ in 0..6 {
+            let t = b.target();
+            b.on_flush(t, false);
+        }
+        assert_eq!(b.target(), 64);
+        for _ in 0..10 {
+            b.on_flush(1, true);
+        }
+        assert_eq!(b.target(), 1);
+        // An idle trickle (one request per window) holds steady at 1
+        // instead of oscillating between 1 and 2.
+        b.on_flush(1, true);
+        assert_eq!(b.target(), 1);
+    }
+
+    #[test]
+    fn forced_short_flush_does_not_shrink() {
+        let mut b = AdaptiveBatcher::new(8, Duration::from_micros(200));
+        b.on_flush(1, false); // target 1 filled -> 2
+        b.on_flush(2, false); // -> 4
+        assert_eq!(b.target(), 4);
+        // A mutation forced this flush early; the queue was not idle.
+        b.on_flush(2, false);
+        assert_eq!(b.target(), 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! `vebo-client` — open-loop load generator for `vebo-served`.
+//!
+//! Sends a request script (or a generated workload) over one pipelined
+//! connection at a target request rate, and prints **exactly** the
+//! digest lines an in-process `vebo-serve` run prints for the same
+//! script:
+//!
+//! ```text
+//! req    0 pr    digest=9be1f1e6b2c40f1a
+//! ...
+//! batch digest=8b6c0e8b1f9d2a3c
+//! ```
+//!
+//! so `diff <(vebo-serve --requests s.txt ...) <(vebo-client --requests
+//! s.txt ...)` is the network-vs-in-process conformance check CI runs.
+//! BUSY rejections print as `req .. busy` lines and are excluded from
+//! the combined digest.
+//!
+//! Open-loop means send times are scheduled (`t0 + i/rps`), never
+//! gated on responses — a slow server cannot slow the offered load,
+//! it can only answer BUSY. `--rps 0` (default) sends back-to-back.
+
+use std::io::Write;
+use std::net::Shutdown;
+use std::time::{Duration, Instant};
+
+use vebo_bench::serve::{digest_u64s, generate_requests, parse_script, Request};
+use vebo_serve_net::protocol::{encode_request, Reply};
+use vebo_serve_net::NetClient;
+
+struct ClientArgs {
+    connect: String,
+    rps: f64,
+    requests_file: Option<String>,
+    gen_count: usize,
+    gen_seed: u64,
+    patience: Duration,
+}
+
+fn usage() -> ! {
+    let grammar = vebo::request_grammar();
+    eprintln!(
+        "vebo-client — open-loop load generator for vebo-served\n\n\
+         Options:\n  \
+         --connect <addr>    server address (default 127.0.0.1:7171)\n  \
+         --rps <r>           target request rate; 0 = unpaced (default 0)\n  \
+         --requests <file>   replay a script, one request per line:\n                      \
+         {grammar}\n  \
+         --gen <n>           generate a mixed workload of n requests (default 32)\n  \
+         --seed <s>          workload generator seed (default 1)\n  \
+         --patience <secs>   connect retry window (default 10)\n\n\
+         Prints the same `req .. digest=..` / `batch digest=..` lines as\n\
+         an in-process vebo-serve run of the same script."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ClientArgs {
+    let mut out = ClientArgs {
+        connect: "127.0.0.1:7171".to_string(),
+        rps: 0.0,
+        requests_file: None,
+        gen_count: 32,
+        gen_seed: 1,
+        patience: Duration::from_secs(10),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--connect" => out.connect = next("--connect"),
+            "--rps" => out.rps = next("--rps").parse().unwrap_or_else(|_| usage()),
+            "--requests" => out.requests_file = Some(next("--requests")),
+            "--gen" => out.gen_count = next("--gen").parse().unwrap_or_else(|_| usage()),
+            "--seed" => out.gen_seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--patience" => {
+                out.patience =
+                    Duration::from_secs(next("--patience").parse().unwrap_or_else(|_| usage()))
+            }
+            "--help" | "-h" => usage(),
+            _ => {
+                eprintln!("unknown option '{arg}'");
+                usage()
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let requests: Vec<Request> = match &args.requests_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            parse_script(&text).unwrap_or_else(|e| {
+                eprintln!("bad request script: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => generate_requests(args.gen_count, args.gen_seed),
+    };
+
+    let mut client = NetClient::connect(&args.connect, args.patience).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {}: {e}", args.connect);
+        std::process::exit(1);
+    });
+    let writer = client.writer().unwrap_or_else(|e| {
+        eprintln!("cannot clone connection: {e}");
+        std::process::exit(1);
+    });
+
+    let t0 = Instant::now();
+    let rps = args.rps;
+    let (oks, busy, errs) = std::thread::scope(|scope| {
+        let send_reqs = &requests;
+        scope.spawn(move || {
+            for (i, req) in send_reqs.iter().enumerate() {
+                if rps > 0.0 {
+                    let due = t0 + Duration::from_secs_f64(i as f64 / rps);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                let mut wire = Vec::new();
+                encode_request(req, &mut wire);
+                if (&writer).write_all(&wire).is_err() {
+                    break;
+                }
+            }
+            let _ = writer.shutdown(Shutdown::Write);
+        });
+
+        let mut digests: Vec<u64> = Vec::new();
+        let (mut busy, mut errs) = (0u64, 0u64);
+        for (i, req) in requests.iter().enumerate() {
+            match client.recv() {
+                Ok(Reply::Ok { digest, .. }) => {
+                    println!("req {i:>4} {:<5} digest={digest:016x}", req.code());
+                    digests.push(digest);
+                }
+                Ok(Reply::Busy) => {
+                    println!("req {i:>4} {:<5} busy", req.code());
+                    busy += 1;
+                }
+                Ok(Reply::Err(msg)) => {
+                    println!("req {i:>4} {:<5} err: {msg}", req.code());
+                    errs += 1;
+                }
+                Err(e) => {
+                    eprintln!("connection lost after {i} replies: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (digests, busy, errs)
+    });
+
+    println!("batch digest={:016x}", digest_u64s(oks.iter().copied()));
+    let wall = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "client: ok={} busy={busy} err={errs} wall={wall:.3}s achieved {:.0} req/s",
+        oks.len(),
+        requests.len() as f64 / wall.max(1e-9),
+    );
+}

@@ -1,0 +1,195 @@
+//! `vebo-served` — the network serving daemon: the `vebo-serve` engine
+//! behind the epoll TCP frontend.
+//!
+//! ```text
+//! # serve an rmat graph on the sharded backend:
+//! cargo run --release -p vebo-serve-net --bin vebo-served -- \
+//!     --listen 127.0.0.1:7171 --quick --executor sharded --shards 4
+//!
+//! # tiny admission bound, for watching BUSY under load:
+//! cargo run --release -p vebo-serve-net --bin vebo-served -- \
+//!     --listen 127.0.0.1:7171 --quick --max-inflight 1
+//! ```
+//!
+//! The first SIGINT stops accepting connections, drains every admitted
+//! request, flushes the responses, prints the final metrics report to
+//! stderr, and exits 0. A second SIGINT kills the process immediately.
+
+#[cfg(target_os = "linux")]
+fn main() {
+    linux::main()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() {
+    eprintln!("vebo-served requires Linux (the server is built on epoll)");
+    std::process::exit(2);
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use vebo_bench::serve::{
+        metrics_summary, ServeEngine, DEFAULT_COMPACT_EVERY, DEFAULT_DRIFT_THRESHOLD,
+    };
+    use vebo_bench::{shutdown, HarnessArgs};
+    use vebo_engine::SystemProfile;
+    use vebo_graph::Dataset;
+    use vebo_partition::EdgeOrder;
+    use vebo_serve_net::{Server, ServerConfig};
+
+    struct ServedArgs {
+        harness: HarnessArgs,
+        profile: SystemProfile,
+        profile_name: String,
+        listen: String,
+        config: ServerConfig,
+        ppr_rounds: usize,
+        compact_every: usize,
+        drift: f64,
+    }
+
+    fn usage() -> ! {
+        let grammar = vebo::request_grammar();
+        eprintln!(
+            "vebo-served — network serving daemon over a mutable graph\n\n\
+             Wire protocol: 4-byte LE length prefix + UTF-8 line per frame.\n\
+             Request lines (same grammar as vebo-serve scripts):\n  {grammar}\n\
+             Replies: `ok <code> <16-hex-digest>` | `busy` | `err <msg>`\n\n\
+             Options (plus every vebo-bench harness option):\n  \
+             --listen <addr>        bind address (default 127.0.0.1:7171)\n  \
+             --max-inflight <n>     admission bound; BUSY beyond it (default 64)\n  \
+             --batch-window-us <u>  micro-batch hold window (default 200)\n  \
+             --max-batch <n>        largest coalesced batch (default 32)\n  \
+             --profile <name>       ligra | polymer | graphgrind (default polymer)\n  \
+             --ppr-rounds <k>       push rounds per `pr` request (default 10)\n  \
+             --compact-every <n>    merge the delta log every n mutations (default {DEFAULT_COMPACT_EVERY})\n  \
+             --drift <t>            reorder drift threshold (default {DEFAULT_DRIFT_THRESHOLD})\n\n\
+             SIGINT drains admitted requests and prints the metrics report."
+        );
+        std::process::exit(2)
+    }
+
+    fn parse_args() -> ServedArgs {
+        let mut out = ServedArgs {
+            harness: HarnessArgs::default(),
+            profile: SystemProfile::polymer_like(),
+            profile_name: "polymer".to_string(),
+            listen: "127.0.0.1:7171".to_string(),
+            config: ServerConfig::default(),
+            ppr_rounds: 10,
+            compact_every: DEFAULT_COMPACT_EVERY,
+            drift: DEFAULT_DRIFT_THRESHOLD,
+        };
+        let mut rest: Vec<String> = Vec::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut next = |flag: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    usage()
+                })
+            };
+            match arg.as_str() {
+                "--listen" => out.listen = next("--listen"),
+                "--max-inflight" => {
+                    out.config.max_inflight =
+                        next("--max-inflight").parse().unwrap_or_else(|_| usage());
+                    if out.config.max_inflight == 0 {
+                        eprintln!("--max-inflight must be at least 1");
+                        usage()
+                    }
+                }
+                "--batch-window-us" => {
+                    let us: u64 = next("--batch-window-us")
+                        .parse()
+                        .unwrap_or_else(|_| usage());
+                    out.config.batch_window = Duration::from_micros(us);
+                }
+                "--max-batch" => {
+                    out.config.max_batch = next("--max-batch").parse().unwrap_or_else(|_| usage())
+                }
+                "--profile" => {
+                    let v = next("--profile");
+                    out.profile = match v.as_str() {
+                        "ligra" => SystemProfile::ligra_like(),
+                        "polymer" => SystemProfile::polymer_like(),
+                        "graphgrind" => SystemProfile::graphgrind_like(EdgeOrder::Csr),
+                        _ => {
+                            eprintln!("unknown profile '{v}'");
+                            usage()
+                        }
+                    };
+                    out.profile_name = v;
+                }
+                "--ppr-rounds" => {
+                    out.ppr_rounds = next("--ppr-rounds").parse().unwrap_or_else(|_| usage())
+                }
+                "--compact-every" => {
+                    out.compact_every = next("--compact-every").parse().unwrap_or_else(|_| usage());
+                    if out.compact_every == 0 {
+                        eprintln!("--compact-every must be at least 1");
+                        usage()
+                    }
+                }
+                "--drift" => out.drift = next("--drift").parse().unwrap_or_else(|_| usage()),
+                "--help" | "-h" => usage(),
+                other => rest.push(other.to_string()),
+            }
+        }
+        out.harness = HarnessArgs::parse_from("vebo-served", "network serving daemon", rest);
+        out
+    }
+
+    pub fn main() {
+        let args = parse_args();
+        let dataset = args.harness.dataset.unwrap_or(Dataset::LiveJournalLike);
+        let scale = args.harness.scale_or(0.2);
+        let g = args.harness.build_dataset(dataset, scale);
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let exec = args.harness.executor(args.profile);
+        let exec_mode = exec.mode();
+
+        let mut engine = ServeEngine::new(g, args.profile, exec);
+        engine.ppr_rounds = args.ppr_rounds;
+        engine.configure_compaction(args.compact_every, args.drift);
+        let engine = Arc::new(engine);
+
+        let server = Server::bind(&args.listen, args.config.clone()).unwrap_or_else(|e| {
+            eprintln!("cannot bind {}: {e}", args.listen);
+            std::process::exit(1);
+        });
+        shutdown::install();
+        eprintln!(
+            "vebo-served listening on {} | {} (n = {n}, m = {m}) | profile {} | executor {:?} | \
+             max-inflight {} | batch-window {:?} | max-batch {}",
+            server
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default(),
+            dataset.name(),
+            args.profile_name,
+            exec_mode,
+            args.config.max_inflight,
+            args.config.batch_window,
+            args.config.max_batch,
+        );
+
+        let stats = server
+            .run(Arc::clone(&engine), shutdown::flag())
+            .unwrap_or_else(|e| {
+                eprintln!("server error: {e}");
+                std::process::exit(1);
+            });
+
+        eprintln!(
+            "\ndrained: connections={} requests={} busy={} protocol-errors={}",
+            stats.connections, stats.requests, stats.busy, stats.protocol_errors,
+        );
+        eprint!("{}", metrics_summary(&engine.metrics()));
+        eprintln!("pending={}", engine.dynamic().pending_len());
+    }
+}

@@ -1,0 +1,92 @@
+//! Blocking client for the serving protocol, shared by the
+//! `vebo-client` load generator and the loopback conformance tests.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use vebo_bench::serve::Request;
+
+use crate::protocol::{encode_request, FrameDecoder, Reply};
+
+/// One blocking connection speaking the length-prefixed protocol.
+pub struct NetClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl NetClient {
+    /// Connects to `addr`, retrying refused connections until `patience`
+    /// elapses — lets a client race a daemon that is still binding.
+    pub fn connect(addr: &str, patience: Duration) -> io::Result<NetClient> {
+        let begin = Instant::now();
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+                    return Ok(NetClient {
+                        stream,
+                        decoder: FrameDecoder::new(),
+                    });
+                }
+                Err(e) if begin.elapsed() < patience => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one request frame (does not wait for the reply — pipeline
+    /// freely, replies come back in request order).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let mut wire = Vec::new();
+        encode_request(req, &mut wire);
+        self.stream.write_all(&wire)
+    }
+
+    /// Sends an arbitrary payload frame (protocol tests).
+    pub fn send_payload(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut wire = Vec::new();
+        crate::protocol::encode_frame(payload, &mut wire);
+        self.stream.write_all(&wire)
+    }
+
+    /// Blocks for the next reply frame.
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(line)) => {
+                    return Reply::parse(&line)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+                }
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.decoder.push(&buf[..n]);
+        }
+    }
+
+    /// Half-closes the write side so the server sees EOF after the last
+    /// request (it still flushes every admitted reply first).
+    pub fn finish_sending(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// A second handle to the same connection for a dedicated sender
+    /// thread (the open-loop load generator sends and receives
+    /// concurrently; replies still come back in request order).
+    pub fn writer(&self) -> io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal `epoll(7)` wrapper over raw `extern "C"` declarations — the
+//! same no-dependency FFI pattern as the `Mmap` wrapper in
+//! `vebo_graph::storage`, since the workspace vendors no libc crate and
+//! every Rust binary on Linux already links libc.
+//!
+//! # Safety invariants
+//!
+//! - [`Epoll::new`] wraps the `epoll_create1` fd in an
+//!   [`std::os::fd::OwnedFd`], so the epoll instance is closed exactly
+//!   once, on drop, even on panic paths.
+//! - [`EpollEvent`] matches the kernel ABI: packed on x86_64 (where the
+//!   kernel declares `epoll_event` with `__attribute__((packed))`),
+//!   naturally aligned elsewhere. Reading `data` from a packed struct
+//!   copies through an aligned local, never references the unaligned
+//!   field.
+//! - Callers must keep a registered fd open until after
+//!   [`Epoll::delete`] (or until the epoll instance drops): epoll
+//!   auto-deregisters closed fds, but a reused fd number with a stale
+//!   registration would mis-route events. The server upholds this by
+//!   deregistering in the same scope that drops each connection.
+//! - The readiness loop is **level-triggered** (no `EPOLLET`): a short
+//!   read/write that leaves data pending re-arms on the next
+//!   `epoll_wait`, so the loop never needs to drain to `EWOULDBLOCK`
+//!   within one wakeup.
+//!
+//! The module is compiled only on Linux (gated in `lib.rs`).
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::c_int;
+
+/// Readable (or a pending accept on a listener).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition; always reported, never needs registering.
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hung up; always reported, never needs registering.
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// Kernel ABI of `struct epoll_event`: packed on x86_64, naturally
+/// aligned on other architectures (e.g. aarch64).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// `EPOLL*` readiness bit set.
+    pub events: u32,
+    /// Caller-chosen token identifying the fd (we use connection ids).
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// The token, copied out (the field may be unaligned on x86_64).
+    pub fn token(&self) -> u64 {
+        let EpollEvent { data, .. } = *self;
+        data
+    }
+
+    /// The readiness bits, copied out.
+    pub fn readiness(&self) -> u32 {
+        let EpollEvent { events, .. } = *self;
+        events
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 either returns a fresh fd we uniquely
+        // own or -1; FromRawFd is only reached on success.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a valid fd returned above and owned by no one
+        // else; OwnedFd closes it exactly once on drop.
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call (the kernel copies it before
+        // returning); `fd` validity is the caller's contract documented
+        // on the module.
+        let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` for level-triggered `events`, tagged `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`. Must be called while `fd` is still open.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (-1 = forever) and fills `events` with
+    /// ready registrations, returning how many. A spurious `EINTR`
+    /// (e.g. the SIGINT whose flag the server polls) reads as zero
+    /// events rather than an error, so shutdown checks always run.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `events` is a valid, writable slice and maxevents is
+        // its exact length; the kernel writes at most that many entries.
+        let rc = unsafe {
+            epoll_wait(
+                self.fd.as_raw_fd(),
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(rc as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn wait_reports_readable_pair_end() {
+        let ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        let mut events = [EpollEvent { events: 0, data: 0 }; 8];
+        // Nothing written yet: a zero-timeout wait sees nothing.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        a.write_all(b"x").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+
+        ep.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # vebo-serve-net
+//!
+//! The network serving frontend for the VEBO reproduction: a
+//! hand-rolled non-blocking TCP server (raw `epoll(7)` via minimal
+//! `extern "C"` declarations — the workspace vendors no async runtime
+//! or libc crate) speaking a length-prefixed line protocol whose
+//! request grammar derives from the [`vebo::REQUEST_SPECS`] roster, in
+//! front of the shared `ServeEngine` from `vebo-bench`.
+//!
+//! Three layers, each independently testable:
+//!
+//! - [`protocol`] — the wire codec: 4-byte little-endian length prefix
+//!   plus a UTF-8 request/reply line. Pure state machine, no sockets.
+//! - [`batch`] — the adaptive micro-batching policy: batch-size target
+//!   doubles while the queue keeps batches full, halves when flushes
+//!   hit the idle deadline. Pure state, no clocks.
+//! - [`server`] *(Linux)* — the epoll readiness loop, admission
+//!   control (bounded in-flight count and per-connection outbox, BUSY
+//!   beyond either), and the dispatcher that coalesces query runs into
+//!   `ServeEngine::run_coalesced`.
+//!
+//! Binaries: `vebo-served` (the daemon; `--listen`, `--max-inflight`,
+//! `--batch-window-us`, SIGINT drains) and `vebo-client` (an open-loop
+//! load generator that prints the same digest lines as an in-process
+//! `vebo-serve` run, so CI can `diff` the two).
+//!
+//! The headline property, enforced by `tests/loopback.rs` and the CI
+//! network leg: digests served over TCP — batching, admission control
+//! and all — are **bit-identical** to an in-process
+//! `run_batch(concurrency = 1)` on the same engine configuration.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod client;
+#[cfg(target_os = "linux")]
+pub mod epoll;
+pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod server;
+
+pub use batch::AdaptiveBatcher;
+pub use client::NetClient;
+pub use protocol::{
+    decode_request, encode_frame, encode_request, FrameDecoder, FrameError, Reply, HEADER_LEN,
+    MAX_FRAME,
+};
+#[cfg(target_os = "linux")]
+pub use server::{Server, ServerConfig, ServerStats};

@@ -1,0 +1,258 @@
+//! Length-prefixed wire protocol for the serving frontend.
+//!
+//! Every frame — in both directions — is a 4-byte **little-endian** u32
+//! payload length followed by that many bytes of UTF-8 text, no trailing
+//! newline. Request payloads are exactly the `vebo-serve` script grammar
+//! (one line per [`vebo::REQUEST_SPECS`] roster entry, e.g. `pr 3`,
+//! `add 1 2`), so a request script and a network session carry the same
+//! bytes. Response payloads are one of:
+//!
+//! ```text
+//! ok <code> <16-hex-digest>     request executed; FNV-1a result digest
+//! busy                          admission control rejected the request
+//! err <message>                 malformed request line
+//! ```
+//!
+//! A payload longer than [`MAX_FRAME`] is a protocol violation: the
+//! decoder reports [`FrameError::Oversized`] without buffering the
+//! payload and the server closes the connection (a length prefix of,
+//! say, 4 GiB must not turn into an allocation).
+//!
+//! Framing is independent of read boundaries: [`FrameDecoder`] accepts
+//! bytes as they arrive (half a header, a header plus half a payload,
+//! three pipelined frames in one read) and yields complete payloads in
+//! order. The property tests in `tests/protocol_props.rs` drive exactly
+//! those splits.
+
+use vebo_bench::serve::{parse_request_line, Request};
+
+/// Maximum frame payload size in bytes. Request lines are tens of bytes;
+/// the cap only bounds what a malformed or hostile peer can make the
+/// server buffer.
+pub const MAX_FRAME: usize = 4096;
+
+/// Size of the length prefix.
+pub const HEADER_LEN: usize = 4;
+
+/// Appends one framed payload (length prefix + bytes) to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Frames a request as its script-grammar line.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    encode_frame(req.to_line().as_bytes(), out);
+}
+
+/// Protocol violation detected while decoding a frame stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(u32),
+    /// The payload is not UTF-8.
+    NotUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::NotUtf8 => write!(f, "frame payload is not UTF-8"),
+        }
+    }
+}
+
+/// Incremental frame decoder: push bytes in whatever chunks the socket
+/// delivers, pop complete payloads. After an error the stream is
+/// unsynchronized and the connection must be dropped; the decoder keeps
+/// returning the error rather than resyncing on garbage.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames (compacted
+    /// lazily so pipelined frames don't trigger a memmove each).
+    pos: usize,
+    poisoned: Option<FrameError>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Feeds bytes received from the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        // Compact before growing: consumed bytes never exceed one
+        // burst of pipelined frames.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` when more bytes are
+    /// needed, or the protocol violation that poisoned the stream.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..HEADER_LEN].try_into().unwrap());
+        if len as usize > MAX_FRAME {
+            self.poisoned = Some(FrameError::Oversized(len));
+            return Err(FrameError::Oversized(len));
+        }
+        let total = HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = match std::str::from_utf8(&avail[HEADER_LEN..total]) {
+            Ok(s) => s.to_string(),
+            Err(_) => {
+                self.poisoned = Some(FrameError::NotUtf8);
+                return Err(FrameError::NotUtf8);
+            }
+        };
+        self.pos += total;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// One decoded server-to-client payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// The request executed; `digest` is the same FNV-1a digest
+    /// `vebo-serve` prints for an in-process run.
+    Ok {
+        /// Request-kind code from the roster (`pr`, `add`, ...).
+        code: String,
+        /// Result digest.
+        digest: u64,
+    },
+    /// Admission control rejected the request (queue or outbox bound
+    /// crossed); the client may retry later.
+    Busy,
+    /// The request line was malformed; the message says why.
+    Err(String),
+}
+
+impl Reply {
+    /// Renders the reply payload (the inverse of [`Reply::parse`]).
+    pub fn to_line(&self) -> String {
+        match self {
+            Reply::Ok { code, digest } => format!("ok {code} {digest:016x}"),
+            Reply::Busy => "busy".to_string(),
+            Reply::Err(msg) => format!("err {msg}"),
+        }
+    }
+
+    /// Parses a reply payload.
+    pub fn parse(line: &str) -> Result<Reply, String> {
+        if line == "busy" {
+            return Ok(Reply::Busy);
+        }
+        if let Some(msg) = line.strip_prefix("err ") {
+            return Ok(Reply::Err(msg.to_string()));
+        }
+        let rest = line
+            .strip_prefix("ok ")
+            .ok_or_else(|| format!("unrecognized reply: {line:?}"))?;
+        let (code, hex) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("truncated ok reply: {line:?}"))?;
+        let digest =
+            u64::from_str_radix(hex, 16).map_err(|_| format!("bad digest in reply: {line:?}"))?;
+        Ok(Reply::Ok {
+            code: code.to_string(),
+            digest,
+        })
+    }
+}
+
+/// Decodes a request frame's payload into a [`Request`], reusing the
+/// script parser so the wire grammar and the `--requests` file grammar
+/// are the same function. Blank lines/comments are legal in scripts but
+/// meaningless as frames, so they are errors here.
+pub fn decode_request(payload: &str) -> Result<Request, String> {
+    match parse_request_line(payload)? {
+        Some(req) => Ok(req),
+        None => Err("empty request frame".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_one_byte_at_a_time() {
+        let reqs = [
+            Request::PageRankSeed { seed: 3 },
+            Request::AddEdge { u: 1, v: 2 },
+            Request::PageRankDelta { rounds: 5 },
+        ];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in wire {
+            dec.push(&[b]);
+            while let Some(line) = dec.next_frame().unwrap() {
+                got.push(decode_request(&line).unwrap());
+            }
+        }
+        assert_eq!(got, reqs);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_length_poisons_without_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(u32::MAX).to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(FrameError::Oversized(u32::MAX)));
+        // Still poisoned on the next poll, and pushes are ignored.
+        dec.push(b"garbage");
+        assert_eq!(dec.next_frame(), Err(FrameError::Oversized(u32::MAX)));
+    }
+
+    #[test]
+    fn reply_lines_round_trip() {
+        for reply in [
+            Reply::Ok {
+                code: "pr".to_string(),
+                digest: 0xdead_beef_0123_4567,
+            },
+            Reply::Busy,
+            Reply::Err("line 1: unknown request".to_string()),
+        ] {
+            assert_eq!(Reply::parse(&reply.to_line()).unwrap(), reply);
+        }
+        assert!(Reply::parse("nope").is_err());
+        assert!(Reply::parse("ok pr zz").is_err());
+    }
+
+    #[test]
+    fn blank_frames_are_rejected() {
+        assert!(decode_request("").is_err());
+        assert!(decode_request("# comment").is_err());
+    }
+}

@@ -1,0 +1,572 @@
+//! The non-blocking TCP server: an epoll readiness loop feeding an
+//! admission-controlled queue in front of one dispatcher thread that
+//! micro-batches compatible requests into the shared `ServeEngine`.
+//!
+//! # Threading and ordering model
+//!
+//! Two threads per server, regardless of connection count:
+//!
+//! - the **readiness loop** (the thread calling [`Server::run`]) owns
+//!   every socket: it accepts, reads, decodes frames, applies admission
+//!   control, and writes responses. No socket is ever touched from
+//!   another thread.
+//! - the **dispatcher** owns the engine: it pulls admitted requests off
+//!   one FIFO channel, coalesces maximal runs of *query* requests into
+//!   [`ServeEngine::run_coalesced`] calls (a mutation at the head of
+//!   the queue forces the pending run to flush first, preserving global
+//!   request order), and pushes completions back.
+//!
+//! Because a single FIFO channel feeds a single dispatcher, a client
+//! driving one connection observes exactly the semantics of an
+//! in-process `run_batch(.., concurrency = 1)`: same mutation order,
+//! same epochs, bit-identical digests. That is the property the
+//! loopback conformance test and the CI network leg diff.
+//!
+//! Per connection, responses are delivered in request order even though
+//! BUSY/err replies are produced instantly on the readiness thread
+//! while `ok` replies arrive later from the dispatcher: every accepted
+//! frame is assigned a sequence number and replies wait in a reorder
+//! buffer until all earlier sequences have been written.
+//!
+//! # Readiness-loop invariants (see also [`crate::epoll`])
+//!
+//! - All registrations are level-triggered; `EPOLLOUT` interest is held
+//!   **only while a connection's outbox is non-empty**, otherwise every
+//!   wait would spin on permanently-writable sockets.
+//! - A connection's fd is deregistered in the same scope that drops the
+//!   `TcpStream`, so a reused fd number can never alias a stale epoll
+//!   registration.
+//! - The dispatcher never blocks on a socket and the readiness loop
+//!   never blocks on the engine, so a slow query cannot stall accepts
+//!   and a slow client cannot stall the engine (its outbox just grows
+//!   until admission control answers BUSY).
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vebo_bench::serve::{Request, ServeEngine};
+
+use crate::batch::AdaptiveBatcher;
+use crate::epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::protocol::{decode_request, encode_frame, FrameDecoder, Reply};
+
+/// Epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Epoll token of the dispatcher wake pipe.
+const TOKEN_WAKE: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Per-connection outbox bound in bytes: once a client stops reading
+/// and this many response bytes have queued, new requests on that
+/// connection are answered BUSY instead of buffering without bound.
+const MAX_OUTBOX: usize = 64 * 1024;
+
+/// Upper bound on how long [`Server::run`] keeps flushing after a
+/// shutdown request before abandoning unflushed connections.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Tunables for one [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Admission bound: requests admitted but not yet answered, across
+    /// all connections. Crossing it answers BUSY.
+    pub max_inflight: usize,
+    /// How long the dispatcher holds a partial batch before flushing.
+    pub batch_window: Duration,
+    /// Largest coalesced batch per engine execution.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_inflight: 64,
+            batch_window: Duration::from_micros(200),
+            max_batch: 32,
+        }
+    }
+}
+
+/// Counters the readiness loop accumulates; returned by [`Server::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames decoded (admitted or not).
+    pub requests: u64,
+    /// Requests answered BUSY by admission control.
+    pub busy: u64,
+    /// Connections dropped for protocol violations (oversized frame,
+    /// non-UTF-8 payload).
+    pub protocol_errors: u64,
+}
+
+/// One admitted request travelling to the dispatcher.
+struct Work {
+    conn: u64,
+    seq: u64,
+    req: Request,
+}
+
+/// One finished request travelling back to the readiness loop.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    reply: Reply,
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Bytes queued for the socket, in delivery order.
+    outbox: Vec<u8>,
+    /// Finished replies waiting for earlier sequence numbers.
+    ready: BTreeMap<u64, Reply>,
+    /// Next sequence number to assign to an incoming frame.
+    next_assign: u64,
+    /// Next sequence number to append to the outbox.
+    next_deliver: u64,
+    /// Peer EOF or protocol violation: no more reads, close once every
+    /// assigned sequence has been delivered and the outbox drained.
+    read_closed: bool,
+    /// Interest set currently registered with epoll.
+    interest: u32,
+}
+
+impl Conn {
+    fn done(&self) -> bool {
+        self.read_closed && self.next_deliver == self.next_assign && self.outbox.is_empty()
+    }
+}
+
+/// A bound, not-yet-running serving frontend.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7171`, port 0 for ephemeral).
+    pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { listener, config })
+    }
+
+    /// The bound address (the ephemeral port, under `bind("...:0")`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the readiness loop on the calling thread until `stop` is
+    /// set, then drains: the listener closes immediately, admitted
+    /// requests finish, their responses flush, and the method returns.
+    pub fn run(self, engine: Arc<ServeEngine>, stop: &AtomicBool) -> io::Result<ServerStats> {
+        let (work_tx, work_rx) = std::sync::mpsc::channel::<Work>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Completion>();
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let inflight = AtomicUsize::new(0);
+        let batcher = AdaptiveBatcher::new(self.config.max_batch, self.config.batch_window);
+
+        std::thread::scope(|scope| {
+            let dispatcher_engine = Arc::clone(&engine);
+            let dispatcher_inflight = &inflight;
+            scope.spawn(move || {
+                dispatcher_loop(
+                    dispatcher_engine,
+                    work_rx,
+                    done_tx,
+                    wake_tx,
+                    dispatcher_inflight,
+                    batcher,
+                )
+            });
+            self.readiness_loop(engine, stop, work_tx, done_rx, wake_rx, &inflight)
+        })
+    }
+
+    fn readiness_loop(
+        &self,
+        engine: Arc<ServeEngine>,
+        stop: &AtomicBool,
+        work_tx: Sender<Work>,
+        done_rx: Receiver<Completion>,
+        wake_rx: UnixStream,
+        inflight: &AtomicUsize,
+    ) -> io::Result<ServerStats> {
+        let epoll = Epoll::new()?;
+        epoll.add(self.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake_rx.as_raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+
+        let mut stats = ServerStats::default();
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_token = TOKEN_FIRST_CONN;
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 64];
+        // `Some` while we are still accepting/reading; dropping it lets
+        // the dispatcher's recv loop observe disconnect once drained.
+        let mut work_tx = Some(work_tx);
+        let mut dispatcher_done = false;
+        let mut drain_started: Option<Instant> = None;
+
+        loop {
+            if drain_started.is_none() && stop.load(Ordering::SeqCst) {
+                // Shutdown: stop accepting (deregister the listener),
+                // stop reading (interest updates below), and close the
+                // work channel so the dispatcher drains and exits.
+                epoll.delete(self.listener.as_raw_fd())?;
+                work_tx = None;
+                drain_started = Some(Instant::now());
+            }
+            let draining = drain_started.is_some();
+            if drain_started.is_some_and(|t: Instant| {
+                (dispatcher_done && conns.values().all(|c| c.outbox.is_empty()))
+                    || t.elapsed() > DRAIN_DEADLINE
+            }) {
+                for (_, conn) in conns.drain() {
+                    let _ = epoll.delete(conn.stream.as_raw_fd());
+                }
+                return Ok(stats);
+            }
+
+            let n = epoll.wait(&mut events, 25)?;
+            let fired: Vec<(u64, u32)> = events[..n]
+                .iter()
+                .map(|e| (e.token(), e.readiness()))
+                .collect();
+
+            for (token, readiness) in fired {
+                match token {
+                    TOKEN_LISTENER => {
+                        if drain_started.is_some() {
+                            continue;
+                        }
+                        accept_all(
+                            &self.listener,
+                            &epoll,
+                            &mut conns,
+                            &mut next_token,
+                            &mut stats,
+                        );
+                    }
+                    TOKEN_WAKE => {
+                        let mut sink = [0u8; 64];
+                        while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                    }
+                    token => {
+                        let Some(conn) = conns.get_mut(&token) else {
+                            continue;
+                        };
+                        if readiness & (EPOLLERR | EPOLLHUP) != 0 {
+                            let _ = epoll.delete(conn.stream.as_raw_fd());
+                            conns.remove(&token);
+                            continue;
+                        }
+                        if readiness & EPOLLIN != 0 && !conn.read_closed && !draining {
+                            read_conn(
+                                conn,
+                                &engine,
+                                work_tx.as_ref().expect("reading implies not draining"),
+                                token,
+                                inflight,
+                                self.config.max_inflight,
+                                &mut stats,
+                            );
+                        }
+                        if readiness & EPOLLOUT != 0 {
+                            flush_outbox(conn);
+                        }
+                    }
+                }
+            }
+
+            // Route finished requests into their reorder buffers.
+            loop {
+                match done_rx.try_recv() {
+                    Ok(c) => {
+                        if let Some(conn) = conns.get_mut(&c.conn) {
+                            conn.ready.insert(c.seq, c.reply);
+                            pump_ready(conn);
+                            flush_outbox(conn);
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        dispatcher_done = true;
+                        break;
+                    }
+                }
+            }
+
+            // Reconcile interest sets and reap finished connections.
+            conns.retain(|&token, conn| {
+                if conn.done() {
+                    let _ = epoll.delete(conn.stream.as_raw_fd());
+                    return false;
+                }
+                let mut want = 0;
+                if !conn.read_closed && !draining {
+                    want |= EPOLLIN;
+                }
+                if !conn.outbox.is_empty() {
+                    want |= EPOLLOUT;
+                }
+                if want != conn.interest {
+                    if epoll.modify(conn.stream.as_raw_fd(), want, token).is_err() {
+                        let _ = epoll.delete(conn.stream.as_raw_fd());
+                        return false;
+                    }
+                    conn.interest = want;
+                }
+                true
+            });
+        }
+    }
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    stats: &mut ServerStats,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if epoll.add(stream.as_raw_fd(), EPOLLIN, token).is_err() {
+                    continue;
+                }
+                stats.connections += 1;
+                conns.insert(
+                    token,
+                    Conn {
+                        stream,
+                        decoder: FrameDecoder::new(),
+                        outbox: Vec::new(),
+                        ready: BTreeMap::new(),
+                        next_assign: 0,
+                        next_deliver: 0,
+                        read_closed: false,
+                        interest: EPOLLIN,
+                    },
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads everything available, decodes frames, and either admits each
+/// request to the dispatcher or answers BUSY/err locally — all replies
+/// flow through the sequence-ordered reorder buffer.
+fn read_conn(
+    conn: &mut Conn,
+    engine: &ServeEngine,
+    work_tx: &Sender<Work>,
+    token: u64,
+    inflight: &AtomicUsize,
+    max_inflight: usize,
+    stats: &mut ServerStats,
+) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => conn.decoder.push(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.read_closed = true;
+                break;
+            }
+        }
+    }
+    loop {
+        match conn.decoder.next_frame() {
+            Ok(Some(line)) => {
+                stats.requests += 1;
+                let seq = conn.next_assign;
+                conn.next_assign += 1;
+                match decode_request(&line) {
+                    Ok(req) => {
+                        let depth = inflight.load(Ordering::SeqCst);
+                        let admitted = depth < max_inflight && conn.outbox.len() < MAX_OUTBOX;
+                        engine.sink().record_admission(admitted, depth as u64);
+                        if admitted {
+                            inflight.fetch_add(1, Ordering::SeqCst);
+                            // Disconnect is unreachable while we hold a
+                            // sender; drop the request if it happens.
+                            let _ = work_tx.send(Work {
+                                conn: token,
+                                seq,
+                                req,
+                            });
+                        } else {
+                            stats.busy += 1;
+                            conn.ready.insert(seq, Reply::Busy);
+                        }
+                    }
+                    Err(msg) => {
+                        conn.ready.insert(seq, Reply::Err(msg));
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Unsynchronized stream: answer once, then close after
+                // everything already admitted has been delivered.
+                stats.protocol_errors += 1;
+                let seq = conn.next_assign;
+                conn.next_assign += 1;
+                conn.ready.insert(seq, Reply::Err(e.to_string()));
+                conn.read_closed = true;
+                break;
+            }
+        }
+    }
+    pump_ready(conn);
+    flush_outbox(conn);
+}
+
+/// Moves consecutively-sequenced replies from the reorder buffer into
+/// the outbox.
+fn pump_ready(conn: &mut Conn) {
+    while let Some(reply) = conn.ready.remove(&conn.next_deliver) {
+        encode_frame(reply.to_line().as_bytes(), &mut conn.outbox);
+        conn.next_deliver += 1;
+    }
+}
+
+/// Writes as much of the outbox as the socket accepts right now.
+fn flush_outbox(conn: &mut Conn) {
+    while !conn.outbox.is_empty() {
+        match conn.stream.write(&conn.outbox) {
+            Ok(0) => break,
+            Ok(n) => {
+                conn.outbox.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Peer is gone; EPOLLHUP/ERR will reap the connection.
+                conn.outbox.clear();
+                conn.read_closed = true;
+                break;
+            }
+        }
+    }
+}
+
+/// The dispatcher: admitted requests in FIFO order, runs of queries
+/// coalesced per the adaptive batcher, mutations executed alone at
+/// their exact queue position.
+fn dispatcher_loop(
+    engine: Arc<ServeEngine>,
+    work_rx: Receiver<Work>,
+    done_tx: Sender<Completion>,
+    wake_tx: UnixStream,
+    inflight: &AtomicUsize,
+    mut batcher: AdaptiveBatcher,
+) {
+    let mut pending: Vec<Work> = Vec::new();
+    let mut deadline: Option<Instant> = None;
+
+    // `Write` is implemented for `&UnixStream`, so the wake writes
+    // below borrow the stream immutably and the closure stays `Fn`.
+    let flush = |pending: &mut Vec<Work>,
+                 batcher: &mut AdaptiveBatcher,
+                 deadline: &mut Option<Instant>,
+                 deadline_hit: bool| {
+        *deadline = None;
+        if pending.is_empty() {
+            return;
+        }
+        let reqs: Vec<Request> = pending.iter().map(|w| w.req).collect();
+        let responses = engine.run_coalesced(&reqs);
+        batcher.on_flush(pending.len(), deadline_hit);
+        inflight.fetch_sub(pending.len(), Ordering::SeqCst);
+        for (w, resp) in pending.drain(..).zip(responses) {
+            let _ = done_tx.send(Completion {
+                conn: w.conn,
+                seq: w.seq,
+                reply: Reply::Ok {
+                    code: w.req.code().to_string(),
+                    digest: resp.digest,
+                },
+            });
+        }
+        let _ = (&wake_tx).write(&[1]);
+    };
+
+    loop {
+        let work = if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                flush(&mut pending, &mut batcher, &mut deadline, true);
+                continue;
+            }
+            match work_rx.recv_timeout(d - now) {
+                Ok(w) => w,
+                Err(RecvTimeoutError::Timeout) => {
+                    flush(&mut pending, &mut batcher, &mut deadline, true);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match work_rx.recv() {
+                Ok(w) => w,
+                Err(_) => break,
+            }
+        };
+
+        if work.req.mutates() {
+            // Flush the pending query run first so the mutation lands
+            // at its exact position in the global request order.
+            flush(&mut pending, &mut batcher, &mut deadline, false);
+            let resp = engine.handle(&work.req);
+            inflight.fetch_sub(1, Ordering::SeqCst);
+            let _ = done_tx.send(Completion {
+                conn: work.conn,
+                seq: work.seq,
+                reply: Reply::Ok {
+                    code: work.req.code().to_string(),
+                    digest: resp.digest,
+                },
+            });
+            let _ = (&wake_tx).write(&[1]);
+        } else {
+            if pending.is_empty() {
+                deadline = Some(Instant::now() + batcher.window());
+            }
+            pending.push(work);
+            if pending.len() >= batcher.target() {
+                flush(&mut pending, &mut batcher, &mut deadline, false);
+            }
+        }
+    }
+    // Work channel closed (shutdown): flush the tail, then drop
+    // `done_tx` so the readiness loop knows the drain is complete.
+    flush(&mut pending, &mut batcher, &mut deadline, false);
+}

@@ -1,0 +1,123 @@
+//! Property tests for the wire codec: framing must survive arbitrary
+//! read-boundary splits, pipelining, truncation, and hostile length
+//! prefixes — the same adversarial-transport discipline as the
+//! capped-`Read` streaming-I/O tests in `vebo-graph`.
+
+use proptest::prelude::*;
+use vebo_bench::serve::{parse_request_line, Request};
+use vebo_serve_net::protocol::{
+    decode_request, encode_frame, encode_request, FrameDecoder, FrameError, Reply, HEADER_LEN,
+    MAX_FRAME,
+};
+
+/// Arbitrary requests over the full roster, arguments unconstrained
+/// (the grammar carries raw u32s; vertex clamping is engine policy).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u8..6, any::<u32>(), any::<u32>()).prop_map(|(k, a, b)| match k {
+        0 => Request::PageRankSeed { seed: a },
+        1 => Request::PageRankDelta { rounds: a },
+        2 => Request::Bfs { seed: a },
+        3 => Request::Label { v: a },
+        4 => Request::AddEdge { u: a, v: b },
+        _ => Request::DelEdge { u: a, v: b },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Request lines round-trip through the shared script grammar.
+    #[test]
+    fn request_lines_round_trip(req in arb_request()) {
+        let line = req.to_line();
+        prop_assert_eq!(parse_request_line(&line).unwrap(), Some(req));
+        prop_assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    /// A pipelined burst of frames decodes identically no matter how
+    /// the transport splits it: one byte at a time, odd chunk sizes,
+    /// or one big read.
+    #[test]
+    fn framing_survives_arbitrary_read_boundaries(
+        reqs in proptest::collection::vec(arb_request(), 1..20),
+        cap in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(cap) {
+            dec.push(chunk);
+            while let Some(line) = dec.next_frame().unwrap() {
+                got.push(decode_request(&line).unwrap());
+            }
+        }
+        prop_assert_eq!(got, reqs);
+        prop_assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    /// A truncated stream yields exactly the fully-contained prefix
+    /// frames, then waits for more bytes — never a partial payload,
+    /// never a panic.
+    #[test]
+    fn truncation_yields_only_complete_frames(
+        reqs in proptest::collection::vec(arb_request(), 1..12),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        let mut ends = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut wire);
+            ends.push(wire.len());
+        }
+        let cut = (wire.len() as f64 * frac) as usize;
+        let complete = ends.iter().filter(|&&e| e <= cut).count();
+
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire[..cut]);
+        let mut got = 0;
+        while let Some(line) = dec.next_frame().unwrap() {
+            prop_assert_eq!(decode_request(&line).unwrap(), reqs[got]);
+            got += 1;
+        }
+        prop_assert_eq!(got, complete);
+        // Feeding the rest completes the tail.
+        dec.push(&wire[cut..]);
+        while dec.next_frame().unwrap().is_some() {
+            got += 1;
+        }
+        prop_assert_eq!(got, reqs.len());
+    }
+
+    /// Any length prefix beyond the cap poisons the stream immediately,
+    /// before any payload is buffered, and the error is sticky.
+    #[test]
+    fn oversized_lengths_poison_the_decoder(len in (MAX_FRAME as u32 + 1)..u32::MAX) {
+        let mut dec = FrameDecoder::new();
+        dec.push(&len.to_le_bytes());
+        prop_assert_eq!(dec.next_frame(), Err(FrameError::Oversized(len)));
+        dec.push(&[0u8; 32]);
+        prop_assert_eq!(dec.next_frame(), Err(FrameError::Oversized(len)));
+    }
+
+    /// Reply payloads round-trip for arbitrary digests and codes.
+    #[test]
+    fn replies_round_trip(digest in any::<u64>(), k in 0u8..3) {
+        let reply = match k {
+            0 => Reply::Ok { code: "prd".to_string(), digest },
+            1 => Reply::Busy,
+            _ => Reply::Err(format!("line 1: bad vertex {digest}")),
+        };
+        prop_assert_eq!(Reply::parse(&reply.to_line()).unwrap(), reply);
+    }
+}
+
+#[test]
+fn header_is_four_bytes_little_endian() {
+    let mut wire = Vec::new();
+    encode_frame(b"pr 3", &mut wire);
+    assert_eq!(&wire[..HEADER_LEN], &4u32.to_le_bytes());
+    assert_eq!(&wire[HEADER_LEN..], b"pr 3");
+}

@@ -26,8 +26,8 @@
 pub mod registry;
 
 pub use registry::{
-    chunked_balance_report, request_spec, OrderingRegistry, RequestSpec, ORDERING_NAMES,
-    REQUEST_SPECS,
+    chunked_balance_report, request_grammar, request_spec, OrderingRegistry, RequestSpec,
+    ORDERING_NAMES, REQUEST_SPECS,
 };
 
 pub use vebo_algorithms as algorithms;

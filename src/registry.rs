@@ -119,56 +119,89 @@ impl OrderingRegistry {
     }
 }
 
-/// One serving-request kind understood by the `vebo-serve` loop: the
-/// wire code a script line starts with, how many integer arguments
-/// follow it, and whether handling it mutates the dynamic graph.
+/// One serving-request kind understood by the `vebo-serve` loop and the
+/// `serve-net` wire protocol: the wire code a script line (or network
+/// frame) starts with, the named integer arguments that follow it, and
+/// whether handling it mutates the dynamic graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RequestSpec {
     /// Wire code used in request scripts and output (`pr`, `add`, ...).
     pub code: &'static str,
-    /// Number of integer arguments the request line carries.
-    pub arity: usize,
+    /// Names of the integer arguments the request line carries, in
+    /// order; the argument count every parser enforces is
+    /// [`RequestSpec::arity`].
+    pub args: &'static [&'static str],
     /// Whether handling the request mutates the dynamic graph.
     pub mutates: bool,
     /// One-line summary for usage text.
     pub summary: &'static str,
 }
 
+impl RequestSpec {
+    /// Number of integer arguments the request line carries.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The request-line grammar of this kind, e.g. `add <u> <v>` — the
+    /// form usage text and protocol docs print, derived from the roster
+    /// so they cannot drift from the parsers.
+    pub fn grammar(&self) -> String {
+        let mut out = String::from(self.code);
+        for a in self.args {
+            out.push_str(" <");
+            out.push_str(a);
+            out.push('>');
+        }
+        out
+    }
+}
+
+/// The whole roster's request-line grammar joined with ` | ` — one line
+/// of usage text covering every request kind.
+pub fn request_grammar() -> String {
+    REQUEST_SPECS
+        .iter()
+        .map(|s| s.grammar())
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
 /// The serving-request roster, in the order usage text lists it.
 pub const REQUEST_SPECS: [RequestSpec; 6] = [
     RequestSpec {
         code: "pr",
-        arity: 1,
+        args: &["seed"],
         mutates: false,
         summary: "personalized PageRank pushed from a seed vertex",
     },
     RequestSpec {
         code: "prd",
-        arity: 1,
+        args: &["rounds"],
         mutates: false,
         summary: "PageRankDelta sweep capped at the given round count",
     },
     RequestSpec {
         code: "bfs",
-        arity: 1,
+        args: &["seed"],
         mutates: false,
         summary: "BFS level digest from a seed vertex",
     },
     RequestSpec {
         code: "label",
-        arity: 1,
+        args: &["v"],
         mutates: false,
         summary: "connected-component label lookup",
     },
     RequestSpec {
         code: "add",
-        arity: 2,
+        args: &["u", "v"],
         mutates: true,
         summary: "insert an edge into the dynamic graph",
     },
     RequestSpec {
         code: "del",
-        arity: 2,
+        args: &["u", "v"],
         mutates: true,
         summary: "delete an edge from the dynamic graph",
     },
@@ -227,12 +260,22 @@ mod tests {
     fn request_roster_resolves_and_classifies() {
         for spec in &REQUEST_SPECS {
             assert_eq!(request_spec(spec.code), Some(spec));
-            assert!(spec.arity >= 1 && spec.arity <= 2, "{}", spec.code);
+            assert!(spec.arity() >= 1 && spec.arity() <= 2, "{}", spec.code);
         }
-        assert_eq!(request_spec("ADD").map(|s| s.arity), Some(2));
+        assert_eq!(request_spec("ADD").map(|s| s.arity()), Some(2));
         assert!(request_spec("add").unwrap().mutates);
         assert!(!request_spec("prd").unwrap().mutates);
         assert!(request_spec("walk").is_none());
+    }
+
+    #[test]
+    fn request_grammar_derives_from_roster() {
+        assert_eq!(request_spec("add").unwrap().grammar(), "add <u> <v>");
+        assert_eq!(request_spec("prd").unwrap().grammar(), "prd <rounds>");
+        let joined = request_grammar();
+        for spec in &REQUEST_SPECS {
+            assert!(joined.contains(&spec.grammar()), "{}", spec.code);
+        }
     }
 
     #[test]

@@ -273,6 +273,9 @@ fn concurrent_requests_match_sequential_reference() {
         for concurrency in [4usize, 8] {
             let batch = shared.run_batch(&requests, concurrency);
             for (i, resp) in batch.responses.iter().enumerate() {
+                let resp = resp
+                    .as_ref()
+                    .expect("run_batch without a stop flag completes");
                 assert_eq!(
                     resp.digest,
                     reference[i],
