@@ -155,7 +155,7 @@ mod tests {
         let mut inc = IncrementalCc::from_graph(&exec(), &pg);
         assert_eq!(inc.labels()[3..6], [3, 3, 3]);
 
-        dg.insert_edge(2, 3);
+        dg.insert_edge(2, 3).unwrap();
         let pin = dg.pin();
         let changed = inc.on_insert(pin.graph(), Some(pin.overlay()), 2, 3);
         assert_eq!(changed, 3, "exactly the second triangle relabels");
@@ -172,7 +172,7 @@ mod tests {
         let dg = DynamicGraph::new(g);
         let pg = PreparedGraph::for_pin(&dg.pin(), SystemProfile::ligra_like());
         let mut inc = IncrementalCc::from_graph(&exec(), &pg);
-        dg.insert_edge(0, 3);
+        dg.insert_edge(0, 3).unwrap();
         let pin = dg.pin();
         assert_eq!(inc.on_insert(pin.graph(), Some(pin.overlay()), 0, 3), 0);
         assert_eq!(inc.repairs(), 0);
@@ -190,7 +190,7 @@ mod tests {
             let u = (x % n as u64) as VertexId;
             x = mix64(x);
             let v = (x % n as u64) as VertexId;
-            dg.insert_edge(u, v);
+            dg.insert_edge(u, v).unwrap();
             let pin = dg.pin();
             inc.on_insert(pin.graph(), Some(pin.overlay()), u, v);
         }
@@ -208,7 +208,7 @@ mod tests {
             IncrementalCc::from_graph(&exec(), &PreparedGraph::for_pin(&dg.pin(), profile));
         assert_eq!(inc.labels(), &[0, 0, 0]);
 
-        dg.delete_edge(1, 2);
+        dg.delete_edge(1, 2).unwrap();
         // Recompute on the dirty epoch: the overlay hides the deleted
         // edge before any compaction happens.
         let pg = PreparedGraph::for_pin(&dg.pin(), profile);
@@ -229,7 +229,7 @@ mod tests {
         let mut inc =
             IncrementalCc::from_graph(&exec(), &PreparedGraph::for_pin(&dg.pin(), profile));
         assert_eq!(inc.labels(), &[0, 0, 0, 3, 3]);
-        dg.insert_edge(2, 3);
+        dg.insert_edge(2, 3).unwrap();
         let pin = dg.pin();
         inc.on_insert(pin.graph(), Some(pin.overlay()), 2, 3);
         dg.compact();

@@ -42,6 +42,7 @@ struct ServeArgs {
     gen_seed: u64,
     ppr_rounds: usize,
     compact_every: usize,
+    compact_async: bool,
     drift: f64,
     verify_static: bool,
 }
@@ -61,6 +62,9 @@ fn usage() -> ! {
          --seed <s>          workload generator seed (default 1)\n  \
          --ppr-rounds <k>    push rounds per PageRank-from-seed request (default 10)\n  \
          --compact-every <n> merge the delta log every n mutations (default {DEFAULT_COMPACT_EVERY})\n  \
+         --compact-mode <m>  wait | async (default wait): whether the mutation that\n                      \
+         trips --compact-every waits for the background compaction\n                      \
+         cycle (deterministic counts) or returns immediately\n  \
          --drift <t>         per-partition edge-drift threshold that triggers a\n                      \
          placement reorder at compaction (default {DEFAULT_DRIFT_THRESHOLD})\n  \
          --verify-static     after the batch, compact and diff the adjacency against\n                      \
@@ -83,6 +87,7 @@ fn parse_args() -> ServeArgs {
         gen_seed: 1,
         ppr_rounds: 10,
         compact_every: DEFAULT_COMPACT_EVERY,
+        compact_async: false,
         drift: DEFAULT_DRIFT_THRESHOLD,
         verify_static: false,
     };
@@ -123,6 +128,16 @@ fn parse_args() -> ServeArgs {
                 if out.compact_every == 0 {
                     eprintln!("--compact-every must be at least 1");
                     usage()
+                }
+            }
+            "--compact-mode" => {
+                out.compact_async = match next("--compact-mode").as_str() {
+                    "wait" => false,
+                    "async" => true,
+                    other => {
+                        eprintln!("unknown compact mode '{other}' (wait | async)");
+                        usage()
+                    }
                 }
             }
             "--drift" => out.drift = next("--drift").parse().unwrap_or_else(|_| usage()),
@@ -216,12 +231,16 @@ fn main() {
     );
 
     let mut engine = ServeEngine::new(g, args.profile, exec);
-    engine.ppr_rounds = args.ppr_rounds;
+    engine.set_ppr_rounds(args.ppr_rounds);
     engine.configure_compaction(args.compact_every, args.drift);
+    engine.set_compaction_blocking(!args.compact_async);
     // First Ctrl-C drains: request threads stop claiming new work,
     // in-flight requests complete, and the metrics below still print.
     shutdown::install();
     let report = engine.run_batch_until(&requests, args.concurrency, Some(shutdown::flag()));
+    // Let any signalled background compaction cycle finish before the
+    // final metrics, so the counters describe a settled engine.
+    engine.drain_compaction();
     let drained = shutdown::requested();
 
     for (i, (req, resp)) in requests.iter().zip(&report.responses).enumerate() {
@@ -238,7 +257,9 @@ fn main() {
         );
     }
 
-    let m = &report.metrics;
+    // Snapshot after the compactor drain: in async mode the batch's
+    // final compaction may land after `run_batch_until`'s own snapshot.
+    let m = &engine.metrics();
     eprintln!(
         "\nbatch: {:.3}s wall, {:.0} req/s",
         report.wall_seconds,

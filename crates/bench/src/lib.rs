@@ -18,5 +18,6 @@ pub use args::HarnessArgs;
 pub use pipeline::{ordered_graph, ordered_with_starts, OrderingKind};
 pub use serve::{
     metrics_summary, parse_request_line, parse_script, BatchReport, Request, Response, ServeEngine,
+    ServeError,
 };
 pub use table::Table;

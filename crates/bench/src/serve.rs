@@ -28,13 +28,29 @@
 //! repaired incrementally ([`IncrementalCc`] — exact label propagation
 //! on inserts, overlay-aware recompute on deletes), and a new state
 //! carrying the delta overlay is published so subsequent queries observe
-//! the mutation before any compaction. Every `compact_every` buffered
-//! ops the log is merged into a fresh CSR/CSC snapshot off the query
-//! path; a [`DriftTrigger`] then decides whether the partition placement
-//! has drifted enough to recompute task bounds (a "reorder") or whether
-//! the old bounds carry over. Compaction counts, reorders, the published
-//! epoch, and the epoch's age in requests are reported through the
-//! [`ShardMetricsSink`].
+//! the mutation before any compaction.
+//!
+//! ## Background compaction
+//!
+//! Compaction never runs on the mutation path. The engine owns a
+//! [`Compactor`] — a dedicated thread that, on request, merge-rebuilds
+//! the delta log into a fresh CSR/CSC snapshot, runs the
+//! [`DriftTrigger`] placement decision (recompute task bounds on a
+//! "reorder", carry the old bounds otherwise), and republishes the
+//! serving state. Every `compact_every` buffered ops a mutation
+//! *signals* the compactor; in the default **blocking** mode it then
+//! waits for the cycle (so compaction scheduling stays exactly as
+//! observable as the old inline behavior — what the digest-diffing CI
+//! legs rely on), while in background mode
+//! ([`ServeEngine::set_compaction_blocking`]`(false)`) it returns
+//! immediately and the rebuild proceeds concurrently — the mutation
+//! lane's latency becomes independent of graph size. The delta log can
+//! be bounded ([`ServeEngine::set_log_capacity`]): a full log refuses
+//! mutations with [`ServeError::Busy`] (wire-level BUSY) instead of
+//! growing without bound while compaction is behind. Compaction counts,
+//! reorders, cycle-latency quantiles, log-depth high-water, stall
+//! counts, the published epoch, and the epoch's age in requests are
+//! reported through the [`ShardMetricsSink`].
 //!
 //! Each response is reduced to a 64-bit FNV-1a digest so whole batches
 //! can be diffed across executor backends: on the partitioned profiles
@@ -48,10 +64,11 @@
 //! everywhere.)
 //!
 //! Batches run on `concurrency` request threads pulling from a shared
-//! cursor; per-request latency is forwarded to the engine's
-//! [`vebo_engine::InstrumentSink::record_request`],
-//! and the [`ShardMetricsSink`] snapshot reports per-shard queue depth,
-//! occupancy, steals, and latency quantiles.
+//! cursor; each request's latency is recorded per kind through the
+//! [`ShardMetricsSink`] (the kind-tagged counterpart of
+//! [`vebo_engine::InstrumentSink::record_request`] — every request goes
+//! through exactly one of the two), and the sink's snapshot reports
+//! per-shard queue depth, occupancy, steals, and latency quantiles.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -68,7 +85,7 @@ use vebo_engine::{
     EdgeOp, Executor, Frontier, PreparedGraph, ShardMetrics, ShardMetricsSink, SystemProfile,
 };
 use vebo_graph::graph::mix64;
-use vebo_graph::{CompactionStats, DynamicGraph, Graph, VertexId};
+use vebo_graph::{Compactor, DynamicGraph, Graph, GraphError, VertexId};
 
 /// One serving request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -295,29 +312,81 @@ struct ServeState {
 }
 
 /// Mutation-path state, serialized under one lock so mutations apply in
-/// a total order: the incremental component-label maintainer and the
-/// placement-drift trigger consulted at each compaction.
+/// a total order: the incremental component-label maintainer. The
+/// compaction thread also takes this lock — only around its O(1)
+/// publication step, never around the rebuild.
 struct MutationState {
     cc: IncrementalCc,
+}
+
+/// Placement-drift state, consulted and rebased on the compaction
+/// thread only (and when reconfiguring the policy).
+struct PlacementState {
     trigger: DriftTrigger,
 }
 
-/// A dynamic graph plus the executor and published per-epoch state every
-/// request handler shares. Cheap to share across request threads
-/// (`&self` everywhere); the executor's sharded pool, when selected, is
-/// likewise shared. Queries clone the published state `Arc` under a
-/// briefly-held read lock and run entirely against that pinned epoch, so
-/// they never block on (or observe a half-applied) mutation.
-pub struct ServeEngine {
+/// Why a request was refused instead of answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The mutation lane is backpressured: the bounded delta log is full
+    /// until the background compaction catches up. Surfaced on the wire
+    /// as the BUSY reply (same admission-control seam as queue-depth
+    /// rejection); the request had no effect and can be retried.
+    Busy {
+        /// Mutations buffered when the request was refused.
+        pending: usize,
+    },
+    /// The request can never be served by this engine (e.g. a mutation
+    /// against a weighted snapshot, or an out-of-range endpoint).
+    /// Surfaced on the wire as an `err` reply.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy { pending } => {
+                write!(f, "busy: delta log full ({pending} pending mutations)")
+            }
+            ServeError::Rejected(msg) => write!(f, "rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Everything the request threads and the background compaction thread
+/// share: the dynamic graph, the executor, the published per-epoch
+/// serving state, and the metrics sink. [`ServeEngine`] wraps this in an
+/// `Arc` so the compactor's job closure can own a handle to it.
+struct EngineCore {
     exec: Executor,
     profile: SystemProfile,
     graph: DynamicGraph,
     state: RwLock<Arc<ServeState>>,
     mutation: Mutex<MutationState>,
+    placement: Mutex<PlacementState>,
     metrics: Arc<ShardMetricsSink>,
-    /// Push rounds per PageRank-from-seed request.
-    pub ppr_rounds: usize,
-    compact_every: usize,
+    ppr_rounds: AtomicUsize,
+    compact_every: AtomicUsize,
+}
+
+/// A dynamic graph plus the executor and published per-epoch state every
+/// request handler shares, with a dedicated background compaction
+/// thread. Cheap to share across request threads (`&self` everywhere);
+/// the executor's sharded pool, when selected, is likewise shared.
+/// Queries clone the published state `Arc` under a briefly-held read
+/// lock and run entirely against that pinned epoch, so they never block
+/// on (or observe a half-applied) mutation — and mutations never run a
+/// CSR rebuild inline: they append to the delta log, signal the
+/// [`Compactor`], and return (see the [module docs](self)).
+pub struct ServeEngine {
+    core: Arc<EngineCore>,
+    compactor: Compactor,
+    /// Whether a mutation that trips the `compact_every` threshold waits
+    /// for the signalled cycle to complete (deterministic scheduling)
+    /// or returns immediately (background mode).
+    blocking_compaction: bool,
 }
 
 /// Default mutation count between compactions.
@@ -342,19 +411,29 @@ impl ServeEngine {
         let baseline = edge_counts_for_starts(pg.graph(), pg.tasks().starts());
         let mutation = Mutex::new(MutationState {
             cc: IncrementalCc::new(labels.clone()),
+        });
+        let placement = Mutex::new(PlacementState {
             trigger: DriftTrigger::new(DEFAULT_DRIFT_THRESHOLD, baseline),
         });
         let metrics = Arc::new(ShardMetricsSink::new());
         let exec = exec.with_sink(metrics.clone());
-        ServeEngine {
+        let core = Arc::new(EngineCore {
             exec,
             profile,
             graph,
             state: RwLock::new(Arc::new(ServeState { pg, labels })),
             mutation,
+            placement,
             metrics,
-            ppr_rounds: 10,
-            compact_every: DEFAULT_COMPACT_EVERY,
+            ppr_rounds: AtomicUsize::new(10),
+            compact_every: AtomicUsize::new(DEFAULT_COMPACT_EVERY),
+        });
+        let worker = Arc::clone(&core);
+        let compactor = Compactor::spawn(move || worker.compaction_cycle());
+        ServeEngine {
+            core,
+            compactor,
+            blocking_compaction: true,
         }
     }
 
@@ -363,30 +442,55 @@ impl ServeEngine {
     /// per-partition edge-count drift reaches `drift_threshold`.
     pub fn configure_compaction(&mut self, every: usize, drift_threshold: f64) {
         assert!(every >= 1, "compaction period must be at least 1");
-        self.compact_every = every;
-        let mu = self.mutation.get_mut().unwrap();
-        mu.trigger = DriftTrigger::new(drift_threshold, mu.trigger.baseline().to_vec());
+        self.core.compact_every.store(every, Ordering::Relaxed);
+        let mut pl = self.core.placement.lock().unwrap();
+        pl.trigger = DriftTrigger::new(drift_threshold, pl.trigger.baseline().to_vec());
+    }
+
+    /// Sets how many forward-push rounds each PageRank-from-seed request
+    /// runs (default 10).
+    pub fn set_ppr_rounds(&mut self, rounds: usize) {
+        self.core.ppr_rounds.store(rounds, Ordering::Relaxed);
+    }
+
+    /// Selects whether a mutation that trips the `compact_every`
+    /// threshold blocks on the signalled compaction cycle (`true`, the
+    /// default — compaction scheduling stays deterministic at request
+    /// concurrency 1, which the cross-backend digest diffs rely on) or
+    /// returns immediately while the cycle runs in the background
+    /// (`false` — the serving daemon's mode, where mutation latency must
+    /// stay independent of graph size). The rebuild itself runs on the
+    /// compaction thread either way.
+    pub fn set_compaction_blocking(&mut self, blocking: bool) {
+        self.blocking_compaction = blocking;
+    }
+
+    /// Bounds the dynamic graph's delta log: once `capacity` mutations
+    /// are buffered, further ones answer [`ServeError::Busy`] until a
+    /// compaction drains the log (see the [module docs](self)).
+    pub fn set_log_capacity(&mut self, capacity: usize) {
+        self.core.graph.set_log_capacity(capacity);
     }
 
     /// The prepared graph of the currently published epoch. A cheap
     /// clone: layouts are shared behind an `Arc`.
     pub fn prepared(&self) -> PreparedGraph {
-        self.state.read().unwrap().pg.clone()
+        self.core.state.read().unwrap().pg.clone()
     }
 
     /// The dynamic graph behind the engine.
     pub fn dynamic(&self) -> &DynamicGraph {
-        &self.graph
+        &self.core.graph
     }
 
     /// The executor requests run through.
     pub fn executor(&self) -> &Executor {
-        &self.exec
+        &self.core.exec
     }
 
     /// A snapshot of the shard/latency metrics accumulated so far.
     pub fn metrics(&self) -> ShardMetrics {
-        self.metrics.snapshot()
+        self.core.metrics.snapshot()
     }
 
     /// The metrics sink itself — serving frontends (the `serve-net` TCP
@@ -394,48 +498,86 @@ impl ServeEngine {
     /// sink the engine feeds, so one snapshot correlates frontend
     /// backpressure with shard occupancy and latency.
     pub fn sink(&self) -> &Arc<ShardMetricsSink> {
-        &self.metrics
+        &self.core.metrics
     }
 
-    /// Forces a compaction (merging any buffered mutations into a fresh
-    /// snapshot and republishing the serving state), regardless of the
-    /// `compact_every` threshold. No-op on a clean engine.
-    pub fn compact_now(&self) -> CompactionStats {
-        let mut mu = self.mutation.lock().unwrap();
-        self.compact_locked(&mut mu)
+    /// Forces a full compaction cycle (merging any buffered mutations
+    /// into a fresh snapshot and republishing the serving state) and
+    /// waits for it, regardless of the `compact_every` threshold. The
+    /// cycle still runs on the compaction thread. No-op on a clean
+    /// engine.
+    pub fn compact_now(&self) {
+        self.compactor.request_and_wait();
+    }
+
+    /// Blocks until every signalled compaction cycle has completed — the
+    /// graceful-shutdown path: daemons drain the compactor before
+    /// printing final metrics, so the log is as compact as requested and
+    /// no cycle is torn mid-publication.
+    pub fn drain_compaction(&self) {
+        self.compactor.drain();
     }
 
     /// Handles one request, recording its latency (aggregate and
-    /// per-kind).
+    /// per-kind); the fallible version is [`ServeEngine::try_handle`].
+    ///
+    /// Panics if the request is refused (full bounded log, weighted
+    /// snapshot) — callers that serve untrusted traffic or configure
+    /// backpressure must use `try_handle` and map the error to a wire
+    /// reply.
     pub fn handle(&self, req: &Request) -> Response {
+        match self.try_handle(req) {
+            Ok(resp) => resp,
+            Err(e) => panic!("request '{}' refused: {e}", req.to_line()),
+        }
+    }
+
+    /// Handles one request: queries run lock-free against the pinned
+    /// published epoch; mutations append to the delta log, repair
+    /// labels, publish the dirty state, and — every `compact_every`
+    /// buffered ops — signal the background compactor (waiting for the
+    /// cycle only in blocking mode). Refusals come back as
+    /// [`ServeError`]: `Busy` when the bounded delta log is full
+    /// (the compactor is nudged so the backlog drains), `Rejected` when
+    /// the engine can never apply the mutation. Latency is recorded
+    /// (aggregate and per-kind) for answered requests only.
+    pub fn try_handle(&self, req: &Request) -> Result<Response, ServeError> {
         let t0 = Instant::now();
-        let n = self.graph.num_vertices().max(1) as u32;
+        let n = self.core.graph.num_vertices().max(1) as u32;
         let digest = match *req {
-            Request::AddEdge { u, v } => self.apply_mutation(true, u % n, v % n),
-            Request::DelEdge { u, v } => self.apply_mutation(false, u % n, v % n),
+            Request::AddEdge { u, v } => self.mutate(true, u % n, v % n)?,
+            Request::DelEdge { u, v } => self.mutate(false, u % n, v % n)?,
             _ => {
-                let state = self.state.read().unwrap().clone();
-                self.query_digest(&state, req)
+                let state = self.core.state.read().unwrap().clone();
+                self.core.query_digest(&state, req)
             }
         };
         let nanos = t0.elapsed().as_nanos() as u64;
-        self.metrics.record_request_kind(req.code(), nanos);
-        Response { digest, nanos }
+        self.core.metrics.record_request_kind(req.code(), nanos);
+        Ok(Response { digest, nanos })
     }
 
-    /// Computes a query's digest against one pinned serving state — the
-    /// exact execution path [`ServeEngine::handle`] takes, factored out
-    /// so the coalescing batch path produces bit-identical digests.
-    /// Panics on mutation requests (those never share a pinned state).
-    fn query_digest(&self, state: &ServeState, req: &Request) -> u64 {
-        let n = self.graph.num_vertices().max(1) as u32;
-        match *req {
-            Request::PageRankSeed { seed } => self.ppr_digest(state, seed % n),
-            Request::PageRankDelta { rounds } => self.prd_digest(state, rounds),
-            Request::Bfs { seed } => self.bfs_digest(state, seed % n),
-            Request::Label { v } => digest_u64s([state.labels[(v % n) as usize] as u64]),
-            Request::AddEdge { .. } | Request::DelEdge { .. } => {
-                unreachable!("mutations are never coalesced")
+    /// The mutation lane: apply through the core (no rebuild inline),
+    /// then signal the compactor when the log reached the threshold — or
+    /// nudge it and bubble BUSY when the log is full.
+    fn mutate(&self, insert: bool, u: VertexId, v: VertexId) -> Result<u64, ServeError> {
+        match self.core.apply_mutation(insert, u, v) {
+            Ok((digest, compact)) => {
+                if compact {
+                    let ticket = self.compactor.request();
+                    if self.blocking_compaction {
+                        self.compactor.wait(ticket);
+                    }
+                }
+                Ok(digest)
+            }
+            Err(e) => {
+                if matches!(e, ServeError::Busy { .. }) {
+                    // Make sure a cycle is scheduled to drain the
+                    // backlog the client is being pushed back over.
+                    self.compactor.request();
+                }
+                Err(e)
             }
         }
     }
@@ -454,6 +596,11 @@ impl ServeEngine {
     /// Every request's latency is recorded per kind, and the batch's
     /// size/execution counts land in the [`ShardMetrics`] batching
     /// counters (`batches`, `batched_requests`, `batch_executions`).
+    ///
+    /// Like [`ServeEngine::handle`], the mutation fallback panics on a
+    /// refused mutation — frontends route mutations through
+    /// [`ServeEngine::try_handle`] individually and only coalesce
+    /// queries.
     pub fn run_coalesced(&self, requests: &[Request]) -> Vec<Response> {
         if requests.is_empty() {
             return Vec::new();
@@ -461,8 +608,8 @@ impl ServeEngine {
         if requests.iter().any(|r| r.mutates()) {
             return requests.iter().map(|r| self.handle(r)).collect();
         }
-        let n = self.graph.num_vertices().max(1) as u32;
-        let state = self.state.read().unwrap().clone();
+        let n = self.core.graph.num_vertices().max(1) as u32;
+        let state = self.core.state.read().unwrap().clone();
         // Group by canonical form, preserving first-seen order so the
         // executions themselves happen in request order.
         let mut unique: Vec<Request> = Vec::new();
@@ -481,39 +628,126 @@ impl ServeEngine {
             .iter()
             .map(|req| {
                 let t0 = Instant::now();
-                let digest = self.query_digest(&state, req);
+                let digest = self.core.query_digest(&state, req);
                 Response {
                     digest,
                     nanos: t0.elapsed().as_nanos() as u64,
                 }
             })
             .collect();
-        self.metrics
+        self.core
+            .metrics
             .record_batch(requests.len() as u64, unique.len() as u64);
         slots
             .iter()
             .zip(requests)
             .map(|(&slot, req)| {
                 let r = executed[slot];
-                self.metrics.record_request_kind(req.code(), r.nanos);
+                self.core.metrics.record_request_kind(req.code(), r.nanos);
                 r
             })
             .collect()
     }
 
-    /// The mutation path: buffer the op, repair (insert) or recompute
-    /// (delete) component labels, publish a dirty epoch carrying the
-    /// delta overlay, and compact when the log reaches `compact_every`.
+    /// Runs `requests` on `concurrency` request threads sharing this
+    /// engine (and its sharded worker pool, when selected). Responses
+    /// land in request order regardless of completion order. Mutations
+    /// in the batch serialize on the mutation lock; queries proceed
+    /// against their pinned epoch concurrently with them.
+    pub fn run_batch(&self, requests: &[Request], concurrency: usize) -> BatchReport {
+        self.run_batch_until(requests, concurrency, None)
+    }
+
+    /// [`ServeEngine::run_batch`] with a cooperative stop flag: once
+    /// `stop` reads `true`, workers finish the request they are on
+    /// (in-flight work drains, nothing is torn mid-request) but claim no
+    /// more — the graceful-shutdown path `vebo-serve` takes on SIGINT.
+    /// Unclaimed requests stay `None` in the report, as do requests the
+    /// engine refused (BUSY under a bounded delta log — the refusal is
+    /// already counted in the log-stall metrics).
+    pub fn run_batch_until(
+        &self,
+        requests: &[Request],
+        concurrency: usize,
+        stop: Option<&AtomicBool>,
+    ) -> BatchReport {
+        let t0 = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let responses: Mutex<Vec<Option<Response>>> = Mutex::new(vec![None; requests.len()]);
+        let workers = concurrency.max(1).min(requests.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    if let Ok(r) = self.try_handle(&requests[i]) {
+                        responses.lock().unwrap()[i] = Some(r);
+                    }
+                });
+            }
+        });
+        BatchReport {
+            responses: responses.into_inner().unwrap(),
+            metrics: self.core.metrics.snapshot(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+impl EngineCore {
+    /// Computes a query's digest against one pinned serving state — the
+    /// exact execution path [`ServeEngine::handle`] takes, factored out
+    /// so the coalescing batch path produces bit-identical digests.
+    /// Panics on mutation requests (those never share a pinned state).
+    fn query_digest(&self, state: &ServeState, req: &Request) -> u64 {
+        let n = self.graph.num_vertices().max(1) as u32;
+        match *req {
+            Request::PageRankSeed { seed } => self.ppr_digest(state, seed % n),
+            Request::PageRankDelta { rounds } => self.prd_digest(state, rounds),
+            Request::Bfs { seed } => self.bfs_digest(state, seed % n),
+            Request::Label { v } => digest_u64s([state.labels[(v % n) as usize] as u64]),
+            Request::AddEdge { .. } | Request::DelEdge { .. } => {
+                unreachable!("mutations are never coalesced")
+            }
+        }
+    }
+
+    /// The mutation path: buffer the op (refusing it typed when the
+    /// bounded log is full or the snapshot is weighted), repair (insert)
+    /// or recompute (delete) component labels, and publish a dirty epoch
+    /// carrying the delta overlay. **No CSR rebuild happens here** —
+    /// the returned flag tells the caller the log reached the
+    /// `compact_every` threshold and the compactor should be signalled.
     /// Serialized on the mutation lock; the state write lock is only
     /// held for the `Arc` swap, so concurrent queries keep reading their
     /// pinned epoch throughout.
-    fn apply_mutation(&self, insert: bool, u: VertexId, v: VertexId) -> u64 {
+    fn apply_mutation(
+        &self,
+        insert: bool,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<(u64, bool), ServeError> {
         let mut mu = self.mutation.lock().unwrap();
-        if insert {
-            self.graph.insert_edge(u, v);
+        let buffered = if insert {
+            self.graph.insert_edge(u, v)
         } else {
-            self.graph.delete_edge(u, v);
+            self.graph.delete_edge(u, v)
+        };
+        match buffered {
+            Ok(()) => {}
+            Err(GraphError::DeltaLogFull { pending, .. }) => {
+                self.metrics.record_log_stall(pending as u64);
+                return Err(ServeError::Busy { pending });
+            }
+            Err(e) => return Err(ServeError::Rejected(e.to_string())),
         }
+        let pending = self.graph.pending_len();
+        self.metrics.record_log_depth(pending as u64);
         let pin = self.graph.pin();
         let base = self.state.read().unwrap().pg.clone();
         let pg = base.with_overlay(Some(pin.overlay().clone()), pin.epoch());
@@ -526,43 +760,70 @@ impl ServeEngine {
         }
         let labels = mu.cc.labels().to_vec();
         *self.state.write().unwrap() = Arc::new(ServeState { pg, labels });
-        if self.graph.pending_len() >= self.compact_every {
-            self.compact_locked(&mut mu);
-        }
-        digest_u64s([if insert { 1 } else { 2 }, u as u64, v as u64])
+        let digest = digest_u64s([if insert { 1 } else { 2 }, u as u64, v as u64]);
+        Ok((
+            digest,
+            pending >= self.compact_every.load(Ordering::Relaxed),
+        ))
     }
 
-    /// Compacts the delta log into a fresh snapshot and republishes the
-    /// serving state — on the mutation path, never the query path. The
-    /// [`DriftTrigger`] compares per-partition edge counts on the new
-    /// snapshot against its baseline: past the threshold the placement
-    /// is recomputed from scratch (a "reorder"); otherwise the previous
-    /// task bounds carry over and only the layouts rebuild.
-    fn compact_locked(&self, mu: &mut MutationState) -> CompactionStats {
-        let stats = self.graph.compact();
+    /// One compaction cycle, run on the [`Compactor`] thread only —
+    /// never the mutation or query path. Phases:
+    ///
+    /// 1. **Prepare** (compaction gate held, no other lock): the delta
+    ///    log is merge-rebuilt into a fresh CSR/CSC snapshot.
+    /// 2. **Placement** (placement lock): the [`DriftTrigger`] compares
+    ///    per-partition edge counts on the post-merge snapshot against
+    ///    its baseline — past the threshold the placement is recomputed
+    ///    from scratch (a "reorder"); otherwise the previous task bounds
+    ///    carry over and only the layouts rebuild.
+    /// 3. **Publish** (mutation lock, O(1) work): the snapshot commits
+    ///    via the `Arc` swap, a fresh pin picks up any mutations that
+    ///    arrived during the rebuild (they stay buffered as the new
+    ///    epoch's overlay), and the serving state republishes. Taking
+    ///    the mutation lock here keeps publication atomic with respect
+    ///    to concurrent `apply_mutation` calls — their pin and state
+    ///    base can never straddle the swap.
+    fn compaction_cycle(&self) {
+        let t0 = Instant::now();
+        let pending = self.graph.compact_prepare();
         let cur = self.state.read().unwrap().clone();
-        if stats.applied == 0 && cur.pg.overlay().is_none() {
-            return stats;
+        if pending.applied() == 0 && cur.pg.overlay().is_none() {
+            return;
         }
-        let snapshot = self.graph.snapshot();
+        let snapshot = Arc::clone(pending.snapshot());
         let counts = edge_counts_for_starts(&snapshot, cur.pg.tasks().starts());
-        let reorder = mu.trigger.should_reorder(&counts);
-        let pg = if reorder {
-            PreparedGraph::new((*snapshot).clone(), self.profile)
-        } else {
-            PreparedGraph::builder((*snapshot).clone())
-                .profile(self.profile)
-                .bounds(cur.pg.tasks().clone())
-                .build()
-                .expect("carried-over bounds span the same vertex range")
+        let (pg, reorder) = {
+            let mut pl = self.placement.lock().unwrap();
+            let reorder = pl.trigger.should_reorder(&counts);
+            let pg = if reorder {
+                PreparedGraph::new((*snapshot).clone(), self.profile)
+            } else {
+                PreparedGraph::builder((*snapshot).clone())
+                    .profile(self.profile)
+                    .bounds(cur.pg.tasks().clone())
+                    .build()
+                    .expect("carried-over bounds span the same vertex range")
+            };
+            pl.trigger
+                .rebase(edge_counts_for_starts(pg.graph(), pg.tasks().starts()));
+            (pg, reorder)
         };
-        mu.trigger
-            .rebase(edge_counts_for_starts(pg.graph(), pg.tasks().starts()));
-        let pg = pg.with_overlay(None, stats.epoch);
+        let mu = self.mutation.lock().unwrap();
+        let stats = pending.commit();
+        // Mutations that raced the rebuild stay buffered: republish them
+        // as the new epoch's overlay so no applied mutation disappears
+        // from the served view.
+        let pin = self.graph.pin();
+        let pg = if pin.is_dirty() {
+            pg.with_overlay(Some(pin.overlay().clone()), pin.epoch())
+        } else {
+            pg.with_overlay(None, stats.epoch)
+        };
         let labels = mu.cc.labels().to_vec();
-        self.metrics.record_compaction(stats.epoch, reorder);
+        self.metrics
+            .record_compaction(stats.epoch, reorder, t0.elapsed().as_nanos() as u64);
         *self.state.write().unwrap() = Arc::new(ServeState { pg, labels });
-        stats
     }
 
     /// Personalized PageRank from `seed`: `ppr_rounds` forward-push
@@ -591,7 +852,7 @@ impl ServeEngine {
         let contrib = atomic_f64_vec(n, 0.0);
         x[seed as usize].store(1.0);
         let mut frontier = Frontier::single(n, seed);
-        for _ in 0..self.ppr_rounds {
+        for _ in 0..self.ppr_rounds.load(Ordering::Relaxed) {
             if frontier.is_empty() {
                 break;
             }
@@ -649,52 +910,6 @@ impl ServeEngine {
         let (parents, _) = bfs(&self.exec, &state.pg, seed);
         let levels = levels_from_parents(&parents, seed);
         digest_u64s(levels.into_iter().map(u64::from))
-    }
-
-    /// Runs `requests` on `concurrency` request threads sharing this
-    /// engine (and its sharded worker pool, when selected). Responses
-    /// land in request order regardless of completion order. Mutations
-    /// in the batch serialize on the mutation lock; queries proceed
-    /// against their pinned epoch concurrently with them.
-    pub fn run_batch(&self, requests: &[Request], concurrency: usize) -> BatchReport {
-        self.run_batch_until(requests, concurrency, None)
-    }
-
-    /// [`ServeEngine::run_batch`] with a cooperative stop flag: once
-    /// `stop` reads `true`, workers finish the request they are on
-    /// (in-flight work drains, nothing is torn mid-request) but claim no
-    /// more — the graceful-shutdown path `vebo-serve` takes on SIGINT.
-    /// Unclaimed requests stay `None` in the report.
-    pub fn run_batch_until(
-        &self,
-        requests: &[Request],
-        concurrency: usize,
-        stop: Option<&AtomicBool>,
-    ) -> BatchReport {
-        let t0 = Instant::now();
-        let cursor = AtomicUsize::new(0);
-        let responses: Mutex<Vec<Option<Response>>> = Mutex::new(vec![None; requests.len()]);
-        let workers = concurrency.max(1).min(requests.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
-                        break;
-                    }
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= requests.len() {
-                        break;
-                    }
-                    let r = self.handle(&requests[i]);
-                    responses.lock().unwrap()[i] = Some(r);
-                });
-            }
-        });
-        BatchReport {
-            responses: responses.into_inner().unwrap(),
-            metrics: self.metrics.snapshot(),
-            wall_seconds: t0.elapsed().as_secs_f64(),
-        }
     }
 }
 
@@ -790,6 +1005,16 @@ pub fn metrics_summary(m: &ShardMetrics) -> String {
         "compactions={} reorders={} epoch={} epoch-age={}\n",
         m.compactions, m.reorders, m.epoch, m.epoch_age,
     ));
+    if m.compactions > 0 || m.log_stalls > 0 {
+        out.push_str(&format!(
+            "compaction p50 {} | p99 {} | max {} log-depth-max={} log-stalls={}\n",
+            fmt_ns(m.compaction_quantile(0.50)),
+            fmt_ns(m.compaction_quantile(0.99)),
+            fmt_ns(m.compaction_quantile(1.0)),
+            m.log_depth_max,
+            m.log_stalls,
+        ));
+    }
     out
 }
 
@@ -1090,7 +1315,7 @@ mod tests {
         e.handle(&Request::Label { v: 2 });
         assert_eq!(e.metrics().epoch_age, 2);
         e.handle(&Request::AddEdge { u: 1, v: 2 });
-        let _ = e.compact_now();
+        e.compact_now();
         assert_eq!(e.metrics().epoch_age, 0, "compaction resets the age");
         e.handle(&Request::Label { v: 3 });
         assert_eq!(e.metrics().epoch_age, 1);

@@ -1,0 +1,33 @@
+//! CLI contract tests for `vebo-serve`: flag validation reachable from
+//! the command line must exit with a usage error, never a panic.
+
+use std::process::Command;
+
+#[test]
+fn compact_every_zero_is_a_usage_error_not_a_panic() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vebo-serve"))
+        .args(["--compact-every", "0"])
+        .output()
+        .expect("spawn vebo-serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("--compact-every must be at least 1"),
+        "stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "validation fell through to a panic:\n{stderr}"
+    );
+}
+
+#[test]
+fn unknown_compact_mode_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vebo-serve"))
+        .args(["--compact-mode", "sometimes"])
+        .output()
+        .expect("spawn vebo-serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(stderr.contains("unknown compact mode"), "stderr:\n{stderr}");
+}

@@ -110,9 +110,22 @@ pub struct ShardMetrics {
     pub reorders: u64,
     /// The latest published snapshot epoch.
     pub epoch: u64,
-    /// Requests served against the current epoch since its publication —
-    /// the "epoch age" staleness measure (resets on every compaction).
+    /// Requests recorded since the last compaction — the "epoch age"
+    /// staleness measure. Each request is counted exactly once, whether
+    /// it lands through [`InstrumentSink::record_request`] or
+    /// [`ShardMetricsSink::record_request_kind`] (a request must be
+    /// recorded through exactly one of the two).
     pub epoch_age: u64,
+    /// Wall-clock duration of each compaction cycle (nanoseconds), in
+    /// completion order — the tail of this series is what background
+    /// compaction takes off the mutation path.
+    pub compaction_nanos: Vec<u64>,
+    /// Largest delta-log depth sampled at mutation time (high-water
+    /// mark of buffered-but-uncompacted mutations).
+    pub log_depth_max: u64,
+    /// Mutations refused because the bounded delta log was full —
+    /// backpressure stalls surfaced as BUSY to clients.
+    pub log_stalls: u64,
     /// Requests the serving frontend admitted into its queue.
     pub admitted: u64,
     /// Requests the serving frontend rejected with an explicit BUSY
@@ -210,6 +223,12 @@ impl ShardMetrics {
             self.queue_depth_sum as f64 / self.queue_depth_samples as f64
         }
     }
+
+    /// The `q`-quantile (0.0..=1.0) of compaction-cycle duration in
+    /// nanoseconds (nearest-rank); `None` when no compactions ran.
+    pub fn compaction_quantile(&self, q: f64) -> Option<u64> {
+        quantile(&self.compaction_nanos, q)
+    }
 }
 
 fn quantile(nanos: &[u64], q: f64) -> Option<u64> {
@@ -233,11 +252,13 @@ impl ShardMetricsSink {
         self.inner.lock().unwrap().clone()
     }
 
-    /// Records a dynamic-graph compaction that published `epoch`;
-    /// `reordered` marks the drift-triggered placement recomputations.
-    /// Resets the epoch-age counter — subsequent requests age the new
-    /// epoch. Called by the serving layer, not the engine.
-    pub fn record_compaction(&self, epoch: u64, reordered: bool) {
+    /// Records a dynamic-graph compaction that published `epoch` after a
+    /// cycle lasting `nanos` wall-clock nanoseconds; `reordered` marks
+    /// the drift-triggered placement recomputations. Resets the
+    /// epoch-age counter — subsequent requests age the new epoch. Called
+    /// by the serving layer (from its compaction thread), not the
+    /// engine.
+    pub fn record_compaction(&self, epoch: u64, reordered: bool, nanos: u64) {
         let mut m = self.inner.lock().unwrap();
         m.compactions += 1;
         if reordered {
@@ -245,17 +266,42 @@ impl ShardMetricsSink {
         }
         m.epoch = epoch;
         m.epoch_age = 0;
+        m.compaction_nanos.push(nanos);
+    }
+
+    /// Records the delta-log depth observed after one accepted mutation
+    /// (the high-water mark feeds the serving summary).
+    pub fn record_log_depth(&self, depth: u64) {
+        let mut m = self.inner.lock().unwrap();
+        m.log_depth_max = m.log_depth_max.max(depth);
+    }
+
+    /// Records one mutation refused because the bounded delta log was
+    /// full (`depth` buffered entries) — a backpressure stall.
+    pub fn record_log_stall(&self, depth: u64) {
+        let mut m = self.inner.lock().unwrap();
+        m.log_stalls += 1;
+        m.log_depth_max = m.log_depth_max.max(depth);
+    }
+
+    /// The single request-recording path: every completed request —
+    /// tagged or not — lands here exactly once, so `epoch_age` counts
+    /// "requests since last compaction" without double counting mixed
+    /// request/batch traffic.
+    fn push_request(m: &mut ShardMetrics, nanos: u64) {
+        m.request_nanos.push(nanos);
+        m.epoch_age += 1;
     }
 
     /// Records one completed request of kind `code` (a wire code from
     /// the serving roster): the latency lands in the aggregate series
     /// (exactly like [`InstrumentSink::record_request`]) *and* in the
     /// per-kind series behind [`ShardMetrics::kind_quantile`]. Called by
-    /// the serving layer.
+    /// the serving layer — a request recorded here must not also go
+    /// through [`InstrumentSink::record_request`].
     pub fn record_request_kind(&self, code: &'static str, nanos: u64) {
         let mut m = self.inner.lock().unwrap();
-        m.request_nanos.push(nanos);
-        m.epoch_age += 1;
+        Self::push_request(&mut m, nanos);
         match m.kinds.iter_mut().find(|k| k.code == code) {
             Some(k) => k.nanos.push(nanos),
             None => m.kinds.push(KindLatency {
@@ -315,8 +361,7 @@ impl InstrumentSink for ShardMetricsSink {
 
     fn record_request(&self, nanos: u64) {
         let mut m = self.inner.lock().unwrap();
-        m.request_nanos.push(nanos);
-        m.epoch_age += 1;
+        Self::push_request(&mut m, nanos);
     }
 }
 
@@ -563,17 +608,53 @@ mod tests {
         sink.record_request(5);
         sink.record_request(7);
         assert_eq!(sink.snapshot().epoch_age, 2);
-        sink.record_compaction(3, false);
+        sink.record_compaction(3, false, 100);
         let m = sink.snapshot();
         assert_eq!(m.compactions, 1);
         assert_eq!(m.reorders, 0);
         assert_eq!(m.epoch, 3);
         assert_eq!(m.epoch_age, 0);
         sink.record_request(9);
-        sink.record_compaction(4, true);
+        sink.record_compaction(4, true, 300);
         let m = sink.snapshot();
         assert_eq!(m.compactions, 2);
         assert_eq!(m.reorders, 1);
         assert_eq!(m.epoch, 4);
+        // Compaction latencies form their own quantile series.
+        assert_eq!(m.compaction_nanos, vec![100, 300]);
+        assert_eq!(m.compaction_quantile(0.5), Some(100));
+        assert_eq!(m.compaction_quantile(1.0), Some(300));
+        assert_eq!(ShardMetrics::default().compaction_quantile(0.5), None);
+    }
+
+    #[test]
+    fn epoch_age_counts_each_request_exactly_once() {
+        // Mixed traffic: kind-tagged requests (the serving path) and
+        // untagged ones (the trait path) must each age the epoch by one
+        // — the age is "requests since last compaction", not "record
+        // calls summed across paths".
+        let sink = ShardMetricsSink::new();
+        sink.record_request_kind("label", 10);
+        sink.record_request(20);
+        sink.record_request_kind("bfs", 30);
+        sink.record_request(40);
+        let m = sink.snapshot();
+        assert_eq!(m.epoch_age, 4);
+        assert_eq!(m.request_nanos.len(), 4);
+        sink.record_compaction(1, false, 50);
+        sink.record_request_kind("label", 5);
+        assert_eq!(sink.snapshot().epoch_age, 1);
+    }
+
+    #[test]
+    fn log_depth_and_stalls_accumulate() {
+        let sink = ShardMetricsSink::new();
+        sink.record_log_depth(3);
+        sink.record_log_depth(1);
+        sink.record_log_stall(8);
+        sink.record_log_stall(8);
+        let m = sink.snapshot();
+        assert_eq!(m.log_depth_max, 8);
+        assert_eq!(m.log_stalls, 2);
     }
 }

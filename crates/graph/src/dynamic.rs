@@ -27,8 +27,26 @@
 //! no-op, deleting removes one stored occurrence, and on undirected
 //! graphs both mirrored arcs are maintained together (a self-loop stays
 //! a single stored arc, matching [`Graph::from_edges`]). Vertex count is
-//! fixed at construction and weighted graphs are not supported — every
-//! weighted algorithm in the workspace runs on static snapshots.
+//! fixed at construction. Weighted snapshots may be *wrapped* (so a
+//! weighted dataset can still be served read-only through the versioned
+//! handle) but refuse mutations with
+//! [`GraphError::WeightedMutation`] — every weighted algorithm in the
+//! workspace runs on static snapshots.
+//!
+//! The delta log can be bounded ([`DynamicGraph::set_log_capacity`]):
+//! once full, mutations fail with [`GraphError::DeltaLogFull`] instead
+//! of growing without bound while compaction is behind — the serving
+//! layer surfaces this as backpressure (a BUSY reply) rather than
+//! unbounded memory growth.
+//!
+//! For serving, compaction moves off the mutation path entirely: a
+//! [`Compactor`] owns a dedicated thread that runs compaction cycles on
+//! request, so mutators only append to the log, signal, and return.
+//! [`DynamicGraph::compact_prepare`] /
+//! [`PendingCompaction::commit`] split one cycle into the expensive
+//! lock-free rebuild and the brief publication, letting callers hang
+//! extra work (placement recompute, state republication) between the
+//! two while the compaction gate stays held.
 //!
 //! Compaction is bit-reproducible: the merged neighbor lists are exactly
 //! what [`Graph::from_edges`]-style reconstruction from the final edge
@@ -41,8 +59,8 @@ use crate::graph::Graph;
 use crate::io::binary::{mmap_binary_graph, write_binary_graph};
 use crate::types::{GraphError, VertexId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 
 /// One buffered mutation, in arrival order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -223,21 +241,23 @@ pub struct DynamicGraph {
     /// write lock, so two concurrent compactors would double-apply).
     compact_gate: Mutex<()>,
     compactions: AtomicU64,
+    /// Mutations refused once the log holds this many entries.
+    log_capacity: AtomicUsize,
     directed: bool,
+    weighted: bool,
     num_vertices: usize,
 }
 
 impl DynamicGraph {
     /// Wraps `snapshot` as epoch 0 with an empty delta buffer.
     ///
-    /// Panics if the snapshot carries edge weights — mutation semantics
-    /// are defined for unweighted graphs only.
+    /// Weighted snapshots are accepted (and stay readable through the
+    /// versioned handle) but refuse every mutation with
+    /// [`GraphError::WeightedMutation`] — mutation semantics are defined
+    /// for unweighted graphs only.
     pub fn new(snapshot: Graph) -> DynamicGraph {
-        assert!(
-            !snapshot.has_weights(),
-            "DynamicGraph requires an unweighted snapshot"
-        );
         let directed = snapshot.is_directed();
+        let weighted = snapshot.has_weights();
         let num_vertices = snapshot.num_vertices();
         DynamicGraph {
             slot: RwLock::new(EpochSlot {
@@ -247,7 +267,9 @@ impl DynamicGraph {
             log: Mutex::new(Vec::new()),
             compact_gate: Mutex::new(()),
             compactions: AtomicU64::new(0),
+            log_capacity: AtomicUsize::new(usize::MAX),
             directed,
+            weighted,
             num_vertices,
         }
     }
@@ -260,6 +282,25 @@ impl DynamicGraph {
     /// Whether the graph was built as directed.
     pub fn is_directed(&self) -> bool {
         self.directed
+    }
+
+    /// Whether the wrapped snapshot carries edge weights (and therefore
+    /// refuses mutations).
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Bounds the delta log: once `capacity` mutations are buffered,
+    /// further ones fail with [`GraphError::DeltaLogFull`] until a
+    /// compaction drains the log. The default is unbounded
+    /// (`usize::MAX`); a capacity of 0 refuses every mutation.
+    pub fn set_log_capacity(&self, capacity: usize) {
+        self.log_capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// The configured delta-log bound (`usize::MAX` when unbounded).
+    pub fn log_capacity(&self) -> usize {
+        self.log_capacity.load(Ordering::Relaxed)
     }
 
     /// The current snapshot epoch.
@@ -288,28 +329,49 @@ impl DynamicGraph {
         self.slot.read().unwrap().snapshot.clone()
     }
 
-    fn check_endpoints(&self, u: VertexId, v: VertexId) {
-        assert!(
-            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
-            "edge ({u}, {v}) out of range for n = {}",
-            self.num_vertices
-        );
+    /// Validates and appends one mutation: weighted snapshots and
+    /// out-of-range endpoints are typed errors (both are reachable from
+    /// untrusted wire requests, so they must not abort the process), and
+    /// a full bounded log answers [`GraphError::DeltaLogFull`] so the
+    /// caller can apply backpressure.
+    fn push_op(&self, op: EdgeMut) -> Result<(), GraphError> {
+        if self.weighted {
+            return Err(GraphError::WeightedMutation);
+        }
+        let (u, v) = match op {
+            EdgeMut::Insert(u, v) | EdgeMut::Delete(u, v) => (u, v),
+        };
+        let worst = u.max(v);
+        if worst as usize >= self.num_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: worst as u64,
+                num_vertices: self.num_vertices,
+            });
+        }
+        let mut log = self.log.lock().unwrap();
+        let capacity = self.log_capacity.load(Ordering::Relaxed);
+        if log.len() >= capacity {
+            return Err(GraphError::DeltaLogFull {
+                pending: log.len(),
+                capacity,
+            });
+        }
+        log.push(op);
+        Ok(())
     }
 
     /// Buffers an edge insert. On undirected graphs both arcs are
     /// inserted together; inserting a present edge is a no-op at
     /// merge time.
-    pub fn insert_edge(&self, u: VertexId, v: VertexId) {
-        self.check_endpoints(u, v);
-        self.log.lock().unwrap().push(EdgeMut::Insert(u, v));
+    pub fn insert_edge(&self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        self.push_op(EdgeMut::Insert(u, v))
     }
 
     /// Buffers an edge delete. On undirected graphs both arcs are
     /// deleted together; deleting an absent edge is a no-op at merge
     /// time.
-    pub fn delete_edge(&self, u: VertexId, v: VertexId) {
-        self.check_endpoints(u, v);
-        self.log.lock().unwrap().push(EdgeMut::Delete(u, v));
+    pub fn delete_edge(&self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        self.push_op(EdgeMut::Delete(u, v))
     }
 
     /// Captures a consistent `(snapshot, overlay, epoch)` view. The slot
@@ -345,38 +407,36 @@ impl DynamicGraph {
     /// therefore detaches from its file on first compaction) and carries
     /// a re-encoded compressed companion iff the old snapshot had one.
     pub fn compact(&self) -> CompactionStats {
-        let _gate = self.compact_gate.lock().unwrap();
+        self.compact_prepare().commit()
+    }
+
+    /// First half of a compaction cycle: takes the compaction gate,
+    /// snapshots the log, and merge-rebuilds the next CSR/CSC pair
+    /// entirely off the publication lock. Nothing is published — readers
+    /// and mutators proceed undisturbed — until the returned
+    /// [`PendingCompaction`] is [committed](PendingCompaction::commit).
+    /// The gate stays held for the lifetime of the pending value, so the
+    /// caller can compute dependent work (e.g. a placement recompute
+    /// over the post-merge view) without racing another compactor.
+    pub fn compact_prepare(&self) -> PendingCompaction<'_> {
+        let gate = self.compact_gate.lock().unwrap();
         let (snapshot, ops) = {
             let slot = self.slot.read().unwrap();
             let log = self.log.lock().unwrap();
             (slot.snapshot.clone(), log.clone())
         };
-        if ops.is_empty() {
-            return CompactionStats {
-                epoch: self.epoch(),
-                ..CompactionStats::default()
-            };
-        }
-        let old_arcs = snapshot.num_edges() as i64;
-        let rebuilt = rebuild_snapshot(&snapshot, &ops, self.directed);
-        let new_arcs = rebuilt.num_edges() as i64;
-        let epoch = {
-            let mut slot = self.slot.write().unwrap();
-            let mut log = self.log.lock().unwrap();
-            // Mutations that arrived while the rebuild ran stay
-            // buffered against the new snapshot.
-            log.drain(..ops.len());
-            slot.snapshot = Arc::new(rebuilt);
-            slot.epoch += 1;
-            slot.epoch
+        let rebuilt = if ops.is_empty() {
+            None
+        } else {
+            Some(Arc::new(rebuild_snapshot(&snapshot, &ops, self.directed)))
         };
-        self.compactions.fetch_add(1, Ordering::Relaxed);
-        let (inserted, deleted) = arc_churn(old_arcs, new_arcs);
-        CompactionStats {
-            applied: ops.len(),
-            arcs_inserted: inserted,
-            arcs_deleted: deleted,
-            epoch,
+        PendingCompaction {
+            dg: self,
+            _gate: gate,
+            old_arcs: snapshot.num_edges() as i64,
+            prior: snapshot,
+            rebuilt,
+            ops_len: ops.len(),
         }
     }
 
@@ -417,6 +477,224 @@ impl DynamicGraph {
         slot.snapshot = Arc::new(mapped);
         slot.epoch += 1;
         Ok(slot.epoch)
+    }
+}
+
+/// A prepared-but-unpublished compaction: the merge-rebuild has run, the
+/// compaction gate is held, and nothing is visible to readers yet. See
+/// [`DynamicGraph::compact_prepare`].
+#[derive(Debug)]
+pub struct PendingCompaction<'a> {
+    dg: &'a DynamicGraph,
+    _gate: MutexGuard<'a, ()>,
+    /// The snapshot the rebuild was based on.
+    prior: Arc<Graph>,
+    /// The merged snapshot (`None` when the log was clean).
+    rebuilt: Option<Arc<Graph>>,
+    ops_len: usize,
+    old_arcs: i64,
+}
+
+impl PendingCompaction<'_> {
+    /// Log entries this cycle will consume (0: clean log, committing is
+    /// a no-op that publishes nothing).
+    pub fn applied(&self) -> usize {
+        self.ops_len
+    }
+
+    /// The snapshot that commit will publish: the merged rebuild, or the
+    /// unchanged prior snapshot when the log was clean. Lets callers
+    /// compute placement work against the post-merge view before
+    /// publication.
+    pub fn snapshot(&self) -> &Arc<Graph> {
+        self.rebuilt.as_ref().unwrap_or(&self.prior)
+    }
+
+    /// Second half of the cycle: swaps the rebuilt snapshot in under the
+    /// publication lock, drains the consumed log prefix (mutations that
+    /// arrived during the rebuild stay buffered against the new
+    /// snapshot), and bumps the epoch. Holding only pointer-sized work
+    /// under the write lock keeps publication O(1).
+    pub fn commit(self) -> CompactionStats {
+        let Some(rebuilt) = self.rebuilt else {
+            return CompactionStats {
+                epoch: self.dg.epoch(),
+                ..CompactionStats::default()
+            };
+        };
+        let new_arcs = rebuilt.num_edges() as i64;
+        let epoch = {
+            let mut slot = self.dg.slot.write().unwrap();
+            let mut log = self.dg.log.lock().unwrap();
+            log.drain(..self.ops_len);
+            slot.snapshot = rebuilt;
+            slot.epoch += 1;
+            slot.epoch
+        };
+        self.dg.compactions.fetch_add(1, Ordering::Relaxed);
+        let (inserted, deleted) = arc_churn(self.old_arcs, new_arcs);
+        CompactionStats {
+            applied: self.ops_len,
+            arcs_inserted: inserted,
+            arcs_deleted: deleted,
+            epoch,
+        }
+    }
+}
+
+/// Coordination state shared between a [`Compactor`]'s callers and its
+/// worker thread: a monotone ticket pair (`requested`/`completed`) under
+/// one mutex, signalled both ways through one condvar.
+#[derive(Debug, Default)]
+struct CompactorState {
+    requested: u64,
+    completed: u64,
+    runs: u64,
+    shutdown: bool,
+    poisoned: bool,
+}
+
+/// A dedicated compaction thread: callers [request](Compactor::request)
+/// cycles and optionally [wait](Compactor::wait) on them, the worker
+/// runs the supplied job once per wakeup — coalescing every ticket
+/// outstanding at that moment into a single run, since one compaction
+/// cycle drains the whole log regardless of how many mutators asked.
+///
+/// This is what takes compaction off the mutation path: a mutator
+/// appends to the delta log, calls [`Compactor::request`], and returns;
+/// the merge-rebuild happens on the worker. [`Compactor::drain`] blocks
+/// until every requested cycle has completed (the shutdown path), and
+/// dropping the compactor drains outstanding tickets before joining the
+/// thread.
+///
+/// If the job panics the compactor is *poisoned*: the panic is contained
+/// to the worker, and every subsequent or blocked waiter panics with a
+/// diagnostic instead of deadlocking.
+#[derive(Debug)]
+pub struct Compactor {
+    state: Arc<(Mutex<CompactorState>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Spawns the worker thread around an arbitrary compaction job. The
+    /// job runs once per coalesced wakeup, on the worker thread only.
+    pub fn spawn<F>(mut job: F) -> Compactor
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let state = Arc::new((Mutex::new(CompactorState::default()), Condvar::new()));
+        let worker_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("vebo-compactor".to_string())
+            .spawn(move || {
+                let (lock, cvar) = &*worker_state;
+                loop {
+                    let target = {
+                        let mut st = lock.lock().unwrap();
+                        while st.requested == st.completed && !st.shutdown {
+                            st = cvar.wait(st).unwrap();
+                        }
+                        if st.requested == st.completed {
+                            break; // shutdown with nothing outstanding
+                        }
+                        st.requested // coalesce all outstanding tickets
+                    };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut job));
+                    let mut st = lock.lock().unwrap();
+                    st.runs += 1;
+                    st.completed = target;
+                    if outcome.is_err() {
+                        st.poisoned = true;
+                    }
+                    cvar.notify_all();
+                }
+            })
+            .expect("spawn compactor thread");
+        Compactor {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// Convenience worker that just calls [`DynamicGraph::compact`] on a
+    /// shared handle each cycle.
+    pub fn for_graph(graph: Arc<DynamicGraph>) -> Compactor {
+        Compactor::spawn(move || {
+            graph.compact();
+        })
+    }
+
+    /// Requests one compaction cycle and returns its ticket without
+    /// blocking. Multiple outstanding tickets coalesce into one run.
+    pub fn request(&self) -> u64 {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        st.requested += 1;
+        let ticket = st.requested;
+        cvar.notify_all();
+        ticket
+    }
+
+    /// Blocks until the cycle holding `ticket` has completed.
+    ///
+    /// Panics if the compaction job panicked (the compactor is
+    /// poisoned) — the alternative is waiting forever.
+    pub fn wait(&self, ticket: u64) {
+        let (lock, cvar) = &*self.state;
+        let poisoned = {
+            let mut st = lock.lock().unwrap();
+            while st.completed < ticket && !st.poisoned {
+                st = cvar.wait(st).unwrap();
+            }
+            st.poisoned
+            // Guard released here: panicking while holding it would
+            // poison the mutex and abort in our own Drop during unwind.
+        };
+        assert!(!poisoned, "compaction thread panicked");
+    }
+
+    /// Requests a cycle and blocks until it completes — the synchronous
+    /// mode used where exact compaction scheduling must be observable
+    /// (deterministic benchmarks, conformance tests).
+    pub fn request_and_wait(&self) {
+        let ticket = self.request();
+        self.wait(ticket);
+    }
+
+    /// Blocks until every requested cycle has completed (the clean
+    /// shutdown path). Panics if the compactor is poisoned.
+    pub fn drain(&self) {
+        let ticket = {
+            let (lock, _) = &*self.state;
+            lock.lock().unwrap().requested
+        };
+        self.wait(ticket);
+    }
+
+    /// Worker runs so far (each run may serve several coalesced
+    /// tickets, so `runs() <= requests`).
+    pub fn runs(&self) -> u64 {
+        let (lock, _) = &*self.state;
+        lock.lock().unwrap().runs
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        {
+            let (lock, cvar) = &*self.state;
+            // Tolerate a poisoned mutex: Drop may run while a waiter's
+            // "compaction thread panicked" panic is already unwinding.
+            let mut st = lock.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            cvar.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            // The worker finishes outstanding tickets before exiting;
+            // its panics were already contained and recorded.
+            let _ = handle.join();
+        }
     }
 }
 
@@ -589,7 +867,7 @@ mod tests {
     #[test]
     fn insert_then_compact_adds_arc() {
         let dg = DynamicGraph::new(small_directed());
-        dg.insert_edge(2, 3);
+        dg.insert_edge(2, 3).unwrap();
         assert!(dg.is_dirty());
         let stats = dg.compact();
         assert_eq!(stats.applied, 1);
@@ -604,8 +882,8 @@ mod tests {
     #[test]
     fn duplicate_insert_and_absent_delete_are_noops() {
         let dg = DynamicGraph::new(small_directed());
-        dg.insert_edge(0, 1); // already present
-        dg.delete_edge(2, 0); // absent
+        dg.insert_edge(0, 1).unwrap(); // already present
+        dg.delete_edge(2, 0).unwrap(); // absent
         let stats = dg.compact();
         assert_eq!(stats.applied, 2);
         assert_eq!(stats.arcs_inserted, 0);
@@ -616,10 +894,10 @@ mod tests {
     #[test]
     fn insert_then_delete_cancels_in_one_batch() {
         let dg = DynamicGraph::new(small_directed());
-        dg.insert_edge(2, 3);
-        dg.delete_edge(2, 3);
-        dg.delete_edge(0, 1);
-        dg.insert_edge(0, 1);
+        dg.insert_edge(2, 3).unwrap();
+        dg.delete_edge(2, 3).unwrap();
+        dg.delete_edge(0, 1).unwrap();
+        dg.insert_edge(0, 1).unwrap();
         let stats = dg.compact();
         assert_eq!(stats.applied, 4);
         assert_eq!(dg.snapshot().out_neighbors(2), &[] as &[VertexId]);
@@ -630,9 +908,9 @@ mod tests {
     fn undirected_mutations_stay_symmetric() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2)], false);
         let dg = DynamicGraph::new(g);
-        dg.insert_edge(2, 3);
-        dg.delete_edge(1, 0); // mirrored form of (0, 1)
-        dg.insert_edge(3, 3); // self-loop: one arc
+        dg.insert_edge(2, 3).unwrap();
+        dg.delete_edge(1, 0).unwrap(); // mirrored form of (0, 1)
+        dg.insert_edge(3, 3).unwrap(); // self-loop: one arc
         dg.compact();
         let g = dg.snapshot();
         assert_eq!(g.csr(), g.csc());
@@ -644,8 +922,8 @@ mod tests {
     #[test]
     fn pin_overlay_matches_future_compaction() {
         let dg = DynamicGraph::new(small_directed());
-        dg.insert_edge(2, 3);
-        dg.delete_edge(0, 2);
+        dg.insert_edge(2, 3).unwrap();
+        dg.delete_edge(0, 2).unwrap();
         let pin = dg.pin();
         assert!(pin.is_dirty());
         assert_eq!(pin.epoch(), 0);
@@ -667,9 +945,9 @@ mod tests {
     fn pinned_epoch_survives_compaction() {
         let dg = DynamicGraph::new(small_directed());
         let pin = dg.pin();
-        dg.insert_edge(2, 3);
+        dg.insert_edge(2, 3).unwrap();
         dg.compact();
-        dg.delete_edge(0, 1);
+        dg.delete_edge(0, 1).unwrap();
         dg.compact();
         // The old pin still reads epoch-0 data.
         assert_eq!(pin.epoch(), 0);
@@ -692,7 +970,7 @@ mod tests {
     #[test]
     fn compressed_companion_is_reencoded() {
         let dg = DynamicGraph::new(small_directed().with_compressed());
-        dg.insert_edge(2, 3);
+        dg.insert_edge(2, 3).unwrap();
         dg.compact();
         let g = dg.snapshot();
         assert_eq!(g.storage_kind(), StorageKind::Compressed);
@@ -711,7 +989,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("dyn-save.vgr");
         let dg = DynamicGraph::new(small_directed());
-        dg.insert_edge(2, 3);
+        dg.insert_edge(2, 3).unwrap();
         let stats = dg.save(&path).unwrap();
         assert_eq!(stats.applied, 1);
         assert!(!dg.is_dirty(), "save must leave the handle delta-free");
@@ -729,7 +1007,7 @@ mod tests {
         let path = dir.join("dyn-adopt.vgr");
         let dg = DynamicGraph::new(small_directed());
         dg.save(&path).unwrap();
-        dg.insert_edge(2, 3);
+        dg.insert_edge(2, 3).unwrap();
         let err = dg.adopt_mapped(&path).unwrap_err();
         assert_eq!(err, GraphError::DirtyDynamicGraph { pending: 1 });
         assert!(err.to_string().contains("1 buffered mutation"), "{err}");
@@ -744,25 +1022,122 @@ mod tests {
     #[test]
     fn mutations_during_compaction_survive_to_next_epoch() {
         let dg = DynamicGraph::new(small_directed());
-        dg.insert_edge(2, 3);
+        dg.insert_edge(2, 3).unwrap();
         dg.compact();
         // A mutation buffered after the compaction's snapshot was taken
         // must not be lost.
-        dg.insert_edge(3, 2);
+        dg.insert_edge(3, 2).unwrap();
         assert_eq!(dg.pending_len(), 1);
         dg.compact();
         assert_eq!(dg.snapshot().out_neighbors(3), &[0, 2]);
     }
 
     #[test]
-    #[should_panic(expected = "unweighted")]
-    fn weighted_snapshot_rejected() {
-        DynamicGraph::new(small_directed().with_hash_weights(4));
+    fn weighted_snapshot_serves_reads_but_refuses_mutations() {
+        // A weighted dataset must be servable through the versioned
+        // handle without aborting the process on the first mutation —
+        // both are reachable from untrusted wire requests.
+        let dg = DynamicGraph::new(small_directed().with_hash_weights(4));
+        assert!(dg.is_weighted());
+        assert_eq!(dg.snapshot().out_neighbors(0), &[1, 2]);
+        let err = dg.insert_edge(2, 3).unwrap_err();
+        assert_eq!(err, GraphError::WeightedMutation);
+        let err = dg.delete_edge(0, 1).unwrap_err();
+        assert!(err.to_string().contains("unweighted"), "{err}");
+        assert!(!dg.is_dirty(), "refused mutations must not reach the log");
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_mutation_panics() {
-        DynamicGraph::new(small_directed()).insert_edge(0, 9);
+    fn out_of_range_mutation_is_a_typed_error() {
+        let dg = DynamicGraph::new(small_directed());
+        let err = dg.insert_edge(0, 9).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 4
+            }
+        );
+        assert!(!dg.is_dirty());
+    }
+
+    #[test]
+    fn bounded_log_answers_full_until_compacted() {
+        let dg = DynamicGraph::new(small_directed());
+        dg.set_log_capacity(2);
+        dg.insert_edge(2, 3).unwrap();
+        dg.insert_edge(3, 2).unwrap();
+        let err = dg.insert_edge(1, 0).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::DeltaLogFull {
+                pending: 2,
+                capacity: 2
+            }
+        );
+        // Backpressure resolves once a compaction drains the log.
+        dg.compact();
+        dg.insert_edge(1, 0).unwrap();
+        assert_eq!(dg.pending_len(), 1);
+    }
+
+    #[test]
+    fn compact_prepare_commit_splits_one_cycle() {
+        let dg = DynamicGraph::new(small_directed());
+        dg.insert_edge(2, 3).unwrap();
+        let pending = dg.compact_prepare();
+        assert_eq!(pending.applied(), 1);
+        // Nothing is visible until commit: readers still see epoch 0.
+        assert_eq!(dg.epoch(), 0);
+        assert_eq!(dg.snapshot().out_neighbors(2), &[] as &[VertexId]);
+        // The post-merge view is available for dependent work.
+        assert_eq!(pending.snapshot().out_neighbors(2), &[3]);
+        let stats = pending.commit();
+        assert_eq!(stats.applied, 1);
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(dg.snapshot().out_neighbors(2), &[3]);
+        assert!(!dg.is_dirty());
+    }
+
+    #[test]
+    fn compactor_runs_cycles_off_thread_and_coalesces() {
+        let dg = Arc::new(DynamicGraph::new(small_directed()));
+        let compactor = Compactor::for_graph(Arc::clone(&dg));
+        dg.insert_edge(2, 3).unwrap();
+        // Several requests while one cycle drains the whole log must
+        // coalesce rather than queue redundant rebuilds.
+        let t1 = compactor.request();
+        let t2 = compactor.request();
+        compactor.wait(t2);
+        compactor.wait(t1); // completed tickets return immediately
+        assert_eq!(dg.snapshot().out_neighbors(2), &[3]);
+        assert!(!dg.is_dirty());
+        assert!(compactor.runs() <= 2);
+
+        dg.delete_edge(2, 3).unwrap();
+        compactor.request_and_wait();
+        assert_eq!(dg.snapshot().out_neighbors(2), &[] as &[VertexId]);
+        compactor.drain(); // nothing outstanding: returns immediately
+    }
+
+    #[test]
+    fn compactor_drop_drains_outstanding_work() {
+        let dg = Arc::new(DynamicGraph::new(small_directed()));
+        {
+            let compactor = Compactor::for_graph(Arc::clone(&dg));
+            dg.insert_edge(2, 3).unwrap();
+            compactor.request();
+            // No wait: drop must finish the requested cycle itself.
+        }
+        assert!(!dg.is_dirty());
+        assert_eq!(dg.snapshot().out_neighbors(2), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "compaction thread panicked")]
+    fn poisoned_compactor_fails_waiters_instead_of_hanging() {
+        let compactor = Compactor::spawn(|| panic!("boom"));
+        let ticket = compactor.request();
+        compactor.wait(ticket);
     }
 }

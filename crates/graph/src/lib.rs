@@ -42,7 +42,10 @@ pub use adjacency::Adjacency;
 pub use compress::{CompressedCsr, CompressionStats, NeighborDecoder, DECODE_BLOCK};
 pub use coo::Coo;
 pub use datasets::{Dataset, DatasetSpec};
-pub use dynamic::{CompactionStats, DeltaOverlay, DynamicGraph, EdgeMut, OverlayHalf, PinnedEpoch};
+pub use dynamic::{
+    CompactionStats, Compactor, DeltaOverlay, DynamicGraph, EdgeMut, OverlayHalf,
+    PendingCompaction, PinnedEpoch,
+};
 pub use graph::{mix64, Graph};
 pub use io::{Format, LoadMode, StreamConfig};
 pub use par::{ParMode, SharedSlice};

@@ -78,6 +78,19 @@ pub enum GraphError {
         /// Buffered mutations standing in the way.
         pending: usize,
     },
+    /// An edge mutation was attempted on a dynamic graph whose snapshot
+    /// carries edge weights. Mutation semantics are defined for
+    /// unweighted graphs only; weighted snapshots stay read-only.
+    WeightedMutation,
+    /// A dynamic graph's bounded delta log is at capacity: the mutation
+    /// was refused so the log cannot grow without bound while compaction
+    /// is behind. Retry after a compaction drains the log.
+    DeltaLogFull {
+        /// Mutations currently buffered.
+        pending: usize,
+        /// The configured log bound.
+        capacity: usize,
+    },
     /// An I/O failure wrapped as a string (keeps the error type `Clone`).
     Io(String),
 }
@@ -141,6 +154,20 @@ impl std::fmt::Display for GraphError {
                     f,
                     "dynamic graph is dirty: {pending} buffered mutation(s) \
                      require a compaction before a delta-free snapshot exists"
+                )
+            }
+            GraphError::WeightedMutation => {
+                write!(
+                    f,
+                    "edge mutations are defined for unweighted graphs only; \
+                     this snapshot carries weights"
+                )
+            }
+            GraphError::DeltaLogFull { pending, capacity } => {
+                write!(
+                    f,
+                    "delta log full: {pending} buffered mutation(s) at \
+                     capacity {capacity}; retry after compaction"
                 )
             }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),

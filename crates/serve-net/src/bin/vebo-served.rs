@@ -48,6 +48,8 @@ mod linux {
         config: ServerConfig,
         ppr_rounds: usize,
         compact_every: usize,
+        compact_blocking: bool,
+        log_cap: Option<usize>,
         drift: f64,
     }
 
@@ -66,6 +68,12 @@ mod linux {
              --profile <name>       ligra | polymer | graphgrind (default polymer)\n  \
              --ppr-rounds <k>       push rounds per `pr` request (default 10)\n  \
              --compact-every <n>    merge the delta log every n mutations (default {DEFAULT_COMPACT_EVERY})\n  \
+             --compact-mode <m>     async | wait (default async): whether the mutation\n                         \
+             that trips --compact-every returns immediately while\n                         \
+             the compaction thread merges, or waits for the cycle\n  \
+             --log-cap <n>          bound the delta log at n buffered mutations;\n                         \
+             mutations beyond it answer `busy` until compaction\n                         \
+             drains the log (default unbounded)\n  \
              --drift <t>            reorder drift threshold (default {DEFAULT_DRIFT_THRESHOLD})\n\n\
              SIGINT drains admitted requests and prints the metrics report."
         );
@@ -81,6 +89,8 @@ mod linux {
             config: ServerConfig::default(),
             ppr_rounds: 10,
             compact_every: DEFAULT_COMPACT_EVERY,
+            compact_blocking: false,
+            log_cap: None,
             drift: DEFAULT_DRIFT_THRESHOLD,
         };
         let mut rest: Vec<String> = Vec::new();
@@ -134,6 +144,24 @@ mod linux {
                         usage()
                     }
                 }
+                "--compact-mode" => {
+                    out.compact_blocking = match next("--compact-mode").as_str() {
+                        "wait" => true,
+                        "async" => false,
+                        other => {
+                            eprintln!("unknown compact mode '{other}' (async | wait)");
+                            usage()
+                        }
+                    }
+                }
+                "--log-cap" => {
+                    let cap: usize = next("--log-cap").parse().unwrap_or_else(|_| usage());
+                    if cap == 0 {
+                        eprintln!("--log-cap must be at least 1");
+                        usage()
+                    }
+                    out.log_cap = Some(cap);
+                }
                 "--drift" => out.drift = next("--drift").parse().unwrap_or_else(|_| usage()),
                 "--help" | "-h" => usage(),
                 other => rest.push(other.to_string()),
@@ -154,8 +182,15 @@ mod linux {
         let exec_mode = exec.mode();
 
         let mut engine = ServeEngine::new(g, args.profile, exec);
-        engine.ppr_rounds = args.ppr_rounds;
+        engine.set_ppr_rounds(args.ppr_rounds);
         engine.configure_compaction(args.compact_every, args.drift);
+        // The daemon defaults to async compaction: the mutation lane's
+        // latency stays independent of graph size, and the bounded log
+        // (when configured) answers `busy` if the compactor falls behind.
+        engine.set_compaction_blocking(args.compact_blocking);
+        if let Some(cap) = args.log_cap {
+            engine.set_log_capacity(cap);
+        }
         let engine = Arc::new(engine);
 
         let server = Server::bind(&args.listen, args.config.clone()).unwrap_or_else(|e| {
@@ -185,9 +220,12 @@ mod linux {
                 std::process::exit(1);
             });
 
+        // Let in-flight and signalled compaction cycles finish before
+        // the final report, so the counters describe a settled engine.
+        engine.drain_compaction();
         eprintln!(
-            "\ndrained: connections={} requests={} busy={} protocol-errors={}",
-            stats.connections, stats.requests, stats.busy, stats.protocol_errors,
+            "\ndrained: connections={} requests={} busy={} protocol-errors={} fair-yields={}",
+            stats.connections, stats.requests, stats.busy, stats.protocol_errors, stats.fair_yields,
         );
         eprint!("{}", metrics_summary(&engine.metrics()));
         eprintln!("pending={}", engine.dynamic().pending_len());

@@ -40,6 +40,13 @@
 //!   never blocks on the engine, so a slow query cannot stall accepts
 //!   and a slow client cannot stall the engine (its outbox just grows
 //!   until admission control answers BUSY).
+//! - Each readiness event reads at most `READ_BUDGET` bytes from its
+//!   connection before yielding back to the loop. A client that floods
+//!   one connection therefore cannot starve the others: the leftover
+//!   bytes stay in the kernel receive buffer and the level-triggered
+//!   registration fires again on the next wait, after every other ready
+//!   connection has had its turn ([`ServerStats::fair_yields`] counts
+//!   these forced yields).
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
@@ -51,7 +58,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use vebo_bench::serve::{Request, ServeEngine};
+use vebo_bench::serve::{Request, ServeEngine, ServeError};
 
 use crate::batch::AdaptiveBatcher;
 use crate::epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
@@ -72,6 +79,12 @@ const MAX_OUTBOX: usize = 64 * 1024;
 /// Upper bound on how long [`Server::run`] keeps flushing after a
 /// shutdown request before abandoning unflushed connections.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Per-readiness-event read bound in bytes. One connection with a deep
+/// kernel receive buffer gets at most this much decoded per epoll wait;
+/// anything beyond waits for the next level-triggered wakeup so other
+/// ready connections are serviced in between.
+const READ_BUDGET: usize = 16 * 1024;
 
 /// Tunables for one [`Server`].
 #[derive(Clone, Debug)]
@@ -107,6 +120,11 @@ pub struct ServerStats {
     /// Connections dropped for protocol violations (oversized frame,
     /// non-UTF-8 payload).
     pub protocol_errors: u64,
+    /// Readiness events that exhausted the per-event read budget
+    /// (`READ_BUDGET`) and yielded with
+    /// bytes still unread — the fairness bound engaging under a
+    /// single-connection flood.
+    pub fair_yields: u64,
 }
 
 /// One admitted request travelling to the dispatcher.
@@ -293,6 +311,12 @@ impl Server {
             loop {
                 match done_rx.try_recv() {
                     Ok(c) => {
+                        // Engine-side refusals (bounded delta log full)
+                        // count into the same BUSY total as
+                        // admission-control refusals.
+                        if matches!(c.reply, Reply::Busy) {
+                            stats.busy += 1;
+                        }
                         if let Some(conn) = conns.get_mut(&c.conn) {
                             conn.ready.insert(c.seq, c.reply);
                             pump_ready(conn);
@@ -374,9 +398,9 @@ fn accept_all(
     }
 }
 
-/// Reads everything available, decodes frames, and either admits each
-/// request to the dispatcher or answers BUSY/err locally — all replies
-/// flow through the sequence-ordered reorder buffer.
+/// Reads up to [`READ_BUDGET`] bytes, decodes frames, and either admits
+/// each request to the dispatcher or answers BUSY/err locally — all
+/// replies flow through the sequence-ordered reorder buffer.
 fn read_conn(
     conn: &mut Conn,
     engine: &ServeEngine,
@@ -387,13 +411,24 @@ fn read_conn(
     stats: &mut ServerStats,
 ) {
     let mut buf = [0u8; 4096];
+    let mut budget = READ_BUDGET;
     loop {
         match conn.stream.read(&mut buf) {
             Ok(0) => {
                 conn.read_closed = true;
                 break;
             }
-            Ok(n) => conn.decoder.push(&buf[..n]),
+            Ok(n) => {
+                conn.decoder.push(&buf[..n]);
+                budget = budget.saturating_sub(n);
+                if budget == 0 {
+                    // Fairness bound: leftover bytes stay in the kernel
+                    // buffer; the level-triggered registration re-fires
+                    // after every other ready connection is serviced.
+                    stats.fair_yields += 1;
+                    break;
+                }
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {
@@ -543,17 +578,24 @@ fn dispatcher_loop(
 
         if work.req.mutates() {
             // Flush the pending query run first so the mutation lands
-            // at its exact position in the global request order.
+            // at its exact position in the global request order. The
+            // engine may refuse the mutation (bounded delta log full,
+            // weighted snapshot): refusals become wire replies, never
+            // dispatcher panics.
             flush(&mut pending, &mut batcher, &mut deadline, false);
-            let resp = engine.handle(&work.req);
+            let reply = match engine.try_handle(&work.req) {
+                Ok(resp) => Reply::Ok {
+                    code: work.req.code().to_string(),
+                    digest: resp.digest,
+                },
+                Err(ServeError::Busy { .. }) => Reply::Busy,
+                Err(e) => Reply::Err(e.to_string()),
+            };
             inflight.fetch_sub(1, Ordering::SeqCst);
             let _ = done_tx.send(Completion {
                 conn: work.conn,
                 seq: work.seq,
-                reply: Reply::Ok {
-                    code: work.req.code().to_string(),
-                    digest: resp.digest,
-                },
+                reply,
             });
             let _ = (&wake_tx).write(&[1]);
         } else {

@@ -1,0 +1,38 @@
+//! CLI contract tests for `vebo-served`: flag validation reachable from
+//! the command line must exit with a usage error, never a panic.
+
+#![cfg(target_os = "linux")]
+
+use std::process::Command;
+
+#[test]
+fn compact_every_zero_is_a_usage_error_not_a_panic() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vebo-served"))
+        .args(["--compact-every", "0"])
+        .output()
+        .expect("spawn vebo-served");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("--compact-every must be at least 1"),
+        "stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "validation fell through to a panic:\n{stderr}"
+    );
+}
+
+#[test]
+fn log_cap_zero_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vebo-served"))
+        .args(["--log-cap", "0"])
+        .output()
+        .expect("spawn vebo-served");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("--log-cap must be at least 1"),
+        "stderr:\n{stderr}"
+    );
+}

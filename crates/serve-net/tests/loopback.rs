@@ -203,6 +203,158 @@ fn malformed_lines_get_err_replies_and_oversized_frames_close() {
 }
 
 #[test]
+fn weighted_snapshot_answers_err_to_mutations_and_keeps_serving() {
+    // A weighted snapshot serves queries but refuses mutations; over the
+    // wire that must be an `err` reply on that request, not a dispatcher
+    // panic that kills the daemon.
+    let g = Dataset::YahooLike.build(0.03).with_hash_weights(16);
+    let profile = SystemProfile::polymer_like();
+    let served = Arc::new(ServeEngine::new(
+        g,
+        profile,
+        Executor::new(profile).with_mode(ExecMode::Parallel),
+    ));
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let run_engine = Arc::clone(&served);
+        let handle = scope.spawn(|| server.run(run_engine, &stop));
+
+        let mut client = NetClient::connect(&addr, Duration::from_secs(10)).unwrap();
+        client.send(&Request::Label { v: 1 }).unwrap();
+        client.send(&Request::AddEdge { u: 1, v: 2 }).unwrap();
+        client.send(&Request::DelEdge { u: 1, v: 2 }).unwrap();
+        client.send(&Request::Label { v: 1 }).unwrap();
+
+        assert!(matches!(client.recv().unwrap(), Reply::Ok { .. }));
+        for _ in 0..2 {
+            match client.recv().unwrap() {
+                Reply::Err(msg) => {
+                    assert!(msg.contains("unweighted"), "unexpected err text: {msg}")
+                }
+                other => panic!("weighted mutation answered {other:?}, want err"),
+            }
+        }
+        // The connection and the engine survived the refusals.
+        assert!(matches!(client.recv().unwrap(), Reply::Ok { .. }));
+
+        stop.store(true, Ordering::SeqCst);
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(stats.protocol_errors, 0);
+    });
+}
+
+#[test]
+fn full_delta_log_answers_busy_and_recovers_after_compaction() {
+    // Bound the delta log at one buffered mutation: a pipelined burst of
+    // distinct inserts must see `busy` while the background compactor
+    // catches up, and the engine keeps answering (no panic, no hang).
+    let mut e = engine(ExecMode::Parallel);
+    e.set_log_capacity(1);
+    e.set_compaction_blocking(false);
+    let served = Arc::new(e);
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let run_engine = Arc::clone(&served);
+        let handle = scope.spawn(|| server.run(run_engine, &stop));
+
+        let mut client = NetClient::connect(&addr, Duration::from_secs(10)).unwrap();
+        let total = 64u32;
+        for i in 0..total {
+            client
+                .send(&Request::AddEdge {
+                    u: 2 * i,
+                    v: 2 * i + 1,
+                })
+                .unwrap();
+        }
+        let (mut oks, mut busy) = (0u64, 0u64);
+        for _ in 0..total {
+            match client.recv().unwrap() {
+                Reply::Ok { .. } => oks += 1,
+                Reply::Busy => busy += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(oks > 0, "every insert was refused");
+        assert!(
+            busy > 0,
+            "a 64-insert burst against log-cap 1 never went busy"
+        );
+
+        // Once the backlog drains, the lane accepts mutations again.
+        served.drain_compaction();
+        client.send(&Request::AddEdge { u: 999, v: 998 }).unwrap();
+        assert!(matches!(client.recv().unwrap(), Reply::Ok { .. }));
+
+        stop.store(true, Ordering::SeqCst);
+        let stats = handle.join().unwrap().unwrap();
+        assert!(stats.busy >= busy);
+    });
+    let m = served.metrics();
+    assert!(m.log_stalls > 0, "refusals were not recorded as log stalls");
+}
+
+#[test]
+fn read_budget_bounds_one_connections_drain_per_event() {
+    // Regression for connection-level fairness: a single connection that
+    // floods more bytes than READ_BUDGET before the readiness loop runs
+    // must be drained across multiple events (counted as fair yields),
+    // with every frame still answered in order.
+    let served = Arc::new(engine(ExecMode::Parallel));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight: 4096,
+            batch_window: Duration::from_micros(100),
+            max_batch: 32,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = AtomicBool::new(false);
+
+    // Connect and write the whole flood BEFORE the readiness loop starts
+    // (the bound listener's backlog completes the handshake): the first
+    // readiness event then deterministically finds far more than one
+    // read budget pending.
+    let mut client = NetClient::connect(&addr, Duration::from_secs(10)).unwrap();
+    let total = 2500usize; // 9 bytes framed each: ~22 KiB, budget is 16 KiB
+    for _ in 0..total {
+        client.send(&Request::Label { v: 3 }).unwrap();
+    }
+
+    std::thread::scope(|scope| {
+        let run_engine = Arc::clone(&served);
+        let handle = scope.spawn(|| server.run(run_engine, &stop));
+
+        let (mut oks, mut busy) = (0usize, 0usize);
+        for _ in 0..total {
+            match client.recv().unwrap() {
+                Reply::Ok { .. } => oks += 1,
+                Reply::Busy => busy += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(oks + busy, total);
+        assert!(oks > 0, "flood was entirely rejected");
+
+        stop.store(true, Ordering::SeqCst);
+        let stats = handle.join().unwrap().unwrap();
+        assert_eq!(stats.requests, total as u64);
+        assert!(
+            stats.fair_yields >= 1,
+            "a {total}-frame flood never exhausted the per-event read budget"
+        );
+    });
+}
+
+#[test]
 fn drain_completes_admitted_requests_before_exit() {
     let served = Arc::new(engine(ExecMode::Parallel));
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
