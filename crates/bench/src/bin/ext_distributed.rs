@@ -71,7 +71,7 @@ fn main() {
         ]);
         let mut baseline_pr = None;
         for s in Strategy::ALL {
-            let row = evaluate(s, &g, &cfg, pr_iters, src);
+            let row = evaluate(s, &g, &cfg, pr_iters, src).expect("validated cluster config");
             let base = *baseline_pr.get_or_insert(row.pr_total);
             t.row(&[
                 row.strategy.into(),
@@ -106,9 +106,13 @@ fn main() {
     for dataset in args.datasets() {
         let g = args.build_dataset(dataset, scale);
         let machines = workers.min(64);
-        let natural = GreedyVertexCut.place(&g, machines);
+        let natural = GreedyVertexCut
+            .place(&g, machines)
+            .expect("worker count capped at 64");
         let order = vertices_by_decreasing_in_degree(&g);
-        let sorted = GreedyVertexCut.place_with_source_order(&g, machines, &order);
+        let sorted = GreedyVertexCut
+            .place_with_source_order(&g, machines, &order)
+            .expect("worker count capped at 64");
         let (rn, rs) = (natural.replication_factor(), sorted.replication_factor());
         t.row(&[
             dataset.name().into(),

@@ -83,17 +83,23 @@ fn main() {
             ]);
         };
         add("Random edges", &mut || {
-            random_edge_placement(&g, workers.min(64))
+            random_edge_placement(&g, workers.min(64)).expect("worker count capped at 64")
         });
         add("Greedy (id order)", &mut || {
-            GreedyVertexCut.place(&g, workers.min(64))
+            GreedyVertexCut
+                .place(&g, workers.min(64))
+                .expect("worker count capped at 64")
         });
         add("Greedy (degree desc)", &mut || {
             let order = vertices_by_decreasing_in_degree(&g);
-            GreedyVertexCut.place_with_source_order(&g, workers.min(64), &order)
+            GreedyVertexCut
+                .place_with_source_order(&g, workers.min(64), &order)
+                .expect("worker count capped at 64")
         });
         add(&format!("Hybrid-cut (deg>{theta})"), &mut || {
-            HybridCut::new(theta).place(&g, workers.min(64))
+            HybridCut::new(theta)
+                .place(&g, workers.min(64))
+                .expect("worker count capped at 64")
         });
         t.print();
         println!();

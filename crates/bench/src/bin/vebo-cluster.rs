@@ -1,0 +1,367 @@
+//! `vebo-cluster` — multi-process BSP cluster runner: one coordinator
+//! plus N worker **processes**, each owning a vertex-cut edge shard and
+//! executing supersteps over real sockets (see
+//! `vebo_distributed::runtime` for the protocol).
+//!
+//! ```text
+//! # coordinator + 3 local workers over loopback, all three algorithms:
+//! cargo run --release -p vebo-bench --bin vebo-cluster -- \
+//!     --workers 3 --partitioner vertex-cut --dataset rmat27 --scale 1
+//!
+//! # serve a read-only script (bfs/label lines), printing the same
+//! # `req .. digest=..` / `batch digest=..` lines as vebo-serve — the
+//! # CI cluster-smoke job diffs the two outputs:
+//! cargo run --release -p vebo-bench --bin vebo-cluster -- \
+//!     --workers 3 --requests batch.txt --dataset rmat27 --scale 1
+//!
+//! # one standalone worker joining a coordinator elsewhere:
+//! cargo run --release -p vebo-bench --bin vebo-cluster -- \
+//!     --join 127.0.0.1:4200 --partitioner vertex-cut --dataset rmat27
+//! ```
+//!
+//! `--workers N` re-executes this same binary N times with `--join`
+//! pointing at an ephemeral loopback port, so the conformance claim the
+//! loopback thread tests make ("single-process ≡ multi-process") is
+//! exercised across genuine process boundaries here. `--verify-local`
+//! additionally reruns every algorithm in-process via
+//! [`vebo_distributed::run_local`] and fails unless the digests are
+//! bit-identical.
+
+#[cfg(not(target_os = "linux"))]
+fn main() {
+    eprintln!("vebo-cluster needs Linux: the coordinator barrier multiplexes on epoll");
+    std::process::exit(2);
+}
+
+#[cfg(target_os = "linux")]
+fn main() {
+    linux::main()
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::net::{SocketAddr, TcpListener};
+    use std::process::{Child, Command, Stdio};
+
+    use vebo_algorithms::default_source;
+    use vebo_bench::serve::{digest_u64s, parse_script, Request};
+    use vebo_bench::HarnessArgs;
+    use vebo_distributed::sync::Coordinator;
+    use vebo_distributed::{run_local, run_worker, ClusterAlgo, Partitioner, RunOutput};
+    use vebo_graph::Dataset;
+
+    struct ClusterArgs {
+        harness: HarnessArgs,
+        workers: usize,
+        join: Option<SocketAddr>,
+        partitioner: Partitioner,
+        pr_iters: u32,
+        bfs_source: Option<u32>,
+        requests_file: Option<String>,
+        verify_local: bool,
+    }
+
+    fn usage() -> ! {
+        eprintln!(
+            "vebo-cluster — BSP cluster runner: coordinator + N worker processes on loopback\n\n\
+             Cluster options (plus every vebo-bench harness option):\n  \
+             --workers <n>       worker processes to spawn on loopback (default 3)\n  \
+             --join <addr>       run one standalone worker against a coordinator instead\n  \
+             --partitioner <p>   vertex-cut | hash | hybrid (default vertex-cut)\n  \
+             --pr-iters <k>      PageRank supersteps (default 10)\n  \
+             --bfs-source <v>    BFS root, modulo n (default: highest-out-degree vertex)\n  \
+             --requests <file>   serve a read-only script (bfs/label lines only),\n                      \
+             printing vebo-serve-compatible digest lines\n  \
+             --verify-local      rerun in-process and require bit-identical digests"
+        );
+        std::process::exit(2)
+    }
+
+    fn parse_args() -> ClusterArgs {
+        let mut out = ClusterArgs {
+            harness: HarnessArgs::default(),
+            workers: 3,
+            join: None,
+            partitioner: Partitioner::VertexCut,
+            pr_iters: 10,
+            bfs_source: None,
+            requests_file: None,
+            verify_local: false,
+        };
+        let mut rest: Vec<String> = Vec::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut next = |flag: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    usage()
+                })
+            };
+            match arg.as_str() {
+                "--workers" => out.workers = next("--workers").parse().unwrap_or_else(|_| usage()),
+                "--join" => {
+                    out.join = Some(next("--join").parse().unwrap_or_else(|_| {
+                        eprintln!("--join wants host:port");
+                        usage()
+                    }))
+                }
+                "--partitioner" => {
+                    let v = next("--partitioner");
+                    out.partitioner = Partitioner::parse(&v).unwrap_or_else(|| {
+                        eprintln!("unknown partitioner '{v}' (vertex-cut | hash | hybrid)");
+                        usage()
+                    });
+                }
+                "--pr-iters" => {
+                    out.pr_iters = next("--pr-iters").parse().unwrap_or_else(|_| usage())
+                }
+                "--bfs-source" => {
+                    out.bfs_source = Some(next("--bfs-source").parse().unwrap_or_else(|_| usage()))
+                }
+                "--requests" => out.requests_file = Some(next("--requests")),
+                "--verify-local" => out.verify_local = true,
+                "--help" | "-h" => usage(),
+                other => rest.push(other.to_string()),
+            }
+        }
+        out.harness = HarnessArgs::parse_from("vebo-cluster", "BSP cluster runner", rest);
+        out
+    }
+
+    /// The algorithm list a request script needs: one BFS per distinct
+    /// source (in first-appearance order) and one CC pass if any label
+    /// lookup occurs. Mutating or PageRank requests are rejected — the
+    /// cluster serves the static shard set.
+    fn script_algos(requests: &[Request], n: usize) -> Vec<ClusterAlgo> {
+        let nv = n.max(1) as u32;
+        let mut algos: Vec<ClusterAlgo> = Vec::new();
+        let mut need_cc = false;
+        for req in requests {
+            match *req {
+                Request::Bfs { seed } => {
+                    let algo = ClusterAlgo::Bfs { source: seed % nv };
+                    if !algos.contains(&algo) {
+                        algos.push(algo);
+                    }
+                }
+                Request::Label { .. } => need_cc = true,
+                ref other => {
+                    eprintln!(
+                        "vebo-cluster serves read-only bfs/label scripts; '{}' is not distributable",
+                        other.code()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        if need_cc {
+            algos.push(ClusterAlgo::Cc);
+        }
+        algos
+    }
+
+    /// Spawns one worker child re-running this binary with `--join`,
+    /// forwarding exactly what the worker needs to rebuild the identical
+    /// graph and placement: dataset, scale, partitioner.
+    fn spawn_worker(
+        addr: SocketAddr,
+        dataset: Dataset,
+        scale: f64,
+        partitioner: Partitioner,
+    ) -> std::io::Result<Child> {
+        let exe = std::env::current_exe()?;
+        Command::new(exe)
+            .arg("--join")
+            .arg(addr.to_string())
+            .arg("--partitioner")
+            .arg(partitioner.name())
+            .arg("--dataset")
+            .arg(dataset.name())
+            .arg("--scale")
+            .arg(scale.to_string())
+            .stdout(Stdio::null())
+            .spawn()
+    }
+
+    fn reap(mut children: Vec<Child>) {
+        for child in &mut children {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    eprintln!("worker exited with {status}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("waiting on worker: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    fn kill_all(children: &mut [Child]) {
+        for child in children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Answers one script request from the finished cluster outputs.
+    fn request_digest(req: &Request, outputs: &[RunOutput], n: usize) -> u64 {
+        let nv = n.max(1) as u32;
+        match *req {
+            Request::Bfs { seed } => {
+                let source = seed % nv;
+                outputs
+                    .iter()
+                    .find(|o| o.algo == (ClusterAlgo::Bfs { source }))
+                    .expect("script planning ran a BFS per distinct source")
+                    .digest
+            }
+            Request::Label { v } => {
+                let labels = &outputs
+                    .iter()
+                    .find(|o| o.algo == ClusterAlgo::Cc)
+                    .expect("script planning ran CC for label lookups")
+                    .values;
+                digest_u64s([labels[(v % nv) as usize]])
+            }
+            _ => unreachable!("script_algos rejected non-bfs/label requests"),
+        }
+    }
+
+    pub fn main() {
+        let args = parse_args();
+        let dataset = args.harness.dataset.unwrap_or(Dataset::Rmat27Like);
+        let scale = args.harness.scale_or(0.25);
+        let g = args.harness.build_dataset(dataset, scale);
+        let n = g.num_vertices();
+
+        if let Some(addr) = args.join {
+            // Standalone worker: its whole life is `run_worker`.
+            if let Err(e) = run_worker(addr, &g, args.partitioner) {
+                eprintln!("worker: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        if args.workers == 0 {
+            eprintln!("--workers must be at least 1");
+            usage();
+        }
+
+        let requests: Option<Vec<Request>> = args.requests_file.as_ref().map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            parse_script(&text).unwrap_or_else(|e| {
+                eprintln!("bad request script: {e}");
+                std::process::exit(2);
+            })
+        });
+        let algos = match &requests {
+            Some(reqs) => script_algos(reqs, n),
+            None => vec![
+                ClusterAlgo::PageRank {
+                    iters: args.pr_iters,
+                },
+                ClusterAlgo::Bfs {
+                    source: args
+                        .bfs_source
+                        .map(|v| v % n.max(1) as u32)
+                        .unwrap_or_else(|| default_source(&g)),
+                },
+                ClusterAlgo::Cc,
+            ],
+        };
+        if algos.is_empty() {
+            eprintln!("request script contains no bfs/label requests — nothing to run");
+            std::process::exit(2);
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        eprintln!(
+            "cluster: {} workers | {} partitioner | {} (n = {n}, m = {}) | coordinator {addr}",
+            args.workers,
+            args.partitioner.name(),
+            dataset.name(),
+            g.num_edges(),
+        );
+
+        let mut children: Vec<Child> = Vec::with_capacity(args.workers);
+        for _ in 0..args.workers {
+            match spawn_worker(addr, dataset, scale, args.partitioner) {
+                Ok(child) => children.push(child),
+                Err(e) => {
+                    eprintln!("spawning worker: {e}");
+                    kill_all(&mut children);
+                    std::process::exit(1);
+                }
+            }
+        }
+        let outputs = Coordinator::accept(&listener, args.workers)
+            .and_then(|mut c| c.run(n, &algos))
+            .unwrap_or_else(|e| {
+                eprintln!("coordinator: {e}");
+                kill_all(&mut children);
+                std::process::exit(1);
+            });
+        reap(children);
+
+        match &requests {
+            Some(reqs) => {
+                // vebo-serve's exact output shape, so CI can diff the two.
+                let digests: Vec<u64> = reqs
+                    .iter()
+                    .map(|r| request_digest(r, &outputs, n))
+                    .collect();
+                for (i, (req, digest)) in reqs.iter().zip(&digests).enumerate() {
+                    println!("req {i:>4} {:<5} digest={digest:016x}", req.code());
+                }
+                println!("batch digest={:016x}", digest_u64s(digests.iter().copied()));
+            }
+            None => {
+                for out in &outputs {
+                    println!(
+                        "cluster {:<8} digest={:016x} supersteps={} sent={}",
+                        out.algo.name(),
+                        out.digest,
+                        out.supersteps,
+                        out.values_sent,
+                    );
+                }
+            }
+        }
+
+        if args.verify_local {
+            let mut ok = true;
+            for out in &outputs {
+                let local =
+                    run_local(&g, args.partitioner, args.workers, out.algo).unwrap_or_else(|e| {
+                        eprintln!("verify-local: {e}");
+                        std::process::exit(1);
+                    });
+                if local.digest != out.digest || local.values != out.values {
+                    eprintln!(
+                        "verify-local MISMATCH {}: cluster {:016x} vs local {:016x}",
+                        out.algo.name(),
+                        out.digest,
+                        local.digest
+                    );
+                    ok = false;
+                } else {
+                    eprintln!(
+                        "verify-local OK {:<8} digest={:016x}",
+                        out.algo.name(),
+                        out.digest
+                    );
+                }
+            }
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -248,42 +248,15 @@ impl BatchReport {
     /// Order-sensitive digest over all completed response digests — one
     /// number to diff across executor backends.
     pub fn combined_digest(&self) -> u64 {
-        let mut h = Fnv::new();
-        for r in self.responses.iter().flatten() {
-            h.write_u64(r.digest);
-        }
-        h.finish()
-    }
-}
-
-/// FNV-1a, 64 bit — tiny, dependency-free, stable across platforms.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn write_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    fn finish(&self) -> u64 {
-        self.0
+        digest_u64s(self.responses.iter().flatten().map(|r| r.digest))
     }
 }
 
 /// Order-sensitive FNV-1a digest over a `u64` stream — the digest every
 /// response reduces to, exported so network clients can recompute the
-/// combined batch digest the in-process harness prints.
-pub fn digest_u64s(values: impl IntoIterator<Item = u64>) -> u64 {
-    let mut h = Fnv::new();
-    for v in values {
-        h.write_u64(v);
-    }
-    h.finish()
-}
+/// combined batch digest the in-process harness prints. Re-exported from
+/// [`vebo_graph::digest`], where the cluster runtime shares it.
+pub use vebo_graph::digest_u64s;
 
 /// Forward-push personalized-PageRank operator: `acc[dst] += contrib[src]`.
 struct PushOp<'a> {
@@ -1015,6 +988,17 @@ pub fn metrics_summary(m: &ShardMetrics) -> String {
             m.log_stalls,
         ));
     }
+    if m.supersteps > 0 {
+        out.push_str(&format!(
+            "supersteps={} sync-sent={} sync-received={} superstep p50 {} | p99 {} | max {}\n",
+            m.supersteps,
+            m.sync_values_sent,
+            m.sync_values_received,
+            fmt_ns(m.superstep_quantile(0.50)),
+            fmt_ns(m.superstep_quantile(0.99)),
+            fmt_ns(m.superstep_quantile(1.0)),
+        ));
+    }
     out
 }
 
@@ -1056,6 +1040,52 @@ mod tests {
         let g = Dataset::YahooLike.build(0.03);
         let profile = SystemProfile::polymer_like();
         ServeEngine::new(g, profile, Executor::new(profile).with_mode(mode))
+    }
+
+    #[test]
+    fn metrics_summary_renders_dashes_for_empty_series() {
+        // A mutation-only served run reaches the summary with empty
+        // latency/compaction series: each empty quantile renders `-`,
+        // and the superstep block only appears once a cluster ran.
+        let sink = ShardMetricsSink::new();
+        sink.record_log_stall(2);
+        let s = metrics_summary(&sink.snapshot());
+        assert!(
+            s.starts_with("latency p50 - | p95 - | p99 - | max -\n"),
+            "{s}"
+        );
+        assert!(
+            s.contains("compaction p50 - | p99 - | max - log-depth-max=2 log-stalls=1"),
+            "{s}"
+        );
+        assert!(!s.contains("supersteps="), "{s}");
+        sink.record_superstep(4, 4, 2_000_000);
+        let s = metrics_summary(&sink.snapshot());
+        assert!(
+            s.contains("supersteps=1 sync-sent=4 sync-received=4"),
+            "{s}"
+        );
+        assert!(s.contains("superstep p50 2.00ms"), "{s}");
+    }
+
+    #[test]
+    fn mutation_only_runs_leave_query_kind_quantiles_empty() {
+        let e = engine(ExecMode::Sequential);
+        let reqs = vec![
+            Request::AddEdge { u: 1, v: 2 },
+            Request::DelEdge { u: 1, v: 2 },
+        ];
+        e.run_batch(&reqs, 1);
+        let m = e.metrics();
+        assert!(m.kind_quantile("add", 0.5).is_some());
+        for code in ["pr", "prd", "bfs", "label"] {
+            assert_eq!(m.kind_quantile(code, 0.5), None, "{code}");
+        }
+        // The rendered summary has no per-kind line for unseen kinds and
+        // no bogus numbers for them.
+        let s = metrics_summary(&m);
+        assert!(!s.contains("latency[pr "), "{s}");
+        assert!(!s.contains("latency[bfs"), "{s}");
     }
 
     #[test]

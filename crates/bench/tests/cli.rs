@@ -1,5 +1,8 @@
-//! CLI contract tests for `vebo-serve`: flag validation reachable from
-//! the command line must exit with a usage error, never a panic.
+//! CLI contract tests for `vebo-serve` and `vebo-cluster`: flag
+//! validation reachable from the command line must exit with a usage
+//! error, never a panic — and the cluster bin's script mode must print
+//! digests bit-identical to the single-process `vebo-serve` run, which
+//! is exactly what the CI `cluster-smoke` job diffs.
 
 use std::process::Command;
 
@@ -30,4 +33,98 @@ fn unknown_compact_mode_is_a_usage_error() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
     assert!(stderr.contains("unknown compact mode"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn cluster_unknown_partitioner_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vebo-cluster"))
+        .args(["--partitioner", "metis"])
+        .output()
+        .expect("spawn vebo-cluster");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(stderr.contains("unknown partitioner"), "stderr:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn cluster_rejects_mutating_scripts() {
+    let script = write_script("mutating", "bfs 3\nadd 1 2\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_vebo-cluster"))
+        .args(["--workers", "2", "--dataset", "twitter", "--scale", "0.02"])
+        .args(["--requests", script.to_str().unwrap()])
+        .output()
+        .expect("spawn vebo-cluster");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr:\n{stderr}");
+    assert!(stderr.contains("not distributable"), "stderr:\n{stderr}");
+}
+
+/// The whole point of the bin: coordinator + worker *processes* over
+/// real loopback sockets reproduce the in-process digests bit-for-bit.
+#[cfg(target_os = "linux")]
+#[test]
+fn cluster_verify_local_passes_across_process_boundaries() {
+    let out = Command::new(env!("CARGO_BIN_EXE_vebo-cluster"))
+        .args(["--workers", "2", "--partitioner", "vertex-cut"])
+        .args(["--dataset", "twitter", "--scale", "0.03"])
+        .args(["--pr-iters", "4", "--verify-local"])
+        .output()
+        .expect("spawn vebo-cluster");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    for algo in ["pagerank", "bfs", "cc"] {
+        assert!(
+            stdout.contains(&format!("cluster {algo}")),
+            "missing {algo} line:\n{stdout}"
+        );
+    }
+    assert_eq!(stderr.matches("verify-local OK").count(), 3, "{stderr}");
+}
+
+/// Script mode must be line-for-line identical to the single-process
+/// `vebo-serve` run on the same dataset — the CI cluster-smoke diff.
+#[cfg(target_os = "linux")]
+#[test]
+fn cluster_script_digests_match_vebo_serve() {
+    let script = write_script("conformance", "bfs 3\nlabel 7\nbfs 3\nlabel 4099\nbfs 41\n");
+    let dataset = ["--dataset", "twitter", "--scale", "0.03"];
+    let serve = Command::new(env!("CARGO_BIN_EXE_vebo-serve"))
+        .args(dataset)
+        .args(["--requests", script.to_str().unwrap(), "--concurrency", "1"])
+        .output()
+        .expect("spawn vebo-serve");
+    assert!(
+        serve.status.success(),
+        "vebo-serve: {}",
+        String::from_utf8_lossy(&serve.stderr)
+    );
+    for partitioner in ["vertex-cut", "hash"] {
+        let cluster = Command::new(env!("CARGO_BIN_EXE_vebo-cluster"))
+            .args(dataset)
+            .args(["--workers", "3", "--partitioner", partitioner])
+            .args(["--requests", script.to_str().unwrap()])
+            .output()
+            .expect("spawn vebo-cluster");
+        assert!(
+            cluster.status.success(),
+            "vebo-cluster: {}",
+            String::from_utf8_lossy(&cluster.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&serve.stdout),
+            String::from_utf8_lossy(&cluster.stdout),
+            "{partitioner}: 3-process cluster digests diverge from single-process serve"
+        );
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn write_script(tag: &str, text: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("vebo-cluster-cli-{tag}-{}.txt", std::process::id()));
+    std::fs::write(&path, text).expect("write request script");
+    path
 }

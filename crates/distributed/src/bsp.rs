@@ -25,6 +25,7 @@
 //! shared-memory systems, while replication adds the communication term
 //! that §VII conjectures VEBO slightly inflates.
 
+use crate::error::DistributedError;
 use vebo_graph::{Graph, VertexId};
 use vebo_partition::VertexAssignment;
 
@@ -54,6 +55,18 @@ impl Default for ClusterConfig {
             per_value_cost: 4.0,
             superstep_latency: 1_000.0,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Rejects a zero-worker cluster: every per-worker maximum and
+    /// average in the model (and the real runtime's shard division)
+    /// is undefined over an empty cluster.
+    pub fn validate(&self) -> Result<(), DistributedError> {
+        if self.workers == 0 {
+            return Err(DistributedError::ZeroWorkers);
+        }
+        Ok(())
     }
 }
 
@@ -135,7 +148,8 @@ pub fn superstep(
     asg: &VertexAssignment,
     cfg: &ClusterConfig,
     active: &[VertexId],
-) -> SuperstepReport {
+) -> Result<SuperstepReport, DistributedError> {
+    cfg.validate()?;
     assert_eq!(asg.num_vertices(), g.num_vertices());
     assert_eq!(asg.num_partitions(), cfg.workers);
     let w = cfg.workers;
@@ -166,14 +180,14 @@ pub fn superstep(
     let comm_time = (0..w)
         .map(|i| (sent[i] + received[i]) as f64 * cfg.per_value_cost)
         .fold(0.0, f64::max);
-    SuperstepReport {
+    Ok(SuperstepReport {
         compute,
         sent,
         received,
         compute_time,
         comm_time,
         total_time: compute_time + comm_time + cfg.superstep_latency,
-    }
+    })
 }
 
 /// Simulates `iters` PageRank-style supersteps: every vertex is active in
@@ -183,16 +197,22 @@ pub fn run_pagerank(
     asg: &VertexAssignment,
     cfg: &ClusterConfig,
     iters: usize,
-) -> BspRun {
+) -> Result<BspRun, DistributedError> {
     let active: Vec<VertexId> = g.vertices().collect();
-    let step = superstep(g, asg, cfg, &active);
+    let step = superstep(g, asg, cfg, &active)?;
     let supersteps = vec![step; iters];
-    aggregate(supersteps)
+    Ok(aggregate(supersteps))
 }
 
 /// Simulates a BFS from `source`: superstep `i` activates frontier `i`
 /// (computed exactly on the graph), until the frontier empties.
-pub fn run_bfs(g: &Graph, asg: &VertexAssignment, cfg: &ClusterConfig, source: VertexId) -> BspRun {
+pub fn run_bfs(
+    g: &Graph,
+    asg: &VertexAssignment,
+    cfg: &ClusterConfig,
+    source: VertexId,
+) -> Result<BspRun, DistributedError> {
+    cfg.validate()?;
     let n = g.num_vertices();
     assert!((source as usize) < n, "BFS source out of range");
     let mut visited = vec![false; n];
@@ -200,7 +220,7 @@ pub fn run_bfs(g: &Graph, asg: &VertexAssignment, cfg: &ClusterConfig, source: V
     let mut frontier = vec![source];
     let mut supersteps = Vec::new();
     while !frontier.is_empty() {
-        supersteps.push(superstep(g, asg, cfg, &frontier));
+        supersteps.push(superstep(g, asg, cfg, &frontier)?);
         let mut next = Vec::new();
         for &u in &frontier {
             for &v in g.out_neighbors(u) {
@@ -212,7 +232,7 @@ pub fn run_bfs(g: &Graph, asg: &VertexAssignment, cfg: &ClusterConfig, source: V
         }
         frontier = next;
     }
-    aggregate(supersteps)
+    Ok(aggregate(supersteps))
 }
 
 fn aggregate(supersteps: Vec<SuperstepReport>) -> BspRun {
@@ -245,7 +265,7 @@ mod tests {
     fn single_worker_has_no_communication() {
         let g = Dataset::LiveJournalLike.build(0.05);
         let asg = VertexAssignment::new(vec![0; g.num_vertices()], 1);
-        let run = run_pagerank(&g, &asg, &cfg(1), 3);
+        let run = run_pagerank(&g, &asg, &cfg(1), 3).unwrap();
         assert_eq!(run.total_messages(), 0);
         assert_eq!(run.comm_time, 0.0);
         // All m edges + n vertices per superstep on the single worker.
@@ -257,7 +277,7 @@ mod tests {
     fn compute_conserves_work_across_workers() {
         let g = Dataset::TwitterLike.build(0.05);
         let asg = hash_partition(g.num_vertices(), 16);
-        let step = superstep(&g, &asg, &cfg(16), &g.vertices().collect::<Vec<_>>());
+        let step = superstep(&g, &asg, &cfg(16), &g.vertices().collect::<Vec<_>>()).unwrap();
         let total: f64 = step.compute.iter().sum();
         let expected = (g.num_edges() + g.num_vertices()) as f64;
         assert!((total - expected).abs() < 1e-9);
@@ -267,7 +287,7 @@ mod tests {
     fn sent_equals_received_globally() {
         let g = Dataset::OrkutLike.build(0.05);
         let asg = hash_partition(g.num_vertices(), 8);
-        let step = superstep(&g, &asg, &cfg(8), &g.vertices().collect::<Vec<_>>());
+        let step = superstep(&g, &asg, &cfg(8), &g.vertices().collect::<Vec<_>>()).unwrap();
         assert_eq!(
             step.sent.iter().sum::<u64>(),
             step.received.iter().sum::<u64>()
@@ -280,7 +300,7 @@ mod tests {
         // exactly the assignment's comm_volume.
         let g = Dataset::LiveJournalLike.build(0.05);
         let asg = hash_partition(g.num_vertices(), 8);
-        let step = superstep(&g, &asg, &cfg(8), &g.vertices().collect::<Vec<_>>());
+        let step = superstep(&g, &asg, &cfg(8), &g.vertices().collect::<Vec<_>>()).unwrap();
         assert_eq!(step.messages(), asg.quality(&g).comm_volume);
     }
 
@@ -290,7 +310,7 @@ mod tests {
         let edges: Vec<(VertexId, VertexId)> = (0..9).map(|v| (v, v + 1)).collect();
         let g = Graph::from_edges(10, &edges, true);
         let asg = VertexAssignment::new((0..10).map(|v| v % 2).collect(), 2);
-        let run = run_bfs(&g, &asg, &cfg(2), 0);
+        let run = run_bfs(&g, &asg, &cfg(2), 0).unwrap();
         assert_eq!(run.supersteps.len(), 10); // 10 frontiers (last empty-successor)
                                               // Alternating assignment: every edge crosses workers.
         assert_eq!(run.total_messages(), 9);
@@ -305,8 +325,8 @@ mod tests {
         let bal = VertexAssignment::from_bounds(&PartitionBounds::edge_balanced(&g, w));
         let skew =
             VertexAssignment::from_bounds(&PartitionBounds::vertex_balanced(g.num_vertices(), w));
-        let rb = run_pagerank(&g, &bal, &cfg(w), 1);
-        let rs = run_pagerank(&g, &skew, &cfg(w), 1);
+        let rb = run_pagerank(&g, &bal, &cfg(w), 1).unwrap();
+        let rs = run_pagerank(&g, &skew, &cfg(w), 1).unwrap();
         assert!(
             rb.compute_time < rs.compute_time,
             "bal {} skew {}",
@@ -324,7 +344,7 @@ mod tests {
             superstep_latency: 7.0,
             ..Default::default()
         };
-        let run = run_pagerank(&g, &asg, &c, 5);
+        let run = run_pagerank(&g, &asg, &c, 5).unwrap();
         let lat: f64 = 5.0 * 7.0;
         assert!(run.total_time >= lat);
         let raw: f64 = run.compute_time + run.comm_time;
@@ -335,8 +355,28 @@ mod tests {
     fn imbalance_of_uniform_assignment_is_small() {
         let g = Dataset::UsaRoadLike.build(0.1);
         let asg = hash_partition(g.num_vertices(), 8);
-        let run = run_pagerank(&g, &asg, &cfg(8), 1);
+        let run = run_pagerank(&g, &asg, &cfg(8), 1).unwrap();
         assert!(run.compute_imbalance() < 1.1, "{}", run.compute_imbalance());
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        let g = Graph::from_edges(2, &[(0, 1)], true);
+        let asg = VertexAssignment::new(vec![0, 0], 1);
+        let bad = cfg(0);
+        assert_eq!(bad.validate(), Err(DistributedError::ZeroWorkers));
+        assert_eq!(
+            superstep(&g, &asg, &bad, &[0]).unwrap_err(),
+            DistributedError::ZeroWorkers
+        );
+        assert_eq!(
+            run_pagerank(&g, &asg, &bad, 1).unwrap_err(),
+            DistributedError::ZeroWorkers
+        );
+        assert_eq!(
+            run_bfs(&g, &asg, &bad, 0).unwrap_err(),
+            DistributedError::ZeroWorkers
+        );
     }
 
     #[test]
@@ -344,7 +384,7 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1)], true);
         let asg = VertexAssignment::new(vec![0, 1, 0], 2);
         // Source 2 has no out-edges: one superstep, no messages.
-        let run = run_bfs(&g, &asg, &cfg(2), 2);
+        let run = run_bfs(&g, &asg, &cfg(2), 2).unwrap();
         assert_eq!(run.supersteps.len(), 1);
         assert_eq!(run.total_messages(), 0);
     }

@@ -1,0 +1,70 @@
+//! Typed configuration errors for the distributed layer.
+//!
+//! Replica sets are `u64` bitmasks, so every edge-placement strategy has
+//! a hard 64-machine ceiling — and a zero-machine cluster has no valid
+//! placement at all. Both used to be `assert!`s (or worse, reachable
+//! divide-by-zero paths in the BSP model); they are ordinary input
+//! validation, so they surface as values.
+
+/// A malformed cluster/placement configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistributedError {
+    /// The machine count is outside `1..=64` (replica sets are `u64`
+    /// bitmasks, so more than 64 machines cannot be represented; zero
+    /// machines cannot place anything).
+    MachineCount {
+        /// The rejected machine count.
+        machines: usize,
+    },
+    /// A [`crate::ClusterConfig`] with zero workers: the BSP model's
+    /// per-worker maxima and averages are undefined over an empty
+    /// cluster.
+    ZeroWorkers,
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::MachineCount { machines } => write!(
+                f,
+                "machine count must be in 1..=64 (replica sets are u64 bitmasks), got {machines}"
+            ),
+            DistributedError::ZeroWorkers => {
+                write!(f, "cluster config needs at least one worker")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+/// Validates an edge-placement machine count against the `u64` replica
+/// bitmask representation.
+pub(crate) fn check_machines(machines: usize) -> Result<(), DistributedError> {
+    if (1..=64).contains(&machines) {
+        Ok(())
+    } else {
+        Err(DistributedError::MachineCount { machines })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_bound() {
+        let e = DistributedError::MachineCount { machines: 65 };
+        assert!(e.to_string().contains("1..=64"));
+        assert!(e.to_string().contains("65"));
+        assert!(DistributedError::ZeroWorkers.to_string().contains("worker"));
+    }
+
+    #[test]
+    fn check_machines_bounds() {
+        assert!(check_machines(0).is_err());
+        assert!(check_machines(1).is_ok());
+        assert!(check_machines(64).is_ok());
+        assert!(check_machines(65).is_err());
+    }
+}

@@ -17,6 +17,7 @@
 //! On power-law graphs this caps replication at the few hubs, which is
 //! precisely the skew VEBO also exploits (its phase 1 places hubs first).
 
+use crate::error::{check_machines, DistributedError};
 use crate::vertex_cut::EdgePlacement;
 use vebo_graph::{mix64, Graph};
 
@@ -40,12 +41,10 @@ impl HybridCut {
         HybridCut { threshold }
     }
 
-    /// Places every arc on one of `machines` machines.
-    pub fn place(&self, g: &Graph, machines: usize) -> EdgePlacement {
-        assert!(
-            (1..=64).contains(&machines),
-            "machine count must be in 1..=64"
-        );
+    /// Places every arc on one of `machines` machines. Rejects machine
+    /// counts outside `1..=64` (replica sets are `u64` bitmasks).
+    pub fn place(&self, g: &Graph, machines: usize) -> Result<EdgePlacement, DistributedError> {
+        check_machines(machines)?;
         let n = g.num_vertices();
         let mut edge_machine = vec![0u32; g.num_edges()];
         let mut replicas = vec![0u64; n];
@@ -66,7 +65,7 @@ impl HybridCut {
                 idx += 1;
             }
         }
-        EdgePlacement::from_parts(edge_machine, replicas, loads)
+        Ok(EdgePlacement::from_parts(edge_machine, replicas, loads))
     }
 }
 
@@ -78,7 +77,7 @@ mod tests {
     #[test]
     fn loads_sum_to_edge_count() {
         let g = Dataset::TwitterLike.build(0.05);
-        let p = HybridCut::default().place(&g, 16);
+        let p = HybridCut::default().place(&g, 16).unwrap();
         assert_eq!(p.loads().iter().sum::<u64>(), g.num_edges() as u64);
     }
 
@@ -87,7 +86,7 @@ mod tests {
         // With an infinite threshold every arc lands on hash(dst): each
         // destination's in-edges are on exactly one machine.
         let g = Dataset::LiveJournalLike.build(0.05);
-        let p = HybridCut::new(usize::MAX).place(&g, 8);
+        let p = HybridCut::new(usize::MAX).place(&g, 8).unwrap();
         for v in g.vertices() {
             if g.in_degree(v) > 0 && g.out_degree(v) == 0 {
                 assert_eq!(p.replicas_of(v).count_ones(), 1, "vertex {v}");
@@ -101,7 +100,7 @@ mod tests {
         // hash(source); the sources stay single-replica.
         let edges: Vec<(VertexId, VertexId)> = (1..41).map(|u| (u, 0)).collect();
         let g = Graph::from_edges(41, &edges, true);
-        let p = HybridCut::new(10).place(&g, 8);
+        let p = HybridCut::new(10).place(&g, 8).unwrap();
         for u in 1..41u32 {
             assert_eq!(p.replicas_of(u).count_ones(), 1, "source {u}");
         }
@@ -118,9 +117,13 @@ mod tests {
         // vertices on both sides of it.
         let g = Dataset::TwitterLike.build(0.2);
         let theta = (g.num_edges() / g.num_vertices()).max(1);
-        let hybrid = HybridCut::new(theta).place(&g, 16).replication_factor();
+        let hybrid = HybridCut::new(theta)
+            .place(&g, 16)
+            .unwrap()
+            .replication_factor();
         let uniform = HybridCut::new(usize::MAX)
             .place(&g, 16)
+            .unwrap()
             .replication_factor();
         assert!(hybrid < uniform, "hybrid {hybrid} uniform {uniform}");
     }
@@ -135,9 +138,20 @@ mod tests {
     }
 
     #[test]
+    fn bad_machine_counts_are_typed_errors() {
+        let g = Graph::from_edges(2, &[(0, 1)], true);
+        for machines in [0, 65] {
+            assert_eq!(
+                HybridCut::default().place(&g, machines),
+                Err(DistributedError::MachineCount { machines })
+            );
+        }
+    }
+
+    #[test]
     fn single_machine() {
         let g = Dataset::YahooLike.build(0.03);
-        let p = HybridCut::default().place(&g, 1);
+        let p = HybridCut::default().place(&g, 1).unwrap();
         assert!((p.replication_factor() - 1.0).abs() < 1e-12);
     }
 }

@@ -24,7 +24,17 @@
 //!   regime §VII asks about;
 //! * the §VII **study harness** ([`study`]) that runs PageRank and BFS
 //!   supersteps over every strategy and reports replication factor,
-//!   cut fraction, balance, compute makespan and total simulated time.
+//!   cut fraction, balance, compute makespan and total simulated time;
+//! * a real **multi-process cluster runtime** — [`runtime`] (shard
+//!   plans, worker superstep loop, the in-process [`run_local`]
+//!   reference), [`transport`] (length-prefixed message framing and the
+//!   worker↔worker mesh), and [`sync`] (the coordinator: join/roster
+//!   handshake, epoll-multiplexed superstep barrier, final value
+//!   collection). PageRank, BFS and CC run mirror→master gather /
+//!   master→mirror scatter supersteps over vertex-cut, hash, or hybrid
+//!   edge shards, and the socket cluster is proven digest-identical to
+//!   [`run_local`] by the loopback conformance suite. The `vebo-cluster`
+//!   bin (in `vebo-bench`) drives it across process boundaries.
 //!
 //! Vertex *assignments* (who owns a vertex) use
 //! [`vebo_partition::VertexAssignment`]; the edge-placement partitioners
@@ -35,17 +45,29 @@
 #![warn(missing_docs)]
 
 pub mod bsp;
+pub mod error;
 pub mod fennel;
 pub mod hash;
 pub mod hybrid_cut;
 pub mod ldg;
+pub mod runtime;
 pub mod study;
+#[cfg(target_os = "linux")]
+pub mod sync;
+pub mod transport;
 pub mod vertex_cut;
 
 pub use bsp::{run_bfs, run_pagerank, BspRun, ClusterConfig, SuperstepReport};
+pub use error::DistributedError;
 pub use fennel::Fennel;
 pub use hash::hash_partition;
 pub use hybrid_cut::HybridCut;
 pub use ldg::Ldg;
+pub use runtime::{
+    run_local, run_worker, ClusterAlgo, ClusterPlan, Partitioner, RunOutput, WorkerState,
+};
 pub use study::{evaluate, Strategy, StudyRow};
+#[cfg(target_os = "linux")]
+pub use sync::Coordinator;
+pub use transport::{FramedConn, Mesh, Msg, CLUSTER_MAX_FRAME};
 pub use vertex_cut::{EdgePlacement, GreedyVertexCut};

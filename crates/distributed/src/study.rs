@@ -11,6 +11,7 @@
 //! classification.
 
 use crate::bsp::{run_bfs, run_pagerank, ClusterConfig};
+use crate::error::DistributedError;
 use crate::fennel::Fennel;
 use crate::hash::hash_partition;
 use crate::ldg::Ldg;
@@ -126,10 +127,11 @@ pub fn evaluate(
     cfg: &ClusterConfig,
     pr_iters: usize,
     bfs_source: VertexId,
-) -> StudyRow {
+) -> Result<StudyRow, DistributedError> {
+    cfg.validate()?;
     let (h, asg) = strategy.realize(g, cfg.workers);
     let q = asg.quality(&h);
-    let pr = run_pagerank(&h, &asg, cfg, pr_iters);
+    let pr = run_pagerank(&h, &asg, cfg, pr_iters)?;
     // The strategy may have relabeled vertices; follow the source through
     // the reordering so every strategy starts BFS at the same vertex.
     let src = match strategy {
@@ -139,8 +141,8 @@ pub fn evaluate(
         }
         _ => bfs_source,
     };
-    let bfs = run_bfs(&h, &asg, cfg, src);
-    StudyRow {
+    let bfs = run_bfs(&h, &asg, cfg, src)?;
+    Ok(StudyRow {
         strategy: strategy.name(),
         replication_factor: q.replication_factor,
         cut_fraction: q.cut_fraction(),
@@ -151,7 +153,7 @@ pub fn evaluate(
         pr_total: pr.total_time,
         bfs_total: bfs.total_time,
         bfs_supersteps: bfs.supersteps.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -181,7 +183,7 @@ mod tests {
         let g = Dataset::LiveJournalLike.build(0.05);
         let src = default_source(&g);
         for s in Strategy::ALL {
-            let row = evaluate(s, &g, &cluster(), 2, src);
+            let row = evaluate(s, &g, &cluster(), 2, src).unwrap();
             assert!(row.replication_factor >= 1.0, "{}", row.strategy);
             assert!(row.cut_fraction >= 0.0 && row.cut_fraction <= 1.0);
             assert!(row.pr_total > 0.0);
@@ -197,7 +199,7 @@ mod tests {
         let g = Dataset::TwitterLike.build(0.1);
         let cfg = cluster();
         let src = default_source(&g);
-        let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 1, src);
+        let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 1, src).unwrap();
         assert!(
             vebo.edge_imbalance < 1.01,
             "VEBO edge imbalance {}",
@@ -215,8 +217,8 @@ mod tests {
         let g = Dataset::TwitterLike.build(0.1);
         let cfg = cluster();
         let src = default_source(&g);
-        let orig = evaluate(Strategy::ChunkOriginal, &g, &cfg, 1, src);
-        let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 1, src);
+        let orig = evaluate(Strategy::ChunkOriginal, &g, &cfg, 1, src).unwrap();
+        let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 1, src).unwrap();
         assert!(
             vebo.pr_compute <= orig.pr_compute,
             "VEBO {} vs original {}",
@@ -230,8 +232,8 @@ mod tests {
         let g = Dataset::UsaRoadLike.build(0.1);
         let cfg = cluster();
         let src = default_source(&g);
-        let ml = evaluate(Strategy::Multilevel, &g, &cfg, 1, src);
-        let hash = evaluate(Strategy::Hash, &g, &cfg, 1, src);
+        let ml = evaluate(Strategy::Multilevel, &g, &cfg, 1, src).unwrap();
+        let hash = evaluate(Strategy::Hash, &g, &cfg, 1, src).unwrap();
         assert!(ml.cut_fraction < hash.cut_fraction);
         assert!(ml.pr_comm < hash.pr_comm);
     }
@@ -245,7 +247,8 @@ mod tests {
         let mut totals = Vec::new();
         for s in Strategy::ALL {
             let (h, asg) = s.realize(&g, cfg.workers);
-            let step = crate::bsp::superstep(&h, &asg, &cfg, &h.vertices().collect::<Vec<_>>());
+            let step =
+                crate::bsp::superstep(&h, &asg, &cfg, &h.vertices().collect::<Vec<_>>()).unwrap();
             totals.push(step.compute.iter().sum::<f64>());
         }
         for w in totals.windows(2) {

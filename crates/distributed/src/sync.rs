@@ -1,0 +1,224 @@
+//! The coordinator: join-phase roster assembly and the epoll-driven
+//! superstep barrier.
+//!
+//! The coordinator owns no graph data. It accepts one control
+//! connection per worker, assigns worker ids in join order, broadcasts
+//! the mesh roster, and from then on runs the BSP clock: every
+//! superstep it collects one [`Msg::StepDone`] from each worker —
+//! multiplexed over the shared [`vebo_net::epoll`] wrapper, the same
+//! event loop the serving frontend uses — sums the workers' activity
+//! counters, decides continue-or-halt
+//! ([`crate::runtime::decide_continue`]), and releases the barrier with
+//! [`Msg::Continue`]. After halt it collects each worker's
+//! master-owned values and assembles the full value vector, whose
+//! digest is the cluster's conformance artifact.
+//!
+//! Only the *readiness wait* is nonblocking: once epoll reports a
+//! control connection readable, the coordinator does blocking framed
+//! reads on it. That cannot deadlock — a worker writes each control
+//! message as one `write_all` before waiting on the barrier, so any
+//! partial frame the coordinator sees is already fully in flight.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+
+use crate::runtime::{decide_continue, ClusterAlgo, RunOutput};
+use crate::transport::{FramedConn, Msg};
+use vebo_graph::digest_u64s;
+use vebo_net::epoll::{Epoll, EpollEvent, EPOLLIN};
+
+/// Aggregate outcome of one superstep barrier.
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierOutcome {
+    /// Sum of the workers' newly-activated vertex counts.
+    pub active: u64,
+    /// Sum of the value pairs workers shipped to remote peers.
+    pub sent: u64,
+}
+
+/// The cluster's control-plane endpoint: one framed connection per
+/// worker, indexed by the worker id it assigned.
+pub struct Coordinator {
+    conns: Vec<FramedConn>,
+    roster: Vec<SocketAddr>,
+    ep: Epoll,
+}
+
+impl Coordinator {
+    /// Accepts exactly `workers` control connections on `listener`,
+    /// reads each one's [`Msg::Join`], assigns ids in join order, and
+    /// broadcasts [`Msg::Start`] with the assembled mesh roster (peer
+    /// IP from the control connection + the advertised mesh port).
+    pub fn accept(listener: &TcpListener, workers: usize) -> io::Result<Coordinator> {
+        let mut conns = Vec::with_capacity(workers);
+        let mut roster = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (stream, peer) = listener.accept()?;
+            let mut conn = FramedConn::new(stream)?;
+            match conn.recv()? {
+                Msg::Join { mesh_port } => roster.push(SocketAddr::new(peer.ip(), mesh_port)),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected join, got {other:?}"),
+                    ))
+                }
+            }
+            conns.push(conn);
+        }
+        for (id, conn) in conns.iter_mut().enumerate() {
+            conn.send(&Msg::Start {
+                worker_id: id as u32,
+                roster: roster.clone(),
+            })?;
+        }
+        let ep = Epoll::new()?;
+        for (id, conn) in conns.iter().enumerate() {
+            ep.add(conn.stream().as_raw_fd(), EPOLLIN, id as u64)?;
+        }
+        Ok(Coordinator { conns, roster, ep })
+    }
+
+    /// The mesh roster assembled during the join phase.
+    pub fn roster(&self) -> &[SocketAddr] {
+        &self.roster
+    }
+
+    /// Sends `msg` to every worker.
+    pub fn broadcast(&mut self, msg: &Msg) -> io::Result<()> {
+        for conn in &mut self.conns {
+            conn.send(msg)?;
+        }
+        Ok(())
+    }
+
+    /// Collects one message per worker, epoll-multiplexed; `f` receives
+    /// `(worker_id, msg)` for each. Returns once every worker has
+    /// delivered exactly one message.
+    fn collect_each(&mut self, mut f: impl FnMut(usize, Msg) -> io::Result<()>) -> io::Result<()> {
+        let w = self.conns.len();
+        let mut done = vec![false; w];
+        let mut remaining = w;
+        // Frames may already be buffered from a previous blocking read
+        // of the same connection — those produce no readiness events.
+        for (id, conn) in self.conns.iter_mut().enumerate() {
+            if let Some(msg) = conn.try_buffered()? {
+                f(id, msg)?;
+                done[id] = true;
+                remaining -= 1;
+            }
+        }
+        let mut events = [EpollEvent { events: 0, data: 0 }; 16];
+        while remaining > 0 {
+            let n = self.ep.wait(&mut events, -1)?;
+            for ev in &events[..n] {
+                let id = ev.token() as usize;
+                if done[id] {
+                    continue;
+                }
+                let msg = self.conns[id].recv()?;
+                f(id, msg)?;
+                done[id] = true;
+                remaining -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// One superstep barrier: waits for every worker's
+    /// [`Msg::StepDone`] for `step` and sums their counters. Does not
+    /// release the barrier — the caller decides and broadcasts
+    /// [`Msg::Continue`].
+    pub fn barrier(&mut self, step: u32) -> io::Result<BarrierOutcome> {
+        let mut outcome = BarrierOutcome { active: 0, sent: 0 };
+        self.collect_each(|id, msg| match msg {
+            Msg::StepDone {
+                step: s,
+                active,
+                sent,
+            } if s == step => {
+                outcome.active += active;
+                outcome.sent += sent;
+                Ok(())
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("worker {id}: expected step-done {step}, got {other:?}"),
+            )),
+        })?;
+        Ok(outcome)
+    }
+
+    /// Collects every worker's [`Msg::Values`] and assembles the full
+    /// `n`-vertex value vector. Every vertex must be claimed by exactly
+    /// one worker (the ownership map is total and disjoint by
+    /// construction).
+    pub fn collect_values(&mut self, n: usize) -> io::Result<Vec<u64>> {
+        let mut values = vec![0u64; n];
+        let mut claimed = vec![false; n];
+        self.collect_each(|id, msg| match msg {
+            Msg::Values { pairs } => {
+                for (v, bits) in pairs {
+                    let v = v as usize;
+                    if v >= n || claimed[v] {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("worker {id}: bad or duplicate value claim for vertex {v}"),
+                        ));
+                    }
+                    claimed[v] = true;
+                    values[v] = bits;
+                }
+                Ok(())
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("worker {id}: expected values, got {other:?}"),
+            )),
+        })?;
+        if let Some(v) = claimed.iter().position(|&c| !c) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("no worker claimed vertex {v}"),
+            ));
+        }
+        Ok(values)
+    }
+
+    /// Runs `algos` to completion over the joined workers and shuts the
+    /// cluster down: per algorithm, broadcast [`Msg::Begin`], clock the
+    /// superstep barrier until [`decide_continue`] says halt, then
+    /// assemble and digest the final values. `n` is the (global) vertex
+    /// count, which every worker shares by construction.
+    pub fn run(&mut self, n: usize, algos: &[ClusterAlgo]) -> io::Result<Vec<RunOutput>> {
+        let mut outputs = Vec::with_capacity(algos.len());
+        for &algo in algos {
+            self.broadcast(&Msg::Begin { algo })?;
+            let mut step = 0u32;
+            let mut values_sent = 0u64;
+            loop {
+                let outcome = self.barrier(step)?;
+                values_sent += outcome.sent;
+                let go = decide_continue(algo, step + 1, outcome.active);
+                self.broadcast(&Msg::Continue { step, go })?;
+                step += 1;
+                if !go {
+                    break;
+                }
+            }
+            let values = self.collect_values(n)?;
+            outputs.push(RunOutput {
+                algo,
+                digest: digest_u64s(values.iter().copied()),
+                values,
+                supersteps: step,
+                values_sent,
+            });
+        }
+        self.broadcast(&Msg::Shutdown)?;
+        Ok(outputs)
+    }
+}

@@ -19,6 +19,7 @@
 //! sources in any order, so the harness compares the natural stream
 //! against a degree-descending (VEBO phase-1) stream.
 
+use crate::error::{check_machines, DistributedError};
 use vebo_graph::{Graph, VertexId};
 
 /// Machine assignment for every arc, plus the vertex replica sets it
@@ -104,8 +105,9 @@ impl EdgePlacement {
 pub struct GreedyVertexCut;
 
 impl GreedyVertexCut {
-    /// Streams arcs in source-major id order.
-    pub fn place(&self, g: &Graph, machines: usize) -> EdgePlacement {
+    /// Streams arcs in source-major id order. Rejects machine counts
+    /// outside `1..=64` (replica sets are `u64` bitmasks).
+    pub fn place(&self, g: &Graph, machines: usize) -> Result<EdgePlacement, DistributedError> {
         let order: Vec<VertexId> = g.vertices().collect();
         self.place_with_source_order(g, machines, &order)
     }
@@ -117,11 +119,8 @@ impl GreedyVertexCut {
         g: &Graph,
         machines: usize,
         order: &[VertexId],
-    ) -> EdgePlacement {
-        assert!(
-            (1..=64).contains(&machines),
-            "machine count must be in 1..=64"
-        );
+    ) -> Result<EdgePlacement, DistributedError> {
+        check_machines(machines)?;
         assert_eq!(order.len(), g.num_vertices());
         let n = g.num_vertices();
         // Global arc index = csr_offset[source] + position, independent of
@@ -178,21 +177,21 @@ impl GreedyVertexCut {
                 rem[v as usize] = rem[v as usize].saturating_sub(1);
             }
         }
-        EdgePlacement {
+        Ok(EdgePlacement {
             edge_machine,
             replicas,
             loads,
-        }
+        })
     }
 }
 
 /// Random (hash) edge placement — the baseline PowerGraph compares greedy
-/// against.
-pub fn random_edge_placement(g: &Graph, machines: usize) -> EdgePlacement {
-    assert!(
-        (1..=64).contains(&machines),
-        "machine count must be in 1..=64"
-    );
+/// against. Rejects machine counts outside `1..=64`.
+pub fn random_edge_placement(
+    g: &Graph,
+    machines: usize,
+) -> Result<EdgePlacement, DistributedError> {
+    check_machines(machines)?;
     let n = g.num_vertices();
     let mut edge_machine = vec![0u32; g.num_edges()];
     let mut replicas = vec![0u64; n];
@@ -208,11 +207,11 @@ pub fn random_edge_placement(g: &Graph, machines: usize) -> EdgePlacement {
             idx += 1;
         }
     }
-    EdgePlacement {
+    Ok(EdgePlacement {
         edge_machine,
         replicas,
         loads,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -223,7 +222,7 @@ mod tests {
     #[test]
     fn every_arc_is_placed_and_loads_sum() {
         let g = Dataset::LiveJournalLike.build(0.05);
-        let p = GreedyVertexCut.place(&g, 16);
+        let p = GreedyVertexCut.place(&g, 16).unwrap();
         assert_eq!(p.loads().iter().sum::<u64>(), g.num_edges() as u64);
         assert_eq!(p.num_machines(), 16);
     }
@@ -231,7 +230,7 @@ mod tests {
     #[test]
     fn replication_factor_bounds() {
         let g = Dataset::TwitterLike.build(0.05);
-        let p = GreedyVertexCut.place(&g, 16);
+        let p = GreedyVertexCut.place(&g, 16).unwrap();
         let rf = p.replication_factor();
         assert!((1.0..=16.0).contains(&rf), "rf {rf}");
     }
@@ -240,15 +239,15 @@ mod tests {
     fn greedy_beats_random_on_replication() {
         // PowerGraph's headline result.
         let g = Dataset::TwitterLike.build(0.05);
-        let greedy = GreedyVertexCut.place(&g, 16).replication_factor();
-        let random = random_edge_placement(&g, 16).replication_factor();
+        let greedy = GreedyVertexCut.place(&g, 16).unwrap().replication_factor();
+        let random = random_edge_placement(&g, 16).unwrap().replication_factor();
         assert!(greedy < random, "greedy {greedy} random {random}");
     }
 
     #[test]
     fn triangle_on_many_machines_stays_together() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], true);
-        let p = GreedyVertexCut.place(&g, 8);
+        let p = GreedyVertexCut.place(&g, 8).unwrap();
         // Rule 1/3 keep all three arcs on one machine: rf = 1.
         assert!((p.replication_factor() - 1.0).abs() < 1e-12);
     }
@@ -262,7 +261,7 @@ mod tests {
         // addresses from the other direction.
         let edges: Vec<(VertexId, VertexId)> = (1..33).map(|u| (u, 0)).collect();
         let g = Graph::from_edges(33, &edges, true);
-        let p = GreedyVertexCut.place(&g, 4);
+        let p = GreedyVertexCut.place(&g, 4).unwrap();
         for leaf in 1..33u32 {
             assert_eq!(p.replicas_of(leaf).count_ones(), 1);
         }
@@ -277,15 +276,15 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = Dataset::OrkutLike.build(0.05);
-        let a = GreedyVertexCut.place(&g, 8);
-        let b = GreedyVertexCut.place(&g, 8);
+        let a = GreedyVertexCut.place(&g, 8).unwrap();
+        let b = GreedyVertexCut.place(&g, 8).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn one_machine_never_replicates() {
         let g = Dataset::YahooLike.build(0.05);
-        let p = GreedyVertexCut.place(&g, 1);
+        let p = GreedyVertexCut.place(&g, 1).unwrap();
         assert!((p.replication_factor() - 1.0).abs() < 1e-12);
         assert!((p.load_imbalance() - 1.0).abs() < 1e-12);
     }
@@ -295,22 +294,30 @@ mod tests {
         let g = Dataset::LiveJournalLike.build(0.05);
         let fwd: Vec<VertexId> = g.vertices().collect();
         let rev: Vec<VertexId> = (0..g.num_vertices() as VertexId).rev().collect();
-        let a = GreedyVertexCut.place_with_source_order(&g, 8, &fwd);
-        let b = GreedyVertexCut.place_with_source_order(&g, 8, &rev);
+        let a = GreedyVertexCut
+            .place_with_source_order(&g, 8, &fwd)
+            .unwrap();
+        let b = GreedyVertexCut
+            .place_with_source_order(&g, 8, &rev)
+            .unwrap();
         assert_ne!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "machine count")]
-    fn too_many_machines_rejected() {
+    fn bad_machine_counts_are_typed_errors() {
         let g = Graph::from_edges(2, &[(0, 1)], true);
-        GreedyVertexCut.place(&g, 65);
+        for machines in [0, 65, 1000] {
+            let want = Err(DistributedError::MachineCount { machines });
+            assert_eq!(GreedyVertexCut.place(&g, machines), want);
+            assert_eq!(random_edge_placement(&g, machines), want);
+        }
+        assert!(GreedyVertexCut.place(&g, 64).is_ok());
     }
 
     #[test]
     fn empty_graph() {
         let g = Graph::from_edges(0, &[], true);
-        let p = GreedyVertexCut.place(&g, 4);
+        let p = GreedyVertexCut.place(&g, 4).unwrap();
         assert!((p.replication_factor() - 1.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,131 @@
+//! Loopback cluster conformance: the socket runtime (coordinator + N
+//! worker threads over real TCP connections on 127.0.0.1) must produce
+//! value vectors bit-identical to [`vebo_distributed::run_local`], for
+//! every partitioner and several worker counts — the multi-process
+//! analogue of the engine's sequential/parallel/sharded conformance
+//! suites. BFS and CC are integer fixpoints, so they are additionally
+//! worker-count-invariant; PageRank's float sums are grouped per shard,
+//! so its digest is compared at fixed worker count only.
+
+#![cfg(target_os = "linux")]
+
+use std::net::TcpListener;
+use std::thread;
+
+use vebo_distributed::sync::Coordinator;
+use vebo_distributed::{run_local, run_worker, ClusterAlgo, Partitioner, RunOutput};
+use vebo_graph::{Dataset, Graph};
+
+/// Runs `algos` on a real loopback cluster of `workers` processes-worth
+/// of worker threads (real sockets, real frames — only the process
+/// boundary is elided; the `vebo-cluster` bin covers that).
+fn run_cluster(
+    g: &Graph,
+    partitioner: Partitioner,
+    workers: usize,
+    algos: &[ClusterAlgo],
+) -> Vec<RunOutput> {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let g = g.clone();
+            thread::spawn(move || run_worker(addr, &g, partitioner).unwrap())
+        })
+        .collect();
+    let mut coordinator = Coordinator::accept(&listener, workers).unwrap();
+    let outputs = coordinator.run(g.num_vertices(), algos).unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    outputs
+}
+
+fn scaled_twitter() -> Graph {
+    Dataset::TwitterLike.build(0.04)
+}
+
+const ALGOS: [ClusterAlgo; 3] = [
+    ClusterAlgo::PageRank { iters: 5 },
+    ClusterAlgo::Bfs { source: 3 },
+    ClusterAlgo::Cc,
+];
+
+#[test]
+fn cluster_matches_run_local_across_partitioners_and_widths() {
+    let g = scaled_twitter();
+    for partitioner in [Partitioner::VertexCut, Partitioner::Hash] {
+        for workers in [2usize, 3] {
+            let cluster = run_cluster(&g, partitioner, workers, &ALGOS);
+            for (algo, out) in ALGOS.iter().zip(&cluster) {
+                let local = run_local(&g, partitioner, workers, *algo).unwrap();
+                assert_eq!(
+                    out.digest, local.digest,
+                    "{partitioner:?} w={workers} {algo:?}"
+                );
+                assert_eq!(
+                    out.values, local.values,
+                    "{partitioner:?} w={workers} {algo:?}"
+                );
+                assert_eq!(out.supersteps, local.supersteps);
+                assert_eq!(out.values_sent, local.values_sent);
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_cut_cluster_matches_run_local() {
+    let g = scaled_twitter();
+    let cluster = run_cluster(&g, Partitioner::Hybrid, 3, &ALGOS);
+    for (algo, out) in ALGOS.iter().zip(&cluster) {
+        let local = run_local(&g, Partitioner::Hybrid, 3, *algo).unwrap();
+        assert_eq!(out.digest, local.digest, "{algo:?}");
+    }
+}
+
+#[test]
+fn single_worker_cluster_degenerates_cleanly() {
+    // One worker: no mesh peers at all, every phase is loopback.
+    let g = scaled_twitter();
+    let cluster = run_cluster(&g, Partitioner::VertexCut, 1, &ALGOS);
+    for (algo, out) in ALGOS.iter().zip(&cluster) {
+        let local = run_local(&g, Partitioner::VertexCut, 1, *algo).unwrap();
+        assert_eq!(out.digest, local.digest, "{algo:?}");
+        assert_eq!(out.values_sent, 0, "nothing crosses a 1-machine cluster");
+    }
+}
+
+#[test]
+fn integer_fixpoints_are_worker_count_invariant() {
+    // BFS levels and CC labels are unique fixpoints, so the digest must
+    // not depend on how many workers computed them — only PageRank's
+    // float grouping is width-sensitive.
+    let g = scaled_twitter();
+    for algo in [ClusterAlgo::Bfs { source: 3 }, ClusterAlgo::Cc] {
+        let one = run_local(&g, Partitioner::VertexCut, 1, algo).unwrap();
+        for workers in [2usize, 3, 5] {
+            for partitioner in Partitioner::ALL {
+                let w = run_local(&g, partitioner, workers, algo).unwrap();
+                assert_eq!(one.digest, w.digest, "{partitioner:?} w={workers} {algo:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn superstep_metrics_are_recorded() {
+    use vebo_distributed::ClusterPlan;
+    let g = scaled_twitter();
+    let placement = Partitioner::VertexCut.place(&g, 2).unwrap();
+    let plans: Vec<ClusterPlan> = (0..2)
+        .map(|m| ClusterPlan::build(&g, &placement, m))
+        .collect();
+    let out = vebo_distributed::runtime::run_local_on(&plans, ClusterAlgo::PageRank { iters: 4 });
+    assert_eq!(out.supersteps, 4);
+    for plan in &plans {
+        let m = plan.metrics().snapshot();
+        assert_eq!(m.supersteps, 4);
+        assert!(m.superstep_quantile(0.5).is_some());
+    }
+}

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use vebo_distributed::bsp::{superstep, ClusterConfig};
-use vebo_distributed::{hash_partition, Fennel, GreedyVertexCut, HybridCut, Ldg};
+use vebo_distributed::vertex_cut::random_edge_placement;
+use vebo_distributed::{hash_partition, DistributedError, Fennel, GreedyVertexCut, HybridCut, Ldg};
 use vebo_graph::{mix64, Graph, VertexId};
 use vebo_partition::{Multilevel, VertexAssignment};
 
@@ -87,7 +88,7 @@ proptest! {
         let a = VertexAssignment::new(part, p);
         let cfg = ClusterConfig { workers: p, ..Default::default() };
         let active: Vec<VertexId> = g.vertices().collect();
-        let step = superstep(&g, &a, &cfg, &active);
+        let step = superstep(&g, &a, &cfg, &active).unwrap();
         let total: f64 = step.compute.iter().sum();
         let expected = g.num_edges() as f64 * cfg.per_edge_cost
             + n as f64 * cfg.per_vertex_cost;
@@ -96,32 +97,82 @@ proptest! {
         prop_assert_eq!(step.messages(), a.quality(&g).comm_volume);
     }
 
-    /// Edge placements: every arc lands on a machine, loads sum to the
-    /// arc count, and replica masks cover exactly the machines that hold
-    /// an incident arc.
+    /// Edge placements, for every strategy: each arc lands on exactly one
+    /// in-range machine, per-machine loads are exactly the recomputed arc
+    /// counts (so they sum to `m`), and replica masks cover exactly the
+    /// machines holding an incident arc — no phantom replicas, no missing
+    /// ones.
     #[test]
     fn edge_placements_are_consistent(g in arb_graph(), machines in 1usize..16) {
-        for placement in [
-            GreedyVertexCut.place(&g, machines),
-            HybridCut::default().place(&g, machines),
-        ] {
-            prop_assert_eq!(placement.loads().iter().sum::<u64>(), g.num_edges() as u64);
-            // Recompute replica masks from arc machines and compare.
+        let placements = [
+            ("greedy", GreedyVertexCut.place(&g, machines).unwrap()),
+            ("random", random_edge_placement(&g, machines).unwrap()),
+            ("hybrid", HybridCut::default().place(&g, machines).unwrap()),
+            ("hybrid-theta0", HybridCut::new(0).place(&g, machines).unwrap()),
+        ];
+        for (name, placement) in &placements {
+            prop_assert_eq!(placement.num_machines(), machines, "{}", name);
+            // Recompute loads and replica masks from the per-arc machine
+            // assignment and compare exactly.
+            let mut loads = vec![0u64; machines];
             let mut expect = vec![0u64; g.num_vertices()];
             let mut idx = 0usize;
             for u in g.vertices() {
                 for &v in g.out_neighbors(u) {
                     let m = placement.machine_of_arc(idx);
+                    prop_assert!((m as usize) < machines, "{}: arc {} machine {}", name, idx, m);
+                    loads[m as usize] += 1;
                     expect[u as usize] |= 1 << m;
                     expect[v as usize] |= 1 << m;
                     idx += 1;
                 }
             }
+            prop_assert_eq!(idx, g.num_edges(), "{}: every arc placed exactly once", name);
+            prop_assert_eq!(placement.loads(), &loads[..], "{}: loads", name);
+            prop_assert_eq!(loads.iter().sum::<u64>(), g.num_edges() as u64, "{}", name);
             for v in g.vertices() {
-                prop_assert_eq!(placement.replicas_of(v), expect[v as usize], "vertex {}", v);
+                prop_assert_eq!(
+                    placement.replicas_of(v), expect[v as usize],
+                    "{}: vertex {}", name, v
+                );
             }
             let rf = placement.replication_factor();
             prop_assert!((1.0..=machines as f64).contains(&rf) || g.num_edges() == 0);
+        }
+    }
+
+    /// Every strategy is deterministic — two placements of the same graph
+    /// are identical, including greedy under an explicit source order.
+    #[test]
+    fn edge_placements_are_deterministic(g in arb_graph(), machines in 1usize..16) {
+        prop_assert_eq!(
+            GreedyVertexCut.place(&g, machines).unwrap(),
+            GreedyVertexCut.place(&g, machines).unwrap()
+        );
+        prop_assert_eq!(
+            random_edge_placement(&g, machines).unwrap(),
+            random_edge_placement(&g, machines).unwrap()
+        );
+        prop_assert_eq!(
+            HybridCut::default().place(&g, machines).unwrap(),
+            HybridCut::default().place(&g, machines).unwrap()
+        );
+        let rev: Vec<VertexId> = (0..g.num_vertices() as VertexId).rev().collect();
+        prop_assert_eq!(
+            GreedyVertexCut.place_with_source_order(&g, machines, &rev).unwrap(),
+            GreedyVertexCut.place_with_source_order(&g, machines, &rev).unwrap()
+        );
+    }
+
+    /// Out-of-range machine counts are typed errors for every strategy,
+    /// never panics.
+    #[test]
+    fn edge_placement_machine_bounds(g in arb_graph(), over in 65usize..200) {
+        for machines in [0, over] {
+            let want = DistributedError::MachineCount { machines };
+            prop_assert_eq!(GreedyVertexCut.place(&g, machines).unwrap_err(), want);
+            prop_assert_eq!(random_edge_placement(&g, machines).unwrap_err(), want);
+            prop_assert_eq!(HybridCut::default().place(&g, machines).unwrap_err(), want);
         }
     }
 

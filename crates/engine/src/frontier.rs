@@ -86,6 +86,24 @@ impl Frontier {
         }
     }
 
+    /// A sparse frontier from a list the caller guarantees is already
+    /// sorted ascending and duplicate-free — skips the re-sort of
+    /// [`Frontier::from_vertices`]. Callers that maintain sorted active
+    /// sets across rounds (e.g. the cluster runtime's per-superstep
+    /// frontiers) use this on their hot path; the invariant is checked
+    /// in debug builds.
+    pub fn from_sorted_vertices(num_vertices: usize, vertices: Vec<VertexId>) -> Frontier {
+        debug_assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "vertices must be strictly ascending"
+        );
+        debug_assert!(vertices.iter().all(|&v| (v as usize) < num_vertices));
+        Frontier::Sparse {
+            num_vertices,
+            vertices,
+        }
+    }
+
     /// From a finished next-frontier bitset.
     pub fn from_bitset(bits: AtomicBitset) -> Frontier {
         let num_vertices = bits.len();

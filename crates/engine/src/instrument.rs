@@ -147,6 +147,17 @@ pub struct ShardMetrics {
     /// requests — same algorithm, same arguments, same epoch — share one
     /// execution, so `batch_executions <= batched_requests`).
     pub batch_executions: u64,
+    /// BSP supersteps the cluster runtime executed on this shard.
+    pub supersteps: u64,
+    /// Value pairs this shard shipped to remote peers across all
+    /// supersteps (gather + scatter).
+    pub sync_values_sent: u64,
+    /// Value pairs this shard received from remote peers.
+    pub sync_values_received: u64,
+    /// Wall-clock duration of each superstep (nanoseconds), in
+    /// execution order — the barrier-to-barrier latency series behind
+    /// [`ShardMetrics::superstep_quantile`].
+    pub superstep_nanos: Vec<u64>,
 }
 
 /// Latency series of one request kind inside a [`ShardMetrics`]
@@ -228,6 +239,12 @@ impl ShardMetrics {
     /// nanoseconds (nearest-rank); `None` when no compactions ran.
     pub fn compaction_quantile(&self, q: f64) -> Option<u64> {
         quantile(&self.compaction_nanos, q)
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of superstep duration in
+    /// nanoseconds (nearest-rank); `None` when no supersteps ran.
+    pub fn superstep_quantile(&self, q: f64) -> Option<u64> {
+        quantile(&self.superstep_nanos, q)
     }
 }
 
@@ -324,6 +341,19 @@ impl ShardMetricsSink {
         m.queue_depth_sum += depth;
         m.queue_depth_samples += 1;
         m.queue_depth_max = m.queue_depth_max.max(depth);
+    }
+
+    /// Records one completed BSP superstep of the cluster runtime:
+    /// `sent`/`received` value pairs crossed the network for this shard
+    /// and the step took `nanos` wall-clock nanoseconds barrier to
+    /// barrier. Called by the distributed superstep loop, not the
+    /// engine.
+    pub fn record_superstep(&self, sent: u64, received: u64, nanos: u64) {
+        let mut m = self.inner.lock().unwrap();
+        m.supersteps += 1;
+        m.sync_values_sent += sent;
+        m.sync_values_received += received;
+        m.superstep_nanos.push(nanos);
     }
 
     /// Records one coalesced micro-batch: `requests` rode in it and were
@@ -600,6 +630,28 @@ mod tests {
         assert_eq!(m.kind_quantile("bfs", 0.5), Some(40));
         assert_eq!(m.kind_quantile("pr", 0.5), None);
         assert_eq!(m.latency_quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn empty_series_quantiles_are_none_not_bogus() {
+        // A served run that handled only mutations records no query-kind
+        // latencies, never compacts, and runs no supersteps: every
+        // quantile over an empty series must be `None` (rendered `-` by
+        // the summary), never a fabricated number.
+        let sink = ShardMetricsSink::new();
+        sink.record_request_kind("add", 10);
+        sink.record_request_kind("del", 20);
+        sink.record_log_stall(3);
+        let m = sink.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(m.kind_quantile("pr", q), None);
+            assert_eq!(m.kind_quantile("bfs", q), None);
+            assert_eq!(m.kind_quantile("label", q), None);
+            assert_eq!(m.compaction_quantile(q), None);
+            assert_eq!(m.superstep_quantile(q), None);
+        }
+        assert_eq!(ShardMetrics::default().latency_quantile(0.5), None);
+        assert_eq!(ShardMetrics::default().kind_quantile("pr", 0.5), None);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Order-sensitive FNV-1a digests — the stable, dependency-free hash
+//! every conformance suite in the workspace reduces results to.
+//!
+//! Lives at the bottom of the crate graph so the serving harness
+//! (`vebo-bench`), the network frontend (`vebo-serve-net`), and the
+//! cluster runtime (`vebo-distributed`) all digest through the **same**
+//! function — "bit-identical digest" claims across processes are only
+//! meaningful if every process hashes identically.
+
+/// FNV-1a, 64 bit — tiny, dependency-free, stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Order-sensitive FNV-1a digest over a `u64` stream — the digest every
+/// response reduces to, exported so network clients and cluster workers
+/// can recompute the digests the in-process harness prints.
+pub fn digest_u64s(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = Fnv::new();
+    for v in values {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        assert_ne!(digest_u64s([1, 2]), digest_u64s([2, 1]));
+        assert_ne!(digest_u64s([0]), digest_u64s([]));
+        // The FNV-1a offset basis: hashing nothing yields it unchanged.
+        assert_eq!(digest_u64s([]), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -28,6 +28,7 @@ pub mod compress;
 pub mod coo;
 pub mod datasets;
 pub mod degree;
+pub mod digest;
 pub mod dynamic;
 pub mod gen;
 pub mod graph;
@@ -42,6 +43,7 @@ pub use adjacency::Adjacency;
 pub use compress::{CompressedCsr, CompressionStats, NeighborDecoder, DECODE_BLOCK};
 pub use coo::Coo;
 pub use datasets::{Dataset, DatasetSpec};
+pub use digest::digest_u64s;
 pub use dynamic::{
     CompactionStats, Compactor, DeltaOverlay, DynamicGraph, EdgeMut, OverlayHalf,
     PendingCompaction, PinnedEpoch,

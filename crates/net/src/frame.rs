@@ -1,0 +1,178 @@
+//! Length-prefixed byte framing.
+//!
+//! Every frame — in both directions — is a 4-byte **little-endian** u32
+//! payload length followed by that many payload bytes. The decoder is
+//! incremental: push bytes in whatever chunks the socket delivers (half a
+//! header, a header plus half a payload, three pipelined frames in one
+//! read) and pop complete payloads in order.
+//!
+//! A length prefix above the decoder's cap is a protocol violation: the
+//! decoder reports [`Oversized`] without buffering the payload (a length
+//! prefix of, say, 4 GiB must not turn into an allocation) and keeps
+//! returning the error — after a violation the stream is unsynchronized
+//! and the connection must be dropped.
+
+/// Size of the length prefix.
+pub const HEADER_LEN: usize = 4;
+
+/// Appends one framed payload (length prefix + bytes) to `out`.
+///
+/// The payload length must fit a `u32`; the per-stream size cap is the
+/// *decoder's* policy, so different protocols (the 4 KiB text protocol,
+/// the multi-megabyte cluster value exchange) share this encoder.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(u32::try_from(payload.len()).is_ok());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Protocol violation: a frame's length prefix exceeds the decoder's cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Oversized {
+    /// The offending length prefix.
+    pub len: u32,
+    /// The decoder's cap at the time.
+    pub max_frame: usize,
+}
+
+impl std::fmt::Display for Oversized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame length {} exceeds the {}-byte cap",
+            self.len, self.max_frame
+        )
+    }
+}
+
+impl std::error::Error for Oversized {}
+
+/// Incremental frame decoder over raw bytes: push bytes as they arrive,
+/// pop complete payloads. After an [`Oversized`] violation the decoder is
+/// poisoned — pushes are ignored and the error is returned again on every
+/// poll.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames (compacted
+    /// lazily so pipelined frames don't trigger a memmove each).
+    pos: usize,
+    max_frame: usize,
+    poisoned: Option<Oversized>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder enforcing `max_frame` as the payload size cap.
+    pub fn with_max_frame(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame,
+            poisoned: None,
+        }
+    }
+
+    /// The payload size cap this decoder enforces.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Feeds bytes received from the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        // Compact before growing: consumed bytes never exceed one burst
+        // of pipelined frames.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete payload, `Ok(None)` when more bytes are
+    /// needed, or the violation that poisoned the stream.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, Oversized> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..HEADER_LEN].try_into().unwrap());
+        if len as usize > self.max_frame {
+            let err = Oversized {
+                len,
+                max_frame: self.max_frame,
+            };
+            self.poisoned = Some(err);
+            return Err(err);
+        }
+        let total = HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[HEADER_LEN..total].to_vec();
+        self.pos += total;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_one_byte_at_a_time() {
+        let payloads: [&[u8]; 3] = [b"", b"abc", &[0u8, 255, 1, 254]];
+        let mut wire = Vec::new();
+        for p in payloads {
+            encode_frame(p, &mut wire);
+        }
+        let mut dec = FrameDecoder::with_max_frame(16);
+        let mut got = Vec::new();
+        for b in wire {
+            dec.push(&[b]);
+            while let Some(p) = dec.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, payloads.map(<[u8]>::to_vec).to_vec());
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_length_poisons_without_buffering() {
+        let mut dec = FrameDecoder::with_max_frame(4096);
+        dec.push(&u32::MAX.to_le_bytes());
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err.len, u32::MAX);
+        assert_eq!(err.max_frame, 4096);
+        // Still poisoned on the next poll, and pushes are ignored.
+        dec.push(b"garbage");
+        assert_eq!(dec.next_frame().unwrap_err(), err);
+        assert!(err.to_string().contains("4096-byte cap"));
+    }
+
+    #[test]
+    fn cap_is_per_decoder() {
+        let mut big = FrameDecoder::with_max_frame(1 << 20);
+        let payload = vec![7u8; 100_000];
+        let mut wire = Vec::new();
+        encode_frame(&payload, &mut wire);
+        big.push(&wire);
+        assert_eq!(big.next_frame().unwrap().unwrap(), payload);
+
+        let mut small = FrameDecoder::with_max_frame(4096);
+        assert_eq!(small.max_frame(), 4096);
+        small.push(&wire);
+        assert!(small.next_frame().is_err());
+    }
+}

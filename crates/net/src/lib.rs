@@ -1,0 +1,27 @@
+//! # vebo-net
+//!
+//! Shared low-level networking primitives, factored out of the serving
+//! frontend (`vebo-serve-net`) so the distributed cluster runtime
+//! (`vebo-distributed`) can reuse them without a dependency cycle
+//! (`serve-net → bench → distributed` means shared code must live below
+//! both).
+//!
+//! Two pieces:
+//!
+//! * [`frame`] — length-prefixed **byte** framing: a 4-byte little-endian
+//!   u32 payload length followed by that many payload bytes, with an
+//!   incremental decoder that accepts bytes at whatever boundaries the
+//!   socket delivers and enforces a per-stream size cap. The serving
+//!   frontend layers a UTF-8 text protocol on top; the cluster transport
+//!   uses the raw bytes directly for its binary superstep messages.
+//! * [`epoll`] (Linux only) — the minimal `epoll(7)` wrapper over raw
+//!   `extern "C"` declarations, used by the serving frontend's readiness
+//!   loop and the cluster coordinator's superstep barrier.
+
+#![warn(missing_docs)]
+
+#[cfg(target_os = "linux")]
+pub mod epoll;
+pub mod frame;
+
+pub use frame::{encode_frame, FrameDecoder, Oversized, HEADER_LEN};

@@ -22,6 +22,7 @@
 
 use std::io::Write;
 use std::net::Shutdown;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use vebo_bench::serve::{digest_u64s, generate_requests, parse_script, Request};
@@ -119,28 +120,43 @@ fn main() {
 
     let t0 = Instant::now();
     let rps = args.rps;
-    let (oks, busy, errs) = std::thread::scope(|scope| {
+    // The sender publishes how many requests actually hit the wire, and
+    // the receiver can tell it to stop early: when the server closes the
+    // connection mid-pipeline the client must not keep pacing doomed
+    // sends (or, worse, wait on replies that can never arrive).
+    let sent = AtomicUsize::new(0);
+    let dead = AtomicBool::new(false);
+    let (oks, busy, errs, lost) = std::thread::scope(|scope| {
         let send_reqs = &requests;
+        let (sent, dead) = (&sent, &dead);
         scope.spawn(move || {
             for (i, req) in send_reqs.iter().enumerate() {
                 if rps > 0.0 {
                     let due = t0 + Duration::from_secs_f64(i as f64 / rps);
-                    let now = Instant::now();
-                    if due > now {
-                        std::thread::sleep(due - now);
+                    while Instant::now() < due {
+                        if dead.load(Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(5).min(due - Instant::now()));
                     }
+                }
+                if dead.load(Ordering::Acquire) {
+                    return;
                 }
                 let mut wire = Vec::new();
                 encode_request(req, &mut wire);
                 if (&writer).write_all(&wire).is_err() {
-                    break;
+                    // EPIPE/ECONNRESET: requests [sent..] never left.
+                    return;
                 }
+                sent.store(i + 1, Ordering::Release);
             }
             let _ = writer.shutdown(Shutdown::Write);
         });
 
         let mut digests: Vec<u64> = Vec::new();
         let (mut busy, mut errs) = (0u64, 0u64);
+        let mut lost = None;
         for (i, req) in requests.iter().enumerate() {
             match client.recv() {
                 Ok(Reply::Ok { digest, .. }) => {
@@ -156,13 +172,35 @@ fn main() {
                     errs += 1;
                 }
                 Err(e) => {
-                    eprintln!("connection lost after {i} replies: {e}");
-                    std::process::exit(1);
+                    dead.store(true, Ordering::Release);
+                    let _ = client.finish_sending();
+                    lost = Some((i, e));
+                    break;
                 }
             }
         }
-        (digests, busy, errs)
+        (digests, busy, errs, lost)
     });
+
+    if let Some((acked, e)) = lost {
+        // The server disconnected mid-pipeline (EOF or reset). Account
+        // for every request: acknowledged, sent-but-unanswered, unsent.
+        let sent = sent.load(Ordering::Acquire);
+        let outstanding = sent.saturating_sub(acked);
+        eprintln!("connection lost after {acked} replies: {e}");
+        eprintln!(
+            "{outstanding} unacknowledged request(s) were sent but never answered, \
+             {} never sent:",
+            requests.len() - sent,
+        );
+        for (i, req) in requests.iter().enumerate().take(sent).skip(acked).take(10) {
+            eprintln!("  req {i:>4} {:<5} unacknowledged", req.code());
+        }
+        if outstanding > 10 {
+            eprintln!("  ... and {} more", outstanding - 10);
+        }
+        std::process::exit(1);
+    }
 
     println!("batch digest={:016x}", digest_u64s(oks.iter().copied()));
     let wall = t0.elapsed().as_secs_f64();

@@ -10,7 +10,8 @@
 //! Three layers, each independently testable:
 //!
 //! - [`protocol`] — the wire codec: 4-byte little-endian length prefix
-//!   plus a UTF-8 request/reply line. Pure state machine, no sockets.
+//!   plus a UTF-8 request/reply line, layered over the shared byte
+//!   framing in [`vebo_net::frame`]. Pure state machine, no sockets.
 //! - [`batch`] — the adaptive micro-batching policy: batch-size target
 //!   doubles while the queue keeps batches full, halves when flushes
 //!   hit the idle deadline. Pure state, no clocks.
@@ -34,7 +35,7 @@
 pub mod batch;
 pub mod client;
 #[cfg(target_os = "linux")]
-pub mod epoll;
+pub use vebo_net::epoll;
 pub mod protocol;
 #[cfg(target_os = "linux")]
 pub mod server;

@@ -32,13 +32,12 @@ use vebo_bench::serve::{parse_request_line, Request};
 pub const MAX_FRAME: usize = 4096;
 
 /// Size of the length prefix.
-pub const HEADER_LEN: usize = 4;
+pub const HEADER_LEN: usize = vebo_net::HEADER_LEN;
 
 /// Appends one framed payload (length prefix + bytes) to `out`.
 pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
     debug_assert!(payload.len() <= MAX_FRAME);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(payload);
+    vebo_net::encode_frame(payload, out);
 }
 
 /// Frames a request as its script-grammar line.
@@ -70,68 +69,62 @@ impl std::fmt::Display for FrameError {
 /// delivers, pop complete payloads. After an error the stream is
 /// unsynchronized and the connection must be dropped; the decoder keeps
 /// returning the error rather than resyncing on garbage.
-#[derive(Debug, Default)]
+///
+/// This is the UTF-8 text layer over the shared byte framing in
+/// [`vebo_net::frame`] (which enforces the [`MAX_FRAME`] cap and the
+/// oversized-poisoning policy); this wrapper adds the UTF-8 validation
+/// the request/reply line grammar requires.
+#[derive(Debug)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
-    /// Bytes of `buf` already consumed by yielded frames (compacted
-    /// lazily so pipelined frames don't trigger a memmove each).
-    pos: usize,
-    poisoned: Option<FrameError>,
+    inner: vebo_net::FrameDecoder,
+    not_utf8: bool,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder::new()
+    }
 }
 
 impl FrameDecoder {
     /// An empty decoder.
     pub fn new() -> FrameDecoder {
-        FrameDecoder::default()
+        FrameDecoder {
+            inner: vebo_net::FrameDecoder::with_max_frame(MAX_FRAME),
+            not_utf8: false,
+        }
     }
 
     /// Feeds bytes received from the peer.
     pub fn push(&mut self, bytes: &[u8]) {
-        if self.poisoned.is_some() {
+        if self.not_utf8 {
             return;
         }
-        // Compact before growing: consumed bytes never exceed one
-        // burst of pipelined frames.
-        if self.pos > 0 {
-            self.buf.drain(..self.pos);
-            self.pos = 0;
-        }
-        self.buf.extend_from_slice(bytes);
+        self.inner.push(bytes);
     }
 
     /// Pops the next complete payload, `Ok(None)` when more bytes are
     /// needed, or the protocol violation that poisoned the stream.
     pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
-        if let Some(err) = &self.poisoned {
-            return Err(err.clone());
+        if self.not_utf8 {
+            return Err(FrameError::NotUtf8);
         }
-        let avail = &self.buf[self.pos..];
-        if avail.len() < HEADER_LEN {
-            return Ok(None);
+        match self.inner.next_frame() {
+            Err(over) => Err(FrameError::Oversized(over.len)),
+            Ok(None) => Ok(None),
+            Ok(Some(payload)) => match String::from_utf8(payload) {
+                Ok(s) => Ok(Some(s)),
+                Err(_) => {
+                    self.not_utf8 = true;
+                    Err(FrameError::NotUtf8)
+                }
+            },
         }
-        let len = u32::from_le_bytes(avail[..HEADER_LEN].try_into().unwrap());
-        if len as usize > MAX_FRAME {
-            self.poisoned = Some(FrameError::Oversized(len));
-            return Err(FrameError::Oversized(len));
-        }
-        let total = HEADER_LEN + len as usize;
-        if avail.len() < total {
-            return Ok(None);
-        }
-        let payload = match std::str::from_utf8(&avail[HEADER_LEN..total]) {
-            Ok(s) => s.to_string(),
-            Err(_) => {
-                self.poisoned = Some(FrameError::NotUtf8);
-                return Err(FrameError::NotUtf8);
-            }
-        };
-        self.pos += total;
-        Ok(Some(payload))
     }
 
     /// Bytes buffered but not yet yielded as frames.
     pub fn pending_bytes(&self) -> usize {
-        self.buf.len() - self.pos
+        self.inner.pending_bytes()
     }
 }
 

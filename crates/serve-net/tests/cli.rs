@@ -36,3 +36,65 @@ fn log_cap_zero_is_a_usage_error() {
         "stderr:\n{stderr}"
     );
 }
+
+/// A server that answers part of a pipelined batch and then closes must
+/// not hang the client: it reports the unacknowledged sends and exits
+/// nonzero (the disconnect-mid-pipeline regression).
+#[test]
+fn client_reports_unacknowledged_sends_when_server_closes_mid_pipeline() {
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use vebo_serve_net::protocol::{encode_frame, FrameDecoder};
+
+    let script =
+        std::env::temp_dir().join(format!("vebo-client-disconnect-{}.txt", std::process::id()));
+    std::fs::write(&script, "label 1\nlabel 2\nlabel 3\nlabel 4\nlabel 5\n").unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        // Drain the whole pipelined batch (client half-closes when done),
+        // answer only the first request, then close the connection.
+        let mut decoder = FrameDecoder::new();
+        let mut frames = 0usize;
+        let mut buf = [0u8; 4096];
+        loop {
+            while decoder.next_frame().unwrap().is_some() {
+                frames += 1;
+            }
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => decoder.push(&buf[..n]),
+            }
+        }
+        assert_eq!(frames, 5, "client should have pipelined every request");
+        let mut reply = Vec::new();
+        encode_frame("ok label 0000000000000000".as_bytes(), &mut reply);
+        conn.write_all(&reply).unwrap();
+        // Dropping conn closes mid-pipeline with 4 requests outstanding.
+    });
+
+    let out = Command::new(env!("CARGO_BIN_EXE_vebo-client"))
+        .args(["--connect", &addr.to_string()])
+        .args(["--requests", script.to_str().unwrap()])
+        .output()
+        .expect("spawn vebo-client");
+    server.join().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("connection lost after 1 replies"),
+        "stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("4 unacknowledged request(s)"),
+        "stderr:\n{stderr}"
+    );
+    assert!(
+        !stdout.contains("batch digest="),
+        "a truncated run must not print a batch digest:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(&script);
+}

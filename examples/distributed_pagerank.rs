@@ -46,7 +46,7 @@ fn main() {
             Strategy::ChunkVebo,
             Strategy::Multilevel,
         ] {
-            let row = evaluate(s, &g, &cfg, iters, src);
+            let row = evaluate(s, &g, &cfg, iters, src).expect("validated cluster config");
             let b = *base.get_or_insert(row.pr_total);
             println!(
                 "  {:<16} {:>7.2} {:>10.0} {:>10.0} {:>12.0} {:>8.2}x",

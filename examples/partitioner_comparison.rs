@@ -55,8 +55,10 @@ fn main() {
     println!("\nEdge placements (vertex cuts):");
     println!("  {:<22} {:>7} {:>10}", "strategy", "repl.", "edge imb");
     let theta = (g.num_edges() / g.num_vertices().max(1)).max(1);
-    let greedy = GreedyVertexCut.place(&g, p);
-    let hybrid = HybridCut::new(theta).place(&g, p);
+    let greedy = GreedyVertexCut.place(&g, p).expect("valid machine count");
+    let hybrid = HybridCut::new(theta)
+        .place(&g, p)
+        .expect("valid machine count");
     for (name, pl) in [
         ("Greedy vertex-cut", &greedy),
         ("Hybrid-cut (PowerLyra)", &hybrid),

@@ -46,8 +46,8 @@ fn vebo_wins_pagerank_totals_on_power_law_cluster() {
     let g = Dataset::TwitterLike.build(0.2);
     let cfg = cluster(16);
     let src = default_source(&g);
-    let orig = evaluate(Strategy::ChunkOriginal, &g, &cfg, 10, src);
-    let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 10, src);
+    let orig = evaluate(Strategy::ChunkOriginal, &g, &cfg, 10, src).unwrap();
+    let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 10, src).unwrap();
     assert!(
         vebo.pr_total < orig.pr_total,
         "VEBO {} vs original {}",
@@ -70,8 +70,8 @@ fn road_network_prefers_cut_minimization() {
     let g = Dataset::UsaRoadLike.build(0.2);
     let cfg = cluster(16);
     let src = default_source(&g);
-    let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 10, src);
-    let ml = evaluate(Strategy::Multilevel, &g, &cfg, 10, src);
+    let vebo = evaluate(Strategy::ChunkVebo, &g, &cfg, 10, src).unwrap();
+    let ml = evaluate(Strategy::Multilevel, &g, &cfg, 10, src).unwrap();
     assert!(
         ml.pr_comm < vebo.pr_comm,
         "multilevel comm {} vs VEBO {}",
@@ -95,7 +95,7 @@ fn bfs_supersteps_equal_eccentricity_regardless_of_strategy() {
     let src = default_source(&g);
     let steps: Vec<usize> = Strategy::ALL
         .iter()
-        .map(|&s| evaluate(s, &g, &cfg, 1, src).bfs_supersteps)
+        .map(|&s| evaluate(s, &g, &cfg, 1, src).unwrap().bfs_supersteps)
         .collect();
     assert!(steps.windows(2).all(|w| w[0] == w[1]), "{steps:?}");
 }
@@ -105,9 +105,11 @@ fn degree_descending_stream_reduces_replication_on_twitter() {
     // §VII's conjecture, pinned on the dataset where it holds cleanly
     // (and with the balance guard that excludes the degenerate collapse).
     let g = Dataset::TwitterLike.build(0.2);
-    let natural = GreedyVertexCut.place(&g, 16);
+    let natural = GreedyVertexCut.place(&g, 16).unwrap();
     let order: Vec<VertexId> = vertices_by_decreasing_in_degree(&g);
-    let sorted = GreedyVertexCut.place_with_source_order(&g, 16, &order);
+    let sorted = GreedyVertexCut
+        .place_with_source_order(&g, 16, &order)
+        .unwrap();
     assert!(
         sorted.replication_factor() < natural.replication_factor(),
         "sorted {} natural {}",
@@ -128,8 +130,12 @@ fn cluster_sizes_scale_compute_down() {
     // partition).
     let g = Dataset::FriendsterLike.build(0.1);
     let src = default_source(&g);
-    let t8 = evaluate(Strategy::ChunkVebo, &g, &cluster(8), 5, src).pr_compute;
-    let t16 = evaluate(Strategy::ChunkVebo, &g, &cluster(16), 5, src).pr_compute;
+    let t8 = evaluate(Strategy::ChunkVebo, &g, &cluster(8), 5, src)
+        .unwrap()
+        .pr_compute;
+    let t16 = evaluate(Strategy::ChunkVebo, &g, &cluster(16), 5, src)
+        .unwrap()
+        .pr_compute;
     assert!(t16 < t8, "8 workers {t8}, 16 workers {t16}");
     // Balanced work halves to within 10%.
     assert!(
